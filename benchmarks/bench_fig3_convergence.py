@@ -1,0 +1,32 @@
+"""Figure 3: convergence analysis (Δy per iteration, sample-ratio 100%).
+
+The paper's claim: the label vector converges within ~5 external
+iterations for every NP-ratio.  The benchmark publishes the traces and
+asserts fast convergence.
+"""
+
+from conftest import FULL, SEED, publish
+from repro.eval.convergence import convergence_study, format_convergence
+
+NP_RATIOS = (10, 30, 50) if FULL else (5, 10, 20)
+
+
+def test_fig3_convergence(benchmark, pair):
+    traces = benchmark.pedantic(
+        convergence_study,
+        args=(pair,),
+        kwargs={"np_ratios": NP_RATIOS, "sample_ratio": 1.0, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    publish(
+        "fig3_convergence",
+        "Figure 3 analog (sample-ratio=100%)\n" + format_convergence(traces),
+    )
+    for trace in traces:
+        # Delta-y must die out; the final step change is (near) zero.
+        assert trace.deltas[-1] <= max(1.0, 0.05 * max(trace.deltas))
+        # And convergence is fast, as in the paper (<~5 effective iters:
+        # allow headroom for the tol=0 full-trace recording).
+        meaningful = [d for d in trace.deltas if d > 1.0]
+        assert len(meaningful) <= 8

@@ -1,0 +1,25 @@
+"""Figure 4: scalability analysis (runtime vs NP-ratio).
+
+The paper shows near-linear runtime growth in the candidate count; the
+benchmark fits a line to measured points and asserts a high R².
+"""
+
+from conftest import FULL, SEED, publish
+from repro.eval.timing import fit_linear_trend, format_timing, scalability_study
+
+NP_RATIOS = (5, 10, 15, 20, 25, 30, 35, 40, 45, 50) if FULL else (5, 10, 20, 30, 40)
+BUDGET = 50
+
+
+def test_fig4_scalability(benchmark, pair):
+    points = benchmark.pedantic(
+        scalability_study,
+        args=(pair,),
+        kwargs={"np_ratios": NP_RATIOS, "budget": BUDGET, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    publish("fig4_scalability", "Figure 4 analog\n" + format_timing(points))
+    slope, _, r_squared = fit_linear_trend(points)
+    assert slope > 0, "runtime must grow with candidate count"
+    assert r_squared > 0.8, f"near-linear growth expected, R^2={r_squared:.3f}"

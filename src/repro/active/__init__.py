@@ -1,0 +1,19 @@
+"""Active learning components: the label oracle and query strategies."""
+
+from repro.active.committee import CommitteeQueryStrategy
+from repro.active.oracle import LabelOracle
+from repro.active.strategies import (
+    ConflictFalseNegativeStrategy,
+    MarginQueryStrategy,
+    QueryStrategy,
+    RandomQueryStrategy,
+)
+
+__all__ = [
+    "CommitteeQueryStrategy",
+    "ConflictFalseNegativeStrategy",
+    "LabelOracle",
+    "MarginQueryStrategy",
+    "QueryStrategy",
+    "RandomQueryStrategy",
+]

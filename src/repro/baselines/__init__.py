@@ -1,0 +1,11 @@
+"""Unsupervised alignment baselines from the paper's related work.
+
+:class:`IsoRank` (Singh et al., reference [16]) and a degree-signature
+matcher provide label-free comparators for quantifying what the
+supervised/active machinery of ActiveIter buys.
+"""
+
+from repro.baselines.degree_match import DegreeMatcher
+from repro.baselines.isorank import IsoRank, attribute_prior
+
+__all__ = ["DegreeMatcher", "IsoRank", "attribute_prior"]

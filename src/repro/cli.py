@@ -1,0 +1,299 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro.cli table2 [--scale small]
+    python -m repro.cli table3 [--scale small] [--np-ratios 5,10,20]
+    python -m repro.cli table4 [--scale small] [--sample-ratios 0.2,0.6,1.0]
+    python -m repro.cli fig3   [--scale small]
+    python -m repro.cli fig4   [--scale small]
+    python -m repro.cli fig5   [--scale small] [--budgets 10,25,50,75,100]
+    python -m repro.cli discover  [--max-length 4]   # auto meta paths
+    python -m repro.cli baselines [--scale small]    # unsupervised methods
+    python -m repro.cli validate  [--scale small]    # data integrity report
+    python -m repro.cli stats     [--scale small]    # per-structure stats
+
+Every command prints a plain-text analog of the corresponding paper
+artifact.  Defaults are sized for minutes-scale runs; raise ``--scale``
+and the sweep lists to approach the paper's full grid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Sequence
+
+from repro.datasets import foursquare_twitter_like
+from repro.eval.convergence import convergence_study, format_convergence
+from repro.eval.experiment import (
+    ExperimentOutcome,
+    MethodSpec,
+    run_experiment,
+    standard_methods,
+)
+from repro.eval.plots import ascii_line_chart, sparkline
+from repro.eval.protocol import ProtocolConfig
+from repro.eval.report import format_single_outcome, format_sweep_table
+from repro.eval.timing import format_timing, scalability_study
+from repro.networks.stats import aligned_pair_stats, format_table2
+
+
+def _parse_int_list(raw: str) -> List[int]:
+    return [int(item) for item in raw.split(",") if item]
+
+
+def _parse_float_list(raw: str) -> List[float]:
+    return [float(item) for item in raw.split(",") if item]
+
+
+def cmd_table2(args: argparse.Namespace) -> str:
+    """Dataset statistics (Table II analog)."""
+    pair = foursquare_twitter_like(scale=args.scale, seed=args.seed)
+    return format_table2(aligned_pair_stats(pair))
+
+
+def cmd_table3(args: argparse.Namespace) -> str:
+    """NP-ratio sweep (Table III analog)."""
+    pair = foursquare_twitter_like(scale=args.scale, seed=args.seed)
+    outcomes: Dict[object, ExperimentOutcome] = {}
+    for np_ratio in args.np_ratios:
+        config = ProtocolConfig(
+            np_ratio=np_ratio,
+            sample_ratio=args.sample_ratio,
+            n_repeats=args.repeats,
+            seed=args.seed,
+        )
+        outcomes[np_ratio] = run_experiment(pair, config)
+    return format_sweep_table(
+        f"Table III analog (sample-ratio={args.sample_ratio:.0%})",
+        "NP-ratio",
+        args.np_ratios,
+        outcomes,
+    )
+
+
+def cmd_table4(args: argparse.Namespace) -> str:
+    """Sample-ratio sweep (Table IV analog)."""
+    pair = foursquare_twitter_like(scale=args.scale, seed=args.seed)
+    outcomes: Dict[object, ExperimentOutcome] = {}
+    for sample_ratio in args.sample_ratios:
+        config = ProtocolConfig(
+            np_ratio=args.np_ratio,
+            sample_ratio=sample_ratio,
+            n_repeats=args.repeats,
+            seed=args.seed,
+        )
+        outcomes[sample_ratio] = run_experiment(pair, config)
+    return format_sweep_table(
+        f"Table IV analog (NP-ratio={args.np_ratio})",
+        "sample-ratio",
+        args.sample_ratios,
+        outcomes,
+    )
+
+
+def cmd_fig3(args: argparse.Namespace) -> str:
+    """Convergence traces (Figure 3 analog)."""
+    pair = foursquare_twitter_like(scale=args.scale, seed=args.seed)
+    traces = convergence_study(pair, np_ratios=args.np_ratios, seed=args.seed)
+    lines = [format_convergence(traces), ""]
+    for trace in traces:
+        lines.append(
+            f"  NP-ratio={trace.np_ratio:>3} trend: "
+            f"{sparkline(list(trace.deltas))}"
+        )
+    return "\n".join(lines)
+
+
+def cmd_fig4(args: argparse.Namespace) -> str:
+    """Scalability timing (Figure 4 analog)."""
+    pair = foursquare_twitter_like(scale=args.scale, seed=args.seed)
+    points = scalability_study(
+        pair, np_ratios=args.np_ratios, budget=args.budget, seed=args.seed
+    )
+    chart = ascii_line_chart(
+        {"ActiveIter": [(p.n_candidates, p.seconds) for p in points]},
+        x_label="|H|",
+        y_label="seconds",
+    )
+    return format_timing(points) + "\n\n" + chart
+
+
+def cmd_fig5(args: argparse.Namespace) -> str:
+    """Budget sweep (Figure 5 analog)."""
+    pair = foursquare_twitter_like(scale=args.scale, seed=args.seed)
+    blocks: List[str] = []
+    for budget in args.budgets:
+        methods: Sequence[MethodSpec] = [
+            MethodSpec(name=f"ActiveIter-{budget}", kind="active", budget=budget),
+            MethodSpec(
+                name=f"ActiveIter-Rand-{budget}",
+                kind="active",
+                budget=budget,
+                strategy="random",
+            ),
+            MethodSpec(name="Iter-MPMD", kind="iterative"),
+        ]
+        config = ProtocolConfig(
+            np_ratio=args.np_ratio,
+            sample_ratio=args.sample_ratio,
+            n_repeats=args.repeats,
+            seed=args.seed,
+        )
+        outcome = run_experiment(pair, config, methods)
+        blocks.append(format_single_outcome(f"budget b={budget}", outcome))
+    return "\n\n".join(blocks)
+
+
+def cmd_discover(args: argparse.Namespace) -> str:
+    """Automatic meta path discovery from the schema."""
+    from repro.meta.discovery import (
+        discover_inter_network_paths,
+        discover_standard_paths,
+    )
+
+    paths = discover_inter_network_paths(
+        max_length=args.max_length, include_words=args.words
+    )
+    standard = {
+        discovered.signature: name
+        for name, discovered in discover_standard_paths(
+            include_words=args.words
+        ).items()
+    }
+    lines = [
+        f"{len(paths)} inter-network meta paths up to length {args.max_length}",
+        f"{'len':>4} {'crossing':<10} {'paper':<6} signature",
+    ]
+    for path in paths:
+        label = standard.get(path.signature, "")
+        lines.append(
+            f"{path.length:>4} {path.crossing:<10} {label:<6} {path.signature}"
+        )
+    return "\n".join(lines)
+
+
+def cmd_baselines(args: argparse.Namespace) -> str:
+    """Unsupervised baselines vs label-free ActiveIter lower bound."""
+    from repro.baselines import DegreeMatcher, IsoRank
+
+    pair = foursquare_twitter_like(scale=args.scale, seed=args.seed)
+    k = pair.anchor_count()
+    lines = [
+        f"Unsupervised alignment on scale={args.scale} ({k} true anchors)",
+        f"{'method':<28}{'matched':>9}{'correct':>9}{'precision':>11}",
+    ]
+    methods = {
+        "DegreeMatcher": DegreeMatcher(),
+        "IsoRank (topology only)": IsoRank(use_attributes=False),
+        "IsoRank (+attributes)": IsoRank(use_attributes=True),
+    }
+    for name, model in methods.items():
+        matches = model.fit(pair).align(pair, top_k=k)
+        correct = sum(1 for match in matches if pair.is_anchor(match))
+        precision = correct / max(1, len(matches))
+        lines.append(
+            f"{name:<28}{len(matches):>9}{correct:>9}{precision:>11.3f}"
+        )
+    return "\n".join(lines)
+
+
+def cmd_validate(args: argparse.Namespace) -> str:
+    """Data integrity report for the generated dataset."""
+    from repro.networks.validation import check_aligned_pair, check_network
+
+    pair = foursquare_twitter_like(scale=args.scale, seed=args.seed)
+    reports = [
+        check_network(pair.left),
+        check_network(pair.right),
+        check_aligned_pair(pair),
+    ]
+    return "\n\n".join(report.format() for report in reports)
+
+
+def cmd_stats(args: argparse.Namespace) -> str:
+    """Per-structure support and separation statistics."""
+    from repro.meta.statistics import family_statistics, format_family_statistics
+
+    pair = foursquare_twitter_like(scale=args.scale, seed=args.seed)
+    return format_family_statistics(family_statistics(pair))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Regenerate tables/figures of the ActiveIter paper.",
+    )
+    parser.add_argument("--scale", default="small", help="dataset scale preset")
+    parser.add_argument("--seed", type=int, default=7, help="global seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table2", help="dataset statistics")
+
+    table3 = sub.add_parser("table3", help="NP-ratio sweep")
+    table3.add_argument(
+        "--np-ratios", type=_parse_int_list, default=[5, 10, 20, 50]
+    )
+    table3.add_argument("--sample-ratio", type=float, default=0.6)
+    table3.add_argument("--repeats", type=int, default=3)
+
+    table4 = sub.add_parser("table4", help="sample-ratio sweep")
+    table4.add_argument(
+        "--sample-ratios", type=_parse_float_list, default=[0.2, 0.6, 1.0]
+    )
+    table4.add_argument("--np-ratio", type=int, default=20)
+    table4.add_argument("--repeats", type=int, default=3)
+
+    fig3 = sub.add_parser("fig3", help="convergence traces")
+    fig3.add_argument("--np-ratios", type=_parse_int_list, default=[10, 30, 50])
+
+    fig4 = sub.add_parser("fig4", help="scalability timing")
+    fig4.add_argument(
+        "--np-ratios", type=_parse_int_list, default=[5, 10, 20, 30, 40, 50]
+    )
+    fig4.add_argument("--budget", type=int, default=50)
+
+    fig5 = sub.add_parser("fig5", help="budget sweep")
+    fig5.add_argument(
+        "--budgets", type=_parse_int_list, default=[10, 25, 50, 75, 100]
+    )
+    fig5.add_argument("--np-ratio", type=int, default=20)
+    fig5.add_argument("--sample-ratio", type=float, default=0.6)
+    fig5.add_argument("--repeats", type=int, default=3)
+
+    discover = sub.add_parser("discover", help="automatic meta path discovery")
+    discover.add_argument("--max-length", type=int, default=4)
+    discover.add_argument("--words", action="store_true")
+
+    sub.add_parser("baselines", help="unsupervised baseline comparison")
+    sub.add_parser("validate", help="dataset integrity report")
+    sub.add_parser("stats", help="meta structure statistics")
+
+    return parser
+
+
+_COMMANDS = {
+    "table2": cmd_table2,
+    "table3": cmd_table3,
+    "table4": cmd_table4,
+    "fig3": cmd_fig3,
+    "fig4": cmd_fig4,
+    "fig5": cmd_fig5,
+    "discover": cmd_discover,
+    "baselines": cmd_baselines,
+    "validate": cmd_validate,
+    "stats": cmd_stats,
+}
+
+
+def main(argv: Sequence[str] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    print(_COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

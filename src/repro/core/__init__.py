@@ -1,0 +1,17 @@
+"""Core alignment models: ActiveIter, Iter-MPMD and the SVM baselines."""
+
+from repro.core.activeiter import ActiveIter
+from repro.core.base import AlignmentModel, AlignmentResult, AlignmentTask
+from repro.core.itermpmd import IterMPMD
+from repro.core.pipeline import AlignmentPipeline
+from repro.core.svm_baselines import SVMAligner
+
+__all__ = [
+    "ActiveIter",
+    "AlignmentModel",
+    "AlignmentPipeline",
+    "AlignmentResult",
+    "AlignmentTask",
+    "IterMPMD",
+    "SVMAligner",
+]

@@ -1,0 +1,165 @@
+"""End-to-end alignment pipeline: networks in, anchor predictions out.
+
+:class:`AlignmentPipeline` wires the stages for the common use case —
+callers who just want predicted anchors from an aligned pair and a few
+labeled examples, without assembling tasks manually:
+
+    aligned pair + labeled links
+        -> meta diagram feature extraction (training anchors only)
+        -> model (ActiveIter / Iter-MPMD / SVM)
+        -> predicted anchor links
+
+The evaluation harness in :mod:`repro.eval` builds tasks directly for
+finer experimental control; this pipeline is the library's front door.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.active.oracle import LabelOracle
+from repro.active.strategies import QueryStrategy
+from repro.core.activeiter import ActiveIter
+from repro.core.base import AlignmentModel, AlignmentTask
+from repro.core.itermpmd import IterMPMD
+from repro.core.svm_baselines import SVMAligner
+from repro.exceptions import ModelError
+from repro.meta.diagrams import DiagramFamily
+from repro.meta.features import FeatureExtractor
+from repro.networks.aligned import AlignedPair
+from repro.types import Labeled, LinkPair
+
+
+class AlignmentPipeline:
+    """Feature extraction plus model fitting in one object.
+
+    Parameters
+    ----------
+    pair:
+        The aligned networks.
+    family:
+        Meta structure family for features (defaults to the full Φ).
+    include_words:
+        Forwarded to the feature extractor (enables P7 matrices).
+    feature_map:
+        Optional kernel feature map ``g`` (§III-C.1) applied to the
+        extracted proximity features; any object with
+        ``fit(X)``/``transform(X)`` works (see :mod:`repro.ml.kernels`).
+        ``None`` is the paper's linear kernel.
+    """
+
+    def __init__(
+        self,
+        pair: AlignedPair,
+        family: Optional[DiagramFamily] = None,
+        include_words: bool = False,
+        feature_map=None,
+    ) -> None:
+        self.pair = pair
+        self.family = family
+        self.include_words = include_words
+        self.feature_map = feature_map
+        self.extractor_: Optional[FeatureExtractor] = None
+        self.model_: Optional[AlignmentModel] = None
+        self.task_: Optional[AlignmentTask] = None
+
+    # ------------------------------------------------------------------
+    def build_task(
+        self,
+        candidates: Sequence[LinkPair],
+        labeled: Sequence[Labeled],
+    ) -> AlignmentTask:
+        """Extract features and assemble an :class:`AlignmentTask`.
+
+        Only the *positive* labeled links feed the anchor matrix used in
+        path counting, so test/unlabeled anchors never leak.
+        """
+        if not candidates:
+            raise ModelError("no candidate links supplied")
+        candidate_index = {pair: i for i, pair in enumerate(candidates)}
+        labeled_indices: List[int] = []
+        labeled_values: List[int] = []
+        for item in labeled:
+            try:
+                labeled_indices.append(candidate_index[item.pair])
+            except KeyError:
+                raise ModelError(
+                    f"labeled link {item.pair!r} is not in the candidate list"
+                ) from None
+            labeled_values.append(item.label)
+        known_anchors = [item.pair for item in labeled if item.label == 1]
+        self.extractor_ = FeatureExtractor(
+            self.pair,
+            family=self.family,
+            known_anchors=known_anchors,
+            include_words=self.include_words,
+        )
+        X = self.extractor_.extract(candidates)
+        if self.feature_map is not None:
+            self.feature_map.fit(X)
+            X = self.feature_map.transform(X)
+        self.task_ = AlignmentTask(
+            pairs=list(candidates),
+            X=X,
+            labeled_indices=np.asarray(labeled_indices, dtype=np.int64),
+            labeled_values=np.asarray(labeled_values, dtype=np.int64),
+        )
+        return self.task_
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        candidates: Sequence[LinkPair],
+        labeled: Sequence[Labeled],
+        model: Optional[AlignmentModel] = None,
+    ) -> List[LinkPair]:
+        """Fit a model and return its predicted anchor links.
+
+        ``model`` defaults to :class:`~repro.core.itermpmd.IterMPMD`.
+        """
+        task = self.build_task(candidates, labeled)
+        self.model_ = model if model is not None else IterMPMD()
+        self.model_.fit(task)
+        return self.model_.predicted_anchors()
+
+    def run_active(
+        self,
+        candidates: Sequence[LinkPair],
+        labeled: Sequence[Labeled],
+        budget: int,
+        strategy: Optional[QueryStrategy] = None,
+        batch_size: int = 5,
+        refresh_features: bool = False,
+    ) -> List[LinkPair]:
+        """Fit ActiveIter with an oracle built from the pair's ground truth.
+
+        The oracle answers from ``pair.anchors`` — appropriate for
+        benchmark/simulation settings where ground truth exists.  For
+        real deployments construct :class:`ActiveIter` directly with a
+        custom oracle.
+        """
+        task = self.build_task(candidates, labeled)
+        oracle = LabelOracle(self.pair.anchors, budget=budget)
+        self.model_ = ActiveIter(
+            oracle=oracle,
+            strategy=strategy,
+            batch_size=batch_size,
+            feature_extractor=self.extractor_ if refresh_features else None,
+            refresh_features=refresh_features,
+        )
+        self.model_.fit(task)
+        return self.model_.predicted_anchors()
+
+    def run_svm(
+        self,
+        candidates: Sequence[LinkPair],
+        labeled: Sequence[Labeled],
+        C: float = 1.0,
+    ) -> List[LinkPair]:
+        """Fit the SVM baseline over the pipeline's feature family."""
+        task = self.build_task(candidates, labeled)
+        self.model_ = SVMAligner(C=C)
+        self.model_.fit(task)
+        return self.model_.predicted_anchors()

@@ -1,0 +1,70 @@
+"""SVM-MP and SVM-MPMD baseline aligners (§IV-B.2).
+
+Both are plain supervised linear SVMs trained on the labeled candidates
+and applied to the rest; they differ only in the feature family used
+upstream (meta paths only vs paths + meta diagrams), which is decided by
+the caller when extracting features.  They apply **no** one-to-one
+constraint and no PU iteration — that is the point of the comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import AlignmentModel, AlignmentResult, AlignmentTask
+from repro.exceptions import ModelError
+from repro.ml.scaling import StandardScaler
+from repro.ml.svm import LinearSVC
+
+
+class SVMAligner(AlignmentModel):
+    """Supervised SVM aligner over precomputed link features.
+
+    Parameters
+    ----------
+    C:
+        SVM inverse regularization strength.
+    scale_features:
+        Standardize features on the labeled rows before fitting.
+    seed:
+        Seed for the SVM optimizer's coordinate shuffling.
+    """
+
+    def __init__(
+        self, C: float = 1.0, scale_features: bool = True, seed: int = 0
+    ) -> None:
+        super().__init__()
+        self.C = float(C)
+        self.scale_features = bool(scale_features)
+        self.seed = int(seed)
+        self.svc_: Optional[LinearSVC] = None
+        self.scaler_: Optional[StandardScaler] = None
+
+    def fit(self, task: AlignmentTask) -> "SVMAligner":
+        """Train on the labeled candidates, label every candidate."""
+        if task.labeled_indices.size == 0:
+            raise ModelError("SVMAligner requires at least one labeled link")
+        self.task_ = task
+        X = task.X
+        if self.scale_features:
+            self.scaler_ = StandardScaler()
+            self.scaler_.fit(X[task.labeled_indices])
+            X = self.scaler_.transform(X)
+
+        self.svc_ = LinearSVC(C=self.C, seed=self.seed)
+        self.svc_.fit(X[task.labeled_indices], task.labeled_values)
+
+        scores = self.svc_.decision_function(X)
+        labels = (scores > 0).astype(np.int64)
+        # Known labels are known: keep them clamped in the output.
+        labels[task.labeled_indices] = task.labeled_values
+        self.result_ = AlignmentResult(
+            labels=labels,
+            scores=scores,
+            queried=(),
+            convergence_trace=(),
+            n_rounds=1,
+        )
+        return self

@@ -1,0 +1,8 @@
+"""Dataset presets (Table-II-shaped synthetic stand-ins)."""
+
+from repro.datasets.foursquare_twitter import (
+    foursquare_twitter_config,
+    foursquare_twitter_like,
+)
+
+__all__ = ["foursquare_twitter_config", "foursquare_twitter_like"]

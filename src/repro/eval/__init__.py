@@ -1,0 +1,82 @@
+"""Evaluation harness: protocol, experiment runner, studies, reporting."""
+
+from repro.eval.convergence import (
+    ConvergenceTrace,
+    convergence_study,
+    format_convergence,
+)
+from repro.eval.experiment import (
+    ExperimentOutcome,
+    MethodResult,
+    MethodSpec,
+    run_experiment,
+    run_split,
+    standard_methods,
+)
+from repro.eval.persistence import (
+    load_outcome,
+    outcome_from_dict,
+    outcome_to_dict,
+    save_outcome,
+)
+from repro.eval.plots import ascii_line_chart, sparkline
+from repro.eval.protocol import (
+    ExperimentSplit,
+    ProtocolConfig,
+    assign_folds,
+    build_splits,
+    sample_negatives,
+)
+from repro.eval.significance import (
+    PairedComparison,
+    bootstrap_mean_ci,
+    compare_methods,
+    comparison_table,
+)
+from repro.eval.sweeps import SweepRunner
+from repro.eval.report import (
+    format_cell,
+    format_single_outcome,
+    format_sweep_table,
+)
+from repro.eval.timing import (
+    TimingPoint,
+    fit_linear_trend,
+    format_timing,
+    scalability_study,
+)
+
+__all__ = [
+    "ConvergenceTrace",
+    "ExperimentOutcome",
+    "ExperimentSplit",
+    "MethodResult",
+    "MethodSpec",
+    "PairedComparison",
+    "ProtocolConfig",
+    "SweepRunner",
+    "TimingPoint",
+    "ascii_line_chart",
+    "assign_folds",
+    "bootstrap_mean_ci",
+    "build_splits",
+    "compare_methods",
+    "comparison_table",
+    "convergence_study",
+    "fit_linear_trend",
+    "format_cell",
+    "format_convergence",
+    "format_single_outcome",
+    "format_sweep_table",
+    "format_timing",
+    "load_outcome",
+    "outcome_from_dict",
+    "outcome_to_dict",
+    "run_experiment",
+    "run_split",
+    "sample_negatives",
+    "save_outcome",
+    "sparkline",
+    "scalability_study",
+    "standard_methods",
+]

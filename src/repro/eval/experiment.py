@@ -1,0 +1,253 @@
+"""Experiment runner: the paper's method lineup over protocol splits.
+
+Runs any subset of {ActiveIter-b, ActiveIter-Rand-b, Iter-MPMD,
+SVM-MPMD, SVM-MP} on the splits produced by
+:mod:`repro.eval.protocol`, computing the four paper metrics on the
+test set (with queried links removed for active methods) and
+aggregating mean ± std across fold rotations.
+
+Feature economy: the full-family feature matrix is extracted once per
+split; the meta-path-only matrix of SVM-MP is a *column subset* of it,
+so adding SVM-MP costs no extra counting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.active.oracle import LabelOracle
+from repro.active.strategies import (
+    ConflictFalseNegativeStrategy,
+    MarginQueryStrategy,
+    RandomQueryStrategy,
+)
+from repro.core.activeiter import ActiveIter
+from repro.core.base import AlignmentModel, AlignmentTask
+from repro.core.itermpmd import IterMPMD
+from repro.core.svm_baselines import SVMAligner
+from repro.exceptions import ExperimentError
+from repro.eval.protocol import ExperimentSplit, ProtocolConfig, build_splits
+from repro.meta.diagrams import standard_diagram_family
+from repro.meta.features import FeatureExtractor
+from repro.ml.metrics import ClassificationReport, classification_report
+from repro.networks.aligned import AlignedPair
+
+#: Query strategies addressable from a MethodSpec.
+_STRATEGIES = {
+    "conflict": ConflictFalseNegativeStrategy,
+    "random": RandomQueryStrategy,
+    "margin": MarginQueryStrategy,
+}
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """Declarative description of one comparison method.
+
+    Attributes
+    ----------
+    name:
+        Display name (also the result key).
+    kind:
+        ``"active"`` (ActiveIter family), ``"iterative"`` (Iter-MPMD) or
+        ``"svm"``.
+    features:
+        ``"full"`` for paths + meta diagrams (MPMD), ``"paths"`` for
+        meta paths only (MP).
+    budget:
+        Query budget b (active methods only).
+    strategy:
+        ``"conflict"``, ``"random"`` or ``"margin"`` (active only).
+    batch_size:
+        Labels per query round k (active only).
+    svm_C:
+        SVM regularization (svm only).
+    """
+
+    name: str
+    kind: str
+    features: str = "full"
+    budget: int = 0
+    strategy: str = "conflict"
+    batch_size: int = 5
+    svm_C: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("active", "iterative", "svm"):
+            raise ExperimentError(f"unknown method kind {self.kind!r}")
+        if self.features not in ("full", "paths"):
+            raise ExperimentError(f"unknown feature set {self.features!r}")
+        if self.kind == "active" and self.budget < 1:
+            raise ExperimentError("active methods need budget >= 1")
+        if self.strategy not in _STRATEGIES:
+            raise ExperimentError(f"unknown strategy {self.strategy!r}")
+
+
+def standard_methods(
+    budgets: Sequence[int] = (100, 50), random_budget: int = 50
+) -> List[MethodSpec]:
+    """The paper's Table III/IV lineup."""
+    methods = [
+        MethodSpec(name=f"ActiveIter-{b}", kind="active", budget=b)
+        for b in budgets
+    ]
+    methods.append(
+        MethodSpec(
+            name=f"ActiveIter-Rand-{random_budget}",
+            kind="active",
+            budget=random_budget,
+            strategy="random",
+        )
+    )
+    methods.extend(
+        [
+            MethodSpec(name="Iter-MPMD", kind="iterative"),
+            MethodSpec(name="SVM-MPMD", kind="svm"),
+            MethodSpec(name="SVM-MP", kind="svm", features="paths"),
+        ]
+    )
+    return methods
+
+
+@dataclass
+class MethodResult:
+    """Aggregated metrics of one method across fold rotations."""
+
+    name: str
+    reports: List[ClassificationReport] = field(default_factory=list)
+    runtimes: List[float] = field(default_factory=list)
+
+    def mean(self, metric: str) -> float:
+        """Mean of a metric across rotations."""
+        return float(np.mean([r.as_dict()[metric] for r in self.reports]))
+
+    def std(self, metric: str) -> float:
+        """Standard deviation of a metric across rotations."""
+        return float(np.std([r.as_dict()[metric] for r in self.reports]))
+
+    @property
+    def mean_runtime(self) -> float:
+        """Mean wall-clock fit time (seconds)."""
+        return float(np.mean(self.runtimes)) if self.runtimes else 0.0
+
+    def summary(self) -> Dict[str, Tuple[float, float]]:
+        """metric -> (mean, std) map."""
+        return {
+            metric: (self.mean(metric), self.std(metric))
+            for metric in ("f1", "precision", "recall", "accuracy")
+        }
+
+
+@dataclass
+class ExperimentOutcome:
+    """All method results of one experiment configuration."""
+
+    config: ProtocolConfig
+    methods: Dict[str, MethodResult]
+
+    def method(self, name: str) -> MethodResult:
+        """Result of one method by name."""
+        try:
+            return self.methods[name]
+        except KeyError:
+            raise ExperimentError(f"no results for method {name!r}") from None
+
+
+def _paths_feature_columns(family, include_bias: bool = True) -> List[int]:
+    """Column indices of the meta-path features inside the full matrix."""
+    names = family.feature_names
+    columns = [i for i, name in enumerate(names) if name in
+               {p.name for p in family.paths}]
+    if include_bias:
+        columns.append(len(names))  # trailing bias column
+    return columns
+
+
+def _build_model(spec: MethodSpec, split: ExperimentSplit, seed: int) -> AlignmentModel:
+    """Instantiate the model described by ``spec`` for one split."""
+    if spec.kind == "svm":
+        return SVMAligner(C=spec.svm_C, seed=seed)
+    if spec.kind == "iterative":
+        return IterMPMD()
+    positives = {
+        split.candidates[i]
+        for i in range(len(split.candidates))
+        if split.truth[i] == 1
+    }
+    oracle = LabelOracle(positives, budget=spec.budget)
+    if spec.strategy == "random":
+        strategy = RandomQueryStrategy(seed=seed)
+    else:
+        strategy = _STRATEGIES[spec.strategy]()
+    return ActiveIter(
+        oracle=oracle, strategy=strategy, batch_size=spec.batch_size
+    )
+
+
+def run_split(
+    pair: AlignedPair,
+    split: ExperimentSplit,
+    methods: Sequence[MethodSpec],
+    seed: int = 0,
+) -> Dict[str, Tuple[ClassificationReport, float]]:
+    """Run every method on one split; returns name -> (report, runtime)."""
+    family = standard_diagram_family()
+    extractor = FeatureExtractor(
+        pair, family=family, known_anchors=split.train_positive_pairs
+    )
+    X_full = extractor.extract(list(split.candidates))
+    path_columns = _paths_feature_columns(family)
+    X_paths = X_full[:, path_columns]
+
+    results: Dict[str, Tuple[ClassificationReport, float]] = {}
+    for spec in methods:
+        X = X_paths if spec.features == "paths" else X_full
+        task = AlignmentTask(
+            pairs=list(split.candidates),
+            X=X.copy(),
+            labeled_indices=split.train_indices,
+            labeled_values=split.truth[split.train_indices],
+        )
+        model = _build_model(spec, split, seed)
+        started = time.perf_counter()
+        model.fit(task)
+        runtime = time.perf_counter() - started
+
+        queried_pairs = {pair_ for pair_, _ in model.queried_}
+        test_indices = np.array(
+            [
+                i
+                for i in split.test_indices
+                if split.candidates[i] not in queried_pairs
+            ],
+            dtype=np.int64,
+        )
+        report = classification_report(
+            split.truth[test_indices], model.labels_[test_indices]
+        )
+        results[spec.name] = (report, runtime)
+    return results
+
+
+def run_experiment(
+    pair: AlignedPair,
+    config: ProtocolConfig,
+    methods: Optional[Sequence[MethodSpec]] = None,
+) -> ExperimentOutcome:
+    """Run the full protocol: all fold rotations, all methods."""
+    if methods is None:
+        methods = standard_methods()
+    outcome = ExperimentOutcome(
+        config=config,
+        methods={spec.name: MethodResult(name=spec.name) for spec in methods},
+    )
+    for split in build_splits(pair, config):
+        per_method = run_split(pair, split, methods, seed=config.seed + split.fold)
+        for name, (report, runtime) in per_method.items():
+            outcome.methods[name].reports.append(report)
+            outcome.methods[name].runtimes.append(runtime)
+    return outcome

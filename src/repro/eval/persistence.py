@@ -1,0 +1,70 @@
+"""JSON persistence of experiment outcomes.
+
+Long sweeps are expensive; this module serializes
+:class:`~repro.eval.experiment.ExperimentOutcome` objects (per-fold
+reports and runtimes, not just aggregates) so results can be archived,
+diffed across runs and re-rendered into tables without recomputation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.eval.experiment import ExperimentOutcome, MethodResult
+from repro.eval.protocol import ProtocolConfig
+from repro.exceptions import ExperimentError
+from repro.ml.metrics import ClassificationReport
+
+_FORMAT_VERSION = 1
+
+
+def outcome_to_dict(outcome: ExperimentOutcome) -> Dict:
+    """Serialize an outcome (full per-fold detail) to a plain dict."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "config": {
+            "np_ratio": outcome.config.np_ratio,
+            "sample_ratio": outcome.config.sample_ratio,
+            "n_folds": outcome.config.n_folds,
+            "n_repeats": outcome.config.n_repeats,
+            "seed": outcome.config.seed,
+        },
+        "methods": {
+            name: {
+                "reports": [report.as_dict() for report in result.reports],
+                "runtimes": list(result.runtimes),
+            }
+            for name, result in outcome.methods.items()
+        },
+    }
+
+
+def outcome_from_dict(payload: Dict) -> ExperimentOutcome:
+    """Inverse of :func:`outcome_to_dict`."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ExperimentError(
+            f"unsupported outcome format version {version!r}"
+        )
+    config = ProtocolConfig(**payload["config"])
+    methods: Dict[str, MethodResult] = {}
+    for name, data in payload["methods"].items():
+        result = MethodResult(name=name)
+        result.reports = [
+            ClassificationReport(**report) for report in data["reports"]
+        ]
+        result.runtimes = list(data["runtimes"])
+        methods[name] = result
+    return ExperimentOutcome(config=config, methods=methods)
+
+
+def save_outcome(outcome: ExperimentOutcome, path: Union[str, Path]) -> None:
+    """Write an outcome to a JSON file."""
+    Path(path).write_text(json.dumps(outcome_to_dict(outcome), indent=2))
+
+
+def load_outcome(path: Union[str, Path]) -> ExperimentOutcome:
+    """Read an outcome from a JSON file."""
+    return outcome_from_dict(json.loads(Path(path).read_text()))

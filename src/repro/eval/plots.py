@@ -1,0 +1,83 @@
+"""ASCII plotting for the paper's figures.
+
+Terminal-friendly line charts so ``python -m repro.cli fig3|fig4|fig5``
+can render *figure-shaped* output, not just tables.  Pure text — no
+plotting dependency exists in this environment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import ExperimentError
+
+#: Marker characters cycled across series.
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_line_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series as an ASCII chart with a legend.
+
+    Points are plotted on a shared axis range; later series overwrite
+    earlier ones on collisions (collisions render the later marker).
+    """
+    if not series:
+        raise ExperimentError("no series to plot")
+    points = [p for values in series.values() for p in values]
+    if not points:
+        raise ExperimentError("series contain no points")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in values:
+            column = int(round((x - x_min) / x_span * (width - 1)))
+            row = height - 1 - int(round((y - y_min) / y_span * (height - 1)))
+            grid[row][column] = marker
+
+    lines: List[str] = []
+    top_label = f"{y_max:.3g}"
+    bottom_label = f"{y_min:.3g}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(gutter)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_axis = f"{x_min:.3g}".ljust(width - 8) + f"{x_max:.3g}".rjust(8)
+    lines.append(" " * (gutter + 1) + x_axis)
+    lines.append(" " * (gutter + 1) + f"({x_label} -> ; {y_label} ^)")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * (gutter + 1) + legend)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend rendering (used for convergence traces)."""
+    if not values:
+        raise ExperimentError("no values to render")
+    blocks = " ▁▂▃▄▅▆▇█"
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    return "".join(
+        blocks[int((value - low) / span * (len(blocks) - 1))] for value in values
+    )

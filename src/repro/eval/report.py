@@ -1,0 +1,96 @@
+"""Paper-style table rendering for experiment outcomes.
+
+Tables III/IV print one block per metric, one row per method and one
+column per sweep value, each cell ``mean±std`` — the same layout the
+paper uses, so side-by-side comparison with the published numbers is
+mechanical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.eval.experiment import ExperimentOutcome
+
+_METRICS = ("f1", "precision", "recall", "accuracy")
+
+
+def format_cell(mean: float, std: float) -> str:
+    """Render one ``mean±std`` cell, paper-style."""
+    return f"{mean:.3f}±{std:.2f}"
+
+
+def format_sweep_table(
+    title: str,
+    sweep_label: str,
+    sweep_values: Sequence,
+    outcomes: Dict[object, ExperimentOutcome],
+    metrics: Sequence[str] = _METRICS,
+) -> str:
+    """Render a Table III/IV style sweep.
+
+    Parameters
+    ----------
+    title:
+        Table caption.
+    sweep_label:
+        Name of the swept parameter (column header).
+    sweep_values:
+        Ordered sweep values; each must be a key of ``outcomes``.
+    outcomes:
+        sweep value -> :class:`ExperimentOutcome`.
+    metrics:
+        Metrics to print (defaults to the paper's four).
+    """
+    method_names: List[str] = []
+    for value in sweep_values:
+        for name in outcomes[value].methods:
+            if name not in method_names:
+                method_names.append(name)
+
+    method_width = max(len(name) for name in method_names) + 2
+    cell_width = 12
+    lines = [title, "=" * len(title)]
+    header = f"{sweep_label:<{method_width}}" + "".join(
+        f"{str(value):>{cell_width}}" for value in sweep_values
+    )
+    for metric in metrics:
+        lines.append("")
+        lines.append(f"[{metric.upper()}]")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name in method_names:
+            cells = []
+            for value in sweep_values:
+                result = outcomes[value].methods.get(name)
+                if result is None or not result.reports:
+                    cells.append("-")
+                else:
+                    cells.append(format_cell(result.mean(metric), result.std(metric)))
+            lines.append(
+                f"{name:<{method_width}}"
+                + "".join(f"{cell:>{cell_width}}" for cell in cells)
+            )
+    return "\n".join(lines)
+
+
+def format_single_outcome(title: str, outcome: ExperimentOutcome) -> str:
+    """Render one configuration's outcome as a compact table."""
+    method_names = list(outcome.methods)
+    method_width = max(len(name) for name in method_names) + 2
+    lines = [title, "=" * len(title)]
+    header = f"{'method':<{method_width}}" + "".join(
+        f"{metric:>12}" for metric in _METRICS
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in method_names:
+        result = outcome.methods[name]
+        cells = [
+            format_cell(result.mean(metric), result.std(metric))
+            for metric in _METRICS
+        ]
+        lines.append(
+            f"{name:<{method_width}}" + "".join(f"{cell:>12}" for cell in cells)
+        )
+    return "\n".join(lines)

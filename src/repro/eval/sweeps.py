@@ -1,0 +1,99 @@
+"""Parameter sweep runner with result persistence.
+
+Tables III/IV and Figure 5 are sweeps of one protocol parameter.
+:class:`SweepRunner` structures that pattern: declare the axis, run
+every point (skipping points whose results already exist on disk), and
+collect the outcomes for table rendering.  Interrupted sweeps resume
+for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.eval.experiment import (
+    ExperimentOutcome,
+    MethodSpec,
+    run_experiment,
+)
+from repro.eval.persistence import load_outcome, save_outcome
+from repro.eval.protocol import ProtocolConfig
+from repro.exceptions import ExperimentError
+from repro.networks.aligned import AlignedPair
+
+#: Sweepable ProtocolConfig fields.
+_AXES = ("np_ratio", "sample_ratio")
+
+
+class SweepRunner:
+    """Run one experiment per value of a protocol parameter.
+
+    Parameters
+    ----------
+    pair:
+        The aligned networks.
+    base_config:
+        Protocol configuration; the swept field is replaced per point.
+    axis:
+        ``"np_ratio"`` or ``"sample_ratio"``.
+    methods:
+        Method lineup (defaults handled by :func:`run_experiment`).
+    cache_dir:
+        When given, each point's outcome is persisted as
+        ``<axis>=<value>.json`` there and reloaded on reruns.
+    """
+
+    def __init__(
+        self,
+        pair: AlignedPair,
+        base_config: ProtocolConfig,
+        axis: str,
+        methods: Optional[Sequence[MethodSpec]] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if axis not in _AXES:
+            raise ExperimentError(
+                f"unknown sweep axis {axis!r}; choose from {_AXES}"
+            )
+        self.pair = pair
+        self.base_config = base_config
+        self.axis = axis
+        self.methods = methods
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.outcomes: Dict[object, ExperimentOutcome] = {}
+
+    def _cache_path(self, value) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{self.axis}={value}.json"
+
+    def run_point(self, value) -> ExperimentOutcome:
+        """Run (or reload) one sweep point."""
+        cache_path = self._cache_path(value)
+        if cache_path is not None and cache_path.exists():
+            outcome = load_outcome(cache_path)
+        else:
+            config = replace(self.base_config, **{self.axis: value})
+            outcome = run_experiment(self.pair, config, self.methods)
+            if cache_path is not None:
+                cache_path.parent.mkdir(parents=True, exist_ok=True)
+                save_outcome(outcome, cache_path)
+        self.outcomes[value] = outcome
+        return outcome
+
+    def run(self, values: Sequence) -> Dict[object, ExperimentOutcome]:
+        """Run every sweep point in order; returns value -> outcome."""
+        for value in values:
+            self.run_point(value)
+        return dict(self.outcomes)
+
+    def series(
+        self, method: str, metric: str = "f1"
+    ) -> List[tuple]:
+        """(value, mean metric) series for plotting one method."""
+        points = []
+        for value, outcome in self.outcomes.items():
+            points.append((value, outcome.method(method).mean(metric)))
+        return sorted(points, key=lambda item: item[0])

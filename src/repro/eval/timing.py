@@ -1,0 +1,112 @@
+"""Scalability analysis harness (Figure 4).
+
+Measures end-to-end ActiveIter fit time while the NP-ratio θ (and with
+it the candidate count |H| = (1 + θ)·|L+|) grows.  The paper's claim is
+*near-linear* growth; :func:`fit_linear_trend` quantifies it with a
+least-squares line and its R².
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.active.oracle import LabelOracle
+from repro.core.activeiter import ActiveIter
+from repro.core.base import AlignmentTask
+from repro.eval.protocol import ProtocolConfig, build_splits
+from repro.meta.features import FeatureExtractor
+from repro.networks.aligned import AlignedPair
+
+
+@dataclass(frozen=True)
+class TimingPoint:
+    """Wall-clock measurement at one NP-ratio."""
+
+    np_ratio: int
+    n_candidates: int
+    seconds: float
+
+
+def scalability_study(
+    pair: AlignedPair,
+    np_ratios: Sequence[int] = (5, 10, 20, 30, 40, 50),
+    budget: int = 50,
+    sample_ratio: float = 1.0,
+    seed: int = 13,
+) -> List[TimingPoint]:
+    """Time one ActiveIter fit per NP-ratio (features pre-extracted).
+
+    Feature extraction cost is excluded: the paper's complexity analysis
+    (§III-E) concerns the learning loop, and extraction is a fixed
+    preprocessing stage shared by every method.
+    """
+    points: List[TimingPoint] = []
+    for np_ratio in np_ratios:
+        config = ProtocolConfig(
+            np_ratio=np_ratio,
+            sample_ratio=sample_ratio,
+            n_repeats=1,
+            seed=seed,
+        )
+        split = next(iter(build_splits(pair, config)))
+        extractor = FeatureExtractor(
+            pair, known_anchors=split.train_positive_pairs
+        )
+        task = AlignmentTask(
+            pairs=list(split.candidates),
+            X=extractor.extract(list(split.candidates)),
+            labeled_indices=split.train_indices,
+            labeled_values=split.truth[split.train_indices],
+        )
+        positives = {
+            split.candidates[i]
+            for i in range(len(split.candidates))
+            if split.truth[i] == 1
+        }
+        model = ActiveIter(LabelOracle(positives, budget=budget))
+        started = time.perf_counter()
+        model.fit(task)
+        elapsed = time.perf_counter() - started
+        points.append(
+            TimingPoint(
+                np_ratio=np_ratio,
+                n_candidates=len(split.candidates),
+                seconds=elapsed,
+            )
+        )
+    return points
+
+
+def fit_linear_trend(points: Sequence[TimingPoint]) -> Tuple[float, float, float]:
+    """Least-squares ``seconds ~ a * n_candidates + b`` with R².
+
+    Returns ``(slope, intercept, r_squared)``; an R² near 1 supports the
+    paper's near-linear scalability claim.
+    """
+    x = np.array([p.n_candidates for p in points], dtype=np.float64)
+    y = np.array([p.seconds for p in points], dtype=np.float64)
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    total = float(((y - y.mean()) ** 2).sum())
+    residual = float(((y - predicted) ** 2).sum())
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return float(slope), float(intercept), r_squared
+
+
+def format_timing(points: Sequence[TimingPoint]) -> str:
+    """Plain-text rendering of Figure 4."""
+    lines = ["Scalability analysis (ActiveIter fit time)"]
+    lines.append(f"{'NP-ratio':>8}  {'|H|':>8}  {'seconds':>9}")
+    for point in points:
+        lines.append(
+            f"{point.np_ratio:>8}  {point.n_candidates:>8}  {point.seconds:>9.4f}"
+        )
+    slope, intercept, r_squared = fit_linear_trend(points)
+    lines.append(
+        f"linear fit: {slope:.3e} s/link + {intercept:.3e}s  (R^2={r_squared:.3f})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Stable-marriage style one-to-one selection (alternative matcher).
+
+A third matcher for robustness studies: score-based Gale–Shapley.  Each
+left user proposes to right users in decreasing score order; right users
+hold their best proposal so far.  The result is stable with respect to
+the score lists and respects the one-to-one constraint by construction.
+Not part of the paper — included because matcher choice is a natural
+design-ablation axis for cardinality-constrained alignment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConstraintViolationError
+from repro.types import LinkPair, NodeId
+
+
+def stable_link_selection(
+    pairs: Sequence[LinkPair],
+    scores: np.ndarray,
+    threshold: float = 0.5,
+    blocked_left: Optional[Iterable[NodeId]] = None,
+    blocked_right: Optional[Iterable[NodeId]] = None,
+) -> np.ndarray:
+    """Gale–Shapley selection over candidates scoring above ``threshold``."""
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if scores.shape[0] != len(pairs):
+        raise ConstraintViolationError(
+            f"{scores.shape[0]} scores for {len(pairs)} candidate links"
+        )
+    blocked_left_set: Set[NodeId] = set(blocked_left) if blocked_left else set()
+    blocked_right_set: Set[NodeId] = set(blocked_right) if blocked_right else set()
+
+    # Preference lists: per left user, admissible candidates best-first.
+    preferences: Dict[NodeId, List[int]] = {}
+    for index, (left_user, right_user) in enumerate(pairs):
+        if scores[index] <= threshold:
+            continue
+        if left_user in blocked_left_set or right_user in blocked_right_set:
+            continue
+        preferences.setdefault(left_user, []).append(index)
+    for left_user in preferences:
+        preferences[left_user].sort(key=lambda idx: -scores[idx])
+
+    next_proposal: Dict[NodeId, int] = {user: 0 for user in preferences}
+    engaged_right: Dict[NodeId, Tuple[float, int]] = {}
+    engaged_left: Dict[NodeId, int] = {}
+    free = list(preferences)
+
+    while free:
+        left_user = free.pop()
+        choices = preferences[left_user]
+        while next_proposal[left_user] < len(choices):
+            index = choices[next_proposal[left_user]]
+            next_proposal[left_user] += 1
+            right_user = pairs[index][1]
+            current = engaged_right.get(right_user)
+            if current is None:
+                engaged_right[right_user] = (scores[index], index)
+                engaged_left[left_user] = index
+                break
+            if scores[index] > current[0]:
+                # Displace the weaker partner, who re-enters the pool.
+                displaced_index = current[1]
+                displaced_left = pairs[displaced_index][0]
+                engaged_right[right_user] = (scores[index], index)
+                engaged_left[left_user] = index
+                del engaged_left[displaced_left]
+                free.append(displaced_left)
+                break
+
+    labels = np.zeros(len(pairs), dtype=np.int64)
+    for index in engaged_left.values():
+        labels[index] = 1
+    return labels

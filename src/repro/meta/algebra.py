@@ -1,0 +1,263 @@
+"""Sparse count algebra for meta paths and meta diagrams.
+
+A meta structure's instance-count matrix is expressible as a small
+expression tree over the network's typed adjacency matrices:
+
+* :class:`Leaf` — one typed adjacency (optionally transposed);
+* :class:`Chain` — concatenation of segments: sparse matrix product
+  (counts paths through a shared junction node type);
+* :class:`Parallel` — stacking of segments between the *same* pair of
+  junction node types: Hadamard (elementwise) product, because a diagram
+  instance must realize every stacked branch through the same junction
+  nodes.
+
+This algebra realizes Definition 5's meta diagrams for counting purposes:
+``count(P1 x P2) = (F1 ∘ F1ᵀ) · A · (F2ᵀ ∘ F2)`` and so on, and is
+validated against brute-force subgraph enumeration in the test suite.
+
+Expressions have canonical structural keys so a memoizing evaluator can
+share subresults between diagrams — the covering-set reuse optimization
+of Section III-B.3 (a diagram containing an already-computed diagram
+reuses its product).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from scipy import sparse
+
+from repro.exceptions import MetaStructureError
+
+#: A bag of named typed adjacency matrices, e.g. ``{"F1": csr, "A": csr}``.
+MatrixBag = Dict[str, sparse.csr_matrix]
+
+
+class Expr:
+    """Base class of count-algebra expressions."""
+
+    def key(self) -> str:
+        """Canonical structural key; equal keys imply equal matrices."""
+        raise NotImplementedError
+
+    def evaluate(self, matrices: MatrixBag) -> sparse.csr_matrix:
+        """Evaluate without memoization (see :class:`CountingEngine`)."""
+        raise NotImplementedError
+
+    def leaves(self) -> Tuple[str, ...]:
+        """All leaf matrix names referenced by this expression."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.key()})"
+
+
+class Leaf(Expr):
+    """Reference to one named typed adjacency matrix.
+
+    Parameters
+    ----------
+    name:
+        Key into the matrix bag (e.g. ``"F1"``).
+    transpose:
+        Whether to use the transposed matrix.
+    """
+
+    def __init__(self, name: str, transpose: bool = False) -> None:
+        if not name:
+            raise MetaStructureError("leaf matrix name must be non-empty")
+        self.name = name
+        self.transpose = transpose
+
+    def key(self) -> str:
+        return f"{self.name}^T" if self.transpose else self.name
+
+    def evaluate(self, matrices: MatrixBag) -> sparse.csr_matrix:
+        try:
+            matrix = matrices[self.name]
+        except KeyError:
+            raise MetaStructureError(
+                f"matrix {self.name!r} missing from the matrix bag"
+            ) from None
+        if self.transpose:
+            return matrix.transpose().tocsr()
+        return matrix.tocsr()
+
+    def leaves(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+    @property
+    def T(self) -> "Leaf":
+        """The transposed leaf."""
+        return Leaf(self.name, transpose=not self.transpose)
+
+
+class Chain(Expr):
+    """Matrix product of two or more segments (path concatenation)."""
+
+    def __init__(self, segments: Sequence[Expr]) -> None:
+        flattened = []
+        for segment in segments:
+            if isinstance(segment, Chain):
+                flattened.extend(segment.segments)
+            else:
+                flattened.append(segment)
+        if len(flattened) < 2:
+            raise MetaStructureError("Chain needs at least two segments")
+        self.segments: Tuple[Expr, ...] = tuple(flattened)
+
+    def key(self) -> str:
+        return "(" + "@".join(segment.key() for segment in self.segments) + ")"
+
+    def evaluate(self, matrices: MatrixBag) -> sparse.csr_matrix:
+        result = self.segments[0].evaluate(matrices)
+        for segment in self.segments[1:]:
+            operand = segment.evaluate(matrices)
+            if result.shape[1] != operand.shape[0]:
+                raise MetaStructureError(
+                    f"chain shape mismatch: {result.shape} @ {operand.shape} "
+                    f"in {self.key()}"
+                )
+            result = (result @ operand).tocsr()
+        return result
+
+    def leaves(self) -> Tuple[str, ...]:
+        names: Tuple[str, ...] = ()
+        for segment in self.segments:
+            names += segment.leaves()
+        return names
+
+
+class Parallel(Expr):
+    """Hadamard product of two or more branches (path stacking).
+
+    Branch order is canonicalized (Hadamard is commutative) so logically
+    identical stackings share a memoization key.
+    """
+
+    def __init__(self, branches: Sequence[Expr]) -> None:
+        flattened = []
+        for branch in branches:
+            if isinstance(branch, Parallel):
+                flattened.extend(branch.branches)
+            else:
+                flattened.append(branch)
+        if len(flattened) < 2:
+            raise MetaStructureError("Parallel needs at least two branches")
+        self.branches: Tuple[Expr, ...] = tuple(
+            sorted(flattened, key=lambda branch: branch.key())
+        )
+
+    def key(self) -> str:
+        return "(" + "*".join(branch.key() for branch in self.branches) + ")"
+
+    def evaluate(self, matrices: MatrixBag) -> sparse.csr_matrix:
+        result = self.branches[0].evaluate(matrices)
+        for branch in self.branches[1:]:
+            operand = branch.evaluate(matrices)
+            if result.shape != operand.shape:
+                raise MetaStructureError(
+                    f"parallel shape mismatch: {result.shape} vs {operand.shape} "
+                    f"in {self.key()}"
+                )
+            result = result.multiply(operand).tocsr()
+        return result
+
+    def leaves(self) -> Tuple[str, ...]:
+        names: Tuple[str, ...] = ()
+        for branch in self.branches:
+            names += branch.leaves()
+        return names
+
+
+class CountingEngine:
+    """Memoizing evaluator for count-algebra expressions.
+
+    Evaluating the full diagram family naively recomputes shared
+    sub-chains (every attribute diagram contains ``W1 @ ... @ W2ᵀ``
+    pieces; every follow diagram contains products with ``A``).  The
+    engine caches every sub-expression by canonical key, which implements
+    the covering-set reuse described at the end of Section III-B.3.
+
+    Parameters
+    ----------
+    matrices:
+        The named typed adjacency matrices of one aligned pair.
+    """
+
+    def __init__(self, matrices: MatrixBag) -> None:
+        self._matrices = dict(matrices)
+        self._cache: Dict[str, sparse.csr_matrix] = {}
+
+    @property
+    def cache_size(self) -> int:
+        """Number of memoized sub-expression results."""
+        return len(self._cache)
+
+    def evaluate(self, expr: Expr) -> sparse.csr_matrix:
+        """Evaluate ``expr`` with memoization of all sub-expressions."""
+        key = expr.key()
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(expr, Leaf):
+            result = expr.evaluate(self._matrices)
+        elif isinstance(expr, Chain):
+            result = self.evaluate(expr.segments[0])
+            for segment in expr.segments[1:]:
+                operand = self.evaluate(segment)
+                if result.shape[1] != operand.shape[0]:
+                    raise MetaStructureError(
+                        f"chain shape mismatch: {result.shape} @ {operand.shape} "
+                        f"in {key}"
+                    )
+                result = (result @ operand).tocsr()
+        elif isinstance(expr, Parallel):
+            result = self.evaluate(expr.branches[0])
+            for branch in expr.branches[1:]:
+                operand = self.evaluate(branch)
+                if result.shape != operand.shape:
+                    raise MetaStructureError(
+                        f"parallel shape mismatch: {result.shape} vs "
+                        f"{operand.shape} in {key}"
+                    )
+                result = result.multiply(operand).tocsr()
+        else:
+            raise MetaStructureError(f"unknown expression type {type(expr).__name__}")
+        self._cache[key] = result
+        return result
+
+    def invalidate(self) -> None:
+        """Drop all memoized results (call after the anchor matrix changes)."""
+        self._cache.clear()
+
+    def update_matrix(self, name: str, matrix: sparse.csr_matrix) -> None:
+        """Replace one named matrix and drop every result depending on it.
+
+        Used by models that refresh the anchor matrix ``A`` after label
+        queries: attribute-only diagrams (which never touch ``A``) keep
+        their cached counts.
+        """
+        self._matrices[name] = matrix
+        stale = [key for key in self._cache if _key_mentions(key, name)]
+        for key in stale:
+            del self._cache[key]
+
+
+def _key_mentions(key: str, name: str) -> bool:
+    """Whether a canonical expression key references matrix ``name``.
+
+    Keys are built from matrix names joined by ``( ) @ * ^`` tokens, so a
+    name occurrence is always delimited by one of those or string ends.
+    """
+    start = 0
+    while True:
+        index = key.find(name, start)
+        if index < 0:
+            return False
+        before_ok = index == 0 or key[index - 1] in "(@*"
+        end = index + len(name)
+        after_ok = end == len(key) or key[end] in ")@*^"
+        if before_ok and after_ok:
+            return True
+        start = index + 1

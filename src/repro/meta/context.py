@@ -1,0 +1,88 @@
+"""Typed-adjacency matrix bags for an aligned network pair.
+
+The meta-structure counting algebra works on named matrices; this module
+defines the canonical names for the paper's social schema and exports
+them from an :class:`~repro.networks.aligned.AlignedPair`:
+
+========  =============================================  ==========
+name      meaning                                        shape
+========  =============================================  ==========
+``F1``    follow adjacency, left network                 U1 x U1
+``F2``    follow adjacency, right network                U2 x U2
+``W1``    write incidence, left                          U1 x P1
+``W2``    write incidence, right                         U2 x P2
+``T1``    post-timestamp incidence, left (shared vocab)  P1 x nT
+``T2``    post-timestamp incidence, right                P2 x nT
+``L1``    post-location incidence, left                  P1 x nL
+``L2``    post-location incidence, right                 P2 x nL
+``D1``    post-word incidence, left                      P1 x nW
+``D2``    post-word incidence, right                     P2 x nW
+``A``     *known* anchor links                           U1 x U2
+========  =============================================  ==========
+
+Only anchors passed by the caller enter ``A`` — model code must pass the
+training/queried anchors, never the full ground truth, to avoid label
+leakage through path counting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.meta.algebra import MatrixBag
+from repro.networks.aligned import AlignedPair
+from repro.networks.schema import FOLLOW, LOCATION, TIMESTAMP, WORD, WRITE
+from repro.types import LinkPair
+
+FOLLOW_LEFT = "F1"
+FOLLOW_RIGHT = "F2"
+WRITE_LEFT = "W1"
+WRITE_RIGHT = "W2"
+TIMESTAMP_LEFT = "T1"
+TIMESTAMP_RIGHT = "T2"
+LOCATION_LEFT = "L1"
+LOCATION_RIGHT = "L2"
+WORD_LEFT = "D1"
+WORD_RIGHT = "D2"
+ANCHOR_MATRIX = "A"
+
+
+def build_matrix_bag(
+    pair: AlignedPair,
+    known_anchors: Optional[Iterable[LinkPair]] = None,
+    include_words: bool = True,
+) -> MatrixBag:
+    """Export the matrix bag for one aligned pair.
+
+    Parameters
+    ----------
+    pair:
+        The aligned networks.
+    known_anchors:
+        Anchor links visible to the model (training plus queried).
+        ``None`` means *no* anchors are known, which zeroes every
+        anchor-dependent path; pass ``pair.anchors`` only for oracle
+        experiments.
+    include_words:
+        Whether to export the word incidence matrices (needed when the
+        extended word meta path P7 is in use).
+    """
+    anchors = list(known_anchors) if known_anchors is not None else []
+    bag: MatrixBag = {
+        FOLLOW_LEFT: pair.left.typed_adjacency(FOLLOW),
+        FOLLOW_RIGHT: pair.right.typed_adjacency(FOLLOW),
+        WRITE_LEFT: pair.left.typed_adjacency(WRITE),
+        WRITE_RIGHT: pair.right.typed_adjacency(WRITE),
+        ANCHOR_MATRIX: pair.anchor_matrix(anchors),
+    }
+    timestamp_left, timestamp_right = pair.attribute_matrices(TIMESTAMP)
+    bag[TIMESTAMP_LEFT] = timestamp_left
+    bag[TIMESTAMP_RIGHT] = timestamp_right
+    location_left, location_right = pair.attribute_matrices(LOCATION)
+    bag[LOCATION_LEFT] = location_left
+    bag[LOCATION_RIGHT] = location_right
+    if include_words:
+        word_left, word_right = pair.attribute_matrices(WORD)
+        bag[WORD_LEFT] = word_left
+        bag[WORD_RIGHT] = word_right
+    return bag

@@ -1,0 +1,162 @@
+"""Brute-force meta structure instance counting (test oracle).
+
+This module counts meta path / diagram instances by direct traversal of
+the network objects — an implementation deliberately independent of the
+sparse matrix algebra in :mod:`repro.meta.algebra` so the test suite can
+cross-validate the two on small networks.  It is exponentially slower
+and must not be used on real workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.exceptions import MetaStructureError
+from repro.networks.aligned import AlignedPair
+from repro.networks.schema import FOLLOW, WRITE
+from repro.types import LinkPair, NodeId
+
+#: Direction of the follow segment relative to the outer user:
+#: ``"out"`` = outer user follows the anchored user (followee segment);
+#: ``"in"``  = the anchored user follows the outer user (follower segment).
+Direction = str
+
+#: Direction profile of the four follow paths: (left side, right side).
+FOLLOW_PATH_DIRECTIONS: Dict[str, Tuple[Direction, Direction]] = {
+    "P1": ("out", "out"),
+    "P2": ("in", "in"),
+    "P3": ("out", "in"),
+    "P4": ("in", "out"),
+}
+
+#: Attribute type used by each attribute path.
+ATTRIBUTE_PATH_TYPES: Dict[str, str] = {
+    "P5": "timestamp",
+    "P6": "location",
+    "P7": "word",
+}
+
+
+def _neighbors(pair: AlignedPair, side: str, user: NodeId, direction: Direction):
+    """Follow-neighbors of ``user`` in the requested direction."""
+    network = pair.left if side == "left" else pair.right
+    if direction == "out":
+        return network.successors(FOLLOW, user)
+    if direction == "in":
+        return network.predecessors(FOLLOW, user)
+    raise MetaStructureError(f"unknown direction {direction!r}")
+
+
+def count_follow_structure(
+    pair: AlignedPair,
+    anchors: Iterable[LinkPair],
+    u1: NodeId,
+    u2: NodeId,
+    left_directions: Sequence[Direction],
+    right_directions: Sequence[Direction],
+) -> int:
+    """Count instances of a (possibly stacked) follow structure.
+
+    An instance is an anchored pair ``(x1, x2)`` such that ``x1`` relates
+    to ``u1`` in *every* direction in ``left_directions`` and ``x2``
+    relates to ``u2`` in every direction in ``right_directions``.  With a
+    single direction per side this counts a meta path P1-P4; with two it
+    counts a Ψ_f² stacking.
+    """
+    left_sets = [
+        _neighbors(pair, "left", u1, direction) for direction in left_directions
+    ]
+    right_sets = [
+        _neighbors(pair, "right", u2, direction) for direction in right_directions
+    ]
+    left_ok: Set[NodeId] = set.intersection(*left_sets) if left_sets else set()
+    right_ok: Set[NodeId] = set.intersection(*right_sets) if right_sets else set()
+    count = 0
+    for x1, x2 in anchors:
+        if x1 in left_ok and x2 in right_ok:
+            count += 1
+    return count
+
+
+def count_follow_path(
+    pair: AlignedPair,
+    anchors: Iterable[LinkPair],
+    name: str,
+    u1: NodeId,
+    u2: NodeId,
+) -> int:
+    """Count instances of one of P1-P4 between ``u1`` and ``u2``."""
+    try:
+        left_dir, right_dir = FOLLOW_PATH_DIRECTIONS[name]
+    except KeyError:
+        raise MetaStructureError(f"unknown follow path {name!r}") from None
+    return count_follow_structure(pair, anchors, u1, u2, [left_dir], [right_dir])
+
+
+def _shared_value_count(
+    pair: AlignedPair, attribute: str, post1: NodeId, post2: NodeId
+) -> int:
+    """Number of distinct ``attribute`` values shared by a post pair."""
+    left_values = set(pair.left.node_attributes(attribute, post1))
+    right_values = set(pair.right.node_attributes(attribute, post2))
+    return len(left_values & right_values)
+
+
+def count_attribute_structure(
+    pair: AlignedPair,
+    u1: NodeId,
+    u2: NodeId,
+    attributes: Sequence[str],
+) -> int:
+    """Count instances of a (possibly stacked) attribute structure.
+
+    For each post pair ``(p1, p2)`` written by ``u1`` and ``u2``, an
+    instance chooses one shared value per attribute in ``attributes``;
+    the instance count is therefore the sum over post pairs of the
+    product of shared-value counts.  A single attribute counts P5/P6;
+    several count a Ψ_a² stacking.
+    """
+    posts1 = pair.left.successors(WRITE, u1)
+    posts2 = pair.right.successors(WRITE, u2)
+    total = 0
+    for post1 in posts1:
+        for post2 in posts2:
+            product = 1
+            for attribute in attributes:
+                product *= _shared_value_count(pair, attribute, post1, post2)
+                if product == 0:
+                    break
+            total += product
+    return total
+
+
+def count_attribute_path(
+    pair: AlignedPair, name: str, u1: NodeId, u2: NodeId
+) -> int:
+    """Count instances of P5/P6/P7 between ``u1`` and ``u2``."""
+    try:
+        attribute = ATTRIBUTE_PATH_TYPES[name]
+    except KeyError:
+        raise MetaStructureError(f"unknown attribute path {name!r}") from None
+    return count_attribute_structure(pair, u1, u2, [attribute])
+
+
+def count_endpoint_stack(branch_counts: Sequence[int]) -> int:
+    """Count of an endpoint-stacked diagram from its branch counts.
+
+    Branches share only the two user endpoints, so instances combine
+    freely: the count is the product.
+    """
+    product = 1
+    for count in branch_counts:
+        product *= count
+    return product
+
+
+def all_user_pairs(pair: AlignedPair) -> List[LinkPair]:
+    """Every candidate user pair in H (test helper; quadratic)."""
+    return [
+        (left_user, right_user)
+        for left_user in pair.left_users()
+        for right_user in pair.right_users()
+    ]

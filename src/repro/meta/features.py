@@ -1,0 +1,141 @@
+"""Per-link feature extraction from meta diagram proximities (§III-B.3).
+
+For every candidate anchor link ``l = (u_i, u_j)`` in H and every meta
+structure ``Φ_k`` in the configured family, the feature vector holds the
+meta diagram proximity ``s_Φk(u_i, u_j)``, plus a trailing dummy ``1``
+that folds the bias term into the weight vector (as the paper does).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import FeatureError
+from repro.meta.algebra import CountingEngine
+from repro.meta.context import ANCHOR_MATRIX, build_matrix_bag
+from repro.meta.diagrams import DiagramFamily, standard_diagram_family
+from repro.meta.proximity import ProximityMatrix
+from repro.networks.aligned import AlignedPair
+from repro.types import LinkPair
+
+
+class FeatureExtractor:
+    """Extracts meta-diagram proximity features for candidate links.
+
+    Parameters
+    ----------
+    pair:
+        The aligned networks.
+    family:
+        Meta structure family to use; defaults to the paper's full Φ.
+    known_anchors:
+        Anchor links visible for path counting (training + queried).
+        Pass only labeled positives — never test anchors.
+    include_bias:
+        Whether to append the dummy ``1`` feature.
+    include_words:
+        Whether to export word matrices (required if the family uses P7).
+
+    Notes
+    -----
+    The extractor owns a memoizing :class:`CountingEngine`; when the
+    model learns new anchors mid-training call :meth:`update_anchors`,
+    which refreshes only anchor-dependent cached products.
+    """
+
+    def __init__(
+        self,
+        pair: AlignedPair,
+        family: Optional[DiagramFamily] = None,
+        known_anchors: Optional[Iterable[LinkPair]] = None,
+        include_bias: bool = True,
+        include_words: bool = False,
+    ) -> None:
+        self.pair = pair
+        self.family = family if family is not None else standard_diagram_family(
+            include_words=include_words
+        )
+        self.include_bias = include_bias
+        needs_words = any("P7" in name for name in self.family.feature_names)
+        bag = build_matrix_bag(
+            pair,
+            known_anchors=known_anchors,
+            include_words=include_words or needs_words,
+        )
+        self._engine = CountingEngine(bag)
+        self._proximities: Optional[List[ProximityMatrix]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def feature_names(self) -> List[str]:
+        """Ordered feature names (meta structures, then optional bias)."""
+        names = list(self.family.feature_names)
+        if self.include_bias:
+            names.append("bias")
+        return names
+
+    @property
+    def n_features(self) -> int:
+        """Feature dimensionality d."""
+        return len(self.family.feature_names) + (1 if self.include_bias else 0)
+
+    @property
+    def engine(self) -> CountingEngine:
+        """The underlying memoizing counting engine (for diagnostics)."""
+        return self._engine
+
+    # ------------------------------------------------------------------
+    def update_anchors(self, known_anchors: Iterable[LinkPair]) -> None:
+        """Refresh the anchor matrix ``A`` with a new known-anchor set.
+
+        Invalidates cached products that involve ``A`` and the cached
+        proximity matrices; attribute-only structures stay cached.
+        """
+        anchor_matrix = self.pair.anchor_matrix(list(known_anchors))
+        self._engine.update_matrix(ANCHOR_MATRIX, anchor_matrix)
+        self._proximities = None
+
+    def proximity_matrices(self) -> List[ProximityMatrix]:
+        """Proximity matrices for every structure in the family (cached)."""
+        if self._proximities is None:
+            self._proximities = [
+                ProximityMatrix(self._engine.evaluate(expr))
+                for expr in self.family.exprs
+            ]
+        return self._proximities
+
+    def extract(self, pairs: Sequence[LinkPair]) -> np.ndarray:
+        """Feature matrix ``X`` of shape ``(len(pairs), n_features)``.
+
+        Row order matches ``pairs``; column order matches
+        :attr:`feature_names`.
+        """
+        if not pairs:
+            return np.zeros((0, self.n_features), dtype=np.float64)
+        left_idx, right_idx = self.pair.pairs_to_indices(pairs)
+        columns = [
+            proximity.scores(left_idx, right_idx)
+            for proximity in self.proximity_matrices()
+        ]
+        if self.include_bias:
+            columns.append(np.ones(len(pairs), dtype=np.float64))
+        return np.column_stack(columns)
+
+    def extract_single(self, pair: LinkPair) -> np.ndarray:
+        """Feature vector for one candidate link."""
+        return self.extract([pair])[0]
+
+
+def extract_features(
+    pair: AlignedPair,
+    pairs: Sequence[LinkPair],
+    known_anchors: Optional[Iterable[LinkPair]] = None,
+    family: Optional[DiagramFamily] = None,
+) -> np.ndarray:
+    """One-shot convenience wrapper around :class:`FeatureExtractor`."""
+    if not pairs:
+        raise FeatureError("no candidate pairs supplied")
+    extractor = FeatureExtractor(pair, family=family, known_anchors=known_anchors)
+    return extractor.extract(pairs)

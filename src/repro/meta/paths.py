@@ -1,0 +1,221 @@
+"""Inter-network meta paths (Definition 4, Table I top).
+
+Six standard paths connect users across the two networks:
+
+====  =========================================  =================================
+ID    shape                                      semantics
+====  =========================================  =================================
+P1    U -follow-> U <-anchor-> U <-follow- U     Common Anchored Followee
+P2    U <-follow- U <-anchor-> U -follow-> U     Common Anchored Follower
+P3    U -follow-> U <-anchor-> U -follow-> U     Common Anchored Followee-Follower
+P4    U <-follow- U <-anchor-> U <-follow- U     Common Anchored Follower-Followee
+P5    U -write-> P -at-> T <-at- P <-write- U    Common Timestamp
+P6    U -write-> P -checkin-> L <-checkin- P     Common Checkin
+      <-write- U
+====  =========================================  =================================
+
+P7 (Common Word, ``U -write-> P -contain-> W <-contain- P <-write- U``) is
+an extension enabled by ``include_words=True``; the paper's schema carries
+word attributes but its listed path set stops at P6.
+
+Each path carries its count expression over the canonical matrix bag
+(:mod:`repro.meta.context`): a follow path's count matrix is
+``M1 @ A @ M2`` and an attribute path's is ``W1 @ V1 @ V2ᵀ @ W2ᵀ``.
+Follow paths additionally expose their per-side segments so diagrams can
+stack them at the shared junctions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import MetaStructureError
+from repro.meta.algebra import Chain, Expr, Leaf
+from repro.meta.context import (
+    ANCHOR_MATRIX,
+    FOLLOW_LEFT,
+    FOLLOW_RIGHT,
+    LOCATION_LEFT,
+    LOCATION_RIGHT,
+    TIMESTAMP_LEFT,
+    TIMESTAMP_RIGHT,
+    WORD_LEFT,
+    WORD_RIGHT,
+    WRITE_LEFT,
+    WRITE_RIGHT,
+)
+
+#: Category tag for follow-and-anchor based paths (the paper's P_f set).
+FOLLOW_CATEGORY = "follow"
+#: Category tag for attribute based paths (the paper's P_a set).
+ATTRIBUTE_CATEGORY = "attribute"
+
+
+@dataclass(frozen=True)
+class MetaPath:
+    """One inter-network meta path.
+
+    Attributes
+    ----------
+    name:
+        Short identifier (``"P1"``).
+    semantics:
+        Human-readable meaning from Table I.
+    category:
+        :data:`FOLLOW_CATEGORY` or :data:`ATTRIBUTE_CATEGORY`.
+    expr:
+        Count expression; evaluates to the |U1| x |U2| instance-count
+        matrix.
+    notation:
+        Arrow notation of the path, for documentation.
+    left_segment, right_segment:
+        For follow paths: the U1 x U1 (resp. U2 x U2) expression around
+        the anchor, used by diagram stacking.  ``None`` for attribute
+        paths (they stack at the post junctions instead).
+    left_inner, right_inner:
+        For attribute paths: the P1 x P2 "post-to-post via shared value"
+        expression (e.g. ``T1 @ T2ᵀ``).  ``None`` for follow paths.
+    """
+
+    name: str
+    semantics: str
+    category: str
+    expr: Expr
+    notation: str = ""
+    left_segment: Optional[Expr] = field(default=None, compare=False)
+    right_segment: Optional[Expr] = field(default=None, compare=False)
+    inner: Optional[Expr] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.category not in (FOLLOW_CATEGORY, ATTRIBUTE_CATEGORY):
+            raise MetaStructureError(
+                f"unknown meta path category {self.category!r}"
+            )
+        if self.category == FOLLOW_CATEGORY:
+            if self.left_segment is None or self.right_segment is None:
+                raise MetaStructureError(
+                    f"follow path {self.name} needs left/right segments"
+                )
+        if self.category == ATTRIBUTE_CATEGORY and self.inner is None:
+            raise MetaStructureError(
+                f"attribute path {self.name} needs an inner expression"
+            )
+
+
+def _follow_path(
+    name: str, semantics: str, notation: str, left: Expr, right: Expr
+) -> MetaPath:
+    """Build a follow-category path with count ``left @ A @ right``."""
+    return MetaPath(
+        name=name,
+        semantics=semantics,
+        category=FOLLOW_CATEGORY,
+        expr=Chain([left, Leaf(ANCHOR_MATRIX), right]),
+        notation=notation,
+        left_segment=left,
+        right_segment=right,
+    )
+
+
+def _attribute_path(
+    name: str, semantics: str, notation: str, left_value: str, right_value: str
+) -> MetaPath:
+    """Build an attribute-category path ``W1 @ V1 @ V2ᵀ @ W2ᵀ``."""
+    inner = Chain([Leaf(left_value), Leaf(right_value, transpose=True)])
+    return MetaPath(
+        name=name,
+        semantics=semantics,
+        category=ATTRIBUTE_CATEGORY,
+        expr=Chain(
+            [Leaf(WRITE_LEFT), inner, Leaf(WRITE_RIGHT, transpose=True)]
+        ),
+        notation=notation,
+        inner=inner,
+    )
+
+
+def follow_paths() -> List[MetaPath]:
+    """The four follow-and-anchor paths P1-P4 of Table I."""
+    follow_left = Leaf(FOLLOW_LEFT)
+    follow_right = Leaf(FOLLOW_RIGHT)
+    return [
+        _follow_path(
+            "P1",
+            "Common Anchored Followee",
+            "U -follow-> U <-anchor-> U <-follow- U",
+            follow_left,
+            follow_right.T,
+        ),
+        _follow_path(
+            "P2",
+            "Common Anchored Follower",
+            "U <-follow- U <-anchor-> U -follow-> U",
+            follow_left.T,
+            follow_right,
+        ),
+        _follow_path(
+            "P3",
+            "Common Anchored Followee-Follower",
+            "U -follow-> U <-anchor-> U -follow-> U",
+            follow_left,
+            follow_right,
+        ),
+        _follow_path(
+            "P4",
+            "Common Anchored Follower-Followee",
+            "U <-follow- U <-anchor-> U <-follow- U",
+            follow_left.T,
+            follow_right.T,
+        ),
+    ]
+
+
+def attribute_paths(include_words: bool = False) -> List[MetaPath]:
+    """The attribute paths P5-P6 (and extension P7 when requested)."""
+    paths = [
+        _attribute_path(
+            "P5",
+            "Common Timestamp",
+            "U -write-> P -at-> T <-at- P <-write- U",
+            TIMESTAMP_LEFT,
+            TIMESTAMP_RIGHT,
+        ),
+        _attribute_path(
+            "P6",
+            "Common Checkin",
+            "U -write-> P -checkin-> L <-checkin- P <-write- U",
+            LOCATION_LEFT,
+            LOCATION_RIGHT,
+        ),
+    ]
+    if include_words:
+        paths.append(
+            _attribute_path(
+                "P7",
+                "Common Word",
+                "U -write-> P -contain-> W <-contain- P <-write- U",
+                WORD_LEFT,
+                WORD_RIGHT,
+            )
+        )
+    return paths
+
+
+def standard_paths(include_words: bool = False) -> List[MetaPath]:
+    """All standard meta paths, P1..P6 (plus P7 if ``include_words``)."""
+    return follow_paths() + attribute_paths(include_words=include_words)
+
+
+def paths_by_name(include_words: bool = False) -> Dict[str, MetaPath]:
+    """Name -> path mapping for the standard paths."""
+    return {path.name: path for path in standard_paths(include_words)}
+
+
+def path_categories(
+    paths: List[MetaPath],
+) -> Tuple[List[MetaPath], List[MetaPath]]:
+    """Split a path list into (follow paths, attribute paths)."""
+    follow = [path for path in paths if path.category == FOLLOW_CATEGORY]
+    attribute = [path for path in paths if path.category == ATTRIBUTE_CATEGORY]
+    return follow, attribute

@@ -1,0 +1,89 @@
+"""Meta diagram proximity (Definition 6).
+
+Given the instance-count matrix ``M`` of a meta structure, the proximity
+between ``u_i`` (left) and ``u_j`` (right) is the Dice-style ratio
+
+    s(i, j) = 2 * M[i, j] / (rowsum(M)[i] + colsum(M)[j]),
+
+which rewards many connecting instances while penalizing promiscuous
+users with many instances to *anyone*.  Scores live in ``[0, 1]`` and are
+``0`` when the denominator vanishes (neither user touches the structure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import FeatureError
+
+
+class ProximityMatrix:
+    """Lazy proximity lookup over one count matrix.
+
+    Parameters
+    ----------
+    counts:
+        |U1| x |U2| sparse instance-count matrix of one meta structure.
+
+    Notes
+    -----
+    Row/column sums are precomputed; individual scores are evaluated on
+    demand so extracting features for a candidate subset of H never
+    densifies the full matrix.
+    """
+
+    def __init__(self, counts: sparse.csr_matrix) -> None:
+        if counts.ndim != 2:
+            raise FeatureError("count matrix must be two-dimensional")
+        self._counts = counts.tocsr()
+        self._row_sums = np.asarray(counts.sum(axis=1)).ravel()
+        self._col_sums = np.asarray(counts.sum(axis=0)).ravel()
+
+    @property
+    def shape(self):
+        """Shape of the underlying count matrix."""
+        return self._counts.shape
+
+    def score(self, i: int, j: int) -> float:
+        """Proximity of left user ``i`` and right user ``j``."""
+        denominator = self._row_sums[i] + self._col_sums[j]
+        if denominator == 0:
+            return 0.0
+        return float(2.0 * self._counts[i, j] / denominator)
+
+    def scores(self, left_indices: np.ndarray, right_indices: np.ndarray) -> np.ndarray:
+        """Vectorized proximity for parallel index arrays.
+
+        Parameters
+        ----------
+        left_indices, right_indices:
+            Equal-length integer arrays selecting (i, j) pairs.
+        """
+        left_indices = np.asarray(left_indices, dtype=np.int64)
+        right_indices = np.asarray(right_indices, dtype=np.int64)
+        if left_indices.shape != right_indices.shape:
+            raise FeatureError("index arrays must have equal shape")
+        if left_indices.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        counts = np.asarray(
+            self._counts[left_indices, right_indices]
+        ).ravel()
+        denominators = self._row_sums[left_indices] + self._col_sums[right_indices]
+        scores = np.zeros_like(denominators, dtype=np.float64)
+        nonzero = denominators > 0
+        scores[nonzero] = 2.0 * counts[nonzero] / denominators[nonzero]
+        return scores
+
+    def dense(self) -> np.ndarray:
+        """Full dense proximity matrix (small networks / diagnostics only)."""
+        counts = np.asarray(self._counts.todense(), dtype=np.float64)
+        denominators = self._row_sums[:, None] + self._col_sums[None, :]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scores = np.where(denominators > 0, 2.0 * counts / denominators, 0.0)
+        return scores
+
+
+def dice_proximity(counts: sparse.csr_matrix) -> ProximityMatrix:
+    """Build a :class:`ProximityMatrix` from raw instance counts."""
+    return ProximityMatrix(counts)

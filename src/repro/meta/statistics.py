@@ -1,0 +1,110 @@
+"""Support statistics for meta structure families.
+
+For model debugging and feature selection it helps to know, per meta
+structure, how many candidate user pairs it connects at all (support),
+how heavy its instance counts are, and how well its proximity separates
+anchors from non-anchors.  :func:`family_statistics` computes all three
+in one pass over a family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.meta.algebra import CountingEngine
+from repro.meta.context import build_matrix_bag
+from repro.meta.diagrams import DiagramFamily, standard_diagram_family
+from repro.meta.proximity import ProximityMatrix
+from repro.networks.aligned import AlignedPair
+from repro.types import LinkPair
+
+
+@dataclass(frozen=True)
+class StructureStats:
+    """Statistics of one meta structure over the full candidate grid."""
+
+    name: str
+    support: int
+    support_fraction: float
+    total_instances: float
+    max_count: float
+    mean_anchor_proximity: float
+    mean_background_proximity: float
+
+    @property
+    def separation(self) -> float:
+        """Anchor-vs-background proximity ratio (∞-safe)."""
+        if self.mean_background_proximity == 0:
+            return float("inf") if self.mean_anchor_proximity > 0 else 0.0
+        return self.mean_anchor_proximity / self.mean_background_proximity
+
+
+def family_statistics(
+    pair: AlignedPair,
+    family: Optional[DiagramFamily] = None,
+    known_anchors: Optional[Sequence[LinkPair]] = None,
+) -> List[StructureStats]:
+    """Compute :class:`StructureStats` for every structure in a family.
+
+    ``known_anchors`` feeds the anchor matrix (defaults to all ground
+    truth — appropriate for *diagnostics*, not for model features).
+    """
+    if family is None:
+        family = standard_diagram_family()
+    anchors = list(known_anchors) if known_anchors is not None else sorted(
+        pair.anchors, key=repr
+    )
+    bag = build_matrix_bag(pair, known_anchors=anchors)
+    engine = CountingEngine(bag)
+
+    anchor_left, anchor_right = pair.pairs_to_indices(sorted(pair.anchors, key=repr))
+    n_left = pair.left.node_count(pair.anchor_node_type)
+    n_right = pair.right.node_count(pair.anchor_node_type)
+    grid = n_left * n_right
+
+    stats: List[StructureStats] = []
+    for name, expr in zip(family.feature_names, family.exprs):
+        counts = engine.evaluate(expr)
+        proximity = ProximityMatrix(counts)
+        dense = proximity.dense()
+        anchor_scores = proximity.scores(anchor_left, anchor_right)
+        anchor_total = float(anchor_scores.sum())
+        background_mean = (
+            (dense.sum() - anchor_total) / max(1, grid - anchor_left.size)
+        )
+        stats.append(
+            StructureStats(
+                name=name,
+                support=int((counts > 0).sum()),
+                support_fraction=float((counts > 0).sum() / grid),
+                total_instances=float(counts.sum()),
+                max_count=float(counts.max()) if counts.nnz else 0.0,
+                mean_anchor_proximity=float(anchor_scores.mean())
+                if anchor_scores.size
+                else 0.0,
+                mean_background_proximity=float(background_mean),
+            )
+        )
+    return stats
+
+
+def format_family_statistics(stats: Sequence[StructureStats]) -> str:
+    """Render family statistics as an aligned plain-text table."""
+    header = (
+        f"{'structure':<14}{'support':>9}{'supp%':>8}{'inst.':>10}"
+        f"{'anchor-s':>10}{'backgr-s':>10}{'sep':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for item in stats:
+        separation = (
+            "inf" if item.separation == float("inf") else f"{item.separation:.1f}"
+        )
+        lines.append(
+            f"{item.name:<14}{item.support:>9}{item.support_fraction:>8.2%}"
+            f"{item.total_instances:>10.0f}{item.mean_anchor_proximity:>10.3f}"
+            f"{item.mean_background_proximity:>10.4f}{separation:>8}"
+        )
+    return "\n".join(lines)

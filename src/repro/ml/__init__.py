@@ -1,0 +1,54 @@
+"""From-scratch machine learning primitives.
+
+Closed-form ridge regression (the paper's internal step 1-1), linear
+SVMs for the SVM-MP / SVM-MPMD baselines, feature scaling and the four
+evaluation metrics.
+"""
+
+from repro.ml.kernels import LinearMap, PolynomialMap, RandomFourierMap
+from repro.ml.metrics import (
+    ClassificationReport,
+    ConfusionCounts,
+    accuracy_score,
+    classification_report,
+    confusion_counts,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+from repro.ml.ranking import (
+    average_precision,
+    mean_reciprocal_rank,
+    precision_at_k,
+    ranking_report,
+    recall_at_k,
+    roc_auc,
+)
+from repro.ml.ridge import RidgeSolver, ridge_fit
+from repro.ml.scaling import StandardScaler
+from repro.ml.svm import LinearSVC, PegasosSVC
+
+__all__ = [
+    "ClassificationReport",
+    "ConfusionCounts",
+    "LinearMap",
+    "LinearSVC",
+    "PegasosSVC",
+    "PolynomialMap",
+    "RandomFourierMap",
+    "RidgeSolver",
+    "StandardScaler",
+    "accuracy_score",
+    "average_precision",
+    "classification_report",
+    "confusion_counts",
+    "f1_score",
+    "mean_reciprocal_rank",
+    "precision_at_k",
+    "precision_score",
+    "ranking_report",
+    "recall_at_k",
+    "recall_score",
+    "roc_auc",
+    "ridge_fit",
+]

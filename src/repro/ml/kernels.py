@@ -1,0 +1,158 @@
+"""Explicit kernel feature maps (§III-C.1's ``g: R^d -> R^k``).
+
+The paper notes anchor-link features "can be projected to different
+feature spaces with various kernel functions" and then uses the linear
+kernel for simplicity.  Because the model's closed-form ridge step
+needs an *explicit* design matrix, we provide explicit maps rather than
+kernel tricks:
+
+* :class:`LinearMap` — identity (the paper's choice);
+* :class:`PolynomialMap` — degree-2 expansion (pairwise products),
+  capturing feature interactions such as "common neighbors AND common
+  attributes" beyond the pre-stacked diagrams;
+* :class:`RandomFourierMap` — Rahimi-Recht random Fourier features
+  approximating the RBF kernel with a controllable output dimension.
+
+All maps are fitted on training rows only (where they need statistics)
+and are deterministic given their seed.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import ModelError, NotFittedError
+
+
+class LinearMap:
+    """Identity feature map (the paper's linear kernel)."""
+
+    def fit(self, X: np.ndarray) -> "LinearMap":
+        """No-op fit; returns self."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ModelError("X must be 2-D")
+        self._n_features = X.shape[1]
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Return ``X`` unchanged (validated)."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ModelError("X must be 2-D")
+        return X
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit then transform."""
+        return self.fit(X).transform(X)
+
+
+class PolynomialMap:
+    """Explicit degree-2 polynomial expansion.
+
+    Output columns: the original features followed by all products
+    ``x_i * x_j`` with ``i <= j``.  Dimensionality is
+    ``d + d(d+1)/2``; with the paper's d = 32 this is 560 columns,
+    still tiny next to |H|.
+    """
+
+    def __init__(self, include_original: bool = True) -> None:
+        self.include_original = bool(include_original)
+        self._n_features: Optional[int] = None
+
+    def fit(self, X: np.ndarray) -> "PolynomialMap":
+        """Record input dimensionality; returns self."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ModelError("X must be 2-D")
+        self._n_features = X.shape[1]
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Expand to degree-2 interaction features."""
+        if self._n_features is None:
+            raise NotFittedError("PolynomialMap.fit has not been called")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self._n_features:
+            raise ModelError(
+                f"expected {self._n_features} features, got shape {X.shape}"
+            )
+        blocks: List[np.ndarray] = []
+        if self.include_original:
+            blocks.append(X)
+        products = [
+            X[:, i] * X[:, j]
+            for i, j in combinations_with_replacement(range(X.shape[1]), 2)
+        ]
+        blocks.append(np.column_stack(products))
+        return np.hstack(blocks)
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit then transform."""
+        return self.fit(X).transform(X)
+
+
+class RandomFourierMap:
+    """Random Fourier features approximating the RBF kernel.
+
+    ``z(x) = sqrt(2/k) * cos(W x + b)`` with ``W ~ N(0, 1/sigma**2)``
+    and ``b ~ U[0, 2*pi)``; ``z(x)·z(y)`` approximates
+    ``exp(-||x-y||² / (2 sigma²))`` (Rahimi & Recht, NIPS 2007).
+
+    Parameters
+    ----------
+    n_components:
+        Output dimension k.
+    sigma:
+        RBF bandwidth.
+    seed:
+        Seed for W and b (deterministic given the seed).
+    """
+
+    def __init__(
+        self, n_components: int = 128, sigma: float = 1.0, seed: int = 0
+    ) -> None:
+        if n_components < 1:
+            raise ModelError("n_components must be >= 1")
+        if sigma <= 0:
+            raise ModelError("sigma must be > 0")
+        self.n_components = int(n_components)
+        self.sigma = float(sigma)
+        self.seed = int(seed)
+        self._weights: Optional[np.ndarray] = None
+        self._offsets: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "RandomFourierMap":
+        """Draw the random projection for the input dimensionality."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ModelError("X must be 2-D")
+        rng = np.random.default_rng(self.seed)
+        self._weights = rng.normal(
+            scale=1.0 / self.sigma, size=(X.shape[1], self.n_components)
+        )
+        self._offsets = rng.uniform(0.0, 2.0 * np.pi, size=self.n_components)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Project into the random Fourier feature space."""
+        if self._weights is None or self._offsets is None:
+            raise NotFittedError("RandomFourierMap.fit has not been called")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self._weights.shape[0]:
+            raise ModelError(
+                f"expected {self._weights.shape[0]} features, got {X.shape}"
+            )
+        projection = X @ self._weights + self._offsets
+        return np.sqrt(2.0 / self.n_components) * np.cos(projection)
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit then transform."""
+        return self.fit(X).transform(X)
+
+    def approximate_kernel(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        """The kernel matrix implied by the map (for diagnostics)."""
+        return self.transform(X) @ self.transform(Y).T

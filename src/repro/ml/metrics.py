@@ -1,0 +1,136 @@
+"""Binary classification metrics used in the paper's evaluation.
+
+All metrics follow the usual conventions for the positive class ``1``:
+precision and recall are ``0`` when their denominators are empty
+(matching the paper's tables, where collapsed baselines report 0.000).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Raw confusion-matrix counts for binary labels."""
+
+    true_positive: int
+    false_positive: int
+    true_negative: int
+    false_negative: int
+
+    @property
+    def total(self) -> int:
+        """Number of evaluated instances."""
+        return (
+            self.true_positive
+            + self.false_positive
+            + self.true_negative
+            + self.false_negative
+        )
+
+
+def confusion_counts(y_true: np.ndarray, y_pred: np.ndarray) -> ConfusionCounts:
+    """Compute confusion counts; labels must be 0/1 arrays of equal length."""
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ExperimentError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    for name, values in (("y_true", y_true), ("y_pred", y_pred)):
+        unique = set(np.unique(values).tolist())
+        if not unique <= {0, 1}:
+            raise ExperimentError(
+                f"{name} must contain only 0/1, got {sorted(unique)}"
+            )
+    positive = y_true == 1
+    predicted = y_pred == 1
+    return ConfusionCounts(
+        true_positive=int(np.sum(positive & predicted)),
+        false_positive=int(np.sum(~positive & predicted)),
+        true_negative=int(np.sum(~positive & ~predicted)),
+        false_negative=int(np.sum(positive & ~predicted)),
+    )
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Precision of the positive class (0 when nothing is predicted positive)."""
+    counts = confusion_counts(y_true, y_pred)
+    denominator = counts.true_positive + counts.false_positive
+    if denominator == 0:
+        return 0.0
+    return counts.true_positive / denominator
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Recall of the positive class (0 when there are no positives)."""
+    counts = confusion_counts(y_true, y_pred)
+    denominator = counts.true_positive + counts.false_negative
+    if denominator == 0:
+        return 0.0
+    return counts.true_positive / denominator
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Harmonic mean of precision and recall (0 when both are 0)."""
+    precision = precision_score(y_true, y_pred)
+    recall = recall_score(y_true, y_pred)
+    if precision + recall == 0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    counts = confusion_counts(y_true, y_pred)
+    if counts.total == 0:
+        raise ExperimentError("cannot compute accuracy of zero instances")
+    return (counts.true_positive + counts.true_negative) / counts.total
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """The four metrics the paper reports, bundled."""
+
+    f1: float
+    precision: float
+    recall: float
+    accuracy: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (metric name -> value)."""
+        return {
+            "f1": self.f1,
+            "precision": self.precision,
+            "recall": self.recall,
+            "accuracy": self.accuracy,
+        }
+
+
+def classification_report(
+    y_true: np.ndarray, y_pred: np.ndarray
+) -> ClassificationReport:
+    """Compute F1 / precision / recall / accuracy in one pass."""
+    counts = confusion_counts(y_true, y_pred)
+    if counts.total == 0:
+        raise ExperimentError("cannot evaluate zero instances")
+    predicted_positive = counts.true_positive + counts.false_positive
+    actual_positive = counts.true_positive + counts.false_negative
+    precision = (
+        counts.true_positive / predicted_positive if predicted_positive else 0.0
+    )
+    recall = counts.true_positive / actual_positive if actual_positive else 0.0
+    f1 = (
+        2.0 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    accuracy = (counts.true_positive + counts.true_negative) / counts.total
+    return ClassificationReport(
+        f1=f1, precision=precision, recall=recall, accuracy=accuracy
+    )

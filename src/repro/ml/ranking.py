@@ -1,0 +1,126 @@
+"""Ranking metrics for score-based alignment evaluation.
+
+The paper evaluates hard 0/1 predictions; the alignment literature also
+reports ranking quality of the underlying scores (Precision@k, average
+precision, ROC-AUC, MRR).  This module implements them from scratch so
+score-level comparisons between models (and against the unsupervised
+baselines, which only produce scores) are possible.
+
+Ties are handled conservatively and deterministically: sorting is
+stable on the input order, and AUC uses the rank-sum (Mann-Whitney)
+formulation with midranks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+
+
+def _validate(y_true: np.ndarray, scores: np.ndarray):
+    y_true = np.asarray(y_true).ravel()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if y_true.shape != scores.shape:
+        raise ExperimentError(
+            f"shape mismatch: truth {y_true.shape} vs scores {scores.shape}"
+        )
+    if y_true.size == 0:
+        raise ExperimentError("cannot rank zero instances")
+    unique = set(np.unique(y_true).tolist())
+    if not unique <= {0, 1}:
+        raise ExperimentError(f"truth must be 0/1, got {sorted(unique)}")
+    if not np.all(np.isfinite(scores)):
+        raise ExperimentError("scores contain non-finite values")
+    return y_true, scores
+
+
+def precision_at_k(y_true, scores, k: int) -> float:
+    """Fraction of true positives among the k highest-scored instances."""
+    y_true, scores = _validate(y_true, scores)
+    if k < 1:
+        raise ExperimentError("k must be >= 1")
+    k = min(k, y_true.size)
+    top = np.argsort(-scores, kind="stable")[:k]
+    return float(y_true[top].sum() / k)
+
+
+def recall_at_k(y_true, scores, k: int) -> float:
+    """Fraction of all positives captured in the top k (0 if none exist)."""
+    y_true, scores = _validate(y_true, scores)
+    if k < 1:
+        raise ExperimentError("k must be >= 1")
+    n_positive = int(y_true.sum())
+    if n_positive == 0:
+        return 0.0
+    k = min(k, y_true.size)
+    top = np.argsort(-scores, kind="stable")[:k]
+    return float(y_true[top].sum() / n_positive)
+
+
+def average_precision(y_true, scores) -> float:
+    """Area under the precision-recall curve (AP; 0 if no positives)."""
+    y_true, scores = _validate(y_true, scores)
+    n_positive = int(y_true.sum())
+    if n_positive == 0:
+        return 0.0
+    order = np.argsort(-scores, kind="stable")
+    hits = y_true[order]
+    cumulative = np.cumsum(hits)
+    ranks = np.arange(1, y_true.size + 1)
+    precision_at_hits = cumulative[hits == 1] / ranks[hits == 1]
+    return float(precision_at_hits.sum() / n_positive)
+
+
+def roc_auc(y_true, scores) -> float:
+    """ROC-AUC via the midrank Mann-Whitney statistic.
+
+    Returns 0.5 when either class is empty (no ranking information).
+    """
+    y_true, scores = _validate(y_true, scores)
+    n_positive = int(y_true.sum())
+    n_negative = y_true.size - n_positive
+    if n_positive == 0 or n_negative == 0:
+        return 0.5
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(y_true.size, dtype=np.float64)
+    ranks[order] = np.arange(1, y_true.size + 1)
+    # Midranks for ties.
+    sorted_scores = scores[order]
+    start = 0
+    for end in range(1, y_true.size + 1):
+        if end == y_true.size or sorted_scores[end] != sorted_scores[start]:
+            if end - start > 1:
+                midrank = (start + 1 + end) / 2.0
+                ranks[order[start:end]] = midrank
+            start = end
+    positive_rank_sum = ranks[y_true == 1].sum()
+    u_statistic = positive_rank_sum - n_positive * (n_positive + 1) / 2.0
+    return float(u_statistic / (n_positive * n_negative))
+
+
+def mean_reciprocal_rank(y_true, scores) -> float:
+    """Reciprocal rank of the first true positive (0 if none exist)."""
+    y_true, scores = _validate(y_true, scores)
+    order = np.argsort(-scores, kind="stable")
+    hits = np.flatnonzero(y_true[order] == 1)
+    if hits.size == 0:
+        return 0.0
+    return float(1.0 / (hits[0] + 1))
+
+
+def ranking_report(
+    y_true, scores, ks: Sequence[int] = (10, 50, 100)
+) -> Dict[str, float]:
+    """All ranking metrics in one dict (keys like ``"p@10"``)."""
+    report: Dict[str, float] = {
+        "ap": average_precision(y_true, scores),
+        "auc": roc_auc(y_true, scores),
+        "mrr": mean_reciprocal_rank(y_true, scores),
+    }
+    for k in ks:
+        report[f"p@{k}"] = precision_at_k(y_true, scores, k)
+        report[f"r@{k}"] = recall_at_k(y_true, scores, k)
+    return report

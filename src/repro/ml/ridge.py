@@ -1,0 +1,99 @@
+"""Closed-form ridge regression (internal iteration step 1-1).
+
+The paper fixes labels ``y`` and solves
+
+    min_w  (c/2) ||Xw - y||² + (1/2) ||w||²
+
+whose optimum is ``w = c (I + c XᵀX)⁻¹ Xᵀ y``.  Because the alternating
+optimization re-solves this with a new ``y`` every internal iteration but
+the *same* ``X``, :class:`RidgeSolver` prefactorizes
+``H = c (I + c XᵀX)⁻¹ Xᵀ`` once (via a Cholesky factorization, not an
+explicit inverse) and each subsequent solve is a cheap matrix-vector
+product — exactly the constant-matrix trick the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import linalg
+
+from repro.exceptions import ModelError
+
+
+class RidgeSolver:
+    """Reusable ridge solver for a fixed design matrix.
+
+    Parameters
+    ----------
+    X:
+        Design matrix of shape ``(n_samples, n_features)``.
+    c:
+        Loss weight (the paper's ``c``; equivalently ``1/gamma`` for the
+        L2 strength ``gamma`` used in the joint objective).
+    sample_weight:
+        Optional per-sample weights Ω; the solve becomes
+        ``w = c (I + c XᵀΩX)⁻¹ XᵀΩ y``.  Used by the PU models to
+        up-weight the scarce trusted positives.
+    """
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        c: float = 1.0,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> None:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ModelError("X must be a 2-D array")
+        if c <= 0:
+            raise ModelError(f"loss weight c must be > 0, got {c}")
+        self.X = X
+        self.c = float(c)
+        if sample_weight is None:
+            self._weights = None
+            self._weighted_Xt = X.T
+        else:
+            weights = np.asarray(sample_weight, dtype=np.float64).ravel()
+            if weights.shape[0] != X.shape[0]:
+                raise ModelError(
+                    f"{weights.shape[0]} weights for {X.shape[0]} samples"
+                )
+            if np.any(weights < 0):
+                raise ModelError("sample weights must be >= 0")
+            self._weights = weights
+            self._weighted_Xt = X.T * weights
+        n_features = X.shape[1]
+        gram = np.eye(n_features) + self.c * (self._weighted_Xt @ X)
+        try:
+            self._cho = linalg.cho_factor(gram, lower=True)
+        except linalg.LinAlgError as error:  # pragma: no cover - defensive
+            raise ModelError(f"ridge system is singular: {error}") from error
+
+    def solve(self, y: np.ndarray) -> np.ndarray:
+        """Return ``w = c (I + c XᵀΩX)⁻¹ XᵀΩ y`` for the given labels."""
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if y.shape[0] != self.X.shape[0]:
+            raise ModelError(
+                f"label vector length {y.shape[0]} does not match "
+                f"{self.X.shape[0]} samples"
+            )
+        rhs = self.c * (self._weighted_Xt @ y)
+        return linalg.cho_solve(self._cho, rhs)
+
+    def predict(self, w: np.ndarray, X: np.ndarray = None) -> np.ndarray:
+        """Raw scores ``ŷ = Xw`` (training X by default)."""
+        design = self.X if X is None else np.asarray(X, dtype=np.float64)
+        w = np.asarray(w, dtype=np.float64).ravel()
+        if design.shape[1] != w.shape[0]:
+            raise ModelError(
+                f"weight length {w.shape[0]} does not match "
+                f"{design.shape[1]} features"
+            )
+        return design @ w
+
+
+def ridge_fit(X: np.ndarray, y: np.ndarray, c: float = 1.0) -> np.ndarray:
+    """One-shot ridge fit (see :class:`RidgeSolver` for the reusable form)."""
+    return RidgeSolver(X, c=c).solve(y)

@@ -1,0 +1,61 @@
+"""Feature scaling utilities.
+
+Proximity features already live in ``[0, 1]``, but their per-column
+scales differ by orders of magnitude (attribute diagrams are much
+sparser than follow paths); standardizing helps the SVM baselines, which
+are scale-sensitive.  The scaler learns statistics on the training rows
+only and is applied to all rows, the standard leakage-safe pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ModelError, NotFittedError
+
+
+class StandardScaler:
+    """Column-wise standardization ``(x - mean) / std``.
+
+    Columns with zero variance pass through unchanged (divided by 1)
+    so constant features — such as the dummy bias column — survive.
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True) -> None:
+        self.with_mean = bool(with_mean)
+        self.with_std = bool(with_std)
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        """Learn column means/stds from ``X``; returns self."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ModelError("X must be a 2-D array")
+        if X.shape[0] == 0:
+            raise ModelError("cannot fit scaler on zero rows")
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            std = X.std(axis=0)
+            std[std == 0] = 1.0
+            self.scale_ = std
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply learned standardization."""
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler.fit has not been called")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.mean_.shape[0]:
+            raise ModelError(
+                f"expected {self.mean_.shape[0]} columns, got shape {X.shape}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(X).transform(X)

@@ -1,0 +1,78 @@
+"""Attributed heterogeneous social network substrate.
+
+This subpackage implements Definitions 1-3 of the paper: typed networks,
+schemas, aligned network pairs with anchor links, plus builders, JSON
+round-tripping and descriptive statistics.
+"""
+
+from repro.networks.aligned import AlignedPair
+from repro.networks.builders import SocialNetworkBuilder
+from repro.networks.heterogeneous import HeterogeneousNetwork
+from repro.networks.multi import MultiAlignedNetworks
+from repro.networks.io import (
+    aligned_pair_from_dict,
+    aligned_pair_to_dict,
+    load_aligned_pair,
+    network_from_dict,
+    network_to_dict,
+    save_aligned_pair,
+)
+from repro.networks.schema import (
+    ANCHOR,
+    AT,
+    CHECKIN,
+    CONTAIN,
+    FOLLOW,
+    LOCATION,
+    POST,
+    TIMESTAMP,
+    USER,
+    WORD,
+    WRITE,
+    AlignedSchema,
+    AttributeTypeSpec,
+    EdgeTypeSpec,
+    NetworkSchema,
+    social_network_schema,
+)
+from repro.networks.stats import (
+    AlignedPairStats,
+    NetworkStats,
+    aligned_pair_stats,
+    format_table2,
+    network_stats,
+)
+
+__all__ = [
+    "ANCHOR",
+    "AT",
+    "CHECKIN",
+    "CONTAIN",
+    "FOLLOW",
+    "LOCATION",
+    "POST",
+    "TIMESTAMP",
+    "USER",
+    "WORD",
+    "WRITE",
+    "AlignedPair",
+    "AlignedPairStats",
+    "AlignedSchema",
+    "AttributeTypeSpec",
+    "EdgeTypeSpec",
+    "HeterogeneousNetwork",
+    "NetworkSchema",
+    "MultiAlignedNetworks",
+    "NetworkStats",
+    "SocialNetworkBuilder",
+    "aligned_pair_from_dict",
+    "aligned_pair_stats",
+    "aligned_pair_to_dict",
+    "format_table2",
+    "load_aligned_pair",
+    "network_from_dict",
+    "network_stats",
+    "network_to_dict",
+    "save_aligned_pair",
+    "social_network_schema",
+]

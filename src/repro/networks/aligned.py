@@ -1,0 +1,209 @@
+"""Aligned network pairs and anchor-link bookkeeping (Definition 2).
+
+An :class:`AlignedPair` couples two :class:`HeterogeneousNetwork` objects
+with the set of ground-truth anchor links between their user node sets.
+It also owns the *shared attribute vocabularies*: the union, per attribute
+type, of the values seen in either network, so matrix exports from the two
+sides agree column-for-column.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import AlignmentError
+from repro.networks.heterogeneous import HeterogeneousNetwork
+from repro.networks.schema import USER, AlignedSchema
+from repro.types import LinkPair, NodeId
+
+
+class AlignedPair:
+    """Two heterogeneous networks plus anchor links between shared users.
+
+    Parameters
+    ----------
+    left, right:
+        The two component networks (``G^(1)`` and ``G^(2)``).
+    anchors:
+        Ground-truth anchor links as ``(left_user, right_user)`` pairs.
+        Must satisfy the one-to-one constraint: no user appears in two
+        anchors.
+    anchor_node_type:
+        Node type connected by anchors (``"user"`` in the paper).
+    """
+
+    def __init__(
+        self,
+        left: HeterogeneousNetwork,
+        right: HeterogeneousNetwork,
+        anchors: Iterable[LinkPair] = (),
+        anchor_node_type: str = USER,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.anchor_node_type = anchor_node_type
+        self.schema = AlignedSchema(
+            left.schema, right.schema, anchor_node_type=anchor_node_type
+        )
+        self._anchors: Set[LinkPair] = set()
+        self._left_to_right: Dict[NodeId, NodeId] = {}
+        self._right_to_left: Dict[NodeId, NodeId] = {}
+        for pair in anchors:
+            self.add_anchor(pair)
+
+    # ------------------------------------------------------------------
+    # Anchor links
+    # ------------------------------------------------------------------
+    def add_anchor(self, pair: LinkPair) -> None:
+        """Register a ground-truth anchor link.
+
+        Raises
+        ------
+        AlignmentError
+            If either endpoint is missing from its network or already
+            anchored (one-to-one violation).
+        """
+        left_user, right_user = pair
+        if not self.left.has_node(self.anchor_node_type, left_user):
+            raise AlignmentError(
+                f"anchor endpoint {left_user!r} missing from left network "
+                f"{self.left.name!r}"
+            )
+        if not self.right.has_node(self.anchor_node_type, right_user):
+            raise AlignmentError(
+                f"anchor endpoint {right_user!r} missing from right network "
+                f"{self.right.name!r}"
+            )
+        if left_user in self._left_to_right:
+            raise AlignmentError(
+                f"left user {left_user!r} already anchored to "
+                f"{self._left_to_right[left_user]!r} (one-to-one violation)"
+            )
+        if right_user in self._right_to_left:
+            raise AlignmentError(
+                f"right user {right_user!r} already anchored to "
+                f"{self._right_to_left[right_user]!r} (one-to-one violation)"
+            )
+        self._anchors.add((left_user, right_user))
+        self._left_to_right[left_user] = right_user
+        self._right_to_left[right_user] = left_user
+
+    @property
+    def anchors(self) -> Set[LinkPair]:
+        """The ground-truth anchor set (a copy)."""
+        return set(self._anchors)
+
+    def anchor_count(self) -> int:
+        """Number of ground-truth anchors."""
+        return len(self._anchors)
+
+    def is_anchor(self, pair: LinkPair) -> bool:
+        """Whether ``pair`` is a ground-truth anchor."""
+        return pair in self._anchors
+
+    def anchored_right(self, left_user: NodeId) -> Optional[NodeId]:
+        """The right-side partner of ``left_user`` or ``None``."""
+        return self._left_to_right.get(left_user)
+
+    def anchored_left(self, right_user: NodeId) -> Optional[NodeId]:
+        """The left-side partner of ``right_user`` or ``None``."""
+        return self._right_to_left.get(right_user)
+
+    # ------------------------------------------------------------------
+    # Candidate space
+    # ------------------------------------------------------------------
+    def candidate_space_size(self) -> int:
+        """``|H| = |U^(1)| x |U^(2)|``, the full candidate link count."""
+        return self.left.node_count(self.anchor_node_type) * self.right.node_count(
+            self.anchor_node_type
+        )
+
+    def left_users(self) -> List[NodeId]:
+        """Ordered left-side user ids."""
+        return self.left.nodes(self.anchor_node_type)
+
+    def right_users(self) -> List[NodeId]:
+        """Ordered right-side user ids."""
+        return self.right.nodes(self.anchor_node_type)
+
+    # ------------------------------------------------------------------
+    # Shared vocabularies and matrix exports
+    # ------------------------------------------------------------------
+    def shared_vocabulary(self, attribute: str) -> List:
+        """Union vocabulary of ``attribute`` across both networks.
+
+        Values present in the left network keep their left order and are
+        followed by right-only values; the ordering is deterministic for
+        reproducibility.
+        """
+        left_values = self.left.attribute_values(attribute)
+        seen = set(left_values)
+        right_only = [
+            value
+            for value in self.right.attribute_values(attribute)
+            if value not in seen
+        ]
+        return left_values + right_only
+
+    def attribute_matrices(
+        self, attribute: str, binary: bool = True
+    ) -> Tuple[sparse.csr_matrix, sparse.csr_matrix]:
+        """Export both sides' node-by-value matrices on the shared vocabulary."""
+        vocabulary = self.shared_vocabulary(attribute)
+        left = self.left.attribute_matrix(attribute, vocabulary, binary=binary)
+        right = self.right.attribute_matrix(attribute, vocabulary, binary=binary)
+        return left, right
+
+    def anchor_matrix(
+        self, anchors: Optional[Iterable[LinkPair]] = None
+    ) -> sparse.csr_matrix:
+        """CSR |U1| x |U2| indicator matrix of anchor links.
+
+        Parameters
+        ----------
+        anchors:
+            The anchor subset to encode.  Model code passes the *known*
+            (training + queried) anchors here so unknown test anchors do
+            not leak into path counting.  Defaults to all ground-truth
+            anchors.
+        """
+        if anchors is None:
+            anchors = self._anchors
+        n_left = self.left.node_count(self.anchor_node_type)
+        n_right = self.right.node_count(self.anchor_node_type)
+        rows: List[int] = []
+        cols: List[int] = []
+        for left_user, right_user in anchors:
+            rows.append(self.left.node_position(self.anchor_node_type, left_user))
+            cols.append(self.right.node_position(self.anchor_node_type, right_user))
+        data = np.ones(len(rows), dtype=np.float64)
+        return sparse.csr_matrix((data, (rows, cols)), shape=(n_left, n_right))
+
+    def pairs_to_indices(
+        self, pairs: Sequence[LinkPair]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Convert ``(left_user, right_user)`` pairs to dense index arrays."""
+        left_idx = np.array(
+            [
+                self.left.node_position(self.anchor_node_type, left_user)
+                for left_user, _ in pairs
+            ],
+            dtype=np.int64,
+        )
+        right_idx = np.array(
+            [
+                self.right.node_position(self.anchor_node_type, right_user)
+                for _, right_user in pairs
+            ],
+            dtype=np.int64,
+        )
+        return left_idx, right_idx
+
+    def __repr__(self) -> str:
+        return (
+            f"AlignedPair(left={self.left.name!r}, right={self.right.name!r}, "
+            f"anchors={len(self._anchors)})"
+        )

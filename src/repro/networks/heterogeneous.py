@@ -1,0 +1,328 @@
+"""The attributed heterogeneous social network container (Definition 1).
+
+:class:`HeterogeneousNetwork` stores typed nodes, typed directed edges and
+typed attribute values.  Attribute values (a concrete timestamp bin, a
+location cell, a word) are *shared vocabulary items*: two posts in two
+different networks can point at the same attribute value, which is what
+inter-network meta paths P5/P6 traverse.
+
+Internally the class keeps hash-map adjacency (cheap mutation, O(1)
+membership) and exposes :meth:`typed_adjacency` / :meth:`attribute_matrix`
+to export scipy CSR matrices for the meta-structure counting engine.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import NetworkError, SchemaError
+from repro.networks.schema import NetworkSchema
+from repro.types import AttributeValue, NodeId
+
+
+class HeterogeneousNetwork:
+    """One attributed heterogeneous social network ``G = (V, E, T)``.
+
+    Parameters
+    ----------
+    schema:
+        The :class:`~repro.networks.schema.NetworkSchema` this network
+        must conform to.
+    name:
+        Optional instance name (defaults to the schema name).
+
+    Notes
+    -----
+    * Nodes are identified by arbitrary hashable ids, unique *within a
+      node type*.  ``("user", 3)`` and ``("post", 3)`` do not collide.
+    * Edges are directed; undirected relations (per the schema) are
+      expanded to both directions by :meth:`typed_adjacency` on request.
+    * Attribute values live in per-attribute-type vocabularies and are
+      attached to nodes via :meth:`attach_attribute`.
+    """
+
+    def __init__(self, schema: NetworkSchema, name: Optional[str] = None) -> None:
+        self.schema = schema
+        self.name = name if name is not None else schema.name
+        # node_type -> ordered list of node ids, and reverse index.
+        self._nodes: Dict[str, List[NodeId]] = {t: [] for t in schema.node_types}
+        self._node_index: Dict[str, Dict[NodeId, int]] = {
+            t: {} for t in schema.node_types
+        }
+        # relation -> source id -> set of target ids.
+        self._out: Dict[str, Dict[NodeId, Set[NodeId]]] = {
+            r: defaultdict(set) for r in schema.edge_types
+        }
+        self._in: Dict[str, Dict[NodeId, Set[NodeId]]] = {
+            r: defaultdict(set) for r in schema.edge_types
+        }
+        self._edge_counts: Dict[str, int] = {r: 0 for r in schema.edge_types}
+        # attribute name -> ordered vocabulary + reverse index.
+        self._attr_values: Dict[str, List[AttributeValue]] = {
+            a: [] for a in schema.attribute_types
+        }
+        self._attr_index: Dict[str, Dict[AttributeValue, int]] = {
+            a: {} for a in schema.attribute_types
+        }
+        # attribute name -> node id -> multiset (dict value->count).
+        self._attr_links: Dict[str, Dict[NodeId, Dict[AttributeValue, int]]] = {
+            a: defaultdict(dict) for a in schema.attribute_types
+        }
+        self._attr_link_counts: Dict[str, int] = {a: 0 for a in schema.attribute_types}
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+    def add_node(self, node_type: str, node_id: NodeId) -> None:
+        """Add a node of ``node_type``.  Adding twice is an error."""
+        self._require_node_type(node_type)
+        index = self._node_index[node_type]
+        if node_id in index:
+            raise NetworkError(
+                f"node {node_id!r} of type {node_type!r} already exists "
+                f"in network {self.name!r}"
+            )
+        index[node_id] = len(self._nodes[node_type])
+        self._nodes[node_type].append(node_id)
+
+    def add_nodes(self, node_type: str, node_ids: Iterable[NodeId]) -> None:
+        """Add many nodes of one type."""
+        for node_id in node_ids:
+            self.add_node(node_type, node_id)
+
+    def has_node(self, node_type: str, node_id: NodeId) -> bool:
+        """Return whether the node exists."""
+        self._require_node_type(node_type)
+        return node_id in self._node_index[node_type]
+
+    def nodes(self, node_type: str) -> List[NodeId]:
+        """Return the ordered list of node ids of ``node_type`` (a copy)."""
+        self._require_node_type(node_type)
+        return list(self._nodes[node_type])
+
+    def node_count(self, node_type: str) -> int:
+        """Number of nodes of ``node_type``."""
+        self._require_node_type(node_type)
+        return len(self._nodes[node_type])
+
+    def node_position(self, node_type: str, node_id: NodeId) -> int:
+        """Dense index of a node within its type (for matrix exports)."""
+        self._require_node_type(node_type)
+        try:
+            return self._node_index[node_type][node_id]
+        except KeyError:
+            raise NetworkError(
+                f"unknown {node_type!r} node {node_id!r} in network {self.name!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+    def add_edge(self, relation: str, source: NodeId, target: NodeId) -> None:
+        """Add a typed edge ``source --relation--> target``.
+
+        Duplicate edges are ignored (social graphs are simple graphs);
+        self-loops on ``follow``-like relations are rejected.
+        """
+        spec = self.schema.edge_type(relation)
+        if not self.has_node(spec.source, source):
+            raise NetworkError(
+                f"cannot add {relation!r} edge: missing source "
+                f"{spec.source!r} node {source!r}"
+            )
+        if not self.has_node(spec.target, target):
+            raise NetworkError(
+                f"cannot add {relation!r} edge: missing target "
+                f"{spec.target!r} node {target!r}"
+            )
+        if spec.source == spec.target and source == target:
+            raise NetworkError(f"self-loop {source!r} on relation {relation!r}")
+        targets = self._out[relation][source]
+        if target in targets:
+            return
+        targets.add(target)
+        self._in[relation][target].add(source)
+        self._edge_counts[relation] += 1
+
+    def has_edge(self, relation: str, source: NodeId, target: NodeId) -> bool:
+        """Return whether the typed edge exists."""
+        self._require_relation(relation)
+        return target in self._out[relation].get(source, ())
+
+    def successors(self, relation: str, source: NodeId) -> Set[NodeId]:
+        """Targets of out-edges of ``relation`` from ``source`` (a copy)."""
+        self._require_relation(relation)
+        return set(self._out[relation].get(source, ()))
+
+    def predecessors(self, relation: str, target: NodeId) -> Set[NodeId]:
+        """Sources of in-edges of ``relation`` into ``target`` (a copy)."""
+        self._require_relation(relation)
+        return set(self._in[relation].get(target, ()))
+
+    def edge_count(self, relation: str) -> int:
+        """Number of stored edges of ``relation``."""
+        self._require_relation(relation)
+        return self._edge_counts[relation]
+
+    def edges(self, relation: str) -> Iterator[Tuple[NodeId, NodeId]]:
+        """Iterate ``(source, target)`` pairs of ``relation``."""
+        self._require_relation(relation)
+        for source, targets in self._out[relation].items():
+            for target in targets:
+                yield (source, target)
+
+    # ------------------------------------------------------------------
+    # Attributes
+    # ------------------------------------------------------------------
+    def attach_attribute(
+        self, attribute: str, node_id: NodeId, value: AttributeValue, count: int = 1
+    ) -> None:
+        """Attach ``value`` of ``attribute`` to ``node_id`` (multiset add).
+
+        ``count`` lets callers record repeated occurrences (a word used
+        three times in a post) in one call.
+        """
+        spec = self.schema.attribute_type(attribute)
+        if count < 1:
+            raise NetworkError(f"attribute count must be >= 1, got {count}")
+        if not self.has_node(spec.node_type, node_id):
+            raise NetworkError(
+                f"cannot attach attribute {attribute!r}: missing "
+                f"{spec.node_type!r} node {node_id!r}"
+            )
+        vocab_index = self._attr_index[attribute]
+        if value not in vocab_index:
+            vocab_index[value] = len(self._attr_values[attribute])
+            self._attr_values[attribute].append(value)
+        bag = self._attr_links[attribute][node_id]
+        bag[value] = bag.get(value, 0) + count
+        self._attr_link_counts[attribute] += count
+
+    def attribute_values(self, attribute: str) -> List[AttributeValue]:
+        """Ordered vocabulary of an attribute type (a copy)."""
+        self._require_attribute(attribute)
+        return list(self._attr_values[attribute])
+
+    def attribute_vocabulary_size(self, attribute: str) -> int:
+        """Number of distinct values seen for ``attribute``."""
+        self._require_attribute(attribute)
+        return len(self._attr_values[attribute])
+
+    def attribute_link_count(self, attribute: str) -> int:
+        """Total number of (node, value) attachments including repeats."""
+        self._require_attribute(attribute)
+        return self._attr_link_counts[attribute]
+
+    def node_attributes(self, attribute: str, node_id: NodeId) -> Dict[AttributeValue, int]:
+        """Multiset of attribute values attached to a node (a copy)."""
+        self._require_attribute(attribute)
+        return dict(self._attr_links[attribute].get(node_id, {}))
+
+    # ------------------------------------------------------------------
+    # Matrix exports (consumed by repro.meta.counting)
+    # ------------------------------------------------------------------
+    def typed_adjacency(self, relation: str) -> sparse.csr_matrix:
+        """CSR adjacency of one relation: ``A[i, j] = 1`` iff edge exists.
+
+        Rows are indexed by the relation's source node type order, columns
+        by its target node type order (see :meth:`nodes`).
+        """
+        spec = self.schema.edge_type(relation)
+        n_rows = self.node_count(spec.source)
+        n_cols = self.node_count(spec.target)
+        rows: List[int] = []
+        cols: List[int] = []
+        src_index = self._node_index[spec.source]
+        dst_index = self._node_index[spec.target]
+        for source, targets in self._out[relation].items():
+            i = src_index[source]
+            for target in targets:
+                rows.append(i)
+                cols.append(dst_index[target])
+        data = np.ones(len(rows), dtype=np.float64)
+        return sparse.csr_matrix(
+            (data, (rows, cols)), shape=(n_rows, n_cols)
+        )
+
+    def attribute_matrix(
+        self,
+        attribute: str,
+        vocabulary: Optional[List[AttributeValue]] = None,
+        binary: bool = True,
+    ) -> sparse.csr_matrix:
+        """CSR node-by-attribute-value incidence matrix.
+
+        Parameters
+        ----------
+        attribute:
+            Attribute type name.
+        vocabulary:
+            Column ordering to use.  Two aligned networks must export
+            against a *shared* vocabulary so that column ``j`` means the
+            same timestamp/location/word in both matrices; pass the union
+            vocabulary here.  Defaults to this network's own vocabulary.
+        binary:
+            If true (default), entries are 0/1 existence indicators; the
+            paper counts path *instances*, where a post either has the
+            attribute value or not.  If false, multiset counts are kept.
+
+        Raises
+        ------
+        NetworkError
+            If ``vocabulary`` omits a value present in this network.
+        """
+        spec = self.schema.attribute_type(attribute)
+        if vocabulary is None:
+            vocabulary = self._attr_values[attribute]
+            value_index: Dict[AttributeValue, int] = self._attr_index[attribute]
+        else:
+            value_index = {value: j for j, value in enumerate(vocabulary)}
+        n_rows = self.node_count(spec.node_type)
+        rows: List[int] = []
+        cols: List[int] = []
+        data: List[float] = []
+        node_index = self._node_index[spec.node_type]
+        for node_id, bag in self._attr_links[attribute].items():
+            i = node_index[node_id]
+            for value, count in bag.items():
+                try:
+                    j = value_index[value]
+                except KeyError:
+                    raise NetworkError(
+                        f"vocabulary for attribute {attribute!r} omits value "
+                        f"{value!r} present in network {self.name!r}"
+                    ) from None
+                rows.append(i)
+                cols.append(j)
+                data.append(1.0 if binary else float(count))
+        return sparse.csr_matrix(
+            (data, (rows, cols)), shape=(n_rows, len(vocabulary))
+        )
+
+    # ------------------------------------------------------------------
+    # Internal guards
+    # ------------------------------------------------------------------
+    def _require_node_type(self, node_type: str) -> None:
+        if not self.schema.has_node_type(node_type):
+            raise SchemaError(
+                f"unknown node type {node_type!r} in schema {self.schema.name!r}"
+            )
+
+    def _require_relation(self, relation: str) -> None:
+        self.schema.edge_type(relation)
+
+    def _require_attribute(self, attribute: str) -> None:
+        self.schema.attribute_type(attribute)
+
+    def __repr__(self) -> str:
+        node_summary = ", ".join(
+            f"{t}={len(ids)}" for t, ids in sorted(self._nodes.items())
+        )
+        edge_summary = ", ".join(
+            f"{r}={c}" for r, c in sorted(self._edge_counts.items())
+        )
+        return f"HeterogeneousNetwork({self.name!r}, {node_summary}; {edge_summary})"

@@ -1,0 +1,165 @@
+"""JSON (de)serialization of networks and aligned pairs.
+
+The on-disk format is a single JSON document that round-trips every node,
+edge, attribute attachment and anchor link.  Hashable-but-not-JSON node
+ids (tuples, ints) are encoded with a small tagging scheme so round trips
+are exact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.exceptions import NetworkError
+from repro.networks.aligned import AlignedPair
+from repro.networks.heterogeneous import HeterogeneousNetwork
+from repro.networks.schema import (
+    AttributeTypeSpec,
+    EdgeTypeSpec,
+    NetworkSchema,
+)
+
+_FORMAT_VERSION = 1
+
+
+def _encode_id(value: Any) -> Any:
+    """Encode a hashable id into a JSON-safe tagged value."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_id(item) for item in value]}
+    raise NetworkError(f"cannot serialize node id of type {type(value).__name__}")
+
+
+def _decode_id(value: Any) -> Any:
+    """Invert :func:`_encode_id`."""
+    if isinstance(value, dict) and "__tuple__" in value:
+        return tuple(_decode_id(item) for item in value["__tuple__"])
+    return value
+
+
+def schema_to_dict(schema: NetworkSchema) -> Dict[str, Any]:
+    """Serialize a schema to a plain dict."""
+    return {
+        "name": schema.name,
+        "node_types": sorted(schema.node_types),
+        "edge_types": [
+            {
+                "name": spec.name,
+                "source": spec.source,
+                "target": spec.target,
+                "directed": spec.directed,
+            }
+            for spec in sorted(schema.edge_types.values(), key=lambda s: s.name)
+        ],
+        "attribute_types": [
+            {"name": spec.name, "node_type": spec.node_type, "relation": spec.relation}
+            for spec in sorted(schema.attribute_types.values(), key=lambda s: s.name)
+        ],
+    }
+
+
+def schema_from_dict(payload: Dict[str, Any]) -> NetworkSchema:
+    """Deserialize a schema from :func:`schema_to_dict` output."""
+    return NetworkSchema(
+        name=payload["name"],
+        node_types=payload["node_types"],
+        edge_types=[EdgeTypeSpec(**spec) for spec in payload["edge_types"]],
+        attribute_types=[
+            AttributeTypeSpec(**spec) for spec in payload["attribute_types"]
+        ],
+    )
+
+
+def network_to_dict(network: HeterogeneousNetwork) -> Dict[str, Any]:
+    """Serialize a network to a plain dict."""
+    payload: Dict[str, Any] = {
+        "name": network.name,
+        "schema": schema_to_dict(network.schema),
+        "nodes": {
+            node_type: [_encode_id(node) for node in network.nodes(node_type)]
+            for node_type in sorted(network.schema.node_types)
+        },
+        "edges": {
+            relation: [
+                [_encode_id(source), _encode_id(target)]
+                for source, target in sorted(
+                    network.edges(relation), key=lambda e: (repr(e[0]), repr(e[1]))
+                )
+            ]
+            for relation in sorted(network.schema.edge_types)
+        },
+        "attributes": {},
+    }
+    for attribute in sorted(network.schema.attribute_types):
+        spec = network.schema.attribute_type(attribute)
+        attachments: List[List[Any]] = []
+        for node in network.nodes(spec.node_type):
+            for value, count in sorted(
+                network.node_attributes(attribute, node).items(), key=repr
+            ):
+                attachments.append([_encode_id(node), _encode_id(value), count])
+        payload["attributes"][attribute] = attachments
+    return payload
+
+
+def network_from_dict(payload: Dict[str, Any]) -> HeterogeneousNetwork:
+    """Deserialize a network from :func:`network_to_dict` output."""
+    schema = schema_from_dict(payload["schema"])
+    network = HeterogeneousNetwork(schema, payload["name"])
+    for node_type, nodes in payload["nodes"].items():
+        network.add_nodes(node_type, [_decode_id(node) for node in nodes])
+    for relation, edges in payload["edges"].items():
+        for source, target in edges:
+            network.add_edge(relation, _decode_id(source), _decode_id(target))
+    for attribute, attachments in payload["attributes"].items():
+        for node, value, count in attachments:
+            network.attach_attribute(
+                attribute, _decode_id(node), _decode_id(value), count=count
+            )
+    return network
+
+
+def aligned_pair_to_dict(pair: AlignedPair) -> Dict[str, Any]:
+    """Serialize an aligned pair to a plain dict."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "anchor_node_type": pair.anchor_node_type,
+        "left": network_to_dict(pair.left),
+        "right": network_to_dict(pair.right),
+        "anchors": [
+            [_encode_id(left_user), _encode_id(right_user)]
+            for left_user, right_user in sorted(pair.anchors, key=repr)
+        ],
+    }
+
+
+def aligned_pair_from_dict(payload: Dict[str, Any]) -> AlignedPair:
+    """Deserialize an aligned pair from :func:`aligned_pair_to_dict` output."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise NetworkError(
+            f"unsupported aligned-pair format version {version!r}; "
+            f"expected {_FORMAT_VERSION}"
+        )
+    left = network_from_dict(payload["left"])
+    right = network_from_dict(payload["right"])
+    anchors = [
+        (_decode_id(left_user), _decode_id(right_user))
+        for left_user, right_user in payload["anchors"]
+    ]
+    return AlignedPair(
+        left, right, anchors, anchor_node_type=payload["anchor_node_type"]
+    )
+
+
+def save_aligned_pair(pair: AlignedPair, path: Union[str, Path]) -> None:
+    """Write an aligned pair to a JSON file."""
+    Path(path).write_text(json.dumps(aligned_pair_to_dict(pair)))
+
+
+def load_aligned_pair(path: Union[str, Path]) -> AlignedPair:
+    """Read an aligned pair from a JSON file."""
+    return aligned_pair_from_dict(json.loads(Path(path).read_text()))

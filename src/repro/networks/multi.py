@@ -1,0 +1,193 @@
+"""Multiple aligned social networks (Definition 2 for n > 2 networks).
+
+The paper develops its model on a pair and notes that "simple
+extensions of the model can be applied to multiple (more than two)
+aligned social networks".  This module provides that extension's data
+substrate: a collection of networks with pairwise anchor sets that
+
+* exposes every pair as an :class:`~repro.networks.aligned.AlignedPair`
+  (so the whole pairwise machinery applies unchanged), and
+* validates *transitive consistency* — if a~b and b~c are anchored,
+  any recorded a~c anchor must close the triangle with the same
+  accounts (anchors identify natural persons, so identity must be an
+  equivalence relation on the recorded links).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import AlignmentError
+from repro.networks.aligned import AlignedPair
+from repro.networks.heterogeneous import HeterogeneousNetwork
+from repro.networks.schema import USER
+from repro.types import LinkPair, NodeId
+
+
+class MultiAlignedNetworks:
+    """n attributed heterogeneous networks with pairwise anchor links.
+
+    Parameters
+    ----------
+    networks:
+        The component networks; names must be unique.
+    anchors:
+        Mapping from a network-name pair (order defines left/right) to
+        that pair's anchor links.
+    anchor_node_type:
+        Node type connected by anchors.
+    """
+
+    def __init__(
+        self,
+        networks: Sequence[HeterogeneousNetwork],
+        anchors: Mapping[Tuple[str, str], Iterable[LinkPair]],
+        anchor_node_type: str = USER,
+    ) -> None:
+        if len(networks) < 2:
+            raise AlignmentError("need at least two networks")
+        self._networks: Dict[str, HeterogeneousNetwork] = {}
+        for network in networks:
+            if network.name in self._networks:
+                raise AlignmentError(f"duplicate network name {network.name!r}")
+            self._networks[network.name] = network
+        self.anchor_node_type = anchor_node_type
+
+        self._pairs: Dict[Tuple[str, str], AlignedPair] = {}
+        for (left_name, right_name), links in anchors.items():
+            if left_name == right_name:
+                raise AlignmentError(f"cannot align {left_name!r} with itself")
+            for name in (left_name, right_name):
+                if name not in self._networks:
+                    raise AlignmentError(f"unknown network {name!r} in anchors")
+            key = (left_name, right_name)
+            if key in self._pairs or (right_name, left_name) in self._pairs:
+                raise AlignmentError(
+                    f"duplicate anchor declaration for {key!r}"
+                )
+            self._pairs[key] = AlignedPair(
+                self._networks[left_name],
+                self._networks[right_name],
+                links,
+                anchor_node_type=anchor_node_type,
+            )
+        self.validate_transitivity()
+
+    # ------------------------------------------------------------------
+    @property
+    def network_names(self) -> List[str]:
+        """Names of the component networks (insertion order)."""
+        return list(self._networks)
+
+    def network(self, name: str) -> HeterogeneousNetwork:
+        """Component network by name."""
+        try:
+            return self._networks[name]
+        except KeyError:
+            raise AlignmentError(f"unknown network {name!r}") from None
+
+    def pair_names(self) -> List[Tuple[str, str]]:
+        """Declared (left, right) name pairs."""
+        return list(self._pairs)
+
+    def pair(self, left_name: str, right_name: str) -> AlignedPair:
+        """The aligned pair between two networks (order-insensitive).
+
+        Requesting the reversed orientation returns a *new* pair with
+        sides swapped, so the caller's (left, right) convention holds.
+        """
+        if (left_name, right_name) in self._pairs:
+            return self._pairs[(left_name, right_name)]
+        if (right_name, left_name) in self._pairs:
+            original = self._pairs[(right_name, left_name)]
+            return AlignedPair(
+                original.right,
+                original.left,
+                [(b, a) for a, b in original.anchors],
+                anchor_node_type=self.anchor_node_type,
+            )
+        raise AlignmentError(
+            f"no anchors declared between {left_name!r} and {right_name!r}"
+        )
+
+    # ------------------------------------------------------------------
+    def validate_transitivity(self) -> None:
+        """Check anchors form a consistent identity relation.
+
+        For every network triple (a, b, c) with declared anchor sets
+        a~b, b~c and a~c: whenever x~y and y~z are anchored, a recorded
+        anchor from x into c must point at z.
+
+        Raises
+        ------
+        AlignmentError
+            Listing the first violating triangle found.
+        """
+        partner: Dict[Tuple[str, str], Dict[NodeId, NodeId]] = {}
+        for (left_name, right_name), pair in self._pairs.items():
+            forward: Dict[NodeId, NodeId] = {}
+            backward: Dict[NodeId, NodeId] = {}
+            for left_user, right_user in pair.anchors:
+                forward[left_user] = right_user
+                backward[right_user] = left_user
+            partner[(left_name, right_name)] = forward
+            partner[(right_name, left_name)] = backward
+
+        names = self.network_names
+        for a in names:
+            for b in names:
+                for c in names:
+                    if len({a, b, c}) != 3:
+                        continue
+                    ab = partner.get((a, b))
+                    bc = partner.get((b, c))
+                    ac = partner.get((a, c))
+                    if ab is None or bc is None or ac is None:
+                        continue
+                    for x, y in ab.items():
+                        z = bc.get(y)
+                        recorded = ac.get(x)
+                        if z is not None and recorded is not None and recorded != z:
+                            raise AlignmentError(
+                                f"anchor transitivity violated: {x!r}~{y!r}~{z!r} "
+                                f"but {x!r} is anchored to {recorded!r} in "
+                                f"({a!r}, {c!r})"
+                            )
+
+    def infer_transitive_anchors(self) -> Dict[Tuple[str, str], Set[LinkPair]]:
+        """Close the anchor relation transitively across declared pairs.
+
+        Returns, per declared pair, the anchors *implied* by two-hop
+        identity chains but missing from the declaration — useful both
+        as free extra supervision and as a data-quality report.
+        """
+        implied: Dict[Tuple[str, str], Set[LinkPair]] = {
+            key: set() for key in self._pairs
+        }
+        partner: Dict[Tuple[str, str], Dict[NodeId, NodeId]] = {}
+        for (left_name, right_name), pair in self._pairs.items():
+            forward = dict(pair.anchors)
+            partner[(left_name, right_name)] = forward
+            partner[(right_name, left_name)] = {
+                b: a for a, b in forward.items()
+            }
+        for (a, c), pair in self._pairs.items():
+            existing = set(pair.anchors)
+            for b in self.network_names:
+                if b in (a, c):
+                    continue
+                ab = partner.get((a, b))
+                bc = partner.get((b, c))
+                if ab is None or bc is None:
+                    continue
+                for x, y in ab.items():
+                    z = bc.get(y)
+                    if z is not None and (x, z) not in existing:
+                        implied[(a, c)].add((x, z))
+        return implied
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiAlignedNetworks(networks={self.network_names}, "
+            f"pairs={self.pair_names()})"
+        )

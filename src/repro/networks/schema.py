@@ -1,0 +1,256 @@
+"""Network schema objects (Definition 3 of the paper).
+
+A schema declares which node types, edge types and attribute types a
+heterogeneous network may contain, and which (source, relation, target)
+triples are legal.  Networks validate against their schema at mutation
+time, so malformed data is rejected early rather than surfacing as a
+silent zero in a proximity matrix much later.
+
+The module also ships the concrete schema used throughout the paper:
+users who *follow* users and *write* posts; posts annotated *at* a
+timestamp, *checkin* at a location, and *contain* words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+from repro.exceptions import SchemaError
+
+# Canonical type names used by the paper's Foursquare/Twitter setting.
+USER = "user"
+POST = "post"
+
+FOLLOW = "follow"
+WRITE = "write"
+
+TIMESTAMP = "timestamp"
+LOCATION = "location"
+WORD = "word"
+
+AT = "at"          # post  -> timestamp
+CHECKIN = "checkin"  # post -> location
+CONTAIN = "contain"  # post -> word
+
+#: The relation type of anchor links between two aligned networks.
+ANCHOR = "anchor"
+
+
+@dataclass(frozen=True)
+class EdgeTypeSpec:
+    """Declaration of one legal edge type.
+
+    Attributes
+    ----------
+    name:
+        Relation name (e.g. ``"follow"``).
+    source:
+        Node type the edge starts from.
+    target:
+        Node type the edge points to.
+    directed:
+        Whether edge direction is meaningful.  ``follow`` is directed;
+        an undirected relation is stored internally as a single arc and
+        expanded on demand.
+    """
+
+    name: str
+    source: str
+    target: str
+    directed: bool = True
+
+    def key(self) -> Tuple[str, str, str]:
+        """Hashable identity of this edge type: ``(source, name, target)``."""
+        return (self.source, self.name, self.target)
+
+
+@dataclass(frozen=True)
+class AttributeTypeSpec:
+    """Declaration of one attribute type attached to a node type.
+
+    Attribute values behave like nodes of their own type when meta paths
+    traverse them (the paper treats Timestamp/Location/Word as node types
+    in the schema graph of Figure 2); ``relation`` names the association
+    edge (e.g. ``"at"`` for post->timestamp).
+    """
+
+    name: str
+    node_type: str
+    relation: str
+
+
+class NetworkSchema:
+    """Schema of one attributed heterogeneous social network.
+
+    Parameters
+    ----------
+    name:
+        Human-readable schema name (e.g. ``"twitter"``).
+    node_types:
+        Iterable of node type names.
+    edge_types:
+        Iterable of :class:`EdgeTypeSpec`.
+    attribute_types:
+        Iterable of :class:`AttributeTypeSpec`.
+
+    Raises
+    ------
+    SchemaError
+        If an edge or attribute type references an undeclared node type,
+        or declarations collide.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        node_types: Iterable[str],
+        edge_types: Iterable[EdgeTypeSpec] = (),
+        attribute_types: Iterable[AttributeTypeSpec] = (),
+    ) -> None:
+        self.name = name
+        self._node_types: FrozenSet[str] = frozenset(node_types)
+        if not self._node_types:
+            raise SchemaError("a schema must declare at least one node type")
+
+        self._edge_types: Dict[str, EdgeTypeSpec] = {}
+        for spec in edge_types:
+            if spec.name in self._edge_types:
+                raise SchemaError(f"duplicate edge type {spec.name!r}")
+            for endpoint in (spec.source, spec.target):
+                if endpoint not in self._node_types:
+                    raise SchemaError(
+                        f"edge type {spec.name!r} references undeclared "
+                        f"node type {endpoint!r}"
+                    )
+            self._edge_types[spec.name] = spec
+
+        self._attribute_types: Dict[str, AttributeTypeSpec] = {}
+        for attr in attribute_types:
+            if attr.name in self._attribute_types:
+                raise SchemaError(f"duplicate attribute type {attr.name!r}")
+            if attr.node_type not in self._node_types:
+                raise SchemaError(
+                    f"attribute type {attr.name!r} references undeclared "
+                    f"node type {attr.node_type!r}"
+                )
+            self._attribute_types[attr.name] = attr
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def node_types(self) -> FrozenSet[str]:
+        """The set of declared node type names."""
+        return self._node_types
+
+    @property
+    def edge_types(self) -> Dict[str, EdgeTypeSpec]:
+        """Mapping from relation name to its :class:`EdgeTypeSpec`."""
+        return dict(self._edge_types)
+
+    @property
+    def attribute_types(self) -> Dict[str, AttributeTypeSpec]:
+        """Mapping from attribute name to its :class:`AttributeTypeSpec`."""
+        return dict(self._attribute_types)
+
+    def has_node_type(self, node_type: str) -> bool:
+        """Return whether ``node_type`` is declared."""
+        return node_type in self._node_types
+
+    def edge_type(self, relation: str) -> EdgeTypeSpec:
+        """Return the spec for ``relation`` or raise :class:`SchemaError`."""
+        try:
+            return self._edge_types[relation]
+        except KeyError:
+            raise SchemaError(
+                f"unknown edge type {relation!r} in schema {self.name!r}"
+            ) from None
+
+    def attribute_type(self, name: str) -> AttributeTypeSpec:
+        """Return the spec for attribute ``name`` or raise :class:`SchemaError`."""
+        try:
+            return self._attribute_types[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown attribute type {name!r} in schema {self.name!r}"
+            ) from None
+
+    def validate_edge(self, relation: str, source_type: str, target_type: str) -> None:
+        """Check that an edge of ``relation`` may connect the given types.
+
+        Raises
+        ------
+        SchemaError
+            If the relation is undeclared or endpoint types mismatch.
+        """
+        spec = self.edge_type(relation)
+        if (source_type, target_type) != (spec.source, spec.target):
+            raise SchemaError(
+                f"edge type {relation!r} connects {spec.source!r}->{spec.target!r}, "
+                f"got {source_type!r}->{target_type!r}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NetworkSchema):
+            return NotImplemented
+        return (
+            self._node_types == other._node_types
+            and self._edge_types == other._edge_types
+            and self._attribute_types == other._attribute_types
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - trivial
+        return hash((self._node_types, tuple(sorted(self._edge_types))))
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkSchema({self.name!r}, nodes={sorted(self._node_types)}, "
+            f"edges={sorted(self._edge_types)}, "
+            f"attributes={sorted(self._attribute_types)})"
+        )
+
+
+def social_network_schema(name: str = "social") -> NetworkSchema:
+    """Build the paper's Foursquare/Twitter-style schema (Figure 2).
+
+    Node types: ``user``, ``post``.  Edge types: ``follow`` (user->user,
+    directed) and ``write`` (user->post).  Attribute types on posts:
+    ``timestamp`` (via ``at``), ``location`` (via ``checkin``) and
+    ``word`` (via ``contain``).
+    """
+    return NetworkSchema(
+        name=name,
+        node_types=[USER, POST],
+        edge_types=[
+            EdgeTypeSpec(FOLLOW, USER, USER, directed=True),
+            EdgeTypeSpec(WRITE, USER, POST, directed=True),
+        ],
+        attribute_types=[
+            AttributeTypeSpec(TIMESTAMP, POST, AT),
+            AttributeTypeSpec(LOCATION, POST, CHECKIN),
+            AttributeTypeSpec(WORD, POST, CONTAIN),
+        ],
+    )
+
+
+@dataclass(frozen=True)
+class AlignedSchema:
+    """Schema of a pair of aligned networks (Definition 3).
+
+    The two component schemas plus the ``anchor`` relation connecting the
+    shared-entity node type (``user`` in the paper's setting).
+    """
+
+    left: NetworkSchema
+    right: NetworkSchema
+    anchor_node_type: str = USER
+    anchor_relation: str = field(default=ANCHOR)
+
+    def __post_init__(self) -> None:
+        for side, schema in (("left", self.left), ("right", self.right)):
+            if not schema.has_node_type(self.anchor_node_type):
+                raise SchemaError(
+                    f"{side} schema {schema.name!r} lacks anchor node type "
+                    f"{self.anchor_node_type!r}"
+                )

@@ -1,0 +1,94 @@
+"""Descriptive statistics for networks and aligned pairs (Table II analog)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.networks.aligned import AlignedPair
+from repro.networks.heterogeneous import HeterogeneousNetwork
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """Node/edge/attribute counts of one heterogeneous network."""
+
+    name: str
+    node_counts: Dict[str, int]
+    edge_counts: Dict[str, int]
+    attribute_vocab_sizes: Dict[str, int]
+    attribute_link_counts: Dict[str, int]
+
+
+def network_stats(network: HeterogeneousNetwork) -> NetworkStats:
+    """Compute counts for one network."""
+    schema = network.schema
+    return NetworkStats(
+        name=network.name,
+        node_counts={t: network.node_count(t) for t in sorted(schema.node_types)},
+        edge_counts={r: network.edge_count(r) for r in sorted(schema.edge_types)},
+        attribute_vocab_sizes={
+            a: network.attribute_vocabulary_size(a)
+            for a in sorted(schema.attribute_types)
+        },
+        attribute_link_counts={
+            a: network.attribute_link_count(a) for a in sorted(schema.attribute_types)
+        },
+    )
+
+
+@dataclass(frozen=True)
+class AlignedPairStats:
+    """Statistics of an aligned pair, mirroring the paper's Table II."""
+
+    left: NetworkStats
+    right: NetworkStats
+    anchor_count: int
+    candidate_space: int
+
+
+def aligned_pair_stats(pair: AlignedPair) -> AlignedPairStats:
+    """Compute statistics of an aligned pair."""
+    return AlignedPairStats(
+        left=network_stats(pair.left),
+        right=network_stats(pair.right),
+        anchor_count=pair.anchor_count(),
+        candidate_space=pair.candidate_space_size(),
+    )
+
+
+def format_table2(stats: AlignedPairStats) -> str:
+    """Render the Table II analog as aligned plain text.
+
+    One row per statistic, one column per network, paper-style.
+    """
+    rows: List[tuple] = []
+    left, right = stats.left, stats.right
+    for node_type in left.node_counts:
+        rows.append(
+            (f"# node: {node_type}", left.node_counts[node_type],
+             right.node_counts.get(node_type, 0))
+        )
+    for attribute in left.attribute_vocab_sizes:
+        rows.append(
+            (f"# attr values: {attribute}", left.attribute_vocab_sizes[attribute],
+             right.attribute_vocab_sizes.get(attribute, 0))
+        )
+    for relation in left.edge_counts:
+        rows.append(
+            (f"# link: {relation}", left.edge_counts[relation],
+             right.edge_counts.get(relation, 0))
+        )
+    rows.append(("# anchor links", stats.anchor_count, ""))
+    rows.append(("|H| candidate pairs", stats.candidate_space, ""))
+
+    label_width = max(len(str(row[0])) for row in rows)
+    header = (
+        f"{'property':<{label_width}}  {left.name:>14}  {right.name:>14}"
+    )
+    lines = [header, "-" * len(header)]
+    for label, left_value, right_value in rows:
+        lines.append(
+            f"{label:<{label_width}}  {str(left_value):>14}  {str(right_value):>14}"
+        )
+    return "\n".join(lines)

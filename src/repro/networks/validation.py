@@ -1,0 +1,190 @@
+"""Structural integrity checks for networks and aligned pairs.
+
+Generators, loaders and hand-built fixtures can all produce subtly
+broken data (orphan posts, users with no presence, anchors between
+inactive accounts).  :func:`check_network` / :func:`check_aligned_pair`
+return a structured report of findings; nothing here raises, because
+most findings are legitimate in small or synthetic data — callers
+decide which findings are errors for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.networks.aligned import AlignedPair
+from repro.networks.heterogeneous import HeterogeneousNetwork
+from repro.networks.schema import FOLLOW, POST, USER, WRITE
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One integrity finding.
+
+    ``severity`` is ``"warning"`` (unusual but plausible) or ``"info"``
+    (worth knowing when debugging data quality).
+    """
+
+    code: str
+    severity: str
+    message: str
+    count: int
+
+
+@dataclass
+class IntegrityReport:
+    """All findings for one network or aligned pair."""
+
+    subject: str
+    findings: List[Finding] = field(default_factory=list)
+
+    def add(self, code: str, severity: str, message: str, count: int) -> None:
+        """Record a finding when ``count`` is positive."""
+        if count > 0:
+            self.findings.append(Finding(code, severity, message, count))
+
+    @property
+    def warning_count(self) -> int:
+        """Number of warning-severity findings."""
+        return sum(1 for f in self.findings if f.severity == "warning")
+
+    def format(self) -> str:
+        """Plain-text rendering of the report."""
+        lines = [f"Integrity report: {self.subject}"]
+        if not self.findings:
+            lines.append("  no findings")
+        for finding in self.findings:
+            lines.append(
+                f"  [{finding.severity}] {finding.code}: "
+                f"{finding.message} (n={finding.count})"
+            )
+        return "\n".join(lines)
+
+
+def check_network(network: HeterogeneousNetwork) -> IntegrityReport:
+    """Run structural checks on one social network."""
+    report = IntegrityReport(subject=network.name)
+
+    orphan_posts = sum(
+        1
+        for post in network.nodes(POST)
+        if not network.predecessors(WRITE, post)
+    )
+    report.add(
+        "orphan-post",
+        "warning",
+        "posts with no author (unreachable by any meta path)",
+        orphan_posts,
+    )
+
+    isolated_users = sum(
+        1
+        for user in network.nodes(USER)
+        if not network.successors(FOLLOW, user)
+        and not network.predecessors(FOLLOW, user)
+        and not network.successors(WRITE, user)
+    )
+    report.add(
+        "isolated-user",
+        "warning",
+        "users with no follows and no posts (no alignment evidence)",
+        isolated_users,
+    )
+
+    silent_users = sum(
+        1
+        for user in network.nodes(USER)
+        if not network.successors(WRITE, user)
+    )
+    report.add(
+        "silent-user",
+        "info",
+        "users who never post (only structural evidence available)",
+        silent_users,
+    )
+
+    bare_posts = 0
+    for post in network.nodes(POST):
+        has_any = any(
+            network.node_attributes(attribute, post)
+            for attribute in network.schema.attribute_types
+        )
+        if not has_any:
+            bare_posts += 1
+    report.add(
+        "bare-post",
+        "info",
+        "posts carrying no attributes (invisible to attribute paths)",
+        bare_posts,
+    )
+    return report
+
+
+def check_aligned_pair(pair: AlignedPair) -> IntegrityReport:
+    """Run checks spanning both networks and the anchor set."""
+    report = IntegrityReport(
+        subject=f"{pair.left.name} <-> {pair.right.name}"
+    )
+
+    def _has_evidence(network: HeterogeneousNetwork, user) -> bool:
+        return bool(
+            network.successors(FOLLOW, user)
+            or network.predecessors(FOLLOW, user)
+            or network.successors(WRITE, user)
+        )
+
+    blind_anchors = sum(
+        1
+        for left_user, right_user in pair.anchors
+        if not _has_evidence(pair.left, left_user)
+        or not _has_evidence(pair.right, right_user)
+    )
+    report.add(
+        "evidence-free-anchor",
+        "warning",
+        "anchors where at least one account has no structure or activity "
+        "(unlearnable positives; they cap achievable recall)",
+        blind_anchors,
+    )
+
+    unanchored_left = sum(
+        1
+        for user in pair.left_users()
+        if pair.anchored_right(user) is None
+    )
+    unanchored_right = sum(
+        1
+        for user in pair.right_users()
+        if pair.anchored_left(user) is None
+    )
+    report.add(
+        "unanchored-left-user",
+        "info",
+        f"{pair.left.name} users with no ground-truth partner",
+        unanchored_left,
+    )
+    report.add(
+        "unanchored-right-user",
+        "info",
+        f"{pair.right.name} users with no ground-truth partner",
+        unanchored_right,
+    )
+
+    shared_timestamp = len(
+        set(pair.left.attribute_values("timestamp"))
+        & set(pair.right.attribute_values("timestamp"))
+    )
+    shared_location = len(
+        set(pair.left.attribute_values("location"))
+        & set(pair.right.attribute_values("location"))
+    )
+    if shared_timestamp == 0 and shared_location == 0:
+        report.add(
+            "no-shared-attribute-values",
+            "warning",
+            "the attribute vocabularies are disjoint: attribute meta paths "
+            "(P5/P6) will be identically zero",
+            1,
+        )
+    return report

@@ -1,0 +1,31 @@
+"""Synthetic aligned social network generator.
+
+This subpackage is the documented substitution for the paper's crawled
+Foursquare/Twitter dataset (see DESIGN.md §2): it synthesizes a latent
+population whose members appear on two platforms, preserving exactly the
+correlations the paper's meta-diagram features exploit.
+"""
+
+from repro.synth.activity import ActivityModel, PersonProfile, PostDraw
+from repro.synth.config import PlatformConfig, WorldConfig
+from repro.synth.follow_graph import (
+    noise_follows,
+    project_directed_follows,
+    scale_free_friendships,
+    small_world_friendships,
+)
+from repro.synth.generator import generate_aligned_pair, generate_multi_aligned
+
+__all__ = [
+    "ActivityModel",
+    "PersonProfile",
+    "PlatformConfig",
+    "PostDraw",
+    "WorldConfig",
+    "generate_aligned_pair",
+    "generate_multi_aligned",
+    "noise_follows",
+    "project_directed_follows",
+    "scale_free_friendships",
+    "small_world_friendships",
+]

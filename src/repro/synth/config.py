@@ -1,0 +1,158 @@
+"""Configuration dataclasses for the synthetic aligned-network generator.
+
+The generator models a latent *world* of natural persons, then projects
+it onto two platforms.  ``WorldConfig`` controls the latent population;
+each ``PlatformConfig`` controls how faithfully one platform observes it.
+All knobs have defaults that produce paper-like correlation structure at
+laptop scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import DatasetError
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """How one platform (e.g. Twitter) samples the latent world.
+
+    Attributes
+    ----------
+    name:
+        Platform name; becomes the network name.
+    membership_rate:
+        Probability that a latent person has an account here.  Anchored
+        users are those present on both platforms.
+    edge_retention:
+        Probability that a latent friendship appears as a follow edge on
+        this platform (sampled independently per direction).
+    extra_edge_rate:
+        Expected number of *noise* follow edges per user (edges with no
+        latent counterpart), modeling platform-only relationships.
+    posts_per_user_mean:
+        Mean of the Poisson post count per user on this platform.
+    post_attribute_noise:
+        Probability that a post's (timestamp, location) is drawn from the
+        global background instead of the author's personal profile.
+        Higher noise weakens cross-network attribute signal.
+    checkin_rate:
+        Probability a post carries a location check-in.
+    timestamp_rate:
+        Probability a post carries a timestamp.
+    words_per_post:
+        Number of words attached to each post.
+    """
+
+    name: str
+    membership_rate: float = 0.8
+    edge_retention: float = 0.7
+    extra_edge_rate: float = 1.0
+    posts_per_user_mean: float = 6.0
+    post_attribute_noise: float = 0.15
+    checkin_rate: float = 0.9
+    timestamp_rate: float = 0.95
+    words_per_post: int = 3
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "membership_rate",
+            "edge_retention",
+            "post_attribute_noise",
+            "checkin_rate",
+            "timestamp_rate",
+        ):
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise DatasetError(f"{attr} must be in [0, 1], got {value}")
+        if self.extra_edge_rate < 0:
+            raise DatasetError("extra_edge_rate must be >= 0")
+        if self.posts_per_user_mean < 0:
+            raise DatasetError("posts_per_user_mean must be >= 0")
+        if self.words_per_post < 0:
+            raise DatasetError("words_per_post must be >= 0")
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """The latent population both platforms observe.
+
+    Attributes
+    ----------
+    n_people:
+        Number of latent natural persons.
+    friendship_attachment:
+        Number of friendship edges each newcomer creates in the
+        preferential-attachment friendship graph (Barabási–Albert ``m``).
+    n_locations:
+        Size of the global location vocabulary (e.g. venue grid cells).
+    n_time_bins:
+        Size of the global timestamp vocabulary (coarse time bins).
+    n_words:
+        Size of the global word vocabulary.
+    locations_per_person:
+        Number of "home" locations in each person's activity profile.
+    time_bins_per_person:
+        Number of habitual time bins per person.
+    words_per_person:
+        Size of each person's personal vocabulary.
+    background_zipf:
+        Popularity-skew exponent of the attribute background (see
+        :class:`~repro.synth.activity.ActivityModel`); higher values
+        concentrate activity on hot venues/slots, making non-anchored
+        users collide more and the alignment task harder.
+    profile_concentration:
+        Dirichlet concentration of per-person habit weights.
+    left, right:
+        The two platform configurations.
+    seed:
+        Seed for the top-level :class:`numpy.random.Generator`.
+    """
+
+    n_people: int = 300
+    friendship_attachment: int = 3
+    n_locations: int = 400
+    n_time_bins: int = 168
+    n_words: int = 800
+    locations_per_person: int = 4
+    time_bins_per_person: int = 6
+    words_per_person: int = 25
+    background_zipf: float = 1.0
+    profile_concentration: float = 0.8
+    left: PlatformConfig = field(
+        default_factory=lambda: PlatformConfig(name="foursquare-like")
+    )
+    right: PlatformConfig = field(
+        default_factory=lambda: PlatformConfig(name="twitter-like")
+    )
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.n_people < 2:
+            raise DatasetError("n_people must be >= 2")
+        if self.friendship_attachment < 1:
+            raise DatasetError("friendship_attachment must be >= 1")
+        if self.friendship_attachment >= self.n_people:
+            raise DatasetError(
+                "friendship_attachment must be < n_people "
+                f"({self.friendship_attachment} >= {self.n_people})"
+            )
+        for attr in ("n_locations", "n_time_bins", "n_words"):
+            if getattr(self, attr) < 1:
+                raise DatasetError(f"{attr} must be >= 1")
+        if self.locations_per_person < 1 or self.locations_per_person > self.n_locations:
+            raise DatasetError("locations_per_person out of range")
+        if (
+            self.time_bins_per_person < 1
+            or self.time_bins_per_person > self.n_time_bins
+        ):
+            raise DatasetError("time_bins_per_person out of range")
+        if self.words_per_person < 1 or self.words_per_person > self.n_words:
+            raise DatasetError("words_per_person out of range")
+        if self.background_zipf < 0:
+            raise DatasetError("background_zipf must be >= 0")
+        if self.profile_concentration <= 0:
+            raise DatasetError("profile_concentration must be > 0")
+        if self.left.name == self.right.name:
+            raise DatasetError("the two platforms must have distinct names")

@@ -1,0 +1,42 @@
+"""Shared lightweight type aliases and small value objects.
+
+The library models entities in a heterogeneous network with plain hashable
+identifiers.  Using aliases (instead of bare ``str``/``int`` everywhere)
+documents intent at call sites without imposing a heavyweight class
+hierarchy on hot paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Tuple
+
+#: Identifier of a node inside one heterogeneous network.
+NodeId = Hashable
+
+#: Identifier of an attribute *value* (e.g. one location cell, one time bin).
+AttributeValue = Hashable
+
+#: An anchor link candidate: (user id in network 1, user id in network 2).
+LinkPair = Tuple[NodeId, NodeId]
+
+
+@dataclass(frozen=True, slots=True)
+class Labeled:
+    """An anchor-link candidate together with its binary label.
+
+    Attributes
+    ----------
+    pair:
+        The ``(user_in_g1, user_in_g2)`` candidate.
+    label:
+        ``1`` if the two accounts belong to the same natural person,
+        ``0`` otherwise.  The paper uses the label set ``{0, +1}``.
+    """
+
+    pair: LinkPair
+    label: int
+
+    def __post_init__(self) -> None:
+        if self.label not in (0, 1):
+            raise ValueError(f"label must be 0 or 1, got {self.label!r}")

@@ -1,0 +1,85 @@
+"""Tests for repro.active.oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.active.oracle import LabelOracle
+from repro.exceptions import BudgetExhaustedError, ReproError
+
+POSITIVES = {("a", "x"), ("b", "y")}
+
+
+class TestLabelOracle:
+    def test_answers_truthfully(self):
+        oracle = LabelOracle(POSITIVES, budget=10)
+        assert oracle.query(("a", "x")) == 1
+        assert oracle.query(("a", "y")) == 0
+
+    def test_budget_accounting(self):
+        oracle = LabelOracle(POSITIVES, budget=2)
+        oracle.query(("a", "x"))
+        assert (oracle.spent, oracle.remaining) == (1, 1)
+        oracle.query(("a", "y"))
+        assert oracle.remaining == 0
+
+    def test_exhaustion_raises(self):
+        oracle = LabelOracle(POSITIVES, budget=1)
+        oracle.query(("a", "x"))
+        with pytest.raises(BudgetExhaustedError):
+            oracle.query(("b", "y"))
+
+    def test_repeat_queries_free(self):
+        oracle = LabelOracle(POSITIVES, budget=1)
+        oracle.query(("a", "x"))
+        assert oracle.query(("a", "x")) == 1
+        assert oracle.spent == 1
+
+    def test_queried_set(self):
+        oracle = LabelOracle(POSITIVES, budget=5)
+        oracle.query(("a", "x"))
+        assert oracle.queried == {("a", "x")}
+        # Returned set is a copy.
+        oracle.queried.add(("z", "z"))
+        assert oracle.queried == {("a", "x")}
+
+    def test_zero_budget_allowed(self):
+        oracle = LabelOracle(POSITIVES, budget=0)
+        assert oracle.remaining == 0
+        with pytest.raises(BudgetExhaustedError):
+            oracle.query(("a", "x"))
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ReproError):
+            LabelOracle(POSITIVES, budget=-1)
+
+    def test_batch_truncates_at_budget(self):
+        oracle = LabelOracle(POSITIVES, budget=2)
+        answers = oracle.query_batch([("a", "x"), ("a", "y"), ("b", "y")])
+        assert len(answers) == 2
+        assert oracle.remaining == 0
+
+    def test_batch_repeat_answers_free(self):
+        oracle = LabelOracle(POSITIVES, budget=1)
+        oracle.query(("a", "x"))
+        answers = oracle.query_batch([("a", "x"), ("a", "x")])
+        assert answers == [(("a", "x"), 1), (("a", "x"), 1)]
+        assert oracle.spent == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    budget=st.integers(0, 20),
+    queries=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=30
+    ),
+)
+def test_spent_never_exceeds_budget(budget, queries):
+    oracle = LabelOracle({(0, 0), (1, 1)}, budget=budget)
+    for pair in queries:
+        try:
+            oracle.query(pair)
+        except BudgetExhaustedError:
+            pass
+    assert oracle.spent <= budget
+    assert oracle.spent == len(oracle.queried)

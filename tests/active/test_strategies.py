@@ -1,0 +1,135 @@
+"""Tests for repro.active.strategies."""
+
+import numpy as np
+import pytest
+
+from repro.active.strategies import (
+    ConflictFalseNegativeStrategy,
+    MarginQueryStrategy,
+    RandomQueryStrategy,
+)
+from repro.exceptions import ReproError
+
+# Candidate layout: left users a, b; right users x, y.
+PAIRS = [("a", "x"), ("a", "y"), ("b", "x"), ("b", "y")]
+
+
+class TestConflictStrategy:
+    def test_selects_near_miss_dominant_negative(self):
+        strategy = ConflictFalseNegativeStrategy(closeness_threshold=0.05)
+        # (a,x) positive with 0.60; (a,y) negative scored 0.58: close to
+        # its conflicting winner -> near miss.  It also dominates the
+        # other conflicting positive (b,y)=0.30 via user y.
+        scores = np.array([0.60, 0.58, 0.10, 0.30])
+        labels = np.array([1, 0, 0, 1])
+        queryable = np.array([True, True, True, True])
+        picks = strategy.select(PAIRS, scores, labels, queryable, batch_size=1)
+        assert picks == [1]
+
+    def test_not_near_miss_excluded_without_fallback(self):
+        strategy = ConflictFalseNegativeStrategy(
+            closeness_threshold=0.05, allow_fallback=False
+        )
+        # Negative (a,y)=0.3 is far from both conflicting positives
+        # ((a,x)=0.9 and (b,y)=0.45): not a near miss.
+        scores = np.array([0.90, 0.30, 0.10, 0.45])
+        labels = np.array([1, 0, 0, 1])
+        queryable = np.ones(4, dtype=bool)
+        picks = strategy.select(PAIRS, scores, labels, queryable, batch_size=2)
+        assert picks == []
+
+    def test_requires_dominance_over_some_positive(self):
+        strategy = ConflictFalseNegativeStrategy(allow_fallback=False)
+        # (a,y)=0.58 is close to (a,x)=0.60 but dominates no positive:
+        # the other conflicting positive (b,y)=0.70 beats it.
+        scores = np.array([0.60, 0.58, 0.10, 0.70])
+        labels = np.array([1, 0, 0, 1])
+        picks = strategy.select(
+            PAIRS, scores, labels, np.ones(4, dtype=bool), batch_size=2
+        )
+        assert picks == []
+
+    def test_fallback_fills_batch_with_top_scores(self):
+        strategy = ConflictFalseNegativeStrategy(allow_fallback=True)
+        scores = np.array([0.90, 0.30, 0.10, 0.25])
+        labels = np.array([1, 0, 0, 1])
+        queryable = np.array([False, True, True, False])
+        picks = strategy.select(PAIRS, scores, labels, queryable, batch_size=2)
+        assert picks == [1, 2]  # highest-scoring queryable negatives
+
+    def test_respects_queryable_mask(self):
+        strategy = ConflictFalseNegativeStrategy()
+        scores = np.array([0.60, 0.58, 0.10, 0.30])
+        labels = np.array([1, 0, 0, 1])
+        queryable = np.array([False, False, True, False])
+        picks = strategy.select(PAIRS, scores, labels, queryable, batch_size=5)
+        assert picks == [2]
+
+    def test_batch_size_limits(self):
+        strategy = ConflictFalseNegativeStrategy()
+        scores = np.array([0.60, 0.58, 0.10, 0.30])
+        labels = np.array([1, 0, 0, 1])
+        picks = strategy.select(
+            PAIRS, scores, labels, np.ones(4, dtype=bool), batch_size=2
+        )
+        assert len(picks) == 2
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ReproError):
+            ConflictFalseNegativeStrategy(closeness_threshold=-0.1)
+
+    def test_input_validation(self):
+        strategy = ConflictFalseNegativeStrategy()
+        with pytest.raises(ReproError):
+            strategy.select(PAIRS, np.ones(3), np.zeros(4), np.ones(4, bool), 1)
+
+
+class TestRandomStrategy:
+    def test_picks_only_queryable(self):
+        strategy = RandomQueryStrategy(seed=0)
+        queryable = np.array([True, False, True, False])
+        for _ in range(10):
+            picks = strategy.select(
+                PAIRS, np.zeros(4), np.zeros(4), queryable, batch_size=2
+            )
+            assert set(picks) <= {0, 2}
+
+    def test_no_duplicates(self):
+        strategy = RandomQueryStrategy(seed=1)
+        picks = strategy.select(
+            PAIRS, np.zeros(4), np.zeros(4), np.ones(4, bool), batch_size=4
+        )
+        assert len(picks) == len(set(picks)) == 4
+
+    def test_empty_pool(self):
+        strategy = RandomQueryStrategy()
+        picks = strategy.select(
+            PAIRS, np.zeros(4), np.zeros(4), np.zeros(4, bool), batch_size=2
+        )
+        assert picks == []
+
+    def test_deterministic_given_seed(self):
+        a = RandomQueryStrategy(seed=5).select(
+            PAIRS, np.zeros(4), np.zeros(4), np.ones(4, bool), 2
+        )
+        b = RandomQueryStrategy(seed=5).select(
+            PAIRS, np.zeros(4), np.zeros(4), np.ones(4, bool), 2
+        )
+        assert a == b
+
+
+class TestMarginStrategy:
+    def test_picks_closest_to_boundary(self):
+        strategy = MarginQueryStrategy(boundary=0.5)
+        scores = np.array([0.1, 0.49, 0.95, 0.55])
+        picks = strategy.select(
+            PAIRS, scores, np.zeros(4), np.ones(4, bool), batch_size=2
+        )
+        assert picks == [1, 3]
+
+    def test_respects_mask_and_batch(self):
+        strategy = MarginQueryStrategy()
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        queryable = np.array([False, True, True, True])
+        picks = strategy.select(PAIRS, scores, np.zeros(4), queryable, 2)
+        assert picks == [1, 2]

@@ -1,0 +1,87 @@
+"""Tests for repro.baselines.isorank."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.isorank import IsoRank, attribute_prior
+from repro.exceptions import ModelError
+from repro.matching.constraints import satisfies_one_to_one
+
+
+class TestValidation:
+    def test_alpha_bounds(self):
+        with pytest.raises(ModelError):
+            IsoRank(alpha=1.5)
+        with pytest.raises(ModelError):
+            IsoRank(alpha=-0.1)
+
+    def test_max_iter(self):
+        with pytest.raises(ModelError):
+            IsoRank(max_iter=0)
+
+
+class TestAttributePrior:
+    def test_shape_and_normalization(self, tiny_synthetic_pair):
+        prior = attribute_prior(tiny_synthetic_pair)
+        n_left = tiny_synthetic_pair.left.node_count("user")
+        n_right = tiny_synthetic_pair.right.node_count("user")
+        assert prior.shape == (n_left, n_right)
+        assert np.all(prior >= 0)
+        assert np.isclose(prior.sum(), 1.0)
+
+    def test_anchored_pairs_favoured(self, tiny_synthetic_pair):
+        pair = tiny_synthetic_pair
+        prior = attribute_prior(pair)
+        lefts = {u: i for i, u in enumerate(pair.left_users())}
+        rights = {u: j for j, u in enumerate(pair.right_users())}
+        anchor_scores = [
+            prior[lefts[a], rights[b]] for a, b in pair.anchors
+        ]
+        assert np.mean(anchor_scores) > prior.mean()
+
+
+class TestIsoRank:
+    def test_fit_converges_and_normalizes(self, tiny_synthetic_pair):
+        model = IsoRank(max_iter=100).fit(tiny_synthetic_pair)
+        assert model.similarity_ is not None
+        assert np.isclose(model.similarity_.sum(), 1.0)
+        assert model.n_iter_ <= 100
+
+    def test_alignment_one_to_one(self, tiny_synthetic_pair):
+        model = IsoRank().fit(tiny_synthetic_pair)
+        matches = model.align(tiny_synthetic_pair)
+        labels = np.ones(len(matches), dtype=int)
+        assert satisfies_one_to_one(matches, labels)
+
+    def test_top_k(self, tiny_synthetic_pair):
+        model = IsoRank().fit(tiny_synthetic_pair)
+        matches = model.align(tiny_synthetic_pair, top_k=5)
+        assert len(matches) <= 5
+
+    def test_beats_chance(self, tiny_synthetic_pair):
+        """Unsupervised IsoRank must beat random matching clearly."""
+        pair = tiny_synthetic_pair
+        model = IsoRank(alpha=0.6).fit(pair)
+        matches = model.align(pair, top_k=pair.anchor_count())
+        hits = sum(1 for match in matches if pair.is_anchor(match))
+        precision = hits / max(1, len(matches))
+        # Random one-to-one matching expects ~1/n precision (n ~ 40).
+        assert precision > 0.15
+
+    def test_attribute_prior_helps(self, tiny_synthetic_pair):
+        pair = tiny_synthetic_pair
+        with_attrs = IsoRank(use_attributes=True).fit(pair)
+        topology_only = IsoRank(use_attributes=False).fit(pair)
+
+        def precision(model):
+            matches = model.align(pair, top_k=pair.anchor_count())
+            hits = sum(1 for match in matches if pair.is_anchor(match))
+            return hits / max(1, len(matches))
+
+        assert precision(with_attrs) >= precision(topology_only)
+
+    def test_align_fits_if_needed(self, tiny_synthetic_pair):
+        model = IsoRank()
+        matches = model.align(tiny_synthetic_pair)
+        assert model.similarity_ is not None
+        assert matches

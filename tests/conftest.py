@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import foursquare_twitter_like
+from repro.networks.aligned import AlignedPair
+from repro.networks.builders import SocialNetworkBuilder
+
+from helpers import build_random_pair  # noqa: F401  (re-exported fixture helper)
+
+
+@pytest.fixture()
+def handmade_pair() -> AlignedPair:
+    """A tiny fully hand-specified aligned pair with known counts.
+
+    Left: users la, lb, lc; la follows lb, lb follows la, lc follows lb.
+    Right: users ra, rb, rc; ra follows rb, rb follows ra, rc follows ra.
+    Anchors: (lb, rb), (lc, rc).
+    Posts: la/ra both post at timestamp 1 location 10 (a matching pair);
+    lc posts at timestamp 2 location 20, rc posts at timestamp 2
+    location 21 (timestamp matches, location does not).
+    """
+    left = (
+        SocialNetworkBuilder("left")
+        .add_users(["la", "lb", "lc"])
+        .follow("la", "lb")
+        .follow("lb", "la")
+        .follow("lc", "lb")
+        .post("la", post_id="lp0", timestamp=1, location=10, words=["hi"])
+        .post("lc", post_id="lp1", timestamp=2, location=20, words=["yo"])
+        .build()
+    )
+    right = (
+        SocialNetworkBuilder("right")
+        .add_users(["ra", "rb", "rc"])
+        .follow("ra", "rb")
+        .follow("rb", "ra")
+        .follow("rc", "ra")
+        .post("ra", post_id="rp0", timestamp=1, location=10, words=["hi"])
+        .post("rc", post_id="rp1", timestamp=2, location=21, words=["yo"])
+        .build()
+    )
+    return AlignedPair(left, right, [("lb", "rb"), ("lc", "rc")])
+
+
+@pytest.fixture(scope="session")
+def tiny_synthetic_pair() -> AlignedPair:
+    """Session-cached tiny synthetic pair from the dataset preset."""
+    return foursquare_twitter_like("tiny", seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_synthetic_pair() -> AlignedPair:
+    """Session-cached small synthetic pair (used by model-level tests)."""
+    return foursquare_twitter_like("small", seed=5)

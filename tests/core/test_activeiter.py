@@ -1,0 +1,132 @@
+"""Tests for repro.core.activeiter."""
+
+import numpy as np
+import pytest
+
+from repro.active.oracle import LabelOracle
+from repro.active.strategies import MarginQueryStrategy, RandomQueryStrategy
+from repro.core.activeiter import ActiveIter
+from repro.exceptions import ModelError
+from repro.matching.constraints import satisfies_one_to_one
+from repro.meta.features import FeatureExtractor
+
+from test_itermpmd import _synthetic_task
+
+
+def _oracle_for(task, truth, budget):
+    positives = {
+        task.pairs[i] for i in range(task.n_candidates) if truth[i] == 1
+    }
+    return LabelOracle(positives, budget=budget)
+
+
+class TestActiveIter:
+    def test_validation(self, tiny_synthetic_pair):
+        task, truth = _synthetic_task(tiny_synthetic_pair)
+        oracle = _oracle_for(task, truth, 5)
+        with pytest.raises(ModelError):
+            ActiveIter(oracle, batch_size=0)
+        with pytest.raises(ModelError):
+            ActiveIter(oracle, refresh_features=True)
+
+    def test_budget_respected(self, tiny_synthetic_pair):
+        task, truth = _synthetic_task(tiny_synthetic_pair)
+        oracle = _oracle_for(task, truth, 7)
+        model = ActiveIter(oracle, batch_size=3).fit(task)
+        assert len(model.queried_) <= 7
+        assert oracle.spent <= 7
+
+    def test_queried_labels_truthful_and_clamped(self, tiny_synthetic_pair):
+        task, truth = _synthetic_task(tiny_synthetic_pair)
+        oracle = _oracle_for(task, truth, 10)
+        model = ActiveIter(oracle).fit(task)
+        for pair, label in model.queried_:
+            index = task.index_of(pair)
+            assert truth[index] == label
+            assert model.labels_[index] == label
+
+    def test_queries_spent_only_on_unlabeled(self, tiny_synthetic_pair):
+        task, truth = _synthetic_task(tiny_synthetic_pair)
+        oracle = _oracle_for(task, truth, 10)
+        model = ActiveIter(oracle).fit(task)
+        train_pairs = {task.pairs[i] for i in task.labeled_indices}
+        assert all(pair not in train_pairs for pair, _ in model.queried_)
+
+    def test_one_to_one_maintained(self, tiny_synthetic_pair):
+        task, truth = _synthetic_task(tiny_synthetic_pair)
+        oracle = _oracle_for(task, truth, 10)
+        model = ActiveIter(oracle).fit(task)
+        assert satisfies_one_to_one(task.pairs, model.labels_)
+
+    def test_zero_budget_equals_itermpmd(self, tiny_synthetic_pair):
+        from repro.core.itermpmd import IterMPMD
+
+        task_a, truth = _synthetic_task(tiny_synthetic_pair)
+        task_b, _ = _synthetic_task(tiny_synthetic_pair)
+        oracle = _oracle_for(task_a, truth, 0)
+        active = ActiveIter(oracle).fit(task_a)
+        passive = IterMPMD().fit(task_b)
+        assert np.array_equal(active.labels_, passive.labels_)
+        assert active.queried_ == ()
+
+    def test_multiple_rounds_executed(self, tiny_synthetic_pair):
+        task, truth = _synthetic_task(tiny_synthetic_pair)
+        oracle = _oracle_for(task, truth, 10)
+        model = ActiveIter(oracle, batch_size=5).fit(task)
+        assert model.result_.n_rounds >= 2
+
+    def test_active_beats_passive_on_test_anchors(self, small_synthetic_pair):
+        from repro.core.itermpmd import IterMPMD
+
+        task_a, truth = _synthetic_task(small_synthetic_pair, seed=3)
+        task_b, _ = _synthetic_task(small_synthetic_pair, seed=3)
+        oracle = _oracle_for(task_a, truth, 30)
+        active = ActiveIter(oracle).fit(task_a)
+        passive = IterMPMD().fit(task_b)
+
+        queried = {pair for pair, _ in active.queried_}
+        eval_mask = np.array(
+            [
+                task_a.unlabeled_mask[i] and task_a.pairs[i] not in queried
+                for i in range(task_a.n_candidates)
+            ]
+        )
+        def recall(labels):
+            hits = np.sum((labels == 1) & (truth == 1) & eval_mask)
+            total = np.sum((truth == 1) & eval_mask)
+            return hits / total
+
+        assert recall(active.labels_) >= recall(passive.labels_)
+
+    def test_custom_strategy_used(self, tiny_synthetic_pair):
+        task, truth = _synthetic_task(tiny_synthetic_pair)
+        oracle = _oracle_for(task, truth, 6)
+        model = ActiveIter(
+            oracle, strategy=RandomQueryStrategy(seed=3), batch_size=3
+        ).fit(task)
+        assert len(model.queried_) == 6
+
+    def test_margin_strategy_runs(self, tiny_synthetic_pair):
+        task, truth = _synthetic_task(tiny_synthetic_pair)
+        oracle = _oracle_for(task, truth, 6)
+        model = ActiveIter(oracle, strategy=MarginQueryStrategy()).fit(task)
+        assert len(model.queried_) == 6
+
+    def test_refresh_features_extension(self, tiny_synthetic_pair):
+        task, truth = _synthetic_task(tiny_synthetic_pair)
+        train_positives = [
+            task.pairs[i]
+            for i, v in zip(task.labeled_indices, task.labeled_values)
+            if v == 1
+        ]
+        extractor = FeatureExtractor(
+            tiny_synthetic_pair, known_anchors=train_positives
+        )
+        oracle = _oracle_for(task, truth, 10)
+        model = ActiveIter(
+            oracle,
+            feature_extractor=extractor,
+            refresh_features=True,
+        ).fit(task)
+        assert model.result_ is not None
+        assert satisfies_one_to_one(task.pairs, model.labels_)

@@ -1,0 +1,115 @@
+"""Tests for repro.core.itermpmd."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import AlignmentTask
+from repro.core.itermpmd import IterMPMD
+from repro.exceptions import ModelError
+from repro.matching.constraints import satisfies_one_to_one
+from repro.meta.features import FeatureExtractor
+
+
+def _synthetic_task(pair, np_ratio=5, train_fraction=0.3, seed=0):
+    """Candidate set + task from a synthetic aligned pair."""
+    rng = np.random.default_rng(seed)
+    positives = sorted(pair.anchors, key=repr)
+    lefts, rights = pair.left_users(), pair.right_users()
+    negatives = []
+    seen = set(positives)
+    while len(negatives) < np_ratio * len(positives):
+        cand = (
+            lefts[rng.integers(len(lefts))],
+            rights[rng.integers(len(rights))],
+        )
+        if cand not in seen:
+            seen.add(cand)
+            negatives.append(cand)
+    candidates = positives + negatives
+    truth = np.array([1] * len(positives) + [0] * len(negatives))
+    n_train_pos = max(2, int(train_fraction * len(positives)))
+    n_train_neg = max(2, int(train_fraction * len(negatives)))
+    train_idx = np.concatenate(
+        [
+            np.arange(n_train_pos),
+            len(positives) + np.arange(n_train_neg),
+        ]
+    )
+    extractor = FeatureExtractor(
+        pair, known_anchors=[candidates[i] for i in train_idx if truth[i] == 1]
+    )
+    X = extractor.extract(candidates)
+    task = AlignmentTask(
+        pairs=candidates,
+        X=X,
+        labeled_indices=train_idx,
+        labeled_values=truth[train_idx],
+    )
+    return task, truth
+
+
+class TestIterMPMD:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            IterMPMD(max_iterations=0)
+        with pytest.raises(ModelError):
+            IterMPMD(tol=-1)
+        with pytest.raises(ModelError):
+            IterMPMD(positive_weight=0)
+
+    def test_fit_produces_consistent_result(self, tiny_synthetic_pair):
+        task, truth = _synthetic_task(tiny_synthetic_pair)
+        model = IterMPMD().fit(task)
+        assert model.labels_.shape == (task.n_candidates,)
+        assert set(np.unique(model.labels_)) <= {0, 1}
+        assert model.scores_.shape == (task.n_candidates,)
+        assert model.weights_ is not None
+
+    def test_known_labels_clamped(self, tiny_synthetic_pair):
+        task, _ = _synthetic_task(tiny_synthetic_pair)
+        model = IterMPMD().fit(task)
+        assert np.array_equal(
+            model.labels_[task.labeled_indices], task.labeled_values
+        )
+
+    def test_prediction_satisfies_one_to_one(self, tiny_synthetic_pair):
+        task, _ = _synthetic_task(tiny_synthetic_pair)
+        model = IterMPMD().fit(task)
+        assert satisfies_one_to_one(task.pairs, model.labels_)
+
+    def test_recovers_unlabeled_anchors(self, small_synthetic_pair):
+        """PU iteration must find a meaningful share of test anchors."""
+        task, truth = _synthetic_task(small_synthetic_pair, seed=3)
+        model = IterMPMD().fit(task)
+        test_mask = task.unlabeled_mask
+        found = np.sum((model.labels_ == 1) & (truth == 1) & test_mask)
+        total = np.sum((truth == 1) & test_mask)
+        assert found / total > 0.15
+
+    def test_convergence_trace_recorded_and_decreasing_tail(
+        self, tiny_synthetic_pair
+    ):
+        task, _ = _synthetic_task(tiny_synthetic_pair)
+        model = IterMPMD(tol=0.0, max_iterations=10).fit(task)
+        trace = model.result_.convergence_trace
+        assert len(trace) >= 1
+        # The final recorded delta is the smallest (converged).
+        assert trace[-1] <= trace[0]
+
+    def test_converges_quickly(self, tiny_synthetic_pair):
+        """Figure 3 behaviour: y stabilizes within a few iterations."""
+        task, _ = _synthetic_task(tiny_synthetic_pair)
+        model = IterMPMD(tol=0.5, max_iterations=30).fit(task)
+        assert len(model.result_.convergence_trace) <= 10
+
+    def test_unweighted_variant_runs(self, tiny_synthetic_pair):
+        task, _ = _synthetic_task(tiny_synthetic_pair)
+        model = IterMPMD(positive_weight=1.0).fit(task)
+        assert model.result_ is not None
+
+    def test_deterministic(self, tiny_synthetic_pair):
+        task_a, _ = _synthetic_task(tiny_synthetic_pair)
+        task_b, _ = _synthetic_task(tiny_synthetic_pair)
+        labels_a = IterMPMD().fit(task_a).labels_
+        labels_b = IterMPMD().fit(task_b).labels_
+        assert np.array_equal(labels_a, labels_b)

@@ -1,0 +1,96 @@
+"""Tests for repro.core.pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import AlignmentPipeline
+from repro.exceptions import ModelError
+from repro.matching.constraints import satisfies_one_to_one
+from repro.meta.diagrams import standard_diagram_family
+from repro.types import Labeled
+
+
+def _candidates_and_labels(pair, seed=0, np_ratio=4, train_fraction=0.3):
+    rng = np.random.default_rng(seed)
+    positives = sorted(pair.anchors, key=repr)
+    lefts, rights = pair.left_users(), pair.right_users()
+    seen = set(positives)
+    negatives = []
+    while len(negatives) < np_ratio * len(positives):
+        cand = (
+            lefts[rng.integers(len(lefts))],
+            rights[rng.integers(len(rights))],
+        )
+        if cand not in seen:
+            seen.add(cand)
+            negatives.append(cand)
+    candidates = positives + negatives
+    n_pos = max(2, int(train_fraction * len(positives)))
+    n_neg = max(2, int(train_fraction * len(negatives)))
+    labeled = [Labeled(pair_, 1) for pair_ in positives[:n_pos]]
+    labeled += [Labeled(pair_, 0) for pair_ in negatives[:n_neg]]
+    return candidates, labeled
+
+
+class TestAlignmentPipeline:
+    def test_run_default_model(self, tiny_synthetic_pair):
+        candidates, labeled = _candidates_and_labels(tiny_synthetic_pair)
+        pipeline = AlignmentPipeline(tiny_synthetic_pair)
+        predicted = pipeline.run(candidates, labeled)
+        assert all(p in set(candidates) for p in predicted)
+        labels = np.array(
+            [1 if pair in set(predicted) else 0 for pair in candidates]
+        )
+        assert satisfies_one_to_one(candidates, labels)
+
+    def test_run_active(self, tiny_synthetic_pair):
+        candidates, labeled = _candidates_and_labels(tiny_synthetic_pair)
+        pipeline = AlignmentPipeline(tiny_synthetic_pair)
+        predicted = pipeline.run_active(candidates, labeled, budget=10)
+        assert pipeline.model_.queried_
+        assert isinstance(predicted, list)
+
+    def test_run_active_with_refresh(self, tiny_synthetic_pair):
+        candidates, labeled = _candidates_and_labels(tiny_synthetic_pair)
+        pipeline = AlignmentPipeline(tiny_synthetic_pair)
+        predicted = pipeline.run_active(
+            candidates, labeled, budget=6, refresh_features=True
+        )
+        assert isinstance(predicted, list)
+
+    def test_run_svm(self, tiny_synthetic_pair):
+        candidates, labeled = _candidates_and_labels(tiny_synthetic_pair)
+        pipeline = AlignmentPipeline(tiny_synthetic_pair)
+        predicted = pipeline.run_svm(candidates, labeled)
+        assert isinstance(predicted, list)
+
+    def test_custom_family(self, tiny_synthetic_pair):
+        candidates, labeled = _candidates_and_labels(tiny_synthetic_pair)
+        family = standard_diagram_family().paths_only()
+        pipeline = AlignmentPipeline(tiny_synthetic_pair, family=family)
+        pipeline.run(candidates, labeled)
+        assert pipeline.task_.X.shape[1] == 7  # 6 paths + bias
+
+    def test_empty_candidates_rejected(self, tiny_synthetic_pair):
+        pipeline = AlignmentPipeline(tiny_synthetic_pair)
+        with pytest.raises(ModelError):
+            pipeline.build_task([], [])
+
+    def test_labeled_link_must_be_candidate(self, tiny_synthetic_pair):
+        pair = tiny_synthetic_pair
+        candidates, _ = _candidates_and_labels(pair)
+        rogue = Labeled((pair.left_users()[0], pair.right_users()[0]), 0)
+        pipeline = AlignmentPipeline(pair)
+        if rogue.pair in candidates:
+            pytest.skip("random rogue pair happens to be a candidate")
+        with pytest.raises(ModelError, match="not in the candidate list"):
+            pipeline.build_task(candidates, [rogue])
+
+    def test_only_positive_labels_feed_anchor_matrix(self, tiny_synthetic_pair):
+        """Negative labeled links must not create anchors for counting."""
+        candidates, labeled = _candidates_and_labels(tiny_synthetic_pair)
+        pipeline = AlignmentPipeline(tiny_synthetic_pair)
+        pipeline.build_task(candidates, labeled)
+        known = [item.pair for item in labeled if item.label == 1]
+        anchor_matrix = pipeline.extractor_.pair.anchor_matrix(known)
+        assert anchor_matrix.nnz == len(known)

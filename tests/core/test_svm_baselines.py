@@ -1,0 +1,63 @@
+"""Tests for repro.core.svm_baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import AlignmentTask
+from repro.core.svm_baselines import SVMAligner
+from repro.exceptions import ModelError
+
+from test_itermpmd import _synthetic_task
+
+
+class TestSVMAligner:
+    def test_requires_labels(self):
+        task = AlignmentTask(
+            pairs=[("a", "x")],
+            X=np.ones((1, 2)),
+            labeled_indices=np.array([], dtype=int),
+            labeled_values=np.array([], dtype=int),
+        )
+        with pytest.raises(ModelError):
+            SVMAligner().fit(task)
+
+    def test_fit_and_clamp(self, tiny_synthetic_pair):
+        task, truth = _synthetic_task(tiny_synthetic_pair)
+        model = SVMAligner().fit(task)
+        assert np.array_equal(
+            model.labels_[task.labeled_indices], task.labeled_values
+        )
+        assert model.scores_.shape == (task.n_candidates,)
+
+    def test_learns_signal(self, small_synthetic_pair):
+        task, truth = _synthetic_task(
+            small_synthetic_pair, np_ratio=3, train_fraction=0.5, seed=2
+        )
+        model = SVMAligner().fit(task)
+        test_mask = task.unlabeled_mask
+        predicted = model.labels_[test_mask]
+        actual = truth[test_mask]
+        tp = np.sum((predicted == 1) & (actual == 1))
+        assert tp > 0
+
+    def test_no_scaling_variant(self, tiny_synthetic_pair):
+        task, _ = _synthetic_task(tiny_synthetic_pair)
+        model = SVMAligner(scale_features=False).fit(task)
+        assert model.scaler_ is None
+        assert model.result_ is not None
+
+    def test_deterministic(self, tiny_synthetic_pair):
+        task_a, _ = _synthetic_task(tiny_synthetic_pair)
+        task_b, _ = _synthetic_task(tiny_synthetic_pair)
+        a = SVMAligner(seed=4).fit(task_a).labels_
+        b = SVMAligner(seed=4).fit(task_b).labels_
+        assert np.array_equal(a, b)
+
+    def test_no_one_to_one_guarantee_documented(self, tiny_synthetic_pair):
+        """SVM output intentionally skips the cardinality constraint."""
+        task, _ = _synthetic_task(tiny_synthetic_pair)
+        model = SVMAligner().fit(task)
+        # Not asserted to violate, but must not be *forced* to satisfy:
+        # the model itself performs no matching. The result simply is
+        # whatever the hyperplane says.
+        assert model.result_.n_rounds == 1

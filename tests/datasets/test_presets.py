@@ -1,0 +1,46 @@
+"""Tests for repro.datasets presets."""
+
+import pytest
+
+from repro.datasets import foursquare_twitter_config, foursquare_twitter_like
+from repro.exceptions import DatasetError
+from repro.networks.schema import FOLLOW, USER, WRITE
+
+
+class TestPresetConfig:
+    def test_scales_exist(self):
+        for scale in ("tiny", "small", "medium", "large"):
+            config = foursquare_twitter_config(scale)
+            assert config.n_people > 0
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(DatasetError, match="unknown scale"):
+            foursquare_twitter_config("galactic")
+
+    def test_scales_ordered(self):
+        tiny = foursquare_twitter_config("tiny").n_people
+        small = foursquare_twitter_config("small").n_people
+        medium = foursquare_twitter_config("medium").n_people
+        large = foursquare_twitter_config("large").n_people
+        assert tiny < small < medium < large
+
+
+class TestGeneratedShape:
+    def test_table2_asymmetries(self, tiny_synthetic_pair):
+        """Shape mirrors Table II: Twitter side denser and chattier."""
+        pair = tiny_synthetic_pair
+        fq, tw = pair.left, pair.right
+        assert tw.edge_count(FOLLOW) > fq.edge_count(FOLLOW)
+        assert tw.edge_count(WRITE) > fq.edge_count(WRITE)
+
+    def test_anchor_fraction_reasonable(self, tiny_synthetic_pair):
+        """Roughly half the users on each side are anchored (3282/5392)."""
+        pair = tiny_synthetic_pair
+        for network in (pair.left, pair.right):
+            fraction = pair.anchor_count() / network.node_count(USER)
+            assert 0.3 < fraction < 0.95
+
+    def test_deterministic(self):
+        a = foursquare_twitter_like("tiny", seed=9)
+        b = foursquare_twitter_like("tiny", seed=9)
+        assert a.anchors == b.anchors

@@ -1,0 +1,62 @@
+"""Tests for repro.eval.persistence."""
+
+import pytest
+
+from repro.eval.experiment import MethodSpec, run_experiment
+from repro.eval.persistence import (
+    load_outcome,
+    outcome_from_dict,
+    outcome_to_dict,
+    save_outcome,
+)
+from repro.eval.protocol import ProtocolConfig
+from repro.exceptions import ExperimentError
+
+
+@pytest.fixture(scope="module")
+def outcome(request):
+    pair = request.getfixturevalue("tiny_synthetic_pair")
+    config = ProtocolConfig(np_ratio=5, n_repeats=2, seed=3)
+    return run_experiment(
+        pair,
+        config,
+        [
+            MethodSpec(name="Iter-MPMD", kind="iterative"),
+            MethodSpec(name="SVM-MPMD", kind="svm"),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_everything(self, outcome):
+        restored = outcome_from_dict(outcome_to_dict(outcome))
+        assert restored.config == outcome.config
+        assert set(restored.methods) == set(outcome.methods)
+        for name in outcome.methods:
+            original = outcome.methods[name]
+            copy = restored.methods[name]
+            assert copy.reports == original.reports
+            assert copy.runtimes == original.runtimes
+            assert copy.mean("f1") == original.mean("f1")
+
+    def test_file_roundtrip(self, outcome, tmp_path):
+        path = tmp_path / "outcome.json"
+        save_outcome(outcome, path)
+        restored = load_outcome(path)
+        assert restored.method("Iter-MPMD").mean("accuracy") == outcome.method(
+            "Iter-MPMD"
+        ).mean("accuracy")
+
+    def test_unknown_version_rejected(self, outcome):
+        payload = outcome_to_dict(outcome)
+        payload["format_version"] = 42
+        with pytest.raises(ExperimentError, match="format version"):
+            outcome_from_dict(payload)
+
+    def test_tables_render_from_restored(self, outcome):
+        from repro.eval.report import format_single_outcome
+
+        restored = outcome_from_dict(outcome_to_dict(outcome))
+        assert format_single_outcome("t", restored) == format_single_outcome(
+            "t", outcome
+        )

@@ -1,0 +1,54 @@
+"""Tests for repro.eval.plots."""
+
+import pytest
+
+from repro.eval.plots import ascii_line_chart, sparkline
+from repro.exceptions import ExperimentError
+
+
+class TestAsciiLineChart:
+    def test_basic_render(self):
+        chart = ascii_line_chart(
+            {"a": [(0, 0.0), (1, 1.0)], "b": [(0, 1.0), (1, 0.0)]},
+            width=20,
+            height=8,
+            x_label="x",
+            y_label="y",
+        )
+        assert "o a" in chart and "x b" in chart
+        assert "(x -> ; y ^)" in chart
+        lines = chart.splitlines()
+        assert len(lines) == 8 + 4  # grid + axis + labels + legend
+
+    def test_markers_present_in_grid(self):
+        chart = ascii_line_chart({"s": [(0, 0.0), (5, 2.0)]}, width=10, height=5)
+        assert "o" in chart
+
+    def test_axis_ranges_labeled(self):
+        chart = ascii_line_chart({"s": [(2, 10.0), (8, 30.0)]})
+        assert "30" in chart and "10" in chart
+        assert "2" in chart and "8" in chart
+
+    def test_constant_series_does_not_divide_by_zero(self):
+        chart = ascii_line_chart({"s": [(0, 1.0), (1, 1.0)]})
+        assert "o" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            ascii_line_chart({})
+        with pytest.raises(ExperimentError):
+            ascii_line_chart({"s": []})
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] == " " and line[-1] == "█"
+
+    def test_constant(self):
+        assert sparkline([5, 5, 5]) == "   "
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            sparkline([])

@@ -1,0 +1,138 @@
+"""Tests for repro.eval.protocol."""
+
+import numpy as np
+import pytest
+
+from repro.eval.protocol import (
+    ExperimentSplit,
+    ProtocolConfig,
+    assign_folds,
+    build_splits,
+    sample_negatives,
+)
+from repro.exceptions import ExperimentError
+
+
+class TestProtocolConfig:
+    def test_defaults_valid(self):
+        ProtocolConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"np_ratio": 0},
+            {"sample_ratio": 0.0},
+            {"sample_ratio": 1.5},
+            {"n_folds": 1},
+            {"n_repeats": 0},
+            {"n_repeats": 11},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ExperimentError):
+            ProtocolConfig(**kwargs)
+
+
+class TestSampleNegatives:
+    def test_count_and_distinctness(self, tiny_synthetic_pair):
+        rng = np.random.default_rng(0)
+        negatives = sample_negatives(tiny_synthetic_pair, 100, rng)
+        assert len(negatives) == 100
+        assert len(set(negatives)) == 100
+
+    def test_no_anchors_sampled(self, tiny_synthetic_pair):
+        rng = np.random.default_rng(1)
+        negatives = sample_negatives(tiny_synthetic_pair, 200, rng)
+        assert not any(tiny_synthetic_pair.is_anchor(pair) for pair in negatives)
+
+    def test_capacity_exceeded_rejected(self, handmade_pair):
+        rng = np.random.default_rng(2)
+        capacity = 9 - 2  # 3x3 candidates minus 2 anchors
+        with pytest.raises(ExperimentError):
+            sample_negatives(handmade_pair, capacity + 1, rng)
+
+    def test_exact_capacity_works(self, handmade_pair):
+        rng = np.random.default_rng(3)
+        negatives = sample_negatives(handmade_pair, 7, rng)
+        assert len(set(negatives)) == 7
+
+
+class TestAssignFolds:
+    def test_balanced(self):
+        folds = assign_folds(100, 10, np.random.default_rng(0))
+        counts = np.bincount(folds, minlength=10)
+        assert np.all(counts == 10)
+
+    def test_nearly_balanced_with_remainder(self):
+        folds = assign_folds(23, 10, np.random.default_rng(1))
+        counts = np.bincount(folds, minlength=10)
+        assert counts.max() - counts.min() <= 1
+
+    def test_too_few_items_rejected(self):
+        with pytest.raises(ExperimentError):
+            assign_folds(5, 10, np.random.default_rng(0))
+
+
+class TestBuildSplits:
+    def test_split_structure(self, tiny_synthetic_pair):
+        config = ProtocolConfig(np_ratio=5, n_repeats=3, seed=4)
+        splits = list(build_splits(tiny_synthetic_pair, config))
+        assert len(splits) == 3
+        n_pos = tiny_synthetic_pair.anchor_count()
+        for split in splits:
+            assert len(split.candidates) == 6 * n_pos
+            assert split.truth.sum() == n_pos
+            # Train and test partition the candidate set.
+            assert set(split.train_indices).isdisjoint(split.test_indices)
+
+    def test_full_sample_ratio_uses_whole_fold(self, tiny_synthetic_pair):
+        config = ProtocolConfig(np_ratio=5, sample_ratio=1.0, n_repeats=2, seed=4)
+        splits = list(build_splits(tiny_synthetic_pair, config))
+        total = len(splits[0].candidates)
+        for split in splits:
+            assert len(split.train_indices) + len(split.test_indices) == total
+
+    def test_sample_ratio_shrinks_training(self, tiny_synthetic_pair):
+        full = next(
+            iter(
+                build_splits(
+                    tiny_synthetic_pair,
+                    ProtocolConfig(np_ratio=5, sample_ratio=1.0, n_repeats=1, seed=4),
+                )
+            )
+        )
+        sampled = next(
+            iter(
+                build_splits(
+                    tiny_synthetic_pair,
+                    ProtocolConfig(np_ratio=5, sample_ratio=0.4, n_repeats=1, seed=4),
+                )
+            )
+        )
+        assert len(sampled.train_indices) < len(full.train_indices)
+        # Subsample keeps both classes.
+        assert sampled.truth[sampled.train_indices].sum() >= 1
+        assert (sampled.truth[sampled.train_indices] == 0).sum() >= 1
+
+    def test_folds_rotate(self, tiny_synthetic_pair):
+        config = ProtocolConfig(np_ratio=5, n_repeats=3, seed=4)
+        splits = list(build_splits(tiny_synthetic_pair, config))
+        assert [s.fold for s in splits] == [0, 1, 2]
+        train_sets = [frozenset(s.train_indices.tolist()) for s in splits]
+        assert len(set(train_sets)) == 3
+
+    def test_deterministic(self, tiny_synthetic_pair):
+        config = ProtocolConfig(np_ratio=5, n_repeats=2, seed=4)
+        a = list(build_splits(tiny_synthetic_pair, config))
+        b = list(build_splits(tiny_synthetic_pair, config))
+        assert a[0].candidates == b[0].candidates
+        assert np.array_equal(a[1].train_indices, b[1].train_indices)
+
+    def test_train_helpers(self, tiny_synthetic_pair):
+        config = ProtocolConfig(np_ratio=5, n_repeats=1, seed=4)
+        split = next(iter(build_splits(tiny_synthetic_pair, config)))
+        assert len(split.train_pairs) == len(split.train_indices)
+        assert all(
+            tiny_synthetic_pair.is_anchor(pair)
+            for pair in split.train_positive_pairs
+        )

@@ -1,0 +1,125 @@
+"""Tests for repro.eval.significance."""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiment import ExperimentOutcome, MethodResult
+from repro.eval.protocol import ProtocolConfig
+from repro.eval.significance import (
+    PairedComparison,
+    bootstrap_mean_ci,
+    compare_methods,
+    comparison_table,
+)
+from repro.exceptions import ExperimentError
+from repro.ml.metrics import ClassificationReport
+
+
+def _outcome(values_a, values_b):
+    def _result(name, values):
+        result = MethodResult(name=name)
+        result.reports = [
+            ClassificationReport(f1=v, precision=v, recall=v, accuracy=v)
+            for v in values
+        ]
+        result.runtimes = [0.1] * len(values)
+        return result
+
+    return ExperimentOutcome(
+        config=ProtocolConfig(),
+        methods={
+            "a": _result("a", values_a),
+            "b": _result("b", values_b),
+        },
+    )
+
+
+class TestBootstrapCI:
+    def test_contains_true_mean(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(loc=0.5, scale=0.1, size=40)
+        low, high = bootstrap_mean_ci(data, seed=1)
+        assert low < 0.5 < high
+
+    def test_tightens_with_sample_size(self):
+        rng = np.random.default_rng(1)
+        small = rng.normal(size=5)
+        large = rng.normal(size=200)
+        low_s, high_s = bootstrap_mean_ci(small, seed=2)
+        low_l, high_l = bootstrap_mean_ci(large, seed=2)
+        assert (high_l - low_l) < (high_s - low_s)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            bootstrap_mean_ci(np.array([]))
+        with pytest.raises(ExperimentError):
+            bootstrap_mean_ci(np.array([1.0]), confidence=1.5)
+
+    def test_deterministic_given_seed(self):
+        data = np.array([0.1, 0.3, 0.2, 0.4])
+        assert bootstrap_mean_ci(data, seed=7) == bootstrap_mean_ci(data, seed=7)
+
+
+class TestCompareMethods:
+    def test_clear_winner_significant(self):
+        outcome = _outcome(
+            [0.6, 0.62, 0.61, 0.63, 0.6], [0.4, 0.41, 0.42, 0.4, 0.43]
+        )
+        comparison = compare_methods(outcome, "a", "b")
+        assert comparison.mean_difference > 0.15
+        assert comparison.significant
+        assert comparison.p_value < 0.01
+        assert "a better" in comparison.describe()
+
+    def test_tie_not_significant(self):
+        outcome = _outcome(
+            [0.5, 0.52, 0.48, 0.51, 0.49], [0.5, 0.49, 0.52, 0.48, 0.51]
+        )
+        comparison = compare_methods(outcome, "a", "b")
+        assert not comparison.significant
+
+    def test_direction_symmetry(self):
+        outcome = _outcome([0.6, 0.61], [0.4, 0.42])
+        ab = compare_methods(outcome, "a", "b")
+        ba = compare_methods(outcome, "b", "a")
+        assert ab.mean_difference == pytest.approx(-ba.mean_difference)
+
+    def test_identical_values_nan_t(self):
+        outcome = _outcome([0.5, 0.5], [0.5, 0.5])
+        comparison = compare_methods(outcome, "a", "b")
+        assert np.isnan(comparison.t_statistic)
+        assert not comparison.significant
+
+    def test_fold_count_mismatch_rejected(self):
+        outcome = _outcome([0.5, 0.6], [0.5])
+        with pytest.raises(ExperimentError, match="different fold counts"):
+            compare_methods(outcome, "a", "b")
+
+    def test_empty_reports_rejected(self):
+        outcome = _outcome([], [])
+        with pytest.raises(ExperimentError, match="no fold reports"):
+            compare_methods(outcome, "a", "b")
+
+
+class TestComparisonTable:
+    def test_renders_all_methods(self):
+        outcome = _outcome([0.6, 0.62, 0.59], [0.4, 0.45, 0.41])
+        text = comparison_table(outcome, baseline="b")
+        assert "vs 'b'" in text
+        assert "a - b" in text
+
+    def test_real_experiment_smoke(self, tiny_synthetic_pair):
+        from repro.eval.experiment import MethodSpec, run_experiment
+
+        config = ProtocolConfig(np_ratio=5, n_repeats=3, seed=3)
+        outcome = run_experiment(
+            tiny_synthetic_pair,
+            config,
+            [
+                MethodSpec(name="Iter-MPMD", kind="iterative"),
+                MethodSpec(name="SVM-MP", kind="svm", features="paths"),
+            ],
+        )
+        comparison = compare_methods(outcome, "Iter-MPMD", "SVM-MP")
+        assert comparison.n_folds == 3
+        assert np.isfinite(comparison.mean_difference)

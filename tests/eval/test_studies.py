@@ -1,0 +1,95 @@
+"""Tests for repro.eval.convergence, repro.eval.timing, repro.eval.report."""
+
+import numpy as np
+import pytest
+
+from repro.eval.convergence import convergence_study, format_convergence
+from repro.eval.experiment import MethodSpec, run_experiment
+from repro.eval.protocol import ProtocolConfig
+from repro.eval.report import (
+    format_cell,
+    format_single_outcome,
+    format_sweep_table,
+)
+from repro.eval.timing import (
+    TimingPoint,
+    fit_linear_trend,
+    format_timing,
+    scalability_study,
+)
+
+
+class TestConvergenceStudy:
+    def test_traces_per_np_ratio(self, tiny_synthetic_pair):
+        traces = convergence_study(
+            tiny_synthetic_pair, np_ratios=(5, 10), seed=2
+        )
+        assert [t.np_ratio for t in traces] == [5, 10]
+        for trace in traces:
+            assert trace.iterations_to_converge >= 1
+            assert all(delta >= 0 for delta in trace.deltas)
+
+    def test_convergence_within_figure3_bounds(self, tiny_synthetic_pair):
+        """Paper claim: label vector converges within ~5 iterations."""
+        traces = convergence_study(tiny_synthetic_pair, np_ratios=(10,), seed=2)
+        deltas = traces[0].deltas
+        # After the first few iterations the changes must die out.
+        assert deltas[-1] <= 1.0
+
+    def test_format(self, tiny_synthetic_pair):
+        traces = convergence_study(tiny_synthetic_pair, np_ratios=(5,), seed=2)
+        text = format_convergence(traces)
+        assert "NP-ratio=  5" in text
+
+
+class TestScalabilityStudy:
+    def test_points_and_trend(self, tiny_synthetic_pair):
+        points = scalability_study(
+            tiny_synthetic_pair, np_ratios=(2, 4, 6), budget=5, seed=2
+        )
+        assert [p.np_ratio for p in points] == [2, 4, 6]
+        assert all(p.seconds > 0 for p in points)
+        candidates = [p.n_candidates for p in points]
+        assert candidates == sorted(candidates)
+
+    def test_fit_linear_trend_on_exact_line(self):
+        points = [
+            TimingPoint(np_ratio=1, n_candidates=100, seconds=1.0),
+            TimingPoint(np_ratio=2, n_candidates=200, seconds=2.0),
+            TimingPoint(np_ratio=3, n_candidates=300, seconds=3.0),
+        ]
+        slope, intercept, r_squared = fit_linear_trend(points)
+        assert slope == pytest.approx(0.01)
+        assert intercept == pytest.approx(0.0, abs=1e-9)
+        assert r_squared == pytest.approx(1.0)
+
+    def test_format(self):
+        points = [TimingPoint(np_ratio=5, n_candidates=500, seconds=0.5),
+                  TimingPoint(np_ratio=10, n_candidates=1000, seconds=1.0)]
+        text = format_timing(points)
+        assert "NP-ratio" in text and "linear fit" in text
+
+
+class TestReportFormatting:
+    def test_format_cell(self):
+        assert format_cell(0.1234, 0.056) == "0.123±0.06"
+
+    def test_sweep_table(self, tiny_synthetic_pair):
+        methods = [MethodSpec(name="Iter-MPMD", kind="iterative")]
+        outcomes = {}
+        for theta in (5, 10):
+            config = ProtocolConfig(np_ratio=theta, n_repeats=1, seed=3)
+            outcomes[theta] = run_experiment(
+                tiny_synthetic_pair, config, methods
+            )
+        text = format_sweep_table("Demo", "NP-ratio", [5, 10], outcomes)
+        assert "Demo" in text
+        assert "[F1]" in text and "[ACCURACY]" in text
+        assert "Iter-MPMD" in text
+
+    def test_single_outcome_table(self, tiny_synthetic_pair):
+        methods = [MethodSpec(name="Iter-MPMD", kind="iterative")]
+        config = ProtocolConfig(np_ratio=5, n_repeats=1, seed=3)
+        outcome = run_experiment(tiny_synthetic_pair, config, methods)
+        text = format_single_outcome("One config", outcome)
+        assert "method" in text and "Iter-MPMD" in text

@@ -1,0 +1,76 @@
+"""Tests for repro.eval.sweeps."""
+
+import pytest
+
+from repro.eval.experiment import MethodSpec
+from repro.eval.protocol import ProtocolConfig
+from repro.eval.sweeps import SweepRunner
+from repro.exceptions import ExperimentError
+
+METHODS = [MethodSpec(name="Iter-MPMD", kind="iterative")]
+
+
+class TestSweepRunner:
+    def test_unknown_axis_rejected(self, tiny_synthetic_pair):
+        with pytest.raises(ExperimentError, match="axis"):
+            SweepRunner(
+                tiny_synthetic_pair, ProtocolConfig(), axis="budget"
+            )
+
+    def test_runs_each_point(self, tiny_synthetic_pair):
+        runner = SweepRunner(
+            tiny_synthetic_pair,
+            ProtocolConfig(np_ratio=5, n_repeats=1, seed=3),
+            axis="np_ratio",
+            methods=METHODS,
+        )
+        outcomes = runner.run([5, 10])
+        assert set(outcomes) == {5, 10}
+        assert outcomes[5].config.np_ratio == 5
+        assert outcomes[10].config.np_ratio == 10
+
+    def test_series(self, tiny_synthetic_pair):
+        runner = SweepRunner(
+            tiny_synthetic_pair,
+            ProtocolConfig(np_ratio=5, n_repeats=1, seed=3),
+            axis="np_ratio",
+            methods=METHODS,
+        )
+        runner.run([10, 5])
+        series = runner.series("Iter-MPMD", "f1")
+        assert [value for value, _ in series] == [5, 10]
+        assert all(0.0 <= f1 <= 1.0 for _, f1 in series)
+
+    def test_cache_roundtrip(self, tiny_synthetic_pair, tmp_path):
+        config = ProtocolConfig(np_ratio=5, n_repeats=1, seed=3)
+        first = SweepRunner(
+            tiny_synthetic_pair,
+            config,
+            axis="np_ratio",
+            methods=METHODS,
+            cache_dir=tmp_path,
+        )
+        first.run([5])
+        assert (tmp_path / "np_ratio=5.json").exists()
+
+        second = SweepRunner(
+            tiny_synthetic_pair,
+            config,
+            axis="np_ratio",
+            methods=METHODS,
+            cache_dir=tmp_path,
+        )
+        reloaded = second.run_point(5)
+        assert reloaded.method("Iter-MPMD").mean("f1") == first.outcomes[
+            5
+        ].method("Iter-MPMD").mean("f1")
+
+    def test_sample_ratio_axis(self, tiny_synthetic_pair):
+        runner = SweepRunner(
+            tiny_synthetic_pair,
+            ProtocolConfig(np_ratio=5, n_repeats=1, seed=3),
+            axis="sample_ratio",
+            methods=METHODS,
+        )
+        outcomes = runner.run([0.4, 1.0])
+        assert outcomes[0.4].config.sample_ratio == 0.4

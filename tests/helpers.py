@@ -1,0 +1,59 @@
+"""Shared test helpers (importable via pythonpath=tests)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.networks.aligned import AlignedPair
+from repro.networks.builders import SocialNetworkBuilder
+
+
+def build_random_pair(
+    seed: int,
+    n_left: int = 5,
+    n_right: int = 5,
+    n_anchors: int = 3,
+    follow_probability: float = 0.4,
+    posts_per_user: int = 2,
+    n_timestamps: int = 4,
+    n_locations: int = 4,
+    n_words: int = 6,
+) -> AlignedPair:
+    """Small random aligned pair for exhaustive/property checks.
+
+    Unlike the full synthetic generator this builder is minimal and
+    fast: it wires arbitrary random structure with *no* built-in
+    alignment signal, which is exactly what the counting cross-checks
+    need (they compare two counting implementations, not model quality).
+    """
+    rng = np.random.default_rng(seed)
+    left_builder = SocialNetworkBuilder("left")
+    right_builder = SocialNetworkBuilder("right")
+    left_users = [f"l{i}" for i in range(n_left)]
+    right_users = [f"r{i}" for i in range(n_right)]
+    left_builder.add_users(left_users)
+    right_builder.add_users(right_users)
+
+    for builder, users in ((left_builder, left_users), (right_builder, right_users)):
+        for follower in users:
+            for followee in users:
+                if follower != followee and rng.random() < follow_probability:
+                    builder.follow(follower, followee)
+        for user in users:
+            for post_index in range(int(rng.integers(0, posts_per_user + 1))):
+                builder.post(
+                    user,
+                    post_id=f"{user}:p{post_index}",
+                    timestamp=int(rng.integers(n_timestamps)),
+                    location=int(rng.integers(n_locations)),
+                    words=[int(w) for w in rng.integers(0, n_words, size=2)],
+                )
+
+    n_anchors = min(n_anchors, n_left, n_right)
+    left_anchored = rng.choice(n_left, size=n_anchors, replace=False)
+    right_anchored = rng.choice(n_right, size=n_anchors, replace=False)
+    anchors = [
+        (left_users[i], right_users[j])
+        for i, j in zip(left_anchored, right_anchored)
+    ]
+    return AlignedPair(left_builder.build(), right_builder.build(), anchors)

@@ -1,0 +1,122 @@
+"""Tests for repro.matching.greedy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConstraintViolationError
+from repro.matching.constraints import satisfies_one_to_one
+from repro.matching.greedy import greedy_link_selection, selection_objective
+from repro.matching.hungarian import exact_link_selection
+
+
+class TestGreedySelection:
+    def test_picks_best_per_user(self):
+        pairs = [("a", "x"), ("a", "y"), ("b", "x")]
+        scores = np.array([0.9, 0.8, 0.7])
+        labels = greedy_link_selection(pairs, scores)
+        assert labels.tolist() == [1, 0, 0]
+
+    def test_second_best_gets_leftovers(self):
+        pairs = [("a", "x"), ("a", "y"), ("b", "x"), ("b", "y")]
+        scores = np.array([0.9, 0.8, 0.85, 0.6])
+        labels = greedy_link_selection(pairs, scores)
+        # (a,x)=0.9 first; (b,x) blocked by x; (a,y) blocked by a; (b,y) ok.
+        assert labels.tolist() == [1, 0, 0, 1]
+
+    def test_threshold_excludes_weak_links(self):
+        pairs = [("a", "x"), ("b", "y")]
+        scores = np.array([0.51, 0.49])
+        labels = greedy_link_selection(pairs, scores, threshold=0.5)
+        assert labels.tolist() == [1, 0]
+
+    def test_threshold_boundary_is_exclusive(self):
+        labels = greedy_link_selection([("a", "x")], np.array([0.5]))
+        assert labels.tolist() == [0]
+
+    def test_blocked_endpoints_respected(self):
+        pairs = [("a", "x"), ("b", "y")]
+        scores = np.array([0.9, 0.9])
+        labels = greedy_link_selection(
+            pairs, scores, blocked_left={"a"}, blocked_right=set()
+        )
+        assert labels.tolist() == [0, 1]
+        labels = greedy_link_selection(
+            pairs, scores, blocked_left=set(), blocked_right={"y"}
+        )
+        assert labels.tolist() == [1, 0]
+
+    def test_deterministic_tie_break_by_order(self):
+        pairs = [("a", "x"), ("a", "y")]
+        scores = np.array([0.8, 0.8])
+        labels = greedy_link_selection(pairs, scores)
+        assert labels.tolist() == [1, 0]
+
+    def test_empty_input(self):
+        assert greedy_link_selection([], np.array([])).size == 0
+
+    def test_score_length_mismatch(self):
+        with pytest.raises(ConstraintViolationError):
+            greedy_link_selection([("a", "x")], np.array([0.1, 0.2]))
+
+    def test_selection_objective(self):
+        scores = np.array([0.9, 0.2, 0.7])
+        labels = np.array([1, 0, 1])
+        assert selection_objective(scores, labels) == pytest.approx(1.6)
+
+
+@st.composite
+def _candidate_problem(draw):
+    n_left = draw(st.integers(2, 6))
+    n_right = draw(st.integers(2, 6))
+    pairs = [(f"l{i}", f"r{j}") for i in range(n_left) for j in range(n_right)]
+    scores = draw(
+        st.lists(
+            st.floats(0.0, 1.0, allow_nan=False),
+            min_size=len(pairs),
+            max_size=len(pairs),
+        )
+    )
+    return pairs, np.asarray(scores)
+
+
+@settings(max_examples=60, deadline=None)
+@given(problem=_candidate_problem())
+def test_greedy_always_satisfies_one_to_one(problem):
+    pairs, scores = problem
+    labels = greedy_link_selection(pairs, scores)
+    assert satisfies_one_to_one(pairs, labels)
+
+
+@settings(max_examples=60, deadline=None)
+@given(problem=_candidate_problem())
+def test_greedy_selects_only_above_threshold(problem):
+    pairs, scores = problem
+    labels = greedy_link_selection(pairs, scores, threshold=0.5)
+    assert np.all(scores[labels == 1] > 0.5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(problem=_candidate_problem())
+def test_greedy_is_maximal(problem):
+    """No unselected admissible link has both endpoints free."""
+    pairs, scores = problem
+    labels = greedy_link_selection(pairs, scores, threshold=0.5)
+    used_left = {pairs[i][0] for i in np.flatnonzero(labels)}
+    used_right = {pairs[i][1] for i in np.flatnonzero(labels)}
+    for index, (left_user, right_user) in enumerate(pairs):
+        if labels[index] == 0 and scores[index] > 0.5:
+            assert left_user in used_left or right_user in used_right
+
+
+@settings(max_examples=60, deadline=None)
+@given(problem=_candidate_problem())
+def test_greedy_half_approximation(problem):
+    """Greedy captures at least half the optimum's selected score."""
+    pairs, scores = problem
+    greedy = greedy_link_selection(pairs, scores, threshold=0.5)
+    exact = exact_link_selection(pairs, scores, threshold=0.5)
+    greedy_value = selection_objective(scores, greedy)
+    exact_value = selection_objective(scores, exact)
+    assert greedy_value >= 0.5 * exact_value - 1e-9

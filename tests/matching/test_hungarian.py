@@ -1,0 +1,62 @@
+"""Tests for repro.matching.hungarian."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import ConstraintViolationError
+from repro.matching.constraints import satisfies_one_to_one
+from repro.matching.greedy import greedy_link_selection, selection_objective
+from repro.matching.hungarian import exact_link_selection
+
+from test_greedy import _candidate_problem
+
+
+class TestExactSelection:
+    def test_beats_greedy_on_crossing_case(self):
+        # Greedy takes (a,x)=0.9 and loses (b,x); exact pairs (a,y)+(b,x).
+        pairs = [("a", "x"), ("a", "y"), ("b", "x")]
+        scores = np.array([0.9, 0.85, 0.88])
+        exact = exact_link_selection(pairs, scores)
+        assert exact.tolist() == [0, 1, 1]
+        greedy = greedy_link_selection(pairs, scores)
+        assert selection_objective(scores, exact) > selection_objective(
+            scores, greedy
+        )
+
+    def test_threshold_respected(self):
+        pairs = [("a", "x")]
+        assert exact_link_selection(pairs, np.array([0.4])).tolist() == [0]
+
+    def test_blocked_users_respected(self):
+        pairs = [("a", "x"), ("b", "y")]
+        labels = exact_link_selection(
+            pairs, np.array([0.9, 0.9]), blocked_left={"a"}
+        )
+        assert labels.tolist() == [0, 1]
+
+    def test_empty(self):
+        assert exact_link_selection([], np.array([])).size == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConstraintViolationError):
+            exact_link_selection([("a", "x")], np.array([0.1, 0.2]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(problem=_candidate_problem())
+def test_exact_satisfies_one_to_one(problem):
+    pairs, scores = problem
+    labels = exact_link_selection(pairs, scores)
+    assert satisfies_one_to_one(pairs, labels)
+
+
+@settings(max_examples=50, deadline=None)
+@given(problem=_candidate_problem())
+def test_exact_never_worse_than_greedy(problem):
+    pairs, scores = problem
+    greedy_value = selection_objective(
+        scores, greedy_link_selection(pairs, scores)
+    )
+    exact_value = selection_objective(scores, exact_link_selection(pairs, scores))
+    assert exact_value >= greedy_value - 1e-9

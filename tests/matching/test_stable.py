@@ -1,0 +1,72 @@
+"""Tests for repro.matching.stable."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import ConstraintViolationError
+from repro.matching.constraints import satisfies_one_to_one
+from repro.matching.stable import stable_link_selection
+
+from test_greedy import _candidate_problem
+
+
+class TestStableSelection:
+    def test_simple_matching(self):
+        pairs = [("a", "x"), ("a", "y"), ("b", "x"), ("b", "y")]
+        scores = np.array([0.9, 0.6, 0.7, 0.8])
+        labels = stable_link_selection(pairs, scores)
+        assert labels.tolist() == [1, 0, 0, 1]
+
+    def test_displacement(self):
+        # 'b' proposes to x (0.95) and displaces a's weaker claim (0.7);
+        # 'a' then settles for y.
+        pairs = [("a", "x"), ("b", "x"), ("a", "y")]
+        scores = np.array([0.7, 0.95, 0.6])
+        labels = stable_link_selection(pairs, scores)
+        assert labels.tolist() == [0, 1, 1]
+
+    def test_threshold(self):
+        labels = stable_link_selection([("a", "x")], np.array([0.3]))
+        assert labels.tolist() == [0]
+
+    def test_blocked(self):
+        pairs = [("a", "x"), ("b", "y")]
+        labels = stable_link_selection(
+            pairs, np.array([0.9, 0.9]), blocked_right={"x"}
+        )
+        assert labels.tolist() == [0, 1]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConstraintViolationError):
+            stable_link_selection([("a", "x")], np.array([]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(problem=_candidate_problem())
+def test_stable_satisfies_one_to_one(problem):
+    pairs, scores = problem
+    labels = stable_link_selection(pairs, scores)
+    assert satisfies_one_to_one(pairs, labels)
+
+
+@settings(max_examples=50, deadline=None)
+@given(problem=_candidate_problem())
+def test_stability_no_blocking_pair(problem):
+    """No unmatched admissible pair where both sides prefer each other."""
+    pairs, scores = problem
+    labels = stable_link_selection(pairs, scores, threshold=0.5)
+    matched_left = {}
+    matched_right = {}
+    for index in np.flatnonzero(labels):
+        matched_left[pairs[index][0]] = scores[index]
+        matched_right[pairs[index][1]] = scores[index]
+    for index, (left_user, right_user) in enumerate(pairs):
+        if labels[index] == 1 or scores[index] <= 0.5:
+            continue
+        left_current = matched_left.get(left_user, -1.0)
+        right_current = matched_right.get(right_user, -1.0)
+        # A blocking pair strictly improves both endpoints.
+        assert not (
+            scores[index] > left_current and scores[index] > right_current
+        )

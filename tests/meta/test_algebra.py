@@ -1,0 +1,168 @@
+"""Tests for repro.meta.algebra."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.exceptions import MetaStructureError
+from repro.meta.algebra import Chain, CountingEngine, Leaf, Parallel, _key_mentions
+
+
+def _csr(array) -> sparse.csr_matrix:
+    return sparse.csr_matrix(np.asarray(array, dtype=np.float64))
+
+
+@pytest.fixture()
+def bag():
+    return {
+        "A": _csr([[1, 0], [0, 1]]),
+        "B": _csr([[0, 2], [3, 0]]),
+        "C": _csr([[1, 1], [1, 1]]),
+        "R": _csr([[1, 0, 2], [0, 1, 0]]),  # rectangular 2x3
+    }
+
+
+class TestLeaf:
+    def test_evaluate(self, bag):
+        assert np.array_equal(Leaf("B").evaluate(bag).toarray(), [[0, 2], [3, 0]])
+
+    def test_transpose(self, bag):
+        assert np.array_equal(Leaf("B").T.evaluate(bag).toarray(), [[0, 3], [2, 0]])
+
+    def test_double_transpose_identity(self, bag):
+        assert Leaf("B").T.T.key() == Leaf("B").key()
+
+    def test_key(self):
+        assert Leaf("B").key() == "B"
+        assert Leaf("B", transpose=True).key() == "B^T"
+
+    def test_missing_matrix_raises(self, bag):
+        with pytest.raises(MetaStructureError, match="missing"):
+            Leaf("Z").evaluate(bag)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(MetaStructureError):
+            Leaf("")
+
+
+class TestChain:
+    def test_matrix_product(self, bag):
+        expr = Chain([Leaf("B"), Leaf("C")])
+        expected = bag["B"].toarray() @ bag["C"].toarray()
+        assert np.array_equal(expr.evaluate(bag).toarray(), expected)
+
+    def test_three_way_product(self, bag):
+        expr = Chain([Leaf("A"), Leaf("B"), Leaf("C")])
+        expected = bag["A"].toarray() @ bag["B"].toarray() @ bag["C"].toarray()
+        assert np.array_equal(expr.evaluate(bag).toarray(), expected)
+
+    def test_flattens_nested_chains(self):
+        inner = Chain([Leaf("A"), Leaf("B")])
+        outer = Chain([inner, Leaf("C")])
+        assert outer.key() == "(A@B@C)"
+
+    def test_rectangular_shapes(self, bag):
+        expr = Chain([Leaf("B"), Leaf("R")])
+        assert expr.evaluate(bag).shape == (2, 3)
+
+    def test_shape_mismatch_raises(self, bag):
+        expr = Chain([Leaf("R"), Leaf("B")])  # (2x3) @ (2x2)
+        with pytest.raises(MetaStructureError, match="shape mismatch"):
+            expr.evaluate(bag)
+
+    def test_single_segment_rejected(self):
+        with pytest.raises(MetaStructureError):
+            Chain([Leaf("A")])
+
+    def test_leaves(self):
+        assert Chain([Leaf("A"), Leaf("B")]).leaves() == ("A", "B")
+
+
+class TestParallel:
+    def test_hadamard(self, bag):
+        expr = Parallel([Leaf("B"), Leaf("C")])
+        expected = bag["B"].toarray() * bag["C"].toarray()
+        assert np.array_equal(expr.evaluate(bag).toarray(), expected)
+
+    def test_key_canonicalizes_order(self):
+        assert Parallel([Leaf("C"), Leaf("B")]).key() == Parallel(
+            [Leaf("B"), Leaf("C")]
+        ).key()
+
+    def test_flattens_nested_parallel(self):
+        inner = Parallel([Leaf("A"), Leaf("B")])
+        outer = Parallel([inner, Leaf("C")])
+        assert outer.key() == "(A*B*C)"
+
+    def test_shape_mismatch_raises(self, bag):
+        with pytest.raises(MetaStructureError, match="shape mismatch"):
+            Parallel([Leaf("B"), Leaf("R")]).evaluate(bag)
+
+    def test_single_branch_rejected(self):
+        with pytest.raises(MetaStructureError):
+            Parallel([Leaf("A")])
+
+
+class TestCountingEngine:
+    def test_matches_direct_evaluation(self, bag):
+        expr = Chain([Parallel([Leaf("B"), Leaf("C")]), Leaf("A")])
+        engine = CountingEngine(bag)
+        assert np.array_equal(
+            engine.evaluate(expr).toarray(), expr.evaluate(bag).toarray()
+        )
+
+    def test_caches_subexpressions(self, bag):
+        engine = CountingEngine(bag)
+        engine.evaluate(Chain([Leaf("B"), Leaf("C")]))
+        before = engine.cache_size
+        engine.evaluate(Chain([Leaf("B"), Leaf("C")]))
+        assert engine.cache_size == before
+
+    def test_shared_subchain_reused(self, bag):
+        engine = CountingEngine(bag)
+        engine.evaluate(Chain([Leaf("A"), Leaf("B")]))
+        size_after_first = engine.cache_size
+        # A longer chain reuses nothing textually equal to (A@B) because
+        # Chain flattens, but leaves are shared.
+        engine.evaluate(Chain([Leaf("A"), Leaf("C")]))
+        assert engine.cache_size > size_after_first
+
+    def test_invalidate_clears(self, bag):
+        engine = CountingEngine(bag)
+        engine.evaluate(Chain([Leaf("A"), Leaf("B")]))
+        engine.invalidate()
+        assert engine.cache_size == 0
+
+    def test_update_matrix_drops_dependents_only(self, bag):
+        engine = CountingEngine(bag)
+        with_a = Chain([Leaf("A"), Leaf("B")])
+        without_a = Chain([Leaf("B"), Leaf("C")])
+        engine.evaluate(with_a)
+        engine.evaluate(without_a)
+        engine.update_matrix("A", _csr([[0, 1], [1, 0]]))
+        keys = {with_a.key(), without_a.key()}
+        # Recompute: the A-dependent result must reflect the new matrix.
+        refreshed = engine.evaluate(with_a).toarray()
+        expected = np.array([[0, 1], [1, 0]]) @ bag["B"].toarray()
+        assert np.array_equal(refreshed, expected)
+        # The A-free result was retained (still correct).
+        assert np.array_equal(
+            engine.evaluate(without_a).toarray(),
+            (bag["B"] @ bag["C"]).toarray(),
+        )
+
+
+class TestKeyMentions:
+    def test_exact_name_only(self):
+        assert _key_mentions("(F1@A@F2^T)", "A")
+        assert _key_mentions("(F1@A@F2^T)", "F1")
+        assert _key_mentions("(F1@A@F2^T)", "F2")
+        assert not _key_mentions("(F1@F2^T)", "A")
+
+    def test_prefix_collision_safe(self):
+        # "A" must not match inside "AB".
+        assert not _key_mentions("(AB@C)", "A")
+        assert _key_mentions("(AB@C)", "AB")
+
+    def test_transpose_form_detected(self):
+        assert _key_mentions("(B^T@C)", "B")

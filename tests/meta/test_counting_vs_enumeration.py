@@ -1,0 +1,181 @@
+"""Cross-validation: sparse count algebra vs brute-force enumeration.
+
+These are the load-bearing correctness tests for the meta structure
+engine: on small random aligned pairs, every path and diagram count
+computed by matrix algebra must equal the count obtained by explicitly
+enumerating instances on the network objects, and the covering-set
+lemmas must hold on binarized supports.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import build_random_pair
+from repro.meta.algebra import CountingEngine
+from repro.meta.context import build_matrix_bag
+from repro.meta.diagrams import standard_diagram_family
+from repro.meta.enumeration import (
+    FOLLOW_PATH_DIRECTIONS,
+    all_user_pairs,
+    count_attribute_path,
+    count_attribute_structure,
+    count_endpoint_stack,
+    count_follow_path,
+    count_follow_structure,
+)
+from repro.meta.paths import standard_paths
+
+_seeds = st.integers(0, 10_000)
+
+
+def _known_anchors(pair):
+    return list(pair.anchors)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=_seeds)
+def test_follow_path_counts_match_enumeration(seed):
+    pair = build_random_pair(seed, follow_probability=0.5)
+    anchors = _known_anchors(pair)
+    bag = build_matrix_bag(pair, known_anchors=anchors)
+    paths = {p.name: p for p in standard_paths()}
+    for name in ("P1", "P2", "P3", "P4"):
+        counts = paths[name].expr.evaluate(bag).toarray()
+        for u1, u2 in all_user_pairs(pair):
+            i = pair.left.node_position("user", u1)
+            j = pair.right.node_position("user", u2)
+            expected = count_follow_path(pair, anchors, name, u1, u2)
+            assert counts[i, j] == expected, (name, u1, u2)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=_seeds)
+def test_attribute_path_counts_match_enumeration(seed):
+    pair = build_random_pair(seed, posts_per_user=3)
+    bag = build_matrix_bag(pair, known_anchors=[])
+    paths = {p.name: p for p in standard_paths(include_words=True)}
+    for name in ("P5", "P6", "P7"):
+        counts = paths[name].expr.evaluate(bag).toarray()
+        for u1, u2 in all_user_pairs(pair):
+            i = pair.left.node_position("user", u1)
+            j = pair.right.node_position("user", u2)
+            expected = count_attribute_path(pair, name, u1, u2)
+            assert counts[i, j] == expected, (name, u1, u2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=_seeds)
+def test_follow_stack_counts_match_enumeration(seed):
+    pair = build_random_pair(seed, follow_probability=0.6)
+    anchors = _known_anchors(pair)
+    bag = build_matrix_bag(pair, known_anchors=anchors)
+    family = standard_diagram_family()
+    stacked = [d for d in family.diagrams if d.family == "f2"]
+    for diagram in stacked:
+        name_a, name_b = sorted(diagram.covering)
+        left_dirs = [
+            FOLLOW_PATH_DIRECTIONS[name_a][0],
+            FOLLOW_PATH_DIRECTIONS[name_b][0],
+        ]
+        right_dirs = [
+            FOLLOW_PATH_DIRECTIONS[name_a][1],
+            FOLLOW_PATH_DIRECTIONS[name_b][1],
+        ]
+        counts = diagram.expr.evaluate(bag).toarray()
+        for u1, u2 in all_user_pairs(pair):
+            i = pair.left.node_position("user", u1)
+            j = pair.right.node_position("user", u2)
+            expected = count_follow_structure(
+                pair, anchors, u1, u2, left_dirs, right_dirs
+            )
+            assert counts[i, j] == expected, (diagram.name, u1, u2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=_seeds)
+def test_attribute_stack_counts_match_enumeration(seed):
+    pair = build_random_pair(seed, posts_per_user=3, n_timestamps=3, n_locations=3)
+    bag = build_matrix_bag(pair, known_anchors=[])
+    family = standard_diagram_family()
+    stack = next(d for d in family.diagrams if d.family == "a2")
+    counts = stack.expr.evaluate(bag).toarray()
+    for u1, u2 in all_user_pairs(pair):
+        i = pair.left.node_position("user", u1)
+        j = pair.right.node_position("user", u2)
+        expected = count_attribute_structure(
+            pair, u1, u2, ["timestamp", "location"]
+        )
+        assert counts[i, j] == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=_seeds)
+def test_endpoint_stack_counts_are_branch_products(seed):
+    pair = build_random_pair(seed)
+    anchors = _known_anchors(pair)
+    bag = build_matrix_bag(pair, known_anchors=anchors)
+    family = standard_diagram_family()
+    names = family.feature_names
+    exprs = dict(zip(names, family.exprs))
+    engine = CountingEngine(bag)
+
+    p1 = engine.evaluate(exprs["P1"]).toarray()
+    p5 = engine.evaluate(exprs["P5"]).toarray()
+    p1x5 = engine.evaluate(exprs["P1xP5"]).toarray()
+    assert np.array_equal(p1x5, p1 * p5)
+    assert count_endpoint_stack([3, 4]) == 12
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=_seeds)
+def test_lemma1_diagram_support_subset_of_covering_paths(seed):
+    """Sound direction of Lemma 1: Ψ connects (u,v) => each P in C(Ψ) does."""
+    pair = build_random_pair(seed, follow_probability=0.5, posts_per_user=3)
+    bag = build_matrix_bag(pair, known_anchors=_known_anchors(pair))
+    family = standard_diagram_family()
+    engine = CountingEngine(bag)
+    path_support = {
+        path.name: engine.evaluate(path.expr).toarray() > 0
+        for path in family.paths
+    }
+    for diagram in family.diagrams:
+        support = engine.evaluate(diagram.expr).toarray() > 0
+        for path_name in diagram.covering:
+            assert np.all(support <= path_support[path_name]), (
+                diagram.name,
+                path_name,
+            )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=_seeds)
+def test_lemma2_covering_subset_implies_support_subset(seed):
+    """C(Ψi) ⊆ C(Ψj) => support(Ψj) ⊆ support(Ψi)."""
+    pair = build_random_pair(seed, follow_probability=0.5, posts_per_user=3)
+    bag = build_matrix_bag(pair, known_anchors=_known_anchors(pair))
+    family = standard_diagram_family()
+    engine = CountingEngine(bag)
+    supports = {
+        diagram.name: engine.evaluate(diagram.expr).toarray() > 0
+        for diagram in family.diagrams
+    }
+    diagrams = list(family.diagrams)
+    for small in diagrams:
+        for big in diagrams:
+            if small.name != big.name and big.covers(small):
+                assert np.all(supports[big.name] <= supports[small.name]), (
+                    big.name,
+                    small.name,
+                )
+
+
+def test_engine_and_plain_evaluation_agree(handmade_pair):
+    bag = build_matrix_bag(handmade_pair, known_anchors=handmade_pair.anchors)
+    family = standard_diagram_family()
+    engine = CountingEngine(bag)
+    for expr in family.exprs:
+        assert np.array_equal(
+            engine.evaluate(expr).toarray(), expr.evaluate(bag).toarray()
+        )

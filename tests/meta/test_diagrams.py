@@ -1,0 +1,184 @@
+"""Tests for repro.meta.diagrams: family construction and semantics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetaStructureError
+from repro.meta.context import build_matrix_bag
+from repro.meta.diagrams import (
+    DiagramFamily,
+    stack_attribute_paths,
+    stack_follow_pair,
+    standard_diagram_family,
+)
+from repro.meta.paths import paths_by_name
+
+
+class TestFamilyConstruction:
+    def test_feature_count_matches_paper(self):
+        family = standard_diagram_family()
+        # 6 paths + C(4,2)=6 follow pairs + 1 attribute stack + 4*2=8
+        # follow-x-attribute + 4 follow-x-stack + 6 pair-x-stack = 31.
+        assert len(family.paths) == 6
+        assert len(family.diagrams) == 25
+        assert len(family.feature_names) == 31
+
+    def test_families_present(self):
+        family = standard_diagram_family()
+        by_family = {}
+        for diagram in family.diagrams:
+            by_family.setdefault(diagram.family, []).append(diagram)
+        assert len(by_family["f2"]) == 6
+        assert len(by_family["a2"]) == 1
+        assert len(by_family["f.a"]) == 8
+        assert len(by_family["f.a2"]) == 4
+        assert len(by_family["f2.a2"]) == 6
+
+    def test_word_extension_grows_family(self):
+        family = standard_diagram_family(include_words=True)
+        assert "P7" in family.feature_names
+        assert len(family.feature_names) > 31
+
+    def test_feature_names_unique(self):
+        names = standard_diagram_family().feature_names
+        assert len(names) == len(set(names))
+
+    def test_subset(self):
+        family = standard_diagram_family()
+        sub = family.subset(["P1", "P5", "P1xP2"])
+        assert sub.feature_names == ["P1", "P5", "P1xP2"]
+
+    def test_subset_unknown_name_rejected(self):
+        with pytest.raises(MetaStructureError, match="unknown feature"):
+            standard_diagram_family().subset(["P99"])
+
+    def test_paths_only(self):
+        family = standard_diagram_family().paths_only()
+        assert family.feature_names == ["P1", "P2", "P3", "P4", "P5", "P6"]
+
+    def test_covering_sets(self):
+        family = standard_diagram_family()
+        by_name = {d.name: d for d in family.diagrams}
+        assert by_name["P1xP2"].covering == {"P1", "P2"}
+        assert by_name["P5xP6"].covering == {"P5", "P6"}
+        assert by_name["P1xP5xP6"].covering == {"P1", "P5", "P6"}
+
+    def test_covers_relation(self):
+        family = standard_diagram_family()
+        by_name = {d.name: d for d in family.diagrams}
+        big = by_name["P1xP5xP6"]
+        small = by_name["P5xP6"]
+        assert big.covers(small)
+        assert not small.covers(big)
+
+
+class TestStackingValidation:
+    def test_stack_follow_with_attribute_rejected(self):
+        paths = paths_by_name()
+        with pytest.raises(MetaStructureError, match="not a follow path"):
+            stack_follow_pair(paths["P1"], paths["P5"])
+
+    def test_stack_path_with_itself_rejected(self):
+        paths = paths_by_name()
+        with pytest.raises(MetaStructureError, match="itself"):
+            stack_follow_pair(paths["P1"], paths["P1"])
+
+    def test_attribute_stack_needs_two(self):
+        paths = paths_by_name()
+        with pytest.raises(MetaStructureError):
+            stack_attribute_paths([paths["P5"]])
+
+    def test_attribute_stack_rejects_follow(self):
+        paths = paths_by_name()
+        with pytest.raises(MetaStructureError, match="not an attribute path"):
+            stack_attribute_paths([paths["P5"], paths["P1"]])
+
+    def test_attribute_stack_rejects_duplicates(self):
+        paths = paths_by_name()
+        with pytest.raises(MetaStructureError, match="distinct"):
+            stack_attribute_paths([paths["P5"], paths["P5"]])
+
+
+class TestDiagramSemanticsOnHandmadePair:
+    """Exact diagram counts on the hand-specified fixture.
+
+    The mutual-follow pairs are (la, lb) on the left and (ra, rb) on the
+    right, and (lb, rb) is an anchor.
+    """
+
+    @pytest.fixture()
+    def evaluate(self, handmade_pair):
+        bag = build_matrix_bag(handmade_pair, known_anchors=handmade_pair.anchors)
+
+        def _eval(name: str) -> np.ndarray:
+            family = standard_diagram_family()
+            index = family.feature_names.index(name)
+            return family.exprs[index].evaluate(bag).toarray()
+
+        return _eval
+
+    def _index(self, pair, left_user, right_user):
+        return (
+            pair.left.node_position("user", left_user),
+            pair.right.node_position("user", right_user),
+        )
+
+    def test_common_aligned_neighbors(self, handmade_pair, evaluate):
+        counts = evaluate("P1xP2")
+        i, j = self._index(handmade_pair, "la", "ra")
+        # la <-> lb mutual, ra <-> rb mutual, (lb, rb) anchored.
+        assert counts[i, j] == 1
+        i, j = self._index(handmade_pair, "lc", "rc")
+        # lc -> lb one-way only: no mutual pair.
+        assert counts[i, j] == 0
+
+    def test_common_attributes_requires_same_post_pair(
+        self, handmade_pair, evaluate
+    ):
+        counts = evaluate("P5xP6")
+        i, j = self._index(handmade_pair, "la", "ra")
+        # Same timestamp AND same location on the same post pair.
+        assert counts[i, j] == 1
+        i, j = self._index(handmade_pair, "lc", "rc")
+        # Same timestamp, different location: the stack rejects it —
+        # this is the paper's "dislocated check-ins" discrimination.
+        assert counts[i, j] == 0
+
+    def test_dislocated_activity_discrimination(self, handmade_pair):
+        """P5 and P6 alone fire, the Ψ2 stack does not (paper §III-B.2)."""
+        from repro.networks.builders import SocialNetworkBuilder
+        from repro.networks.aligned import AlignedPair
+
+        # u posts (t=1, loc=A) and (t=2, loc=B);
+        # v posts (t=1, loc=B) and (t=2, loc=A): dislocated.
+        left = (
+            SocialNetworkBuilder("l")
+            .add_user("u")
+            .post("u", post_id="p1", timestamp=1, location="A")
+            .post("u", post_id="p2", timestamp=2, location="B")
+            .build()
+        )
+        right = (
+            SocialNetworkBuilder("r")
+            .add_user("v")
+            .post("v", post_id="q1", timestamp=1, location="B")
+            .post("v", post_id="q2", timestamp=2, location="A")
+            .build()
+        )
+        pair = AlignedPair(left, right, [])
+        bag = build_matrix_bag(pair, known_anchors=[])
+        family = standard_diagram_family()
+
+        def count(name):
+            index = family.feature_names.index(name)
+            return family.exprs[index].evaluate(bag).toarray()[0, 0]
+
+        assert count("P5") == 2  # two shared timestamps
+        assert count("P6") == 2  # two shared locations
+        assert count("P5xP6") == 0  # never the same place at the same time
+
+    def test_endpoint_stack_is_product(self, handmade_pair, evaluate):
+        p1 = evaluate("P1")
+        stack = evaluate("P5xP6")
+        combined = evaluate("P1xP5xP6")
+        assert np.array_equal(combined, p1 * stack)

@@ -1,0 +1,140 @@
+"""Tests for repro.meta.discovery."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetaStructureError
+from repro.meta.context import build_matrix_bag
+from repro.meta.discovery import (
+    DiscoveredPath,
+    discover_inter_network_paths,
+    discover_standard_paths,
+    schema_edges,
+)
+from repro.meta.diagrams import stack_follow_pair
+from repro.meta.paths import paths_by_name
+
+
+class TestSchemaEdges:
+    def test_counts(self):
+        assert len(schema_edges()) == 9
+        assert len(schema_edges(include_words=True)) == 11
+
+    def test_anchor_edge_present(self):
+        matrices = {edge.matrix for edge in schema_edges()}
+        assert "A" in matrices and "F1" in matrices and "T2" in matrices
+
+
+class TestDiscovery:
+    def test_rediscovers_all_standard_paths(self):
+        mapping = discover_standard_paths()
+        assert sorted(mapping) == ["P1", "P2", "P3", "P4", "P5", "P6"]
+
+    def test_rediscovers_word_path(self):
+        mapping = discover_standard_paths(include_words=True)
+        assert "P7" in mapping
+
+    def test_discovered_counts_equal_standard_counts(self, handmade_pair):
+        bag = build_matrix_bag(handmade_pair, known_anchors=handmade_pair.anchors)
+        mapping = discover_standard_paths()
+        standard = paths_by_name()
+        for name, discovered in mapping.items():
+            assert np.array_equal(
+                discovered.expr.evaluate(bag).toarray(),
+                standard[name].expr.evaluate(bag).toarray(),
+            )
+
+    def test_all_paths_start_and_end_at_users(self):
+        for path in discover_inter_network_paths(max_length=4):
+            assert path.node_sequence[0] == ("1", "user")
+            assert path.node_sequence[-1] == ("2", "user")
+
+    def test_anchor_used_at_most_once(self):
+        for path in discover_inter_network_paths(max_length=5):
+            anchor_steps = [m for m, _ in path.steps if m == "A"]
+            assert len(anchor_steps) <= 1
+            assert (path.crossing == "anchor") == (len(anchor_steps) == 1)
+
+    def test_no_immediate_reversal(self):
+        for path in discover_inter_network_paths(max_length=5):
+            for (m1, f1), (m2, f2) in zip(path.steps, path.steps[1:]):
+                assert not (m1 == m2 and f1 != f2), path.signature
+
+    def test_no_return_from_network2(self):
+        for path in discover_inter_network_paths(max_length=5):
+            seen_network2 = False
+            for node in path.node_sequence:
+                if node[0] == "2":
+                    seen_network2 = True
+                elif seen_network2:
+                    pytest.fail(f"path returns from network 2: {path.signature}")
+
+    def test_longer_bound_strictly_more_paths(self):
+        n3 = len(discover_inter_network_paths(max_length=3))
+        n4 = len(discover_inter_network_paths(max_length=4))
+        n5 = len(discover_inter_network_paths(max_length=5))
+        assert n3 < n4 < n5
+
+    def test_deterministic_order(self):
+        a = discover_inter_network_paths(max_length=4)
+        b = discover_inter_network_paths(max_length=4)
+        assert [p.signature for p in a] == [p.signature for p in b]
+
+    def test_invalid_bound(self):
+        with pytest.raises(MetaStructureError):
+            discover_inter_network_paths(max_length=0)
+
+    def test_bare_anchor_excluded(self):
+        signatures = {
+            p.signature for p in discover_inter_network_paths(max_length=4)
+        }
+        assert "A>" not in signatures
+
+
+class TestToMetaPath:
+    def test_anchor_path_is_stackable(self, handmade_pair):
+        mapping = discover_standard_paths()
+        p1 = mapping["P1"].to_meta_path("P1d")
+        p2 = mapping["P2"].to_meta_path("P2d")
+        diagram = stack_follow_pair(p1, p2)
+        bag = build_matrix_bag(handmade_pair, known_anchors=handmade_pair.anchors)
+        # Must equal the standard P1xP2 diagram counts.
+        standard = paths_by_name()
+        expected = stack_follow_pair(standard["P1"], standard["P2"])
+        assert np.array_equal(
+            diagram.expr.evaluate(bag).toarray(),
+            expected.expr.evaluate(bag).toarray(),
+        )
+
+    def test_attribute_path_conversion(self):
+        mapping = discover_standard_paths()
+        converted = mapping["P5"].to_meta_path("P5d")
+        assert converted.category == "attribute"
+        assert converted.inner is not None
+
+    def test_long_anchor_path_conversion(self, handmade_pair):
+        long_paths = [
+            p
+            for p in discover_inter_network_paths(max_length=5)
+            if p.crossing == "anchor"
+            and p.length == 5
+            and p.steps[0][0] != "A"
+            and p.steps[-1][0] != "A"
+        ]
+        assert long_paths
+        meta = long_paths[0].to_meta_path("long")
+        bag = build_matrix_bag(handmade_pair, known_anchors=handmade_pair.anchors)
+        counts = meta.expr.evaluate(bag)
+        assert counts.shape == (3, 3)
+
+    def test_non_canonical_attribute_path_rejected(self):
+        # A length-5 attribute path (extra follow hop) has no canonical
+        # MetaPath form.
+        candidates = [
+            p
+            for p in discover_inter_network_paths(max_length=5)
+            if p.crossing == "attribute" and p.length == 5
+        ]
+        assert candidates
+        with pytest.raises(MetaStructureError, match="canonical"):
+            candidates[0].to_meta_path("x")

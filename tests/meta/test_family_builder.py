@@ -1,0 +1,78 @@
+"""Tests for build_diagram_family and discovered_family."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetaStructureError
+from repro.meta.context import build_matrix_bag
+from repro.meta.diagrams import build_diagram_family, standard_diagram_family
+from repro.meta.discovery import discovered_family
+from repro.meta.paths import standard_paths
+
+
+class TestBuildDiagramFamily:
+    def test_standard_family_is_special_case(self):
+        built = build_diagram_family(standard_paths())
+        standard = standard_diagram_family()
+        assert built.feature_names == standard.feature_names
+
+    def test_follow_only(self):
+        follow = [p for p in standard_paths() if p.category == "follow"]
+        family = build_diagram_family(follow)
+        assert len(family.paths) == 4
+        assert len(family.diagrams) == 6  # Ψf² only
+        assert all(d.family == "f2" for d in family.diagrams)
+
+    def test_attribute_only(self):
+        attribute = [p for p in standard_paths() if p.category == "attribute"]
+        family = build_diagram_family(attribute)
+        assert len(family.paths) == 2
+        assert [d.family for d in family.diagrams] == ["a2"]
+
+    def test_single_attribute_path(self):
+        p5 = [p for p in standard_paths() if p.name == "P5"]
+        family = build_diagram_family(p5)
+        assert family.feature_names == ["P5"]
+
+    def test_duplicate_names_rejected(self):
+        paths = standard_paths()
+        with pytest.raises(MetaStructureError, match="duplicate"):
+            build_diagram_family(paths + [paths[0]])
+
+
+class TestDiscoveredFamily:
+    def test_superset_of_standard(self):
+        family = discovered_family(max_length=4)
+        standard_names = set(standard_diagram_family().feature_names)
+        # All standard paths present; the standard diagrams may differ
+        # only in branch naming order, so compare path names.
+        assert {"P1", "P2", "P3", "P4", "P5", "P6"} <= set(family.feature_names)
+        assert len(family.feature_names) > len(standard_names)
+
+    def test_counts_match_standard_on_shared_paths(self, handmade_pair):
+        family = discovered_family(max_length=4)
+        standard = standard_diagram_family()
+        bag = build_matrix_bag(handmade_pair, known_anchors=handmade_pair.anchors)
+        standard_expr = dict(zip(standard.feature_names, standard.exprs))
+        discovered_expr = dict(zip(family.feature_names, family.exprs))
+        for name in ("P1", "P5", "P6"):
+            assert np.array_equal(
+                discovered_expr[name].evaluate(bag).toarray(),
+                standard_expr[name].evaluate(bag).toarray(),
+            )
+
+    def test_small_bound_gives_follow_only_family(self):
+        family = discovered_family(max_length=3)
+        assert len(family.paths) == 4
+        assert {"P1", "P2", "P3", "P4"} == {p.name for p in family.paths}
+
+    def test_extended_features_extract(self, handmade_pair):
+        from repro.meta.features import FeatureExtractor
+
+        family = discovered_family(max_length=4)
+        extractor = FeatureExtractor(
+            handmade_pair, family=family, known_anchors=handmade_pair.anchors
+        )
+        X = extractor.extract([("la", "ra"), ("lb", "rb")])
+        assert X.shape == (2, len(family.feature_names) + 1)
+        assert np.all(X >= 0) and np.all(X <= 1)

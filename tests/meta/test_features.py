@@ -1,0 +1,119 @@
+"""Tests for repro.meta.features."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FeatureError
+from repro.meta.diagrams import standard_diagram_family
+from repro.meta.features import FeatureExtractor, extract_features
+
+
+class TestFeatureExtractor:
+    def test_dimensions(self, handmade_pair):
+        extractor = FeatureExtractor(
+            handmade_pair, known_anchors=handmade_pair.anchors
+        )
+        assert extractor.n_features == 32  # 31 structures + bias
+        assert extractor.feature_names[-1] == "bias"
+
+    def test_no_bias_option(self, handmade_pair):
+        extractor = FeatureExtractor(
+            handmade_pair, known_anchors=handmade_pair.anchors, include_bias=False
+        )
+        assert extractor.n_features == 31
+
+    def test_extract_shape_and_bias(self, handmade_pair):
+        extractor = FeatureExtractor(
+            handmade_pair, known_anchors=handmade_pair.anchors
+        )
+        pairs = [("la", "ra"), ("lb", "rb")]
+        X = extractor.extract(pairs)
+        assert X.shape == (2, 32)
+        assert np.all(X[:, -1] == 1.0)
+
+    def test_features_in_unit_interval(self, handmade_pair):
+        extractor = FeatureExtractor(
+            handmade_pair, known_anchors=handmade_pair.anchors
+        )
+        pairs = [(u, v) for u in handmade_pair.left_users()
+                 for v in handmade_pair.right_users()]
+        X = extractor.extract(pairs)
+        assert np.all(X >= 0.0) and np.all(X <= 1.0)
+
+    def test_extract_empty(self, handmade_pair):
+        extractor = FeatureExtractor(
+            handmade_pair, known_anchors=handmade_pair.anchors
+        )
+        assert extractor.extract([]).shape == (0, 32)
+
+    def test_extract_single(self, handmade_pair):
+        extractor = FeatureExtractor(
+            handmade_pair, known_anchors=handmade_pair.anchors
+        )
+        vector = extractor.extract_single(("la", "ra"))
+        assert vector.shape == (32,)
+
+    def test_anchored_pair_scores_higher_than_random(self, tiny_synthetic_pair):
+        pair = tiny_synthetic_pair
+        anchors = sorted(pair.anchors, key=repr)
+        train = anchors[: len(anchors) // 2]
+        held_out = anchors[len(anchors) // 2:]
+        extractor = FeatureExtractor(pair, known_anchors=train)
+        rng = np.random.default_rng(0)
+        lefts, rights = pair.left_users(), pair.right_users()
+        random_pairs = [
+            (lefts[i], rights[j])
+            for i, j in zip(
+                rng.integers(0, len(lefts), 60), rng.integers(0, len(rights), 60)
+            )
+            if not pair.is_anchor((lefts[i], rights[j]))
+        ]
+        anchor_mass = extractor.extract(held_out)[:, :-1].sum(axis=1).mean()
+        random_mass = extractor.extract(random_pairs)[:, :-1].sum(axis=1).mean()
+        assert anchor_mass > 2 * random_mass
+
+    def test_update_anchors_changes_follow_features(self, handmade_pair):
+        extractor = FeatureExtractor(handmade_pair, known_anchors=[])
+        before = extractor.extract([("la", "ra")])
+        extractor.update_anchors(handmade_pair.anchors)
+        after = extractor.extract([("la", "ra")])
+        p1_col = extractor.feature_names.index("P1")
+        assert before[0, p1_col] == 0.0
+        assert after[0, p1_col] > 0.0
+
+    def test_update_anchors_preserves_attribute_features(self, handmade_pair):
+        extractor = FeatureExtractor(handmade_pair, known_anchors=[])
+        before = extractor.extract([("la", "ra")])
+        extractor.update_anchors(handmade_pair.anchors)
+        after = extractor.extract([("la", "ra")])
+        for name in ("P5", "P6", "P5xP6"):
+            col = extractor.feature_names.index(name)
+            assert before[0, col] == after[0, col]
+
+    def test_update_anchors_keeps_attribute_cache(self, handmade_pair):
+        extractor = FeatureExtractor(handmade_pair, known_anchors=[])
+        extractor.extract([("la", "ra")])
+        cache_before = extractor.engine.cache_size
+        extractor.update_anchors(handmade_pair.anchors)
+        # Attribute-only products must survive the anchor refresh.
+        assert extractor.engine.cache_size > 0
+        assert extractor.engine.cache_size < cache_before
+
+    def test_custom_family_subset(self, handmade_pair):
+        family = standard_diagram_family().subset(["P5", "P6"])
+        extractor = FeatureExtractor(
+            handmade_pair, family=family, known_anchors=handmade_pair.anchors
+        )
+        assert extractor.feature_names == ["P5", "P6", "bias"]
+
+    def test_one_shot_helper(self, handmade_pair):
+        X = extract_features(
+            handmade_pair,
+            [("la", "ra")],
+            known_anchors=handmade_pair.anchors,
+        )
+        assert X.shape == (1, 32)
+
+    def test_one_shot_helper_rejects_empty(self, handmade_pair):
+        with pytest.raises(FeatureError):
+            extract_features(handmade_pair, [], known_anchors=[])

@@ -1,0 +1,93 @@
+"""Tests for repro.meta.proximity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.exceptions import FeatureError
+from repro.meta.proximity import ProximityMatrix, dice_proximity
+
+
+def _prox(array) -> ProximityMatrix:
+    return ProximityMatrix(sparse.csr_matrix(np.asarray(array, dtype=float)))
+
+
+class TestScore:
+    def test_definition(self):
+        prox = _prox([[2, 0], [1, 3]])
+        # s(0,0) = 2*2 / (rowsum0 + colsum0) = 4 / (2 + 3)
+        assert prox.score(0, 0) == pytest.approx(4 / 5)
+
+    def test_zero_denominator_is_zero(self):
+        prox = _prox([[0, 0], [0, 0]])
+        assert prox.score(0, 1) == 0.0
+
+    def test_isolated_row_against_active_column(self):
+        prox = _prox([[0, 0], [0, 5]])
+        assert prox.score(0, 1) == 0.0
+
+    def test_perfect_exclusive_match_scores_one(self):
+        prox = _prox([[7, 0], [0, 0]])
+        assert prox.score(0, 0) == 1.0
+
+
+class TestVectorizedScores:
+    def test_matches_scalar(self):
+        counts = np.array([[2.0, 1.0, 0.0], [0.0, 4.0, 1.0]])
+        prox = _prox(counts)
+        lefts = np.array([0, 0, 1, 1])
+        rights = np.array([0, 2, 1, 0])
+        vector = prox.scores(lefts, rights)
+        for k in range(4):
+            assert vector[k] == pytest.approx(prox.score(lefts[k], rights[k]))
+
+    def test_empty_input(self):
+        prox = _prox([[1.0]])
+        assert prox.scores(np.array([], dtype=int), np.array([], dtype=int)).size == 0
+
+    def test_shape_mismatch_rejected(self):
+        prox = _prox([[1.0]])
+        with pytest.raises(FeatureError):
+            prox.scores(np.array([0]), np.array([0, 0]))
+
+
+class TestDense:
+    def test_matches_scalar(self):
+        counts = np.array([[2.0, 1.0], [0.0, 4.0]])
+        prox = _prox(counts)
+        dense = prox.dense()
+        for i in range(2):
+            for j in range(2):
+                assert dense[i, j] == pytest.approx(prox.score(i, j))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.lists(
+        st.lists(st.integers(0, 5), min_size=3, max_size=3),
+        min_size=3,
+        max_size=3,
+    )
+)
+def test_scores_bounded_in_unit_interval(data):
+    """Dice proximity is always in [0, 1]."""
+    prox = dice_proximity(sparse.csr_matrix(np.asarray(data, dtype=float)))
+    dense = prox.dense()
+    assert np.all(dense >= 0.0)
+    assert np.all(dense <= 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.lists(
+        st.lists(st.integers(0, 5), min_size=3, max_size=3),
+        min_size=3,
+        max_size=3,
+    )
+)
+def test_zero_count_implies_zero_score(data):
+    counts = np.asarray(data, dtype=float)
+    dense = dice_proximity(sparse.csr_matrix(counts)).dense()
+    assert np.all(dense[counts == 0] == 0.0)

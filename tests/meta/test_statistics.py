@@ -1,0 +1,64 @@
+"""Tests for repro.meta.statistics."""
+
+import numpy as np
+import pytest
+
+from repro.meta.diagrams import standard_diagram_family
+from repro.meta.statistics import (
+    StructureStats,
+    family_statistics,
+    format_family_statistics,
+)
+
+
+@pytest.fixture(scope="module")
+def stats(request):
+    pair = request.getfixturevalue("tiny_synthetic_pair")
+    return family_statistics(pair)
+
+
+class TestFamilyStatistics:
+    def test_one_entry_per_structure(self, stats):
+        family = standard_diagram_family()
+        assert [s.name for s in stats] == family.feature_names
+
+    def test_support_bounds(self, stats, tiny_synthetic_pair):
+        grid = tiny_synthetic_pair.candidate_space_size()
+        for item in stats:
+            assert 0 <= item.support <= grid
+            assert 0.0 <= item.support_fraction <= 1.0
+            assert item.total_instances >= item.support
+
+    def test_diagram_support_below_covering_path_support(self, stats):
+        """Lemma 1 reflected in the statistics: stacking shrinks support."""
+        by_name = {item.name: item for item in stats}
+        family = standard_diagram_family()
+        for diagram in family.diagrams:
+            for path_name in diagram.covering:
+                assert by_name[diagram.name].support <= by_name[path_name].support
+
+    def test_anchor_separation_positive_for_paths(self, stats):
+        """On generated data the paths must separate anchors."""
+        by_name = {item.name: item for item in stats}
+        for name in ("P1", "P2", "P3", "P4", "P5", "P6"):
+            assert by_name[name].separation > 1.0
+
+    def test_proximity_means_bounded(self, stats):
+        for item in stats:
+            assert 0.0 <= item.mean_anchor_proximity <= 1.0
+            assert 0.0 <= item.mean_background_proximity <= 1.0
+
+    def test_separation_edge_cases(self):
+        zero = StructureStats("z", 0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        assert zero.separation == 0.0
+        only_anchor = StructureStats("a", 1, 0.1, 1.0, 1.0, 0.5, 0.0)
+        assert only_anchor.separation == float("inf")
+
+    def test_format(self, stats):
+        text = format_family_statistics(stats)
+        assert "structure" in text and "P1" in text and "sep" in text
+
+    def test_subset_family(self, tiny_synthetic_pair):
+        family = standard_diagram_family().subset(["P5", "P6"])
+        result = family_statistics(tiny_synthetic_pair, family=family)
+        assert [item.name for item in result] == ["P5", "P6"]

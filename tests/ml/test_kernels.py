@@ -1,0 +1,114 @@
+"""Tests for repro.ml.kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ModelError, NotFittedError
+from repro.ml.kernels import LinearMap, PolynomialMap, RandomFourierMap
+
+
+def _data(seed=0, n=20, d=4):
+    return np.random.default_rng(seed).random((n, d))
+
+
+class TestLinearMap:
+    def test_identity(self):
+        X = _data()
+        assert np.array_equal(LinearMap().fit_transform(X), X)
+
+    def test_shape_validation(self):
+        with pytest.raises(ModelError):
+            LinearMap().fit(np.ones(3))
+
+
+class TestPolynomialMap:
+    def test_dimensions(self):
+        X = _data(d=4)
+        Z = PolynomialMap().fit_transform(X)
+        assert Z.shape == (20, 4 + 4 * 5 // 2)
+
+    def test_without_original(self):
+        X = _data(d=3)
+        Z = PolynomialMap(include_original=False).fit_transform(X)
+        assert Z.shape == (20, 6)
+
+    def test_products_correct(self):
+        X = np.array([[2.0, 3.0]])
+        Z = PolynomialMap().fit_transform(X)
+        # [x0, x1, x0*x0, x0*x1, x1*x1]
+        assert Z.tolist() == [[2.0, 3.0, 4.0, 6.0, 9.0]]
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            PolynomialMap().transform(_data())
+
+    def test_dim_mismatch(self):
+        mapper = PolynomialMap().fit(_data(d=4))
+        with pytest.raises(ModelError):
+            mapper.transform(_data(d=5))
+
+
+class TestRandomFourierMap:
+    def test_output_shape_and_bounds(self):
+        X = _data()
+        Z = RandomFourierMap(n_components=64, seed=1).fit_transform(X)
+        assert Z.shape == (20, 64)
+        bound = np.sqrt(2.0 / 64)
+        assert np.all(np.abs(Z) <= bound + 1e-12)
+
+    def test_deterministic(self):
+        X = _data()
+        a = RandomFourierMap(n_components=32, seed=5).fit_transform(X)
+        b = RandomFourierMap(n_components=32, seed=5).fit_transform(X)
+        assert np.array_equal(a, b)
+
+    def test_approximates_rbf_kernel(self):
+        rng = np.random.default_rng(3)
+        X = rng.random((30, 5))
+        sigma = 1.5
+        mapper = RandomFourierMap(n_components=4096, sigma=sigma, seed=2).fit(X)
+        approx = mapper.approximate_kernel(X, X)
+        sq_dists = ((X[:, None, :] - X[None, :, :]) ** 2).sum(axis=2)
+        exact = np.exp(-sq_dists / (2 * sigma**2))
+        assert np.abs(approx - exact).max() < 0.08
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            RandomFourierMap(n_components=0)
+        with pytest.raises(ModelError):
+            RandomFourierMap(sigma=0)
+        with pytest.raises(NotFittedError):
+            RandomFourierMap().transform(_data())
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_maps_produce_finite_features(seed):
+    X = _data(seed=seed)
+    for mapper in (LinearMap(), PolynomialMap(), RandomFourierMap(seed=seed)):
+        Z = mapper.fit_transform(X)
+        assert np.all(np.isfinite(Z))
+
+
+class TestPipelineIntegration:
+    def test_polynomial_map_in_pipeline(self, tiny_synthetic_pair):
+        from repro.core.pipeline import AlignmentPipeline
+        from repro.meta.diagrams import standard_diagram_family
+        from repro.types import Labeled
+
+        pair = tiny_synthetic_pair
+        anchors = sorted(pair.anchors, key=repr)
+        candidates = anchors + [
+            (pair.left_users()[0], pair.right_users()[-1]),
+            (pair.left_users()[-1], pair.right_users()[0]),
+        ]
+        labeled = [Labeled(anchors[0], 1), Labeled(candidates[-1], 0)]
+        family = standard_diagram_family().paths_only()
+        pipeline = AlignmentPipeline(
+            pair, family=family, feature_map=PolynomialMap()
+        )
+        task = pipeline.build_task(candidates, labeled)
+        # 7 raw columns (6 paths + bias) -> 7 + 28 expanded.
+        assert task.X.shape[1] == 7 + 7 * 8 // 2

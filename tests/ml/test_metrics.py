@@ -1,0 +1,101 @@
+"""Tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ExperimentError
+from repro.ml.metrics import (
+    accuracy_score,
+    classification_report,
+    confusion_counts,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+
+_y = st.lists(st.integers(0, 1), min_size=1, max_size=40)
+
+
+class TestConfusionCounts:
+    def test_basic(self):
+        counts = confusion_counts([1, 1, 0, 0], [1, 0, 1, 0])
+        assert (counts.true_positive, counts.false_negative) == (1, 1)
+        assert (counts.false_positive, counts.true_negative) == (1, 1)
+        assert counts.total == 4
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ExperimentError):
+            confusion_counts([1, 0], [1])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ExperimentError):
+            confusion_counts([2, 0], [1, 0])
+        with pytest.raises(ExperimentError):
+            confusion_counts([1, 0], [1, -1])
+
+
+class TestIndividualMetrics:
+    def test_known_values(self):
+        y_true = [1, 1, 1, 0, 0, 0, 0, 0]
+        y_pred = [1, 1, 0, 1, 0, 0, 0, 0]
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert accuracy_score(y_true, y_pred) == pytest.approx(6 / 8)
+
+    def test_collapsed_predictor_zeroes(self):
+        y_true = [1, 1, 0, 0]
+        y_pred = [0, 0, 0, 0]
+        assert precision_score(y_true, y_pred) == 0.0
+        assert recall_score(y_true, y_pred) == 0.0
+        assert f1_score(y_true, y_pred) == 0.0
+        assert accuracy_score(y_true, y_pred) == 0.5
+
+    def test_no_positives_in_truth(self):
+        assert recall_score([0, 0], [0, 1]) == 0.0
+
+    def test_perfect(self):
+        y = [1, 0, 1, 0]
+        assert f1_score(y, y) == 1.0
+        assert accuracy_score(y, y) == 1.0
+
+
+class TestClassificationReport:
+    def test_matches_individual_metrics(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 2, 50)
+        y_pred = rng.integers(0, 2, 50)
+        report = classification_report(y_true, y_pred)
+        assert report.f1 == pytest.approx(f1_score(y_true, y_pred))
+        assert report.precision == pytest.approx(precision_score(y_true, y_pred))
+        assert report.recall == pytest.approx(recall_score(y_true, y_pred))
+        assert report.accuracy == pytest.approx(accuracy_score(y_true, y_pred))
+
+    def test_as_dict(self):
+        report = classification_report([1, 0], [1, 0])
+        assert set(report.as_dict()) == {"f1", "precision", "recall", "accuracy"}
+
+
+@settings(max_examples=60, deadline=None)
+@given(y_true=_y, y_pred=_y)
+def test_metric_bounds_and_f1_mean_inequality(y_true, y_pred):
+    n = min(len(y_true), len(y_pred))
+    y_true, y_pred = y_true[:n], y_pred[:n]
+    if n == 0:
+        return
+    report = classification_report(y_true, y_pred)
+    for value in report.as_dict().values():
+        assert 0.0 <= value <= 1.0
+    # F1 is at most the arithmetic mean of precision and recall.
+    assert report.f1 <= (report.precision + report.recall) / 2 + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(y=_y)
+def test_perfect_prediction_maxes_all_metrics(y):
+    report = classification_report(y, y)
+    assert report.accuracy == 1.0
+    if sum(y) > 0:
+        assert report.f1 == report.precision == report.recall == 1.0

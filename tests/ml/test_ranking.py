@@ -1,0 +1,153 @@
+"""Tests for repro.ml.ranking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ExperimentError
+from repro.ml.ranking import (
+    average_precision,
+    mean_reciprocal_rank,
+    precision_at_k,
+    ranking_report,
+    recall_at_k,
+    roc_auc,
+)
+
+PERFECT_TRUE = np.array([1, 1, 0, 0])
+PERFECT_SCORES = np.array([0.9, 0.8, 0.2, 0.1])
+
+
+class TestPrecisionRecallAtK:
+    def test_perfect_ranking(self):
+        assert precision_at_k(PERFECT_TRUE, PERFECT_SCORES, 2) == 1.0
+        assert recall_at_k(PERFECT_TRUE, PERFECT_SCORES, 2) == 1.0
+
+    def test_worst_ranking(self):
+        assert precision_at_k(PERFECT_TRUE, -PERFECT_SCORES, 2) == 0.0
+
+    def test_partial(self):
+        y = np.array([1, 0, 1, 0])
+        s = np.array([0.9, 0.8, 0.7, 0.1])
+        assert precision_at_k(y, s, 2) == 0.5
+        assert recall_at_k(y, s, 2) == 0.5
+
+    def test_k_clipped_to_size(self):
+        assert precision_at_k(PERFECT_TRUE, PERFECT_SCORES, 100) == 0.5
+
+    def test_no_positives_recall_zero(self):
+        assert recall_at_k([0, 0], [0.1, 0.2], 1) == 0.0
+
+    def test_bad_k(self):
+        with pytest.raises(ExperimentError):
+            precision_at_k(PERFECT_TRUE, PERFECT_SCORES, 0)
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision(PERFECT_TRUE, PERFECT_SCORES) == 1.0
+
+    def test_known_value(self):
+        # Positives at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+        y = np.array([1, 0, 1, 0])
+        s = np.array([0.9, 0.8, 0.7, 0.1])
+        assert average_precision(y, s) == pytest.approx((1 + 2 / 3) / 2)
+
+    def test_no_positives(self):
+        assert average_precision([0, 0], [0.5, 0.4]) == 0.0
+
+
+class TestRocAuc:
+    def test_perfect(self):
+        assert roc_auc(PERFECT_TRUE, PERFECT_SCORES) == 1.0
+
+    def test_inverted(self):
+        assert roc_auc(PERFECT_TRUE, -PERFECT_SCORES) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 2000)
+        s = rng.random(2000)
+        assert roc_auc(y, s) == pytest.approx(0.5, abs=0.05)
+
+    def test_all_tied_scores_half(self):
+        assert roc_auc([1, 0, 1, 0], [0.5, 0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_single_class_returns_half(self):
+        assert roc_auc([1, 1], [0.2, 0.8]) == 0.5
+        assert roc_auc([0, 0], [0.2, 0.8]) == 0.5
+
+    def test_matches_pair_counting(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 60)
+        s = rng.random(60)
+        positives = s[y == 1]
+        negatives = s[y == 0]
+        wins = sum(
+            1.0 if p > n else 0.5 if p == n else 0.0
+            for p in positives
+            for n in negatives
+        )
+        expected = wins / (len(positives) * len(negatives))
+        assert roc_auc(y, s) == pytest.approx(expected)
+
+
+class TestMrr:
+    def test_first_hit(self):
+        assert mean_reciprocal_rank(PERFECT_TRUE, PERFECT_SCORES) == 1.0
+
+    def test_hit_at_rank_three(self):
+        y = np.array([0, 0, 1])
+        s = np.array([0.9, 0.8, 0.7])
+        assert mean_reciprocal_rank(y, s) == pytest.approx(1 / 3)
+
+    def test_no_positives(self):
+        assert mean_reciprocal_rank([0, 0], [0.1, 0.2]) == 0.0
+
+
+class TestValidationAndReport:
+    def test_shape_mismatch(self):
+        with pytest.raises(ExperimentError):
+            roc_auc([1, 0], [0.5])
+
+    def test_non_binary(self):
+        with pytest.raises(ExperimentError):
+            average_precision([2, 0], [0.5, 0.4])
+
+    def test_nan_scores(self):
+        with pytest.raises(ExperimentError):
+            roc_auc([1, 0], [np.nan, 0.4])
+
+    def test_empty(self):
+        with pytest.raises(ExperimentError):
+            roc_auc([], [])
+
+    def test_report_keys(self):
+        report = ranking_report(PERFECT_TRUE, PERFECT_SCORES, ks=(1, 2))
+        assert set(report) == {"ap", "auc", "mrr", "p@1", "r@1", "p@2", "r@2"}
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    y=st.lists(st.integers(0, 1), min_size=2, max_size=30),
+    seed=st.integers(0, 1000),
+)
+def test_ranking_metric_bounds(y, seed):
+    scores = np.random.default_rng(seed).random(len(y))
+    report = ranking_report(y, scores, ks=(1, 3))
+    for value in report.values():
+        assert 0.0 <= value <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    y=st.lists(st.integers(0, 1), min_size=3, max_size=20).filter(
+        lambda values: 0 < sum(values) < len(values)
+    ),
+    seed=st.integers(0, 1000),
+)
+def test_auc_invariant_to_monotone_transform(y, seed):
+    scores = np.random.default_rng(seed).random(len(y))
+    assert roc_auc(y, scores) == pytest.approx(roc_auc(y, 10 * scores + 3))
+    assert roc_auc(y, scores) == pytest.approx(roc_auc(y, np.exp(scores)))

@@ -1,0 +1,104 @@
+"""Tests for repro.ml.ridge."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ModelError
+from repro.ml.ridge import RidgeSolver, ridge_fit
+
+
+class TestRidgeSolver:
+    def test_matches_closed_form(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 4))
+        y = rng.normal(size=50)
+        c = 2.5
+        w = RidgeSolver(X, c=c).solve(y)
+        expected = c * np.linalg.inv(np.eye(4) + c * X.T @ X) @ X.T @ y
+        assert np.allclose(w, expected)
+
+    def test_solution_minimizes_objective(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(30, 3))
+        y = rng.normal(size=30)
+        c = 1.0
+        w = RidgeSolver(X, c=c).solve(y)
+
+        def objective(v):
+            return 0.5 * c * np.sum((X @ v - y) ** 2) + 0.5 * np.sum(v**2)
+
+        base = objective(w)
+        for _ in range(20):
+            perturbed = w + rng.normal(scale=1e-3, size=3)
+            assert objective(perturbed) >= base - 1e-12
+
+    def test_large_c_approaches_least_squares(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(40, 3))
+        true_w = np.array([1.0, -2.0, 0.5])
+        y = X @ true_w
+        w = RidgeSolver(X, c=1e8).solve(y)
+        assert np.allclose(w, true_w, atol=1e-4)
+
+    def test_small_c_shrinks_towards_zero(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(40, 3))
+        y = rng.normal(size=40)
+        w_small = RidgeSolver(X, c=1e-8).solve(y)
+        assert np.linalg.norm(w_small) < 1e-4
+
+    def test_reusable_across_labels(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(20, 3))
+        solver = RidgeSolver(X)
+        y1, y2 = rng.normal(size=20), rng.normal(size=20)
+        assert not np.allclose(solver.solve(y1), solver.solve(y2))
+        assert np.allclose(solver.solve(y1), ridge_fit(X, y1))
+
+    def test_predict(self):
+        X = np.array([[1.0, 0.0], [0.0, 1.0]])
+        solver = RidgeSolver(X)
+        w = np.array([2.0, 3.0])
+        assert np.allclose(solver.predict(w), [2.0, 3.0])
+        assert np.allclose(solver.predict(w, np.array([[1.0, 1.0]])), [5.0])
+
+    def test_sample_weights_equal_replication(self):
+        """Integer weights must equal literally replicating rows."""
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(10, 3))
+        y = rng.normal(size=10)
+        weights = np.array([1, 2, 1, 3, 1, 1, 2, 1, 1, 1], dtype=float)
+        w_weighted = RidgeSolver(X, c=1.3, sample_weight=weights).solve(y)
+        X_rep = np.repeat(X, weights.astype(int), axis=0)
+        y_rep = np.repeat(y, weights.astype(int))
+        w_replicated = RidgeSolver(X_rep, c=1.3).solve(y_rep)
+        assert np.allclose(w_weighted, w_replicated)
+
+    def test_validation_errors(self):
+        X = np.ones((4, 2))
+        with pytest.raises(ModelError):
+            RidgeSolver(X, c=0.0)
+        with pytest.raises(ModelError):
+            RidgeSolver(np.ones(4))
+        with pytest.raises(ModelError):
+            RidgeSolver(X).solve(np.ones(5))
+        with pytest.raises(ModelError):
+            RidgeSolver(X, sample_weight=np.ones(3))
+        with pytest.raises(ModelError):
+            RidgeSolver(X, sample_weight=-np.ones(4))
+        with pytest.raises(ModelError):
+            RidgeSolver(X).predict(np.ones(3))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), c=st.floats(0.1, 10.0))
+def test_gradient_is_zero_at_solution(seed, c):
+    """The ridge optimum satisfies c·Xᵀ(Xw − y) + w = 0."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(15, 4))
+    y = rng.normal(size=15)
+    w = RidgeSolver(X, c=c).solve(y)
+    gradient = c * X.T @ (X @ w - y) + w
+    assert np.allclose(gradient, 0.0, atol=1e-8)

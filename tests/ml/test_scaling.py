@@ -1,0 +1,50 @@
+"""Tests for repro.ml.scaling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, NotFittedError
+from repro.ml.scaling import StandardScaler
+
+
+class TestStandardScaler:
+    def test_standardizes_columns(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_passes_through(self):
+        X = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)  # mean removed, scale 1
+        assert np.isclose(Z[:, 1].std(), 1.0)
+
+    def test_transform_uses_training_statistics(self):
+        X_train = np.array([[0.0], [2.0]])
+        scaler = StandardScaler().fit(X_train)
+        Z = scaler.transform(np.array([[4.0]]))
+        assert Z[0, 0] == pytest.approx((4.0 - 1.0) / 1.0)
+
+    def test_with_mean_false(self):
+        X = np.array([[1.0], [3.0]])
+        Z = StandardScaler(with_mean=False).fit_transform(X)
+        assert Z[0, 0] == pytest.approx(1.0 / X.std(axis=0)[0])
+
+    def test_with_std_false(self):
+        X = np.array([[1.0], [3.0]])
+        Z = StandardScaler(with_std=False).fit_transform(X)
+        assert np.allclose(Z.ravel(), [-1.0, 1.0])
+
+    def test_errors(self):
+        scaler = StandardScaler()
+        with pytest.raises(NotFittedError):
+            scaler.transform(np.ones((2, 2)))
+        with pytest.raises(ModelError):
+            scaler.fit(np.ones(3))
+        with pytest.raises(ModelError):
+            scaler.fit(np.ones((0, 2)))
+        scaler.fit(np.ones((3, 2)))
+        with pytest.raises(ModelError):
+            scaler.transform(np.ones((3, 5)))

@@ -1,0 +1,116 @@
+"""Tests for repro.ml.svm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ModelError, NotFittedError
+from repro.ml.svm import LinearSVC, PegasosSVC
+
+
+def _separable_data(seed=0, n=60, gap=2.0):
+    rng = np.random.default_rng(seed)
+    X_pos = rng.normal(loc=+gap, size=(n // 2, 2))
+    X_neg = rng.normal(loc=-gap, size=(n // 2, 2))
+    X = np.vstack([X_pos, X_neg])
+    y = np.array([1] * (n // 2) + [0] * (n // 2))
+    return X, y
+
+
+class TestLinearSVC:
+    def test_separable_perfect_train_accuracy(self):
+        X, y = _separable_data()
+        model = LinearSVC(C=1.0).fit(X, y)
+        assert np.array_equal(model.predict(X), y)
+
+    def test_decision_function_sign_matches_predict(self):
+        X, y = _separable_data(1)
+        model = LinearSVC().fit(X, y)
+        scores = model.decision_function(X)
+        assert np.array_equal((scores > 0).astype(int), model.predict(X))
+
+    def test_generalizes(self):
+        X, y = _separable_data(2)
+        model = LinearSVC().fit(X, y)
+        X_test, y_test = _separable_data(3)
+        assert (model.predict(X_test) == y_test).mean() > 0.95
+
+    def test_deterministic_given_seed(self):
+        X, y = _separable_data(4, gap=0.5)
+        a = LinearSVC(seed=9).fit(X, y)
+        b = LinearSVC(seed=9).fit(X, y)
+        assert np.allclose(a.coef_, b.coef_)
+        assert a.intercept_ == b.intercept_
+
+    def test_single_class_degenerates_to_constant(self):
+        X = np.random.default_rng(0).normal(size=(10, 2))
+        model = LinearSVC().fit(X, np.zeros(10, dtype=int))
+        assert np.all(model.predict(X) == 0)
+        model = LinearSVC().fit(X, np.ones(10, dtype=int))
+        assert np.all(model.predict(X) == 1)
+
+    def test_extreme_imbalance_collapses_recall(self):
+        """The paper's SVM-MP pathology: tiny positive class, weak
+        features -> predicts (almost) everything negative."""
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(500, 3)) * 0.01  # nearly uninformative
+        y = np.zeros(500, dtype=int)
+        y[:5] = 1
+        model = LinearSVC(C=1.0).fit(X, y)
+        assert model.predict(X).sum() <= 5
+
+    def test_dual_feasibility(self):
+        """KKT box constraint: converged alphas produce bounded weights."""
+        X, y = _separable_data(6, gap=0.3)
+        model = LinearSVC(C=0.5, max_iter=2000).fit(X, y)
+        # Weight vector is a combination of at most C-weighted samples.
+        bound = 0.5 * np.abs(np.hstack([X, np.ones((len(X), 1))])).sum(axis=0)
+        assert np.all(np.abs(np.append(model.coef_, model.intercept_)) <= bound + 1e-9)
+
+    def test_validation(self):
+        X, y = _separable_data()
+        with pytest.raises(ModelError):
+            LinearSVC(C=0)
+        with pytest.raises(ModelError):
+            LinearSVC(max_iter=0)
+        with pytest.raises(ModelError):
+            LinearSVC().fit(X, y[:-1])
+        with pytest.raises(ModelError):
+            LinearSVC().fit(X, y + 1)
+        with pytest.raises(NotFittedError):
+            LinearSVC().predict(X)
+
+
+class TestPegasosSVC:
+    def test_separable_high_accuracy(self):
+        X, y = _separable_data(7)
+        model = PegasosSVC(lam=1e-3, n_epochs=80).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.95
+
+    def test_agrees_with_dual_cd_on_easy_data(self):
+        X, y = _separable_data(8, gap=3.0)
+        dual = LinearSVC().fit(X, y)
+        pegasos = PegasosSVC(lam=1e-3, n_epochs=100).fit(X, y)
+        agreement = (dual.predict(X) == pegasos.predict(X)).mean()
+        assert agreement > 0.95
+
+    def test_validation(self):
+        X, y = _separable_data()
+        with pytest.raises(ModelError):
+            PegasosSVC(lam=0)
+        with pytest.raises(ModelError):
+            PegasosSVC(n_epochs=0)
+        with pytest.raises(NotFittedError):
+            PegasosSVC().decision_function(X)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_svm_margin_property(seed):
+    """On separable data the learned hyperplane separates the classes."""
+    X, y = _separable_data(seed, n=40, gap=2.5)
+    model = LinearSVC(C=10.0).fit(X, y)
+    scores = model.decision_function(X)
+    assert np.all(scores[y == 1] > 0)
+    assert np.all(scores[y == 0] < 0)

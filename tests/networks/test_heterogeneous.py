@@ -1,0 +1,175 @@
+"""Tests for repro.networks.heterogeneous."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NetworkError, SchemaError
+from repro.networks.heterogeneous import HeterogeneousNetwork
+from repro.networks.schema import (
+    FOLLOW,
+    LOCATION,
+    POST,
+    TIMESTAMP,
+    USER,
+    WRITE,
+    social_network_schema,
+)
+
+
+@pytest.fixture()
+def net() -> HeterogeneousNetwork:
+    network = HeterogeneousNetwork(social_network_schema(), "demo")
+    network.add_nodes(USER, ["u0", "u1", "u2"])
+    network.add_nodes(POST, ["p0", "p1"])
+    network.add_edge(FOLLOW, "u0", "u1")
+    network.add_edge(FOLLOW, "u1", "u0")
+    network.add_edge(WRITE, "u0", "p0")
+    network.add_edge(WRITE, "u2", "p1")
+    network.attach_attribute(TIMESTAMP, "p0", 7)
+    network.attach_attribute(LOCATION, "p0", (1, 2))
+    network.attach_attribute(TIMESTAMP, "p1", 7)
+    return network
+
+
+class TestNodes:
+    def test_counts(self, net):
+        assert net.node_count(USER) == 3
+        assert net.node_count(POST) == 2
+
+    def test_ordering_is_insertion_order(self, net):
+        assert net.nodes(USER) == ["u0", "u1", "u2"]
+
+    def test_duplicate_node_rejected(self, net):
+        with pytest.raises(NetworkError, match="already exists"):
+            net.add_node(USER, "u0")
+
+    def test_same_id_different_type_allowed(self, net):
+        net.add_node(POST, "u0")
+        assert net.has_node(POST, "u0")
+
+    def test_unknown_node_type_raises(self, net):
+        with pytest.raises(SchemaError):
+            net.add_node("company", "c0")
+
+    def test_node_position_roundtrip(self, net):
+        for i, node in enumerate(net.nodes(USER)):
+            assert net.node_position(USER, node) == i
+
+    def test_node_position_unknown_node(self, net):
+        with pytest.raises(NetworkError, match="unknown"):
+            net.node_position(USER, "ghost")
+
+    def test_nodes_returns_copy(self, net):
+        net.nodes(USER).append("intruder")
+        assert net.node_count(USER) == 3
+
+
+class TestEdges:
+    def test_has_edge(self, net):
+        assert net.has_edge(FOLLOW, "u0", "u1")
+        assert not net.has_edge(FOLLOW, "u0", "u2")
+
+    def test_edge_count(self, net):
+        assert net.edge_count(FOLLOW) == 2
+        assert net.edge_count(WRITE) == 2
+
+    def test_duplicate_edge_is_idempotent(self, net):
+        net.add_edge(FOLLOW, "u0", "u1")
+        assert net.edge_count(FOLLOW) == 2
+
+    def test_self_loop_rejected(self, net):
+        with pytest.raises(NetworkError, match="self-loop"):
+            net.add_edge(FOLLOW, "u0", "u0")
+
+    def test_missing_source_rejected(self, net):
+        with pytest.raises(NetworkError, match="missing source"):
+            net.add_edge(FOLLOW, "ghost", "u0")
+
+    def test_missing_target_rejected(self, net):
+        with pytest.raises(NetworkError, match="missing target"):
+            net.add_edge(WRITE, "u0", "ghost")
+
+    def test_successors_predecessors(self, net):
+        assert net.successors(FOLLOW, "u0") == {"u1"}
+        assert net.predecessors(FOLLOW, "u0") == {"u1"}
+        assert net.successors(WRITE, "u2") == {"p1"}
+
+    def test_edges_iteration(self, net):
+        assert set(net.edges(FOLLOW)) == {("u0", "u1"), ("u1", "u0")}
+
+    def test_unknown_relation_raises(self, net):
+        with pytest.raises(SchemaError):
+            net.add_edge("likes", "u0", "u1")
+
+
+class TestAttributes:
+    def test_vocabulary_grows_in_first_seen_order(self, net):
+        assert net.attribute_values(TIMESTAMP) == [7]
+        net.attach_attribute(TIMESTAMP, "p1", 3)
+        assert net.attribute_values(TIMESTAMP) == [7, 3]
+
+    def test_multiset_counting(self, net):
+        net.attach_attribute(TIMESTAMP, "p0", 7, count=2)
+        assert net.node_attributes(TIMESTAMP, "p0") == {7: 3}
+        assert net.attribute_link_count(TIMESTAMP) == 4
+
+    def test_zero_count_rejected(self, net):
+        with pytest.raises(NetworkError, match="count"):
+            net.attach_attribute(TIMESTAMP, "p0", 9, count=0)
+
+    def test_attach_to_missing_node_rejected(self, net):
+        with pytest.raises(NetworkError, match="missing"):
+            net.attach_attribute(TIMESTAMP, "ghost", 1)
+
+    def test_tuple_attribute_values_allowed(self, net):
+        assert net.node_attributes(LOCATION, "p0") == {(1, 2): 1}
+
+    def test_unknown_attribute_raises(self, net):
+        with pytest.raises(SchemaError):
+            net.attach_attribute("mood", "p0", "happy")
+
+
+class TestMatrixExports:
+    def test_typed_adjacency_shape_and_entries(self, net):
+        follow = net.typed_adjacency(FOLLOW)
+        assert follow.shape == (3, 3)
+        assert follow[0, 1] == 1 and follow[1, 0] == 1
+        assert follow.sum() == 2
+
+    def test_write_matrix_rectangular(self, net):
+        write = net.typed_adjacency(WRITE)
+        assert write.shape == (3, 2)
+        assert write[0, 0] == 1 and write[2, 1] == 1
+
+    def test_attribute_matrix_default_vocabulary(self, net):
+        ts = net.attribute_matrix(TIMESTAMP)
+        assert ts.shape == (2, 1)
+        assert ts[0, 0] == 1 and ts[1, 0] == 1
+
+    def test_attribute_matrix_shared_vocabulary(self, net):
+        ts = net.attribute_matrix(TIMESTAMP, vocabulary=[99, 7])
+        assert ts.shape == (2, 2)
+        assert ts[0, 1] == 1
+        assert ts[:, 0].sum() == 0
+
+    def test_attribute_matrix_binary_vs_counts(self, net):
+        net.attach_attribute(TIMESTAMP, "p0", 7, count=4)
+        binary = net.attribute_matrix(TIMESTAMP, binary=True)
+        counts = net.attribute_matrix(TIMESTAMP, binary=False)
+        assert binary[0, 0] == 1
+        assert counts[0, 0] == 5
+
+    def test_incomplete_vocabulary_rejected(self, net):
+        with pytest.raises(NetworkError, match="omits value"):
+            net.attribute_matrix(TIMESTAMP, vocabulary=[99])
+
+    def test_empty_relation_matrix(self):
+        network = HeterogeneousNetwork(social_network_schema())
+        network.add_nodes(USER, ["a", "b"])
+        follow = network.typed_adjacency(FOLLOW)
+        assert follow.shape == (2, 2)
+        assert follow.nnz == 0
+
+    def test_repr_summarizes(self, net):
+        text = repr(net)
+        assert "user=3" in text and "follow=2" in text

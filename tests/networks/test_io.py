@@ -1,0 +1,97 @@
+"""Round-trip tests for repro.networks.io."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import build_random_pair
+from repro.exceptions import NetworkError
+from repro.networks.io import (
+    aligned_pair_from_dict,
+    aligned_pair_to_dict,
+    load_aligned_pair,
+    network_from_dict,
+    network_to_dict,
+    save_aligned_pair,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.networks.schema import FOLLOW, LOCATION, TIMESTAMP, social_network_schema
+
+
+class TestSchemaRoundTrip:
+    def test_social_schema(self):
+        schema = social_network_schema("demo")
+        assert schema_from_dict(schema_to_dict(schema)) == schema
+
+
+class TestNetworkRoundTrip:
+    def test_structure_preserved(self, handmade_pair):
+        original = handmade_pair.left
+        restored = network_from_dict(network_to_dict(original))
+        assert restored.nodes("user") == original.nodes("user")
+        assert set(restored.edges(FOLLOW)) == set(original.edges(FOLLOW))
+        assert restored.node_attributes(TIMESTAMP, "lp0") == original.node_attributes(
+            TIMESTAMP, "lp0"
+        )
+
+    def test_tuple_node_ids_roundtrip(self):
+        from repro.networks.builders import SocialNetworkBuilder
+
+        net = (
+            SocialNetworkBuilder("t")
+            .add_user(("tw", 3))
+            .post(("tw", 3), post_id=("tw", "p", 0), location=(1, 2))
+            .build()
+        )
+        restored = network_from_dict(network_to_dict(net))
+        assert restored.has_node("user", ("tw", 3))
+        assert restored.node_attributes(LOCATION, ("tw", "p", 0)) == {(1, 2): 1}
+
+    def test_unserializable_id_rejected(self):
+        from repro.networks.builders import SocialNetworkBuilder
+
+        net = SocialNetworkBuilder("t").add_user(frozenset({1})).build()
+        with pytest.raises(NetworkError, match="cannot serialize"):
+            network_to_dict(net)
+
+
+class TestAlignedPairRoundTrip:
+    def test_anchors_preserved(self, handmade_pair):
+        restored = aligned_pair_from_dict(aligned_pair_to_dict(handmade_pair))
+        assert restored.anchors == handmade_pair.anchors
+
+    def test_matrix_exports_identical(self, handmade_pair):
+        restored = aligned_pair_from_dict(aligned_pair_to_dict(handmade_pair))
+        original_A = handmade_pair.anchor_matrix().toarray()
+        assert np.array_equal(restored.anchor_matrix().toarray(), original_A)
+        for attribute in (TIMESTAMP, LOCATION):
+            left_a, right_a = handmade_pair.attribute_matrices(attribute)
+            left_b, right_b = restored.attribute_matrices(attribute)
+            assert np.array_equal(left_a.toarray(), left_b.toarray())
+            assert np.array_equal(right_a.toarray(), right_b.toarray())
+
+    def test_file_roundtrip(self, handmade_pair, tmp_path):
+        path = tmp_path / "pair.json"
+        save_aligned_pair(handmade_pair, path)
+        restored = load_aligned_pair(path)
+        assert restored.anchors == handmade_pair.anchors
+        assert restored.left.name == handmade_pair.left.name
+
+    def test_unknown_version_rejected(self, handmade_pair):
+        payload = aligned_pair_to_dict(handmade_pair)
+        payload["format_version"] = 99
+        with pytest.raises(NetworkError, match="format version"):
+            aligned_pair_from_dict(payload)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_random_pairs_roundtrip(self, seed):
+        pair = build_random_pair(seed)
+        restored = aligned_pair_from_dict(aligned_pair_to_dict(pair))
+        assert restored.anchors == pair.anchors
+        assert set(restored.left.edges(FOLLOW)) == set(pair.left.edges(FOLLOW))
+        assert set(restored.right.edges(FOLLOW)) == set(pair.right.edges(FOLLOW))
+        # Serialization must be deterministic for identical inputs.
+        assert aligned_pair_to_dict(restored) == aligned_pair_to_dict(pair)

@@ -1,0 +1,181 @@
+"""Tests for repro.networks.multi."""
+
+import pytest
+
+from repro.exceptions import AlignmentError
+from repro.networks.builders import SocialNetworkBuilder
+from repro.networks.multi import MultiAlignedNetworks
+
+
+def _net(name, users):
+    builder = SocialNetworkBuilder(name)
+    builder.add_users(users)
+    return builder.build()
+
+
+@pytest.fixture()
+def three_networks():
+    a = _net("a", ["a0", "a1", "a2"])
+    b = _net("b", ["b0", "b1", "b2"])
+    c = _net("c", ["c0", "c1", "c2"])
+    return a, b, c
+
+
+class TestConstruction:
+    def test_basic(self, three_networks):
+        a, b, c = three_networks
+        multi = MultiAlignedNetworks(
+            [a, b, c],
+            anchors={
+                ("a", "b"): [("a0", "b0")],
+                ("b", "c"): [("b0", "c0")],
+                ("a", "c"): [("a0", "c0")],
+            },
+        )
+        assert multi.network_names == ["a", "b", "c"]
+        assert len(multi.pair_names()) == 3
+
+    def test_needs_two_networks(self, three_networks):
+        a, _, _ = three_networks
+        with pytest.raises(AlignmentError):
+            MultiAlignedNetworks([a], anchors={})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(AlignmentError, match="duplicate network"):
+            MultiAlignedNetworks(
+                [_net("x", ["u"]), _net("x", ["v"])], anchors={}
+            )
+
+    def test_self_alignment_rejected(self, three_networks):
+        a, b, _ = three_networks
+        with pytest.raises(AlignmentError, match="itself"):
+            MultiAlignedNetworks([a, b], anchors={("a", "a"): []})
+
+    def test_unknown_network_in_anchors(self, three_networks):
+        a, b, _ = three_networks
+        with pytest.raises(AlignmentError, match="unknown network"):
+            MultiAlignedNetworks([a, b], anchors={("a", "z"): []})
+
+    def test_duplicate_pair_rejected(self, three_networks):
+        a, b, _ = three_networks
+        with pytest.raises(AlignmentError, match="duplicate anchor"):
+            MultiAlignedNetworks(
+                [a, b], anchors={("a", "b"): [], ("b", "a"): []}
+            )
+
+
+class TestPairAccess:
+    def test_declared_orientation(self, three_networks):
+        a, b, c = three_networks
+        multi = MultiAlignedNetworks(
+            [a, b, c], anchors={("a", "b"): [("a1", "b1")]}
+        )
+        pair = multi.pair("a", "b")
+        assert pair.left.name == "a" and pair.right.name == "b"
+        assert pair.is_anchor(("a1", "b1"))
+
+    def test_reversed_orientation(self, three_networks):
+        a, b, c = three_networks
+        multi = MultiAlignedNetworks(
+            [a, b, c], anchors={("a", "b"): [("a1", "b1")]}
+        )
+        pair = multi.pair("b", "a")
+        assert pair.left.name == "b"
+        assert pair.is_anchor(("b1", "a1"))
+
+    def test_undeclared_pair_raises(self, three_networks):
+        a, b, c = three_networks
+        multi = MultiAlignedNetworks([a, b, c], anchors={("a", "b"): []})
+        with pytest.raises(AlignmentError, match="no anchors declared"):
+            multi.pair("a", "c")
+
+    def test_network_lookup(self, three_networks):
+        a, b, _ = three_networks
+        multi = MultiAlignedNetworks([a, b], anchors={("a", "b"): []})
+        assert multi.network("a") is a
+        with pytest.raises(AlignmentError):
+            multi.network("zzz")
+
+
+class TestTransitivity:
+    def test_consistent_triangle_accepted(self, three_networks):
+        a, b, c = three_networks
+        MultiAlignedNetworks(
+            [a, b, c],
+            anchors={
+                ("a", "b"): [("a0", "b0")],
+                ("b", "c"): [("b0", "c0")],
+                ("a", "c"): [("a0", "c0")],
+            },
+        )
+
+    def test_inconsistent_triangle_rejected(self, three_networks):
+        a, b, c = three_networks
+        with pytest.raises(AlignmentError, match="transitivity"):
+            MultiAlignedNetworks(
+                [a, b, c],
+                anchors={
+                    ("a", "b"): [("a0", "b0")],
+                    ("b", "c"): [("b0", "c0")],
+                    ("a", "c"): [("a0", "c1")],  # wrong closure
+                },
+            )
+
+    def test_missing_closure_is_allowed_but_reported(self, three_networks):
+        a, b, c = three_networks
+        multi = MultiAlignedNetworks(
+            [a, b, c],
+            anchors={
+                ("a", "b"): [("a0", "b0")],
+                ("b", "c"): [("b0", "c0")],
+                ("a", "c"): [],  # closure missing, not contradictory
+            },
+        )
+        implied = multi.infer_transitive_anchors()
+        assert implied[("a", "c")] == {("a0", "c0")}
+
+    def test_no_implications_when_complete(self, three_networks):
+        a, b, c = three_networks
+        multi = MultiAlignedNetworks(
+            [a, b, c],
+            anchors={
+                ("a", "b"): [("a0", "b0")],
+                ("b", "c"): [("b0", "c0")],
+                ("a", "c"): [("a0", "c0")],
+            },
+        )
+        implied = multi.infer_transitive_anchors()
+        assert all(not links for links in implied.values())
+
+
+class TestGeneratedMulti:
+    def test_generator_produces_consistent_triple(self):
+        from repro.synth import PlatformConfig, WorldConfig, generate_multi_aligned
+
+        config = WorldConfig(n_people=40, friendship_attachment=2, seed=3)
+        platforms = [
+            PlatformConfig(name="p1", membership_rate=0.8),
+            PlatformConfig(name="p2", membership_rate=0.7),
+            PlatformConfig(name="p3", membership_rate=0.6),
+        ]
+        multi = generate_multi_aligned(config, platforms)
+        assert len(multi.network_names) == 3
+        # Transitivity validated at construction; closure is complete.
+        implied = multi.infer_transitive_anchors()
+        assert all(not links for links in implied.values())
+        # Pairwise machinery works on any projected pair.
+        pair = multi.pair("p1", "p3")
+        assert pair.anchor_count() > 0
+
+    def test_generator_validation(self):
+        from repro.synth import PlatformConfig, WorldConfig, generate_multi_aligned
+        from repro.exceptions import DatasetError
+
+        config = WorldConfig(n_people=20, friendship_attachment=2)
+        with pytest.raises(DatasetError):
+            generate_multi_aligned(config, [PlatformConfig(name="only")])
+        with pytest.raises(DatasetError, match="unique"):
+            generate_multi_aligned(
+                config,
+                [PlatformConfig(name="same"), PlatformConfig(name="same")],
+            )

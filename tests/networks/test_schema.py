@@ -1,0 +1,121 @@
+"""Tests for repro.networks.schema."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.networks.schema import (
+    ANCHOR,
+    FOLLOW,
+    LOCATION,
+    POST,
+    TIMESTAMP,
+    USER,
+    WORD,
+    WRITE,
+    AlignedSchema,
+    AttributeTypeSpec,
+    EdgeTypeSpec,
+    NetworkSchema,
+    social_network_schema,
+)
+
+
+class TestNetworkSchema:
+    def test_social_schema_declares_paper_types(self):
+        schema = social_network_schema()
+        assert schema.node_types == frozenset({USER, POST})
+        assert set(schema.edge_types) == {FOLLOW, WRITE}
+        assert set(schema.attribute_types) == {TIMESTAMP, LOCATION, WORD}
+
+    def test_follow_connects_users(self):
+        schema = social_network_schema()
+        spec = schema.edge_type(FOLLOW)
+        assert (spec.source, spec.target) == (USER, USER)
+        assert spec.directed
+
+    def test_write_connects_user_to_post(self):
+        spec = social_network_schema().edge_type(WRITE)
+        assert (spec.source, spec.target) == (USER, POST)
+
+    def test_attributes_attach_to_posts(self):
+        schema = social_network_schema()
+        for name in (TIMESTAMP, LOCATION, WORD):
+            assert schema.attribute_type(name).node_type == POST
+
+    def test_empty_node_types_rejected(self):
+        with pytest.raises(SchemaError):
+            NetworkSchema("bad", node_types=[])
+
+    def test_duplicate_edge_type_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate edge type"):
+            NetworkSchema(
+                "bad",
+                node_types=["a"],
+                edge_types=[
+                    EdgeTypeSpec("r", "a", "a"),
+                    EdgeTypeSpec("r", "a", "a"),
+                ],
+            )
+
+    def test_edge_with_unknown_endpoint_rejected(self):
+        with pytest.raises(SchemaError, match="undeclared"):
+            NetworkSchema(
+                "bad", node_types=["a"], edge_types=[EdgeTypeSpec("r", "a", "b")]
+            )
+
+    def test_attribute_with_unknown_node_type_rejected(self):
+        with pytest.raises(SchemaError, match="undeclared"):
+            NetworkSchema(
+                "bad",
+                node_types=["a"],
+                attribute_types=[AttributeTypeSpec("t", "b", "rel")],
+            )
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate attribute"):
+            NetworkSchema(
+                "bad",
+                node_types=["a"],
+                attribute_types=[
+                    AttributeTypeSpec("t", "a", "rel"),
+                    AttributeTypeSpec("t", "a", "rel2"),
+                ],
+            )
+
+    def test_unknown_edge_type_lookup_raises(self):
+        with pytest.raises(SchemaError, match="unknown edge type"):
+            social_network_schema().edge_type("likes")
+
+    def test_unknown_attribute_lookup_raises(self):
+        with pytest.raises(SchemaError, match="unknown attribute type"):
+            social_network_schema().attribute_type("mood")
+
+    def test_validate_edge_accepts_declared_triple(self):
+        social_network_schema().validate_edge(WRITE, USER, POST)
+
+    def test_validate_edge_rejects_wrong_types(self):
+        with pytest.raises(SchemaError, match="connects"):
+            social_network_schema().validate_edge(WRITE, POST, USER)
+
+    def test_schema_equality_ignores_name(self):
+        assert social_network_schema("a") == social_network_schema("b")
+
+    def test_schema_inequality(self):
+        other = NetworkSchema("x", node_types=["a"])
+        assert social_network_schema() != other
+
+    def test_repr_mentions_types(self):
+        text = repr(social_network_schema("demo"))
+        assert "demo" in text and "user" in text
+
+
+class TestAlignedSchema:
+    def test_anchor_relation_default(self):
+        aligned = AlignedSchema(social_network_schema("l"), social_network_schema("r"))
+        assert aligned.anchor_relation == ANCHOR
+        assert aligned.anchor_node_type == USER
+
+    def test_missing_anchor_node_type_rejected(self):
+        users_only = NetworkSchema("u", node_types=["thing"])
+        with pytest.raises(SchemaError, match="lacks anchor node type"):
+            AlignedSchema(users_only, social_network_schema("r"))

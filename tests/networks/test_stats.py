@@ -1,0 +1,35 @@
+"""Tests for repro.networks.stats."""
+
+from repro.networks.stats import (
+    aligned_pair_stats,
+    format_table2,
+    network_stats,
+)
+
+
+class TestNetworkStats:
+    def test_counts_match_network(self, handmade_pair):
+        stats = network_stats(handmade_pair.left)
+        assert stats.node_counts == {"post": 2, "user": 3}
+        assert stats.edge_counts == {"follow": 3, "write": 2}
+        assert stats.attribute_vocab_sizes["timestamp"] == 2
+        assert stats.attribute_link_counts["word"] == 2
+
+
+class TestAlignedPairStats:
+    def test_anchor_and_candidate_counts(self, handmade_pair):
+        stats = aligned_pair_stats(handmade_pair)
+        assert stats.anchor_count == 2
+        assert stats.candidate_space == 9
+
+    def test_format_table2_layout(self, handmade_pair):
+        text = format_table2(aligned_pair_stats(handmade_pair))
+        assert "left" in text and "right" in text
+        assert "# anchor links" in text
+        assert "|H| candidate pairs" in text
+        # Every data row renders both networks' values.
+        assert "# node: user" in text
+
+    def test_format_table2_on_synthetic(self, tiny_synthetic_pair):
+        text = format_table2(aligned_pair_stats(tiny_synthetic_pair))
+        assert "foursquare-like" in text and "twitter-like" in text

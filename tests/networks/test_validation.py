@@ -1,0 +1,104 @@
+"""Tests for repro.networks.validation."""
+
+from repro.networks.aligned import AlignedPair
+from repro.networks.builders import SocialNetworkBuilder
+from repro.networks.heterogeneous import HeterogeneousNetwork
+from repro.networks.schema import POST, WRITE, social_network_schema
+from repro.networks.validation import (
+    check_aligned_pair,
+    check_network,
+)
+
+
+def _clean_net(name="clean"):
+    return (
+        SocialNetworkBuilder(name)
+        .add_users(["u0", "u1"])
+        .follow("u0", "u1")
+        .post("u0", post_id="p0", timestamp=1, location="x")
+        .post("u1", post_id="p1", timestamp=2, location="y")
+        .build()
+    )
+
+
+class TestCheckNetwork:
+    def test_clean_network_no_warnings(self):
+        report = check_network(_clean_net())
+        assert report.warning_count == 0
+
+    def test_orphan_post_detected(self):
+        network = HeterogeneousNetwork(social_network_schema(), "bad")
+        network.add_node("user", "u")
+        network.add_node(POST, "ghost-post")
+        report = check_network(network)
+        codes = {finding.code for finding in report.findings}
+        assert "orphan-post" in codes
+
+    def test_isolated_user_detected(self):
+        network = (
+            SocialNetworkBuilder("bad").add_users(["active", "lurker"]).build()
+        )
+        network.add_node(POST, "p")
+        network.add_edge(WRITE, "active", "p")
+        report = check_network(network)
+        by_code = {finding.code: finding for finding in report.findings}
+        assert by_code["isolated-user"].count == 1
+
+    def test_silent_user_info(self):
+        network = (
+            SocialNetworkBuilder("quiet")
+            .add_users(["a", "b"])
+            .follow("a", "b")
+            .build()
+        )
+        report = check_network(network)
+        by_code = {finding.code: finding for finding in report.findings}
+        assert by_code["silent-user"].count == 2
+        assert by_code["silent-user"].severity == "info"
+
+    def test_bare_post_info(self):
+        network = SocialNetworkBuilder("bare").add_user("u").post("u").build()
+        report = check_network(network)
+        codes = {finding.code for finding in report.findings}
+        assert "bare-post" in codes
+
+    def test_format(self):
+        report = check_network(_clean_net())
+        text = report.format()
+        assert "Integrity report" in text
+
+
+class TestCheckAlignedPair:
+    def test_clean_pair(self):
+        pair = AlignedPair(_clean_net("l"), _clean_net("r"), [("u0", "u0")])
+        report = check_aligned_pair(pair)
+        assert report.warning_count == 0
+
+    def test_evidence_free_anchor_detected(self):
+        left = SocialNetworkBuilder("l").add_users(["dead", "ok"]).build()
+        right = _clean_net("r")
+        pair = AlignedPair(left, right, [("dead", "u0")])
+        report = check_aligned_pair(pair)
+        by_code = {finding.code: finding for finding in report.findings}
+        assert by_code["evidence-free-anchor"].count == 1
+
+    def test_disjoint_attribute_vocab_detected(self):
+        left = (
+            SocialNetworkBuilder("l")
+            .add_user("a")
+            .post("a", timestamp="left-only", location="left-loc")
+            .build()
+        )
+        right = (
+            SocialNetworkBuilder("r")
+            .add_user("b")
+            .post("b", timestamp="right-only", location="right-loc")
+            .build()
+        )
+        pair = AlignedPair(left, right, [])
+        report = check_aligned_pair(pair)
+        codes = {finding.code for finding in report.findings}
+        assert "no-shared-attribute-values" in codes
+
+    def test_synthetic_pair_has_no_warnings(self, tiny_synthetic_pair):
+        assert check_aligned_pair(tiny_synthetic_pair).warning_count == 0

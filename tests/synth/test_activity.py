@@ -1,0 +1,112 @@
+"""Tests for repro.synth.activity."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.synth.activity import ActivityModel, _zipf_weights
+
+
+@pytest.fixture()
+def model() -> ActivityModel:
+    return ActivityModel(
+        n_locations=20,
+        n_time_bins=24,
+        n_words=50,
+        locations_per_person=3,
+        time_bins_per_person=4,
+        words_per_person=10,
+    )
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        weights = _zipf_weights(10, 1.1)
+        assert weights.shape == (10,)
+        assert np.isclose(weights.sum(), 1.0)
+
+    def test_monotone_decreasing(self):
+        weights = _zipf_weights(10, 1.0)
+        assert np.all(np.diff(weights) < 0)
+
+    def test_zero_exponent_uniform(self):
+        weights = _zipf_weights(5, 0.0)
+        assert np.allclose(weights, 0.2)
+
+
+class TestProfiles:
+    def test_profile_shapes(self, model):
+        profile = model.sample_profile(0, np.random.default_rng(0))
+        assert profile.locations.shape == (3,)
+        assert profile.time_bins.shape == (4,)
+        assert profile.words.shape == (10,)
+        assert np.isclose(profile.location_weights.sum(), 1.0)
+        assert np.isclose(profile.time_bin_weights.sum(), 1.0)
+        assert np.isclose(profile.word_weights.sum(), 1.0)
+
+    def test_profile_items_within_vocab(self, model):
+        profile = model.sample_profile(0, np.random.default_rng(1))
+        assert profile.locations.max() < 20
+        assert profile.time_bins.max() < 24
+        assert profile.words.max() < 50
+
+    def test_profile_items_distinct(self, model):
+        profile = model.sample_profile(0, np.random.default_rng(2))
+        assert len(set(profile.locations.tolist())) == 3
+        assert len(set(profile.time_bins.tolist())) == 4
+
+    def test_sample_profiles_population(self, model):
+        profiles = model.sample_profiles(7, np.random.default_rng(3))
+        assert [p.person for p in profiles] == list(range(7))
+
+    def test_invalid_concentration(self):
+        with pytest.raises(DatasetError):
+            ActivityModel(10, 10, 10, 2, 2, 2, concentration=0)
+
+    def test_invalid_zipf(self):
+        with pytest.raises(DatasetError):
+            ActivityModel(10, 10, 10, 2, 2, 2, zipf_exponent=-1)
+
+
+class TestPosts:
+    def test_post_from_profile_without_noise(self, model):
+        rng = np.random.default_rng(4)
+        profile = model.sample_profile(0, rng)
+        for _ in range(20):
+            draw = model.sample_post(profile, rng, attribute_noise=0.0)
+            assert draw.timestamp in set(profile.time_bins.tolist())
+            assert draw.location in set(profile.locations.tolist())
+            assert set(draw.words) <= set(profile.words.tolist())
+
+    def test_rates_control_presence(self, model):
+        rng = np.random.default_rng(5)
+        profile = model.sample_profile(0, rng)
+        draw = model.sample_post(
+            profile, rng, checkin_rate=0.0, timestamp_rate=0.0, n_words=0
+        )
+        assert draw.timestamp is None
+        assert draw.location is None
+        assert draw.words == ()
+
+    def test_full_noise_stays_in_global_vocab(self, model):
+        rng = np.random.default_rng(6)
+        profile = model.sample_profile(0, rng)
+        for _ in range(20):
+            draw = model.sample_post(profile, rng, attribute_noise=1.0)
+            assert 0 <= draw.timestamp < 24
+            assert 0 <= draw.location < 20
+
+    def test_noise_escapes_profile_eventually(self, model):
+        rng = np.random.default_rng(7)
+        profile = model.sample_profile(0, rng)
+        locations = {
+            model.sample_post(profile, rng, attribute_noise=1.0).location
+            for _ in range(200)
+        }
+        assert not locations <= set(profile.locations.tolist())
+
+    def test_words_are_unique_within_post(self, model):
+        rng = np.random.default_rng(8)
+        profile = model.sample_profile(0, rng)
+        draw = model.sample_post(profile, rng, n_words=5)
+        assert len(draw.words) == len(set(draw.words))

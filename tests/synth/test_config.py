@@ -1,0 +1,66 @@
+"""Tests for repro.synth.config validation."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.synth.config import PlatformConfig, WorldConfig
+
+
+class TestPlatformConfig:
+    def test_defaults_valid(self):
+        PlatformConfig(name="x")
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("membership_rate", 1.5),
+            ("membership_rate", -0.1),
+            ("edge_retention", 2.0),
+            ("post_attribute_noise", -0.5),
+            ("checkin_rate", 1.01),
+            ("timestamp_rate", -0.01),
+        ],
+    )
+    def test_probability_fields_bounded(self, field, value):
+        with pytest.raises(DatasetError, match=field):
+            PlatformConfig(name="x", **{field: value})
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(DatasetError):
+            PlatformConfig(name="x", extra_edge_rate=-1)
+        with pytest.raises(DatasetError):
+            PlatformConfig(name="x", posts_per_user_mean=-1)
+        with pytest.raises(DatasetError):
+            PlatformConfig(name="x", words_per_post=-1)
+
+
+class TestWorldConfig:
+    def test_defaults_valid(self):
+        WorldConfig()
+
+    def test_population_bounds(self):
+        with pytest.raises(DatasetError):
+            WorldConfig(n_people=1)
+        with pytest.raises(DatasetError):
+            WorldConfig(n_people=5, friendship_attachment=5)
+
+    def test_profile_bounds(self):
+        with pytest.raises(DatasetError):
+            WorldConfig(locations_per_person=0)
+        with pytest.raises(DatasetError):
+            WorldConfig(n_locations=3, locations_per_person=4)
+        with pytest.raises(DatasetError):
+            WorldConfig(n_time_bins=2, time_bins_per_person=3)
+        with pytest.raises(DatasetError):
+            WorldConfig(n_words=5, words_per_person=6)
+
+    def test_background_fields(self):
+        with pytest.raises(DatasetError):
+            WorldConfig(background_zipf=-0.1)
+        with pytest.raises(DatasetError):
+            WorldConfig(profile_concentration=0.0)
+
+    def test_distinct_platform_names_required(self):
+        same = PlatformConfig(name="same")
+        with pytest.raises(DatasetError, match="distinct"):
+            WorldConfig(left=same, right=same)

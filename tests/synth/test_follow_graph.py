@@ -1,0 +1,97 @@
+"""Tests for repro.synth.follow_graph."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.synth.follow_graph import (
+    noise_follows,
+    project_directed_follows,
+    scale_free_friendships,
+    small_world_friendships,
+)
+
+
+class TestScaleFreeFriendships:
+    def test_edge_count_matches_ba_model(self):
+        rng = np.random.default_rng(0)
+        edges = scale_free_friendships(50, 3, rng)
+        # BA with m=3 on n nodes yields m*(n-m) edges.
+        assert len(edges) == 3 * (50 - 3)
+
+    def test_edges_normalized_u_lt_v(self):
+        rng = np.random.default_rng(1)
+        assert all(u < v for u, v in scale_free_friendships(30, 2, rng))
+
+    def test_deterministic_given_rng_state(self):
+        a = scale_free_friendships(40, 2, np.random.default_rng(7))
+        b = scale_free_friendships(40, 2, np.random.default_rng(7))
+        assert a == b
+
+    def test_attachment_too_large_rejected(self):
+        with pytest.raises(DatasetError):
+            scale_free_friendships(5, 5, np.random.default_rng(0))
+
+    def test_heavy_tail_present(self):
+        rng = np.random.default_rng(2)
+        edges = scale_free_friendships(300, 2, rng)
+        degrees = np.zeros(300)
+        for u, v in edges:
+            degrees[u] += 1
+            degrees[v] += 1
+        # Scale-free graphs have hubs well above the mean degree.
+        assert degrees.max() > 4 * degrees.mean()
+
+
+class TestSmallWorldFriendships:
+    def test_basic_shape(self):
+        rng = np.random.default_rng(0)
+        edges = small_world_friendships(40, 4, 0.1, rng)
+        assert len(edges) == 40 * 4 // 2
+
+    def test_odd_neighbors_rejected(self):
+        with pytest.raises(DatasetError):
+            small_world_friendships(40, 3, 0.1, np.random.default_rng(0))
+
+    def test_bad_rewire_probability_rejected(self):
+        with pytest.raises(DatasetError):
+            small_world_friendships(40, 4, 1.5, np.random.default_rng(0))
+
+
+class TestProjection:
+    def test_full_retention_keeps_both_directions(self):
+        friendships = [(0, 1), (1, 2)]
+        follows = project_directed_follows(
+            friendships, {0, 1, 2}, 1.0, np.random.default_rng(0)
+        )
+        assert set(follows) == {(0, 1), (1, 0), (1, 2), (2, 1)}
+
+    def test_zero_retention_keeps_nothing(self):
+        follows = project_directed_follows(
+            [(0, 1)], {0, 1}, 0.0, np.random.default_rng(0)
+        )
+        assert follows == []
+
+    def test_non_members_excluded(self):
+        follows = project_directed_follows(
+            [(0, 1), (1, 2)], {0, 1}, 1.0, np.random.default_rng(0)
+        )
+        assert all({u, v} <= {0, 1} for u, v in follows)
+
+
+class TestNoiseFollows:
+    def test_no_self_loops(self):
+        rng = np.random.default_rng(3)
+        edges = noise_follows(list(range(10)), 5.0, rng)
+        assert all(u != v for u, v in edges)
+
+    def test_zero_rate_is_empty(self):
+        assert noise_follows([1, 2, 3], 0.0, np.random.default_rng(0)) == []
+
+    def test_empty_members_is_empty(self):
+        assert noise_follows([], 2.0, np.random.default_rng(0)) == []
+
+    def test_expected_volume(self):
+        rng = np.random.default_rng(4)
+        edges = noise_follows(list(range(100)), 2.0, rng)
+        assert 100 < len(edges) < 320  # Poisson(200) minus few self-loops

@@ -1,0 +1,103 @@
+"""Tests for repro.synth.generator."""
+
+import numpy as np
+import pytest
+
+from repro.networks.schema import FOLLOW, LOCATION, TIMESTAMP, USER, WRITE
+from repro.synth.config import PlatformConfig, WorldConfig
+from repro.synth.generator import generate_aligned_pair
+
+
+def _config(**overrides) -> WorldConfig:
+    defaults = dict(n_people=40, friendship_attachment=2, seed=11)
+    defaults.update(overrides)
+    return WorldConfig(**defaults)
+
+
+class TestGenerateAlignedPair:
+    def test_deterministic_given_seed(self):
+        a = generate_aligned_pair(_config())
+        b = generate_aligned_pair(_config())
+        assert a.anchors == b.anchors
+        assert set(a.left.edges(FOLLOW)) == set(b.left.edges(FOLLOW))
+        assert a.right.node_count("post") == b.right.node_count("post")
+
+    def test_different_seed_differs(self):
+        a = generate_aligned_pair(_config(seed=1))
+        b = generate_aligned_pair(_config(seed=2))
+        assert a.anchors != b.anchors or set(a.left.edges(FOLLOW)) != set(
+            b.left.edges(FOLLOW)
+        )
+
+    def test_anchors_are_shared_members(self):
+        pair = generate_aligned_pair(_config())
+        left_users = set(pair.left.nodes(USER))
+        right_users = set(pair.right.nodes(USER))
+        for left_user, right_user in pair.anchors:
+            assert left_user in left_users
+            assert right_user in right_users
+            # Anchored accounts belong to the same latent person.
+            assert left_user.split(":u")[1] == right_user.split(":u")[1]
+
+    def test_anchor_count_matches_intersection(self):
+        pair = generate_aligned_pair(_config())
+        left_people = {u.split(":u")[1] for u in pair.left.nodes(USER)}
+        right_people = {u.split(":u")[1] for u in pair.right.nodes(USER)}
+        assert pair.anchor_count() == len(left_people & right_people)
+
+    def test_user_ids_platform_scoped(self):
+        pair = generate_aligned_pair(_config())
+        assert all(u.startswith(pair.left.name) for u in pair.left.nodes(USER))
+        assert all(u.startswith(pair.right.name) for u in pair.right.nodes(USER))
+
+    def test_membership_rate_zero_posts(self):
+        config = _config(
+            left=PlatformConfig(name="a", posts_per_user_mean=0.0),
+            right=PlatformConfig(name="b"),
+        )
+        pair = generate_aligned_pair(config)
+        assert pair.left.node_count("post") == 0
+
+    def test_posts_carry_attributes(self):
+        pair = generate_aligned_pair(_config())
+        network = pair.right
+        posts_with_ts = sum(
+            1
+            for post in network.nodes("post")
+            if network.node_attributes(TIMESTAMP, post)
+        )
+        assert posts_with_ts > 0
+
+    def test_every_post_has_author(self):
+        pair = generate_aligned_pair(_config())
+        for network in (pair.left, pair.right):
+            for post in network.nodes("post"):
+                assert len(network.predecessors(WRITE, post)) == 1
+
+    def test_anchored_users_share_attribute_values(self):
+        """The core alignment signal: anchored accounts co-occur."""
+        config = _config(
+            n_people=30,
+            left=PlatformConfig(
+                name="a", posts_per_user_mean=8.0, post_attribute_noise=0.0
+            ),
+            right=PlatformConfig(
+                name="b", posts_per_user_mean=8.0, post_attribute_noise=0.0
+            ),
+        )
+        pair = generate_aligned_pair(config)
+
+        def user_locations(network, user):
+            values = set()
+            for post in network.successors(WRITE, user):
+                values |= set(network.node_attributes(LOCATION, post))
+            return values
+
+        overlaps = []
+        for left_user, right_user in list(pair.anchors)[:10]:
+            left_locs = user_locations(pair.left, left_user)
+            right_locs = user_locations(pair.right, right_user)
+            if left_locs and right_locs:
+                jaccard = len(left_locs & right_locs) / len(left_locs | right_locs)
+                overlaps.append(jaccard)
+        assert overlaps and float(np.mean(overlaps)) > 0.3

@@ -1,0 +1,94 @@
+"""Tests for the repro.cli command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("table2", "table3", "table4", "fig3", "fig4", "fig5"):
+            args = parser.parse_args(["--scale", "tiny", command])
+            assert args.command == command
+
+    def test_list_arguments_parsed(self):
+        parser = build_parser()
+        args = parser.parse_args(["table3", "--np-ratios", "5,10"])
+        assert args.np_ratios == [5, 10]
+        args = parser.parse_args(["table4", "--sample-ratios", "0.2,0.8"])
+        assert args.sample_ratios == [0.2, 0.8]
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_table2(self, capsys):
+        assert main(["--scale", "tiny", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "# anchor links" in out
+
+    def test_table3_minimal(self, capsys):
+        code = main(
+            [
+                "--scale",
+                "tiny",
+                "table3",
+                "--np-ratios",
+                "5",
+                "--repeats",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[F1]" in out and "ActiveIter-100" in out
+
+    def test_fig3_minimal(self, capsys):
+        assert main(["--scale", "tiny", "fig3", "--np-ratios", "5"]) == 0
+        assert "Convergence" in capsys.readouterr().out
+
+    def test_fig4_minimal(self, capsys):
+        code = main(
+            ["--scale", "tiny", "fig4", "--np-ratios", "2,4", "--budget", "5"]
+        )
+        assert code == 0
+        assert "linear fit" in capsys.readouterr().out
+
+    def test_fig5_minimal(self, capsys):
+        code = main(
+            [
+                "--scale",
+                "tiny",
+                "fig5",
+                "--budgets",
+                "5",
+                "--np-ratio",
+                "5",
+                "--repeats",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "budget b=5" in capsys.readouterr().out
+
+    def test_discover(self, capsys):
+        assert main(["discover", "--max-length", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "P1" in out and "signature" in out
+
+    def test_baselines(self, capsys):
+        assert main(["--scale", "tiny", "baselines"]) == 0
+        out = capsys.readouterr().out
+        assert "IsoRank" in out and "precision" in out
+
+    def test_validate(self, capsys):
+        assert main(["--scale", "tiny", "validate"]) == 0
+        assert "Integrity report" in capsys.readouterr().out
+
+    def test_stats(self, capsys):
+        assert main(["--scale", "tiny", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "structure" in out and "P5xP6" in out

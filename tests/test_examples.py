@@ -1,0 +1,54 @@
+"""Smoke tests: every shipped example must run cleanly.
+
+The fast examples run end-to-end; the heavyweight sweep examples are
+checked for importability and internal structure (their runtime belongs
+in benchmarks, not the test suite).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def _run_example(name: str, timeout: int = 180) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestQuickExamples:
+    def test_quickstart(self):
+        out = _run_example("quickstart.py")
+        assert "Predicted" in out
+        assert "('dana@ch', 'dana@fq')" in out  # the active query rescue
+
+    def test_meta_diagram_explorer(self):
+        out = _run_example("meta_diagram_explorer.py")
+        assert "held-out TRUE anchor" in out
+        assert "random NON-anchor" in out
+        assert "memoized" in out
+
+
+class TestHeavyExamplesCompile:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "foursquare_twitter_alignment.py",
+            "active_label_budgeting.py",
+            "multi_network_alignment.py",
+        ],
+    )
+    def test_compiles_and_has_main(self, name):
+        source = (EXAMPLES_DIR / name).read_text()
+        compile(source, name, "exec")
+        assert "def main" in source
+        assert '__main__' in source

@@ -1,0 +1,130 @@
+"""Failure injection: the library must fail loudly on corrupted input.
+
+Silent garbage is the worst failure mode of a numerical pipeline; these
+tests inject NaNs, truncated budgets, empty structures and mid-run
+corruption, asserting the library raises typed errors instead of
+producing plausible-looking nonsense.
+"""
+
+import numpy as np
+import pytest
+
+from repro.active.oracle import LabelOracle
+from repro.core.activeiter import ActiveIter
+from repro.core.base import AlignmentTask
+from repro.core.itermpmd import IterMPMD
+from repro.exceptions import (
+    BudgetExhaustedError,
+    ExperimentError,
+    ModelError,
+)
+
+
+def _task(X=None, n=6):
+    pairs = [(f"l{i}", f"r{i}") for i in range(n)]
+    if X is None:
+        X = np.random.default_rng(0).random((n, 3))
+    return AlignmentTask(
+        pairs=pairs,
+        X=X,
+        labeled_indices=np.array([0, 1]),
+        labeled_values=np.array([1, 0]),
+    )
+
+
+class TestCorruptedFeatures:
+    def test_nan_features_rejected_at_task_construction(self):
+        X = np.random.default_rng(0).random((6, 3))
+        X[2, 1] = np.nan
+        with pytest.raises(ModelError, match="non-finite"):
+            _task(X=X)
+
+    def test_inf_features_rejected(self):
+        X = np.random.default_rng(0).random((6, 3))
+        X[4, 0] = np.inf
+        with pytest.raises(ModelError, match="non-finite"):
+            _task(X=X)
+
+    def test_wrong_width_weights_rejected_by_solver(self):
+        from repro.ml.ridge import RidgeSolver
+
+        with pytest.raises(ModelError):
+            RidgeSolver(np.ones((4, 2)), sample_weight=np.ones(5))
+
+
+class TestBudgetEdgeCases:
+    def test_oracle_never_answers_beyond_budget(self):
+        oracle = LabelOracle({("a", "b")}, budget=1)
+        oracle.query(("a", "b"))
+        with pytest.raises(BudgetExhaustedError):
+            oracle.query(("x", "y"))
+
+    def test_activeiter_survives_budget_starvation(self):
+        """Budget smaller than one batch: the model must still finish."""
+        task = _task()
+        oracle = LabelOracle({task.pairs[0]}, budget=2)
+        model = ActiveIter(oracle, batch_size=5).fit(task)
+        assert len(model.queried_) <= 2
+        assert model.result_ is not None
+
+    def test_activeiter_with_all_candidates_labeled(self):
+        """Nothing queryable: the query loop must terminate cleanly."""
+        pairs = [("l0", "r0"), ("l1", "r1")]
+        task = AlignmentTask(
+            pairs=pairs,
+            X=np.random.default_rng(1).random((2, 3)),
+            labeled_indices=np.array([0, 1]),
+            labeled_values=np.array([1, 0]),
+        )
+        oracle = LabelOracle({pairs[0]}, budget=5)
+        model = ActiveIter(oracle).fit(task)
+        assert model.queried_ == ()
+
+
+class TestDegenerateTasks:
+    def test_no_positive_labels_does_not_crash(self):
+        """All-negative supervision: degenerate but must not explode."""
+        pairs = [(f"l{i}", f"r{i}") for i in range(5)]
+        task = AlignmentTask(
+            pairs=pairs,
+            X=np.random.default_rng(2).random((5, 3)),
+            labeled_indices=np.array([0, 1]),
+            labeled_values=np.array([0, 0]),
+        )
+        model = IterMPMD().fit(task)
+        assert set(np.unique(model.labels_)) <= {0, 1}
+
+    def test_single_candidate_task(self):
+        task = AlignmentTask(
+            pairs=[("l", "r")],
+            X=np.ones((1, 2)),
+            labeled_indices=np.array([0]),
+            labeled_values=np.array([1]),
+        )
+        model = IterMPMD().fit(task)
+        assert model.labels_.tolist() == [1]
+
+    def test_empty_candidate_metrics_rejected(self):
+        from repro.ml.metrics import classification_report
+
+        with pytest.raises(ExperimentError):
+            classification_report(np.array([]), np.array([]))
+
+
+class TestProtocolEdges:
+    def test_anchorless_pair_rejected_by_protocol(self):
+        from repro.eval.protocol import ProtocolConfig, build_splits
+        from repro.networks.aligned import AlignedPair
+        from repro.networks.builders import SocialNetworkBuilder
+
+        left = SocialNetworkBuilder("l").add_users(["a"]).build()
+        right = SocialNetworkBuilder("r").add_users(["b"]).build()
+        pair = AlignedPair(left, right, [])
+        with pytest.raises(ExperimentError, match="no anchors"):
+            next(iter(build_splits(pair, ProtocolConfig())))
+
+    def test_oversized_negative_request_rejected(self, handmade_pair):
+        from repro.eval.protocol import sample_negatives
+
+        with pytest.raises(ExperimentError, match="cannot sample"):
+            sample_negatives(handmade_pair, 10_000, np.random.default_rng(0))

@@ -1,0 +1,110 @@
+"""End-to-end integration tests: the paper's qualitative claims.
+
+These tests run the full protocol on a synthetic pair and assert the
+*shape* of the paper's results (who beats whom), which is the substance
+of the reproduction.  Absolute values differ from the paper because the
+substrate is synthetic; orderings must not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiment import MethodSpec, run_experiment, standard_methods
+from repro.eval.protocol import ProtocolConfig
+
+
+@pytest.fixture(scope="module")
+def outcome(request):
+    """One shared experiment run across ordering assertions."""
+    from repro.datasets import foursquare_twitter_like
+
+    pair = foursquare_twitter_like("small", seed=5)
+    config = ProtocolConfig(np_ratio=10, sample_ratio=0.6, n_repeats=3, seed=13)
+    methods = standard_methods(budgets=(30, 15), random_budget=15)
+    return run_experiment(pair, config, methods)
+
+
+class TestPaperOrderings:
+    def test_active_beats_passive(self, outcome):
+        assert outcome.method("ActiveIter-30").mean("f1") >= outcome.method(
+            "Iter-MPMD"
+        ).mean("f1")
+
+    def test_bigger_budget_no_worse(self, outcome):
+        assert (
+            outcome.method("ActiveIter-30").mean("f1")
+            >= outcome.method("ActiveIter-15").mean("f1") - 0.02
+        )
+
+    def test_conflict_strategy_beats_random(self, outcome):
+        assert (
+            outcome.method("ActiveIter-15").mean("f1")
+            >= outcome.method("ActiveIter-Rand-15").mean("f1") - 0.01
+        )
+
+    def test_iterative_beats_svm(self, outcome):
+        assert outcome.method("Iter-MPMD").mean("f1") > outcome.method(
+            "SVM-MPMD"
+        ).mean("f1")
+
+    def test_meta_diagrams_beat_paths_only(self, outcome):
+        assert outcome.method("SVM-MPMD").mean("f1") > outcome.method(
+            "SVM-MP"
+        ).mean("f1")
+
+    def test_accuracy_saturates_under_imbalance(self, outcome):
+        """§IV-D: accuracy is a degenerate metric at high NP-ratio."""
+        for name in ("Iter-MPMD", "SVM-MP"):
+            assert outcome.method(name).mean("accuracy") > 0.85
+
+
+class TestHighImbalanceCollapse:
+    def test_svm_mp_recall_collapses_at_high_theta(self):
+        """Table III: SVM-MP recall goes to ~0 for large NP-ratios."""
+        from repro.datasets import foursquare_twitter_like
+
+        pair = foursquare_twitter_like("small", seed=5)
+        config = ProtocolConfig(
+            np_ratio=30, sample_ratio=0.6, n_repeats=2, seed=13
+        )
+        methods = [
+            MethodSpec(name="SVM-MP", kind="svm", features="paths"),
+            MethodSpec(name="Iter-MPMD", kind="iterative"),
+        ]
+        outcome = run_experiment(pair, config, methods)
+        assert outcome.method("SVM-MP").mean("recall") < 0.3
+        assert outcome.method("Iter-MPMD").mean("recall") > outcome.method(
+            "SVM-MP"
+        ).mean("recall")
+
+
+class TestMetricTrends:
+    def test_f1_decreases_with_np_ratio(self):
+        """Tables III: harder negatives pools lower F1."""
+        from repro.datasets import foursquare_twitter_like
+
+        pair = foursquare_twitter_like("small", seed=5)
+        methods = [MethodSpec(name="Iter-MPMD", kind="iterative")]
+        f1 = {}
+        for theta in (5, 25):
+            config = ProtocolConfig(
+                np_ratio=theta, sample_ratio=0.6, n_repeats=2, seed=13
+            )
+            outcome = run_experiment(pair, config, methods)
+            f1[theta] = outcome.method("Iter-MPMD").mean("f1")
+        assert f1[5] > f1[25]
+
+    def test_f1_increases_with_sample_ratio(self):
+        """Table IV: more labels help."""
+        from repro.datasets import foursquare_twitter_like
+
+        pair = foursquare_twitter_like("small", seed=5)
+        methods = [MethodSpec(name="Iter-MPMD", kind="iterative")]
+        f1 = {}
+        for gamma in (0.2, 1.0):
+            config = ProtocolConfig(
+                np_ratio=10, sample_ratio=gamma, n_repeats=3, seed=13
+            )
+            outcome = run_experiment(pair, config, methods)
+            f1[gamma] = outcome.method("Iter-MPMD").mean("f1")
+        assert f1[1.0] > f1[0.2]

