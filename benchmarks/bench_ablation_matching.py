@@ -8,7 +8,6 @@ fitted model.
 
 import time
 
-import numpy as np
 
 from conftest import SEED, publish
 from repro.core.base import AlignmentTask

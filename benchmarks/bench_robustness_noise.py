@@ -12,7 +12,6 @@ stops compensating.
 
 from dataclasses import replace
 
-import numpy as np
 
 from conftest import SEED, publish
 from repro.datasets import foursquare_twitter_config

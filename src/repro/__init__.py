@@ -9,6 +9,9 @@ Public API tour:
   generation (the documented stand-in for the paper's crawl).
 * :mod:`repro.meta` — inter-network meta paths/diagrams, counting,
   proximities and link feature extraction.
+* :mod:`repro.engine` — the incremental alignment engine: per-pair
+  :class:`~repro.engine.session.AlignmentSession` state with sparse
+  delta anchor updates, plus batched candidate streaming.
 * :mod:`repro.core` — the ActiveIter model, Iter-MPMD and SVM baselines,
   plus the end-to-end :class:`~repro.core.pipeline.AlignmentPipeline`.
 * :mod:`repro.matching`, :mod:`repro.active`, :mod:`repro.ml` —
@@ -27,6 +30,7 @@ from repro.core import (
     SVMAligner,
 )
 from repro.datasets import foursquare_twitter_like
+from repro.engine import AlignmentSession, CandidateGenerator
 from repro.meta import FeatureExtractor, standard_diagram_family
 from repro.networks import AlignedPair, HeterogeneousNetwork, SocialNetworkBuilder
 from repro.synth import WorldConfig, generate_aligned_pair
@@ -39,7 +43,9 @@ __all__ = [
     "AlignedPair",
     "AlignmentPipeline",
     "AlignmentResult",
+    "AlignmentSession",
     "AlignmentTask",
+    "CandidateGenerator",
     "FeatureExtractor",
     "HeterogeneousNetwork",
     "IterMPMD",

@@ -19,7 +19,7 @@ label-free method on the same data.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 from scipy import sparse

@@ -28,7 +28,7 @@ import numpy as np
 from repro.active.oracle import LabelOracle
 from repro.active.strategies import ConflictFalseNegativeStrategy, QueryStrategy
 from repro.core.base import AlignmentResult, AlignmentTask
-from repro.core.itermpmd import IterMPMD
+from repro.core.itermpmd import AlternatingState, IterMPMD
 from repro.exceptions import ModelError
 from repro.meta.features import FeatureExtractor
 from repro.types import LinkPair
@@ -54,6 +54,14 @@ class ActiveIter(IterMPMD):
         refreshes the extractor's anchor matrix with queried positives
         and re-extracts features between rounds (extension; off by
         default to match the paper's fixed-X analysis).
+    session:
+        An :class:`~repro.engine.session.AlignmentSession` to refresh
+        through instead; the session applies sparse *delta* updates to
+        anchor-dependent counts and rewrites only the affected feature
+        columns of the task matrix in place — the fast path for long
+        active runs.  Mutually exclusive with ``feature_extractor``
+        (an extractor's own session is used when only the extractor is
+        given).
     """
 
     def __init__(
@@ -67,6 +75,7 @@ class ActiveIter(IterMPMD):
         positive_threshold: float = 0.5,
         feature_extractor: Optional[FeatureExtractor] = None,
         refresh_features: bool = False,
+        session=None,
     ) -> None:
         super().__init__(
             c=c,
@@ -76,9 +85,15 @@ class ActiveIter(IterMPMD):
         )
         if batch_size < 1:
             raise ModelError("batch_size must be >= 1")
-        if refresh_features and feature_extractor is None:
+        if session is not None and feature_extractor is not None:
             raise ModelError(
-                "refresh_features=True requires a feature_extractor"
+                "pass either a session or a feature_extractor, not both"
+            )
+        if feature_extractor is not None and session is None:
+            session = feature_extractor.session
+        if refresh_features and session is None:
+            raise ModelError(
+                "refresh_features=True requires a session or feature_extractor"
             )
         self.oracle = oracle
         self.strategy: QueryStrategy = (
@@ -86,6 +101,7 @@ class ActiveIter(IterMPMD):
         )
         self.batch_size = int(batch_size)
         self.feature_extractor = feature_extractor
+        self.session = session
         self.refresh_features = bool(refresh_features)
 
     # ------------------------------------------------------------------
@@ -99,12 +115,13 @@ class ActiveIter(IterMPMD):
         trace: List[float] = []
 
         y = self._initial_labels(task, clamped_indices, clamped_values)
+        state = AlternatingState.from_task(task, clamped_indices, clamped_values)
         n_rounds = 0
         while True:
             n_rounds += 1
             solver = self._make_solver(task, clamped_indices, clamped_values)
             y, w, scores, round_trace = self._alternate(
-                task, solver, y, clamped_indices, clamped_values
+                task, solver, y, clamped_indices, clamped_values, state=state
             )
             trace.extend(round_trace)
             if self.oracle.remaining <= 0:
@@ -135,6 +152,7 @@ class ActiveIter(IterMPMD):
             clamped_indices = np.concatenate([clamped_indices, answered_indices])
             clamped_values = np.concatenate([clamped_values, answered_values])
             y[answered_indices] = answered_values
+            state.clamp(task, answered_indices, answered_values)
 
             if self.refresh_features and any(label == 1 for _, label in answers):
                 known_positive_pairs = [
@@ -142,8 +160,14 @@ class ActiveIter(IterMPMD):
                     for i, value in zip(clamped_indices, clamped_values)
                     if value == 1
                 ]
-                self.feature_extractor.update_anchors(known_positive_pairs)
-                task.X = self.feature_extractor.extract(task.pairs)
+                self.session.set_anchors(known_positive_pairs)
+                if self.session.incremental:
+                    # Counts were delta-updated; rewrite only the affected
+                    # feature columns in place.
+                    self.session.refresh_features(task.X, task.pairs)
+                else:
+                    # Full-recompute semantics (the pre-engine behavior).
+                    task.X = self.session.extract(task.pairs)
 
         self.weights_ = w
         self.result_ = AlignmentResult(

@@ -17,7 +17,8 @@ the convergence trace used by Figure 3.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -26,6 +27,67 @@ from repro.exceptions import ModelError
 from repro.matching.greedy import greedy_link_selection
 from repro.ml.ridge import RidgeSolver
 from repro.types import LinkPair, NodeId
+
+
+@dataclass
+class AlternatingState:
+    """Per-task invariants of the alternating loop, reused across refits.
+
+    The free candidate list and the blocked endpoint sets depend only on
+    the task and the clamped label set — not on the iteration.  Building
+    them costs a pass over all candidates; the active loop refits after
+    every query round, so the state is built once and then *narrowed*
+    incrementally as answers arrive (:meth:`clamp`) instead of being
+    rebuilt from scratch per fit.
+    """
+
+    free_indices: np.ndarray
+    free_pairs: List[LinkPair]
+    blocked_left: Set[NodeId]
+    blocked_right: Set[NodeId]
+
+    @classmethod
+    def from_task(
+        cls,
+        task: AlignmentTask,
+        clamped_indices: np.ndarray,
+        clamped_values: np.ndarray,
+    ) -> "AlternatingState":
+        """Build the state for a task and its clamped label set."""
+        free_mask = np.ones(task.n_candidates, dtype=bool)
+        free_mask[clamped_indices] = False
+        free_indices = np.flatnonzero(free_mask)
+        free_pairs = [task.pairs[i] for i in free_indices]
+        blocked_left: Set[NodeId] = set()
+        blocked_right: Set[NodeId] = set()
+        for index, value in zip(clamped_indices, clamped_values):
+            if value == 1:
+                left_user, right_user = task.pairs[index]
+                blocked_left.add(left_user)
+                blocked_right.add(right_user)
+        return cls(free_indices, free_pairs, blocked_left, blocked_right)
+
+    def clamp(
+        self,
+        task: AlignmentTask,
+        indices: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Narrow the state after new labels are clamped (queried)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            return
+        keep = ~np.isin(self.free_indices, indices)
+        if not keep.all():
+            self.free_pairs = [
+                pair for pair, kept in zip(self.free_pairs, keep) if kept
+            ]
+            self.free_indices = self.free_indices[keep]
+        for index, value in zip(indices, values):
+            if value == 1:
+                left_user, right_user = task.pairs[int(index)]
+                self.blocked_left.add(left_user)
+                self.blocked_right.add(right_user)
 
 
 class IterMPMD(AlignmentModel):
@@ -101,23 +163,20 @@ class IterMPMD(AlignmentModel):
         y: np.ndarray,
         clamped_indices: np.ndarray,
         clamped_values: np.ndarray,
+        state: Optional[AlternatingState] = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[float]]:
         """Run (1-1)/(1-2) to convergence from the given label vector.
 
+        ``state`` carries the hoisted free/blocked invariants; passing
+        one (as the active loop does) skips their per-fit rebuild.
         Returns ``(y, w, scores, trace)``.
         """
-        free_mask = np.ones(task.n_candidates, dtype=bool)
-        free_mask[clamped_indices] = False
-        free_indices = np.flatnonzero(free_mask)
-        free_pairs = [task.pairs[i] for i in free_indices]
-
-        blocked_left: Set[NodeId] = set()
-        blocked_right: Set[NodeId] = set()
-        for index, value in zip(clamped_indices, clamped_values):
-            if value == 1:
-                left_user, right_user = task.pairs[index]
-                blocked_left.add(left_user)
-                blocked_right.add(right_user)
+        if state is None:
+            state = AlternatingState.from_task(
+                task, clamped_indices, clamped_values
+            )
+        free_indices = state.free_indices
+        free_pairs = state.free_pairs
 
         trace: List[float] = []
         w = solver.solve(y)
@@ -127,8 +186,8 @@ class IterMPMD(AlignmentModel):
                 free_pairs,
                 scores[free_indices],
                 threshold=self.positive_threshold,
-                blocked_left=blocked_left,
-                blocked_right=blocked_right,
+                blocked_left=state.blocked_left,
+                blocked_right=state.blocked_right,
             )
             new_y = y.copy()
             new_y[free_indices] = free_labels

@@ -5,9 +5,15 @@ callers who just want predicted anchors from an aligned pair and a few
 labeled examples, without assembling tasks manually:
 
     aligned pair + labeled links
-        -> meta diagram feature extraction (training anchors only)
+        -> alignment session (meta diagram features, training anchors only)
         -> model (ActiveIter / Iter-MPMD / SVM)
         -> predicted anchor links
+
+The pipeline owns one :class:`~repro.engine.session.AlignmentSession`
+per lifetime: repeated ``run*`` calls reuse its cached count matrices
+(attribute structures are never recomputed, anchor-dependent ones are
+delta-updated), and active runs with ``refresh_features=True`` get the
+session's sparse incremental anchor path.
 
 The evaluation harness in :mod:`repro.eval` builds tasks directly for
 finer experimental control; this pipeline is the library's front door.
@@ -15,7 +21,7 @@ finer experimental control; this pipeline is the library's front door.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -25,7 +31,13 @@ from repro.core.activeiter import ActiveIter
 from repro.core.base import AlignmentModel, AlignmentTask
 from repro.core.itermpmd import IterMPMD
 from repro.core.svm_baselines import SVMAligner
-from repro.exceptions import ModelError
+from repro.engine.candidates import (
+    CandidateGenerator,
+    linear_scorer,
+    streamed_selection,
+)
+from repro.engine.session import AlignmentSession
+from repro.exceptions import ModelError, NotFittedError
 from repro.meta.diagrams import DiagramFamily
 from repro.meta.features import FeatureExtractor
 from repro.networks.aligned import AlignedPair
@@ -42,12 +54,16 @@ class AlignmentPipeline:
     family:
         Meta structure family for features (defaults to the full Φ).
     include_words:
-        Forwarded to the feature extractor (enables P7 matrices).
+        Forwarded to the session (enables P7 matrices).
     feature_map:
         Optional kernel feature map ``g`` (§III-C.1) applied to the
         extracted proximity features; any object with
         ``fit(X)``/``transform(X)`` works (see :mod:`repro.ml.kernels`).
         ``None`` is the paper's linear kernel.
+    session:
+        Share an existing :class:`AlignmentSession` (e.g. with another
+        pipeline or a candidate generator).  Defaults to a private one,
+        created lazily on the first task build.
     """
 
     def __init__(
@@ -56,16 +72,35 @@ class AlignmentPipeline:
         family: Optional[DiagramFamily] = None,
         include_words: bool = False,
         feature_map=None,
+        session: Optional[AlignmentSession] = None,
     ) -> None:
         self.pair = pair
         self.family = family
         self.include_words = include_words
         self.feature_map = feature_map
+        self.session_: Optional[AlignmentSession] = session
         self.extractor_: Optional[FeatureExtractor] = None
         self.model_: Optional[AlignmentModel] = None
         self.task_: Optional[AlignmentTask] = None
 
     # ------------------------------------------------------------------
+    def _session_for(self, known_anchors: Sequence[LinkPair]) -> AlignmentSession:
+        """The pipeline's session, anchored at ``known_anchors``.
+
+        Created on first use; later calls reuse cached structure counts
+        and delta-update the anchor-dependent ones.
+        """
+        if self.session_ is None:
+            self.session_ = AlignmentSession(
+                self.pair,
+                family=self.family,
+                known_anchors=known_anchors,
+                include_words=self.include_words,
+            )
+        else:
+            self.session_.set_anchors(known_anchors)
+        return self.session_
+
     def build_task(
         self,
         candidates: Sequence[LinkPair],
@@ -78,6 +113,10 @@ class AlignmentPipeline:
         """
         if not candidates:
             raise ModelError("no candidate links supplied")
+        # One canonical list object: the session's view cache is keyed by
+        # list identity, so extraction and the task must share it or the
+        # active loop would maintain (and delta-patch) two views.
+        candidates = list(candidates)
         candidate_index = {pair: i for i, pair in enumerate(candidates)}
         labeled_indices: List[int] = []
         labeled_values: List[int] = []
@@ -90,18 +129,14 @@ class AlignmentPipeline:
                 ) from None
             labeled_values.append(item.label)
         known_anchors = [item.pair for item in labeled if item.label == 1]
-        self.extractor_ = FeatureExtractor(
-            self.pair,
-            family=self.family,
-            known_anchors=known_anchors,
-            include_words=self.include_words,
-        )
-        X = self.extractor_.extract(candidates)
+        session = self._session_for(known_anchors)
+        self.extractor_ = FeatureExtractor.from_session(session)
+        X = session.extract(candidates)
         if self.feature_map is not None:
             self.feature_map.fit(X)
             X = self.feature_map.transform(X)
         self.task_ = AlignmentTask(
-            pairs=list(candidates),
+            pairs=candidates,
             X=X,
             labeled_indices=np.asarray(labeled_indices, dtype=np.int64),
             labeled_values=np.asarray(labeled_values, dtype=np.int64),
@@ -138,15 +173,21 @@ class AlignmentPipeline:
         The oracle answers from ``pair.anchors`` — appropriate for
         benchmark/simulation settings where ground truth exists.  For
         real deployments construct :class:`ActiveIter` directly with a
-        custom oracle.
+        custom oracle.  With ``refresh_features=True`` queried positives
+        flow back into the session as sparse delta anchor updates.
         """
+        if refresh_features and self.feature_map is not None:
+            raise ModelError(
+                "refresh_features is incompatible with a feature_map: "
+                "refreshed proximity columns cannot be re-transformed in place"
+            )
         task = self.build_task(candidates, labeled)
         oracle = LabelOracle(self.pair.anchors, budget=budget)
         self.model_ = ActiveIter(
             oracle=oracle,
             strategy=strategy,
             batch_size=batch_size,
-            feature_extractor=self.extractor_ if refresh_features else None,
+            session=self.session_ if refresh_features else None,
             refresh_features=refresh_features,
         )
         self.model_.fit(task)
@@ -163,3 +204,62 @@ class AlignmentPipeline:
         self.model_ = SVMAligner(C=C)
         self.model_.fit(task)
         return self.model_.predicted_anchors()
+
+    # ------------------------------------------------------------------
+    def stream_predict(
+        self,
+        generator: Optional[CandidateGenerator] = None,
+        threshold: float = 0.5,
+        block_size: int = 4096,
+        min_structures: int = 1,
+    ) -> List[LinkPair]:
+        """Score the *whole pruned candidate space* with the fitted model.
+
+        The sampled-H task a model was fitted on covers only a slice of
+        |U1| x |U2|; this method reuses the learned linear weights to
+        sweep the full space in streamed blocks — candidates are pruned
+        to the union of the meta structures' supports
+        (:meth:`CandidateGenerator.from_support`) and selected with the
+        exact streamed greedy pass.  Requires a fitted linear model
+        (Iter-MPMD / ActiveIter) on untransformed features.
+        """
+        if self.session_ is None or self.model_ is None:
+            raise NotFittedError("run a model before streaming predictions")
+        weights = getattr(self.model_, "weights_", None)
+        if weights is None:
+            raise ModelError(
+                "stream_predict needs a linear model exposing weights_"
+            )
+        if self.feature_map is not None:
+            raise ModelError(
+                "stream_predict supports the linear kernel only "
+                "(feature_map transforms are not streamable)"
+            )
+        if generator is None:
+            # Support pruning drops pairs with all-zero proximity
+            # features, which is only sound while such pairs score below
+            # the threshold.  With a bias column they score exactly the
+            # bias weight — if that alone clears the threshold (a
+            # degenerate but possible fit), sweep the full space instead.
+            zero_feature_score = (
+                float(weights[-1]) if self.session_.include_bias else 0.0
+            )
+            if zero_feature_score > threshold:
+                generator = CandidateGenerator(
+                    self.pair, block_size=block_size
+                )
+            else:
+                generator = CandidateGenerator.from_support(
+                    self.session_,
+                    block_size=block_size,
+                    min_structures=min_structures,
+                )
+        known = self.session_.known_anchors
+        selected = streamed_selection(
+            generator,
+            linear_scorer(self.session_, weights),
+            threshold=threshold,
+            blocked_left={left for left, _ in known},
+            blocked_right={right for _, right in known},
+        )
+        return [pair for pair, _ in selected]

@@ -1,0 +1,34 @@
+"""Incremental alignment engine: sessions, delta updates, streaming.
+
+The engine layer sits between the meta-structure counting algebra and
+the models.  An :class:`~repro.engine.session.AlignmentSession` owns all
+per-pair cached state (count matrices, proximities, the known anchor
+set) and updates it incrementally as the active loop buys labels;
+:mod:`repro.engine.candidates` streams the candidate space in pruned
+blocks instead of materializing the |U1| x |U2| cross product.
+"""
+
+from repro.engine.candidates import (
+    CandidateGenerator,
+    linear_scorer,
+    streamed_selection,
+)
+from repro.engine.incremental import (
+    DeltaEvaluator,
+    apply_delta,
+    leaf_occurrences,
+    supports_delta,
+)
+from repro.engine.session import AlignmentSession, SessionStats
+
+__all__ = [
+    "AlignmentSession",
+    "CandidateGenerator",
+    "DeltaEvaluator",
+    "SessionStats",
+    "apply_delta",
+    "leaf_occurrences",
+    "linear_scorer",
+    "streamed_selection",
+    "supports_delta",
+]

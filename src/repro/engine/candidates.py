@@ -1,0 +1,240 @@
+"""Batched candidate-pair streaming with degree/neighborhood pruning.
+
+The full candidate space H is the cross product |U1| x |U2| — millions
+of pairs already at modest network sizes, far too many to materialize
+as a Python list of tuples.  :class:`CandidateGenerator` streams H in
+blocks and prunes it two ways:
+
+* **degree pruning** — users whose follow degrees differ by more than a
+  ratio are unlikely counterparts (degree is roughly preserved across
+  platforms for the same person);
+* **neighborhood pruning** — a pair whose instance count is zero in
+  *every* meta structure has an all-zero proximity vector, so
+  :meth:`CandidateGenerator.from_support` restricts H to the union of
+  the structures' support sets (computed from the session's cached
+  count matrices — no extra counting).  Note the bias caveat: with a
+  bias feature such pairs still score the bias weight, so callers must
+  only apply this prune when that weight is below the selection
+  threshold (:meth:`AlignmentPipeline.stream_predict` checks this).
+
+:func:`streamed_selection` then runs scoring and the greedy one-to-one
+selector over the stream block by block.  It is *exact*: the greedy
+selector never labels a link with score ≤ threshold positive, so only
+the above-threshold survivors of each block need to be retained for the
+final global selection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import AlignmentError
+from repro.matching.greedy import greedy_link_selection
+from repro.networks.aligned import AlignedPair
+from repro.networks.schema import FOLLOW
+from repro.types import LinkPair, NodeId
+
+#: A block of candidate pairs produced by the generator.
+CandidateBlock = List[LinkPair]
+
+
+def _follow_degrees(network) -> np.ndarray:
+    """Total (in + out) follow degree per user, in node order."""
+    adjacency = network.typed_adjacency(FOLLOW)
+    out_degree = np.asarray(adjacency.sum(axis=1)).ravel()
+    in_degree = np.asarray(adjacency.sum(axis=0)).ravel()
+    return out_degree + in_degree
+
+
+class CandidateGenerator:
+    """Streams pruned candidate anchor pairs in fixed-size blocks.
+
+    Parameters
+    ----------
+    pair:
+        The aligned networks.
+    block_size:
+        Maximum number of pairs per yielded block.
+    max_degree_ratio:
+        When set, keep ``(u, v)`` only if their smoothed follow degrees
+        are within this ratio of each other:
+        ``(1 + deg(u)) / (1 + deg(v)) ≤ r`` and vice versa.
+    allowed:
+        Optional explicit sparse |U1| x |U2| mask of admissible pairs
+        (used by :meth:`from_support`); non-zero means admissible.
+    exclude:
+        Pairs to skip regardless of pruning (e.g. already-labeled
+        links).
+    """
+
+    def __init__(
+        self,
+        pair: AlignedPair,
+        block_size: int = 4096,
+        max_degree_ratio: Optional[float] = None,
+        allowed: Optional[sparse.spmatrix] = None,
+        exclude: Iterable[LinkPair] = (),
+    ) -> None:
+        if block_size < 1:
+            raise AlignmentError("block_size must be >= 1")
+        if max_degree_ratio is not None and max_degree_ratio < 1.0:
+            raise AlignmentError("max_degree_ratio must be >= 1")
+        self.pair = pair
+        self.block_size = int(block_size)
+        self.max_degree_ratio = max_degree_ratio
+        self._allowed = allowed.tocsr() if allowed is not None else None
+        self._exclude: Set[LinkPair] = set(exclude)
+        self._left_users = pair.left_users()
+        self._right_users = pair.right_users()
+        if max_degree_ratio is not None:
+            self._left_degrees = _follow_degrees(pair.left)
+            self._right_degrees = _follow_degrees(pair.right)
+        else:
+            self._left_degrees = None
+            self._right_degrees = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_support(
+        cls,
+        session,
+        block_size: int = 4096,
+        min_structures: int = 1,
+        exclude: Iterable[LinkPair] = (),
+    ) -> "CandidateGenerator":
+        """Neighborhood pruning: pairs supported by ≥ ``min_structures``.
+
+        Uses the session's cached count matrices — pairs outside every
+        structure's support have identically zero proximity features and
+        are dropped.  ``min_structures > 1`` tightens the prune to pairs
+        connected by several kinds of evidence.
+        """
+        if min_structures < 1:
+            raise AlignmentError("min_structures must be >= 1")
+        support: Optional[sparse.csr_matrix] = None
+        for counts in session.structure_counts().values():
+            indicator = counts.tocsr().copy()
+            indicator.data = np.ones_like(indicator.data)
+            support = indicator if support is None else (support + indicator)
+        if support is not None and min_structures > 1:
+            support.data = np.where(support.data >= min_structures, 1.0, 0.0)
+            support.eliminate_zeros()
+        return cls(
+            session.pair,
+            block_size=block_size,
+            allowed=support,
+            exclude=exclude,
+        )
+
+    # ------------------------------------------------------------------
+    def _row_columns(self, i: int) -> np.ndarray:
+        """Admissible right-user indices for left user ``i``."""
+        if self._allowed is not None:
+            start, end = self._allowed.indptr[i], self._allowed.indptr[i + 1]
+            columns = self._allowed.indices[start:end]
+        else:
+            columns = np.arange(len(self._right_users))
+        if self.max_degree_ratio is not None and columns.size:
+            left_degree = 1.0 + self._left_degrees[i]
+            right_degrees = 1.0 + self._right_degrees[columns]
+            ratio = np.maximum(left_degree / right_degrees, right_degrees / left_degree)
+            columns = columns[ratio <= self.max_degree_ratio]
+        return columns
+
+    def count(self) -> int:
+        """Number of candidate pairs the stream will produce."""
+        total = 0
+        for i in range(len(self._left_users)):
+            columns = self._row_columns(i)
+            if self._exclude:
+                left_user = self._left_users[i]
+                total += sum(
+                    1
+                    for j in columns
+                    if (left_user, self._right_users[j]) not in self._exclude
+                )
+            else:
+                total += int(columns.size)
+        return total
+
+    def pairs(self) -> Iterator[LinkPair]:
+        """Every candidate pair, in deterministic row-major order."""
+        for block in self.blocks():
+            yield from block
+
+    def blocks(self) -> Iterator[CandidateBlock]:
+        """Yield candidate pairs in blocks of at most ``block_size``."""
+        block: CandidateBlock = []
+        for i, left_user in enumerate(self._left_users):
+            for j in self._row_columns(i):
+                candidate = (left_user, self._right_users[j])
+                if candidate in self._exclude:
+                    continue
+                block.append(candidate)
+                if len(block) >= self.block_size:
+                    yield block
+                    block = []
+        if block:
+            yield block
+
+
+def linear_scorer(
+    session, weights: np.ndarray
+) -> Callable[[Sequence[LinkPair]], np.ndarray]:
+    """Score function ``block -> X_block @ w`` over session features."""
+    weights = np.asarray(weights, dtype=np.float64).ravel()
+    if weights.shape[0] != session.n_features:
+        raise AlignmentError(
+            f"{weights.shape[0]} weights for {session.n_features} features"
+        )
+
+    def score(block: Sequence[LinkPair]) -> np.ndarray:
+        return session.extract(block) @ weights
+
+    return score
+
+
+def streamed_selection(
+    generator: CandidateGenerator,
+    score_fn: Callable[[Sequence[LinkPair]], np.ndarray],
+    threshold: float = 0.5,
+    blocked_left: Optional[Iterable[NodeId]] = None,
+    blocked_right: Optional[Iterable[NodeId]] = None,
+) -> List[Tuple[LinkPair, float]]:
+    """Greedy one-to-one selection over a streamed candidate space.
+
+    Scores each block, keeps only links above ``threshold`` (the greedy
+    selector can never pick the rest), and runs one exact global greedy
+    pass over the survivors.  Returns the selected links with their
+    scores, ordered by decreasing score.
+    """
+    survivor_pairs: List[LinkPair] = []
+    survivor_scores: List[np.ndarray] = []
+    for block in generator.blocks():
+        scores = np.asarray(score_fn(block), dtype=np.float64).ravel()
+        keep = scores > threshold
+        if keep.any():
+            survivor_pairs.extend(
+                pair for pair, kept in zip(block, keep) if kept
+            )
+            survivor_scores.append(scores[keep])
+    if not survivor_pairs:
+        return []
+    scores = np.concatenate(survivor_scores)
+    labels = greedy_link_selection(
+        survivor_pairs,
+        scores,
+        threshold=threshold,
+        blocked_left=blocked_left,
+        blocked_right=blocked_right,
+    )
+    selected = [
+        (pair, float(score))
+        for pair, score, label in zip(survivor_pairs, scores, labels)
+        if label == 1
+    ]
+    selected.sort(key=lambda item: -item[1])
+    return selected

@@ -1,0 +1,554 @@
+"""The incremental alignment session: shared state for one aligned pair.
+
+:class:`AlignmentSession` is the engine-layer object threaded through
+the pipeline, the active loop, the experiment harness and the CLI.  It
+owns, for one :class:`~repro.networks.aligned.AlignedPair`:
+
+* the memoizing :class:`~repro.meta.algebra.CountingEngine` over the
+  pair's typed adjacency matrices;
+* the per-structure count matrices, their row/column sums and
+  :class:`~repro.meta.proximity.ProximityMatrix` views of the
+  configured diagram family;
+* the current *known anchor* set (training positives plus queried
+  positives);
+* cached *candidate views* — the index arrays and per-structure count
+  values of candidate lists that are scored repeatedly.
+
+Anchor updates are **incremental**: every standard count expression is
+linear in the anchor matrix ``A`` (:mod:`repro.engine.incremental`), so
+adding ``k`` anchors applies a sparse low-rank delta to each
+anchor-dependent count matrix, its row/column sums, and the cached
+candidate-view values — and :meth:`refresh_features` then rewrites only
+the affected columns of an existing feature matrix in place, without
+any O(nnz) recount or re-scan.  Attribute-only structures are computed
+once per session, ever — across query rounds, refits, and experiment
+folds alike.  All updates are bit-exact: counts are integer-valued, and
+products/Hadamards/sums of integers below 2**53 are exact in float64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+from scipy import sparse
+
+from repro.engine.incremental import DeltaEvaluator, apply_delta, supports_delta
+from repro.exceptions import FeatureError
+from repro.meta.algebra import CountingEngine, Expr
+from repro.meta.context import ANCHOR_MATRIX, build_matrix_bag
+from repro.meta.diagrams import DiagramFamily, standard_diagram_family
+from repro.meta.proximity import ProximityMatrix, csr_values_at, dice_scores
+from repro.networks.aligned import AlignedPair
+from repro.types import LinkPair
+
+
+@dataclass
+class SessionStats:
+    """Counters describing how much work the session avoided.
+
+    Attributes
+    ----------
+    anchor_updates:
+        ``set_anchors`` calls that actually changed the known set.
+    delta_updates:
+        Structure count matrices updated via the sparse delta path.
+    full_recounts:
+        Structure count matrices evaluated from scratch (initial
+        evaluation included).
+    columns_refreshed:
+        Feature-matrix columns rewritten in place by
+        :meth:`AlignmentSession.refresh_features`.
+    extract_calls:
+        Full feature-extraction calls served.
+    """
+
+    anchor_updates: int = 0
+    delta_updates: int = 0
+    full_recounts: int = 0
+    columns_refreshed: int = 0
+    extract_calls: int = 0
+
+    def summary(self) -> str:
+        """One-line human-readable rendering."""
+        return (
+            f"anchor_updates={self.anchor_updates} "
+            f"delta_updates={self.delta_updates} "
+            f"full_recounts={self.full_recounts} "
+            f"columns_refreshed={self.columns_refreshed} "
+            f"extract_calls={self.extract_calls}"
+        )
+
+
+@dataclass
+class _Structure:
+    """One feature structure tracked by the session.
+
+    ``pending`` holds delta count matrices that have been applied to
+    the sums and the candidate views but not yet folded into ``counts``
+    — the active loop scores through views only, so the O(nnz) sparse
+    addition is deferred until someone actually reads the counts.
+    """
+
+    name: str
+    expr: Expr
+    anchor_dependent: bool
+    delta_capable: bool
+    counts: Optional[sparse.csr_matrix] = None
+    row_sums: Optional[np.ndarray] = None
+    col_sums: Optional[np.ndarray] = None
+    proximity: Optional[ProximityMatrix] = field(default=None, repr=False)
+    pending: List[sparse.csr_matrix] = field(default_factory=list, repr=False)
+
+
+@dataclass
+class _CandidateView:
+    """Cached per-candidate-list state for repeated scoring.
+
+    Holds the resolved index arrays of one candidate list plus, per
+    structure, the count values at exactly those positions.  Delta
+    anchor updates patch the cached values at the (few) positions the
+    delta touches and record per-structure *dirty position* sets, so a
+    subsequent feature refresh rewrites only the affected entries of
+    ``X`` — a delta with ``m`` non-zeros costs O(m log q), not O(q).
+
+    The sorted permutations of the keys and of the left/right index
+    arrays are what make the inverted lookups (delta entry -> view
+    positions, changed row/col -> view positions) logarithmic.
+    """
+
+    pairs: Sequence[LinkPair]  # kept alive so id() stays unique
+    left_indices: np.ndarray
+    right_indices: np.ndarray
+    query_keys: np.ndarray  # linearized row-major (i, j) lookup keys
+    key_order: np.ndarray  # argsort of query_keys
+    keys_sorted: np.ndarray
+    left_order: np.ndarray  # argsort of left_indices
+    left_sorted: np.ndarray
+    right_order: np.ndarray  # argsort of right_indices
+    right_sorted: np.ndarray
+    values: Dict[str, np.ndarray] = field(default_factory=dict)
+    dirty: Dict[str, List[np.ndarray]] = field(default_factory=dict)
+
+    def positions_of_rows(self, rows: np.ndarray) -> np.ndarray:
+        """View positions whose left user index is in ``rows``."""
+        return self._positions(self.left_order, self.left_sorted, rows)
+
+    def positions_of_cols(self, cols: np.ndarray) -> np.ndarray:
+        """View positions whose right user index is in ``cols``."""
+        return self._positions(self.right_order, self.right_sorted, cols)
+
+    @staticmethod
+    def _positions(
+        order: np.ndarray, sorted_values: np.ndarray, wanted: np.ndarray
+    ) -> np.ndarray:
+        starts = np.searchsorted(sorted_values, wanted, side="left")
+        ends = np.searchsorted(sorted_values, wanted, side="right")
+        if not len(starts):
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(
+            [order[start:end] for start, end in zip(starts, ends)]
+        )
+
+
+class AlignmentSession:
+    """Incremental feature/proximity state for one aligned pair.
+
+    Parameters
+    ----------
+    pair:
+        The aligned networks.
+    family:
+        Meta structure family; defaults to the paper's full Φ.
+    known_anchors:
+        Initial known anchor links (training positives only — never the
+        test ground truth).
+    include_bias:
+        Whether extracted feature matrices carry the trailing dummy
+        ``1`` column.
+    include_words:
+        Whether to export word matrices (required if the family uses P7).
+    incremental:
+        When ``False`` every anchor update re-counts anchor-dependent
+        structures from scratch (the baseline path the benchmark
+        compares against).  Results are bit-identical either way.
+    """
+
+    def __init__(
+        self,
+        pair: AlignedPair,
+        family: Optional[DiagramFamily] = None,
+        known_anchors: Optional[Iterable[LinkPair]] = None,
+        include_bias: bool = True,
+        include_words: bool = False,
+        incremental: bool = True,
+    ) -> None:
+        self.pair = pair
+        self.family = family if family is not None else standard_diagram_family(
+            include_words=include_words
+        )
+        self.include_bias = include_bias
+        self.incremental = bool(incremental)
+        self.stats = SessionStats()
+        self._anchors: Set[LinkPair] = set(known_anchors or ())
+        self._views: Dict[int, _CandidateView] = {}
+
+        needs_words = any("P7" in name for name in self.family.feature_names)
+        bag = build_matrix_bag(
+            pair,
+            known_anchors=self._anchors,
+            include_words=include_words or needs_words,
+        )
+        self._engine = CountingEngine(bag)
+        self._structures: List[_Structure] = [
+            _Structure(
+                name=name,
+                expr=expr,
+                anchor_dependent=ANCHOR_MATRIX in expr.leaves(),
+                delta_capable=supports_delta(expr, ANCHOR_MATRIX),
+            )
+            for name, expr in zip(self.family.feature_names, self.family.exprs)
+        ]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> CountingEngine:
+        """The underlying memoizing counting engine."""
+        return self._engine
+
+    @property
+    def known_anchors(self) -> Set[LinkPair]:
+        """The current known anchor set (a copy)."""
+        return set(self._anchors)
+
+    @property
+    def feature_names(self) -> List[str]:
+        """Ordered feature names (structures, then optional bias)."""
+        names = [structure.name for structure in self._structures]
+        if self.include_bias:
+            names.append("bias")
+        return names
+
+    @property
+    def n_features(self) -> int:
+        """Feature dimensionality d."""
+        return len(self._structures) + (1 if self.include_bias else 0)
+
+    @property
+    def anchor_feature_columns(self) -> List[int]:
+        """Column indices whose features depend on the anchor matrix."""
+        return [
+            i
+            for i, structure in enumerate(self._structures)
+            if structure.anchor_dependent
+        ]
+
+    @property
+    def static_feature_columns(self) -> List[int]:
+        """Column indices that never change when anchors change."""
+        columns = [
+            i
+            for i, structure in enumerate(self._structures)
+            if not structure.anchor_dependent
+        ]
+        if self.include_bias:
+            columns.append(len(self._structures))
+        return columns
+
+    # ------------------------------------------------------------------
+    # Count / proximity state
+    # ------------------------------------------------------------------
+    def _ensure_counts(self, structure: _Structure) -> None:
+        if structure.counts is None:
+            structure.counts = self._engine.evaluate(structure.expr)
+            structure.pending.clear()
+            structure.row_sums = np.asarray(
+                structure.counts.sum(axis=1)
+            ).ravel()
+            structure.col_sums = np.asarray(
+                structure.counts.sum(axis=0)
+            ).ravel()
+            structure.proximity = None
+            self.stats.full_recounts += 1
+        elif structure.pending:
+            counts = structure.counts
+            for change in structure.pending:
+                counts = apply_delta(counts, change)
+            structure.counts = counts
+            structure.pending.clear()
+
+    def _proximity(self, structure: _Structure) -> ProximityMatrix:
+        self._ensure_counts(structure)
+        if structure.proximity is None:
+            structure.proximity = ProximityMatrix(structure.counts)
+        return structure.proximity
+
+    def proximity_matrices(self) -> List[ProximityMatrix]:
+        """Proximity matrices for every structure, in family order."""
+        return [self._proximity(structure) for structure in self._structures]
+
+    # ------------------------------------------------------------------
+    # Anchor updates
+    # ------------------------------------------------------------------
+    def add_anchors(self, new_anchors: Iterable[LinkPair]) -> bool:
+        """Grow the known anchor set; returns whether anything changed."""
+        return self.set_anchors(self._anchors | set(new_anchors))
+
+    def set_anchors(self, known_anchors: Iterable[LinkPair]) -> bool:
+        """Replace the known anchor set; returns whether anything changed.
+
+        Chooses the cheapest correct path per structure: when the
+        symmetric difference is smaller than the new set (the active
+        loop's few-anchors-per-round regime) anchor-dependent counts,
+        sums and cached view values receive an exact sparse delta;
+        otherwise (e.g. switching experiment folds) they are dropped for
+        lazy re-evaluation.  Attribute-only structures are untouched in
+        both cases.
+        """
+        new_set = set(known_anchors)
+        added = new_set - self._anchors
+        removed = self._anchors - new_set
+        if not added and not removed:
+            return False
+        # Build (and thereby validate) the new anchor matrix before any
+        # state changes, so a bad anchor leaves the session untouched.
+        new_anchor_matrix = self.pair.anchor_matrix(new_set)
+        self.stats.anchor_updates += 1
+        use_delta = (
+            self.incremental and len(added) + len(removed) < len(new_set)
+        )
+        self._anchors = new_set
+
+        # The engine must always see the new A (and purge stale cached
+        # products) so later full evaluations stay correct.
+        self._engine.update_matrix(ANCHOR_MATRIX, new_anchor_matrix)
+
+        evaluator: Optional[DeltaEvaluator] = None
+        if use_delta:
+            delta = self.pair.anchor_matrix(added)
+            if removed:
+                delta = (delta - self.pair.anchor_matrix(removed)).tocsr()
+            evaluator = DeltaEvaluator(self._engine, ANCHOR_MATRIX, delta)
+
+        for structure in self._structures:
+            if not structure.anchor_dependent:
+                continue
+            if (
+                evaluator is not None
+                and structure.delta_capable
+                and structure.counts is not None
+            ):
+                self._apply_structure_delta(structure, evaluator)
+            else:
+                structure.counts = None
+                structure.pending.clear()
+                structure.row_sums = None
+                structure.col_sums = None
+                structure.proximity = None
+                for view in self._views.values():
+                    view.values.pop(structure.name, None)
+                    view.dirty.pop(structure.name, None)
+        return True
+
+    def _apply_structure_delta(
+        self, structure: _Structure, evaluator: DeltaEvaluator
+    ) -> None:
+        """Exact sparse update of one structure's cached state."""
+        change = evaluator.evaluate(structure.expr)
+        if change.nnz == 0:
+            return
+        structure.pending.append(change)
+        coo = change.tocoo()
+        row_sums = structure.row_sums.copy()
+        np.add.at(row_sums, coo.row, coo.data)
+        structure.row_sums = row_sums
+        col_sums = structure.col_sums.copy()
+        np.add.at(col_sums, coo.col, coo.data)
+        structure.col_sums = col_sums
+        structure.proximity = None  # rebuilt lazily from updated counts
+        change_keys = (
+            coo.row.astype(np.int64) * change.shape[1] + coo.col
+        )
+        changed_rows = np.unique(coo.row.astype(np.int64))
+        changed_cols = np.unique(coo.col.astype(np.int64))
+        for view in self._views.values():
+            values = view.values.get(structure.name)
+            if values is None:
+                continue
+            # Patch cached count values at the delta's (few) entries:
+            # inverted lookup — search the view's sorted keys for each
+            # delta key, honoring duplicate candidate pairs.
+            starts = np.searchsorted(view.keys_sorted, change_keys, "left")
+            ends = np.searchsorted(view.keys_sorted, change_keys, "right")
+            for start, end, amount in zip(starts, ends, coo.data):
+                if start < end:
+                    values[view.key_order[start:end]] += amount
+            # Scores change wherever a row or column sum changed.
+            affected = np.concatenate(
+                [
+                    view.positions_of_rows(changed_rows),
+                    view.positions_of_cols(changed_cols),
+                ]
+            )
+            if affected.size:
+                view.dirty.setdefault(structure.name, []).append(affected)
+        self.stats.delta_updates += 1
+
+    # ------------------------------------------------------------------
+    # Candidate views
+    # ------------------------------------------------------------------
+    def _view_for(self, pairs: Sequence[LinkPair]) -> _CandidateView:
+        """Resolve (and cache) the index arrays of a candidate list.
+
+        Views are keyed by list identity: the active loop refreshes the
+        same ``task.pairs`` object every round, so the pair-to-index
+        resolution and the per-structure count values are computed once
+        and then delta-patched.
+        """
+        view = self._views.get(id(pairs))
+        if view is not None and view.pairs is pairs:
+            # LRU touch: keep hot views (the active loop's task list)
+            # safe from eviction by bursts of streamed block extracts.
+            self._views.pop(id(pairs))
+            self._views[id(pairs)] = view
+            return view
+        left_indices, right_indices = self.pair.pairs_to_indices(pairs)
+        n_right = self.pair.right.node_count(self.pair.anchor_node_type)
+        query_keys = left_indices.astype(np.int64) * n_right + right_indices
+        key_order = np.argsort(query_keys, kind="stable")
+        left_order = np.argsort(left_indices, kind="stable")
+        right_order = np.argsort(right_indices, kind="stable")
+        view = _CandidateView(
+            pairs=pairs,
+            left_indices=left_indices,
+            right_indices=right_indices,
+            query_keys=query_keys,
+            key_order=key_order,
+            keys_sorted=query_keys[key_order],
+            left_order=left_order,
+            left_sorted=left_indices[left_order],
+            right_order=right_order,
+            right_sorted=right_indices[right_order],
+        )
+        # Bound the cache: streamed extraction passes short-lived block
+        # lists that would otherwise accumulate (dicts preserve insertion
+        # order, so eviction drops the oldest view first).
+        while len(self._views) >= 16:
+            self._views.pop(next(iter(self._views)))
+        self._views[id(pairs)] = view
+        return view
+
+    def _view_values(
+        self, view: _CandidateView, structure: _Structure
+    ) -> np.ndarray:
+        """Count values of one structure at the view's positions."""
+        values = view.values.get(structure.name)
+        if values is None:
+            self._ensure_counts(structure)
+            values = csr_values_at(
+                structure.counts,
+                view.left_indices,
+                view.right_indices,
+                query_keys=view.query_keys,
+            )
+            view.values[structure.name] = values
+        return values
+
+    def _view_scores(
+        self, view: _CandidateView, structure: _Structure
+    ) -> np.ndarray:
+        """Dice proximity scores of one structure at the view's positions.
+
+        ``_view_values`` guarantees counts and sums exist; afterwards the
+        sums are maintained by the delta path without folding pending
+        changes into the count matrix.
+        """
+        values = self._view_values(view, structure)
+        denominators = (
+            structure.row_sums[view.left_indices]
+            + structure.col_sums[view.right_indices]
+        )
+        return dice_scores(values, denominators)
+
+    # ------------------------------------------------------------------
+    # Feature extraction
+    # ------------------------------------------------------------------
+    def extract(self, pairs: Sequence[LinkPair]) -> np.ndarray:
+        """Feature matrix ``X`` of shape ``(len(pairs), n_features)``."""
+        self.stats.extract_calls += 1
+        if not pairs:
+            return np.zeros((0, self.n_features), dtype=np.float64)
+        view = self._view_for(pairs)
+        columns = [
+            self._view_scores(view, structure)
+            for structure in self._structures
+        ]
+        if self.include_bias:
+            columns.append(np.ones(len(pairs), dtype=np.float64))
+        return np.column_stack(columns)
+
+    def extract_single(self, pair: LinkPair) -> np.ndarray:
+        """Feature vector for one candidate link."""
+        return self.extract([pair])[0]
+
+    def refresh_features(
+        self, X: np.ndarray, pairs: Sequence[LinkPair]
+    ) -> np.ndarray:
+        """Rewrite the anchor-dependent columns of ``X`` in place.
+
+        ``X`` must be a matrix previously extracted by this session for
+        the same ``pairs`` (row order included).  Attribute-only and
+        bias columns are left untouched — only the proximity columns
+        whose structures reference the anchor matrix are recomputed,
+        from delta-patched cached values whenever the last anchor
+        update took the sparse path.  Returns ``X`` for chaining.
+        """
+        expected = (len(pairs), self.n_features)
+        if X.shape != expected:
+            raise FeatureError(
+                f"feature matrix shape {X.shape} does not match {expected}"
+            )
+        if not pairs:
+            return X
+        view = self._view_for(pairs)
+        for column in self.anchor_feature_columns:
+            structure = self._structures[column]
+            dirty = view.dirty.pop(structure.name, None)
+            if structure.name in view.values and dirty is not None:
+                # Only the positions touching a changed row/column sum
+                # can have changed scores; rewrite exactly those.
+                positions = np.unique(np.concatenate(dirty))
+                values = view.values[structure.name][positions]
+                denominators = (
+                    structure.row_sums[view.left_indices[positions]]
+                    + structure.col_sums[view.right_indices[positions]]
+                )
+                X[positions, column] = dice_scores(values, denominators)
+                self.stats.columns_refreshed += 1
+            elif structure.name in view.values:
+                # No delta touched this structure since the last refresh;
+                # the column is already current.
+                continue
+            else:
+                X[:, column] = self._view_scores(view, structure)
+                self.stats.columns_refreshed += 1
+        return X
+
+    # ------------------------------------------------------------------
+    def structure_counts(self) -> Dict[str, sparse.csr_matrix]:
+        """name -> sparse count matrix for every structure (evaluated)."""
+        for structure in self._structures:
+            self._ensure_counts(structure)
+        return {
+            structure.name: structure.counts for structure in self._structures
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AlignmentSession(pair={self.pair!r}, "
+            f"structures={len(self._structures)}, "
+            f"anchors={len(self._anchors)}, incremental={self.incremental})"
+        )

@@ -9,9 +9,8 @@ iterative engine and returns the recorded traces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
-import numpy as np
 
 from repro.core.base import AlignmentTask
 from repro.core.itermpmd import IterMPMD

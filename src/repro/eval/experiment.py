@@ -6,9 +6,12 @@ SVM-MPMD, SVM-MP} on the splits produced by
 test set (with queried links removed for active methods) and
 aggregating mean ± std across fold rotations.
 
-Feature economy: the full-family feature matrix is extracted once per
-split; the meta-path-only matrix of SVM-MP is a *column subset* of it,
-so adding SVM-MP costs no extra counting.
+Feature economy: one :class:`~repro.engine.session.AlignmentSession`
+is shared across *all* fold rotations — attribute-only structures are
+counted exactly once per experiment, and each rotation only re-anchors
+the session.  Within a split the full-family feature matrix is
+extracted once; the meta-path-only matrix of SVM-MP is a *column
+subset* of it, so adding SVM-MP costs no extra counting.
 """
 
 from __future__ import annotations
@@ -29,10 +32,10 @@ from repro.core.activeiter import ActiveIter
 from repro.core.base import AlignmentModel, AlignmentTask
 from repro.core.itermpmd import IterMPMD
 from repro.core.svm_baselines import SVMAligner
+from repro.engine.session import AlignmentSession
 from repro.exceptions import ExperimentError
 from repro.eval.protocol import ExperimentSplit, ProtocolConfig, build_splits
 from repro.meta.diagrams import standard_diagram_family
-from repro.meta.features import FeatureExtractor
 from repro.ml.metrics import ClassificationReport, classification_report
 from repro.networks.aligned import AlignedPair
 
@@ -193,13 +196,24 @@ def run_split(
     split: ExperimentSplit,
     methods: Sequence[MethodSpec],
     seed: int = 0,
+    session: Optional[AlignmentSession] = None,
 ) -> Dict[str, Tuple[ClassificationReport, float]]:
-    """Run every method on one split; returns name -> (report, runtime)."""
-    family = standard_diagram_family()
-    extractor = FeatureExtractor(
-        pair, family=family, known_anchors=split.train_positive_pairs
-    )
-    X_full = extractor.extract(list(split.candidates))
+    """Run every method on one split; returns name -> (report, runtime).
+
+    ``session`` lets callers (notably :func:`run_experiment`) share one
+    alignment session across splits; it is re-anchored to the split's
+    training positives, reusing every anchor-independent cached count.
+    """
+    if session is None:
+        session = AlignmentSession(
+            pair,
+            family=standard_diagram_family(),
+            known_anchors=split.train_positive_pairs,
+        )
+    else:
+        session.set_anchors(split.train_positive_pairs)
+    family = session.family
+    X_full = session.extract(list(split.candidates))
     path_columns = _paths_feature_columns(family)
     X_paths = X_full[:, path_columns]
 
@@ -245,8 +259,11 @@ def run_experiment(
         config=config,
         methods={spec.name: MethodResult(name=spec.name) for spec in methods},
     )
+    session = AlignmentSession(pair, family=standard_diagram_family())
     for split in build_splits(pair, config):
-        per_method = run_split(pair, split, methods, seed=config.seed + split.fold)
+        per_method = run_split(
+            pair, split, methods, seed=config.seed + split.fold, session=session
+        )
         for name, (report, runtime) in per_method.items():
             outcome.methods[name].reports.append(report)
             outcome.methods[name].runtimes.append(runtime)

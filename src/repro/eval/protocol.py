@@ -18,7 +18,7 @@ scoring (§IV-B.3) to keep the comparison fair.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Set, Tuple
+from typing import Iterator, List, Set, Tuple
 
 import numpy as np
 

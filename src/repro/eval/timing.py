@@ -17,6 +17,7 @@ import numpy as np
 from repro.active.oracle import LabelOracle
 from repro.core.activeiter import ActiveIter
 from repro.core.base import AlignmentTask
+from repro.engine.session import AlignmentSession, SessionStats
 from repro.eval.protocol import ProtocolConfig, build_splits
 from repro.meta.features import FeatureExtractor
 from repro.networks.aligned import AlignedPair
@@ -79,6 +80,125 @@ def scalability_study(
             )
         )
     return points
+
+
+@dataclass(frozen=True)
+class IncrementalComparison:
+    """Result of racing the incremental session against full recompute.
+
+    Attributes
+    ----------
+    full_seconds, incremental_seconds:
+        Wall-clock fit time of the two feature-refresh paths.
+    n_rounds:
+        Query rounds executed (identical for both paths).
+    identical_labels:
+        Whether the two paths produced byte-identical label vectors —
+        the delta update's exactness guarantee, asserted downstream.
+    full_stats, incremental_stats:
+        The sessions' work counters.
+    """
+
+    full_seconds: float
+    incremental_seconds: float
+    n_rounds: int
+    identical_labels: bool
+    full_stats: SessionStats
+    incremental_stats: SessionStats
+
+    @property
+    def speedup(self) -> float:
+        """Full-recompute time over incremental time."""
+        if self.incremental_seconds <= 0:
+            return float("inf")
+        return self.full_seconds / self.incremental_seconds
+
+
+def compare_incremental_paths(
+    pair: AlignedPair,
+    np_ratio: int = 20,
+    sample_ratio: float = 1.0,
+    budget: int = 30,
+    batch_size: int = 2,
+    seed: int = 13,
+) -> IncrementalComparison:
+    """Race ActiveIter-with-refresh on delta vs full-recompute sessions.
+
+    Both runs share one split, the same oracle budget and the same
+    query strategy; the only difference is the session's ``incremental``
+    flag.  Because the delta update is bit-exact, every round's scores —
+    and therefore the queried links and the final labels — must agree
+    byte for byte; :attr:`IncrementalComparison.identical_labels`
+    records that check for callers to assert on.
+    """
+    config = ProtocolConfig(
+        np_ratio=np_ratio, sample_ratio=sample_ratio, n_repeats=1, seed=seed
+    )
+    split = next(iter(build_splits(pair, config)))
+    positives = {
+        split.candidates[i]
+        for i in range(len(split.candidates))
+        if split.truth[i] == 1
+    }
+
+    def run(incremental: bool):
+        session = AlignmentSession(
+            pair,
+            known_anchors=split.train_positive_pairs,
+            incremental=incremental,
+        )
+        candidates = list(split.candidates)  # shared with the session view
+        task = AlignmentTask(
+            pairs=candidates,
+            X=session.extract(candidates),
+            labeled_indices=split.train_indices,
+            labeled_values=split.truth[split.train_indices],
+        )
+        model = ActiveIter(
+            LabelOracle(positives, budget=budget),
+            batch_size=batch_size,
+            session=session,
+            refresh_features=True,
+        )
+        started = time.perf_counter()
+        model.fit(task)
+        elapsed = time.perf_counter() - started
+        return model, session, elapsed
+
+    full_model, full_session, full_seconds = run(incremental=False)
+    incr_model, incr_session, incr_seconds = run(incremental=True)
+    return IncrementalComparison(
+        full_seconds=full_seconds,
+        incremental_seconds=incr_seconds,
+        n_rounds=incr_model.result_.n_rounds,
+        identical_labels=bool(
+            np.array_equal(full_model.labels_, incr_model.labels_)
+            and full_model.queried_ == incr_model.queried_
+        ),
+        full_stats=full_session.stats,
+        incremental_stats=incr_session.stats,
+    )
+
+
+def format_incremental_comparison(comparison: IncrementalComparison) -> str:
+    """Plain-text rendering of the incremental-vs-full race."""
+    lines = [
+        "Incremental session vs full recompute (ActiveIter with feature refresh)",
+        f"{'path':<14}{'seconds':>10}  session stats",
+        (
+            f"{'full':<14}{comparison.full_seconds:>10.4f}  "
+            f"{comparison.full_stats.summary()}"
+        ),
+        (
+            f"{'incremental':<14}{comparison.incremental_seconds:>10.4f}  "
+            f"{comparison.incremental_stats.summary()}"
+        ),
+        (
+            f"speedup: {comparison.speedup:.2f}x over {comparison.n_rounds} "
+            f"query rounds; labels identical: {comparison.identical_labels}"
+        ),
+    ]
+    return "\n".join(lines)
 
 
 def fit_linear_trend(points: Sequence[TimingPoint]) -> Tuple[float, float, float]:

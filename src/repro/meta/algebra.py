@@ -23,7 +23,7 @@ reuses its product).
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, FrozenSet, Sequence, Tuple
 
 from scipy import sparse
 
@@ -188,11 +188,22 @@ class CountingEngine:
     def __init__(self, matrices: MatrixBag) -> None:
         self._matrices = dict(matrices)
         self._cache: Dict[str, sparse.csr_matrix] = {}
+        self._deps: Dict[str, FrozenSet[str]] = {}
 
     @property
     def cache_size(self) -> int:
         """Number of memoized sub-expression results."""
         return len(self._cache)
+
+    def dependents(self, name: str) -> Tuple[str, ...]:
+        """Cached expression keys whose value depends on matrix ``name``.
+
+        Dependency is tracked from each expression's leaf set at cache
+        time, so partial invalidation never has to re-parse keys.
+        """
+        return tuple(
+            key for key, leaves in self._deps.items() if name in leaves
+        )
 
     def evaluate(self, expr: Expr) -> sparse.csr_matrix:
         """Evaluate ``expr`` with memoization of all sub-expressions."""
@@ -225,23 +236,35 @@ class CountingEngine:
         else:
             raise MetaStructureError(f"unknown expression type {type(expr).__name__}")
         self._cache[key] = result
+        self._deps[key] = frozenset(expr.leaves())
         return result
 
     def invalidate(self) -> None:
         """Drop all memoized results (call after the anchor matrix changes)."""
         self._cache.clear()
+        self._deps.clear()
 
     def update_matrix(self, name: str, matrix: sparse.csr_matrix) -> None:
         """Replace one named matrix and drop every result depending on it.
 
         Used by models that refresh the anchor matrix ``A`` after label
         queries: attribute-only diagrams (which never touch ``A``) keep
-        their cached counts.
+        their cached counts.  Results cached before dependency tracking
+        existed (none in normal operation) fall back to key parsing.
         """
         self._matrices[name] = matrix
-        stale = [key for key in self._cache if _key_mentions(key, name)]
+        stale = [
+            key
+            for key in self._cache
+            if (
+                name in self._deps[key]
+                if key in self._deps
+                else _key_mentions(key, name)
+            )
+        ]
         for key in stale:
             del self._cache[key]
+            self._deps.pop(key, None)
 
 
 def _key_mentions(key: str, name: str) -> bool:

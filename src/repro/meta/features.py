@@ -4,6 +4,12 @@ For every candidate anchor link ``l = (u_i, u_j)`` in H and every meta
 structure ``Φ_k`` in the configured family, the feature vector holds the
 meta diagram proximity ``s_Φk(u_i, u_j)``, plus a trailing dummy ``1``
 that folds the bias term into the weight vector (as the paper does).
+
+:class:`FeatureExtractor` is retained as a thin compatibility wrapper;
+all cached state now lives in an
+:class:`~repro.engine.session.AlignmentSession`, which the wrapper
+either creates or shares.  New code should use the session directly —
+it adds delta anchor updates and in-place feature refreshing.
 """
 
 from __future__ import annotations
@@ -12,10 +18,8 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.exceptions import FeatureError
 from repro.meta.algebra import CountingEngine
-from repro.meta.context import ANCHOR_MATRIX, build_matrix_bag
-from repro.meta.diagrams import DiagramFamily, standard_diagram_family
+from repro.meta.diagrams import DiagramFamily
 from repro.meta.proximity import ProximityMatrix
 from repro.networks.aligned import AlignedPair
 from repro.types import LinkPair
@@ -37,12 +41,17 @@ class FeatureExtractor:
         Whether to append the dummy ``1`` feature.
     include_words:
         Whether to export word matrices (required if the family uses P7).
+    session:
+        Share an existing :class:`AlignmentSession` instead of building
+        a private one (``pair``/``family``/anchor arguments are then
+        ignored in favor of the session's own state).
 
     Notes
     -----
-    The extractor owns a memoizing :class:`CountingEngine`; when the
-    model learns new anchors mid-training call :meth:`update_anchors`,
-    which refreshes only anchor-dependent cached products.
+    The extractor delegates to a memoizing session; when the model
+    learns new anchors mid-training call :meth:`update_anchors`, which
+    applies sparse delta updates to anchor-dependent counts while
+    attribute-only structures stay cached.
     """
 
     def __init__(
@@ -52,59 +61,57 @@ class FeatureExtractor:
         known_anchors: Optional[Iterable[LinkPair]] = None,
         include_bias: bool = True,
         include_words: bool = False,
+        session=None,
     ) -> None:
-        self.pair = pair
-        self.family = family if family is not None else standard_diagram_family(
-            include_words=include_words
-        )
-        self.include_bias = include_bias
-        needs_words = any("P7" in name for name in self.family.feature_names)
-        bag = build_matrix_bag(
-            pair,
-            known_anchors=known_anchors,
-            include_words=include_words or needs_words,
-        )
-        self._engine = CountingEngine(bag)
-        self._proximities: Optional[List[ProximityMatrix]] = None
+        from repro.engine.session import AlignmentSession
+
+        if session is None:
+            session = AlignmentSession(
+                pair,
+                family=family,
+                known_anchors=known_anchors,
+                include_bias=include_bias,
+                include_words=include_words,
+            )
+        self.session = session
+        self.pair = session.pair
+        self.family = session.family
+        self.include_bias = session.include_bias
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_session(cls, session) -> "FeatureExtractor":
+        """Wrap an existing session without building new state."""
+        return cls(session.pair, session=session)
+
     @property
     def feature_names(self) -> List[str]:
         """Ordered feature names (meta structures, then optional bias)."""
-        names = list(self.family.feature_names)
-        if self.include_bias:
-            names.append("bias")
-        return names
+        return self.session.feature_names
 
     @property
     def n_features(self) -> int:
         """Feature dimensionality d."""
-        return len(self.family.feature_names) + (1 if self.include_bias else 0)
+        return self.session.n_features
 
     @property
     def engine(self) -> CountingEngine:
         """The underlying memoizing counting engine (for diagnostics)."""
-        return self._engine
+        return self.session.engine
 
     # ------------------------------------------------------------------
     def update_anchors(self, known_anchors: Iterable[LinkPair]) -> None:
         """Refresh the anchor matrix ``A`` with a new known-anchor set.
 
-        Invalidates cached products that involve ``A`` and the cached
-        proximity matrices; attribute-only structures stay cached.
+        Anchor-dependent count matrices are delta-updated (or dropped
+        for lazy re-evaluation when the change is large); attribute-only
+        structures stay cached.
         """
-        anchor_matrix = self.pair.anchor_matrix(list(known_anchors))
-        self._engine.update_matrix(ANCHOR_MATRIX, anchor_matrix)
-        self._proximities = None
+        self.session.set_anchors(known_anchors)
 
     def proximity_matrices(self) -> List[ProximityMatrix]:
         """Proximity matrices for every structure in the family (cached)."""
-        if self._proximities is None:
-            self._proximities = [
-                ProximityMatrix(self._engine.evaluate(expr))
-                for expr in self.family.exprs
-            ]
-        return self._proximities
+        return self.session.proximity_matrices()
 
     def extract(self, pairs: Sequence[LinkPair]) -> np.ndarray:
         """Feature matrix ``X`` of shape ``(len(pairs), n_features)``.
@@ -112,20 +119,11 @@ class FeatureExtractor:
         Row order matches ``pairs``; column order matches
         :attr:`feature_names`.
         """
-        if not pairs:
-            return np.zeros((0, self.n_features), dtype=np.float64)
-        left_idx, right_idx = self.pair.pairs_to_indices(pairs)
-        columns = [
-            proximity.scores(left_idx, right_idx)
-            for proximity in self.proximity_matrices()
-        ]
-        if self.include_bias:
-            columns.append(np.ones(len(pairs), dtype=np.float64))
-        return np.column_stack(columns)
+        return self.session.extract(pairs)
 
     def extract_single(self, pair: LinkPair) -> np.ndarray:
         """Feature vector for one candidate link."""
-        return self.extract([pair])[0]
+        return self.session.extract_single(pair)
 
 
 def extract_features(
@@ -134,8 +132,10 @@ def extract_features(
     known_anchors: Optional[Iterable[LinkPair]] = None,
     family: Optional[DiagramFamily] = None,
 ) -> np.ndarray:
-    """One-shot convenience wrapper around :class:`FeatureExtractor`."""
-    if not pairs:
-        raise FeatureError("no candidate pairs supplied")
+    """One-shot convenience wrapper around :class:`FeatureExtractor`.
+
+    An empty ``pairs`` sequence yields an empty ``(0, d)`` matrix, the
+    same contract as :meth:`FeatureExtractor.extract`.
+    """
     extractor = FeatureExtractor(pair, family=family, known_anchors=known_anchors)
     return extractor.extract(pairs)

@@ -12,6 +12,8 @@ users with many instances to *anyone*.  Scores live in ``[0, 1]`` and are
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 from scipy import sparse
 
@@ -37,8 +39,33 @@ class ProximityMatrix:
         if counts.ndim != 2:
             raise FeatureError("count matrix must be two-dimensional")
         self._counts = counts.tocsr()
+        self._counts.sort_indices()
         self._row_sums = np.asarray(counts.sum(axis=1)).ravel()
         self._col_sums = np.asarray(counts.sum(axis=0)).ravel()
+        # Row-major linearized keys of the stored entries.  Scipy's CSR
+        # fancy indexing walks entries one by one in Python; a single
+        # searchsorted over these (sorted) keys serves batch lookups —
+        # the hot path of feature extraction — in vectorized time.
+        n_cols = self._counts.shape[1]
+        row_lengths = np.diff(self._counts.indptr)
+        self._entry_keys = (
+            np.repeat(
+                np.arange(self._counts.shape[0], dtype=np.int64), row_lengths
+            )
+            * n_cols
+            + self._counts.indices
+        )
+
+    def _values_at(
+        self, left_indices: np.ndarray, right_indices: np.ndarray
+    ) -> np.ndarray:
+        """Stored count values at (i, j) positions, zeros where absent."""
+        return csr_values_at(
+            self._counts,
+            left_indices,
+            right_indices,
+            entry_keys=self._entry_keys,
+        )
 
     @property
     def shape(self):
@@ -66,14 +93,9 @@ class ProximityMatrix:
             raise FeatureError("index arrays must have equal shape")
         if left_indices.size == 0:
             return np.zeros(0, dtype=np.float64)
-        counts = np.asarray(
-            self._counts[left_indices, right_indices]
-        ).ravel()
+        counts = self._values_at(left_indices, right_indices)
         denominators = self._row_sums[left_indices] + self._col_sums[right_indices]
-        scores = np.zeros_like(denominators, dtype=np.float64)
-        nonzero = denominators > 0
-        scores[nonzero] = 2.0 * counts[nonzero] / denominators[nonzero]
-        return scores
+        return dice_scores(counts, denominators)
 
     def dense(self) -> np.ndarray:
         """Full dense proximity matrix (small networks / diagnostics only)."""
@@ -87,3 +109,56 @@ class ProximityMatrix:
 def dice_proximity(counts: sparse.csr_matrix) -> ProximityMatrix:
     """Build a :class:`ProximityMatrix` from raw instance counts."""
     return ProximityMatrix(counts)
+
+
+def dice_scores(
+    values: np.ndarray, denominators: np.ndarray
+) -> np.ndarray:
+    """The Dice ratio ``2 v / d`` with the zero-denominator guard.
+
+    Single home of the proximity formula (Definition 6); every scoring
+    path — :meth:`ProximityMatrix.scores` and the incremental session's
+    view scoring — must go through it so they stay bit-identical.
+    """
+    scores = np.zeros_like(denominators, dtype=np.float64)
+    nonzero = denominators > 0
+    scores[nonzero] = 2.0 * values[nonzero] / denominators[nonzero]
+    return scores
+
+
+def csr_values_at(
+    matrix: sparse.csr_matrix,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    query_keys: Optional[np.ndarray] = None,
+    entry_keys: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Batch-read ``matrix[rows[k], cols[k]]`` values, zeros where absent.
+
+    ``query_keys`` may carry precomputed ``rows * n_cols + cols`` keys
+    (the incremental engine caches them per candidate view), and
+    ``entry_keys`` the matrix's precomputed sorted linearized keys
+    (:class:`ProximityMatrix` caches them); both are built on the fly
+    when absent.
+    """
+    matrix = matrix.tocsr()
+    n_cols = matrix.shape[1]
+    if entry_keys is None:
+        matrix.sort_indices()
+        row_lengths = np.diff(matrix.indptr)
+        entry_keys = (
+            np.repeat(np.arange(matrix.shape[0], dtype=np.int64), row_lengths)
+            * n_cols
+            + matrix.indices
+        )
+    if query_keys is None:
+        query_keys = np.asarray(rows, dtype=np.int64) * n_cols + np.asarray(
+            cols, dtype=np.int64
+        )
+    positions = np.searchsorted(entry_keys, query_keys)
+    values = np.zeros(query_keys.size, dtype=np.float64)
+    inside = positions < entry_keys.size
+    hits = inside.copy()
+    hits[inside] = entry_keys[positions[inside]] == query_keys[inside]
+    values[hits] = matrix.data[positions[hits]]
+    return values

@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-import numpy as np
 
 from repro.meta.algebra import CountingEngine
 from repro.meta.context import build_matrix_bag

@@ -11,7 +11,6 @@ from typing import Iterable, Optional
 
 from repro.networks.heterogeneous import HeterogeneousNetwork
 from repro.networks.schema import (
-    CONTAIN,
     FOLLOW,
     LOCATION,
     POST,

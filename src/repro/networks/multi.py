@@ -15,7 +15,7 @@ substrate: a collection of networks with pairwise anchor sets that
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
 
 from repro.exceptions import AlignmentError
 from repro.networks.aligned import AlignedPair

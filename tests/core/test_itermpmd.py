@@ -113,3 +113,55 @@ class TestIterMPMD:
         labels_a = IterMPMD().fit(task_a).labels_
         labels_b = IterMPMD().fit(task_b).labels_
         assert np.array_equal(labels_a, labels_b)
+
+
+class TestAlternatingState:
+    def test_from_task_builds_invariants(self, tiny_synthetic_pair):
+        from repro.core.itermpmd import AlternatingState
+
+        task, _ = _synthetic_task(tiny_synthetic_pair)
+        state = AlternatingState.from_task(
+            task, task.labeled_indices, task.labeled_values
+        )
+        assert len(state.free_pairs) == task.n_candidates - task.labeled_indices.size
+        assert set(state.free_indices) == (
+            set(range(task.n_candidates)) - set(task.labeled_indices.tolist())
+        )
+        for index, value in zip(task.labeled_indices, task.labeled_values):
+            if value == 1:
+                left_user, right_user = task.pairs[index]
+                assert left_user in state.blocked_left
+                assert right_user in state.blocked_right
+
+    def test_clamp_matches_rebuild(self, tiny_synthetic_pair):
+        """Incremental narrowing equals building from the grown clamp set."""
+        from repro.core.itermpmd import AlternatingState
+
+        task, _ = _synthetic_task(tiny_synthetic_pair)
+        state = AlternatingState.from_task(
+            task, task.labeled_indices, task.labeled_values
+        )
+        new_indices = np.array(sorted(set(state.free_indices[:4])), dtype=np.int64)
+        new_values = np.array(
+            [1, 0, 1, 0][: new_indices.size], dtype=np.int64
+        )
+        state.clamp(task, new_indices, new_values)
+
+        grown_indices = np.concatenate([task.labeled_indices, new_indices])
+        grown_values = np.concatenate([task.labeled_values, new_values])
+        rebuilt = AlternatingState.from_task(task, grown_indices, grown_values)
+        assert np.array_equal(state.free_indices, rebuilt.free_indices)
+        assert state.free_pairs == rebuilt.free_pairs
+        assert state.blocked_left == rebuilt.blocked_left
+        assert state.blocked_right == rebuilt.blocked_right
+
+    def test_clamp_empty_is_noop(self, tiny_synthetic_pair):
+        from repro.core.itermpmd import AlternatingState
+
+        task, _ = _synthetic_task(tiny_synthetic_pair)
+        state = AlternatingState.from_task(
+            task, task.labeled_indices, task.labeled_values
+        )
+        free_before = state.free_indices.copy()
+        state.clamp(task, np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        assert np.array_equal(state.free_indices, free_before)

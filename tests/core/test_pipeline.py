@@ -94,3 +94,57 @@ class TestAlignmentPipeline:
         known = [item.pair for item in labeled if item.label == 1]
         anchor_matrix = pipeline.extractor_.pair.anchor_matrix(known)
         assert anchor_matrix.nnz == len(known)
+
+
+class TestPipelineSession:
+    def test_session_reused_across_runs(self, tiny_synthetic_pair):
+        candidates, labeled = _candidates_and_labels(tiny_synthetic_pair)
+        pipeline = AlignmentPipeline(tiny_synthetic_pair)
+        pipeline.run(candidates, labeled)
+        session = pipeline.session_
+        assert session is not None
+        pipeline.run(candidates, labeled)
+        assert pipeline.session_ is session  # same cached engine state
+
+    def test_shared_session_injected(self, tiny_synthetic_pair):
+        from repro.engine import AlignmentSession
+
+        session = AlignmentSession(tiny_synthetic_pair)
+        candidates, labeled = _candidates_and_labels(tiny_synthetic_pair)
+        pipeline = AlignmentPipeline(tiny_synthetic_pair, session=session)
+        pipeline.run(candidates, labeled)
+        assert pipeline.session_ is session
+
+    def test_refresh_with_feature_map_rejected(self, tiny_synthetic_pair):
+        class Identity:
+            def fit(self, X):
+                return self
+
+            def transform(self, X):
+                return X
+
+        candidates, labeled = _candidates_and_labels(tiny_synthetic_pair)
+        pipeline = AlignmentPipeline(tiny_synthetic_pair, feature_map=Identity())
+        with pytest.raises(ModelError, match="feature_map"):
+            pipeline.run_active(
+                candidates, labeled, budget=4, refresh_features=True
+            )
+
+    def test_stream_predict_after_run(self, tiny_synthetic_pair):
+        candidates, labeled = _candidates_and_labels(tiny_synthetic_pair)
+        pipeline = AlignmentPipeline(tiny_synthetic_pair)
+        pipeline.run(candidates, labeled)
+        predicted = pipeline.stream_predict(block_size=50)
+        lefts = [pair_[0] for pair_ in predicted]
+        rights = [pair_[1] for pair_ in predicted]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))
+        known = {item.pair for item in labeled if item.label == 1}
+        assert not set(predicted) & known  # known anchors are blocked
+
+    def test_stream_predict_requires_fit(self, tiny_synthetic_pair):
+        from repro.exceptions import NotFittedError
+
+        pipeline = AlignmentPipeline(tiny_synthetic_pair)
+        with pytest.raises(NotFittedError):
+            pipeline.stream_predict()

@@ -1,0 +1,135 @@
+"""Tests for repro.engine.candidates."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    AlignmentSession,
+    CandidateGenerator,
+    linear_scorer,
+    streamed_selection,
+)
+from repro.exceptions import AlignmentError
+from repro.matching.greedy import greedy_link_selection
+
+
+def _all_pairs(pair):
+    return [(u, v) for u in pair.left_users() for v in pair.right_users()]
+
+
+class TestCandidateGenerator:
+    def test_unpruned_stream_covers_cross_product(self, handmade_pair):
+        generator = CandidateGenerator(handmade_pair, block_size=4)
+        streamed = list(generator.pairs())
+        assert streamed == _all_pairs(handmade_pair)
+        assert generator.count() == len(streamed)
+
+    def test_block_size_respected(self, handmade_pair):
+        generator = CandidateGenerator(handmade_pair, block_size=4)
+        blocks = list(generator.blocks())
+        assert all(len(block) <= 4 for block in blocks)
+        assert sum(len(block) for block in blocks) == 9
+
+    def test_exclude(self, handmade_pair):
+        skip = {("la", "ra"), ("lb", "rb")}
+        generator = CandidateGenerator(handmade_pair, exclude=skip)
+        streamed = set(generator.pairs())
+        assert not streamed & skip
+        assert generator.count() == 9 - len(skip)
+
+    def test_degree_pruning(self, tiny_synthetic_pair):
+        pair = tiny_synthetic_pair
+        loose = CandidateGenerator(pair, max_degree_ratio=100.0).count()
+        tight = CandidateGenerator(pair, max_degree_ratio=1.5).count()
+        assert 0 < tight < loose
+        assert loose <= pair.candidate_space_size()
+
+    def test_degree_ratio_validation(self, handmade_pair):
+        with pytest.raises(AlignmentError):
+            CandidateGenerator(handmade_pair, max_degree_ratio=0.5)
+        with pytest.raises(AlignmentError):
+            CandidateGenerator(handmade_pair, block_size=0)
+
+    def test_support_pruning_matches_nonzero_features(self, handmade_pair):
+        session = AlignmentSession(
+            handmade_pair, known_anchors=handmade_pair.anchors
+        )
+        generator = CandidateGenerator.from_support(session)
+        supported = set(generator.pairs())
+        X = session.extract(_all_pairs(handmade_pair))
+        for pair_, row in zip(_all_pairs(handmade_pair), X):
+            has_signal = np.any(row[:-1] > 0)  # exclude bias
+            if has_signal:
+                assert pair_ in supported
+
+    def test_min_structures_tightens(self, tiny_synthetic_pair):
+        session = AlignmentSession(
+            tiny_synthetic_pair, known_anchors=tiny_synthetic_pair.anchors
+        )
+        loose = CandidateGenerator.from_support(session).count()
+        tight = CandidateGenerator.from_support(
+            session, min_structures=5
+        ).count()
+        assert tight < loose
+
+
+class TestStreamedSelection:
+    def test_matches_materialized_greedy(self, tiny_synthetic_pair):
+        """Streaming must be exact vs one global greedy pass."""
+        pair = tiny_synthetic_pair
+        session = AlignmentSession(pair, known_anchors=pair.anchors)
+        rng = np.random.default_rng(3)
+        weights = rng.normal(scale=0.7, size=session.n_features)
+        generator = CandidateGenerator(pair, block_size=97)
+        scorer = linear_scorer(session, weights)
+
+        selected = streamed_selection(generator, scorer, threshold=0.5)
+        streamed_set = {pair_ for pair_, _ in selected}
+
+        all_pairs = _all_pairs(pair)
+        labels = greedy_link_selection(
+            all_pairs, session.extract(all_pairs) @ weights, threshold=0.5
+        )
+        materialized = {
+            pair_ for pair_, label in zip(all_pairs, labels) if label == 1
+        }
+        assert streamed_set == materialized
+
+    def test_blocked_endpoints(self, handmade_pair):
+        session = AlignmentSession(
+            handmade_pair, known_anchors=handmade_pair.anchors
+        )
+        generator = CandidateGenerator(handmade_pair)
+        selected = streamed_selection(
+            generator,
+            lambda block: np.ones(len(block)),
+            blocked_left={"la"},
+            blocked_right={"rb"},
+        )
+        for pair_, _ in selected:
+            assert pair_[0] != "la" and pair_[1] != "rb"
+
+    def test_empty_when_all_below_threshold(self, handmade_pair):
+        generator = CandidateGenerator(handmade_pair)
+        assert (
+            streamed_selection(generator, lambda block: np.zeros(len(block)))
+            == []
+        )
+
+    def test_linear_scorer_validates_weights(self, handmade_pair):
+        session = AlignmentSession(handmade_pair)
+        with pytest.raises(AlignmentError):
+            linear_scorer(session, np.ones(session.n_features + 1))
+
+    def test_results_one_to_one(self, tiny_synthetic_pair):
+        session = AlignmentSession(
+            tiny_synthetic_pair, known_anchors=tiny_synthetic_pair.anchors
+        )
+        generator = CandidateGenerator.from_support(session)
+        selected = streamed_selection(
+            generator, lambda block: np.full(len(block), 0.9)
+        )
+        lefts = [pair_[0] for pair_, _ in selected]
+        rights = [pair_[1] for pair_, _ in selected]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))

@@ -1,0 +1,143 @@
+"""Tests for repro.engine.incremental."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.engine.incremental import (
+    DeltaEvaluator,
+    apply_delta,
+    leaf_occurrences,
+    supports_delta,
+)
+from repro.exceptions import MetaStructureError
+from repro.meta.algebra import Chain, CountingEngine, Leaf, Parallel
+
+
+def _csr(array) -> sparse.csr_matrix:
+    return sparse.csr_matrix(np.asarray(array, dtype=np.float64))
+
+
+@pytest.fixture()
+def bag():
+    rng = np.random.default_rng(0)
+    m1 = (rng.random((6, 6)) < 0.4).astype(np.float64)
+    m2 = (rng.random((5, 5)) < 0.4).astype(np.float64)
+    anchors = np.zeros((6, 5))
+    anchors[0, 0] = anchors[2, 3] = 1.0
+    return {
+        "M1": _csr(m1),
+        "M2": _csr(m2),
+        "A": _csr(anchors),
+        "S": _csr((rng.random((6, 5)) < 0.5).astype(np.float64)),
+    }
+
+
+@pytest.fixture()
+def delta():
+    change = np.zeros((6, 5))
+    change[4, 1] = change[5, 2] = 1.0
+    return _csr(change)
+
+
+class TestLinearityChecks:
+    def test_leaf_occurrences(self):
+        expr = Chain([Leaf("M1"), Leaf("A"), Leaf("M2")])
+        assert leaf_occurrences(expr, "A") == 1
+        assert leaf_occurrences(expr, "M1") == 1
+        assert leaf_occurrences(expr, "Z") == 0
+
+    def test_supports_delta_single_occurrence(self):
+        assert supports_delta(Chain([Leaf("M1"), Leaf("A"), Leaf("M2")]))
+        assert supports_delta(Leaf("M1"))  # zero occurrences is fine
+
+    def test_rejects_repeated_anchor(self):
+        expr = Parallel(
+            [
+                Chain([Leaf("M1"), Leaf("A"), Leaf("M2")]),
+                Chain([Leaf("M1"), Leaf("A"), Leaf("M2"), Leaf("M2")]),
+            ]
+        )
+        assert leaf_occurrences(expr, "A") == 2
+        assert not supports_delta(expr)
+
+
+class TestDeltaEvaluator:
+    def _check_exact(self, expr, bag, delta):
+        """delta(expr) must equal expr(A + delta) - expr(A) exactly."""
+        engine = CountingEngine(bag)
+        before = engine.evaluate(expr).toarray()
+        change = DeltaEvaluator(engine, "A", delta).evaluate(expr).toarray()
+        grown = dict(bag)
+        grown["A"] = (bag["A"] + delta).tocsr()
+        after = CountingEngine(grown).evaluate(expr).toarray()
+        assert np.array_equal(before + change, after)
+
+    def test_chain_delta(self, bag, delta):
+        self._check_exact(
+            Chain([Leaf("M1"), Leaf("A"), Leaf("M2")]), bag, delta
+        )
+
+    def test_transposed_leaf_delta(self, bag, delta):
+        expr = Chain([Leaf("M2"), Leaf("A", transpose=True), Leaf("M1")])
+        self._check_exact(expr, bag, delta)
+
+    def test_parallel_delta_targets_dynamic_branch(self, bag, delta):
+        expr = Parallel(
+            [Chain([Leaf("M1"), Leaf("A"), Leaf("M2")]), Leaf("S")]
+        )
+        self._check_exact(expr, bag, delta)
+
+    def test_nested_stacking_delta(self, bag, delta):
+        anchored = Chain(
+            [
+                Parallel([Leaf("M1"), Leaf("M1", transpose=True)]),
+                Leaf("A"),
+                Parallel([Leaf("M2"), Leaf("M2", transpose=True)]),
+            ]
+        )
+        self._check_exact(Parallel([anchored, Leaf("S")]), bag, delta)
+
+    def test_negative_delta(self, bag):
+        removal = -bag["A"]
+        expr = Chain([Leaf("M1"), Leaf("A"), Leaf("M2")])
+        engine = CountingEngine(bag)
+        before = engine.evaluate(expr).toarray()
+        change = DeltaEvaluator(engine, "A", removal).evaluate(expr).toarray()
+        assert np.array_equal(before + change, np.zeros_like(before))
+
+    def test_rejects_anchor_free_expr(self, bag, delta):
+        engine = CountingEngine(bag)
+        with pytest.raises(MetaStructureError, match="exactly one"):
+            DeltaEvaluator(engine, "A", delta).evaluate(Leaf("S"))
+
+    def test_rejects_repeated_anchor_expr(self, bag, delta):
+        engine = CountingEngine(bag)
+        expr = Parallel(
+            [
+                Chain([Leaf("M1"), Leaf("A"), Leaf("M2")]),
+                Chain([Leaf("M1"), Leaf("A"), Leaf("M2"), Leaf("M2")]),
+            ]
+        )
+        with pytest.raises(MetaStructureError, match="exactly one"):
+            DeltaEvaluator(engine, "A", delta).evaluate(expr)
+
+
+class TestApplyDelta:
+    def test_adds_onto_base(self):
+        base = _csr([[1, 0], [0, 2]])
+        change = _csr([[0, 3], [0, -1]])
+        result = apply_delta(base, change).toarray()
+        assert np.array_equal(result, [[1, 3], [0, 1]])
+
+    def test_cancelled_entries_are_pruned(self):
+        base = _csr([[1, 0], [0, 2]])
+        change = _csr([[-1, 0], [0, 0]])
+        result = apply_delta(base, change)
+        assert result.nnz == 1
+
+    def test_none_base(self):
+        change = _csr([[0, 3], [0, 0]])
+        assert np.array_equal(
+            apply_delta(None, change).toarray(), change.toarray()
+        )

@@ -1,6 +1,5 @@
 """Tests for repro.eval.experiment."""
 
-import numpy as np
 import pytest
 
 from repro.eval.experiment import (

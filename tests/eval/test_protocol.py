@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.eval.protocol import (
-    ExperimentSplit,
     ProtocolConfig,
     assign_folds,
     build_splits,

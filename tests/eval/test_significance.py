@@ -6,7 +6,6 @@ import pytest
 from repro.eval.experiment import ExperimentOutcome, MethodResult
 from repro.eval.protocol import ProtocolConfig
 from repro.eval.significance import (
-    PairedComparison,
     bootstrap_mean_ci,
     compare_methods,
     comparison_table,

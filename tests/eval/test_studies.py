@@ -1,6 +1,5 @@
 """Tests for repro.eval.convergence, repro.eval.timing, repro.eval.report."""
 
-import numpy as np
 import pytest
 
 from repro.eval.convergence import convergence_study, format_convergence

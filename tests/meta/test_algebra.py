@@ -166,3 +166,21 @@ class TestKeyMentions:
 
     def test_transpose_form_detected(self):
         assert _key_mentions("(B^T@C)", "B")
+
+
+class TestDependencyTracking:
+    def test_dependents_reflect_cached_leaf_sets(self, bag):
+        engine = CountingEngine(bag)
+        engine.evaluate(Chain([Leaf("A"), Leaf("B")]))
+        engine.evaluate(Chain([Leaf("B"), Leaf("C")]))
+        assert "(A@B)" in engine.dependents("A")
+        assert "(B@C)" not in engine.dependents("A")
+        assert set(engine.dependents("B")) >= {"(A@B)", "(B@C)", "B"}
+
+    def test_update_matrix_drops_dependents_only(self, bag):
+        engine = CountingEngine(bag)
+        engine.evaluate(Chain([Leaf("A"), Leaf("B")]))
+        engine.evaluate(Chain([Leaf("B"), Leaf("C")]))
+        engine.update_matrix("A", bag["C"])
+        assert engine.dependents("A") == ()
+        assert "(B@C)" in engine.dependents("B")

@@ -8,7 +8,6 @@ lemmas must hold on binarized supports.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

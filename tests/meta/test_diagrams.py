@@ -6,7 +6,6 @@ import pytest
 from repro.exceptions import MetaStructureError
 from repro.meta.context import build_matrix_bag
 from repro.meta.diagrams import (
-    DiagramFamily,
     stack_attribute_paths,
     stack_follow_pair,
     standard_diagram_family,

@@ -6,7 +6,6 @@ import pytest
 from repro.exceptions import MetaStructureError
 from repro.meta.context import build_matrix_bag
 from repro.meta.discovery import (
-    DiscoveredPath,
     discover_inter_network_paths,
     discover_standard_paths,
     schema_edges,

@@ -1,9 +1,7 @@
 """Tests for repro.meta.features."""
 
 import numpy as np
-import pytest
 
-from repro.exceptions import FeatureError
 from repro.meta.diagrams import standard_diagram_family
 from repro.meta.features import FeatureExtractor, extract_features
 
@@ -114,6 +112,77 @@ class TestFeatureExtractor:
         )
         assert X.shape == (1, 32)
 
-    def test_one_shot_helper_rejects_empty(self, handmade_pair):
-        with pytest.raises(FeatureError):
-            extract_features(handmade_pair, [], known_anchors=[])
+    def test_one_shot_helper_empty_pairs(self, handmade_pair):
+        """Empty input yields an empty (0, d) matrix, like extract()."""
+        X = extract_features(handmade_pair, [], known_anchors=[])
+        assert X.shape == (0, 32)
+
+    def test_wrapper_and_helper_agree_on_empty(self, handmade_pair):
+        extractor = FeatureExtractor(handmade_pair, known_anchors=[])
+        helper = extract_features(handmade_pair, [], known_anchors=[])
+        assert extractor.extract([]).shape == helper.shape
+
+
+class TestUpdateAnchorsIncremental:
+    """update_anchors must match a from-scratch rebuild exactly."""
+
+    def _all_pairs(self, pair):
+        return [
+            (u, v) for u in pair.left_users() for v in pair.right_users()
+        ]
+
+    def test_incremental_matches_scratch_rebuild(self, tiny_synthetic_pair):
+        pair = tiny_synthetic_pair
+        anchors = sorted(pair.anchors, key=repr)
+        initial, grown = anchors[:2], anchors
+        pairs = self._all_pairs(pair)[:200]
+
+        incremental = FeatureExtractor(pair, known_anchors=initial)
+        incremental.extract(pairs)  # populate caches before the update
+        incremental.update_anchors(grown)
+        X_incremental = incremental.extract(pairs)
+
+        scratch = FeatureExtractor(pair, known_anchors=grown)
+        X_scratch = scratch.extract(pairs)
+        assert np.array_equal(X_incremental, X_scratch)
+
+    def test_incremental_shrink_matches_scratch(self, tiny_synthetic_pair):
+        pair = tiny_synthetic_pair
+        anchors = sorted(pair.anchors, key=repr)
+        pairs = self._all_pairs(pair)[:200]
+        extractor = FeatureExtractor(pair, known_anchors=anchors)
+        extractor.extract(pairs)
+        extractor.update_anchors(anchors[:-1])
+        scratch = FeatureExtractor(pair, known_anchors=anchors[:-1])
+        assert np.array_equal(
+            extractor.extract(pairs), scratch.extract(pairs)
+        )
+
+    def test_anchor_dependent_proximities_change(self, handmade_pair):
+        extractor = FeatureExtractor(handmade_pair, known_anchors=[])
+        pairs = self._all_pairs(handmade_pair)
+        before = extractor.extract(pairs)
+        extractor.update_anchors(handmade_pair.anchors)
+        after = extractor.extract(pairs)
+        anchor_columns = [
+            extractor.feature_names.index(name) for name in ("P1", "P1xP2")
+        ]
+        for col in anchor_columns:
+            assert not np.array_equal(before[:, col], after[:, col])
+
+    def test_attribute_structures_keep_cached_identity(self, handmade_pair):
+        """Attribute-only proximity objects must survive anchor updates."""
+        extractor = FeatureExtractor(handmade_pair, known_anchors=[])
+        names = extractor.feature_names
+        before = {
+            name: proximity
+            for name, proximity in zip(names, extractor.proximity_matrices())
+        }
+        extractor.update_anchors(handmade_pair.anchors)
+        after = {
+            name: proximity
+            for name, proximity in zip(names, extractor.proximity_matrices())
+        }
+        for name in ("P5", "P6", "P5xP6"):
+            assert after[name] is before[name]
+        assert after["P1"] is not before["P1"]

@@ -1,6 +1,5 @@
 """Tests for repro.meta.paths: definitions and count semantics."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import MetaStructureError

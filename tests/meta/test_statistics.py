@@ -1,6 +1,5 @@
 """Tests for repro.meta.statistics."""
 
-import numpy as np
 import pytest
 
 from repro.meta.diagrams import standard_diagram_family

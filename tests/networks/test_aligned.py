@@ -1,6 +1,5 @@
 """Tests for repro.networks.aligned."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import AlignmentError

@@ -1,6 +1,5 @@
 """Tests for repro.networks.heterogeneous."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import NetworkError, SchemaError

@@ -1,7 +1,6 @@
 """Tests for repro.synth.generator."""
 
 import numpy as np
-import pytest
 
 from repro.networks.schema import FOLLOW, LOCATION, TIMESTAMP, USER, WRITE
 from repro.synth.config import PlatformConfig, WorldConfig

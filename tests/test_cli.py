@@ -92,3 +92,13 @@ class TestCommands:
         assert main(["--scale", "tiny", "stats"]) == 0
         out = capsys.readouterr().out
         assert "structure" in out and "P5xP6" in out
+
+    def test_engine(self, capsys):
+        code = main(
+            ["--scale", "tiny", "engine", "--budget", "4", "--np-ratio", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Incremental session vs full recompute" in out
+        assert "labels identical: True" in out
+        assert "Candidate streaming" in out

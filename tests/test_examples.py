@@ -37,6 +37,11 @@ class TestQuickExamples:
         assert "random NON-anchor" in out
         assert "memoized" in out
 
+    def test_incremental_session(self):
+        out = _run_example("incremental_session.py")
+        assert "Bit-identical to a from-scratch rebuild: True" in out
+        assert "Streamed prediction" in out
+
 
 class TestHeavyExamplesCompile:
     @pytest.mark.parametrize(

@@ -6,7 +6,6 @@ of the reproduction.  Absolute values differ from the paper because the
 substrate is synthetic; orderings must not.
 """
 
-import numpy as np
 import pytest
 
 from repro.eval.experiment import MethodSpec, run_experiment, standard_methods

@@ -6,7 +6,6 @@ invariants every fit must satisfy regardless of data quality.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
