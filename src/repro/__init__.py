@@ -30,7 +30,11 @@ from repro.core import (
     SVMAligner,
 )
 from repro.datasets import foursquare_twitter_like
-from repro.engine import AlignmentSession, CandidateGenerator
+from repro.engine import (
+    AlignmentSession,
+    CandidateGenerator,
+    StreamedAlignmentTask,
+)
 from repro.meta import FeatureExtractor, standard_diagram_family
 from repro.networks import AlignedPair, HeterogeneousNetwork, SocialNetworkBuilder
 from repro.synth import WorldConfig, generate_aligned_pair
@@ -46,6 +50,7 @@ __all__ = [
     "AlignmentSession",
     "AlignmentTask",
     "CandidateGenerator",
+    "StreamedAlignmentTask",
     "FeatureExtractor",
     "HeterogeneousNetwork",
     "IterMPMD",

@@ -7,6 +7,8 @@ from repro.active.strategies import (
     MarginQueryStrategy,
     QueryStrategy,
     RandomQueryStrategy,
+    ScoredBlock,
+    StreamedQueryStrategy,
 )
 
 __all__ = [
@@ -16,4 +18,6 @@ __all__ = [
     "MarginQueryStrategy",
     "QueryStrategy",
     "RandomQueryStrategy",
+    "ScoredBlock",
+    "StreamedQueryStrategy",
 ]

@@ -24,13 +24,31 @@ for ablations).
 
 from __future__ import annotations
 
-from typing import List, Protocol, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Protocol, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import ReproError
 from repro.matching.constraints import conflicting_indices
-from repro.types import LinkPair
+from repro.types import LinkPair, NodeId
+
+
+@dataclass(frozen=True)
+class ScoredBlock:
+    """One block of the candidate space as a query strategy sees it.
+
+    The streamed selection API (:meth:`QueryStrategy.select_streamed`)
+    consumes a stream of these instead of materialized whole-of-H
+    arrays; ``offset`` is the block's starting position in the global
+    candidate order, so returned picks are global indices.
+    """
+
+    pairs: Sequence[LinkPair]
+    scores: np.ndarray
+    labels: np.ndarray
+    queryable: np.ndarray
+    offset: int = 0
 
 
 class QueryStrategy(Protocol):
@@ -60,6 +78,23 @@ class QueryStrategy(Protocol):
         batch_size:
             Maximum number of picks this round.
         """
+        ...
+
+
+class StreamedQueryStrategy(QueryStrategy, Protocol):
+    """A query strategy that can also consume blockwise candidates.
+
+    ``select_streamed`` must pick *exactly* the same indices as
+    ``select`` would on the concatenation of the blocks — the streamed
+    active fit asserts on that equivalence.  The built-in conflict,
+    margin and random strategies all implement it with exact top-k
+    merges across blocks.
+    """
+
+    def select_streamed(
+        self, blocks: Iterable[ScoredBlock], batch_size: int
+    ) -> List[int]:
+        """Pick up to ``batch_size`` global indices from a block stream."""
         ...
 
 
@@ -143,6 +178,76 @@ class ConflictFalseNegativeStrategy:
             picks.extend(fallback_order[: batch_size - len(picks)])
         return picks
 
+    def select_streamed(
+        self, blocks: Iterable[ScoredBlock], batch_size: int
+    ) -> List[int]:
+        """Blockwise :meth:`select` — identical picks, one pass over H.
+
+        The one-to-one structure makes the conflict rule streamable:
+        a negative candidate conflicts only with positives sharing its
+        left or right user, so two per-user score maps accumulated
+        during the pass carry everything the ranking needs.  Buffered
+        per-candidate state is three scalars per *queryable negative* —
+        never a feature matrix.
+        """
+        positive_left: Dict[NodeId, List[float]] = {}
+        positive_right: Dict[NodeId, List[float]] = {}
+        negatives: List[Tuple[int, LinkPair, float]] = []
+        for block in blocks:
+            _validate_inputs(
+                block.pairs, block.scores, block.labels, block.queryable
+            )
+            scores = np.asarray(block.scores, dtype=np.float64).ravel()
+            labels = np.asarray(block.labels).ravel()
+            queryable = np.asarray(block.queryable, dtype=bool).ravel()
+            for position in np.flatnonzero(labels == 1):
+                left_user, right_user = block.pairs[position]
+                positive_left.setdefault(left_user, []).append(
+                    scores[position]
+                )
+                positive_right.setdefault(right_user, []).append(
+                    scores[position]
+                )
+            for position in np.flatnonzero(queryable & (labels == 0)):
+                negatives.append(
+                    (
+                        block.offset + int(position),
+                        block.pairs[position],
+                        scores[position],
+                    )
+                )
+
+        ranked: List[tuple] = []
+        for index, (left_user, right_user), score in negatives:
+            near_miss = False
+            best_dominance = -np.inf
+            conflicting = positive_left.get(left_user, [])
+            conflicting = conflicting + positive_right.get(right_user, [])
+            for other_score in conflicting:
+                if abs(other_score - score) <= self.closeness_threshold:
+                    near_miss = True
+                dominance = score - other_score
+                if dominance > 0 and dominance > best_dominance:
+                    best_dominance = dominance
+            if near_miss and best_dominance > 0:
+                ranked.append((best_dominance, index))
+        ranked.sort(key=lambda item: (-item[0], item[1]))
+        picks = [index for _, index in ranked[:batch_size]]
+
+        if len(picks) < batch_size and self.allow_fallback:
+            chosen = set(picks)
+            fallback_order = sorted(
+                (
+                    (-score, index)
+                    for index, _, score in negatives
+                    if index not in chosen
+                ),
+            )
+            picks.extend(
+                index for _, index in fallback_order[: batch_size - len(picks)]
+            )
+        return picks
+
 
 class RandomQueryStrategy:
     """Uniform random query selection (the ActiveIter-Rand baseline)."""
@@ -162,6 +267,26 @@ class RandomQueryStrategy:
         pool = np.flatnonzero(np.asarray(queryable, dtype=bool).ravel())
         if pool.size == 0:
             return []
+        size = min(batch_size, pool.size)
+        return [int(i) for i in self._rng.choice(pool, size=size, replace=False)]
+
+    def select_streamed(
+        self, blocks: Iterable[ScoredBlock], batch_size: int
+    ) -> List[int]:
+        """Blockwise :meth:`select` — same RNG draws, identical picks."""
+        pools: List[np.ndarray] = []
+        for block in blocks:
+            _validate_inputs(
+                block.pairs, block.scores, block.labels, block.queryable
+            )
+            pool = np.flatnonzero(
+                np.asarray(block.queryable, dtype=bool).ravel()
+            )
+            if pool.size:
+                pools.append(pool + block.offset)
+        if not pools:
+            return []
+        pool = np.concatenate(pools)
         size = min(batch_size, pool.size)
         return [int(i) for i in self._rng.choice(pool, size=size, replace=False)]
 
@@ -191,3 +316,33 @@ class MarginQueryStrategy:
             pool, key=lambda index: (abs(scores[index] - self.boundary), index)
         )
         return [int(index) for index in ranked[:batch_size]]
+
+    def select_streamed(
+        self, blocks: Iterable[ScoredBlock], batch_size: int
+    ) -> List[int]:
+        """Blockwise :meth:`select` via an exact running top-k merge.
+
+        Any global top-``k`` element is inside its own block's top-``k``
+        (margins are per-candidate), so merging each block's best ``k``
+        into a running best-``k`` list reproduces the global ranking —
+        ties broken by global index, exactly like :meth:`select`.
+        """
+        if batch_size < 1:
+            return []
+        best: List[Tuple[float, int]] = []
+        for block in blocks:
+            _validate_inputs(
+                block.pairs, block.scores, block.labels, block.queryable
+            )
+            scores = np.asarray(block.scores, dtype=np.float64).ravel()
+            pool = np.flatnonzero(
+                np.asarray(block.queryable, dtype=bool).ravel()
+            )
+            if not pool.size:
+                continue
+            block_ranked = sorted(
+                (abs(scores[index] - self.boundary), block.offset + int(index))
+                for index in pool
+            )
+            best = sorted(best + block_ranked[:batch_size])[:batch_size]
+        return [index for _, index in best]

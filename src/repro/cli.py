@@ -13,6 +13,7 @@ Usage::
     python -m repro.cli validate  [--scale small]    # data integrity report
     python -m repro.cli stats     [--scale small]    # per-structure stats
     python -m repro.cli engine    [--scale small] [--budget 30] [--batch 2]
+                                  [--workers 4] [--streamed]
 
 Every command prints a plain-text analog of the corresponding paper
 artifact.  Defaults are sized for minutes-scale runs; raise ``--scale``
@@ -221,11 +222,15 @@ def cmd_stats(args: argparse.Namespace) -> str:
 
 
 def cmd_engine(args: argparse.Namespace) -> str:
-    """Incremental engine diagnostics: delta updates vs full recompute."""
+    """Engine diagnostics: delta updates, parallel layer, streamed fits."""
     from repro.engine import AlignmentSession, CandidateGenerator
     from repro.eval.timing import (
         compare_incremental_paths,
+        compare_parallel_paths,
+        compare_streamed_fit,
         format_incremental_comparison,
+        format_parallel_comparison,
+        format_streamed_fit,
     )
 
     pair = foursquare_twitter_like(scale=args.scale, seed=args.seed)
@@ -236,7 +241,9 @@ def cmd_engine(args: argparse.Namespace) -> str:
         batch_size=args.batch,
         seed=args.seed,
     )
-    session = AlignmentSession(pair, known_anchors=pair.anchors)
+    session = AlignmentSession(
+        pair, known_anchors=pair.anchors, workers=args.workers
+    )
     generator = CandidateGenerator.from_support(session)
     pruned = generator.count()
     full_space = pair.candidate_space_size()
@@ -248,7 +255,25 @@ def cmd_engine(args: argparse.Namespace) -> str:
             f"  |U1|x|U2| = {full_space}  ->  {pruned} supported pairs "
             f"({pruned / max(1, full_space):.1%} of the cross product)"
         ),
+        f"  session stats: workers={session.workers} {session.stats.summary()}",
     ]
+    if args.workers > 1:
+        parallel = compare_parallel_paths(
+            pair,
+            workers=args.workers,
+            np_ratio=args.np_ratio,
+            seed=args.seed,
+        )
+        lines.extend(["", format_parallel_comparison(parallel)])
+    if args.streamed:
+        streamed = compare_streamed_fit(
+            pair,
+            np_ratio=args.np_ratio,
+            budget=args.budget,
+            batch_size=args.batch,
+            seed=args.seed,
+        )
+        lines.extend(["", format_streamed_fit(streamed)])
     return "\n".join(lines)
 
 
@@ -311,6 +336,17 @@ def build_parser() -> argparse.ArgumentParser:
     engine.add_argument("--np-ratio", type=int, default=5)
     engine.add_argument("--budget", type=int, default=30)
     engine.add_argument("--batch", type=int, default=2)
+    engine.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="executor threads; > 1 adds a threaded-vs-serial race",
+    )
+    engine.add_argument(
+        "--streamed",
+        action="store_true",
+        help="also race the streamed active fit against the materialized task",
+    )
 
     return parser
 

@@ -29,6 +29,7 @@ from repro.active.oracle import LabelOracle
 from repro.active.strategies import ConflictFalseNegativeStrategy, QueryStrategy
 from repro.core.base import AlignmentResult, AlignmentTask
 from repro.core.itermpmd import AlternatingState, IterMPMD
+from repro.engine.streaming import StreamedAlignmentTask
 from repro.exceptions import ModelError
 from repro.meta.features import FeatureExtractor
 from repro.types import LinkPair
@@ -106,7 +107,13 @@ class ActiveIter(IterMPMD):
 
     # ------------------------------------------------------------------
     def fit(self, task: AlignmentTask) -> "ActiveIter":
-        """Fit with active label queries until the budget is spent."""
+        """Fit with active label queries until the budget is spent.
+
+        A :class:`~repro.engine.streaming.StreamedAlignmentTask` is
+        dispatched to :meth:`fit_streamed`.
+        """
+        if isinstance(task, StreamedAlignmentTask):
+            return self.fit_streamed(task)
         self.task_ = task
 
         clamped_indices = task.labeled_indices.copy()
@@ -168,6 +175,94 @@ class ActiveIter(IterMPMD):
                 else:
                     # Full-recompute semantics (the pre-engine behavior).
                     task.X = self.session.extract(task.pairs)
+
+        self.weights_ = w
+        self.result_ = AlignmentResult(
+            labels=y.astype(np.int64),
+            scores=scores,
+            queried=tuple(queried),
+            convergence_trace=tuple(trace),
+            n_rounds=n_rounds,
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    def fit_streamed(self, task: StreamedAlignmentTask) -> "ActiveIter":
+        """Active fit over streamed candidate blocks — no |H| x d matrix.
+
+        Mirrors :meth:`fit` round for round: the alternating engine
+        works from block-accumulated Gram systems
+        (:meth:`~repro.core.itermpmd.IterMPMD._alternate_streamed`), and
+        the query strategy consumes
+        :class:`~repro.active.strategies.ScoredBlock` slices via
+        ``select_streamed`` when it offers one (falling back to the
+        materialized ``select`` signature otherwise — scores and labels
+        are per-candidate vectors either way).  With
+        ``refresh_features=True`` queried positives are folded into the
+        task's session as sparse delta anchor updates; the next block
+        pass re-extracts against the refreshed anchor set, so there is
+        no feature matrix to rewrite.
+        """
+        if self.session is not None and self.session is not task.session:
+            raise ModelError(
+                "the model's session must be the streamed task's session"
+            )
+        self.task_ = task
+
+        clamped_indices = task.labeled_indices.copy()
+        clamped_values = task.labeled_values.copy()
+        queried: List[Tuple[LinkPair, int]] = []
+        trace: List[float] = []
+
+        y = self._initial_labels(task, clamped_indices, clamped_values)
+        state = AlternatingState.from_task(task, clamped_indices, clamped_values)
+        n_rounds = 0
+        while True:
+            n_rounds += 1
+            y, w, scores, round_trace = self._alternate_streamed(
+                task, clamped_indices, clamped_values, y, state=state
+            )
+            trace.extend(round_trace)
+            if self.oracle.remaining <= 0:
+                break
+
+            queryable = np.ones(task.n_candidates, dtype=bool)
+            queryable[clamped_indices] = False
+            batch = min(self.batch_size, self.oracle.remaining)
+            if hasattr(self.strategy, "select_streamed"):
+                picks = self.strategy.select_streamed(
+                    task.scored_blocks(scores, y.astype(np.int64), queryable),
+                    batch,
+                )
+            else:
+                picks = self.strategy.select(
+                    task.pairs, scores, y.astype(np.int64), queryable, batch
+                )
+            if not picks:
+                break
+            answers = self.oracle.query_batch([task.pairs[i] for i in picks])
+            if not answers:
+                break
+            queried.extend(answers)
+
+            answered_indices = np.array(
+                [task.index_of(pair) for pair, _ in answers], dtype=np.int64
+            )
+            answered_values = np.array(
+                [label for _, label in answers], dtype=np.int64
+            )
+            clamped_indices = np.concatenate([clamped_indices, answered_indices])
+            clamped_values = np.concatenate([clamped_values, answered_values])
+            y[answered_indices] = answered_values
+            state.clamp(task, answered_indices, answered_values)
+
+            if self.refresh_features and any(label == 1 for _, label in answers):
+                known_positive_pairs = [
+                    task.pairs[i]
+                    for i, value in zip(clamped_indices, clamped_values)
+                    if value == 1
+                ]
+                task.session.set_anchors(known_positive_pairs)
 
         self.weights_ = w
         self.result_ = AlignmentResult(

@@ -18,14 +18,15 @@ the convergence trace used by Figure 3.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from typing import Callable, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.core.base import AlignmentModel, AlignmentResult, AlignmentTask
+from repro.engine.streaming import StreamedAlignmentTask
 from repro.exceptions import ModelError
 from repro.matching.greedy import greedy_link_selection
-from repro.ml.ridge import RidgeSolver
+from repro.ml.ridge import GramRidgeSolver, RidgeSolver
 from repro.types import LinkPair, NodeId
 
 
@@ -134,6 +135,25 @@ class IterMPMD(AlignmentModel):
         self.positive_weight = positive_weight
         self.weights_: Optional[np.ndarray] = None
 
+    def _sample_weight(
+        self,
+        n_candidates: int,
+        clamped_indices: np.ndarray,
+        clamped_values: np.ndarray,
+    ) -> Optional[np.ndarray]:
+        """Per-sample ridge weights, or ``None`` for the unweighted case."""
+        positives = clamped_indices[clamped_values == 1]
+        if self.positive_weight == "balanced":
+            n_other = n_candidates - positives.size
+            weight = n_other / positives.size if positives.size else 1.0
+        else:
+            weight = float(self.positive_weight)
+        if weight == 1.0:
+            return None
+        sample_weight = np.ones(n_candidates, dtype=np.float64)
+        sample_weight[positives] = weight
+        return sample_weight
+
     def _make_solver(
         self,
         task: AlignmentTask,
@@ -141,16 +161,11 @@ class IterMPMD(AlignmentModel):
         clamped_values: np.ndarray,
     ) -> RidgeSolver:
         """Build the ridge solver with positives up-weighted."""
-        positives = clamped_indices[clamped_values == 1]
-        if self.positive_weight == "balanced":
-            n_other = task.n_candidates - positives.size
-            weight = n_other / positives.size if positives.size else 1.0
-        else:
-            weight = float(self.positive_weight)
-        if weight == 1.0:
+        sample_weight = self._sample_weight(
+            task.n_candidates, clamped_indices, clamped_values
+        )
+        if sample_weight is None:
             return RidgeSolver(task.X, c=self.c)
-        sample_weight = np.ones(task.n_candidates, dtype=np.float64)
-        sample_weight[positives] = weight
         return RidgeSolver(task.X, c=self.c, sample_weight=sample_weight)
 
     # ------------------------------------------------------------------
@@ -175,12 +190,34 @@ class IterMPMD(AlignmentModel):
             state = AlternatingState.from_task(
                 task, clamped_indices, clamped_values
             )
+        return self._alternation_loop(
+            state,
+            y,
+            solve=solver.solve,
+            score=lambda w: task.X @ w,
+        )
+
+    def _alternation_loop(
+        self,
+        state: AlternatingState,
+        y: np.ndarray,
+        solve: Callable[[np.ndarray], np.ndarray],
+        score: Callable[[np.ndarray], np.ndarray],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[float]]:
+        """The (1-1)/(1-2) loop, parameterized over solve/score backends.
+
+        The materialized path passes the prefactorized
+        :class:`~repro.ml.ridge.RidgeSolver` and a dense ``X @ w``; the
+        streamed path passes Gram-solver closures that re-extract
+        feature blocks per pass.  The loop itself — and therefore every
+        label decision — is identical.
+        """
         free_indices = state.free_indices
         free_pairs = state.free_pairs
 
         trace: List[float] = []
-        w = solver.solve(y)
-        scores = task.X @ w
+        w = solve(y)
+        scores = score(w)
         for _ in range(self.max_iterations):
             free_labels = greedy_link_selection(
                 free_pairs,
@@ -194,11 +231,43 @@ class IterMPMD(AlignmentModel):
             delta = float(np.abs(new_y - y).sum())
             trace.append(delta)
             y = new_y
-            w = solver.solve(y)
-            scores = task.X @ w
+            w = solve(y)
+            scores = score(w)
             if delta <= self.tol:
                 break
         return y, w, scores, trace
+
+    def _alternate_streamed(
+        self,
+        task: StreamedAlignmentTask,
+        clamped_indices: np.ndarray,
+        clamped_values: np.ndarray,
+        y: np.ndarray,
+        state: Optional[AlternatingState] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[float]]:
+        """Run the alternating loop over streamed feature blocks.
+
+        The ridge step works from the block-accumulated Gram matrix
+        ``XᵀΩX`` (factorized once per call) and a block-accumulated
+        right-hand side ``XᵀΩy`` per solve; scoring streams ``Xw``
+        block by block.  No |H| x d matrix is ever allocated.
+        """
+        if state is None:
+            state = AlternatingState.from_task(
+                task, clamped_indices, clamped_values
+            )
+        sample_weight = self._sample_weight(
+            task.n_candidates, clamped_indices, clamped_values
+        )
+        solver = GramRidgeSolver(task.gram(sample_weight), c=self.c)
+
+        def solve(labels: np.ndarray) -> np.ndarray:
+            target = (
+                labels if sample_weight is None else labels * sample_weight
+            )
+            return solver.solve_rhs(task.xt_dot(target))
+
+        return self._alternation_loop(state, y, solve=solve, score=task.scores)
 
     def _initial_labels(
         self,
@@ -213,12 +282,35 @@ class IterMPMD(AlignmentModel):
 
     # ------------------------------------------------------------------
     def fit(self, task: AlignmentTask) -> "IterMPMD":
-        """Fit on a task using only its known labels (PU setting)."""
+        """Fit on a task using only its known labels (PU setting).
+
+        A :class:`~repro.engine.streaming.StreamedAlignmentTask` is
+        dispatched to :meth:`fit_streamed`.
+        """
+        if isinstance(task, StreamedAlignmentTask):
+            return self.fit_streamed(task)
         self.task_ = task
         solver = self._make_solver(task, task.labeled_indices, task.labeled_values)
         y = self._initial_labels(task, task.labeled_indices, task.labeled_values)
         y, w, scores, trace = self._alternate(
             task, solver, y, task.labeled_indices, task.labeled_values
+        )
+        self.weights_ = w
+        self.result_ = AlignmentResult(
+            labels=y.astype(np.int64),
+            scores=scores,
+            queried=(),
+            convergence_trace=tuple(trace),
+            n_rounds=1,
+        )
+        return self
+
+    def fit_streamed(self, task: StreamedAlignmentTask) -> "IterMPMD":
+        """Fit on a streamed task — same labels, no |H| x d matrix."""
+        self.task_ = task
+        y = self._initial_labels(task, task.labeled_indices, task.labeled_values)
+        y, w, scores, trace = self._alternate_streamed(
+            task, task.labeled_indices, task.labeled_values, y
         )
         self.weights_ = w
         self.result_ = AlignmentResult(

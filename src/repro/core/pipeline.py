@@ -36,7 +36,9 @@ from repro.engine.candidates import (
     linear_scorer,
     streamed_selection,
 )
+from repro.engine.parallel import WorkersSpec
 from repro.engine.session import AlignmentSession
+from repro.engine.streaming import StreamedAlignmentTask, blockify
 from repro.exceptions import ModelError, NotFittedError
 from repro.meta.diagrams import DiagramFamily
 from repro.meta.features import FeatureExtractor
@@ -64,6 +66,11 @@ class AlignmentPipeline:
         Share an existing :class:`AlignmentSession` (e.g. with another
         pipeline or a candidate generator).  Defaults to a private one,
         created lazily on the first task build.
+    workers:
+        Execution-layer knob forwarded to the session: ``None``/``1``
+        for serial, >= 2 for a thread pool, or a shared
+        :class:`~repro.engine.parallel.Executor`.  Ignored when an
+        existing ``session`` is supplied.
     """
 
     def __init__(
@@ -73,11 +80,13 @@ class AlignmentPipeline:
         include_words: bool = False,
         feature_map=None,
         session: Optional[AlignmentSession] = None,
+        workers: WorkersSpec = None,
     ) -> None:
         self.pair = pair
         self.family = family
         self.include_words = include_words
         self.feature_map = feature_map
+        self.workers = workers
         self.session_: Optional[AlignmentSession] = session
         self.extractor_: Optional[FeatureExtractor] = None
         self.model_: Optional[AlignmentModel] = None
@@ -96,6 +105,7 @@ class AlignmentPipeline:
                 family=self.family,
                 known_anchors=known_anchors,
                 include_words=self.include_words,
+                workers=self.workers,
             )
         else:
             self.session_.set_anchors(known_anchors)
@@ -143,6 +153,49 @@ class AlignmentPipeline:
         )
         return self.task_
 
+    def build_streamed_task(
+        self,
+        candidates: Sequence[LinkPair],
+        labeled: Sequence[Labeled],
+        block_size: int = 4096,
+    ) -> StreamedAlignmentTask:
+        """Assemble a :class:`StreamedAlignmentTask` — no |H| x d matrix.
+
+        The candidate list is chopped into ``block_size`` blocks;
+        features are extracted per block, per pass, from the pipeline's
+        session.  Labeling rules match :meth:`build_task` exactly.
+        """
+        if not candidates:
+            raise ModelError("no candidate links supplied")
+        if self.feature_map is not None:
+            raise ModelError(
+                "streamed tasks support the linear kernel only "
+                "(feature_map transforms need the materialized matrix)"
+            )
+        candidates = list(candidates)
+        candidate_index = {pair: i for i, pair in enumerate(candidates)}
+        labeled_indices: List[int] = []
+        labeled_values: List[int] = []
+        for item in labeled:
+            try:
+                labeled_indices.append(candidate_index[item.pair])
+            except KeyError:
+                raise ModelError(
+                    f"labeled link {item.pair!r} is not in the candidate list"
+                ) from None
+            labeled_values.append(item.label)
+        known_anchors = [item.pair for item in labeled if item.label == 1]
+        session = self._session_for(known_anchors)
+        self.extractor_ = FeatureExtractor.from_session(session)
+        task = StreamedAlignmentTask(
+            session,
+            blockify(candidates, block_size),
+            np.asarray(labeled_indices, dtype=np.int64),
+            np.asarray(labeled_values, dtype=np.int64),
+        )
+        self.task_ = task
+        return task
+
     # ------------------------------------------------------------------
     def run(
         self,
@@ -167,6 +220,8 @@ class AlignmentPipeline:
         strategy: Optional[QueryStrategy] = None,
         batch_size: int = 5,
         refresh_features: bool = False,
+        streamed: bool = False,
+        block_size: int = 4096,
     ) -> List[LinkPair]:
         """Fit ActiveIter with an oracle built from the pair's ground truth.
 
@@ -175,19 +230,29 @@ class AlignmentPipeline:
         real deployments construct :class:`ActiveIter` directly with a
         custom oracle.  With ``refresh_features=True`` queried positives
         flow back into the session as sparse delta anchor updates.
+
+        With ``streamed=True`` the fit runs over candidate blocks of
+        ``block_size`` instead of a materialized feature matrix (see
+        :meth:`build_streamed_task`); query strategies consume scored
+        blocks and select the same query sets as the materialized path.
         """
         if refresh_features and self.feature_map is not None:
             raise ModelError(
                 "refresh_features is incompatible with a feature_map: "
                 "refreshed proximity columns cannot be re-transformed in place"
             )
-        task = self.build_task(candidates, labeled)
+        if streamed:
+            task = self.build_streamed_task(
+                candidates, labeled, block_size=block_size
+            )
+        else:
+            task = self.build_task(candidates, labeled)
         oracle = LabelOracle(self.pair.anchors, budget=budget)
         self.model_ = ActiveIter(
             oracle=oracle,
             strategy=strategy,
             batch_size=batch_size,
-            session=self.session_ if refresh_features else None,
+            session=self.session_ if (refresh_features or streamed) else None,
             refresh_features=refresh_features,
         )
         self.model_.fit(task)
@@ -261,5 +326,6 @@ class AlignmentPipeline:
             threshold=threshold,
             blocked_left={left for left, _ in known},
             blocked_right={right for _, right in known},
+            workers=self.session_.executor,
         )
         return [pair for pair, _ in selected]

@@ -5,7 +5,11 @@ the models.  An :class:`~repro.engine.session.AlignmentSession` owns all
 per-pair cached state (count matrices, proximities, the known anchor
 set) and updates it incrementally as the active loop buys labels;
 :mod:`repro.engine.candidates` streams the candidate space in pruned
-blocks instead of materializing the |U1| x |U2| cross product.
+blocks instead of materializing the |U1| x |U2| cross product;
+:mod:`repro.engine.streaming` carries whole fit problems in block form
+(no |H| x d feature matrix); and :mod:`repro.engine.parallel` provides
+the executor abstraction that fans per-structure and per-block work out
+across threads with byte-identical results.
 """
 
 from repro.engine.candidates import (
@@ -19,14 +23,27 @@ from repro.engine.incremental import (
     leaf_occurrences,
     supports_delta,
 )
+from repro.engine.parallel import (
+    Executor,
+    SerialExecutor,
+    ThreadedExecutor,
+    get_executor,
+)
 from repro.engine.session import AlignmentSession, SessionStats
+from repro.engine.streaming import StreamedAlignmentTask, blockify
 
 __all__ = [
     "AlignmentSession",
     "CandidateGenerator",
     "DeltaEvaluator",
+    "Executor",
+    "SerialExecutor",
     "SessionStats",
+    "StreamedAlignmentTask",
+    "ThreadedExecutor",
     "apply_delta",
+    "blockify",
+    "get_executor",
     "leaf_occurrences",
     "linear_scorer",
     "streamed_selection",

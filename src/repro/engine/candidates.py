@@ -31,6 +31,7 @@ from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Set, 
 import numpy as np
 from scipy import sparse
 
+from repro.engine.parallel import WorkersSpec, get_executor
 from repro.exceptions import AlignmentError
 from repro.matching.greedy import greedy_link_selection
 from repro.networks.aligned import AlignedPair
@@ -85,10 +86,17 @@ class CandidateGenerator:
         self.pair = pair
         self.block_size = int(block_size)
         self.max_degree_ratio = max_degree_ratio
-        self._allowed = allowed.tocsr() if allowed is not None else None
         self._exclude: Set[LinkPair] = set(exclude)
         self._left_users = pair.left_users()
         self._right_users = pair.right_users()
+        self._allowed = allowed.tocsr() if allowed is not None else None
+        if self._allowed is not None:
+            expected = (len(self._left_users), len(self._right_users))
+            if self._allowed.shape != expected:
+                raise AlignmentError(
+                    f"allowed mask shape {self._allowed.shape} does not "
+                    f"match the candidate space {expected}"
+                )
         if max_degree_ratio is not None:
             self._left_degrees = _follow_degrees(pair.left)
             self._right_degrees = _follow_degrees(pair.right)
@@ -119,7 +127,14 @@ class CandidateGenerator:
             indicator = counts.tocsr().copy()
             indicator.data = np.ones_like(indicator.data)
             support = indicator if support is None else (support + indicator)
-        if support is not None and min_structures > 1:
+        if support is None:
+            # A family with no structures supports no pair at all:
+            # stream a clean empty candidate space instead of silently
+            # un-pruning to the full cross product.
+            support = sparse.csr_matrix(
+                (len(session.pair.left_users()), len(session.pair.right_users()))
+            )
+        if min_structures > 1:
             support.data = np.where(support.data >= min_structures, 1.0, 0.0)
             support.eliminate_zeros()
         return cls(
@@ -203,6 +218,7 @@ def streamed_selection(
     threshold: float = 0.5,
     blocked_left: Optional[Iterable[NodeId]] = None,
     blocked_right: Optional[Iterable[NodeId]] = None,
+    workers: WorkersSpec = None,
 ) -> List[Tuple[LinkPair, float]]:
     """Greedy one-to-one selection over a streamed candidate space.
 
@@ -210,11 +226,28 @@ def streamed_selection(
     selector can never pick the rest), and runs one exact global greedy
     pass over the survivors.  Returns the selected links with their
     scores, ordered by decreasing score.
+
+    With ``workers`` (an integer or a shared
+    :class:`~repro.engine.parallel.Executor`) blocks are scored across
+    a thread pool; survivors are still merged in stream order, so the
+    selection is byte-identical to a serial sweep.  An empty candidate
+    space yields an empty selection, never an error.
     """
+    executor = get_executor(workers)
+
+    def score_block(
+        block: CandidateBlock,
+    ) -> Tuple[CandidateBlock, np.ndarray]:
+        return block, np.asarray(score_fn(block), dtype=np.float64).ravel()
+
     survivor_pairs: List[LinkPair] = []
     survivor_scores: List[np.ndarray] = []
-    for block in generator.blocks():
-        scores = np.asarray(score_fn(block), dtype=np.float64).ravel()
+    for block, scores in executor.imap(score_block, generator.blocks()):
+        if scores.shape[0] != len(block):
+            raise AlignmentError(
+                f"score function returned {scores.shape[0]} scores "
+                f"for a block of {len(block)} candidates"
+            )
         keep = scores > threshold
         if keep.any():
             survivor_pairs.extend(

@@ -28,6 +28,7 @@ products/Hadamards/sums of integers below 2**53 are exact in float64.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
@@ -35,6 +36,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.engine.incremental import DeltaEvaluator, apply_delta, supports_delta
+from repro.engine.parallel import Executor, WorkersSpec, get_executor
 from repro.exceptions import FeatureError
 from repro.meta.algebra import CountingEngine, Expr
 from repro.meta.context import ANCHOR_MATRIX, build_matrix_bag
@@ -100,6 +102,12 @@ class _Structure:
     col_sums: Optional[np.ndarray] = None
     proximity: Optional[ProximityMatrix] = field(default=None, repr=False)
     pending: List[sparse.csr_matrix] = field(default_factory=list, repr=False)
+    # Guards lazy count evaluation/folding when extraction fans out
+    # across threads; each structure is independent, so contention is
+    # only ever two scorers racing to materialize the same counts.
+    lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
 
 @dataclass
@@ -173,6 +181,20 @@ class AlignmentSession:
         When ``False`` every anchor update re-counts anchor-dependent
         structures from scratch (the baseline path the benchmark
         compares against).  Results are bit-identical either way.
+    workers:
+        Execution-layer knob: ``None``/``1`` for serial (the default),
+        an integer >= 2 for a thread pool, or a shared
+        :class:`~repro.engine.parallel.Executor`.  Per-structure delta
+        evaluation, feature-column extraction and dirty-column refresh
+        fan out across workers; results are merged in family order and
+        are byte-identical to the serial path.
+    view_cache_size:
+        Upper bound on cached candidate views.  Each cached view holds
+        the per-structure count values of one candidate list, so the
+        bound is also the session's feature-memory bound: streamed fits
+        with more blocks than this deliberately recompute lookups per
+        pass (bounded memory) — raise it to trade memory for speed when
+        a streamed task's block count is known and affordable.
     """
 
     def __init__(
@@ -183,6 +205,8 @@ class AlignmentSession:
         include_bias: bool = True,
         include_words: bool = False,
         incremental: bool = True,
+        workers: WorkersSpec = None,
+        view_cache_size: int = 16,
     ) -> None:
         self.pair = pair
         self.family = family if family is not None else standard_diagram_family(
@@ -190,9 +214,16 @@ class AlignmentSession:
         )
         self.include_bias = include_bias
         self.incremental = bool(incremental)
+        self.executor: Executor = get_executor(workers)
+        if view_cache_size < 1:
+            raise FeatureError("view_cache_size must be >= 1")
+        self.view_cache_size = int(view_cache_size)
         self.stats = SessionStats()
         self._anchors: Set[LinkPair] = set(known_anchors or ())
         self._views: Dict[int, _CandidateView] = {}
+        # One lock for the cross-structure shared state: the stats
+        # counters and the view cache.  Never held around heavy work.
+        self._state_lock = threading.Lock()
 
         needs_words = any("P7" in name for name in self.family.feature_names)
         bag = build_matrix_bag(
@@ -218,6 +249,11 @@ class AlignmentSession:
     def engine(self) -> CountingEngine:
         """The underlying memoizing counting engine."""
         return self._engine
+
+    @property
+    def workers(self) -> int:
+        """Parallelism degree of the session's executor."""
+        return self.executor.workers
 
     @property
     def known_anchors(self) -> Set[LinkPair]:
@@ -262,23 +298,25 @@ class AlignmentSession:
     # Count / proximity state
     # ------------------------------------------------------------------
     def _ensure_counts(self, structure: _Structure) -> None:
-        if structure.counts is None:
-            structure.counts = self._engine.evaluate(structure.expr)
-            structure.pending.clear()
-            structure.row_sums = np.asarray(
-                structure.counts.sum(axis=1)
-            ).ravel()
-            structure.col_sums = np.asarray(
-                structure.counts.sum(axis=0)
-            ).ravel()
-            structure.proximity = None
-            self.stats.full_recounts += 1
-        elif structure.pending:
-            counts = structure.counts
-            for change in structure.pending:
-                counts = apply_delta(counts, change)
-            structure.counts = counts
-            structure.pending.clear()
+        with structure.lock:
+            if structure.counts is None:
+                counts = self._engine.evaluate(structure.expr)
+                structure.pending.clear()
+                structure.row_sums = np.asarray(counts.sum(axis=1)).ravel()
+                structure.col_sums = np.asarray(counts.sum(axis=0)).ravel()
+                structure.proximity = None
+                structure.counts = counts
+                with self._state_lock:
+                    self.stats.full_recounts += 1
+            elif structure.pending:
+                counts = structure.counts
+                for change in structure.pending:
+                    counts = apply_delta(counts, change)
+                # Canonicalize before publishing so concurrent batched
+                # lookups never race an in-place index sort.
+                counts.sort_indices()
+                structure.counts = counts
+                structure.pending.clear()
 
     def _proximity(self, structure: _Structure) -> ProximityMatrix:
         self._ensure_counts(structure)
@@ -333,6 +371,7 @@ class AlignmentSession:
                 delta = (delta - self.pair.anchor_matrix(removed)).tocsr()
             evaluator = DeltaEvaluator(self._engine, ANCHOR_MATRIX, delta)
 
+        delta_structures: List[_Structure] = []
         for structure in self._structures:
             if not structure.anchor_dependent:
                 continue
@@ -341,23 +380,36 @@ class AlignmentSession:
                 and structure.delta_capable
                 and structure.counts is not None
             ):
-                self._apply_structure_delta(structure, evaluator)
+                delta_structures.append(structure)
             else:
                 structure.counts = None
                 structure.pending.clear()
                 structure.row_sums = None
                 structure.col_sums = None
                 structure.proximity = None
-                for view in self._views.values():
-                    view.values.pop(structure.name, None)
-                    view.dirty.pop(structure.name, None)
+                with self._state_lock:
+                    for view in self._views.values():
+                        view.values.pop(structure.name, None)
+                        view.dirty.pop(structure.name, None)
+        if delta_structures:
+            # The per-structure delta expressions are independent (the
+            # shared A-free sub-products are served by the memoizing
+            # engine), so their evaluation — the expensive spgemm work —
+            # fans out across the executor.  Applying the changes to
+            # session state stays serial, in family order, which keeps
+            # the threaded path byte-identical to the serial one.
+            changes = self.executor.map(
+                lambda structure: evaluator.evaluate(structure.expr),
+                delta_structures,
+            )
+            for structure, change in zip(delta_structures, changes):
+                self._apply_structure_delta(structure, change)
         return True
 
     def _apply_structure_delta(
-        self, structure: _Structure, evaluator: DeltaEvaluator
+        self, structure: _Structure, change: sparse.csr_matrix
     ) -> None:
         """Exact sparse update of one structure's cached state."""
-        change = evaluator.evaluate(structure.expr)
         if change.nnz == 0:
             return
         structure.pending.append(change)
@@ -374,28 +426,29 @@ class AlignmentSession:
         )
         changed_rows = np.unique(coo.row.astype(np.int64))
         changed_cols = np.unique(coo.col.astype(np.int64))
-        for view in self._views.values():
-            values = view.values.get(structure.name)
-            if values is None:
-                continue
-            # Patch cached count values at the delta's (few) entries:
-            # inverted lookup — search the view's sorted keys for each
-            # delta key, honoring duplicate candidate pairs.
-            starts = np.searchsorted(view.keys_sorted, change_keys, "left")
-            ends = np.searchsorted(view.keys_sorted, change_keys, "right")
-            for start, end, amount in zip(starts, ends, coo.data):
-                if start < end:
-                    values[view.key_order[start:end]] += amount
-            # Scores change wherever a row or column sum changed.
-            affected = np.concatenate(
-                [
-                    view.positions_of_rows(changed_rows),
-                    view.positions_of_cols(changed_cols),
-                ]
-            )
-            if affected.size:
-                view.dirty.setdefault(structure.name, []).append(affected)
-        self.stats.delta_updates += 1
+        with self._state_lock:
+            for view in self._views.values():
+                values = view.values.get(structure.name)
+                if values is None:
+                    continue
+                # Patch cached count values at the delta's (few) entries:
+                # inverted lookup — search the view's sorted keys for
+                # each delta key, honoring duplicate candidate pairs.
+                starts = np.searchsorted(view.keys_sorted, change_keys, "left")
+                ends = np.searchsorted(view.keys_sorted, change_keys, "right")
+                for start, end, amount in zip(starts, ends, coo.data):
+                    if start < end:
+                        values[view.key_order[start:end]] += amount
+                # Scores change wherever a row or column sum changed.
+                affected = np.concatenate(
+                    [
+                        view.positions_of_rows(changed_rows),
+                        view.positions_of_cols(changed_cols),
+                    ]
+                )
+                if affected.size:
+                    view.dirty.setdefault(structure.name, []).append(affected)
+            self.stats.delta_updates += 1
 
     # ------------------------------------------------------------------
     # Candidate views
@@ -408,13 +461,14 @@ class AlignmentSession:
         resolution and the per-structure count values are computed once
         and then delta-patched.
         """
-        view = self._views.get(id(pairs))
-        if view is not None and view.pairs is pairs:
-            # LRU touch: keep hot views (the active loop's task list)
-            # safe from eviction by bursts of streamed block extracts.
-            self._views.pop(id(pairs))
-            self._views[id(pairs)] = view
-            return view
+        with self._state_lock:
+            view = self._views.get(id(pairs))
+            if view is not None and view.pairs is pairs:
+                # LRU touch: keep hot views (the active loop's task list)
+                # safe from eviction by bursts of streamed block extracts.
+                self._views.pop(id(pairs))
+                self._views[id(pairs)] = view
+                return view
         left_indices, right_indices = self.pair.pairs_to_indices(pairs)
         n_right = self.pair.right.node_count(self.pair.anchor_node_type)
         query_keys = left_indices.astype(np.int64) * n_right + right_indices
@@ -436,9 +490,13 @@ class AlignmentSession:
         # Bound the cache: streamed extraction passes short-lived block
         # lists that would otherwise accumulate (dicts preserve insertion
         # order, so eviction drops the oldest view first).
-        while len(self._views) >= 16:
-            self._views.pop(next(iter(self._views)))
-        self._views[id(pairs)] = view
+        with self._state_lock:
+            existing = self._views.get(id(pairs))
+            if existing is not None and existing.pairs is pairs:
+                return existing
+            while len(self._views) >= self.view_cache_size:
+                self._views.pop(next(iter(self._views)))
+            self._views[id(pairs)] = view
         return view
 
     def _view_values(
@@ -477,15 +535,21 @@ class AlignmentSession:
     # Feature extraction
     # ------------------------------------------------------------------
     def extract(self, pairs: Sequence[LinkPair]) -> np.ndarray:
-        """Feature matrix ``X`` of shape ``(len(pairs), n_features)``."""
-        self.stats.extract_calls += 1
+        """Feature matrix ``X`` of shape ``(len(pairs), n_features)``.
+
+        Per-structure score columns are independent, so they fan out
+        across the session's executor; stacking in family order keeps
+        the result byte-identical to a serial extraction.
+        """
+        with self._state_lock:
+            self.stats.extract_calls += 1
         if not pairs:
             return np.zeros((0, self.n_features), dtype=np.float64)
         view = self._view_for(pairs)
-        columns = [
-            self._view_scores(view, structure)
-            for structure in self._structures
-        ]
+        columns = self.executor.map(
+            lambda structure: self._view_scores(view, structure),
+            self._structures,
+        )
         if self.include_bias:
             columns.append(np.ones(len(pairs), dtype=np.float64))
         return np.column_stack(columns)
@@ -514,9 +578,11 @@ class AlignmentSession:
         if not pairs:
             return X
         view = self._view_for(pairs)
-        for column in self.anchor_feature_columns:
+
+        def compute(column: int):
+            """(column, positions, scores) update, or None if current."""
             structure = self._structures[column]
-            dirty = view.dirty.pop(structure.name, None)
+            dirty = view.dirty.get(structure.name)
             if structure.name in view.values and dirty is not None:
                 # Only the positions touching a changed row/column sum
                 # can have changed scores; rewrite exactly those.
@@ -526,15 +592,26 @@ class AlignmentSession:
                     structure.row_sums[view.left_indices[positions]]
                     + structure.col_sums[view.right_indices[positions]]
                 )
-                X[positions, column] = dice_scores(values, denominators)
-                self.stats.columns_refreshed += 1
-            elif structure.name in view.values:
+                return column, positions, dice_scores(values, denominators)
+            if structure.name in view.values:
                 # No delta touched this structure since the last refresh;
                 # the column is already current.
+                return None
+            return column, None, self._view_scores(view, structure)
+
+        # Score recomputation fans out across the executor; the in-place
+        # writes stay serial in column order (deterministic, and X is
+        # never touched from worker threads).
+        for update in self.executor.map(compute, self.anchor_feature_columns):
+            if update is None:
                 continue
+            column, positions, scores = update
+            view.dirty.pop(self._structures[column].name, None)
+            if positions is None:
+                X[:, column] = scores
             else:
-                X[:, column] = self._view_scores(view, structure)
-                self.stats.columns_refreshed += 1
+                X[positions, column] = scores
+            self.stats.columns_refreshed += 1
         return X
 
     # ------------------------------------------------------------------

@@ -1,0 +1,300 @@
+"""Streamed alignment tasks: the fit path without the |H| x d matrix.
+
+An :class:`~repro.core.base.AlignmentTask` freezes the candidate space H
+together with its dense feature matrix ``X`` — fine for sampled tasks,
+prohibitive when H approaches the |U1| x |U2| cross product.
+:class:`StreamedAlignmentTask` is the block-streamed analog: it keeps
+the candidate list and the labeled indices, but features are
+(re-)extracted block by block from the owning
+:class:`~repro.engine.session.AlignmentSession` on every pass, and the
+only dense objects ever produced are
+
+* the d x d (weighted) Gram matrix ``XᵀΩX`` and d-vectors ``Xᵀt``
+  accumulated for the closed-form ridge step, and
+* per-candidate *vectors* over H (scores, labels) that the alternating
+  loop needs anyway.
+
+The full ``|H| x d`` matrix is never allocated; peak feature memory is
+``block_size x d`` per in-flight block (times the executor window when
+extraction fans out across threads).  All block passes merge results in
+stream order, so a threaded run is byte-identical to a serial one.
+
+Two distinct exactness guarantees apply.  *Threaded vs serial* is
+bit-exact by construction (identical operations in identical order).
+*Streamed vs materialized* is bit-exact only in the single-block case,
+where the accumulated Gram/rhs reduce to the very same dense products;
+with several blocks the partial-sum order differs from one dense BLAS
+product, so weights agree to rounding error and the equality of query
+sets and labels — asserted throughout the test suite — holds because
+both paths are deterministic and candidate scores are never within an
+ulp of a decision boundary on real count features, not as an algebraic
+identity.
+
+:meth:`StreamedAlignmentTask.scored_blocks` re-slices whole-of-H score
+and label vectors into :class:`~repro.active.strategies.ScoredBlock`
+records for the streamed query strategies — no extraction involved.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.active.strategies import ScoredBlock
+from repro.engine.candidates import CandidateBlock, CandidateGenerator
+from repro.engine.session import AlignmentSession
+from repro.exceptions import ModelError
+from repro.types import LinkPair
+
+
+def blockify(
+    pairs: Sequence[LinkPair], block_size: int
+) -> List[CandidateBlock]:
+    """Chop a candidate list into generator-style blocks.
+
+    A list shorter than ``block_size`` yields exactly one block; an
+    empty list yields an empty stream — mirroring
+    :meth:`CandidateGenerator.blocks`.
+    """
+    if block_size < 1:
+        raise ModelError("block_size must be >= 1")
+    return [
+        list(pairs[start: start + block_size])
+        for start in range(0, len(pairs), block_size)
+    ]
+
+
+class StreamedAlignmentTask:
+    """One alignment problem instance streamed in feature-space blocks.
+
+    Parameters
+    ----------
+    session:
+        The alignment session features are extracted from.  Its
+        executor drives every block pass, and its anchor set is read at
+        extraction time — so a refresh between query rounds is just
+        ``session.set_anchors``; the next pass sees the new features.
+    blocks:
+        Candidate blocks (e.g. from :func:`blockify` or
+        :meth:`CandidateGenerator.blocks`).  Block objects are kept
+        alive so the session's view cache can serve repeated passes.
+    labeled_indices, labeled_values:
+        Known-label positions in the concatenated candidate order and
+        their 0/1 values, exactly as on ``AlignmentTask``.
+    """
+
+    def __init__(
+        self,
+        session: AlignmentSession,
+        blocks: Iterable[CandidateBlock],
+        labeled_indices: np.ndarray,
+        labeled_values: np.ndarray,
+    ) -> None:
+        self.session = session
+        self.blocks: List[CandidateBlock] = [
+            list(block) for block in blocks if len(block)
+        ]
+        self.pairs: List[LinkPair] = [
+            pair for block in self.blocks for pair in block
+        ]
+        if not self.pairs:
+            raise ModelError("no candidate links supplied")
+        self.offsets: List[int] = []
+        offset = 0
+        for block in self.blocks:
+            self.offsets.append(offset)
+            offset += len(block)
+
+        self.labeled_indices = np.asarray(labeled_indices, dtype=np.int64)
+        self.labeled_values = np.asarray(labeled_values, dtype=np.int64)
+        if self.labeled_indices.shape != self.labeled_values.shape:
+            raise ModelError("labeled indices/values must align")
+        if self.labeled_indices.size:
+            if (
+                self.labeled_indices.min() < 0
+                or self.labeled_indices.max() >= len(self.pairs)
+            ):
+                raise ModelError("labeled index out of range")
+            if (
+                len(set(self.labeled_indices.tolist()))
+                != self.labeled_indices.size
+            ):
+                raise ModelError("labeled indices contain duplicates")
+        bad = set(np.unique(self.labeled_values).tolist()) - {0, 1}
+        if bad:
+            raise ModelError(f"labels must be 0/1, got {sorted(bad)}")
+        self._pair_index: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # AlignmentTask-compatible surface (what models and the alternating
+    # state read; X is deliberately absent).
+    # ------------------------------------------------------------------
+    @property
+    def n_candidates(self) -> int:
+        """|H| — number of candidate links."""
+        return len(self.pairs)
+
+    @property
+    def n_features(self) -> int:
+        """Feature dimensionality d (from the session)."""
+        return self.session.n_features
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of streamed blocks."""
+        return len(self.blocks)
+
+    @property
+    def unlabeled_mask(self) -> np.ndarray:
+        """Boolean mask of candidates without a known label."""
+        mask = np.ones(self.n_candidates, dtype=bool)
+        mask[self.labeled_indices] = False
+        return mask
+
+    def index_of(self, pair: LinkPair) -> int:
+        """Index of a candidate pair (built lazily, cached)."""
+        if self._pair_index is None:
+            self._pair_index = {
+                pair_: i for i, pair_ in enumerate(self.pairs)
+            }
+        try:
+            return self._pair_index[pair]
+        except KeyError:
+            raise ModelError(f"pair {pair!r} is not a candidate") from None
+
+    # ------------------------------------------------------------------
+    # Block passes
+    # ------------------------------------------------------------------
+    def feature_blocks(self) -> Iterator[Tuple[int, np.ndarray]]:
+        """Ordered ``(offset, X_block)`` stream, freshly extracted.
+
+        Extraction fans out across the session's executor with a
+        bounded in-flight window; results arrive in stream order, so
+        sequential folds over this iterator are deterministic.
+        """
+        def extract(item: Tuple[int, CandidateBlock]):
+            offset, block = item
+            return offset, self.session.extract(block)
+
+        return self.session.executor.imap(
+            extract, zip(self.offsets, self.blocks)
+        )
+
+    def gram(
+        self, sample_weight: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Accumulate the (weighted) Gram matrix ``XᵀΩX`` over blocks."""
+        gram = np.zeros((self.n_features, self.n_features), dtype=np.float64)
+        for offset, X in self.feature_blocks():
+            if sample_weight is None:
+                gram += X.T @ X
+            else:
+                weights = sample_weight[offset: offset + X.shape[0]]
+                gram += (X.T * weights) @ X
+        return gram
+
+    def xt_dot(self, target: np.ndarray) -> np.ndarray:
+        """Accumulate ``Xᵀ t`` over blocks for a whole-of-H vector."""
+        target = np.asarray(target, dtype=np.float64).ravel()
+        if target.shape[0] != self.n_candidates:
+            raise ModelError(
+                f"target length {target.shape[0]} does not match "
+                f"{self.n_candidates} candidates"
+            )
+        result = np.zeros(self.n_features, dtype=np.float64)
+        for offset, X in self.feature_blocks():
+            result += X.T @ target[offset: offset + X.shape[0]]
+        return result
+
+    def scores(self, weights: np.ndarray) -> np.ndarray:
+        """Whole-of-H raw scores ``ŷ = Xw``, one block at a time."""
+        weights = np.asarray(weights, dtype=np.float64).ravel()
+        if weights.shape[0] != self.n_features:
+            raise ModelError(
+                f"weight length {weights.shape[0]} does not match "
+                f"{self.n_features} features"
+            )
+        scores = np.empty(self.n_candidates, dtype=np.float64)
+        for offset, X in self.feature_blocks():
+            scores[offset: offset + X.shape[0]] = X @ weights
+        return scores
+
+    def scored_blocks(
+        self,
+        scores: np.ndarray,
+        labels: np.ndarray,
+        queryable: np.ndarray,
+    ) -> Iterator[ScoredBlock]:
+        """Re-slice whole-of-H vectors into strategy-facing blocks."""
+        for offset, block in zip(self.offsets, self.blocks):
+            end = offset + len(block)
+            yield ScoredBlock(
+                pairs=block,
+                scores=scores[offset:end],
+                labels=labels[offset:end],
+                queryable=queryable[offset:end],
+                offset=offset,
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pairs(
+        cls,
+        session: AlignmentSession,
+        pairs: Sequence[LinkPair],
+        labeled_indices: np.ndarray,
+        labeled_values: np.ndarray,
+        block_size: int = 4096,
+    ) -> "StreamedAlignmentTask":
+        """Build from a flat candidate list, chopped into blocks."""
+        return cls(
+            session,
+            blockify(list(pairs), block_size),
+            labeled_indices,
+            labeled_values,
+        )
+
+    @classmethod
+    def from_generator(
+        cls,
+        session: AlignmentSession,
+        generator: CandidateGenerator,
+        labeled: Sequence[Tuple[LinkPair, int]] = (),
+    ) -> "StreamedAlignmentTask":
+        """Build from a candidate generator's pruned block stream.
+
+        ``labeled`` maps known links to 0/1 labels; every labeled link
+        must survive the generator's pruning (otherwise the model could
+        not see its own training data).
+        """
+        blocks = list(generator.blocks())
+        task_pairs = {
+            pair: index
+            for index, pair in enumerate(
+                pair for block in blocks for pair in block
+            )
+        }
+        indices: List[int] = []
+        values: List[int] = []
+        for pair, label in labeled:
+            try:
+                indices.append(task_pairs[pair])
+            except KeyError:
+                raise ModelError(
+                    f"labeled link {pair!r} was pruned from the candidate "
+                    "stream; loosen pruning or exclude it from training"
+                ) from None
+            values.append(label)
+        return cls(
+            session,
+            blocks,
+            np.asarray(indices, dtype=np.int64),
+            np.asarray(values, dtype=np.int64),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StreamedAlignmentTask(candidates={self.n_candidates}, "
+            f"blocks={self.n_blocks}, features={self.n_features})"
+        )

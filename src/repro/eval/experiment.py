@@ -33,6 +33,7 @@ from repro.core.base import AlignmentModel, AlignmentTask
 from repro.core.itermpmd import IterMPMD
 from repro.core.svm_baselines import SVMAligner
 from repro.engine.session import AlignmentSession
+from repro.engine.streaming import StreamedAlignmentTask
 from repro.exceptions import ExperimentError
 from repro.eval.protocol import ExperimentSplit, ProtocolConfig, build_splits
 from repro.meta.diagrams import standard_diagram_family
@@ -69,6 +70,12 @@ class MethodSpec:
         Labels per query round k (active only).
     svm_C:
         SVM regularization (svm only).
+    streamed:
+        Run the fit over streamed candidate blocks instead of a
+        materialized feature matrix (active methods with full features
+        only).  Selected query sets match the materialized path.
+    stream_block_size:
+        Candidate block size of the streamed fit path.
     """
 
     name: str
@@ -78,6 +85,8 @@ class MethodSpec:
     strategy: str = "conflict"
     batch_size: int = 5
     svm_C: float = 1.0
+    streamed: bool = False
+    stream_block_size: int = 2048
 
     def __post_init__(self) -> None:
         if self.kind not in ("active", "iterative", "svm"):
@@ -88,6 +97,12 @@ class MethodSpec:
             raise ExperimentError("active methods need budget >= 1")
         if self.strategy not in _STRATEGIES:
             raise ExperimentError(f"unknown strategy {self.strategy!r}")
+        if self.streamed and (self.kind != "active" or self.features != "full"):
+            raise ExperimentError(
+                "streamed fits support active methods with full features only"
+            )
+        if self.stream_block_size < 1:
+            raise ExperimentError("stream_block_size must be >= 1")
 
 
 def standard_methods(
@@ -213,19 +228,33 @@ def run_split(
     else:
         session.set_anchors(split.train_positive_pairs)
     family = session.family
-    X_full = session.extract(list(split.candidates))
-    path_columns = _paths_feature_columns(family)
-    X_paths = X_full[:, path_columns]
+    # Streamed methods never need the materialized |H| x d matrix; only
+    # extract it when some method in the lineup actually fits on it.
+    X_full: Optional[np.ndarray] = None
+    X_paths: Optional[np.ndarray] = None
+    if any(not spec.streamed for spec in methods):
+        X_full = session.extract(list(split.candidates))
+        path_columns = _paths_feature_columns(family)
+        X_paths = X_full[:, path_columns]
 
     results: Dict[str, Tuple[ClassificationReport, float]] = {}
     for spec in methods:
-        X = X_paths if spec.features == "paths" else X_full
-        task = AlignmentTask(
-            pairs=list(split.candidates),
-            X=X.copy(),
-            labeled_indices=split.train_indices,
-            labeled_values=split.truth[split.train_indices],
-        )
+        if spec.streamed:
+            task = StreamedAlignmentTask.from_pairs(
+                session,
+                list(split.candidates),
+                split.train_indices,
+                split.truth[split.train_indices],
+                block_size=spec.stream_block_size,
+            )
+        else:
+            X = X_paths if spec.features == "paths" else X_full
+            task = AlignmentTask(
+                pairs=list(split.candidates),
+                X=X.copy(),
+                labeled_indices=split.train_indices,
+                labeled_values=split.truth[split.train_indices],
+            )
         model = _build_model(spec, split, seed)
         started = time.perf_counter()
         model.fit(task)
@@ -251,15 +280,24 @@ def run_experiment(
     pair: AlignedPair,
     config: ProtocolConfig,
     methods: Optional[Sequence[MethodSpec]] = None,
+    workers=None,
 ) -> ExperimentOutcome:
-    """Run the full protocol: all fold rotations, all methods."""
+    """Run the full protocol: all fold rotations, all methods.
+
+    ``workers`` is the engine execution-layer knob (see
+    :class:`~repro.engine.session.AlignmentSession`): the shared
+    session's per-structure counting, delta updates and extraction fan
+    out across a thread pool, with bit-identical results.
+    """
     if methods is None:
         methods = standard_methods()
     outcome = ExperimentOutcome(
         config=config,
         methods={spec.name: MethodResult(name=spec.name) for spec in methods},
     )
-    session = AlignmentSession(pair, family=standard_diagram_family())
+    session = AlignmentSession(
+        pair, family=standard_diagram_family(), workers=workers
+    )
     for split in build_splits(pair, config):
         per_method = run_split(
             pair, split, methods, seed=config.seed + split.fold, session=session

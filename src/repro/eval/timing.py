@@ -17,8 +17,15 @@ import numpy as np
 from repro.active.oracle import LabelOracle
 from repro.core.activeiter import ActiveIter
 from repro.core.base import AlignmentTask
+from repro.engine.candidates import (
+    CandidateGenerator,
+    linear_scorer,
+    streamed_selection,
+)
 from repro.engine.session import AlignmentSession, SessionStats
+from repro.engine.streaming import StreamedAlignmentTask, blockify
 from repro.eval.protocol import ProtocolConfig, build_splits
+from repro.meta.diagrams import standard_diagram_family
 from repro.meta.features import FeatureExtractor
 from repro.networks.aligned import AlignedPair
 
@@ -199,6 +206,256 @@ def format_incremental_comparison(comparison: IncrementalComparison) -> str:
         ),
     ]
     return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ParallelComparison:
+    """Result of racing the threaded execution layer against serial.
+
+    Attributes
+    ----------
+    workers:
+        Thread-pool size of the threaded run.
+    serial_seconds, threaded_seconds:
+        Wall-clock time of the two runs over identical work: a full
+        extraction, ``n_rounds`` delta anchor updates with in-place
+        feature refresh, and one block-scored streamed selection.
+    n_rounds:
+        Anchor-update rounds executed (identical for both runs).
+    identical_features:
+        Whether the two runs produced byte-identical feature matrices.
+    identical_selection:
+        Whether the block-scored streamed selections matched exactly.
+    serial_stats, threaded_stats:
+        The sessions' work counters.
+    """
+
+    workers: int
+    serial_seconds: float
+    threaded_seconds: float
+    n_rounds: int
+    identical_features: bool
+    identical_selection: bool
+    serial_stats: SessionStats
+    threaded_stats: SessionStats
+
+    @property
+    def speedup(self) -> float:
+        """Serial time over threaded time."""
+        if self.threaded_seconds <= 0:
+            return float("inf")
+        return self.serial_seconds / self.threaded_seconds
+
+    @property
+    def identical(self) -> bool:
+        """Whether every compared output was byte-identical."""
+        return self.identical_features and self.identical_selection
+
+
+def compare_parallel_paths(
+    pair: AlignedPair,
+    workers: int = 4,
+    np_ratio: int = 20,
+    sample_ratio: float = 1.0,
+    rounds: int = 6,
+    batch_size: int = 3,
+    block_size: int = 1024,
+    seed: int = 13,
+) -> ParallelComparison:
+    """Race a ``workers``-threaded session against a serial one.
+
+    Both runs execute the identical engine workload — initial feature
+    extraction over the split's candidates, ``rounds`` batched anchor
+    arrivals with delta updates and in-place refresh, then one
+    block-scored streamed selection over the support-pruned candidate
+    space.  The executor only changes scheduling, so the comparison
+    asserts byte-identical features and selections alongside the
+    wall-clock ratio.
+    """
+    config = ProtocolConfig(
+        np_ratio=np_ratio, sample_ratio=sample_ratio, n_repeats=1, seed=seed
+    )
+    split = next(iter(build_splits(pair, config)))
+    positives = sorted(
+        (
+            split.candidates[i]
+            for i in range(len(split.candidates))
+            if split.truth[i] == 1
+        ),
+        key=repr,
+    )
+    start_known = max(1, len(positives) // 2)
+    known = positives[:start_known]
+    queue = positives[start_known:]
+    arrivals = [
+        queue[r * batch_size: (r + 1) * batch_size] for r in range(rounds)
+    ]
+    arrivals = [arrival for arrival in arrivals if arrival]
+    n_features = len(standard_diagram_family().feature_names) + 1  # + bias
+    weights = np.random.default_rng(seed).normal(scale=0.5, size=n_features)
+
+    def run(worker_count: int):
+        session = AlignmentSession(
+            pair, known_anchors=known, workers=worker_count
+        )
+        candidates = list(split.candidates)
+        started = time.perf_counter()
+        X = session.extract(candidates)
+        current = list(known)
+        for arrival in arrivals:
+            current += arrival
+            session.set_anchors(current)
+            session.refresh_features(X, candidates)
+        generator = CandidateGenerator.from_support(
+            session, block_size=block_size
+        )
+        selected = streamed_selection(
+            generator,
+            linear_scorer(session, weights),
+            threshold=0.5,
+            workers=session.executor,
+        )
+        elapsed = time.perf_counter() - started
+        return X, selected, session.stats, elapsed
+
+    X_serial, sel_serial, stats_serial, serial_seconds = run(1)
+    X_threaded, sel_threaded, stats_threaded, threaded_seconds = run(workers)
+    return ParallelComparison(
+        workers=workers,
+        serial_seconds=serial_seconds,
+        threaded_seconds=threaded_seconds,
+        n_rounds=len(arrivals),
+        identical_features=bool(np.array_equal(X_serial, X_threaded)),
+        identical_selection=sel_serial == sel_threaded,
+        serial_stats=stats_serial,
+        threaded_stats=stats_threaded,
+    )
+
+
+def format_parallel_comparison(comparison: ParallelComparison) -> str:
+    """Plain-text rendering of the threaded-vs-serial race."""
+    lines = [
+        (
+            "Parallel execution layer vs serial "
+            f"(workers={comparison.workers}, "
+            f"{comparison.n_rounds} anchor rounds)"
+        ),
+        f"{'path':<14}{'seconds':>10}  session stats",
+        (
+            f"{'serial':<14}{comparison.serial_seconds:>10.4f}  "
+            f"{comparison.serial_stats.summary()}"
+        ),
+        (
+            f"{'threaded':<14}{comparison.threaded_seconds:>10.4f}  "
+            f"{comparison.threaded_stats.summary()}"
+        ),
+        (
+            f"speedup: {comparison.speedup:.2f}x; "
+            f"features identical: {comparison.identical_features}; "
+            f"selection identical: {comparison.identical_selection}"
+        ),
+    ]
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class StreamedFitComparison:
+    """Streamed active fit vs materialized active fit on one split.
+
+    ``identical_queries`` / ``identical_labels`` record the exactness
+    guarantee of the streaming refactor: the block-wise strategies must
+    buy the same labels and converge to the same assignment.
+    """
+
+    n_candidates: int
+    n_blocks: int
+    materialized_seconds: float
+    streamed_seconds: float
+    identical_queries: bool
+    identical_labels: bool
+
+
+def compare_streamed_fit(
+    pair: AlignedPair,
+    np_ratio: int = 5,
+    budget: int = 10,
+    batch_size: int = 2,
+    block_size: int = 256,
+    seed: int = 13,
+) -> StreamedFitComparison:
+    """Race ActiveIter on a streamed task against the materialized task.
+
+    Both fits share one split and identical strategies; the streamed
+    run never allocates the |H| x d matrix.
+    """
+    config = ProtocolConfig(
+        np_ratio=np_ratio, sample_ratio=1.0, n_repeats=1, seed=seed
+    )
+    split = next(iter(build_splits(pair, config)))
+    positives = {
+        split.candidates[i]
+        for i in range(len(split.candidates))
+        if split.truth[i] == 1
+    }
+
+    def run(streamed: bool):
+        session = AlignmentSession(pair, known_anchors=split.train_positive_pairs)
+        candidates = list(split.candidates)
+        model = ActiveIter(
+            LabelOracle(positives, budget=budget), batch_size=batch_size
+        )
+        if streamed:
+            task = StreamedAlignmentTask(
+                session,
+                blockify(candidates, block_size),
+                split.train_indices,
+                split.truth[split.train_indices],
+            )
+        else:
+            task = AlignmentTask(
+                pairs=candidates,
+                X=session.extract(candidates),
+                labeled_indices=split.train_indices,
+                labeled_values=split.truth[split.train_indices],
+            )
+        started = time.perf_counter()
+        model.fit(task)
+        elapsed = time.perf_counter() - started
+        return model, task, elapsed
+
+    materialized, _, materialized_seconds = run(streamed=False)
+    streamed, streamed_task, streamed_seconds = run(streamed=True)
+    return StreamedFitComparison(
+        n_candidates=streamed_task.n_candidates,
+        n_blocks=streamed_task.n_blocks,
+        materialized_seconds=materialized_seconds,
+        streamed_seconds=streamed_seconds,
+        identical_queries=materialized.queried_ == streamed.queried_,
+        identical_labels=bool(
+            np.array_equal(materialized.labels_, streamed.labels_)
+        ),
+    )
+
+
+def format_streamed_fit(comparison: StreamedFitComparison) -> str:
+    """Plain-text rendering of the streamed-vs-materialized fit race."""
+    return "\n".join(
+        [
+            (
+                "Streamed active fit vs materialized task "
+                f"(|H|={comparison.n_candidates}, "
+                f"{comparison.n_blocks} blocks)"
+            ),
+            (
+                f"  materialized {comparison.materialized_seconds:.4f}s  "
+                f"streamed {comparison.streamed_seconds:.4f}s"
+            ),
+            (
+                f"  queried links identical: {comparison.identical_queries}; "
+                f"labels identical: {comparison.identical_labels}"
+            ),
+        ]
+    )
 
 
 def fit_linear_trend(points: Sequence[TimingPoint]) -> Tuple[float, float, float]:

@@ -187,6 +187,11 @@ class CountingEngine:
 
     def __init__(self, matrices: MatrixBag) -> None:
         self._matrices = dict(matrices)
+        # Canonicalize up front: every published matrix has sorted
+        # indices, so later (possibly concurrent) batched lookups never
+        # trigger a lazy in-place sort of a shared matrix.
+        for matrix in self._matrices.values():
+            matrix.sort_indices()
         self._cache: Dict[str, sparse.csr_matrix] = {}
         self._deps: Dict[str, FrozenSet[str]] = {}
 
@@ -235,6 +240,12 @@ class CountingEngine:
                 result = result.multiply(operand).tocsr()
         else:
             raise MetaStructureError(f"unknown expression type {type(expr).__name__}")
+        # Sort before publishing (still thread-private): concurrent
+        # evaluations of the same key may duplicate work, but every
+        # matrix that lands in the cache is already canonical, so
+        # readers never mutate it.  Counts are integers, so the sort
+        # cannot perturb any downstream floating-point result.
+        result.sort_indices()
         self._cache[key] = result
         self._deps[key] = frozenset(expr.leaves())
         return result
@@ -252,6 +263,7 @@ class CountingEngine:
         their cached counts.  Results cached before dependency tracking
         existed (none in normal operation) fall back to key parsing.
         """
+        matrix.sort_indices()
         self._matrices[name] = matrix
         stale = [
             key

@@ -24,13 +24,14 @@ from repro.ml.ranking import (
     recall_at_k,
     roc_auc,
 )
-from repro.ml.ridge import RidgeSolver, ridge_fit
+from repro.ml.ridge import GramRidgeSolver, RidgeSolver, ridge_fit
 from repro.ml.scaling import StandardScaler
 from repro.ml.svm import LinearSVC, PegasosSVC
 
 __all__ = [
     "ClassificationReport",
     "ConfusionCounts",
+    "GramRidgeSolver",
     "LinearMap",
     "LinearSVC",
     "PegasosSVC",

@@ -22,6 +22,48 @@ from scipy import linalg
 from repro.exceptions import ModelError
 
 
+class GramRidgeSolver:
+    """Ridge solve from a precomputed Gram matrix ``XᵀΩX``.
+
+    The streamed fit path never materializes ``X``; it accumulates the
+    d x d Gram matrix block by block and hands it here.  The solver
+    factorizes ``I + c · gram`` once and then maps any right-hand side
+    ``XᵀΩy`` (also block-accumulated) to
+    ``w = c (I + c XᵀΩX)⁻¹ XᵀΩy``.
+
+    Parameters
+    ----------
+    gram:
+        The (weighted) Gram matrix, shape ``(d, d)``.
+    c:
+        Loss weight (the paper's ``c``).
+    """
+
+    def __init__(self, gram: np.ndarray, c: float = 1.0) -> None:
+        gram = np.asarray(gram, dtype=np.float64)
+        if gram.ndim != 2 or gram.shape[0] != gram.shape[1]:
+            raise ModelError(f"gram matrix must be square, got {gram.shape}")
+        if c <= 0:
+            raise ModelError(f"loss weight c must be > 0, got {c}")
+        self.c = float(c)
+        self.n_features = gram.shape[0]
+        system = np.eye(self.n_features) + self.c * gram
+        try:
+            self._cho = linalg.cho_factor(system, lower=True)
+        except linalg.LinAlgError as error:  # pragma: no cover - defensive
+            raise ModelError(f"ridge system is singular: {error}") from error
+
+    def solve_rhs(self, xty: np.ndarray) -> np.ndarray:
+        """Return ``w`` for a right-hand side ``XᵀΩy``."""
+        xty = np.asarray(xty, dtype=np.float64).ravel()
+        if xty.shape[0] != self.n_features:
+            raise ModelError(
+                f"right-hand side length {xty.shape[0]} does not match "
+                f"{self.n_features} features"
+            )
+        return linalg.cho_solve(self._cho, self.c * xty)
+
+
 class RidgeSolver:
     """Reusable ridge solver for a fixed design matrix.
 
@@ -64,12 +106,7 @@ class RidgeSolver:
                 raise ModelError("sample weights must be >= 0")
             self._weights = weights
             self._weighted_Xt = X.T * weights
-        n_features = X.shape[1]
-        gram = np.eye(n_features) + self.c * (self._weighted_Xt @ X)
-        try:
-            self._cho = linalg.cho_factor(gram, lower=True)
-        except linalg.LinAlgError as error:  # pragma: no cover - defensive
-            raise ModelError(f"ridge system is singular: {error}") from error
+        self._gram_solver = GramRidgeSolver(self._weighted_Xt @ X, c=self.c)
 
     def solve(self, y: np.ndarray) -> np.ndarray:
         """Return ``w = c (I + c XᵀΩX)⁻¹ XᵀΩ y`` for the given labels."""
@@ -79,8 +116,7 @@ class RidgeSolver:
                 f"label vector length {y.shape[0]} does not match "
                 f"{self.X.shape[0]} samples"
             )
-        rhs = self.c * (self._weighted_Xt @ y)
-        return linalg.cho_solve(self._cho, rhs)
+        return self._gram_solver.solve_rhs(self._weighted_Xt @ y)
 
     def predict(self, w: np.ndarray, X: np.ndarray = None) -> np.ndarray:
         """Raw scores ``ŷ = Xw`` (training X by default)."""

@@ -7,11 +7,29 @@ from repro.active.strategies import (
     ConflictFalseNegativeStrategy,
     MarginQueryStrategy,
     RandomQueryStrategy,
+    ScoredBlock,
 )
 from repro.exceptions import ReproError
 
 # Candidate layout: left users a, b; right users x, y.
 PAIRS = [("a", "x"), ("a", "y"), ("b", "x"), ("b", "y")]
+
+
+def _blockify_inputs(pairs, scores, labels, queryable, block_size):
+    """Chop whole-of-H strategy inputs into ScoredBlock records."""
+    blocks = []
+    for start in range(0, len(pairs), block_size):
+        end = start + block_size
+        blocks.append(
+            ScoredBlock(
+                pairs=pairs[start:end],
+                scores=np.asarray(scores, dtype=np.float64)[start:end],
+                labels=np.asarray(labels)[start:end],
+                queryable=np.asarray(queryable, dtype=bool)[start:end],
+                offset=start,
+            )
+        )
+    return blocks
 
 
 class TestConflictStrategy:
@@ -133,3 +151,79 @@ class TestMarginStrategy:
         queryable = np.array([False, True, True, True])
         picks = strategy.select(PAIRS, scores, np.zeros(4), queryable, 2)
         assert picks == [1, 2]
+
+
+class TestSelectStreamed:
+    """select_streamed must pick exactly what select picks."""
+
+    def _rig(self, n=60, seed=0):
+        """A synthetic candidate space with plenty of conflicts."""
+        rng = np.random.default_rng(seed)
+        pairs = [
+            (f"l{rng.integers(0, 12)}", f"r{rng.integers(0, 12)}")
+            for _ in range(n)
+        ]
+        scores = rng.normal(loc=0.5, scale=0.3, size=n)
+        labels = (rng.random(n) < 0.25).astype(np.int64)
+        queryable = rng.random(n) < 0.8
+        return pairs, scores, labels, queryable
+
+    @pytest.mark.parametrize("block_size", [1, 7, 16, 100])
+    @pytest.mark.parametrize(
+        "make_strategy",
+        [
+            lambda: ConflictFalseNegativeStrategy(),
+            lambda: ConflictFalseNegativeStrategy(allow_fallback=False),
+            lambda: MarginQueryStrategy(boundary=0.4),
+        ],
+        ids=["conflict", "conflict-strict", "margin"],
+    )
+    def test_matches_select(self, make_strategy, block_size):
+        pairs, scores, labels, queryable = self._rig()
+        for batch_size in (1, 5, 200):
+            expected = make_strategy().select(
+                pairs, scores, labels, queryable, batch_size
+            )
+            streamed = make_strategy().select_streamed(
+                _blockify_inputs(pairs, scores, labels, queryable, block_size),
+                batch_size,
+            )
+            assert streamed == expected
+
+    @pytest.mark.parametrize("block_size", [1, 7, 100])
+    def test_random_matches_select(self, block_size):
+        pairs, scores, labels, queryable = self._rig(seed=3)
+        expected = RandomQueryStrategy(seed=42).select(
+            pairs, scores, labels, queryable, 5
+        )
+        streamed = RandomQueryStrategy(seed=42).select_streamed(
+            _blockify_inputs(pairs, scores, labels, queryable, block_size), 5
+        )
+        assert streamed == expected
+
+    def test_empty_stream(self):
+        assert ConflictFalseNegativeStrategy().select_streamed([], 5) == []
+        assert MarginQueryStrategy().select_streamed([], 5) == []
+        assert RandomQueryStrategy().select_streamed([], 5) == []
+
+    def test_block_validation(self):
+        bad = ScoredBlock(
+            pairs=PAIRS,
+            scores=np.ones(3),
+            labels=np.zeros(4),
+            queryable=np.ones(4, dtype=bool),
+        )
+        with pytest.raises(ReproError):
+            ConflictFalseNegativeStrategy().select_streamed([bad], 1)
+
+    def test_conflicts_across_block_boundaries(self):
+        """A positive in one block must rank negatives in another."""
+        strategy = ConflictFalseNegativeStrategy(allow_fallback=False)
+        scores = np.array([0.60, 0.58, 0.10, 0.30])
+        labels = np.array([1, 0, 0, 1])
+        queryable = np.ones(4, dtype=bool)
+        picks = strategy.select_streamed(
+            _blockify_inputs(PAIRS, scores, labels, queryable, 1), 2
+        )
+        assert picks == strategy.select(PAIRS, scores, labels, queryable, 2)
+        assert picks == [1]

@@ -72,6 +72,80 @@ class TestCandidateGenerator:
         ).count()
         assert tight < loose
 
+    def test_allowed_shape_validated(self, handmade_pair):
+        from scipy import sparse
+
+        with pytest.raises(AlignmentError, match="shape"):
+            CandidateGenerator(
+                handmade_pair, allowed=sparse.csr_matrix((2, 2))
+            )
+
+
+class TestEdgeCases:
+    """Empty spaces and oversized blocks stream cleanly, never error."""
+
+    def test_block_size_larger_than_space_single_block(self, handmade_pair):
+        generator = CandidateGenerator(handmade_pair, block_size=10**9)
+        blocks = list(generator.blocks())
+        assert len(blocks) == 1
+        assert len(blocks[0]) == 9 == generator.count()
+
+    def test_empty_allowed_mask_yields_empty_stream(self, handmade_pair):
+        from scipy import sparse
+
+        generator = CandidateGenerator(
+            handmade_pair, allowed=sparse.csr_matrix((3, 3))
+        )
+        assert list(generator.blocks()) == []
+        assert list(generator.pairs()) == []
+        assert generator.count() == 0
+
+    def test_exclude_everything_yields_empty_stream(self, handmade_pair):
+        everything = [
+            (u, v)
+            for u in handmade_pair.left_users()
+            for v in handmade_pair.right_users()
+        ]
+        generator = CandidateGenerator(handmade_pair, exclude=everything)
+        assert list(generator.blocks()) == []
+        assert generator.count() == 0
+
+    def test_streamed_selection_on_empty_stream(self, handmade_pair):
+        from scipy import sparse
+
+        generator = CandidateGenerator(
+            handmade_pair, allowed=sparse.csr_matrix((3, 3))
+        )
+        called = []
+
+        def score(block):
+            called.append(block)
+            return np.ones(len(block))
+
+        assert streamed_selection(generator, score) == []
+        assert called == []  # no blocks, no scoring
+
+    def test_streamed_selection_single_oversized_block(self, handmade_pair):
+        generator = CandidateGenerator(handmade_pair, block_size=10**6)
+        selected = streamed_selection(
+            generator, lambda block: np.full(len(block), 0.9)
+        )
+        assert selected  # one clean block, normal selection
+
+    def test_from_support_empty_family_yields_empty_stream(
+        self, handmade_pair
+    ):
+        from repro.meta.diagrams import DiagramFamily
+
+        session = AlignmentSession(
+            handmade_pair,
+            family=DiagramFamily(paths=(), diagrams=()),
+            include_bias=True,
+        )
+        generator = CandidateGenerator.from_support(session)
+        assert generator.count() == 0
+        assert list(generator.blocks()) == []
+
 
 class TestStreamedSelection:
     def test_matches_materialized_greedy(self, tiny_synthetic_pair):

@@ -35,6 +35,18 @@ class TestMethodSpec:
             MethodSpec(name="x", kind="active", budget=0)
         with pytest.raises(ExperimentError):
             MethodSpec(name="x", kind="active", budget=5, strategy="psychic")
+        with pytest.raises(ExperimentError):
+            MethodSpec(name="x", kind="iterative", streamed=True)
+        with pytest.raises(ExperimentError):
+            MethodSpec(
+                name="x", kind="active", budget=5, features="paths",
+                streamed=True,
+            )
+        with pytest.raises(ExperimentError):
+            MethodSpec(
+                name="x", kind="active", budget=5, streamed=True,
+                stream_block_size=0,
+            )
 
 
 class TestMethodResult:
@@ -64,6 +76,31 @@ class TestRunSplit:
         for report, runtime in results.values():
             assert 0.0 <= report.f1 <= 1.0
             assert runtime >= 0.0
+
+    def test_streamed_spec_matches_materialized(
+        self, tiny_synthetic_pair, split
+    ):
+        """A streamed active method scores exactly like the materialized
+        one — same queries, same labels, hence identical reports."""
+        materialized = MethodSpec(name="mat", kind="active", budget=8)
+        streamed = MethodSpec(
+            name="str", kind="active", budget=8, streamed=True,
+            stream_block_size=64,
+        )
+        results = run_split(
+            tiny_synthetic_pair, split, [materialized, streamed], seed=0
+        )
+        report_mat, _ = results["mat"]
+        report_str, _ = results["str"]
+        assert report_mat.as_dict() == report_str.as_dict()
+
+    def test_streamed_only_lineup_runs(self, tiny_synthetic_pair, split):
+        spec = MethodSpec(
+            name="streamed", kind="active", budget=5, streamed=True,
+            stream_block_size=32,
+        )
+        results = run_split(tiny_synthetic_pair, split, [spec])
+        assert 0.0 <= results["streamed"][0].f1 <= 1.0
 
     def test_paths_features_are_column_subset(self, tiny_synthetic_pair, split):
         """SVM-MP must see exactly the path features plus bias."""

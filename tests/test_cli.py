@@ -102,3 +102,43 @@ class TestCommands:
         assert "Incremental session vs full recompute" in out
         assert "labels identical: True" in out
         assert "Candidate streaming" in out
+        assert "session stats: workers=1" in out
+
+    def test_engine_workers(self, capsys):
+        code = main(
+            [
+                "--scale",
+                "tiny",
+                "engine",
+                "--budget",
+                "4",
+                "--np-ratio",
+                "5",
+                "--workers",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "session stats: workers=2" in out
+        assert "Parallel execution layer vs serial (workers=2" in out
+        assert "features identical: True" in out
+        assert "selection identical: True" in out
+
+    def test_engine_streamed(self, capsys):
+        code = main(
+            [
+                "--scale",
+                "tiny",
+                "engine",
+                "--budget",
+                "4",
+                "--np-ratio",
+                "5",
+                "--streamed",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Streamed active fit vs materialized task" in out
+        assert "queried links identical: True" in out
