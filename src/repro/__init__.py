@@ -17,6 +17,11 @@ Public API tour:
 * :mod:`repro.matching`, :mod:`repro.active`, :mod:`repro.ml` —
   supporting subsystems (one-to-one selection, oracle/strategies, ML
   primitives).
+* :mod:`repro.store` — disk-backed state: the memory-mapped
+  :class:`~repro.store.arena.MatrixArena`, atomic
+  :class:`~repro.store.checkpoint.SessionCheckpoint` snapshots with a
+  byte-identical resume path, and the picklable work units of the
+  process executor.
 * :mod:`repro.eval` — the paper's full experimental protocol and the
   harnesses behind every table and figure.
 """
@@ -37,6 +42,7 @@ from repro.engine import (
 )
 from repro.meta import FeatureExtractor, standard_diagram_family
 from repro.networks import AlignedPair, HeterogeneousNetwork, SocialNetworkBuilder
+from repro.store import MatrixArena, SessionCheckpoint
 from repro.synth import WorldConfig, generate_aligned_pair
 from repro.types import Labeled
 
@@ -55,7 +61,9 @@ __all__ = [
     "HeterogeneousNetwork",
     "IterMPMD",
     "Labeled",
+    "MatrixArena",
     "SVMAligner",
+    "SessionCheckpoint",
     "SocialNetworkBuilder",
     "WorldConfig",
     "__version__",

@@ -73,6 +73,24 @@ class LabelOracle:
         self._answers[pair] = label
         return label
 
+    def snapshot(self) -> Dict:
+        """Picklable budget-accounting state (for checkpoint/resume).
+
+        Captures the answered-query memory, not the ground truth: a
+        restored oracle charges and answers exactly as the original
+        would from the same point.
+        """
+        return {"budget": self._budget, "answers": dict(self._answers)}
+
+    def restore(self, state: Dict) -> None:
+        """Restore a :meth:`snapshot` (budget must match this oracle)."""
+        if state["budget"] != self._budget:
+            raise ReproError(
+                f"checkpoint oracle budget {state['budget']} does not match "
+                f"this oracle's budget {self._budget}"
+            )
+        self._answers = dict(state["answers"])
+
     def query_batch(self, pairs: Iterable[LinkPair]) -> List[Tuple[LinkPair, int]]:
         """Query several links, stopping silently when budget runs out.
 

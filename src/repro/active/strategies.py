@@ -255,6 +255,21 @@ class RandomQueryStrategy:
     def __init__(self, seed: int = 0) -> None:
         self._rng = np.random.default_rng(seed)
 
+    def snapshot_state(self) -> dict:
+        """Picklable RNG state for checkpoint/resume.
+
+        Any strategy carrying mutable state should implement this hook
+        (with :meth:`restore_state`); the active loop checkpoints
+        whatever it returns and hands it back on resume, which is what
+        keeps a resumed randomized run byte-identical.  Stateless
+        strategies simply omit the pair.
+        """
+        return {"rng": self._rng.bit_generator.state}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`snapshot_state` payload."""
+        self._rng.bit_generator.state = state["rng"]
+
     def select(
         self,
         pairs: Sequence[LinkPair],

@@ -14,10 +14,22 @@ Usage::
     python -m repro.cli stats     [--scale small]    # per-structure stats
     python -m repro.cli engine    [--scale small] [--budget 30] [--batch 2]
                                   [--workers 4] [--streamed]
+                                  [--store-dir DIR]
+                                  [--executor {serial,thread,process}]
+    python -m repro.cli engine checkpoint --store-dir DIR
+                                  [--interrupt-after 3]
+    python -m repro.cli engine resume --store-dir DIR
 
 Every command prints a plain-text analog of the corresponding paper
 artifact.  Defaults are sized for minutes-scale runs; raise ``--scale``
 and the sweep lists to approach the paper's full grid.
+
+``engine checkpoint`` runs a deterministic active fit that snapshots
+its state to ``--store-dir`` after every query round
+(``--interrupt-after N`` simulates a crash after round N); ``engine
+resume`` picks the fit back up from the snapshot, runs it to
+completion, and verifies the result is byte-identical to an
+uninterrupted run.
 """
 
 from __future__ import annotations
@@ -221,17 +233,149 @@ def cmd_stats(args: argparse.Namespace) -> str:
     return format_family_statistics(family_statistics(pair))
 
 
+def _engine_active_setup(args: argparse.Namespace):
+    """Deterministic pair/split/model construction for checkpoint/resume.
+
+    Both ``engine checkpoint`` and ``engine resume`` (and the
+    uninterrupted reference run) must build the *same* fit from the CLI
+    arguments alone — same split, oracle, strategy and session anchors —
+    so a resumed run can be compared byte-for-byte.
+    """
+    from repro.active.oracle import LabelOracle
+    from repro.core.activeiter import ActiveIter
+    from repro.core.base import AlignmentTask
+    from repro.engine import AlignmentSession
+    from repro.eval.protocol import ProtocolConfig, build_splits
+
+    pair = foursquare_twitter_like(scale=args.scale, seed=args.seed)
+    config = ProtocolConfig(
+        np_ratio=args.np_ratio, sample_ratio=1.0, n_repeats=1, seed=args.seed
+    )
+    split = next(iter(build_splits(pair, config)))
+    positives = {
+        split.candidates[i]
+        for i in range(len(split.candidates))
+        if split.truth[i] == 1
+    }
+
+    def build(checkpoint=None, store=None):
+        session = AlignmentSession(
+            pair, known_anchors=split.train_positive_pairs, store=store
+        )
+        candidates = list(split.candidates)
+        task = AlignmentTask(
+            pairs=candidates,
+            X=session.extract(candidates),
+            labeled_indices=split.train_indices,
+            labeled_values=split.truth[split.train_indices],
+        )
+        model = ActiveIter(
+            LabelOracle(positives, budget=args.budget),
+            batch_size=args.batch,
+            session=session,
+            refresh_features=True,
+            checkpoint=checkpoint,
+        )
+        return model, task, session
+
+    return build
+
+
+def _cmd_engine_checkpoint(args: argparse.Namespace) -> str:
+    """Run a checkpointed active fit (optionally crashing mid-loop)."""
+    from repro.exceptions import CheckpointInterrupt
+    from repro.store import SessionCheckpoint
+
+    if args.store_dir is None:
+        raise SystemExit("engine checkpoint requires --store-dir")
+    build = _engine_active_setup(args)
+    checkpoint = SessionCheckpoint(
+        args.store_dir, interrupt_after=args.interrupt_after
+    )
+    model, task, session = build(checkpoint=checkpoint, store=args.store_dir)
+    lines = [
+        (
+            f"Checkpointed active fit (budget={args.budget}, "
+            f"batch={args.batch}, store={args.store_dir})"
+        )
+    ]
+    try:
+        with session:
+            model.fit(task)
+    except CheckpointInterrupt as interrupt:
+        lines.append(f"interrupted: {interrupt}")
+        lines.append(
+            "resume with: engine resume --store-dir "
+            f"{args.store_dir} (same --scale/--seed/--np-ratio/--budget/--batch)"
+        )
+    else:
+        lines.append(
+            f"completed in {model.result_.n_rounds} rounds, "
+            f"{len(model.queried_)} labels bought; checkpoint cleared"
+        )
+    lines.append(f"checkpoint saves: {checkpoint.saves}")
+    return "\n".join(lines)
+
+
+def _cmd_engine_resume(args: argparse.Namespace) -> str:
+    """Resume a checkpointed fit and verify against an uninterrupted run."""
+    import numpy as np
+
+    from repro.store import SessionCheckpoint
+
+    if args.store_dir is None:
+        raise SystemExit("engine resume requires --store-dir")
+    checkpoint = SessionCheckpoint(args.store_dir)
+    if not checkpoint.exists():
+        raise SystemExit(
+            f"no checkpoint found under {args.store_dir}; "
+            "run `engine checkpoint --store-dir ...` first"
+        )
+    build = _engine_active_setup(args)
+    model, task, session = build(checkpoint=checkpoint, store=args.store_dir)
+    with session:
+        model.fit(task)
+    reference, reference_task, reference_session = build()
+    with reference_session:
+        reference.fit(reference_task)
+    identical = (
+        model.queried_ == reference.queried_
+        and np.array_equal(model.labels_, reference.labels_)
+        and np.array_equal(model.weights_, reference.weights_)
+    )
+    return "\n".join(
+        [
+            (
+                f"Resumed active fit from {checkpoint.path}: "
+                f"{model.result_.n_rounds} total rounds, "
+                f"{len(model.queried_)} labels bought"
+            ),
+            (
+                "byte-identical to uninterrupted run: "
+                f"{identical} (queried, labels, weights)"
+            ),
+        ]
+    )
+
+
 def cmd_engine(args: argparse.Namespace) -> str:
-    """Engine diagnostics: delta updates, parallel layer, streamed fits."""
-    from repro.engine import AlignmentSession, CandidateGenerator
+    """Engine diagnostics, plus the checkpoint/resume workflow."""
+    from repro.engine import AlignmentSession, CandidateGenerator, make_executor
     from repro.eval.timing import (
         compare_incremental_paths,
         compare_parallel_paths,
+        compare_store_paths,
         compare_streamed_fit,
         format_incremental_comparison,
         format_parallel_comparison,
+        format_store_comparison,
         format_streamed_fit,
     )
+
+    if args.action == "checkpoint":
+        return _cmd_engine_checkpoint(args)
+    if args.action == "resume":
+        return _cmd_engine_resume(args)
 
     pair = foursquare_twitter_like(scale=args.scale, seed=args.seed)
     comparison = compare_incremental_paths(
@@ -241,23 +385,34 @@ def cmd_engine(args: argparse.Namespace) -> str:
         batch_size=args.batch,
         seed=args.seed,
     )
-    session = AlignmentSession(
-        pair, known_anchors=pair.anchors, workers=args.workers
-    )
-    generator = CandidateGenerator.from_support(session)
-    pruned = generator.count()
-    full_space = pair.candidate_space_size()
-    lines = [
-        format_incremental_comparison(comparison),
-        "",
-        "Candidate streaming (support pruning, all anchors known):",
-        (
-            f"  |U1|x|U2| = {full_space}  ->  {pruned} supported pairs "
-            f"({pruned / max(1, full_space):.1%} of the cross product)"
-        ),
-        f"  session stats: workers={session.workers} {session.stats.summary()}",
-    ]
-    if args.workers > 1:
+    # The context managers guarantee the pool (and arena handles) are
+    # released even when a diagnostic below raises.
+    with make_executor(args.executor, args.workers) as executor:
+        with AlignmentSession(
+            pair,
+            known_anchors=pair.anchors,
+            workers=executor,
+            store=args.store_dir,
+        ) as session:
+            generator = CandidateGenerator.from_support(session)
+            pruned = generator.count()
+            full_space = pair.candidate_space_size()
+            lines = [
+                format_incremental_comparison(comparison),
+                "",
+                "Candidate streaming (support pruning, all anchors known):",
+                (
+                    f"  |U1|x|U2| = {full_space}  ->  {pruned} supported "
+                    f"pairs ({pruned / max(1, full_space):.1%} of the cross "
+                    "product)"
+                ),
+                (
+                    f"  session stats: workers={session.workers} "
+                    f"executor={session.executor.kind} "
+                    f"{session.stats.summary()}"
+                ),
+            ]
+    if args.workers > 1 and args.executor == "thread":
         parallel = compare_parallel_paths(
             pair,
             workers=args.workers,
@@ -265,6 +420,16 @@ def cmd_engine(args: argparse.Namespace) -> str:
             seed=args.seed,
         )
         lines.extend(["", format_parallel_comparison(parallel)])
+    if args.store_dir is not None:
+        store = compare_store_paths(
+            pair,
+            args.store_dir,
+            executor=args.executor,
+            workers=args.workers,
+            np_ratio=args.np_ratio,
+            seed=args.seed,
+        )
+        lines.extend(["", format_store_comparison(store)])
     if args.streamed:
         streamed = compare_streamed_fit(
             pair,
@@ -329,7 +494,18 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("stats", help="meta structure statistics")
 
     engine = sub.add_parser(
-        "engine", help="incremental engine vs full-recompute diagnostics"
+        "engine",
+        help="engine diagnostics and the checkpoint/resume workflow",
+    )
+    engine.add_argument(
+        "action",
+        nargs="?",
+        default="diagnose",
+        choices=["diagnose", "checkpoint", "resume"],
+        help=(
+            "diagnose (default) prints engine comparisons; checkpoint runs "
+            "a durable active fit; resume continues one from --store-dir"
+        ),
     )
     # At small scales the conflict strategy buys positives reliably only
     # when positives are a sizable slice of H; 5 keeps the demo honest.
@@ -340,7 +516,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="executor threads; > 1 adds a threaded-vs-serial race",
+        help="executor parallelism; > 1 adds an executor-vs-serial race",
+    )
+    engine.add_argument(
+        "--executor",
+        default="thread",
+        choices=["serial", "thread", "process"],
+        help="execution backend used when --workers > 1",
+    )
+    engine.add_argument(
+        "--store-dir",
+        default=None,
+        help=(
+            "disk-backed matrix store directory: spills count matrices to "
+            "disk (memory-mapped reads) and holds checkpoint files"
+        ),
+    )
+    engine.add_argument(
+        "--interrupt-after",
+        type=int,
+        default=None,
+        help=(
+            "engine checkpoint only: simulate a crash after N completed "
+            "query rounds (the checkpoint survives for engine resume)"
+        ),
     )
     engine.add_argument(
         "--streamed",

@@ -17,11 +17,19 @@ negatives (the "extra label gains" of §III-C.3).
 Optionally the model refreshes the anchor matrix used for feature
 extraction whenever queried positives arrive (``refresh_features``);
 the paper precomputes features once, so this defaults to off.
+
+Long fits can be made durable with a
+:class:`~repro.store.checkpoint.SessionCheckpoint`: the loop snapshots
+its complete state (clamped labels, bought queries, the label vector,
+oracle answers, strategy RNG state, and — when a session is attached —
+the session's anchor-derived count state) after every query round, and
+a model constructed over the same task finds the checkpoint and resumes
+byte-identically to an uninterrupted run.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -32,6 +40,7 @@ from repro.core.itermpmd import AlternatingState, IterMPMD
 from repro.engine.streaming import StreamedAlignmentTask
 from repro.exceptions import ModelError
 from repro.meta.features import FeatureExtractor
+from repro.store.checkpoint import SessionCheckpoint
 from repro.types import LinkPair
 
 
@@ -63,6 +72,16 @@ class ActiveIter(IterMPMD):
         active runs.  Mutually exclusive with ``feature_extractor``
         (an extractor's own session is used when only the extractor is
         given).
+    checkpoint:
+        A :class:`~repro.store.checkpoint.SessionCheckpoint` making the
+        query loop durable: state is saved after every round, and a fit
+        that finds an existing checkpoint resumes from it instead of
+        starting over — byte-identically to an uninterrupted run.  The
+        caller must rebuild the model and task deterministically (same
+        split, oracle budget, strategy and seed); with
+        ``refresh_features=True`` the checkpoint also carries the
+        session's count state and the feature matrix is re-derived on
+        resume.
     """
 
     def __init__(
@@ -77,6 +96,7 @@ class ActiveIter(IterMPMD):
         feature_extractor: Optional[FeatureExtractor] = None,
         refresh_features: bool = False,
         session=None,
+        checkpoint: Optional[SessionCheckpoint] = None,
     ) -> None:
         super().__init__(
             c=c,
@@ -104,6 +124,81 @@ class ActiveIter(IterMPMD):
         self.feature_extractor = feature_extractor
         self.session = session
         self.refresh_features = bool(refresh_features)
+        self.checkpoint = checkpoint
+        # Anchor-update counter at the last checkpointed session
+        # snapshot; lets saves skip re-pickling an unchanged session.
+        self._checkpoint_anchor_marker: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Checkpoint plumbing
+    # ------------------------------------------------------------------
+    def _resume_payload(self, session) -> Optional[Dict]:
+        """Load loop state from an existing checkpoint, if any.
+
+        Restores the session's count/anchor state (when the checkpoint
+        carries one), the oracle's answer memory and the strategy's RNG
+        state; returns the loop payload for the fit loop to continue
+        from, or ``None`` for a fresh start.
+        """
+        if self.checkpoint is None or not self.checkpoint.exists():
+            return None
+        payload = self.checkpoint.restore(session)
+        self.oracle.restore(payload["oracle"])
+        strategy_state = payload.get("strategy_state")
+        if strategy_state is not None:
+            if not hasattr(self.strategy, "restore_state"):
+                raise ModelError(
+                    "checkpoint carries strategy state but "
+                    f"{type(self.strategy).__name__} has no restore_state(); "
+                    "resume with the same strategy the run was started with"
+                )
+            self.strategy.restore_state(strategy_state)
+        if session is not None:
+            self._checkpoint_anchor_marker = session.stats.anchor_updates
+        return payload
+
+    def _save_checkpoint(
+        self,
+        session,
+        clamped_indices: np.ndarray,
+        clamped_values: np.ndarray,
+        queried: List[Tuple[LinkPair, int]],
+        trace: List[float],
+        y: np.ndarray,
+        n_rounds: int,
+    ) -> None:
+        """Persist the loop state after one completed query round.
+
+        The session's (potentially huge) count state is re-snapshotted
+        only on rounds that actually changed the anchor set — rounds
+        that bought no positive label reuse the previous snapshot, so
+        the per-round cost is the small loop payload.
+        """
+        if self.checkpoint is None:
+            return
+        session_dirty = True
+        if session is not None:
+            marker = session.stats.anchor_updates
+            session_dirty = marker != self._checkpoint_anchor_marker
+            self._checkpoint_anchor_marker = marker
+        self.checkpoint.save(
+            session=session,
+            session_dirty=session_dirty,
+            payload={
+                "clamped_indices": clamped_indices.copy(),
+                "clamped_values": clamped_values.copy(),
+                "queried": list(queried),
+                "trace": list(trace),
+                "y": y.copy(),
+                "n_rounds": n_rounds,
+                "oracle": self.oracle.snapshot(),
+                "strategy_state": (
+                    self.strategy.snapshot_state()
+                    if hasattr(self.strategy, "snapshot_state")
+                    else None
+                ),
+            },
+        )
 
     # ------------------------------------------------------------------
     def fit(self, task: AlignmentTask) -> "ActiveIter":
@@ -116,14 +211,27 @@ class ActiveIter(IterMPMD):
             return self.fit_streamed(task)
         self.task_ = task
 
-        clamped_indices = task.labeled_indices.copy()
-        clamped_values = task.labeled_values.copy()
-        queried: List[Tuple[LinkPair, int]] = []
-        trace: List[float] = []
-
-        y = self._initial_labels(task, clamped_indices, clamped_values)
+        resume = self._resume_payload(self.session)
+        if resume is not None:
+            clamped_indices = np.asarray(resume["clamped_indices"])
+            clamped_values = np.asarray(resume["clamped_values"])
+            queried = list(resume["queried"])
+            trace = list(resume["trace"])
+            y = np.asarray(resume["y"], dtype=np.float64)
+            n_rounds = int(resume["n_rounds"])
+            if self.refresh_features:
+                # The restored session carries the checkpoint's anchor
+                # state; a fresh extraction over it is byte-identical to
+                # the in-place-refreshed matrix of the original run.
+                task.X = self.session.extract(task.pairs)
+        else:
+            clamped_indices = task.labeled_indices.copy()
+            clamped_values = task.labeled_values.copy()
+            queried = []
+            trace = []
+            y = self._initial_labels(task, clamped_indices, clamped_values)
+            n_rounds = 0
         state = AlternatingState.from_task(task, clamped_indices, clamped_values)
-        n_rounds = 0
         while True:
             n_rounds += 1
             solver = self._make_solver(task, clamped_indices, clamped_values)
@@ -176,6 +284,16 @@ class ActiveIter(IterMPMD):
                     # Full-recompute semantics (the pre-engine behavior).
                     task.X = self.session.extract(task.pairs)
 
+            self._save_checkpoint(
+                self.session,
+                clamped_indices,
+                clamped_values,
+                queried,
+                trace,
+                y,
+                n_rounds,
+            )
+
         self.weights_ = w
         self.result_ = AlignmentResult(
             labels=y.astype(np.int64),
@@ -184,6 +302,8 @@ class ActiveIter(IterMPMD):
             convergence_trace=tuple(trace),
             n_rounds=n_rounds,
         )
+        if self.checkpoint is not None:
+            self.checkpoint.clear()
         return self
 
     # ------------------------------------------------------------------
@@ -209,14 +329,24 @@ class ActiveIter(IterMPMD):
             )
         self.task_ = task
 
-        clamped_indices = task.labeled_indices.copy()
-        clamped_values = task.labeled_values.copy()
-        queried: List[Tuple[LinkPair, int]] = []
-        trace: List[float] = []
-
-        y = self._initial_labels(task, clamped_indices, clamped_values)
+        resume = self._resume_payload(task.session)
+        if resume is not None:
+            clamped_indices = np.asarray(resume["clamped_indices"])
+            clamped_values = np.asarray(resume["clamped_values"])
+            queried = list(resume["queried"])
+            trace = list(resume["trace"])
+            y = np.asarray(resume["y"], dtype=np.float64)
+            n_rounds = int(resume["n_rounds"])
+            # No feature matrix to rebuild: the next block pass extracts
+            # against the restored session state.
+        else:
+            clamped_indices = task.labeled_indices.copy()
+            clamped_values = task.labeled_values.copy()
+            queried = []
+            trace = []
+            y = self._initial_labels(task, clamped_indices, clamped_values)
+            n_rounds = 0
         state = AlternatingState.from_task(task, clamped_indices, clamped_values)
-        n_rounds = 0
         while True:
             n_rounds += 1
             y, w, scores, round_trace = self._alternate_streamed(
@@ -264,6 +394,16 @@ class ActiveIter(IterMPMD):
                 ]
                 task.session.set_anchors(known_positive_pairs)
 
+            self._save_checkpoint(
+                task.session,
+                clamped_indices,
+                clamped_values,
+                queried,
+                trace,
+                y,
+                n_rounds,
+            )
+
         self.weights_ = w
         self.result_ = AlignmentResult(
             labels=y.astype(np.int64),
@@ -272,4 +412,6 @@ class ActiveIter(IterMPMD):
             convergence_trace=tuple(trace),
             n_rounds=n_rounds,
         )
+        if self.checkpoint is not None:
+            self.checkpoint.clear()
         return self

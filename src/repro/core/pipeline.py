@@ -21,7 +21,8 @@ finer experimental control; this pipeline is the library's front door.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -36,13 +37,20 @@ from repro.engine.candidates import (
     linear_scorer,
     streamed_selection,
 )
-from repro.engine.parallel import WorkersSpec
+from repro.engine.parallel import ProcessExecutor, WorkersSpec
 from repro.engine.session import AlignmentSession
-from repro.engine.streaming import StreamedAlignmentTask, blockify
+from repro.engine.streaming import (
+    BlockSizeSpec,
+    StreamedAlignmentTask,
+    blockify,
+    resolve_block_size,
+)
 from repro.exceptions import ModelError, NotFittedError
 from repro.meta.diagrams import DiagramFamily
 from repro.meta.features import FeatureExtractor
 from repro.networks.aligned import AlignedPair
+from repro.store.arena import MatrixArena
+from repro.store.procwork import ArenaLinearScorer
 from repro.types import Labeled, LinkPair
 
 
@@ -71,6 +79,20 @@ class AlignmentPipeline:
         for serial, >= 2 for a thread pool, or a shared
         :class:`~repro.engine.parallel.Executor`.  Ignored when an
         existing ``session`` is supplied.
+    store:
+        Disk-backed matrix store (a directory path or a shared
+        :class:`~repro.store.arena.MatrixArena`) forwarded to the
+        session: count matrices spill to disk and are served as memory
+        maps, and :meth:`stream_predict` can fan block scoring across a
+        :class:`~repro.engine.parallel.ProcessExecutor`.  Ignored when
+        an existing ``session`` is supplied.
+
+    Notes
+    -----
+    The pipeline is a context manager; :meth:`close` (idempotent)
+    releases the session it created — its thread/process pool and its
+    arena handles — so ``with AlignmentPipeline(...) as pipeline:``
+    never leaks pools, even on exceptions.
     """
 
     def __init__(
@@ -81,13 +103,16 @@ class AlignmentPipeline:
         feature_map=None,
         session: Optional[AlignmentSession] = None,
         workers: WorkersSpec = None,
+        store: Optional[Union[str, Path, MatrixArena]] = None,
     ) -> None:
         self.pair = pair
         self.family = family
         self.include_words = include_words
         self.feature_map = feature_map
         self.workers = workers
+        self.store = store
         self.session_: Optional[AlignmentSession] = session
+        self._owns_session = session is None
         self.extractor_: Optional[FeatureExtractor] = None
         self.model_: Optional[AlignmentModel] = None
         self.task_: Optional[AlignmentTask] = None
@@ -106,10 +131,28 @@ class AlignmentPipeline:
                 known_anchors=known_anchors,
                 include_words=self.include_words,
                 workers=self.workers,
+                store=self.store,
             )
+            self._owns_session = True
         else:
             self.session_.set_anchors(known_anchors)
         return self.session_
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the session the pipeline created (idempotent).
+
+        A session passed in at construction is shared state and stays
+        open — its owner closes it.
+        """
+        if self._owns_session and self.session_ is not None:
+            self.session_.close()
+
+    def __enter__(self) -> "AlignmentPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def build_task(
         self,
@@ -157,11 +200,12 @@ class AlignmentPipeline:
         self,
         candidates: Sequence[LinkPair],
         labeled: Sequence[Labeled],
-        block_size: int = 4096,
+        block_size: BlockSizeSpec = 4096,
     ) -> StreamedAlignmentTask:
         """Assemble a :class:`StreamedAlignmentTask` — no |H| x d matrix.
 
-        The candidate list is chopped into ``block_size`` blocks;
+        The candidate list is chopped into ``block_size`` blocks
+        (``"auto"`` tunes the size from a measured probe extraction);
         features are extracted per block, per pass, from the pipeline's
         session.  Labeling rules match :meth:`build_task` exactly.
         """
@@ -187,12 +231,14 @@ class AlignmentPipeline:
         known_anchors = [item.pair for item in labeled if item.label == 1]
         session = self._session_for(known_anchors)
         self.extractor_ = FeatureExtractor.from_session(session)
+        resolved = resolve_block_size(session, candidates, block_size)
         task = StreamedAlignmentTask(
             session,
-            blockify(candidates, block_size),
+            blockify(candidates, resolved),
             np.asarray(labeled_indices, dtype=np.int64),
             np.asarray(labeled_values, dtype=np.int64),
         )
+        task.block_size = resolved
         self.task_ = task
         return task
 
@@ -221,7 +267,8 @@ class AlignmentPipeline:
         batch_size: int = 5,
         refresh_features: bool = False,
         streamed: bool = False,
-        block_size: int = 4096,
+        block_size: BlockSizeSpec = 4096,
+        checkpoint=None,
     ) -> List[LinkPair]:
         """Fit ActiveIter with an oracle built from the pair's ground truth.
 
@@ -235,6 +282,10 @@ class AlignmentPipeline:
         ``block_size`` instead of a materialized feature matrix (see
         :meth:`build_streamed_task`); query strategies consume scored
         blocks and select the same query sets as the materialized path.
+
+        ``checkpoint`` (a
+        :class:`~repro.store.checkpoint.SessionCheckpoint`) makes the
+        query loop durable and resumable — see :class:`ActiveIter`.
         """
         if refresh_features and self.feature_map is not None:
             raise ModelError(
@@ -254,6 +305,7 @@ class AlignmentPipeline:
             batch_size=batch_size,
             session=self.session_ if (refresh_features or streamed) else None,
             refresh_features=refresh_features,
+            checkpoint=checkpoint,
         )
         self.model_.fit(task)
         return self.model_.predicted_anchors()
@@ -320,9 +372,23 @@ class AlignmentPipeline:
                     min_structures=min_structures,
                 )
         known = self.session_.known_anchors
+        weights = np.asarray(weights, dtype=np.float64).ravel()
+        if (
+            isinstance(self.session_.executor, ProcessExecutor)
+            and self.session_.arena is not None
+        ):
+            # Process fan-out: ship a picklable arena-backed scorer;
+            # workers resolve blocks against the shared memory-mapped
+            # store.  Scores (and the selection) are byte-identical to
+            # the in-process sweep.
+            score_fn = ArenaLinearScorer(
+                spec=self.session_.flush_store(), weights=weights
+            )
+        else:
+            score_fn = linear_scorer(self.session_, weights)
         selected = streamed_selection(
             generator,
-            linear_scorer(self.session_, weights),
+            score_fn,
             threshold=threshold,
             blocked_left={left for left, _ in known},
             blocked_right={right for _, right in known},

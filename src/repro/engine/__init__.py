@@ -9,7 +9,8 @@ blocks instead of materializing the |U1| x |U2| cross product;
 :mod:`repro.engine.streaming` carries whole fit problems in block form
 (no |H| x d feature matrix); and :mod:`repro.engine.parallel` provides
 the executor abstraction that fans per-structure and per-block work out
-across threads with byte-identical results.
+across threads — or, with a store-backed session
+(:mod:`repro.store`), across processes — with byte-identical results.
 """
 
 from repro.engine.candidates import (
@@ -25,18 +26,28 @@ from repro.engine.incremental import (
 )
 from repro.engine.parallel import (
     Executor,
+    ProcessExecutor,
     SerialExecutor,
     ThreadedExecutor,
     get_executor,
+    make_executor,
 )
 from repro.engine.session import AlignmentSession, SessionStats
-from repro.engine.streaming import StreamedAlignmentTask, blockify
+from repro.engine.streaming import (
+    AUTO_BLOCK_SIZE,
+    StreamedAlignmentTask,
+    blockify,
+    resolve_block_size,
+    tune_block_size,
+)
 
 __all__ = [
+    "AUTO_BLOCK_SIZE",
     "AlignmentSession",
     "CandidateGenerator",
     "DeltaEvaluator",
     "Executor",
+    "ProcessExecutor",
     "SerialExecutor",
     "SessionStats",
     "StreamedAlignmentTask",
@@ -46,6 +57,9 @@ __all__ = [
     "get_executor",
     "leaf_occurrences",
     "linear_scorer",
+    "make_executor",
+    "resolve_block_size",
     "streamed_selection",
     "supports_delta",
+    "tune_block_size",
 ]

@@ -31,7 +31,13 @@ from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Set, 
 import numpy as np
 from scipy import sparse
 
-from repro.engine.parallel import WorkersSpec, get_executor
+from repro.engine.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    WorkersSpec,
+    _picklable,
+    get_executor,
+)
 from repro.exceptions import AlignmentError
 from repro.matching.greedy import greedy_link_selection
 from repro.networks.aligned import AlignedPair
@@ -212,6 +218,14 @@ def linear_scorer(
     return score
 
 
+def _score_block_unit(
+    item: Tuple[Callable[[Sequence[LinkPair]], np.ndarray], CandidateBlock],
+) -> Tuple[CandidateBlock, np.ndarray]:
+    """Score one block — module-level so process pools can pickle it."""
+    score_fn, block = item
+    return block, np.asarray(score_fn(block), dtype=np.float64).ravel()
+
+
 def streamed_selection(
     generator: CandidateGenerator,
     score_fn: Callable[[Sequence[LinkPair]], np.ndarray],
@@ -230,19 +244,25 @@ def streamed_selection(
     With ``workers`` (an integer or a shared
     :class:`~repro.engine.parallel.Executor`) blocks are scored across
     a thread pool; survivors are still merged in stream order, so the
-    selection is byte-identical to a serial sweep.  An empty candidate
-    space yields an empty selection, never an error.
+    selection is byte-identical to a serial sweep.  A
+    :class:`~repro.engine.parallel.ProcessExecutor` fans blocks across
+    processes when ``score_fn`` is picklable — e.g. an
+    :class:`~repro.store.procwork.ArenaLinearScorer` resolving features
+    against a shared arena — and degrades to a serial sweep otherwise
+    (a closure over live session state cannot cross the process
+    boundary).  An empty candidate space yields an empty selection,
+    never an error.
     """
     executor = get_executor(workers)
-
-    def score_block(
-        block: CandidateBlock,
-    ) -> Tuple[CandidateBlock, np.ndarray]:
-        return block, np.asarray(score_fn(block), dtype=np.float64).ravel()
+    if isinstance(executor, ProcessExecutor) and not _picklable(score_fn):
+        executor = SerialExecutor()
 
     survivor_pairs: List[LinkPair] = []
     survivor_scores: List[np.ndarray] = []
-    for block, scores in executor.imap(score_block, generator.blocks()):
+    scored = executor.imap(
+        _score_block_unit, ((score_fn, block) for block in generator.blocks())
+    )
+    for block, scores in scored:
         if scores.shape[0] != len(block):
             raise AlignmentError(
                 f"score function returned {scores.shape[0]} scores "

@@ -1,4 +1,4 @@
-"""The engine's execution layer: serial and thread-pool executors.
+"""The engine's execution layer: serial, thread and process executors.
 
 Heavy engine work decomposes into *independent* units whose results are
 merged in a fixed order — the 28 anchor-dependent delta expressions of
@@ -8,13 +8,22 @@ numpy's searchsorted/ufuncs release the GIL, so a plain thread pool
 parallelizes them without any serialization cost.
 
 :class:`Executor` is the small abstraction the session and the candidate
-stream program against.  Two implementations exist:
+stream program against.  Three implementations exist:
 
 * :class:`SerialExecutor` — runs everything inline (the default, and the
   reference semantics);
 * :class:`ThreadedExecutor` — a ``concurrent.futures.ThreadPoolExecutor``
   wrapper that preserves **input order** in all results, so the merged
-  output of a threaded run is byte-identical to the serial run.
+  output of a threaded run is byte-identical to the serial run;
+* :class:`ProcessExecutor` — a ``ProcessPoolExecutor`` wrapper for work
+  whose units cross process boundaries: the function and every item
+  must be **picklable**.  The engine's picklable work units are the
+  arena-backed block descriptors of :mod:`repro.store.procwork` — the
+  matrices themselves are shared through the arena's memory maps, not
+  copied.  A non-picklable callable (a closure over live session state)
+  degrades gracefully to inline execution, so a session handed a
+  process executor still works everywhere — only the curated
+  descriptor paths actually fan across processes.
 
 Determinism contract: both :meth:`Executor.map` and
 :meth:`Executor.imap` return results in the order of their inputs, never
@@ -27,16 +36,31 @@ Nested use is safe: when a worker thread re-enters the executor (e.g. a
 threaded block sweep whose scorer calls ``session.extract``, which
 itself maps over structures), the inner call runs inline instead of
 deadlocking the bounded pool.
+
+:meth:`Executor.close` is **idempotent** on every implementation, and
+executors are context managers — the pipeline, the experiment runner
+and the CLI always release pools through ``with``/``finally`` so an
+exception mid-run never leaks worker threads or processes.
 """
 
 from __future__ import annotations
 
+import pickle
 import threading
 from collections import deque
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Iterator, List, Optional, TypeVar, Union
 
 from repro.exceptions import AlignmentError
+
+
+def _picklable(obj) -> bool:
+    """Whether ``obj`` survives pickling (the process-pool entry fee)."""
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -53,9 +77,13 @@ class Executor:
     ----------
     workers:
         Parallelism degree; ``1`` means strictly inline execution.
+    kind:
+        Short name of the execution backend (``"serial"``, ``"thread"``
+        or ``"process"``) — recorded in experiment runtime metadata.
     """
 
     workers: int = 1
+    kind: str = "serial"
 
     def map(
         self, fn: Callable[[T], R], items: Iterable[T]
@@ -78,7 +106,7 @@ class Executor:
         raise NotImplementedError
 
     def close(self) -> None:
-        """Release worker threads, if any."""
+        """Release worker threads/processes, if any (always idempotent)."""
 
     def __enter__(self) -> "Executor":
         return self
@@ -91,6 +119,7 @@ class SerialExecutor(Executor):
     """Inline execution — the reference path every parallel run must match."""
 
     workers = 1
+    kind = "serial"
 
     def map(self, fn, items):
         return [fn(item) for item in items]
@@ -116,6 +145,8 @@ class ThreadedExecutor(Executor):
     :meth:`close` (or garbage collection).  Calls made *from* a pool
     worker run inline — see the module docstring on nested use.
     """
+
+    kind = "thread"
 
     def __init__(self, workers: int) -> None:
         if workers < 2:
@@ -191,6 +222,103 @@ class ThreadedExecutor(Executor):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ThreadedExecutor(workers={self.workers})"
+
+
+class ProcessExecutor(Executor):
+    """Process-pool execution for picklable work units.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; must be >= 2 (use :class:`SerialExecutor` for 1).
+
+    Notes
+    -----
+    The pool is created lazily and torn down by :meth:`close`
+    (idempotent).  Work whose callable does not pickle — the session's
+    internal closures — runs inline, preserving correctness at serial
+    speed; the engine's cross-process fan-outs go through the
+    module-level job functions of :mod:`repro.store.procwork`, whose
+    items are block descriptors resolved against a shared
+    :class:`~repro.store.arena.MatrixArena`.  Result order always
+    follows input order, so a process run is byte-identical to a serial
+    one.
+    """
+
+    kind = "process"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 2:
+            raise AlignmentError(
+                f"ProcessExecutor needs >= 2 workers, got {workers}"
+            )
+        self.workers = int(workers)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            return self._pool
+
+    def map(self, fn, items):
+        if not _picklable(fn):
+            return [fn(item) for item in items]
+        return list(self._ensure_pool().map(fn, items))
+
+    def imap(self, fn, items, window=None):
+        if not _picklable(fn):
+            return (fn(item) for item in items)
+        if window is None:
+            window = 2 * self.workers
+        if window < 1:
+            raise AlignmentError(f"window must be >= 1, got {window}")
+        pool = self._ensure_pool()
+
+        def results() -> Iterator[R]:
+            pending = deque()
+            iterator = iter(items)
+            try:
+                for item in iterator:
+                    pending.append(pool.submit(fn, item))
+                    if len(pending) >= window:
+                        yield pending.popleft().result()
+                while pending:
+                    yield pending.popleft().result()
+            finally:
+                for future in pending:
+                    future.cancel()
+
+        return results()
+
+    def close(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessExecutor(workers={self.workers})"
+
+
+def make_executor(kind: str, workers: int = 1) -> Executor:
+    """Build an executor from a named backend and a worker count.
+
+    The CLI's ``--executor {serial,thread,process}`` knob resolves
+    through here; ``workers <= 1`` always yields the serial executor
+    regardless of ``kind`` (a pool of one is just overhead).
+    """
+    if kind not in ("serial", "thread", "process"):
+        raise AlignmentError(
+            f"unknown executor kind {kind!r}; "
+            "choose from serial, thread, process"
+        )
+    if kind == "serial" or workers <= 1:
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadedExecutor(workers)
+    return ProcessExecutor(workers)
 
 
 def get_executor(workers: WorkersSpec) -> Executor:

@@ -29,21 +29,34 @@ products/Hadamards/sums of integers below 2**53 are exact in float64.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
 import numpy as np
 from scipy import sparse
 
 from repro.engine.incremental import DeltaEvaluator, apply_delta, supports_delta
 from repro.engine.parallel import Executor, WorkersSpec, get_executor
-from repro.exceptions import FeatureError
+from repro.exceptions import FeatureError, StoreError
 from repro.meta.algebra import CountingEngine, Expr
 from repro.meta.context import ANCHOR_MATRIX, build_matrix_bag
 from repro.meta.diagrams import DiagramFamily, standard_diagram_family
 from repro.meta.proximity import ProximityMatrix, csr_values_at, dice_scores
 from repro.networks.aligned import AlignedPair
+from repro.store.arena import MatrixArena, as_arena
+from repro.store.procwork import (
+    SESSION_META,
+    SESSION_SLOTS,
+    ArenaSpec,
+    col_sums_slot,
+    counts_slot,
+    row_sums_slot,
+)
 from repro.types import LinkPair
+
+#: Session state-dict format, for checkpoint compatibility checks.
+_STATE_FORMAT_VERSION = 1
 
 
 @dataclass
@@ -195,6 +208,17 @@ class AlignmentSession:
         with more blocks than this deliberately recompute lookups per
         pass (bounded memory) — raise it to trade memory for speed when
         a streamed task's block count is known and affordable.
+    store:
+        Disk-backed matrix store: a directory path or a shared
+        :class:`~repro.store.arena.MatrixArena`.  When set, every
+        materialized count matrix (and every memoized counting-engine
+        product) is spilled to the store and served back as a memory
+        map, so the session's resident set is the pages in flight, not
+        the sum of all matrices.  The store is also the shared-state
+        substrate of the :class:`~repro.engine.parallel.ProcessExecutor`
+        (see :meth:`flush_store`) and the natural home of
+        :class:`~repro.store.checkpoint.SessionCheckpoint` files.
+        ``None`` (the default) keeps everything in RAM.
     """
 
     def __init__(
@@ -207,6 +231,7 @@ class AlignmentSession:
         incremental: bool = True,
         workers: WorkersSpec = None,
         view_cache_size: int = 16,
+        store: Optional[Union[str, Path, MatrixArena]] = None,
     ) -> None:
         self.pair = pair
         self.family = family if family is not None else standard_diagram_family(
@@ -215,9 +240,13 @@ class AlignmentSession:
         self.include_bias = include_bias
         self.incremental = bool(incremental)
         self.executor: Executor = get_executor(workers)
+        self._owns_executor = not isinstance(workers, Executor)
         if view_cache_size < 1:
             raise FeatureError("view_cache_size must be >= 1")
         self.view_cache_size = int(view_cache_size)
+        self.arena, self._owns_arena = as_arena(store)
+        self._store_dirty = self.arena is not None
+        self._store_meta_written = False
         self.stats = SessionStats()
         self._anchors: Set[LinkPair] = set(known_anchors or ())
         self._views: Dict[int, _CandidateView] = {}
@@ -231,7 +260,7 @@ class AlignmentSession:
             known_anchors=self._anchors,
             include_words=include_words or needs_words,
         )
-        self._engine = CountingEngine(bag)
+        self._engine = CountingEngine(bag, arena=self.arena)
         self._structures: List[_Structure] = [
             _Structure(
                 name=name,
@@ -297,6 +326,33 @@ class AlignmentSession:
     # ------------------------------------------------------------------
     # Count / proximity state
     # ------------------------------------------------------------------
+    def _publish_counts(
+        self, structure: _Structure, counts: sparse.csr_matrix
+    ) -> sparse.csr_matrix:
+        """Spill folded counts to the arena (if any) and serve the mmap.
+
+        A matrix already served from the arena (the counting engine
+        spills its memoized products, including top-level expressions)
+        passes through untouched — re-spilling it would just duplicate
+        files and page traffic.
+        """
+        if self.arena is None or getattr(counts, "_arena_slot", None):
+            return counts
+        slot = counts_slot(structure.name)
+        self.arena.put(slot, counts)
+        return self.arena.get(slot)
+
+    def _release_store_pages(self) -> None:
+        """Drop resident pages of mapped matrices between work units.
+
+        Only meaningful in store mode: after a unit of heavy work (one
+        structure's evaluation, one anchor round) the pages it touched
+        are advised away, so the session's peak RSS tracks the columns
+        in flight, not the sum of every matrix read so far.
+        """
+        if self.arena is not None:
+            self.arena.release_pages()
+
     def _ensure_counts(self, structure: _Structure) -> None:
         with structure.lock:
             if structure.counts is None:
@@ -305,9 +361,12 @@ class AlignmentSession:
                 structure.row_sums = np.asarray(counts.sum(axis=1)).ravel()
                 structure.col_sums = np.asarray(counts.sum(axis=0)).ravel()
                 structure.proximity = None
-                structure.counts = counts
+                structure.counts = self._publish_counts(structure, counts)
                 with self._state_lock:
                     self.stats.full_recounts += 1
+                # Evaluation touched shared intermediates; let the
+                # kernel reclaim those pages before the next structure.
+                self._release_store_pages()
             elif structure.pending:
                 counts = structure.counts
                 for change in structure.pending:
@@ -315,7 +374,7 @@ class AlignmentSession:
                 # Canonicalize before publishing so concurrent batched
                 # lookups never race an in-place index sort.
                 counts.sort_indices()
-                structure.counts = counts
+                structure.counts = self._publish_counts(structure, counts)
                 structure.pending.clear()
 
     def _proximity(self, structure: _Structure) -> ProximityMatrix:
@@ -355,6 +414,7 @@ class AlignmentSession:
         # state changes, so a bad anchor leaves the session untouched.
         new_anchor_matrix = self.pair.anchor_matrix(new_set)
         self.stats.anchor_updates += 1
+        self._store_dirty = self.arena is not None
         use_delta = (
             self.incremental and len(added) + len(removed) < len(new_set)
         )
@@ -404,6 +464,7 @@ class AlignmentSession:
             )
             for structure, change in zip(delta_structures, changes):
                 self._apply_structure_delta(structure, change)
+        self._release_store_pages()
         return True
 
     def _apply_structure_delta(
@@ -622,6 +683,185 @@ class AlignmentSession:
         return {
             structure.name: structure.counts for structure in self._structures
         }
+
+    # ------------------------------------------------------------------
+    # Disk-backed store
+    # ------------------------------------------------------------------
+    @property
+    def store_dir(self) -> Optional[Path]:
+        """Directory of the session's matrix store, or ``None``."""
+        return self.arena.store_dir if self.arena is not None else None
+
+    def flush_store(self) -> ArenaSpec:
+        """Publish a consistent snapshot of feature state to the arena.
+
+        Folds every pending delta, spills all count matrices plus their
+        row/column sums, and (once) the session metadata worker
+        processes need to resolve block descriptors — structure order,
+        bias flag, user-position maps.  Returns the
+        :class:`~repro.store.procwork.ArenaSpec` stamping the manifest
+        version just published; dispatchers attach it to every work
+        unit so stale workers reload before serving.  A flush with no
+        changes since the last one is a cheap no-op.
+        """
+        if self.arena is None:
+            raise StoreError(
+                "flush_store() needs a session constructed with store="
+            )
+        if self._store_dirty or not self._store_meta_written:
+            slots: Dict[str, str] = {}
+            for structure in self._structures:
+                self._ensure_counts(structure)
+                slot = getattr(structure.counts, "_arena_slot", None)
+                if slot is None or slot not in self.arena:
+                    # Counts live only in RAM (e.g. restored from a
+                    # checkpoint) or their engine slot was invalidated:
+                    # give them a dedicated slot workers can open.
+                    slot = counts_slot(structure.name)
+                    self.arena.put(slot, structure.counts)
+                    structure.counts = self.arena.get(slot)
+                slots[structure.name] = slot
+                self.arena.put_array(
+                    row_sums_slot(structure.name), structure.row_sums
+                )
+                self.arena.put_array(
+                    col_sums_slot(structure.name), structure.col_sums
+                )
+            self.arena.put_object(SESSION_SLOTS, slots)
+            if not self._store_meta_written:
+                anchor_type = self.pair.anchor_node_type
+                self.arena.put_object(
+                    SESSION_META,
+                    {
+                        "structure_names": [
+                            structure.name for structure in self._structures
+                        ],
+                        "include_bias": bool(self.include_bias),
+                        "n_right": self.pair.right.node_count(anchor_type),
+                        "left_positions": {
+                            user: index
+                            for index, user in enumerate(self.pair.left_users())
+                        },
+                        "right_positions": {
+                            user: index
+                            for index, user in enumerate(self.pair.right_users())
+                        },
+                    },
+                )
+                self._store_meta_written = True
+            self._store_dirty = False
+            self._release_store_pages()
+        return ArenaSpec(
+            store_dir=str(self.arena.store_dir), version=self.arena.version
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointable state
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Picklable snapshot of all anchor-derived session state.
+
+        Captures the known anchor set, every structure's folded counts,
+        row/column sums and still-pending deltas, and the work
+        counters.  Candidate views are *not* captured: they are derived
+        caches, rebuilt bit-exactly from counts on demand.  Restoring
+        the snapshot with :meth:`load_state_dict` makes the session
+        byte-indistinguishable from one that reached the same anchor
+        set live — the foundation of checkpoint/resume determinism.
+        """
+        structures = {}
+        for structure in self._structures:
+            with structure.lock:
+                structures[structure.name] = {
+                    "counts": (
+                        sparse.csr_matrix(structure.counts, copy=True)
+                        if structure.counts is not None
+                        else None
+                    ),
+                    "row_sums": (
+                        np.array(structure.row_sums)
+                        if structure.row_sums is not None
+                        else None
+                    ),
+                    "col_sums": (
+                        np.array(structure.col_sums)
+                        if structure.col_sums is not None
+                        else None
+                    ),
+                    "pending": [
+                        sparse.csr_matrix(change, copy=True)
+                        for change in structure.pending
+                    ],
+                }
+        return {
+            "format_version": _STATE_FORMAT_VERSION,
+            "anchors": set(self._anchors),
+            "structures": structures,
+            "stats": asdict(self.stats),
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this session.
+
+        The session must be over the same pair and family the snapshot
+        was taken from (structure names are verified; anchor endpoints
+        are validated against the pair).  Views are dropped and rebuilt
+        lazily; the counting engine's anchor matrix is replaced so later
+        full evaluations agree with the restored anchor set.
+        """
+        version = state.get("format_version")
+        if version != _STATE_FORMAT_VERSION:
+            raise StoreError(
+                f"unsupported session state format version {version!r}"
+            )
+        expected = {structure.name for structure in self._structures}
+        found = set(state["structures"])
+        if found != expected:
+            raise StoreError(
+                "session state structures do not match this session's "
+                f"family (missing {sorted(expected - found)}, "
+                f"unexpected {sorted(found - expected)})"
+            )
+        anchors = set(state["anchors"])
+        # Validates every anchor endpoint before any state changes.
+        anchor_matrix = self.pair.anchor_matrix(anchors)
+        self._anchors = anchors
+        self._engine.update_matrix(ANCHOR_MATRIX, anchor_matrix)
+        with self._state_lock:
+            self._views.clear()
+        for structure in self._structures:
+            snapshot = state["structures"][structure.name]
+            with structure.lock:
+                structure.counts = snapshot["counts"]
+                structure.row_sums = snapshot["row_sums"]
+                structure.col_sums = snapshot["col_sums"]
+                structure.pending = list(snapshot["pending"])
+                structure.proximity = None
+        self.stats = SessionStats(**state["stats"])
+        if self.arena is not None:
+            self._store_dirty = True
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release owned resources (idempotent).
+
+        Closes the executor when the session built it from a ``workers``
+        count (a shared :class:`~repro.engine.parallel.Executor` is the
+        caller's to close) and the arena when built from a ``store``
+        path.  Spilled matrices stay on disk.
+        """
+        if self._owns_executor:
+            self.executor.close()
+        if self.arena is not None and self._owns_arena:
+            self.arena.close()
+
+    def __enter__(self) -> "AlignmentSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -37,15 +37,33 @@ records for the streamed query strategies — no extraction involved.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+import time
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.active.strategies import ScoredBlock
 from repro.engine.candidates import CandidateBlock, CandidateGenerator
+from repro.engine.parallel import ProcessExecutor
 from repro.engine.session import AlignmentSession
 from repro.exceptions import ModelError
+from repro.store.procwork import BlockDescriptor, extract_block_job
 from repro.types import LinkPair
+
+#: Sentinel accepted by the ``block_size`` knobs: measure throughput and
+#: pick a size instead of using a fixed number.
+AUTO_BLOCK_SIZE = "auto"
+
+#: What a ``block_size`` knob accepts: a fixed size or ``"auto"``.
+BlockSizeSpec = Union[int, str]
+
+# Auto-tune envelope: blocks small enough to keep peak feature memory
+# modest and pipelines responsive, large enough to amortize per-block
+# lookup overhead.
+_AUTO_MIN_BLOCK = 256
+_AUTO_MAX_BLOCK = 65536
+_AUTO_PROBE_SIZE = 512
+_AUTO_TARGET_SECONDS = 0.2
 
 
 def blockify(
@@ -63,6 +81,54 @@ def blockify(
         list(pairs[start: start + block_size])
         for start in range(0, len(pairs), block_size)
     ]
+
+
+def tune_block_size(
+    session: AlignmentSession,
+    pairs: Sequence[LinkPair],
+    target_seconds: float = _AUTO_TARGET_SECONDS,
+    probe_size: int = _AUTO_PROBE_SIZE,
+) -> int:
+    """Measured-throughput block sizing for streamed tasks.
+
+    Extracts one probe block through the session, measures pairs/second
+    and returns the size that makes a block pass take about
+    ``target_seconds``, clamped to ``[256, 65536]``.  The measurement
+    replaces the fixed ``block_size`` knob when callers pass
+    ``"auto"``: slow feature families (many structures, dense counts)
+    get small responsive blocks, fast ones get large blocks that
+    amortize per-block lookup overhead.
+
+    The probe is a real extraction, so its cost is not wasted — the
+    session's count matrices are materialized exactly once either way.
+    Note the size depends on measured wall-clock: two hosts may chop
+    the same task differently (query sets still agree — the streamed
+    strategies select identically for any block partition).
+    """
+    if not pairs:
+        return _AUTO_MIN_BLOCK
+    probe = list(pairs[: min(int(probe_size), len(pairs))])
+    started = time.perf_counter()
+    session.extract(probe)
+    elapsed = max(time.perf_counter() - started, 1e-9)
+    rate = len(probe) / elapsed
+    return int(min(_AUTO_MAX_BLOCK, max(_AUTO_MIN_BLOCK, rate * target_seconds)))
+
+
+def resolve_block_size(
+    session: AlignmentSession,
+    pairs: Sequence[LinkPair],
+    block_size: BlockSizeSpec,
+) -> int:
+    """Turn a ``block_size`` knob (int or ``"auto"``) into a number."""
+    if block_size == AUTO_BLOCK_SIZE:
+        return tune_block_size(session, pairs)
+    if not isinstance(block_size, int):
+        raise ModelError(
+            f"block_size must be an integer or {AUTO_BLOCK_SIZE!r}, "
+            f"got {block_size!r}"
+        )
+    return block_size
 
 
 class StreamedAlignmentTask:
@@ -125,6 +191,10 @@ class StreamedAlignmentTask:
         if bad:
             raise ModelError(f"labels must be 0/1, got {sorted(bad)}")
         self._pair_index: Optional[dict] = None
+        self._descriptors: Optional[List[BlockDescriptor]] = None
+        #: Block size the task was built with (set by :meth:`from_pairs`;
+        #: ``None`` when blocks came from a generator or explicit list).
+        self.block_size: Optional[int] = None
 
     # ------------------------------------------------------------------
     # AlignmentTask-compatible surface (what models and the alternating
@@ -166,20 +236,49 @@ class StreamedAlignmentTask:
     # ------------------------------------------------------------------
     # Block passes
     # ------------------------------------------------------------------
+    def _block_descriptors(self) -> List[BlockDescriptor]:
+        """Picklable index-form descriptors of the blocks (cached)."""
+        if self._descriptors is None:
+            self._descriptors = []
+            for offset, block in zip(self.offsets, self.blocks):
+                left, right = self.session.pair.pairs_to_indices(block)
+                self._descriptors.append(
+                    BlockDescriptor(
+                        offset=offset, left_indices=left, right_indices=right
+                    )
+                )
+        return self._descriptors
+
     def feature_blocks(self) -> Iterator[Tuple[int, np.ndarray]]:
         """Ordered ``(offset, X_block)`` stream, freshly extracted.
 
         Extraction fans out across the session's executor with a
         bounded in-flight window; results arrive in stream order, so
         sequential folds over this iterator are deterministic.
+
+        With a :class:`~repro.engine.parallel.ProcessExecutor` and a
+        store-backed session, each pass first flushes a consistent
+        snapshot to the arena and then ships only block *descriptors*
+        to the workers — matrices reach them as shared memory maps, and
+        the extraction kernel is the session's own, so the stream is
+        byte-identical to the in-process one.
         """
+        executor = self.session.executor
+        if (
+            isinstance(executor, ProcessExecutor)
+            and self.session.arena is not None
+        ):
+            spec = self.session.flush_store()
+            return executor.imap(
+                extract_block_job,
+                ((spec, descriptor) for descriptor in self._block_descriptors()),
+            )
+
         def extract(item: Tuple[int, CandidateBlock]):
             offset, block = item
             return offset, self.session.extract(block)
 
-        return self.session.executor.imap(
-            extract, zip(self.offsets, self.blocks)
-        )
+        return executor.imap(extract, zip(self.offsets, self.blocks))
 
     def gram(
         self, sample_weight: Optional[np.ndarray] = None
@@ -245,15 +344,23 @@ class StreamedAlignmentTask:
         pairs: Sequence[LinkPair],
         labeled_indices: np.ndarray,
         labeled_values: np.ndarray,
-        block_size: int = 4096,
+        block_size: BlockSizeSpec = 4096,
     ) -> "StreamedAlignmentTask":
-        """Build from a flat candidate list, chopped into blocks."""
-        return cls(
+        """Build from a flat candidate list, chopped into blocks.
+
+        ``block_size="auto"`` replaces the fixed knob with a measured
+        probe extraction (:func:`tune_block_size`).
+        """
+        pairs = list(pairs)
+        resolved = resolve_block_size(session, pairs, block_size)
+        task = cls(
             session,
-            blockify(list(pairs), block_size),
+            blockify(pairs, resolved),
             labeled_indices,
             labeled_values,
         )
+        task.block_size = resolved
+        return task
 
     @classmethod
     def from_generator(

@@ -33,7 +33,7 @@ from repro.core.base import AlignmentModel, AlignmentTask
 from repro.core.itermpmd import IterMPMD
 from repro.core.svm_baselines import SVMAligner
 from repro.engine.session import AlignmentSession
-from repro.engine.streaming import StreamedAlignmentTask
+from repro.engine.streaming import AUTO_BLOCK_SIZE, StreamedAlignmentTask
 from repro.exceptions import ExperimentError
 from repro.eval.protocol import ExperimentSplit, ProtocolConfig, build_splits
 from repro.meta.diagrams import standard_diagram_family
@@ -75,7 +75,8 @@ class MethodSpec:
         materialized feature matrix (active methods with full features
         only).  Selected query sets match the materialized path.
     stream_block_size:
-        Candidate block size of the streamed fit path.
+        Candidate block size of the streamed fit path; ``"auto"`` tunes
+        it from a measured probe extraction.
     """
 
     name: str
@@ -86,7 +87,7 @@ class MethodSpec:
     batch_size: int = 5
     svm_C: float = 1.0
     streamed: bool = False
-    stream_block_size: int = 2048
+    stream_block_size: object = 2048
 
     def __post_init__(self) -> None:
         if self.kind not in ("active", "iterative", "svm"):
@@ -101,8 +102,13 @@ class MethodSpec:
             raise ExperimentError(
                 "streamed fits support active methods with full features only"
             )
-        if self.stream_block_size < 1:
-            raise ExperimentError("stream_block_size must be >= 1")
+        if self.stream_block_size != AUTO_BLOCK_SIZE and (
+            not isinstance(self.stream_block_size, int)
+            or self.stream_block_size < 1
+        ):
+            raise ExperimentError(
+                f"stream_block_size must be >= 1 or {AUTO_BLOCK_SIZE!r}"
+            )
 
 
 def standard_methods(
@@ -161,11 +167,40 @@ class MethodResult:
 
 
 @dataclass
+class RuntimeMetadata:
+    """Engine/runtime facts of one experiment run.
+
+    Recorded on the outcome (and serialized by
+    :mod:`repro.eval.persistence`) so archived results say *how* they
+    were produced, not just what they measured.
+
+    Attributes
+    ----------
+    workers:
+        Parallelism degree of the shared session's executor.
+    executor:
+        Executor backend (``"serial"``, ``"thread"`` or ``"process"``).
+    store_dir:
+        Directory of the disk-backed matrix store, or ``None`` for an
+        in-memory run.
+    peak_rss_bytes:
+        Peak resident set size of the process at the end of the run
+        (``0`` where the platform cannot report it).
+    """
+
+    workers: int = 1
+    executor: str = "serial"
+    store_dir: Optional[str] = None
+    peak_rss_bytes: int = 0
+
+
+@dataclass
 class ExperimentOutcome:
     """All method results of one experiment configuration."""
 
     config: ProtocolConfig
     methods: Dict[str, MethodResult]
+    runtime: Optional[RuntimeMetadata] = None
 
     def method(self, name: str) -> MethodResult:
         """Result of one method by name."""
@@ -281,28 +316,49 @@ def run_experiment(
     config: ProtocolConfig,
     methods: Optional[Sequence[MethodSpec]] = None,
     workers=None,
+    store=None,
 ) -> ExperimentOutcome:
     """Run the full protocol: all fold rotations, all methods.
 
     ``workers`` is the engine execution-layer knob (see
     :class:`~repro.engine.session.AlignmentSession`): the shared
     session's per-structure counting, delta updates and extraction fan
-    out across a thread pool, with bit-identical results.
+    out across a thread pool, with bit-identical results.  ``store``
+    (a directory path or shared arena) spills the session's count
+    matrices to disk and serves them memory-mapped.  Both knobs are
+    recorded in :attr:`ExperimentOutcome.runtime`, and the session —
+    including any pool it built — is always released on exit.
     """
+    from repro.store.memory import peak_rss_bytes
+
     if methods is None:
         methods = standard_methods()
     outcome = ExperimentOutcome(
         config=config,
         methods={spec.name: MethodResult(name=spec.name) for spec in methods},
     )
-    session = AlignmentSession(
-        pair, family=standard_diagram_family(), workers=workers
-    )
-    for split in build_splits(pair, config):
-        per_method = run_split(
-            pair, split, methods, seed=config.seed + split.fold, session=session
+    with AlignmentSession(
+        pair, family=standard_diagram_family(), workers=workers, store=store
+    ) as session:
+        for split in build_splits(pair, config):
+            per_method = run_split(
+                pair,
+                split,
+                methods,
+                seed=config.seed + split.fold,
+                session=session,
+            )
+            for name, (report, runtime) in per_method.items():
+                outcome.methods[name].reports.append(report)
+                outcome.methods[name].runtimes.append(runtime)
+        outcome.runtime = RuntimeMetadata(
+            workers=session.workers,
+            executor=session.executor.kind,
+            store_dir=(
+                str(session.store_dir)
+                if session.store_dir is not None
+                else None
+            ),
+            peak_rss_bytes=peak_rss_bytes(),
         )
-        for name, (report, runtime) in per_method.items():
-            outcome.methods[name].reports.append(report)
-            outcome.methods[name].runtimes.append(runtime)
     return outcome

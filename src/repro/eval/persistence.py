@@ -4,25 +4,41 @@ Long sweeps are expensive; this module serializes
 :class:`~repro.eval.experiment.ExperimentOutcome` objects (per-fold
 reports and runtimes, not just aggregates) so results can be archived,
 diffed across runs and re-rendered into tables without recomputation.
+
+Format history:
+
+* **1** — config + per-method reports/runtimes;
+* **2** — adds the optional ``runtime`` block
+  (:class:`~repro.eval.experiment.RuntimeMetadata`: executor kind,
+  workers, store directory, peak RSS).  Version-1 files load fine —
+  their outcomes simply carry no runtime metadata.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Union
 
-from repro.eval.experiment import ExperimentOutcome, MethodResult
+from repro.eval.experiment import (
+    ExperimentOutcome,
+    MethodResult,
+    RuntimeMetadata,
+)
 from repro.eval.protocol import ProtocolConfig
 from repro.exceptions import ExperimentError
 from repro.ml.metrics import ClassificationReport
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+#: Versions :func:`outcome_from_dict` can read.
+_READABLE_VERSIONS = (1, 2)
 
 
 def outcome_to_dict(outcome: ExperimentOutcome) -> Dict:
     """Serialize an outcome (full per-fold detail) to a plain dict."""
-    return {
+    payload = {
         "format_version": _FORMAT_VERSION,
         "config": {
             "np_ratio": outcome.config.np_ratio,
@@ -39,12 +55,15 @@ def outcome_to_dict(outcome: ExperimentOutcome) -> Dict:
             for name, result in outcome.methods.items()
         },
     }
+    if outcome.runtime is not None:
+        payload["runtime"] = asdict(outcome.runtime)
+    return payload
 
 
 def outcome_from_dict(payload: Dict) -> ExperimentOutcome:
-    """Inverse of :func:`outcome_to_dict`."""
+    """Inverse of :func:`outcome_to_dict` (reads formats 1 and 2)."""
     version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise ExperimentError(
             f"unsupported outcome format version {version!r}"
         )
@@ -57,7 +76,10 @@ def outcome_from_dict(payload: Dict) -> ExperimentOutcome:
         ]
         result.runtimes = list(data["runtimes"])
         methods[name] = result
-    return ExperimentOutcome(config=config, methods=methods)
+    runtime = None
+    if payload.get("runtime") is not None:
+        runtime = RuntimeMetadata(**payload["runtime"])
+    return ExperimentOutcome(config=config, methods=methods, runtime=runtime)
 
 
 def save_outcome(outcome: ExperimentOutcome, path: Union[str, Path]) -> None:

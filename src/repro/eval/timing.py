@@ -252,25 +252,23 @@ class ParallelComparison:
         return self.identical_features and self.identical_selection
 
 
-def compare_parallel_paths(
+def _anchor_round_workload(
     pair: AlignedPair,
-    workers: int = 4,
-    np_ratio: int = 20,
-    sample_ratio: float = 1.0,
-    rounds: int = 6,
-    batch_size: int = 3,
-    block_size: int = 1024,
-    seed: int = 13,
-) -> ParallelComparison:
-    """Race a ``workers``-threaded session against a serial one.
+    np_ratio: int,
+    sample_ratio: float,
+    rounds: int,
+    batch_size: int,
+    seed: int,
+):
+    """Shared setup of the engine-race workload.
 
-    Both runs execute the identical engine workload — initial feature
-    extraction over the split's candidates, ``rounds`` batched anchor
-    arrivals with delta updates and in-place refresh, then one
-    block-scored streamed selection over the support-pruned candidate
-    space.  The executor only changes scheduling, so the comparison
-    asserts byte-identical features and selections alongside the
-    wall-clock ratio.
+    Both :func:`compare_parallel_paths` and :func:`compare_store_paths`
+    claim to run *the identical engine workload* under different
+    execution configurations; building it in one place keeps that claim
+    true by construction.  Returns ``(split, known, arrivals, weights)``
+    — the split, the initially known anchors (half the split's
+    positives, deterministically ordered), the batched anchor arrivals
+    of the later rounds, and a fixed random scoring weight vector.
     """
     config = ProtocolConfig(
         np_ratio=np_ratio, sample_ratio=sample_ratio, n_repeats=1, seed=seed
@@ -293,30 +291,58 @@ def compare_parallel_paths(
     arrivals = [arrival for arrival in arrivals if arrival]
     n_features = len(standard_diagram_family().feature_names) + 1  # + bias
     weights = np.random.default_rng(seed).normal(scale=0.5, size=n_features)
+    return split, known, arrivals, weights
+
+
+def compare_parallel_paths(
+    pair: AlignedPair,
+    workers: int = 4,
+    np_ratio: int = 20,
+    sample_ratio: float = 1.0,
+    rounds: int = 6,
+    batch_size: int = 3,
+    block_size: int = 1024,
+    seed: int = 13,
+) -> ParallelComparison:
+    """Race a ``workers``-threaded session against a serial one.
+
+    Both runs execute the identical engine workload — initial feature
+    extraction over the split's candidates, ``rounds`` batched anchor
+    arrivals with delta updates and in-place refresh, then one
+    block-scored streamed selection over the support-pruned candidate
+    space.  The executor only changes scheduling, so the comparison
+    asserts byte-identical features and selections alongside the
+    wall-clock ratio.
+    """
+    split, known, arrivals, weights = _anchor_round_workload(
+        pair, np_ratio, sample_ratio, rounds, batch_size, seed
+    )
 
     def run(worker_count: int):
-        session = AlignmentSession(
+        # The context manager releases the thread pool the session
+        # builds for worker_count > 1, even if the race raises.
+        with AlignmentSession(
             pair, known_anchors=known, workers=worker_count
-        )
-        candidates = list(split.candidates)
-        started = time.perf_counter()
-        X = session.extract(candidates)
-        current = list(known)
-        for arrival in arrivals:
-            current += arrival
-            session.set_anchors(current)
-            session.refresh_features(X, candidates)
-        generator = CandidateGenerator.from_support(
-            session, block_size=block_size
-        )
-        selected = streamed_selection(
-            generator,
-            linear_scorer(session, weights),
-            threshold=0.5,
-            workers=session.executor,
-        )
-        elapsed = time.perf_counter() - started
-        return X, selected, session.stats, elapsed
+        ) as session:
+            candidates = list(split.candidates)
+            started = time.perf_counter()
+            X = session.extract(candidates)
+            current = list(known)
+            for arrival in arrivals:
+                current += arrival
+                session.set_anchors(current)
+                session.refresh_features(X, candidates)
+            generator = CandidateGenerator.from_support(
+                session, block_size=block_size
+            )
+            selected = streamed_selection(
+                generator,
+                linear_scorer(session, weights),
+                threshold=0.5,
+                workers=session.executor,
+            )
+            elapsed = time.perf_counter() - started
+            return X, selected, session.stats, elapsed
 
     X_serial, sel_serial, stats_serial, serial_seconds = run(1)
     X_threaded, sel_threaded, stats_threaded, threaded_seconds = run(workers)
@@ -351,6 +377,138 @@ def format_parallel_comparison(comparison: ParallelComparison) -> str:
         ),
         (
             f"speedup: {comparison.speedup:.2f}x; "
+            f"features identical: {comparison.identical_features}; "
+            f"selection identical: {comparison.identical_selection}"
+        ),
+    ]
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class StoreComparison:
+    """Disk-backed store (+ chosen executor) vs the in-memory baseline.
+
+    Both runs execute the identical engine workload; the store run
+    spills every count matrix (and memoized product) to ``store_dir``
+    and serves it memory-mapped.  ``identical_features`` /
+    ``identical_selection`` record the subsystem's exactness guarantee.
+    """
+
+    executor: str
+    workers: int
+    memory_seconds: float
+    store_seconds: float
+    n_rounds: int
+    identical_features: bool
+    identical_selection: bool
+    store_dir: str
+    store_entries: int
+    store_bytes: int
+
+    @property
+    def identical(self) -> bool:
+        """Whether every compared output was byte-identical."""
+        return self.identical_features and self.identical_selection
+
+
+def compare_store_paths(
+    pair: AlignedPair,
+    store_dir,
+    executor: str = "serial",
+    workers: int = 1,
+    np_ratio: int = 20,
+    sample_ratio: float = 1.0,
+    rounds: int = 4,
+    batch_size: int = 3,
+    block_size: int = 1024,
+    seed: int = 13,
+) -> StoreComparison:
+    """Race a store-backed session against the in-memory baseline.
+
+    The workload mirrors :func:`compare_parallel_paths` — extraction,
+    batched anchor arrivals with in-place refresh, one streamed
+    selection over the support-pruned candidate space — but the second
+    run spills to ``store_dir`` and executes on
+    ``make_executor(executor, workers)``; with ``executor="process"``
+    block scoring crosses process boundaries through the shared arena.
+    """
+    from repro.engine.parallel import make_executor
+
+    split, known, arrivals, weights = _anchor_round_workload(
+        pair, np_ratio, sample_ratio, rounds, batch_size, seed
+    )
+
+    def run(store, executor_spec):
+        with AlignmentSession(
+            pair, known_anchors=known, workers=executor_spec, store=store
+        ) as session:
+            candidates = list(split.candidates)
+            started = time.perf_counter()
+            X = session.extract(candidates)
+            current = list(known)
+            for arrival in arrivals:
+                current += arrival
+                session.set_anchors(current)
+                session.refresh_features(X, candidates)
+            generator = CandidateGenerator.from_support(
+                session, block_size=block_size
+            )
+            if session.arena is not None and session.executor.kind == "process":
+                from repro.store.procwork import ArenaLinearScorer
+
+                score_fn = ArenaLinearScorer(
+                    spec=session.flush_store(), weights=weights
+                )
+            else:
+                score_fn = linear_scorer(session, weights)
+            selected = streamed_selection(
+                generator,
+                score_fn,
+                threshold=0.5,
+                workers=session.executor,
+            )
+            elapsed = time.perf_counter() - started
+            entries = (
+                len(session.arena.keys()) if session.arena is not None else 0
+            )
+            size = session.arena.nbytes() if session.arena is not None else 0
+            return X, selected, elapsed, entries, size
+
+    X_memory, sel_memory, memory_seconds, _, _ = run(None, None)
+    with make_executor(executor, workers) as store_executor:
+        X_store, sel_store, store_seconds, entries, size = run(
+            store_dir, store_executor
+        )
+    return StoreComparison(
+        executor=executor,
+        workers=workers,
+        memory_seconds=memory_seconds,
+        store_seconds=store_seconds,
+        n_rounds=len(arrivals),
+        identical_features=bool(np.array_equal(X_memory, X_store)),
+        identical_selection=sel_memory == sel_store,
+        store_dir=str(store_dir),
+        store_entries=entries,
+        store_bytes=size,
+    )
+
+
+def format_store_comparison(comparison: StoreComparison) -> str:
+    """Plain-text rendering of the store-vs-memory race."""
+    lines = [
+        (
+            "Disk-backed matrix store vs in-memory baseline "
+            f"(executor={comparison.executor}, workers={comparison.workers}, "
+            f"{comparison.n_rounds} anchor rounds)"
+        ),
+        f"{'path':<14}{'seconds':>10}",
+        f"{'in-memory':<14}{comparison.memory_seconds:>10.4f}",
+        (
+            f"{'store':<14}{comparison.store_seconds:>10.4f}  "
+            f"({comparison.store_entries} entries, "
+            f"{comparison.store_bytes / 1024:.0f} KiB on disk)"
+        ),
+        (
             f"features identical: {comparison.identical_features}; "
             f"selection identical: {comparison.identical_selection}"
         ),

@@ -53,5 +53,17 @@ class ExperimentError(ReproError):
     """The evaluation protocol was configured inconsistently."""
 
 
+class StoreError(ReproError):
+    """The disk-backed matrix store was configured or used incorrectly."""
+
+
+class CheckpointInterrupt(ReproError):
+    """Raised by a checkpoint configured to simulate a mid-run crash.
+
+    Carries no error semantics beyond "the process stopped here": the
+    checkpoint on disk is complete and a later run may resume from it.
+    """
+
+
 class DatasetError(ReproError):
     """A dataset preset or generator was configured inconsistently."""

@@ -183,9 +183,21 @@ class CountingEngine:
     ----------
     matrices:
         The named typed adjacency matrices of one aligned pair.
+    arena:
+        Optional :class:`~repro.store.arena.MatrixArena`.  When given,
+        every memoized product (chains and Hadamards; leaves are served
+        from the bag) is spilled to the arena and the cache holds only
+        its memory-mapped view — the engine's resident set becomes the
+        pages actually read instead of every intermediate ever
+        computed.  Results are byte-identical either way.
+    arena_prefix:
+        Namespace for the engine's arena entries, so one arena can be
+        shared with a session's own count-matrix slots.
     """
 
-    def __init__(self, matrices: MatrixBag) -> None:
+    def __init__(
+        self, matrices: MatrixBag, arena=None, arena_prefix: str = "engine/"
+    ) -> None:
         self._matrices = dict(matrices)
         # Canonicalize up front: every published matrix has sorted
         # indices, so later (possibly concurrent) batched lookups never
@@ -194,6 +206,16 @@ class CountingEngine:
             matrix.sort_indices()
         self._cache: Dict[str, sparse.csr_matrix] = {}
         self._deps: Dict[str, FrozenSet[str]] = {}
+        self._arena = arena
+        self._arena_prefix = arena_prefix
+
+    def _spill(self, key: str, result: sparse.csr_matrix) -> sparse.csr_matrix:
+        """Swap an in-RAM product for its arena-served memory map."""
+        if self._arena is None:
+            return result
+        slot = self._arena_prefix + key
+        self._arena.put(slot, result)
+        return self._arena.get(slot)
 
     @property
     def cache_size(self) -> int:
@@ -246,12 +268,19 @@ class CountingEngine:
         # readers never mutate it.  Counts are integers, so the sort
         # cannot perturb any downstream floating-point result.
         result.sort_indices()
+        if not isinstance(expr, Leaf):
+            # Leaves are the bag's own matrices; spilling them would
+            # only duplicate what the caller already holds.
+            result = self._spill(key, result)
         self._cache[key] = result
         self._deps[key] = frozenset(expr.leaves())
         return result
 
     def invalidate(self) -> None:
         """Drop all memoized results (call after the anchor matrix changes)."""
+        if self._arena is not None:
+            for key in self._cache:
+                self._arena.drop(self._arena_prefix + key)
         self._cache.clear()
         self._deps.clear()
 
@@ -277,6 +306,8 @@ class CountingEngine:
         for key in stale:
             del self._cache[key]
             self._deps.pop(key, None)
+            if self._arena is not None:
+                self._arena.drop(self._arena_prefix + key)
 
 
 def _key_mentions(key: str, name: str) -> bool:

@@ -1,0 +1,171 @@
+"""Atomic checkpoint/resume for long-running alignment fits.
+
+A crashed active-learning sweep loses everything the oracle's budget
+already bought; at the scales the ROADMAP targets a sweep is hours of
+work.  :class:`SessionCheckpoint` makes the loop durable:
+
+* after every query round, the model saves the session's state dict
+  (known anchors, folded counts, pending deltas — see
+  :meth:`~repro.engine.session.AlignmentSession.state_dict`) together
+  with an opaque *payload* of loop state (clamped labels, bought
+  queries, the label vector, oracle answers, strategy RNG state);
+* the write is **atomic** — a temporary file ``os.replace``-d over the
+  previous checkpoint — so a crash mid-save leaves the prior round's
+  checkpoint intact, never a torn file;
+* on restart, the same model construction finds the checkpoint and
+  resumes from the last completed round.  Because the session state
+  dict restores counts and anchors bit-exactly and the payload restores
+  every loop variable including RNG state, the resumed run is
+  **byte-identical** to an uninterrupted one — asserted by the store
+  test suite and ``bench_engine_store``.
+
+``interrupt_after`` exists for tests and the ``engine checkpoint`` CLI
+demo: it raises :class:`~repro.exceptions.CheckpointInterrupt` *after*
+the Nth save completes, simulating a crash at a durable point.
+
+The checkpoint is generic over what it snapshots: any object exposing
+``state_dict()``/``load_state_dict()`` works, which keeps this module
+free of engine imports (and import cycles).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Optional, Tuple, Union
+
+from repro.exceptions import CheckpointInterrupt, StoreError
+
+_FORMAT_VERSION = 1
+
+#: Default checkpoint filename inside a store directory.
+CHECKPOINT_FILENAME = "checkpoint.pkl"
+
+
+class SessionCheckpoint:
+    """Durable snapshot of a session plus opaque loop state.
+
+    Parameters
+    ----------
+    path:
+        Either a directory (the checkpoint file is placed inside it as
+        ``checkpoint.pkl`` — the convention the CLI and the session
+        ``store_dir`` share) or an explicit file path ending in
+        ``.pkl``.
+    interrupt_after:
+        When set, the Nth :meth:`save` raises
+        :class:`~repro.exceptions.CheckpointInterrupt` after the write
+        lands — the crash-simulation hook used by tests and the
+        ``engine checkpoint`` command.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        interrupt_after: Optional[int] = None,
+    ) -> None:
+        path = Path(path)
+        if path.suffix == ".pkl":
+            self.path = path
+        else:
+            self.path = path / CHECKPOINT_FILENAME
+        if interrupt_after is not None and interrupt_after < 1:
+            raise StoreError("interrupt_after must be >= 1")
+        self.interrupt_after = interrupt_after
+        self.saves = 0
+        # Last serialized session state, reused by clean saves so a
+        # round that did not touch the session never re-pickles its
+        # (potentially huge) count matrices.
+        self._session_cache: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    def exists(self) -> bool:
+        """Whether a checkpoint file is present."""
+        return self.path.exists()
+
+    def save(
+        self,
+        session: Optional[Any] = None,
+        payload: Any = None,
+        session_dirty: bool = True,
+    ) -> None:
+        """Atomically persist the session state and the loop payload.
+
+        ``session`` may be ``None`` when only loop state needs saving
+        (e.g. a fit without feature refresh, whose session never
+        changes); it must expose ``state_dict()`` otherwise.  With
+        ``session_dirty=False`` the previously serialized session state
+        is reused instead of calling ``state_dict()`` again — the fast
+        path for query rounds that changed only loop variables.  (The
+        first save of a session always serializes it, dirty or not.)
+        """
+        if session is not None and (session_dirty or self._session_cache is None):
+            self._session_cache = session.state_dict()
+        record = {
+            "format_version": _FORMAT_VERSION,
+            "session": self._session_cache if session is not None else None,
+            "payload": payload,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(
+            pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        os.replace(tmp, self.path)
+        self.saves += 1
+        if self.interrupt_after is not None and self.saves >= self.interrupt_after:
+            raise CheckpointInterrupt(
+                f"simulated crash after checkpoint save #{self.saves} "
+                f"({self.path})"
+            )
+
+    def load(self) -> Tuple[Optional[dict], Any]:
+        """Read the checkpoint; returns ``(session_state, payload)``."""
+        if not self.path.exists():
+            raise StoreError(f"no checkpoint at {self.path}")
+        try:
+            record = pickle.loads(self.path.read_bytes())
+        except Exception as error:  # torn files cannot occur; bad input can
+            raise StoreError(
+                f"unreadable checkpoint at {self.path}: {error}"
+            ) from None
+        version = record.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise StoreError(
+                f"unsupported checkpoint format version {version!r}"
+            )
+        return record["session"], record["payload"]
+
+    def restore(self, session: Optional[Any] = None) -> Any:
+        """Load the checkpoint into ``session``; returns the payload.
+
+        When the checkpoint carries session state, ``session`` must be
+        supplied and expose ``load_state_dict``.
+        """
+        session_state, payload = self.load()
+        if session_state is not None:
+            if session is None:
+                raise StoreError(
+                    "checkpoint carries session state but no session was "
+                    "supplied to restore into"
+                )
+            session.load_state_dict(session_state)
+            # Seed the clean-save cache so a resumed loop's first
+            # unchanged round also skips re-serialization.
+            self._session_cache = session_state
+        return payload
+
+    def clear(self) -> bool:
+        """Delete the checkpoint file; returns whether one existed."""
+        try:
+            self.path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SessionCheckpoint({str(self.path)!r}, saves={self.saves}, "
+            f"interrupt_after={self.interrupt_after})"
+        )

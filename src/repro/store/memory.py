@@ -1,0 +1,28 @@
+"""Process memory accounting for the store benchmarks and run metadata.
+
+``ru_maxrss`` is the kernel's high-water mark of resident set size for
+the calling process — the honest measure of "did spilling matrices to
+disk actually shrink the footprint".  It only ever grows, so comparing
+two execution modes requires running each in its own process (which
+``bench_engine_store`` does).
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes.
+
+    Returns ``0`` on platforms without the :mod:`resource` module
+    (Windows), where callers should treat the value as unavailable
+    rather than as an empty footprint.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    return int(usage) * (1 if sys.platform == "darwin" else 1024)

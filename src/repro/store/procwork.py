@@ -1,0 +1,257 @@
+"""Picklable work units resolved against a shared :class:`MatrixArena`.
+
+The thread-pool execution layer ships *closures* over live session
+state — free, because threads share memory.  A process pool cannot: its
+work units must cross an ``exec`` boundary by pickle.  This module
+defines the process-side of the store subsystem:
+
+* :class:`ArenaSpec` — where the shared state lives (``store_dir``) and
+  which manifest ``version`` the driver published before dispatching;
+* :class:`BlockDescriptor` — one candidate block as index arrays, the
+  only per-task payload (a few KiB, never a matrix);
+* module-level job functions (:func:`extract_block_job`,
+  :func:`score_block_job`) that a ``ProcessPoolExecutor`` can pickle by
+  reference;
+* :class:`ArenaLinearScorer` — a picklable ``block -> scores`` callable
+  for the streamed-selection sweep, where blocks arrive as user-id
+  pairs rather than prebuilt index arrays.
+
+Worker processes keep one :class:`_ArenaWorkerState` per ``store_dir``
+in module globals: the arena is opened once, count matrices are served
+as memory maps (the OS page cache shares one physical copy across all
+workers), and the cached state reloads itself whenever the spec's
+manifest version moves past the one it loaded.
+
+Exactness: the feature kernel below is the *same* computation the
+session performs — ``csr_values_at`` lookups, row+column sum
+denominators, :func:`~repro.meta.proximity.dice_scores`, bias column —
+over the very arrays the session flushed.  A process-pool extraction is
+therefore byte-identical to the in-process one, which the store test
+suite and ``bench_engine_store`` assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import StoreError
+from repro.meta.proximity import csr_values_at, dice_scores
+from repro.store.arena import MatrixArena
+from repro.types import LinkPair
+
+#: Arena entry holding the session-level metadata object.
+SESSION_META = "session/meta"
+
+#: Arena entry mapping structure name -> current count-matrix slot.
+#: Indirection, because a structure's counts may be served from the
+#: counting engine's own memoized slot (no duplicate storage) or from a
+#: dedicated fold slot after delta updates.
+SESSION_SLOTS = "session/slots"
+
+
+def counts_slot(structure_name: str) -> str:
+    """Arena entry name of one structure's dedicated count-matrix slot."""
+    return f"counts/{structure_name}"
+
+
+def row_sums_slot(structure_name: str) -> str:
+    """Arena entry name of one structure's row-sum vector."""
+    return f"sums/{structure_name}/rows"
+
+
+def col_sums_slot(structure_name: str) -> str:
+    """Arena entry name of one structure's column-sum vector."""
+    return f"sums/{structure_name}/cols"
+
+
+@dataclass(frozen=True)
+class ArenaSpec:
+    """Pointer to flushed session state: directory plus version stamp.
+
+    ``version`` is the arena manifest version current when the driver
+    flushed; workers holding older state reload before serving a task.
+    """
+
+    store_dir: str
+    version: int
+
+
+@dataclass(frozen=True)
+class BlockDescriptor:
+    """One candidate block in index form — the picklable work unit."""
+
+    offset: int
+    left_indices: np.ndarray
+    right_indices: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.left_indices.shape[0])
+
+
+# ----------------------------------------------------------------------
+# Worker-side state
+# ----------------------------------------------------------------------
+@dataclass
+class _StructureView:
+    """One structure's arena-served state, cached per worker process."""
+
+    counts: object  # mmap-backed csr
+    entry_keys: np.ndarray
+    row_sums: np.ndarray
+    col_sums: np.ndarray
+
+
+class _ArenaWorkerState:
+    """Per-process cache of one arena's session state."""
+
+    def __init__(self, store_dir: str) -> None:
+        self.arena = MatrixArena(store_dir)
+        self.version: Optional[int] = None
+        self.meta: Optional[Dict] = None
+        self.slots: Dict[str, str] = {}
+        self._structures: Dict[str, _StructureView] = {}
+
+    def refresh(self, version: int) -> None:
+        """Reload manifest-backed state when the driver moved past us."""
+        if self.version == version and self.meta is not None:
+            return
+        current = self.arena.refresh()
+        if current < version:
+            raise StoreError(
+                f"arena at {self.arena.store_dir} is at version {current}, "
+                f"but the dispatched work expects version {version} — "
+                "was flush_store() called before dispatch?"
+            )
+        self.meta = self.arena.get_object(SESSION_META)
+        self.slots = self.arena.get_object(SESSION_SLOTS)
+        self._structures.clear()
+        self.version = version
+
+    def _structure(self, name: str) -> _StructureView:
+        view = self._structures.get(name)
+        if view is None:
+            counts = self.arena.get(self.slots[name])
+            row_lengths = np.diff(counts.indptr)
+            entry_keys = (
+                np.repeat(
+                    np.arange(counts.shape[0], dtype=np.int64), row_lengths
+                )
+                * counts.shape[1]
+                + counts.indices
+            )
+            view = _StructureView(
+                counts=counts,
+                entry_keys=entry_keys,
+                row_sums=self.arena.get_array(row_sums_slot(name)),
+                col_sums=self.arena.get_array(col_sums_slot(name)),
+            )
+            self._structures[name] = view
+        return view
+
+    # ------------------------------------------------------------------
+    def pairs_to_indices(
+        self, block: Sequence[LinkPair]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Resolve user-id pairs against the stored position maps."""
+        left_positions = self.meta["left_positions"]
+        right_positions = self.meta["right_positions"]
+        try:
+            left = np.array(
+                [left_positions[left_user] for left_user, _ in block],
+                dtype=np.int64,
+            )
+            right = np.array(
+                [right_positions[right_user] for _, right_user in block],
+                dtype=np.int64,
+            )
+        except KeyError as missing:
+            raise StoreError(
+                f"candidate user {missing.args[0]!r} is not in the arena's "
+                "stored position maps"
+            ) from None
+        return left, right
+
+    def features(
+        self, left_indices: np.ndarray, right_indices: np.ndarray
+    ) -> np.ndarray:
+        """Feature block — the session's extraction kernel, verbatim."""
+        n_right = int(self.meta["n_right"])
+        query_keys = left_indices * n_right + right_indices
+        columns: List[np.ndarray] = []
+        for name in self.meta["structure_names"]:
+            view = self._structure(name)
+            values = csr_values_at(
+                view.counts,
+                left_indices,
+                right_indices,
+                query_keys=query_keys,
+                entry_keys=view.entry_keys,
+            )
+            denominators = (
+                view.row_sums[left_indices] + view.col_sums[right_indices]
+            )
+            columns.append(dice_scores(values, denominators))
+        if self.meta["include_bias"]:
+            columns.append(
+                np.ones(left_indices.shape[0], dtype=np.float64)
+            )
+        return np.column_stack(columns)
+
+
+_STATES: Dict[str, _ArenaWorkerState] = {}
+
+
+def _state_for(spec: ArenaSpec) -> _ArenaWorkerState:
+    state = _STATES.get(spec.store_dir)
+    if state is None:
+        state = _ArenaWorkerState(spec.store_dir)
+        _STATES[spec.store_dir] = state
+    state.refresh(spec.version)
+    return state
+
+
+# ----------------------------------------------------------------------
+# Job functions (module-level: pickled by reference)
+# ----------------------------------------------------------------------
+def extract_block_job(
+    item: Tuple[ArenaSpec, BlockDescriptor],
+) -> Tuple[int, np.ndarray]:
+    """``(spec, descriptor) -> (offset, X_block)`` in a worker process."""
+    spec, descriptor = item
+    state = _state_for(spec)
+    return descriptor.offset, state.features(
+        descriptor.left_indices, descriptor.right_indices
+    )
+
+
+def score_block_job(
+    item: Tuple[ArenaSpec, BlockDescriptor, np.ndarray],
+) -> Tuple[int, np.ndarray]:
+    """``(spec, descriptor, w) -> (offset, X_block @ w)`` in a worker."""
+    spec, descriptor, weights = item
+    state = _state_for(spec)
+    X = state.features(descriptor.left_indices, descriptor.right_indices)
+    return descriptor.offset, X @ weights
+
+
+@dataclass(frozen=True)
+class ArenaLinearScorer:
+    """Picklable ``block -> X_block @ w`` over arena-served features.
+
+    The process analog of :func:`repro.engine.candidates.linear_scorer`:
+    instead of closing over a live session it carries only the arena
+    spec and the weight vector, and resolves blocks of ``(left_user,
+    right_user)`` pairs against the arena's stored position maps inside
+    the worker.
+    """
+
+    spec: ArenaSpec
+    weights: np.ndarray
+
+    def __call__(self, block: Sequence[LinkPair]) -> np.ndarray:
+        state = _state_for(self.spec)
+        left, right = state.pairs_to_indices(block)
+        return state.features(left, right) @ self.weights

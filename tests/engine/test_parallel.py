@@ -1,5 +1,6 @@
 """Tests for repro.engine.parallel and the threaded session paths."""
 
+import os
 import threading
 
 import numpy as np
@@ -8,10 +9,12 @@ import pytest
 from repro.engine import (
     AlignmentSession,
     CandidateGenerator,
+    ProcessExecutor,
     SerialExecutor,
     ThreadedExecutor,
     get_executor,
     linear_scorer,
+    make_executor,
     streamed_selection,
 )
 from repro.exceptions import AlignmentError
@@ -19,6 +22,15 @@ from repro.exceptions import AlignmentError
 
 def _all_pairs(pair):
     return [(u, v) for u in pair.left_users() for v in pair.right_users()]
+
+
+def _square(value):
+    """Module-level (hence picklable) work function for process tests."""
+    return value * value
+
+
+def _worker_pid(_):
+    return os.getpid()
 
 
 class TestExecutors:
@@ -93,6 +105,89 @@ class TestExecutors:
                 lambda _: seen.add(threading.current_thread().name), range(32)
             )
         assert any(name.startswith("repro-engine") for name in seen)
+
+
+class TestProcessExecutor:
+    def test_map_preserves_input_order(self):
+        with ProcessExecutor(2) as executor:
+            assert executor.map(_square, range(8)) == [
+                v * v for v in range(8)
+            ]
+
+    def test_imap_ordered_with_window(self):
+        with ProcessExecutor(2) as executor:
+            results = list(executor.imap(_square, range(10), window=3))
+            assert results == [v * v for v in range(10)]
+
+    def test_work_crosses_process_boundary(self):
+        with ProcessExecutor(2) as executor:
+            pids = set(executor.map(_worker_pid, range(8)))
+            assert os.getpid() not in pids
+
+    def test_unpicklable_callable_runs_inline(self):
+        captured = []
+        with ProcessExecutor(2) as executor:
+            results = executor.map(lambda v: captured.append(v) or v, range(4))
+            assert results == [0, 1, 2, 3]
+            # Closure side effects prove inline (same-process) execution.
+            assert captured == [0, 1, 2, 3]
+            lazy = executor.imap(lambda v: v + 1, range(3))
+            assert list(lazy) == [1, 2, 3]
+
+    def test_close_is_idempotent(self):
+        executor = ProcessExecutor(2)
+        assert executor.map(_square, [3]) == [9]
+        executor.close()
+        executor.close()
+        # A closed executor lazily rebuilds its pool on next use.
+        assert executor.map(_square, [4]) == [16]
+        executor.close()
+
+    def test_requires_two_workers(self):
+        with pytest.raises(AlignmentError):
+            ProcessExecutor(1)
+
+    def test_kind_labels(self):
+        assert SerialExecutor().kind == "serial"
+        assert ThreadedExecutor(2).kind == "thread"
+        assert ProcessExecutor(2).kind == "process"
+
+
+class TestMakeExecutor:
+    def test_named_backends(self):
+        assert isinstance(make_executor("serial", 8), SerialExecutor)
+        thread = make_executor("thread", 3)
+        assert isinstance(thread, ThreadedExecutor) and thread.workers == 3
+        process = make_executor("process", 2)
+        assert isinstance(process, ProcessExecutor) and process.workers == 2
+        process.close()
+
+    def test_single_worker_always_serial(self):
+        assert isinstance(make_executor("thread", 1), SerialExecutor)
+        assert isinstance(make_executor("process", 0), SerialExecutor)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(AlignmentError):
+            make_executor("gpu", 4)
+
+
+class TestExecutorLifecycle:
+    def test_session_closes_owned_executor(self, handmade_pair):
+        with AlignmentSession(handmade_pair, workers=2) as session:
+            session.extract(_all_pairs(handmade_pair))
+            assert isinstance(session.executor, ThreadedExecutor)
+        # After close the lazily-created pool is gone; reuse rebuilds it.
+        assert session.executor._pool is None
+
+    def test_session_leaves_shared_executor_open(self, handmade_pair):
+        executor = ThreadedExecutor(2)
+        try:
+            with AlignmentSession(handmade_pair, workers=executor) as session:
+                session.extract(_all_pairs(handmade_pair))
+            # The shared pool must survive the session's close.
+            assert executor.map(len, [[1, 2]]) == [2]
+        finally:
+            executor.close()
 
 
 class TestThreadedSessionExactness:

@@ -13,11 +13,15 @@ from repro.core.activeiter import ActiveIter
 from repro.core.base import AlignmentTask
 from repro.core.itermpmd import IterMPMD
 from repro.engine import (
+    AUTO_BLOCK_SIZE,
     AlignmentSession,
     CandidateGenerator,
     StreamedAlignmentTask,
     blockify,
+    resolve_block_size,
+    tune_block_size,
 )
+from repro.engine.streaming import _AUTO_MAX_BLOCK, _AUTO_MIN_BLOCK
 from repro.eval.protocol import ProtocolConfig, build_splits
 from repro.exceptions import ModelError
 
@@ -146,6 +150,80 @@ class TestStreamedTask:
         assert [block.offset for block in blocks] == [0, 4, 8]
         recomposed = np.concatenate([block.scores for block in blocks])
         assert np.array_equal(recomposed, scores)
+
+
+class TestAutoBlockSize:
+    def test_tuned_size_within_envelope(self, tiny_synthetic_pair):
+        pair = tiny_synthetic_pair
+        split = _split_for(pair)
+        session = AlignmentSession(
+            pair, known_anchors=split.train_positive_pairs
+        )
+        size = tune_block_size(session, list(split.candidates))
+        assert _AUTO_MIN_BLOCK <= size <= _AUTO_MAX_BLOCK
+
+    def test_empty_candidates_get_minimum(self, tiny_synthetic_pair):
+        session = AlignmentSession(tiny_synthetic_pair)
+        assert tune_block_size(session, []) == _AUTO_MIN_BLOCK
+
+    def test_resolve_passes_integers_through(self, tiny_synthetic_pair):
+        session = AlignmentSession(tiny_synthetic_pair)
+        assert resolve_block_size(session, [], 512) == 512
+
+    def test_resolve_rejects_junk(self, tiny_synthetic_pair):
+        session = AlignmentSession(tiny_synthetic_pair)
+        with pytest.raises(ModelError):
+            resolve_block_size(session, [], "huge")
+        with pytest.raises(ModelError):
+            resolve_block_size(session, [], 2.5)
+
+    def test_from_pairs_auto_builds_working_task(self, tiny_synthetic_pair):
+        pair = tiny_synthetic_pair
+        split = _split_for(pair)
+        session = AlignmentSession(
+            pair, known_anchors=split.train_positive_pairs
+        )
+        task = StreamedAlignmentTask.from_pairs(
+            session,
+            list(split.candidates),
+            split.train_indices,
+            split.truth[split.train_indices],
+            block_size=AUTO_BLOCK_SIZE,
+        )
+        assert _AUTO_MIN_BLOCK <= task.block_size <= _AUTO_MAX_BLOCK
+        assert task.n_candidates == len(split.candidates)
+        # The partition must cover the candidate list exactly, in order.
+        assert [
+            pair_ for block in task.blocks for pair_ in block
+        ] == list(split.candidates)
+
+    def test_auto_fit_matches_fixed_block_labels(self, tiny_synthetic_pair):
+        """Query sets are partition-independent, so auto == fixed."""
+        pair = tiny_synthetic_pair
+        split = _split_for(pair)
+        positives = _positives(split)
+
+        def fit(block_size):
+            session = AlignmentSession(
+                pair, known_anchors=split.train_positive_pairs
+            )
+            task = StreamedAlignmentTask.from_pairs(
+                session,
+                list(split.candidates),
+                split.train_indices,
+                split.truth[split.train_indices],
+                block_size=block_size,
+            )
+            model = ActiveIter(
+                LabelOracle(positives, budget=6), batch_size=2
+            )
+            model.fit(task)
+            return model
+
+        fixed = fit(97)
+        auto = fit(AUTO_BLOCK_SIZE)
+        assert auto.queried_ == fixed.queried_
+        assert np.array_equal(auto.labels_, fixed.labels_)
 
 
 class TestStreamedFitEquivalence:

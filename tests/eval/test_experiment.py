@@ -135,6 +135,22 @@ class TestRunExperiment:
         with pytest.raises(ExperimentError):
             outcome.method("nope")
 
+    def test_store_backed_run_is_exact(self, tiny_synthetic_pair, tmp_path):
+        """Spilling matrices to disk must not change a single metric."""
+        config = ProtocolConfig(np_ratio=5, n_repeats=1, seed=4)
+        methods = [
+            MethodSpec(name="ActiveIter-5", kind="active", budget=5),
+            MethodSpec(name="Iter-MPMD", kind="iterative"),
+        ]
+        in_memory = run_experiment(tiny_synthetic_pair, config, methods)
+        stored = run_experiment(
+            tiny_synthetic_pair, config, methods, store=tmp_path
+        )
+        for name in in_memory.methods:
+            assert (
+                stored.methods[name].reports == in_memory.methods[name].reports
+            )
+
     def test_queried_links_removed_from_test(self, tiny_synthetic_pair):
         """Active methods must not be scored on links they bought."""
         config = ProtocolConfig(np_ratio=5, sample_ratio=0.6, n_repeats=1, seed=8)

@@ -60,3 +60,42 @@ class TestRoundTrip:
         assert format_single_outcome("t", restored) == format_single_outcome(
             "t", outcome
         )
+
+
+class TestRuntimeMetadata:
+    def test_outcome_records_runtime(self, outcome):
+        runtime = outcome.runtime
+        assert runtime is not None
+        assert runtime.workers == 1
+        assert runtime.executor == "serial"
+        assert runtime.store_dir is None
+        # RSS is best-effort: positive on POSIX, 0 where unsupported.
+        assert runtime.peak_rss_bytes >= 0
+
+    def test_runtime_round_trips(self, outcome):
+        payload = outcome_to_dict(outcome)
+        assert payload["format_version"] == 2
+        assert payload["runtime"]["executor"] == "serial"
+        restored = outcome_from_dict(payload)
+        assert restored.runtime == outcome.runtime
+
+    def test_store_run_records_store_dir(self, request, tmp_path):
+        pair = request.getfixturevalue("tiny_synthetic_pair")
+        config = ProtocolConfig(np_ratio=5, n_repeats=1, seed=3)
+        stored = run_experiment(
+            pair,
+            config,
+            [MethodSpec(name="Iter-MPMD", kind="iterative")],
+            store=tmp_path,
+        )
+        assert stored.runtime.store_dir == str(tmp_path)
+
+    def test_version1_payload_still_loads(self, outcome):
+        payload = outcome_to_dict(outcome)
+        payload["format_version"] = 1
+        payload.pop("runtime", None)
+        restored = outcome_from_dict(payload)
+        assert restored.runtime is None
+        assert set(restored.methods) == set(outcome.methods)
+        for name in outcome.methods:
+            assert restored.methods[name].reports == outcome.methods[name].reports

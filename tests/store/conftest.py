@@ -1,0 +1,13 @@
+"""Shared fixtures for the store subsystem tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import foursquare_twitter_like
+
+
+@pytest.fixture(scope="package")
+def tiny_pair_module():
+    """Package-cached tiny synthetic pair for store/checkpoint tests."""
+    return foursquare_twitter_like("tiny", seed=7)

@@ -1,0 +1,191 @@
+"""Tests for the disk-backed matrix arena."""
+
+import json
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.exceptions import StoreError
+from repro.store import MatrixArena, as_arena
+
+
+def _random_csr(seed: int, shape=(30, 20), density=0.15) -> sparse.csr_matrix:
+    matrix = sparse.random(
+        *shape, density=density, format="csr", random_state=seed
+    )
+    matrix.data = np.round(matrix.data * 10)
+    matrix.eliminate_zeros()
+    return matrix
+
+
+class TestCsrRoundTrip:
+    def test_put_get_exact(self, tmp_path):
+        arena = MatrixArena(tmp_path)
+        matrix = _random_csr(1)
+        arena.put("counts/P1", matrix)
+        loaded = arena.get("counts/P1")
+        assert loaded.shape == matrix.shape
+        assert (abs(loaded - matrix)).nnz == 0
+        assert np.array_equal(loaded.data, matrix.data)
+
+    def test_get_is_memory_mapped_and_canonical(self, tmp_path):
+        arena = MatrixArena(tmp_path)
+        arena.put("m", _random_csr(2))
+        loaded = arena.get("m")
+        # The component arrays must be zero-copy views over the mapped
+        # files: read-only, non-owning, with a memory map at the view
+        # root (np.memmap, or the raw mmap buffer it wraps).
+        import mmap
+
+        base = loaded.data
+        while getattr(base, "base", None) is not None:
+            base = base.base
+        assert isinstance(base, (np.memmap, mmap.mmap))
+        assert not loaded.data.flags.writeable
+        assert not loaded.data.flags.owndata
+        assert loaded.has_sorted_indices
+        # A no-op sort must not raise on the read-only mapped arrays.
+        loaded.sort_indices()
+
+    def test_get_caches_handle(self, tmp_path):
+        arena = MatrixArena(tmp_path)
+        arena.put("m", _random_csr(3))
+        assert arena.get("m") is arena.get("m")
+
+    def test_put_invalidates_cached_handle(self, tmp_path):
+        arena = MatrixArena(tmp_path)
+        first = _random_csr(4)
+        arena.put("m", first)
+        stale = arena.get("m")
+        second = _random_csr(5)
+        arena.put("m", second)
+        fresh = arena.get("m")
+        assert fresh is not stale
+        assert (abs(fresh - second)).nnz == 0
+
+    def test_downstream_sparse_ops_work(self, tmp_path):
+        arena = MatrixArena(tmp_path)
+        matrix = _random_csr(6)
+        arena.put("m", matrix)
+        loaded = arena.get("m")
+        assert np.array_equal(
+            np.asarray(loaded.sum(axis=1)).ravel(),
+            np.asarray(matrix.sum(axis=1)).ravel(),
+        )
+        product = (loaded @ loaded.T).tocsr()
+        expected = (matrix @ matrix.T).tocsr()
+        assert (abs(product - expected)).nnz == 0
+
+
+class TestArraysAndObjects:
+    def test_array_round_trip(self, tmp_path):
+        arena = MatrixArena(tmp_path)
+        array = np.arange(12, dtype=np.float64).reshape(3, 4)
+        arena.put_array("sums/x", array)
+        assert np.array_equal(arena.get_array("sums/x"), array)
+
+    def test_object_round_trip(self, tmp_path):
+        arena = MatrixArena(tmp_path)
+        payload = {"names": ["a", "b"], "positions": {"u1": 0, "u2": 1}}
+        arena.put_object("meta", payload)
+        assert arena.get_object("meta") == payload
+
+    def test_kind_mismatch_raises(self, tmp_path):
+        arena = MatrixArena(tmp_path)
+        arena.put_array("x", np.zeros(3))
+        with pytest.raises(StoreError):
+            arena.get("x")
+        with pytest.raises(StoreError):
+            arena.get_object("x")
+
+    def test_missing_entry_raises(self, tmp_path):
+        with pytest.raises(StoreError):
+            MatrixArena(tmp_path).get("absent")
+
+
+class TestManifest:
+    def test_version_bumps_on_every_write(self, tmp_path):
+        arena = MatrixArena(tmp_path)
+        v0 = arena.version
+        arena.put("a", _random_csr(7))
+        v1 = arena.version
+        arena.put_array("b", np.zeros(2))
+        assert v0 < v1 < arena.version
+
+    def test_reopen_sees_same_state(self, tmp_path):
+        arena = MatrixArena(tmp_path)
+        matrix = _random_csr(8)
+        arena.put("m", matrix)
+        arena.put_object("meta", {"k": 1})
+        reopened = MatrixArena(tmp_path)
+        assert reopened.version == arena.version
+        assert set(reopened.keys()) == {"m", "meta"}
+        assert (abs(reopened.get("m") - matrix)).nnz == 0
+
+    def test_refresh_picks_up_external_writes(self, tmp_path):
+        writer = MatrixArena(tmp_path)
+        reader = MatrixArena(tmp_path)
+        writer.put("m", _random_csr(9))
+        assert "m" not in reader
+        reader.refresh()
+        assert "m" in reader
+
+    def test_unsupported_format_rejected(self, tmp_path):
+        arena = MatrixArena(tmp_path)
+        arena.put_array("x", np.zeros(1))
+        manifest = json.loads(arena.manifest_path.read_text())
+        manifest["format_version"] = 99
+        arena.manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(StoreError):
+            MatrixArena(tmp_path)
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        arena = MatrixArena(tmp_path)
+        arena.put("m", _random_csr(10))
+        arena.put_array("a", np.zeros(4))
+        arena.put_object("o", {"x": 1})
+        leftovers = [
+            path for path in tmp_path.rglob("*") if ".tmp." in path.name
+        ]
+        assert leftovers == []
+
+
+class TestLifecycle:
+    def test_drop_removes_entry_and_files(self, tmp_path):
+        arena = MatrixArena(tmp_path)
+        arena.put("m", _random_csr(11))
+        files = list(arena.data_dir.iterdir())
+        assert files
+        assert arena.drop("m")
+        assert "m" not in arena
+        assert list(arena.data_dir.iterdir()) == []
+        assert not arena.drop("m")
+
+    def test_nbytes_counts_stored_files(self, tmp_path):
+        arena = MatrixArena(tmp_path)
+        assert arena.nbytes() == 0
+        arena.put("m", _random_csr(12))
+        assert arena.nbytes() > 0
+
+    def test_close_idempotent_and_context_manager(self, tmp_path):
+        with MatrixArena(tmp_path) as arena:
+            arena.put("m", _random_csr(13))
+        arena.close()
+        # Entries survive close; handles are simply re-opened.
+        assert "m" in arena
+        assert arena.get("m").nnz >= 0
+
+    def test_as_arena_resolution(self, tmp_path):
+        assert as_arena(None) == (None, False)
+        arena, owned = as_arena(tmp_path)
+        assert isinstance(arena, MatrixArena) and owned
+        shared, owned = as_arena(arena)
+        assert shared is arena and not owned
+
+    def test_slot_names_survive_special_characters(self, tmp_path):
+        arena = MatrixArena(tmp_path)
+        name = "engine/((F1@A)*(W1@W2^T))"
+        matrix = _random_csr(14)
+        arena.put(name, matrix)
+        assert (abs(MatrixArena(tmp_path).get(name) - matrix)).nnz == 0

@@ -142,3 +142,73 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Streamed active fit vs materialized task" in out
         assert "queried links identical: True" in out
+
+    def test_engine_store_dir(self, capsys, tmp_path):
+        code = main(
+            [
+                "--scale",
+                "tiny",
+                "engine",
+                "--budget",
+                "4",
+                "--np-ratio",
+                "5",
+                "--store-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Disk-backed matrix store vs in-memory baseline" in out
+        assert "features identical: True" in out
+        assert "selection identical: True" in out
+        assert (tmp_path / "manifest.json").exists()
+
+    def test_engine_checkpoint_resume_workflow(self, capsys, tmp_path):
+        common = [
+            "--scale",
+            "tiny",
+            "engine",
+        ]
+        trailing = [
+            "--store-dir",
+            str(tmp_path),
+            "--budget",
+            "8",
+            "--batch",
+            "2",
+        ]
+        code = main(
+            common
+            + ["checkpoint"]
+            + trailing
+            + ["--interrupt-after", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "interrupted: simulated crash" in out
+        assert (tmp_path / "checkpoint.pkl").exists()
+
+        code = main(common + ["resume"] + trailing)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Resumed active fit" in out
+        assert "byte-identical to uninterrupted run: True" in out
+        assert not (tmp_path / "checkpoint.pkl").exists()
+
+    def test_engine_checkpoint_requires_store_dir(self):
+        with pytest.raises(SystemExit):
+            main(["--scale", "tiny", "engine", "checkpoint"])
+
+    def test_engine_resume_without_checkpoint_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "--scale",
+                    "tiny",
+                    "engine",
+                    "resume",
+                    "--store-dir",
+                    str(tmp_path),
+                ]
+            )
