@@ -41,7 +41,12 @@ from repro.engine import (
     StreamedAlignmentTask,
 )
 from repro.meta import FeatureExtractor, standard_diagram_family
-from repro.networks import AlignedPair, HeterogeneousNetwork, SocialNetworkBuilder
+from repro.networks import (
+    AlignedPair,
+    HeterogeneousNetwork,
+    NetworkDelta,
+    SocialNetworkBuilder,
+)
 from repro.store import MatrixArena, SessionCheckpoint
 from repro.synth import WorldConfig, generate_aligned_pair
 from repro.types import Labeled
@@ -62,6 +67,7 @@ __all__ = [
     "IterMPMD",
     "Labeled",
     "MatrixArena",
+    "NetworkDelta",
     "SVMAligner",
     "SessionCheckpoint",
     "SocialNetworkBuilder",

@@ -12,6 +12,8 @@ Usage::
     python -m repro.cli baselines [--scale small]    # unsupervised methods
     python -m repro.cli validate  [--scale small]    # data integrity report
     python -m repro.cli stats     [--scale small]    # per-structure stats
+    python -m repro.cli evolve    [--scale small] [--events 4]
+                                  [--np-ratio 10]    # evolving networks
     python -m repro.cli engine    [--scale small] [--budget 30] [--batch 2]
                                   [--workers 4] [--streamed]
                                   [--store-dir DIR]
@@ -231,6 +233,37 @@ def cmd_stats(args: argparse.Namespace) -> str:
 
     pair = foursquare_twitter_like(scale=args.scale, seed=args.seed)
     return format_family_statistics(family_statistics(pair))
+
+
+def cmd_evolve(args: argparse.Namespace) -> str:
+    """Evolving-network scenario: scripted drift, delta vs full recount."""
+    from repro.engine.evolution import scripted_delta_schedule
+    from repro.eval.experiment import format_evolve_outcome, run_evolve_scenario
+    from repro.eval.protocol import ProtocolConfig
+
+    # The schedule is built from (and does not mutate) a base pair;
+    # hand that same pair to the scenario's first build instead of
+    # generating the dataset a third time.
+    prebuilt = [foursquare_twitter_like(scale=args.scale, seed=args.seed)]
+
+    def make_pair():
+        if prebuilt:
+            return prebuilt.pop()
+        return foursquare_twitter_like(scale=args.scale, seed=args.seed)
+
+    schedule = scripted_delta_schedule(
+        prebuilt[0],
+        events=args.events,
+        seed=args.seed,
+        users_per_event=args.users_per_event,
+        posts_per_event=args.posts_per_event,
+        edges_per_event=args.edges_per_event,
+    )
+    config = ProtocolConfig(
+        np_ratio=args.np_ratio, sample_ratio=1.0, n_repeats=1, seed=args.seed
+    )
+    outcome = run_evolve_scenario(make_pair, config, schedule, seed=args.seed)
+    return format_evolve_outcome(outcome)
 
 
 def _engine_active_setup(args: argparse.Namespace):
@@ -493,6 +526,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("validate", help="dataset integrity report")
     sub.add_parser("stats", help="meta structure statistics")
 
+    evolve = sub.add_parser(
+        "evolve",
+        help="evolving-network scenario: delta path vs full recount",
+    )
+    evolve.add_argument("--events", type=int, default=4)
+    evolve.add_argument("--np-ratio", type=int, default=10)
+    evolve.add_argument("--users-per-event", type=int, default=1)
+    evolve.add_argument("--posts-per-event", type=int, default=4)
+    evolve.add_argument("--edges-per-event", type=int, default=6)
+
     engine = sub.add_parser(
         "engine",
         help="engine diagnostics and the checkpoint/resume workflow",
@@ -561,6 +604,7 @@ _COMMANDS = {
     "baselines": cmd_baselines,
     "validate": cmd_validate,
     "stats": cmd_stats,
+    "evolve": cmd_evolve,
     "engine": cmd_engine,
 }
 

@@ -18,18 +18,26 @@ Optionally the model refreshes the anchor matrix used for feature
 extraction whenever queried positives arrive (``refresh_features``);
 the paper precomputes features once, so this defaults to off.
 
+The loop also serves **evolving networks**: an ``evolution`` schedule
+of ``(round, NetworkDelta)`` events applies network growth between
+query rounds through the attached session's generalized delta seam —
+bought labels are preserved, dirty feature columns are refreshed in
+place (or re-extracted on the next streamed block pass), and the next
+round's scores reflect the drifted network exactly.
+
 Long fits can be made durable with a
 :class:`~repro.store.checkpoint.SessionCheckpoint`: the loop snapshots
 its complete state (clamped labels, bought queries, the label vector,
 oracle answers, strategy RNG state, and — when a session is attached —
-the session's anchor-derived count state) after every query round, and
-a model constructed over the same task finds the checkpoint and resumes
-byte-identically to an uninterrupted run.
+the session's anchor-derived count state plus its evolution log) after
+every query round, and a model constructed over the same task finds the
+checkpoint and resumes byte-identically to an uninterrupted run —
+replaying any evolution events onto the freshly built pair.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,8 +48,12 @@ from repro.core.itermpmd import AlternatingState, IterMPMD
 from repro.engine.streaming import StreamedAlignmentTask
 from repro.exceptions import ModelError
 from repro.meta.features import FeatureExtractor
+from repro.networks.aligned import NetworkDelta
 from repro.store.checkpoint import SessionCheckpoint
 from repro.types import LinkPair
+
+#: One scheduled evolution event: apply the delta after query round N.
+EvolutionEvent = Tuple[int, NetworkDelta]
 
 
 class ActiveIter(IterMPMD):
@@ -82,6 +94,16 @@ class ActiveIter(IterMPMD):
         ``refresh_features=True`` the checkpoint also carries the
         session's count state and the feature matrix is re-derived on
         resume.
+    evolution:
+        Scheduled network drift: a sequence of ``(round, delta)``
+        events, each applied through the session's
+        ``apply_network_delta`` after query round ``round`` completes
+        (before the round's checkpoint save, so resume replays the
+        drift).  Requires a session and ``refresh_features=True`` —
+        drifting the network under a frozen feature matrix would
+        silently score against stale counts.  Bought labels are
+        preserved; the session's sparse delta fold keeps each event far
+        cheaper than a recount.
     """
 
     def __init__(
@@ -97,6 +119,7 @@ class ActiveIter(IterMPMD):
         refresh_features: bool = False,
         session=None,
         checkpoint: Optional[SessionCheckpoint] = None,
+        evolution: Optional[Sequence[EvolutionEvent]] = None,
     ) -> None:
         super().__init__(
             c=c,
@@ -125,9 +148,21 @@ class ActiveIter(IterMPMD):
         self.session = session
         self.refresh_features = bool(refresh_features)
         self.checkpoint = checkpoint
-        # Anchor-update counter at the last checkpointed session
-        # snapshot; lets saves skip re-pickling an unchanged session.
-        self._checkpoint_anchor_marker: Optional[int] = None
+        self.evolution: List[EvolutionEvent] = sorted(
+            ((int(round_), delta) for round_, delta in (evolution or ())),
+            key=lambda event: event[0],
+        )
+        if self.evolution:
+            if session is None or not self.refresh_features:
+                raise ModelError(
+                    "an evolution schedule requires a session and "
+                    "refresh_features=True"
+                )
+            if self.evolution[0][0] < 1:
+                raise ModelError("evolution rounds must be >= 1")
+        # Session-update counters at the last checkpointed snapshot;
+        # lets saves skip re-pickling an unchanged session.
+        self._checkpoint_anchor_marker: Optional[Tuple[int, int]] = None
 
     # ------------------------------------------------------------------
     # Checkpoint plumbing
@@ -154,8 +189,16 @@ class ActiveIter(IterMPMD):
                 )
             self.strategy.restore_state(strategy_state)
         if session is not None:
-            self._checkpoint_anchor_marker = session.stats.anchor_updates
+            self._checkpoint_anchor_marker = self._session_marker(session)
         return payload
+
+    @staticmethod
+    def _session_marker(session) -> Tuple[int, int]:
+        """Counters that change iff the session's count state changed."""
+        return (
+            session.stats.anchor_updates,
+            session.stats.network_updates,
+        )
 
     def _save_checkpoint(
         self,
@@ -178,7 +221,7 @@ class ActiveIter(IterMPMD):
             return
         session_dirty = True
         if session is not None:
-            marker = session.stats.anchor_updates
+            marker = self._session_marker(session)
             session_dirty = marker != self._checkpoint_anchor_marker
             self._checkpoint_anchor_marker = marker
         self.checkpoint.save(
@@ -199,6 +242,53 @@ class ActiveIter(IterMPMD):
                 ),
             },
         )
+
+    # ------------------------------------------------------------------
+    # Network drift
+    # ------------------------------------------------------------------
+    def _evolution_start(self) -> int:
+        """Schedule position to start from (skips resumed-over events).
+
+        A checkpoint restore replays the interrupted run's applied
+        schedule prefix into the session's evolution log, so the longest
+        schedule prefix matching a *suffix* of the log is exactly what
+        was already applied — the fit continues from there.  Deltas the
+        caller applied outside the schedule (a pre-drifted session)
+        match nothing and skip nothing.
+        """
+        if not self.evolution:
+            return 0
+        log = self.session.evolution_log
+        deltas = [delta for _, delta in self.evolution]
+        for applied in range(min(len(deltas), len(log)), 0, -1):
+            if log[-applied:] == deltas[:applied]:
+                return applied
+        return 0
+
+    def _apply_due_evolution(
+        self, task, n_rounds: int, position: int
+    ) -> int:
+        """Apply every scheduled delta due by ``n_rounds``; new position.
+
+        Materialized tasks get their dirty feature columns rewritten in
+        place (or fully re-extracted on a non-incremental session);
+        streamed tasks need nothing — the next block pass extracts
+        against the evolved session.
+        """
+        applied = False
+        while (
+            position < len(self.evolution)
+            and self.evolution[position][0] <= n_rounds
+        ):
+            self.session.apply_network_delta(self.evolution[position][1])
+            position += 1
+            applied = True
+        if applied and not isinstance(task, StreamedAlignmentTask):
+            if self.session.incremental:
+                self.session.refresh_features(task.X, task.pairs)
+            else:
+                task.X = self.session.extract(task.pairs)
+        return position
 
     # ------------------------------------------------------------------
     def fit(self, task: AlignmentTask) -> "ActiveIter":
@@ -231,6 +321,7 @@ class ActiveIter(IterMPMD):
             trace = []
             y = self._initial_labels(task, clamped_indices, clamped_values)
             n_rounds = 0
+        evolution_position = self._evolution_start()
         state = AlternatingState.from_task(task, clamped_indices, clamped_values)
         while True:
             n_rounds += 1
@@ -283,6 +374,10 @@ class ActiveIter(IterMPMD):
                 else:
                     # Full-recompute semantics (the pre-engine behavior).
                     task.X = self.session.extract(task.pairs)
+
+            evolution_position = self._apply_due_evolution(
+                task, n_rounds, evolution_position
+            )
 
             self._save_checkpoint(
                 self.session,
@@ -346,6 +441,7 @@ class ActiveIter(IterMPMD):
             trace = []
             y = self._initial_labels(task, clamped_indices, clamped_values)
             n_rounds = 0
+        evolution_position = self._evolution_start()
         state = AlternatingState.from_task(task, clamped_indices, clamped_values)
         while True:
             n_rounds += 1
@@ -393,6 +489,10 @@ class ActiveIter(IterMPMD):
                     if value == 1
                 ]
                 task.session.set_anchors(known_positive_pairs)
+
+            evolution_position = self._apply_due_evolution(
+                task, n_rounds, evolution_position
+            )
 
             self._save_checkpoint(
                 task.session,

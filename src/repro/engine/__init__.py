@@ -7,10 +7,13 @@ set) and updates it incrementally as the active loop buys labels;
 :mod:`repro.engine.candidates` streams the candidate space in pruned
 blocks instead of materializing the |U1| x |U2| cross product;
 :mod:`repro.engine.streaming` carries whole fit problems in block form
-(no |H| x d feature matrix); and :mod:`repro.engine.parallel` provides
+(no |H| x d feature matrix); :mod:`repro.engine.parallel` provides
 the executor abstraction that fans per-structure and per-block work out
 across threads — or, with a store-backed session
-(:mod:`repro.store`), across processes — with byte-identical results.
+(:mod:`repro.store`), across processes — with byte-identical results;
+and :mod:`repro.engine.evolution` scripts deterministic network-growth
+schedules for the evolving-network workload served by
+``AlignmentSession.apply_network_delta``.
 """
 
 from repro.engine.candidates import (
@@ -18,10 +21,16 @@ from repro.engine.candidates import (
     linear_scorer,
     streamed_selection,
 )
+from repro.engine.evolution import (
+    evolution_rounds,
+    replay_schedule,
+    scripted_delta_schedule,
+)
 from repro.engine.incremental import (
     DeltaEvaluator,
     apply_delta,
     leaf_occurrences,
+    pad_csr,
     supports_delta,
 )
 from repro.engine.parallel import (
@@ -54,11 +63,15 @@ __all__ = [
     "ThreadedExecutor",
     "apply_delta",
     "blockify",
+    "evolution_rounds",
     "get_executor",
     "leaf_occurrences",
     "linear_scorer",
     "make_executor",
+    "pad_csr",
+    "replay_schedule",
     "resolve_block_size",
+    "scripted_delta_schedule",
     "streamed_selection",
     "supports_delta",
     "tune_block_size",

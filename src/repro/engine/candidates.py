@@ -56,6 +56,72 @@ def _follow_degrees(network) -> np.ndarray:
     return out_degree + in_degree
 
 
+def _support_mask(
+    session, min_structures: int, rows: Optional[np.ndarray] = None
+) -> sparse.csr_matrix:
+    """Structure-support indicator over H (or over selected rows only).
+
+    With ``rows`` the scan touches only those rows of every count
+    matrix — the dirty-row refresh path of
+    :meth:`CandidateGenerator.refresh`.
+    """
+    support: Optional[sparse.csr_matrix] = None
+    for counts in session.structure_counts().values():
+        matrix = counts.tocsr()
+        if rows is not None:
+            matrix = matrix[rows]
+        indicator = matrix.copy()
+        indicator.data = np.ones_like(indicator.data)
+        support = indicator if support is None else (support + indicator)
+    if support is None:
+        # A family with no structures supports no pair at all: stream a
+        # clean empty candidate space instead of silently un-pruning to
+        # the full cross product.
+        n_rows = (
+            len(rows) if rows is not None else len(session.pair.left_users())
+        )
+        support = sparse.csr_matrix(
+            (n_rows, len(session.pair.right_users()))
+        )
+    if min_structures > 1:
+        support.data = np.where(support.data >= min_structures, 1.0, 0.0)
+        support.eliminate_zeros()
+    return support
+
+
+def _pad_mask(
+    mask: sparse.csr_matrix, shape: Tuple[int, int]
+) -> sparse.csr_matrix:
+    """Grow an admissibility mask to a larger candidate space."""
+    from repro.engine.incremental import pad_csr
+
+    return pad_csr(mask, shape)
+
+
+def _replace_rows(
+    base: sparse.csr_matrix, rows: np.ndarray, replacement: sparse.csr_matrix
+) -> sparse.csr_matrix:
+    """Splice ``replacement``'s rows into ``base`` at positions ``rows``.
+
+    Built from two sparse products (a keep-diagonal and a scatter
+    selector), so the cost is O(nnz) — no Python-level row loop.
+    """
+    keep = np.ones(base.shape[0], dtype=np.float64)
+    keep[rows] = 0.0
+    kept = sparse.diags(keep).tocsr() @ base
+    scatter = sparse.csr_matrix(
+        (
+            np.ones(rows.size, dtype=np.float64),
+            (rows, np.arange(rows.size, dtype=np.int64)),
+        ),
+        shape=(base.shape[0], rows.size),
+    )
+    spliced = (kept + scatter @ replacement).tocsr()
+    spliced.eliminate_zeros()
+    spliced.sort_indices()
+    return spliced
+
+
 class CandidateGenerator:
     """Streams pruned candidate anchor pairs in fixed-size blocks.
 
@@ -109,6 +175,10 @@ class CandidateGenerator:
         else:
             self._left_degrees = None
             self._right_degrees = None
+        # Set by from_support: lets refresh() rebuild the prune mask —
+        # and track the session's delta epoch for dirty-row refreshes.
+        self._support_min: Optional[int] = None
+        self._support_epoch: Optional[int] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -124,31 +194,77 @@ class CandidateGenerator:
         Uses the session's cached count matrices — pairs outside every
         structure's support have identically zero proximity features and
         are dropped.  ``min_structures > 1`` tightens the prune to pairs
-        connected by several kinds of evidence.
+        connected by several kinds of evidence.  After the session's
+        network evolves, :meth:`refresh` brings the generator current
+        without rebuilding clean rows.
         """
         if min_structures < 1:
             raise AlignmentError("min_structures must be >= 1")
-        support: Optional[sparse.csr_matrix] = None
-        for counts in session.structure_counts().values():
-            indicator = counts.tocsr().copy()
-            indicator.data = np.ones_like(indicator.data)
-            support = indicator if support is None else (support + indicator)
-        if support is None:
-            # A family with no structures supports no pair at all:
-            # stream a clean empty candidate space instead of silently
-            # un-pruning to the full cross product.
-            support = sparse.csr_matrix(
-                (len(session.pair.left_users()), len(session.pair.right_users()))
-            )
-        if min_structures > 1:
-            support.data = np.where(support.data >= min_structures, 1.0, 0.0)
-            support.eliminate_zeros()
-        return cls(
+        generator = cls(
             session.pair,
             block_size=block_size,
-            allowed=support,
+            allowed=_support_mask(session, min_structures),
             exclude=exclude,
         )
+        generator._support_min = min_structures
+        generator._support_epoch = session.delta_epoch
+        return generator
+
+    def refresh(self, session=None, dirty_rows=None) -> "CandidateGenerator":
+        """Bring the generator current after the pair evolved.
+
+        Re-resolves the user lists and degree vectors (new users stream
+        like any other row) and, for a support-pruned generator,
+        rebuilds the admissibility mask for exactly the **dirty rows** —
+        the left users whose counts a delta touched (taken from
+        ``session.dirty_since`` unless ``dirty_rows`` overrides it) plus
+        the newly added rows.  Clean rows keep their mask bits verbatim,
+        so the refreshed generator is byte-identical to one built fresh
+        with :meth:`from_support` at a fraction of the scan.  Returns
+        ``self`` for chaining.
+        """
+        old_n_left = len(self._left_users)
+        self._left_users = self.pair.left_users()
+        self._right_users = self.pair.right_users()
+        if self.max_degree_ratio is not None:
+            self._left_degrees = _follow_degrees(self.pair.left)
+            self._right_degrees = _follow_degrees(self.pair.right)
+        if self._allowed is None:
+            return self
+        if self._support_min is None:
+            raise AlignmentError(
+                "cannot refresh an explicit allowed mask; rebuild the "
+                "generator with the new mask instead"
+            )
+        if session is None:
+            raise AlignmentError(
+                "refreshing a support-pruned generator needs the session"
+            )
+        shape = (len(self._left_users), len(self._right_users))
+        if dirty_rows is None and self._support_epoch is not None:
+            dirty = session.dirty_since(self._support_epoch)
+            if dirty is not None:
+                dirty_rows = dirty[0]
+        if dirty_rows is None:
+            # Unknown dirty set (or log trimmed): full rebuild.
+            self._allowed = _support_mask(session, self._support_min)
+        else:
+            rows = np.unique(
+                np.concatenate(
+                    [
+                        np.asarray(dirty_rows, dtype=np.int64),
+                        np.arange(old_n_left, shape[0], dtype=np.int64),
+                    ]
+                )
+            )
+            self._allowed = _pad_mask(self._allowed, shape)
+            if rows.size:
+                replacement = _support_mask(
+                    session, self._support_min, rows=rows
+                )
+                self._allowed = _replace_rows(self._allowed, rows, replacement)
+        self._support_epoch = session.delta_epoch
+        return self
 
     # ------------------------------------------------------------------
     def _row_columns(self, i: int) -> np.ndarray:

@@ -1,0 +1,202 @@
+"""Scripted network-evolution schedules for the evolve scenario.
+
+The evolving-network workload needs *deterministic* drift: the delta
+path and the full-recount baseline must replay byte-identical growth,
+and a checkpoint resume must regenerate the very same schedule from the
+CLI arguments alone.  :func:`scripted_delta_schedule` builds such a
+schedule from a seeded RNG over one aligned pair:
+
+* each event targets one side (alternating left/right);
+* new users arrive with follow edges knitting them into the existing
+  graph (and each other);
+* new posts arrive from existing *and* new authors, carrying
+  timestamps/locations/words drawn from the side's **own** attribute
+  vocabulary — drawing from known values keeps the shared vocabulary
+  order stable, so attribute-matrix growth stays pure padding and the
+  per-event delta stays sparse;
+* extra follow edges model ongoing edge churn among existing users.
+
+Schedules are built entirely from the *base* pair (events may reference
+users added by earlier events in the same schedule, tracked without
+mutating the pair), so the same schedule object can be applied to any
+identically constructed copy of the pair.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import AlignmentError
+from repro.networks.aligned import AlignedPair, NetworkDelta
+from repro.networks.schema import (
+    FOLLOW,
+    LOCATION,
+    POST,
+    TIMESTAMP,
+    USER,
+    WORD,
+    WRITE,
+)
+
+
+def scripted_delta_schedule(
+    pair: AlignedPair,
+    events: int = 5,
+    seed: int = 0,
+    users_per_event: int = 1,
+    posts_per_event: int = 4,
+    edges_per_event: int = 6,
+    words_per_post: int = 2,
+    sides: Sequence[str] = ("left", "right"),
+) -> List[NetworkDelta]:
+    """Build a deterministic schedule of network deltas for ``pair``.
+
+    Parameters
+    ----------
+    pair:
+        The base (pre-evolution) aligned pair.  Not mutated.
+    events:
+        Number of :class:`~repro.networks.aligned.NetworkDelta` events.
+    seed:
+        RNG seed; the same pair and arguments always yield the same
+        schedule.
+    users_per_event, posts_per_event, edges_per_event:
+        Growth per event: new users (knitted in with two follow edges
+        each), new posts (with attributes), and extra follow churn among
+        existing users.
+    words_per_post:
+        Word attachments per new post (``0`` when the side has no word
+        vocabulary yet).
+    sides:
+        Sides to alternate over, in order.
+    """
+    if events < 1:
+        raise AlignmentError("events must be >= 1")
+    for side in sides:
+        if side not in ("left", "right"):
+            raise AlignmentError(f"unknown side {side!r}")
+    rng = np.random.default_rng(seed)
+    # Simulated per-side id universes; extended by earlier events so
+    # later ones can reference their users without mutating the pair.
+    users = {
+        "left": list(pair.left_users()),
+        "right": list(pair.right_users()),
+    }
+    vocabularies = {
+        side: {
+            attribute: network.attribute_values(attribute)
+            for attribute in (TIMESTAMP, LOCATION, WORD)
+        }
+        for side, network in (("left", pair.left), ("right", pair.right))
+    }
+    schedule: List[NetworkDelta] = []
+    user_counter = 0
+    post_counter = 0
+    for event in range(events):
+        side = sides[event % len(sides)]
+        known = users[side]
+        new_users = []
+        for _ in range(users_per_event):
+            new_users.append(f"evo:{side}:u{user_counter}")
+            user_counter += 1
+        edges: List[Tuple[str, object, object]] = []
+        for new_user in new_users:
+            # Knit each arrival into the graph: one edge out, one in.
+            edges.append(
+                (FOLLOW, new_user, known[int(rng.integers(len(known)))])
+            )
+            edges.append(
+                (FOLLOW, known[int(rng.integers(len(known)))], new_user)
+            )
+        for _ in range(edges_per_event):
+            source = known[int(rng.integers(len(known)))]
+            target = known[int(rng.integers(len(known)))]
+            if source != target:
+                edges.append((FOLLOW, source, target))
+        authors = known + new_users
+        new_posts = []
+        attributes: List[Tuple[str, object, object]] = []
+        for _ in range(posts_per_event):
+            post_id = f"evo:{side}:p{post_counter}"
+            post_counter += 1
+            new_posts.append(post_id)
+            edges.append((WRITE, authors[int(rng.integers(len(authors)))], post_id))
+            attributes.extend(
+                _post_attributes(
+                    rng, vocabularies[side], post_id, words_per_post
+                )
+            )
+        schedule.append(
+            NetworkDelta.build(
+                side,
+                added_nodes={USER: new_users, POST: new_posts},
+                added_edges=edges,
+                updated_attributes=attributes,
+            )
+        )
+        users[side] = known + new_users
+    return schedule
+
+
+def _post_attributes(
+    rng: np.random.Generator,
+    vocabulary,
+    post_id,
+    words_per_post: int,
+) -> List[Tuple[str, object, object]]:
+    """Timestamp/location/word attachments for one scripted post."""
+    attributes: List[Tuple[str, object, object]] = []
+    timestamps = vocabulary[TIMESTAMP]
+    if timestamps:
+        attributes.append(
+            (TIMESTAMP, post_id, timestamps[int(rng.integers(len(timestamps)))])
+        )
+    locations = vocabulary[LOCATION]
+    if locations:
+        attributes.append(
+            (LOCATION, post_id, locations[int(rng.integers(len(locations)))])
+        )
+    words = vocabulary[WORD]
+    for _ in range(words_per_post if words else 0):
+        attributes.append(
+            (WORD, post_id, words[int(rng.integers(len(words)))])
+        )
+    return attributes
+
+
+def evolution_rounds(
+    schedule: Sequence[NetworkDelta],
+    every: int = 1,
+    start: int = 1,
+) -> List[Tuple[int, NetworkDelta]]:
+    """Spread a schedule over query rounds for the drifting active loop.
+
+    Returns ``(round, delta)`` events — one delta applied after rounds
+    ``start, start + every, ...`` — in the shape
+    :class:`~repro.core.activeiter.ActiveIter` accepts as
+    ``evolution=``.
+    """
+    if every < 1:
+        raise AlignmentError("every must be >= 1")
+    if start < 1:
+        raise AlignmentError("start must be >= 1")
+    return [
+        (start + index * every, delta)
+        for index, delta in enumerate(schedule)
+    ]
+
+
+def replay_schedule(
+    pair: AlignedPair, schedule: Sequence[NetworkDelta], upto: Optional[int] = None
+) -> AlignedPair:
+    """Apply (a prefix of) a schedule to a pair; returns the pair.
+
+    Convenience for building the full-recount reference: grow an
+    identically constructed pair to the same end state, then count from
+    scratch.
+    """
+    for delta in schedule[:upto]:
+        pair.apply_delta(delta)
+    return pair

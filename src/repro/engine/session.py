@@ -14,15 +14,19 @@ owns, for one :class:`~repro.networks.aligned.AlignedPair`:
 * cached *candidate views* — the index arrays and per-structure count
   values of candidate lists that are scored repeatedly.
 
-Anchor updates are **incremental**: every standard count expression is
-linear in the anchor matrix ``A`` (:mod:`repro.engine.incremental`), so
-adding ``k`` anchors applies a sparse low-rank delta to each
-anchor-dependent count matrix, its row/column sums, and the cached
-candidate-view values — and :meth:`refresh_features` then rewrites only
-the affected columns of an existing feature matrix in place, without
-any O(nnz) recount or re-scan.  Attribute-only structures are computed
-once per session, ever — across query rounds, refits, and experiment
-folds alike.  All updates are bit-exact: counts are integer-valued, and
+Updates are **incremental** through the generalized delta algebra of
+:mod:`repro.engine.incremental`.  Anchor updates: adding ``k`` anchors
+applies a sparse low-rank delta to each anchor-dependent count matrix,
+its row/column sums, and the cached candidate-view values — and
+:meth:`refresh_features` then rewrites only the affected columns of an
+existing feature matrix in place, without any O(nnz) recount or
+re-scan.  Network updates: :meth:`apply_network_delta` grows ``W1``/
+``W2``/adjacency in place (append-only node order makes growth pure
+padding), folds one-sided delta products for exactly the structures the
+changed matrices touch, and leaves everything else — including
+attribute-only counts under anchor churn — untouched across query
+rounds, refits, experiment folds and evolution events alike.  All
+updates are bit-exact: counts are integer-valued, and
 products/Hadamards/sums of integers below 2**53 are exact in float64.
 """
 
@@ -31,19 +35,28 @@ from __future__ import annotations
 import threading
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 from scipy import sparse
 
-from repro.engine.incremental import DeltaEvaluator, apply_delta, supports_delta
+from repro.engine.incremental import (
+    DeltaEvaluator,
+    apply_delta,
+    pad_csr,
+    supports_delta,
+)
 from repro.engine.parallel import Executor, WorkersSpec, get_executor
 from repro.exceptions import FeatureError, StoreError
 from repro.meta.algebra import CountingEngine, Expr
-from repro.meta.context import ANCHOR_MATRIX, build_matrix_bag
+from repro.meta.context import (
+    ANCHOR_MATRIX,
+    bag_fingerprints,
+    build_matrix_bag,
+)
 from repro.meta.diagrams import DiagramFamily, standard_diagram_family
 from repro.meta.proximity import ProximityMatrix, csr_values_at, dice_scores
-from repro.networks.aligned import AlignedPair
+from repro.networks.aligned import AlignedPair, NetworkDelta
 from repro.store.arena import MatrixArena, as_arena
 from repro.store.procwork import (
     SESSION_META,
@@ -56,7 +69,15 @@ from repro.store.procwork import (
 from repro.types import LinkPair
 
 #: Session state-dict format, for checkpoint compatibility checks.
-_STATE_FORMAT_VERSION = 1
+#: Version 2 added the evolution log (version-1 snapshots still load).
+_STATE_FORMAT_VERSION = 2
+
+#: State-dict versions :meth:`AlignmentSession.load_state_dict` accepts.
+_LOADABLE_STATE_VERSIONS = (1, 2)
+
+#: How many delta events the dirty-region log retains; consumers whose
+#: marker fell off the log get a conservative "everything dirty" answer.
+_DELTA_LOG_LIMIT = 64
 
 
 @dataclass
@@ -67,6 +88,8 @@ class SessionStats:
     ----------
     anchor_updates:
         ``set_anchors`` calls that actually changed the known set.
+    network_updates:
+        ``apply_network_delta`` calls that actually changed a matrix.
     delta_updates:
         Structure count matrices updated via the sparse delta path.
     full_recounts:
@@ -80,6 +103,7 @@ class SessionStats:
     """
 
     anchor_updates: int = 0
+    network_updates: int = 0
     delta_updates: int = 0
     full_recounts: int = 0
     columns_refreshed: int = 0
@@ -89,6 +113,7 @@ class SessionStats:
         """One-line human-readable rendering."""
         return (
             f"anchor_updates={self.anchor_updates} "
+            f"network_updates={self.network_updates} "
             f"delta_updates={self.delta_updates} "
             f"full_recounts={self.full_recounts} "
             f"columns_refreshed={self.columns_refreshed} "
@@ -253,12 +278,26 @@ class AlignmentSession:
         # One lock for the cross-structure shared state: the stats
         # counters and the view cache.  Never held around heavy work.
         self._state_lock = threading.Lock()
+        # Evolution events applied to the pair through this session, in
+        # order — snapshotted so checkpoint resume can replay them.
+        self._evolution_log: List[NetworkDelta] = []
+        self._applied_evolution = 0
+        # Monotonic delta epoch + bounded log of per-event dirty user
+        # rows/cols; lets streamed consumers rescore only dirty blocks.
+        self._delta_epoch = 0
+        self._delta_log: List[
+            Tuple[int, Optional[np.ndarray], Optional[np.ndarray]]
+        ] = []
 
         needs_words = any("P7" in name for name in self.family.feature_names)
+        self._include_word_matrices = include_words or needs_words
         bag = build_matrix_bag(
             pair,
             known_anchors=self._anchors,
-            include_words=include_words or needs_words,
+            include_words=self._include_word_matrices,
+        )
+        self._bag_fingerprints = bag_fingerprints(
+            pair, include_words=self._include_word_matrices
         )
         self._engine = CountingEngine(bag, arena=self.arena)
         self._structures: List[_Structure] = [
@@ -322,6 +361,72 @@ class AlignmentSession:
         if self.include_bias:
             columns.append(len(self._structures))
         return columns
+
+    @property
+    def evolution_log(self) -> List[NetworkDelta]:
+        """Evolution events applied through this session (a copy)."""
+        return list(self._evolution_log)
+
+    # ------------------------------------------------------------------
+    # Dirty-region tracking (consumed by streamed score caches)
+    # ------------------------------------------------------------------
+    @property
+    def delta_epoch(self) -> int:
+        """Monotonic counter bumped by every feature-changing update."""
+        return self._delta_epoch
+
+    def _record_dirty(
+        self,
+        rows: Optional[np.ndarray] = None,
+        cols: Optional[np.ndarray] = None,
+        everything: bool = False,
+    ) -> None:
+        """Log one update's dirty left rows / right cols (or *all*)."""
+        with self._state_lock:
+            self._delta_epoch += 1
+            if everything:
+                entry = (self._delta_epoch, None, None)
+            else:
+                entry = (
+                    self._delta_epoch,
+                    np.unique(np.asarray(rows, dtype=np.int64)),
+                    np.unique(np.asarray(cols, dtype=np.int64)),
+                )
+            self._delta_log.append(entry)
+            del self._delta_log[:-_DELTA_LOG_LIMIT]
+
+    def dirty_since(
+        self, epoch: int
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Union of dirty (left rows, right cols) since a past epoch.
+
+        Returns ``None`` when the answer is unknown or unbounded — the
+        marker fell off the bounded log, a full invalidation happened,
+        or the epoch is not one this session issued — in which case the
+        caller must treat everything as dirty.  Feature rows outside the
+        returned index sets are bit-identical to their values at
+        ``epoch``, so consumers may reuse anything derived from them.
+        """
+        with self._state_lock:
+            if epoch == self._delta_epoch:
+                empty = np.zeros(0, dtype=np.int64)
+                return empty, empty
+            if epoch > self._delta_epoch:
+                return None
+            relevant = [
+                entry for entry in self._delta_log if entry[0] > epoch
+            ]
+            if len(relevant) != self._delta_epoch - epoch:
+                return None  # the log was trimmed past the marker
+            if any(entry[1] is None for entry in relevant):
+                return None  # a full invalidation happened in between
+            rows = np.unique(
+                np.concatenate([entry[1] for entry in relevant])
+            )
+            cols = np.unique(
+                np.concatenate([entry[2] for entry in relevant])
+            )
+            return rows, cols
 
     # ------------------------------------------------------------------
     # Count / proximity state
@@ -420,10 +525,6 @@ class AlignmentSession:
         )
         self._anchors = new_set
 
-        # The engine must always see the new A (and purge stale cached
-        # products) so later full evaluations stay correct.
-        self._engine.update_matrix(ANCHOR_MATRIX, new_anchor_matrix)
-
         evaluator: Optional[DeltaEvaluator] = None
         if use_delta:
             delta = self.pair.anchor_matrix(added)
@@ -432,6 +533,7 @@ class AlignmentSession:
             evaluator = DeltaEvaluator(self._engine, ANCHOR_MATRIX, delta)
 
         delta_structures: List[_Structure] = []
+        invalidated_visible = False
         for structure in self._structures:
             if not structure.anchor_dependent:
                 continue
@@ -442,30 +544,59 @@ class AlignmentSession:
             ):
                 delta_structures.append(structure)
             else:
-                structure.counts = None
-                structure.pending.clear()
-                structure.row_sums = None
-                structure.col_sums = None
-                structure.proximity = None
-                with self._state_lock:
-                    for view in self._views.values():
-                        view.values.pop(structure.name, None)
-                        view.dirty.pop(structure.name, None)
-        if delta_structures:
-            # The per-structure delta expressions are independent (the
-            # shared A-free sub-products are served by the memoizing
-            # engine), so their evaluation — the expensive spgemm work —
-            # fans out across the executor.  Applying the changes to
-            # session state stays serial, in family order, which keeps
-            # the threaded path byte-identical to the serial one.
-            changes = self.executor.map(
+                # A never-materialized structure has nothing cached
+                # downstream; dropping it is invisible to consumers.
+                invalidated_visible |= structure.counts is not None
+                self._invalidate_structure(structure)
+        # The per-structure delta expressions are independent (the
+        # shared A-free sub-products are served by the memoizing
+        # engine), so their evaluation — the expensive spgemm work —
+        # fans out across the executor.  It must complete (the map is
+        # eager) before the engine sees the new A: expressions that
+        # repeat the anchor leaf telescope through *old* values of
+        # anchored sub-chains.  Applying the changes to session state
+        # stays serial, in family order, which keeps the threaded path
+        # byte-identical to the serial one.
+        changes = (
+            self.executor.map(
                 lambda structure: evaluator.evaluate(structure.expr),
                 delta_structures,
             )
-            for structure, change in zip(delta_structures, changes):
-                self._apply_structure_delta(structure, change)
-        self._release_store_pages()
+            if delta_structures
+            else []
+        )
+        self._engine.update_matrix(ANCHOR_MATRIX, new_anchor_matrix)
+        self._apply_structure_changes(
+            delta_structures, changes, invalidated_visible
+        )
         return True
+
+    def _invalidate_structure(self, structure: _Structure) -> None:
+        """Drop one structure's cached counts, views and store slots.
+
+        The partial-arena GC lives here: a structure invalidated by an
+        anchor switch or a network delta also drops its dedicated fold
+        slot and sum vectors from the arena (the counting engine already
+        GCs its own memoized products on ``update_matrices``), so stale
+        entries no longer accumulate until session close.
+        """
+        with structure.lock:
+            structure.counts = None
+            structure.pending.clear()
+            structure.row_sums = None
+            structure.col_sums = None
+            structure.proximity = None
+        if self.arena is not None:
+            for slot in (
+                counts_slot(structure.name),
+                row_sums_slot(structure.name),
+                col_sums_slot(structure.name),
+            ):
+                self.arena.drop(slot)
+        with self._state_lock:
+            for view in self._views.values():
+                view.values.pop(structure.name, None)
+                view.dirty.pop(structure.name, None)
 
     def _apply_structure_delta(
         self, structure: _Structure, change: sparse.csr_matrix
@@ -510,6 +641,249 @@ class AlignmentSession:
                 if affected.size:
                     view.dirty.setdefault(structure.name, []).append(affected)
             self.stats.delta_updates += 1
+
+    # ------------------------------------------------------------------
+    # Network evolution
+    # ------------------------------------------------------------------
+    def apply_network_delta(
+        self,
+        delta: Optional[NetworkDelta] = None,
+        side: Optional[str] = None,
+        added_nodes=None,
+        added_edges=(),
+        updated_attributes=(),
+        added_anchors=(),
+    ) -> bool:
+        """Grow/patch the pair in place and fold exact count deltas.
+
+        Accepts either a prebuilt
+        :class:`~repro.networks.aligned.NetworkDelta` or the loose
+        keyword form (``side=``, ``added_nodes=``, ``added_edges=``,
+        ``updated_attributes=``, ``added_anchors=``) which is normalized
+        through :meth:`NetworkDelta.build`.
+
+        The update is driven by honest diffing: the changed side's
+        matrices are re-exported (O(nnz), cheap), diffed against the
+        engine's padded old matrices, and the per-leaf deltas are folded
+        through the generalized delta algebra into exactly the dirty
+        structures — one-sided delta products instead of recounting.
+        New nodes append to the end of the index order, so existing
+        count entries, candidate views and extracted feature rows stay
+        valid; only dirty feature columns/rows need a refresh
+        (:meth:`refresh_features` / :meth:`dirty_since`).  Results are
+        byte-identical to a full recount on the grown network.
+
+        Returns whether any matrix actually changed.  With
+        ``incremental=False`` (the benchmark baseline) dirty structures
+        are dropped for lazy full recounting instead — bit-identical,
+        slower.
+        """
+        if delta is None:
+            if side is None:
+                raise FeatureError(
+                    "apply_network_delta needs a NetworkDelta or side="
+                )
+            delta = NetworkDelta.build(
+                side,
+                added_nodes=added_nodes,
+                added_edges=added_edges,
+                updated_attributes=updated_attributes,
+                added_anchors=added_anchors,
+            )
+        elif side is not None:
+            raise FeatureError("pass either a delta or side=, not both")
+        self.pair.apply_delta(delta)  # validates; pair untouched on error
+        self._evolution_log.append(delta)
+        self._applied_evolution += 1
+        return self._fold_network_change()
+
+    def _fold_network_change(self) -> bool:
+        """Diff the pair's matrices against the engine and fold deltas."""
+        prints = bag_fingerprints(
+            self.pair, include_words=self._include_word_matrices
+        )
+        stale = {
+            name
+            for name, fingerprint in prints.items()
+            if self._bag_fingerprints.get(name) != fingerprint
+        }
+        if not stale:
+            return False
+        # Re-export only the fingerprint-stale matrices; the rest are
+        # provably identical to what the engine already holds.  The new
+        # fingerprints are committed only once the fold completes, so
+        # an exception mid-fold leaves them stale and a retry re-diffs
+        # instead of silently no-opping.
+        new_bag = build_matrix_bag(
+            self.pair,
+            known_anchors=self._anchors,
+            include_words=self._include_word_matrices,
+            only=stale,
+        )
+        changed: Dict[str, sparse.csr_matrix] = {}
+        deltas: Dict[str, sparse.csr_matrix] = {}
+        for name, new in new_bag.items():
+            new = new.tocsr()
+            old = self._engine.matrix(name)
+            grew = old.shape != new.shape
+            diff = (new - pad_csr(old, new.shape)).tocsr()
+            diff.eliminate_zeros()
+            if not grew and diff.nnz == 0:
+                continue
+            changed[name] = new
+            if diff.nnz:
+                deltas[name] = diff
+        if not changed:
+            return False
+        self.stats.network_updates += 1
+        self._store_dirty = self.arena is not None
+        counts_shape = (
+            self.pair.left.node_count(self.pair.anchor_node_type),
+            self.pair.right.node_count(self.pair.anchor_node_type),
+        )
+        n_right_grew = (
+            counts_shape[1] != self._engine.matrix(ANCHOR_MATRIX).shape[1]
+        )
+
+        delta_names = frozenset(deltas)
+        evaluator: Optional[DeltaEvaluator] = None
+        if deltas and self.incremental:
+            evaluator = DeltaEvaluator(
+                self._engine,
+                deltas,
+                shapes={name: m.shape for name, m in new_bag.items()},
+            )
+
+        delta_structures: List[_Structure] = []
+        invalidated: List[_Structure] = []
+        for structure in self._structures:
+            if not structure.expr.depends_on(delta_names):
+                continue  # pad-only growth; counts provably unchanged
+            if (
+                evaluator is not None
+                and structure.delta_capable
+                and structure.counts is not None
+            ):
+                delta_structures.append(structure)
+            else:
+                invalidated.append(structure)
+        # Delta expressions read the engine's *old* cached values, so
+        # they are evaluated (eagerly, fanned across the executor)
+        # before the engine sees the new matrices.
+        changes = (
+            self.executor.map(
+                lambda structure: evaluator.evaluate(structure.expr),
+                delta_structures,
+            )
+            if delta_structures
+            else []
+        )
+        # The telescoping produced the exact change of every dirty
+        # sub-expression; register them as pending seeds (no O(nnz)
+        # folds — lookups are served component-wise) and preserve the
+        # seeded keys through the matrix update, so the next event (or
+        # extraction) never recounts the expensive products a naive
+        # invalidation would drop.
+        preserve = []
+        if evaluator is not None:
+            for expr, change in evaluator.updated_changes():
+                if self._engine.seed_change(expr, change):
+                    preserve.append(expr.key())
+        self._engine.update_matrices(changed, preserve=preserve)
+        if n_right_grew:
+            self._rebind_view_keys()
+        for structure in self._structures:
+            self._pad_structure(structure, counts_shape)
+        invalidated_visible = False
+        for structure in invalidated:
+            invalidated_visible |= structure.counts is not None
+            self._invalidate_structure(structure)
+        self._apply_structure_changes(
+            delta_structures, changes, invalidated_visible
+        )
+        self._bag_fingerprints = prints
+        return True
+
+    def _apply_structure_changes(
+        self,
+        delta_structures: List[_Structure],
+        changes: List[sparse.csr_matrix],
+        invalidated_visible: bool,
+    ) -> None:
+        """Fold evaluated deltas into session state and log the dirt.
+
+        Shared tail of :meth:`set_anchors` and
+        :meth:`_fold_network_change`: applies each change serially in
+        family order, collects the touched rows/columns, and records
+        one dirty-region event (or an everything-dirty marker when a
+        structure invalidation made the region unbounded).
+        """
+        if delta_structures:
+            dirty_rows: List[np.ndarray] = []
+            dirty_cols: List[np.ndarray] = []
+            for structure, change in zip(delta_structures, changes):
+                self._apply_structure_delta(structure, change)
+                coo = change.tocoo()
+                dirty_rows.append(coo.row.astype(np.int64))
+                dirty_cols.append(coo.col.astype(np.int64))
+            if invalidated_visible:
+                self._record_dirty(everything=True)
+            else:
+                self._record_dirty(
+                    rows=np.concatenate(dirty_rows) if dirty_rows else (),
+                    cols=np.concatenate(dirty_cols) if dirty_cols else (),
+                )
+        elif invalidated_visible:
+            self._record_dirty(everything=True)
+        self._release_store_pages()
+
+    def _pad_structure(
+        self, structure: _Structure, shape: Tuple[int, int]
+    ) -> None:
+        """Grow one structure's cached state to a larger |U1| x |U2|."""
+        with structure.lock:
+            if structure.counts is None or structure.counts.shape == shape:
+                return
+            structure.counts = pad_csr(structure.counts, shape)
+            structure.pending = [
+                pad_csr(change, shape) for change in structure.pending
+            ]
+            structure.row_sums = np.concatenate(
+                [
+                    structure.row_sums,
+                    np.zeros(
+                        shape[0] - structure.row_sums.shape[0],
+                        dtype=structure.row_sums.dtype,
+                    ),
+                ]
+            )
+            structure.col_sums = np.concatenate(
+                [
+                    structure.col_sums,
+                    np.zeros(
+                        shape[1] - structure.col_sums.shape[0],
+                        dtype=structure.col_sums.dtype,
+                    ),
+                ]
+            )
+            structure.proximity = None
+
+    def _rebind_view_keys(self) -> None:
+        """Recompute cached views' linearized keys after |U2| grew.
+
+        Query keys are row-major ``i * |U2| + j``, so a new right-side
+        user count changes every key — but not the per-position cached
+        *values*, which stay valid and keep their delta patches.
+        """
+        n_right = self.pair.right.node_count(self.pair.anchor_node_type)
+        with self._state_lock:
+            for view in self._views.values():
+                view.query_keys = (
+                    view.left_indices.astype(np.int64) * n_right
+                    + view.right_indices
+                )
+                view.key_order = np.argsort(view.query_keys, kind="stable")
+                view.keys_sorted = view.query_keys[view.key_order]
 
     # ------------------------------------------------------------------
     # Candidate views
@@ -622,14 +996,16 @@ class AlignmentSession:
     def refresh_features(
         self, X: np.ndarray, pairs: Sequence[LinkPair]
     ) -> np.ndarray:
-        """Rewrite the anchor-dependent columns of ``X`` in place.
+        """Rewrite the dirty proximity columns of ``X`` in place.
 
         ``X`` must be a matrix previously extracted by this session for
-        the same ``pairs`` (row order included).  Attribute-only and
-        bias columns are left untouched — only the proximity columns
-        whose structures reference the anchor matrix are recomputed,
-        from delta-patched cached values whenever the last anchor
-        update took the sparse path.  Returns ``X`` for chaining.
+        the same ``pairs`` (row order included).  Only the columns whose
+        structures an update actually touched are recomputed — anchor
+        updates dirty the anchor-dependent columns, network deltas dirty
+        exactly the columns their changed matrices propagate to — and
+        whenever the update took the sparse path the rewrite covers only
+        the delta-patched positions.  The bias column and clean columns
+        are never written.  Returns ``X`` for chaining.
         """
         expected = (len(pairs), self.n_features)
         if X.shape != expected:
@@ -662,8 +1038,11 @@ class AlignmentSession:
 
         # Score recomputation fans out across the executor; the in-place
         # writes stay serial in column order (deterministic, and X is
-        # never touched from worker threads).
-        for update in self.executor.map(compute, self.anchor_feature_columns):
+        # never touched from worker threads).  Every structure column is
+        # *checked*; clean ones (cached values, no dirty positions) cost
+        # a dictionary probe and are never written.
+        structure_columns = range(len(self._structures))
+        for update in self.executor.map(compute, structure_columns):
             if update is None:
                 continue
             column, positions, scores = update
@@ -759,15 +1138,18 @@ class AlignmentSession:
     # Checkpointable state
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict:
-        """Picklable snapshot of all anchor-derived session state.
+        """Picklable snapshot of all anchor- and network-derived state.
 
         Captures the known anchor set, every structure's folded counts,
-        row/column sums and still-pending deltas, and the work
-        counters.  Candidate views are *not* captured: they are derived
-        caches, rebuilt bit-exactly from counts on demand.  Restoring
-        the snapshot with :meth:`load_state_dict` makes the session
-        byte-indistinguishable from one that reached the same anchor
-        set live — the foundation of checkpoint/resume determinism.
+        row/column sums and still-pending deltas, the work counters,
+        and the **evolution log** — every network delta applied through
+        this session, so a restore replays the same growth onto a
+        freshly built pair byte-identically.  Candidate views are *not*
+        captured: they are derived caches, rebuilt bit-exactly from
+        counts on demand.  Restoring the snapshot with
+        :meth:`load_state_dict` makes the session byte-indistinguishable
+        from one that reached the same anchor set and network state
+        live — the foundation of checkpoint/resume determinism.
         """
         structures = {}
         for structure in self._structures:
@@ -798,19 +1180,24 @@ class AlignmentSession:
             "anchors": set(self._anchors),
             "structures": structures,
             "stats": asdict(self.stats),
+            "evolution": list(self._evolution_log),
         }
 
     def load_state_dict(self, state: Dict) -> None:
         """Restore a :meth:`state_dict` snapshot into this session.
 
-        The session must be over the same pair and family the snapshot
-        was taken from (structure names are verified; anchor endpoints
-        are validated against the pair).  Views are dropped and rebuilt
-        lazily; the counting engine's anchor matrix is replaced so later
-        full evaluations agree with the restored anchor set.
+        The session must be over the same family and the same pair *as
+        it was at session construction* (structure names are verified;
+        anchor endpoints are validated against the pair).  A snapshot
+        carrying evolution events the session has not applied yet
+        replays them onto the pair first, so restoring onto a freshly
+        built (pre-evolution) pair reconstructs the grown network
+        byte-identically.  Views are dropped and rebuilt lazily; the
+        counting engine's matrices are replaced so later full
+        evaluations agree with the restored state.
         """
         version = state.get("format_version")
-        if version != _STATE_FORMAT_VERSION:
+        if version not in _LOADABLE_STATE_VERSIONS:
             raise StoreError(
                 f"unsupported session state format version {version!r}"
             )
@@ -822,11 +1209,36 @@ class AlignmentSession:
                 f"family (missing {sorted(expected - found)}, "
                 f"unexpected {sorted(found - expected)})"
             )
+        evolution = list(state.get("evolution", ()))
+        if len(evolution) < self._applied_evolution:
+            raise StoreError(
+                f"snapshot carries {len(evolution)} evolution events but "
+                f"this session already applied {self._applied_evolution}"
+            )
+        for delta in evolution[self._applied_evolution:]:
+            self.pair.apply_delta(delta)
+        replayed = len(evolution) > self._applied_evolution
+        self._evolution_log = evolution
+        self._applied_evolution = len(evolution)
         anchors = set(state["anchors"])
-        # Validates every anchor endpoint before any state changes.
+        # Validates every anchor endpoint before any count-state changes.
         anchor_matrix = self.pair.anchor_matrix(anchors)
         self._anchors = anchors
-        self._engine.update_matrix(ANCHOR_MATRIX, anchor_matrix)
+        if replayed:
+            # The replay grew the pair's matrices: refresh the whole bag
+            # (cheap O(nnz) exports; counts come from the snapshot).
+            self._engine.update_matrices(
+                build_matrix_bag(
+                    self.pair,
+                    known_anchors=self._anchors,
+                    include_words=self._include_word_matrices,
+                )
+            )
+            self._bag_fingerprints = bag_fingerprints(
+                self.pair, include_words=self._include_word_matrices
+            )
+        else:
+            self._engine.update_matrix(ANCHOR_MATRIX, anchor_matrix)
         with self._state_lock:
             self._views.clear()
         for structure in self._structures:
@@ -838,6 +1250,9 @@ class AlignmentSession:
                 structure.pending = list(snapshot["pending"])
                 structure.proximity = None
         self.stats = SessionStats(**state["stats"])
+        # Anything derived from this session before the restore is
+        # unverifiable now; downstream caches must rebuild.
+        self._record_dirty(everything=True)
         if self.arena is not None:
             self._store_dirty = True
 

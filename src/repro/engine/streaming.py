@@ -195,6 +195,23 @@ class StreamedAlignmentTask:
         #: Block size the task was built with (set by :meth:`from_pairs`;
         #: ``None`` when blocks came from a generator or explicit list).
         self.block_size: Optional[int] = None
+        #: Re-probe the auto block size every N block passes (set by
+        #: :meth:`from_pairs`; ``None`` keeps the construction-time size).
+        self.retune_every: Optional[int] = None
+        #: Times the auto size was re-probed and the stream re-chopped.
+        self.retunes: int = 0
+        self._passes_since_tune = 0
+        # Last whole-of-H score vector: (weights, scores, session delta
+        # epoch).  A rescore under identical weights re-extracts only
+        # the blocks the session marked dirty since the epoch.
+        self._score_cache: Optional[
+            Tuple[np.ndarray, np.ndarray, int]
+        ] = None
+        #: Rescore telemetry: full passes, dirty-block-only passes, and
+        #: how many blocks the partial passes actually re-extracted.
+        self.full_score_passes = 0
+        self.partial_score_passes = 0
+        self.blocks_rescored = 0
 
     # ------------------------------------------------------------------
     # AlignmentTask-compatible surface (what models and the alternating
@@ -249,6 +266,37 @@ class StreamedAlignmentTask:
                 )
         return self._descriptors
 
+    def _maybe_retune(self) -> None:
+        """Re-probe the auto block size every ``retune_every`` passes.
+
+        Streamed-fit backpressure: the construction-time measurement
+        goes stale under drifting load (deltas densify counts, caches
+        warm up, co-tenants come and go), so the task re-measures
+        throughput periodically and re-chops the *same* candidate order
+        into blocks of the new size.  Labeled indices and score vectors
+        are over the concatenated order, which never changes — only the
+        partition does, and the streamed strategies select identically
+        for any partition.
+        """
+        if self.retune_every is None or self.block_size is None:
+            return
+        self._passes_since_tune += 1
+        if self._passes_since_tune < self.retune_every:
+            return
+        self._passes_since_tune = 0
+        new_size = tune_block_size(self.session, self.pairs)
+        if new_size == self.block_size:
+            return
+        self.block_size = new_size
+        self.blocks = blockify(self.pairs, new_size)
+        self.offsets = []
+        offset = 0
+        for block in self.blocks:
+            self.offsets.append(offset)
+            offset += len(block)
+        self._descriptors = None
+        self.retunes += 1
+
     def feature_blocks(self) -> Iterator[Tuple[int, np.ndarray]]:
         """Ordered ``(offset, X_block)`` stream, freshly extracted.
 
@@ -263,6 +311,7 @@ class StreamedAlignmentTask:
         the extraction kernel is the session's own, so the stream is
         byte-identical to the in-process one.
         """
+        self._maybe_retune()
         executor = self.session.executor
         if (
             isinstance(executor, ProcessExecutor)
@@ -307,16 +356,65 @@ class StreamedAlignmentTask:
         return result
 
     def scores(self, weights: np.ndarray) -> np.ndarray:
-        """Whole-of-H raw scores ``ŷ = Xw``, one block at a time."""
+        """Whole-of-H raw scores ``ŷ = Xw``, one block at a time.
+
+        The last score vector is cached together with its weights and
+        the session's delta epoch.  A repeat call with the *same*
+        weights after a sparse session update (an anchor round, a
+        network delta) re-extracts only the **dirty blocks** — those
+        whose left rows or right columns the update touched — and reuses
+        the rest byte-for-byte; feature rows outside the dirty region
+        are bit-identical by the delta algebra's exactness, so the
+        partial rescore equals a full sweep exactly.  New weights, an
+        unknown epoch, or a full invalidation fall back to the full
+        sweep.
+        """
         weights = np.asarray(weights, dtype=np.float64).ravel()
         if weights.shape[0] != self.n_features:
             raise ModelError(
                 f"weight length {weights.shape[0]} does not match "
                 f"{self.n_features} features"
             )
+        epoch = self.session.delta_epoch
+        cached = self._score_cache
+        if cached is not None and np.array_equal(cached[0], weights):
+            if cached[2] == epoch:
+                return cached[1].copy()
+            dirty = self.session.dirty_since(cached[2])
+            if dirty is not None:
+                return self._rescore_dirty(weights, cached[1], dirty, epoch)
         scores = np.empty(self.n_candidates, dtype=np.float64)
         for offset, X in self.feature_blocks():
             scores[offset: offset + X.shape[0]] = X @ weights
+        self.full_score_passes += 1
+        self._score_cache = (weights.copy(), scores.copy(), epoch)
+        return scores
+
+    def _rescore_dirty(
+        self,
+        weights: np.ndarray,
+        cached_scores: np.ndarray,
+        dirty: Tuple[np.ndarray, np.ndarray],
+        epoch: int,
+    ) -> np.ndarray:
+        """Re-extract and re-score only the blocks a delta touched."""
+        rows, cols = dirty
+        scores = cached_scores.copy()
+        rescored = 0
+        for descriptor, block in zip(self._block_descriptors(), self.blocks):
+            if not (
+                np.isin(descriptor.left_indices, rows).any()
+                or np.isin(descriptor.right_indices, cols).any()
+            ):
+                continue
+            X = self.session.extract(block)
+            scores[descriptor.offset: descriptor.offset + len(block)] = (
+                X @ weights
+            )
+            rescored += 1
+        self.partial_score_passes += 1
+        self.blocks_rescored += rescored
+        self._score_cache = (weights.copy(), scores.copy(), epoch)
         return scores
 
     def scored_blocks(
@@ -345,12 +443,23 @@ class StreamedAlignmentTask:
         labeled_indices: np.ndarray,
         labeled_values: np.ndarray,
         block_size: BlockSizeSpec = 4096,
+        retune_every: Optional[int] = None,
     ) -> "StreamedAlignmentTask":
         """Build from a flat candidate list, chopped into blocks.
 
         ``block_size="auto"`` replaces the fixed knob with a measured
-        probe extraction (:func:`tune_block_size`).
+        probe extraction (:func:`tune_block_size`); ``retune_every=N``
+        additionally re-probes every N block passes and re-chops the
+        stream — backpressure for drifting load (see
+        :meth:`_maybe_retune`).
         """
+        if retune_every is not None:
+            if block_size != AUTO_BLOCK_SIZE:
+                raise ModelError(
+                    f"retune_every requires block_size={AUTO_BLOCK_SIZE!r}"
+                )
+            if retune_every < 1:
+                raise ModelError("retune_every must be >= 1")
         pairs = list(pairs)
         resolved = resolve_block_size(session, pairs, block_size)
         task = cls(
@@ -360,6 +469,7 @@ class StreamedAlignmentTask:
             labeled_values,
         )
         task.block_size = resolved
+        task.retune_every = retune_every
         return task
 
     @classmethod

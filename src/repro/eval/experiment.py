@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,13 +32,13 @@ from repro.core.activeiter import ActiveIter
 from repro.core.base import AlignmentModel, AlignmentTask
 from repro.core.itermpmd import IterMPMD
 from repro.core.svm_baselines import SVMAligner
-from repro.engine.session import AlignmentSession
+from repro.engine.session import AlignmentSession, SessionStats
 from repro.engine.streaming import AUTO_BLOCK_SIZE, StreamedAlignmentTask
 from repro.exceptions import ExperimentError
 from repro.eval.protocol import ExperimentSplit, ProtocolConfig, build_splits
 from repro.meta.diagrams import standard_diagram_family
 from repro.ml.metrics import ClassificationReport, classification_report
-from repro.networks.aligned import AlignedPair
+from repro.networks.aligned import AlignedPair, NetworkDelta
 
 #: Query strategies addressable from a MethodSpec.
 _STRATEGIES = {
@@ -309,6 +309,164 @@ def run_split(
         )
         results[spec.name] = (report, runtime)
     return results
+
+
+@dataclass
+class EvolvePhase:
+    """Method metrics at one point of an evolving-network run."""
+
+    name: str
+    n_left_users: int
+    n_right_users: int
+    reports: Dict[str, ClassificationReport]
+
+
+@dataclass
+class EvolveOutcome:
+    """Result of the evolving-network scenario.
+
+    One session lives through a scripted schedule of network deltas; its
+    sparse delta path races a full-recount baseline over the identical
+    drift.  ``identical_features`` records the generalized delta
+    algebra's exactness guarantee — both paths must land on
+    byte-identical feature matrices over the grown network.
+    """
+
+    n_events: int
+    n_candidates: int
+    delta_seconds: float
+    recount_seconds: float
+    identical_features: bool
+    phases: List[EvolvePhase]
+    delta_stats: SessionStats
+    recount_stats: SessionStats
+
+    @property
+    def speedup(self) -> float:
+        """Full-recount refresh time over delta-path refresh time."""
+        if self.delta_seconds <= 0:
+            return float("inf")
+        return self.recount_seconds / self.delta_seconds
+
+
+def run_evolve_scenario(
+    make_pair: Callable[[], AlignedPair],
+    config: ProtocolConfig,
+    schedule: Sequence[NetworkDelta],
+    methods: Optional[Sequence[MethodSpec]] = None,
+    seed: int = 0,
+) -> EvolveOutcome:
+    """Serve an evolving network: drift, refresh, re-fit, compare.
+
+    ``make_pair`` must build the base pair deterministically — it is
+    called twice so the delta path and the full-recount baseline each
+    grow their own copy through the identical ``schedule``.  The method
+    lineup (default: Iter-MPMD only) is evaluated on the first protocol
+    split before and after the drift, re-using the evolving session's
+    counts both times; the timing race measures only the
+    feature-maintenance work the two paths do per event.
+    """
+    if methods is None:
+        methods = [MethodSpec(name="Iter-MPMD", kind="iterative")]
+    pair = make_pair()
+    split = next(iter(build_splits(pair, config)))
+    candidates = list(split.candidates)
+
+    def serve(incremental: bool):
+        own_pair = pair if incremental else make_pair()
+        session = AlignmentSession(
+            own_pair,
+            family=standard_diagram_family(),
+            known_anchors=split.train_positive_pairs,
+            incremental=incremental,
+        )
+        X = session.extract(candidates)
+        phases: List[EvolvePhase] = []
+        if incremental:
+            phases.append(
+                _evolve_phase("initial", own_pair, split, methods, session, seed)
+            )
+        elapsed = 0.0
+        for delta in schedule:
+            started = time.perf_counter()
+            session.apply_network_delta(delta)
+            if incremental:
+                session.refresh_features(X, candidates)
+            else:
+                X = session.extract(candidates)
+            elapsed += time.perf_counter() - started
+        if incremental:
+            phases.append(
+                _evolve_phase("evolved", own_pair, split, methods, session, seed)
+            )
+        return session, X, elapsed, phases
+
+    delta_session, X_delta, delta_seconds, phases = serve(incremental=True)
+    recount_session, X_recount, recount_seconds, _ = serve(incremental=False)
+    return EvolveOutcome(
+        n_events=len(schedule),
+        n_candidates=len(candidates),
+        delta_seconds=delta_seconds,
+        recount_seconds=recount_seconds,
+        identical_features=bool(np.array_equal(X_delta, X_recount)),
+        phases=phases,
+        delta_stats=delta_session.stats,
+        recount_stats=recount_session.stats,
+    )
+
+
+def _evolve_phase(
+    name: str,
+    pair: AlignedPair,
+    split: ExperimentSplit,
+    methods: Sequence[MethodSpec],
+    session: AlignmentSession,
+    seed: int,
+) -> EvolvePhase:
+    """Run the method lineup once against the session's current state."""
+    results = run_split(pair, split, methods, seed=seed, session=session)
+    return EvolvePhase(
+        name=name,
+        n_left_users=len(pair.left_users()),
+        n_right_users=len(pair.right_users()),
+        reports={name_: report for name_, (report, _) in results.items()},
+    )
+
+
+def format_evolve_outcome(outcome: EvolveOutcome) -> str:
+    """Plain-text rendering of the evolving-network scenario."""
+    lines = [
+        (
+            f"Evolving-network scenario ({outcome.n_events} delta events, "
+            f"|H|={outcome.n_candidates})"
+        ),
+        f"{'path':<14}{'seconds':>10}  session stats",
+        (
+            f"{'delta':<14}{outcome.delta_seconds:>10.4f}  "
+            f"{outcome.delta_stats.summary()}"
+        ),
+        (
+            f"{'full recount':<14}{outcome.recount_seconds:>10.4f}  "
+            f"{outcome.recount_stats.summary()}"
+        ),
+        (
+            f"speedup: {outcome.speedup:.2f}x; features identical: "
+            f"{outcome.identical_features}"
+        ),
+    ]
+    for phase in outcome.phases:
+        lines.append(
+            f"phase {phase.name!r} "
+            f"(|U1|={phase.n_left_users}, |U2|={phase.n_right_users}):"
+        )
+        for method, report in phase.reports.items():
+            lines.append(
+                f"  {method:<18} f1={report.f1:.3f} "
+                f"precision={report.precision:.3f} "
+                f"recall={report.recall:.3f} "
+                f"accuracy={report.accuracy:.3f}"
+            )
+    return "\n".join(lines)
 
 
 def run_experiment(

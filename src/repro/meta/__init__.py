@@ -6,9 +6,19 @@ sparse count algebra, Dice-style meta diagram proximity and per-link
 feature extraction.
 """
 
-from repro.meta.algebra import Chain, CountingEngine, Expr, Leaf, Parallel
+from repro.meta.algebra import (
+    Chain,
+    CountingEngine,
+    Expr,
+    Leaf,
+    Parallel,
+    dirty_expressions,
+    expr_shape,
+    pad_csr,
+)
 from repro.meta.context import (
     ANCHOR_MATRIX,
+    bag_fingerprints,
     build_matrix_bag,
 )
 from repro.meta.diagrams import (
@@ -54,12 +64,16 @@ __all__ = [
     "Parallel",
     "ProximityMatrix",
     "attribute_paths",
+    "bag_fingerprints",
     "build_matrix_bag",
     "dice_proximity",
+    "dirty_expressions",
     "discover_inter_network_paths",
     "discover_standard_paths",
+    "expr_shape",
     "extract_features",
     "follow_paths",
+    "pad_csr",
     "path_categories",
     "paths_by_name",
     "schema_edges",

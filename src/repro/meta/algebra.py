@@ -23,8 +23,19 @@ reuses its product).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Sequence, Tuple
+import threading
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+import numpy as np
 from scipy import sparse
 
 from repro.exceptions import MetaStructureError
@@ -47,6 +58,19 @@ class Expr:
     def leaves(self) -> Tuple[str, ...]:
         """All leaf matrix names referenced by this expression."""
         raise NotImplementedError
+
+    def depends_on(self, names: Union[str, Iterable[str]]) -> bool:
+        """Whether any of the named matrices appears as a leaf.
+
+        This is the dirty-propagation primitive of the delta algebra: a
+        delta on matrix ``name`` can only change the value of
+        expressions for which ``depends_on(name)`` holds — everything
+        else keeps its cached counts verbatim.
+        """
+        if isinstance(names, str):
+            names = (names,)
+        wanted = set(names)
+        return any(leaf in wanted for leaf in self.leaves())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.key()})"
@@ -170,6 +194,85 @@ class Parallel(Expr):
         return names
 
 
+def pad_csr(
+    matrix: sparse.spmatrix, shape: Tuple[int, int]
+) -> sparse.csr_matrix:
+    """Grow a CSR matrix to ``shape``, keeping every entry in place.
+
+    Node additions append to the end of each type's order, so growing a
+    matrix exported before the addition is pure padding: new rows are
+    empty (extend ``indptr``), new columns are a shape change.  Never
+    copies the data arrays.
+    """
+    matrix = matrix.tocsr()
+    rows, cols = matrix.shape
+    if (rows, cols) == tuple(shape):
+        return matrix
+    if shape[0] < rows or shape[1] < cols:
+        raise MetaStructureError(
+            f"cannot pad a {matrix.shape} matrix down to {tuple(shape)}"
+        )
+    indptr = matrix.indptr
+    if shape[0] > rows:
+        indptr = np.concatenate(
+            [
+                indptr,
+                np.full(shape[0] - rows, indptr[-1], dtype=indptr.dtype),
+            ]
+        )
+    padded = sparse.csr_matrix(
+        (matrix.data, matrix.indices, indptr), shape=tuple(shape), copy=False
+    )
+    padded.has_sorted_indices = matrix.has_sorted_indices
+    return padded
+
+
+def expr_shape(
+    expr: Expr, shapes: Mapping[str, Tuple[int, int]]
+) -> Tuple[int, int]:
+    """Infer the shape of ``expr``'s value from leaf matrix shapes.
+
+    Used by the delta algebra to pad cached values when a network
+    evolution grows the underlying matrices: the *new* leaf shapes
+    determine every sub-expression's new shape without evaluating
+    anything.
+    """
+    if isinstance(expr, Leaf):
+        try:
+            rows, cols = shapes[expr.name]
+        except KeyError:
+            raise MetaStructureError(
+                f"no shape known for leaf matrix {expr.name!r}"
+            ) from None
+        return (cols, rows) if expr.transpose else (rows, cols)
+    if isinstance(expr, Chain):
+        first = expr_shape(expr.segments[0], shapes)
+        last = expr_shape(expr.segments[-1], shapes)
+        return (first[0], last[1])
+    if isinstance(expr, Parallel):
+        return expr_shape(expr.branches[0], shapes)
+    raise MetaStructureError(f"unknown expression type {type(expr).__name__}")
+
+
+def dirty_expressions(
+    named_exprs: Mapping[str, Expr], changed: Iterable[str]
+) -> Tuple[str, ...]:
+    """Names of the expressions a delta on the given leaves touches.
+
+    The dirty-propagation report of the delta algebra: given the family's
+    ``{feature name -> count expression}`` map and the set of base
+    matrices a network update changed, returns (in input order) exactly
+    the expressions whose counts can differ — the rest are provably
+    unchanged and keep their caches.
+    """
+    changed = set(changed)
+    return tuple(
+        name
+        for name, expr in named_exprs.items()
+        if expr.depends_on(changed)
+    )
+
+
 class CountingEngine:
     """Memoizing evaluator for count-algebra expressions.
 
@@ -195,6 +298,14 @@ class CountingEngine:
         shared with a session's own count-matrix slots.
     """
 
+    #: Pending seeded changes folded eagerly past this depth, bounding
+    #: the cost of component-wise lookups between folds.  Each pending
+    #: change is sparse and lookups cost O(m log nnz) per component, so
+    #: a deep queue is far cheaper than the O(nnz) fold of a dense-ish
+    #: product it defers — the cap only bounds memory and lookup fanout
+    #: for very long sessions.
+    _MAX_PENDING = 32
+
     def __init__(
         self, matrices: MatrixBag, arena=None, arena_prefix: str = "engine/"
     ) -> None:
@@ -206,6 +317,15 @@ class CountingEngine:
             matrix.sort_indices()
         self._cache: Dict[str, sparse.csr_matrix] = {}
         self._deps: Dict[str, FrozenSet[str]] = {}
+        # key -> exact unfolded changes of the cached value (seeded by
+        # the delta algebra); folded lazily when the full matrix is
+        # demanded, served component-wise for targeted lookups.  The
+        # lock keeps (cache value, pending changes) consistent for
+        # concurrent readers: unlike the write-once product cache
+        # (where duplicate evaluation is benign), a torn read across a
+        # fold would silently drop seeded changes.
+        self._pending: Dict[str, Tuple[sparse.csr_matrix, ...]] = {}
+        self._pending_lock = threading.Lock()
         self._arena = arena
         self._arena_prefix = arena_prefix
 
@@ -222,6 +342,24 @@ class CountingEngine:
         """Number of memoized sub-expression results."""
         return len(self._cache)
 
+    def matrix(self, name: str) -> sparse.csr_matrix:
+        """The named base matrix currently held by the engine.
+
+        Callers must treat the result as read-only — it is the very
+        matrix cached evaluations were computed from.
+        """
+        try:
+            return self._matrices[name]
+        except KeyError:
+            raise MetaStructureError(
+                f"matrix {name!r} missing from the matrix bag"
+            ) from None
+
+    @property
+    def matrix_names(self) -> Tuple[str, ...]:
+        """Sorted names of the base matrices in the bag."""
+        return tuple(sorted(self._matrices))
+
     def dependents(self, name: str) -> Tuple[str, ...]:
         """Cached expression keys whose value depends on matrix ``name``.
 
@@ -235,6 +373,21 @@ class CountingEngine:
     def evaluate(self, expr: Expr) -> sparse.csr_matrix:
         """Evaluate ``expr`` with memoization of all sub-expressions."""
         key = expr.key()
+        # Pending membership is checked BEFORE the cache read: the fold
+        # path publishes the folded value to the cache and only then
+        # removes the pending entry, so a lock-free reader that sees no
+        # pending is guaranteed to see either the folded value or a
+        # pre-seed base — never a base missing its seeded changes.
+        if key in self._pending:
+            with self._pending_lock:
+                pending = self._pending.get(key)
+                if pending:
+                    cached = self._fold(key, self._cache[key], pending)
+                    del self._pending[key]
+                else:
+                    cached = self._cache.get(key)
+            if cached is not None:
+                return cached
         cached = self._cache.get(key)
         if cached is not None:
             return cached
@@ -276,6 +429,82 @@ class CountingEngine:
         self._deps[key] = frozenset(expr.leaves())
         return result
 
+    def _fold(
+        self,
+        key: str,
+        base: sparse.csr_matrix,
+        pending: Tuple[sparse.csr_matrix, ...],
+    ) -> sparse.csr_matrix:
+        """Materialize a seeded value: padded base plus exact changes.
+
+        Components may sit at different (monotonically growing) shapes
+        when several growth events seeded before any fold; everything
+        pads to the largest.
+        """
+        parts = (base,) + pending
+        shape = (
+            max(part.shape[0] for part in parts),
+            max(part.shape[1] for part in parts),
+        )
+        result = pad_csr(base, shape)
+        for change in pending:
+            result = (result + pad_csr(change, shape)).tocsr()
+        result.eliminate_zeros()
+        result.sort_indices()
+        result = self._spill(key, result)
+        self._cache[key] = result
+        return result
+
+    def seed_change(
+        self, expr: Expr, change: sparse.csr_matrix
+    ) -> bool:
+        """Register the exact change of a cached sub-expression value.
+
+        The delta algebra hands back the change of every sub-expression
+        it telescoped through
+        (:meth:`~repro.engine.incremental.DeltaEvaluator.updated_changes`)
+        — exact by integer arithmetic — so after a matrix update the
+        cache stays warm instead of re-running the expensive products.
+        The O(nnz) fold is **deferred**: :meth:`components` serves
+        targeted lookups from the unfolded parts, and :meth:`evaluate`
+        folds only when the full matrix is demanded (eagerly past a
+        small pending depth).  Returns whether a cached value existed
+        to seed — an uncached expression has nothing to keep warm.
+        """
+        key = expr.key()
+        with self._pending_lock:
+            base = self._cache.get(key)
+            if base is None:
+                self._pending.pop(key, None)
+                return False
+            pending = self._pending.get(key, ()) + (change.tocsr(),)
+            self._deps[key] = frozenset(expr.leaves())
+            if len(pending) >= self._MAX_PENDING:
+                # Publish the fold before dropping the pending entry —
+                # the ordering lock-free readers rely on.
+                self._fold(key, base, pending)
+                self._pending.pop(key, None)
+            else:
+                self._pending[key] = pending
+        return True
+
+    def components(
+        self, expr: Expr
+    ) -> Optional[Tuple[sparse.csr_matrix, Tuple[sparse.csr_matrix, ...]]]:
+        """Cached value of ``expr`` as ``(base, pending changes)``.
+
+        The base may be at a smaller (pre-growth) shape than the
+        changes; callers doing targeted lookups mask positions outside
+        each component's shape instead of paying the fold.  ``None``
+        when nothing is cached.
+        """
+        key = expr.key()
+        with self._pending_lock:
+            base = self._cache.get(key)
+            if base is None:
+                return None
+            return base, self._pending.get(key, ())
+
     def invalidate(self) -> None:
         """Drop all memoized results (call after the anchor matrix changes)."""
         if self._arena is not None:
@@ -283,29 +512,55 @@ class CountingEngine:
                 self._arena.drop(self._arena_prefix + key)
         self._cache.clear()
         self._deps.clear()
+        self._pending.clear()
 
     def update_matrix(self, name: str, matrix: sparse.csr_matrix) -> None:
         """Replace one named matrix and drop every result depending on it.
 
         Used by models that refresh the anchor matrix ``A`` after label
         queries: attribute-only diagrams (which never touch ``A``) keep
-        their cached counts.  Results cached before dependency tracking
-        existed (none in normal operation) fall back to key parsing.
+        their cached counts.
         """
-        matrix.sort_indices()
-        self._matrices[name] = matrix
+        self.update_matrices({name: matrix})
+
+    def update_matrices(
+        self,
+        updates: Mapping[str, sparse.csr_matrix],
+        preserve: Iterable[str] = (),
+    ) -> None:
+        """Replace several named matrices in one invalidation pass.
+
+        The generalized-delta entry point: a network evolution changes
+        ``W1``/``W2``/adjacency (and pads ``A``) together, and every
+        cached product depending on *any* of them must go — one sweep
+        over the cache instead of one per matrix.  ``preserve`` names
+        cache keys the caller has just brought current through
+        :meth:`seed_change` (their seeded state equals the value over
+        the new matrices, so purging them would only force a recount).
+        Results cached before dependency tracking existed (none in
+        normal operation) fall back to key parsing.
+        """
+        if not updates:
+            return
+        for name, matrix in updates.items():
+            matrix.sort_indices()
+            self._matrices[name] = matrix
+        names = set(updates)
+        preserved = set(preserve)
         stale = [
             key
             for key in self._cache
-            if (
-                name in self._deps[key]
+            if key not in preserved
+            and (
+                bool(names & self._deps[key])
                 if key in self._deps
-                else _key_mentions(key, name)
+                else any(_key_mentions(key, name) for name in names)
             )
         ]
         for key in stale:
             del self._cache[key]
             self._deps.pop(key, None)
+            self._pending.pop(key, None)
             if self._arena is not None:
                 self._arena.drop(self._arena_prefix + key)
 

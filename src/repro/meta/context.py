@@ -27,11 +27,19 @@ leakage through path counting.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.meta.algebra import MatrixBag
 from repro.networks.aligned import AlignedPair
-from repro.networks.schema import FOLLOW, LOCATION, TIMESTAMP, WORD, WRITE
+from repro.networks.schema import (
+    FOLLOW,
+    LOCATION,
+    POST,
+    TIMESTAMP,
+    USER,
+    WORD,
+    WRITE,
+)
 from repro.types import LinkPair
 
 FOLLOW_LEFT = "F1"
@@ -47,10 +55,19 @@ WORD_RIGHT = "D2"
 ANCHOR_MATRIX = "A"
 
 
+#: Attribute-matrix name pairs keyed by the attribute type they export.
+_ATTRIBUTE_NAMES = {
+    TIMESTAMP: (TIMESTAMP_LEFT, TIMESTAMP_RIGHT),
+    LOCATION: (LOCATION_LEFT, LOCATION_RIGHT),
+    WORD: (WORD_LEFT, WORD_RIGHT),
+}
+
+
 def build_matrix_bag(
     pair: AlignedPair,
     known_anchors: Optional[Iterable[LinkPair]] = None,
     include_words: bool = True,
+    only: Optional[Set[str]] = None,
 ) -> MatrixBag:
     """Export the matrix bag for one aligned pair.
 
@@ -66,23 +83,79 @@ def build_matrix_bag(
     include_words:
         Whether to export the word incidence matrices (needed when the
         extended word meta path P7 is in use).
+    only:
+        Restrict the export to these matrix names (an attribute pair is
+        exported when either side is requested — the shared vocabulary
+        makes the two sides one unit).  The incremental session passes
+        the fingerprint-stale names here so an evolution event re-exports
+        only what actually changed.
     """
     anchors = list(known_anchors) if known_anchors is not None else []
-    bag: MatrixBag = {
-        FOLLOW_LEFT: pair.left.typed_adjacency(FOLLOW),
-        FOLLOW_RIGHT: pair.right.typed_adjacency(FOLLOW),
-        WRITE_LEFT: pair.left.typed_adjacency(WRITE),
-        WRITE_RIGHT: pair.right.typed_adjacency(WRITE),
-        ANCHOR_MATRIX: pair.anchor_matrix(anchors),
-    }
-    timestamp_left, timestamp_right = pair.attribute_matrices(TIMESTAMP)
-    bag[TIMESTAMP_LEFT] = timestamp_left
-    bag[TIMESTAMP_RIGHT] = timestamp_right
-    location_left, location_right = pair.attribute_matrices(LOCATION)
-    bag[LOCATION_LEFT] = location_left
-    bag[LOCATION_RIGHT] = location_right
-    if include_words:
-        word_left, word_right = pair.attribute_matrices(WORD)
-        bag[WORD_LEFT] = word_left
-        bag[WORD_RIGHT] = word_right
+
+    def wanted(name: str) -> bool:
+        return only is None or name in only
+
+    bag: MatrixBag = {}
+    if wanted(FOLLOW_LEFT):
+        bag[FOLLOW_LEFT] = pair.left.typed_adjacency(FOLLOW)
+    if wanted(FOLLOW_RIGHT):
+        bag[FOLLOW_RIGHT] = pair.right.typed_adjacency(FOLLOW)
+    if wanted(WRITE_LEFT):
+        bag[WRITE_LEFT] = pair.left.typed_adjacency(WRITE)
+    if wanted(WRITE_RIGHT):
+        bag[WRITE_RIGHT] = pair.right.typed_adjacency(WRITE)
+    if wanted(ANCHOR_MATRIX):
+        bag[ANCHOR_MATRIX] = pair.anchor_matrix(anchors)
+    attributes = [TIMESTAMP, LOCATION] + ([WORD] if include_words else [])
+    for attribute in attributes:
+        left_name, right_name = _ATTRIBUTE_NAMES[attribute]
+        if wanted(left_name) or wanted(right_name):
+            left_matrix, right_matrix = pair.attribute_matrices(attribute)
+            bag[left_name] = left_matrix
+            bag[right_name] = right_matrix
     return bag
+
+
+def bag_fingerprints(
+    pair: AlignedPair, include_words: bool = True
+) -> Dict[str, Tuple[int, ...]]:
+    """Cheap change-detection fingerprints, one per bag matrix.
+
+    Each fingerprint is a tuple of monotone counters (node counts, edge
+    counts, attribute-attachment counts, per-side vocabulary sizes) that
+    provably moves whenever the exported matrix can differ — including
+    shared-vocabulary *reordering*, which shows up as a left-side
+    vocabulary growth.  Equal fingerprints mean the export can be
+    skipped; unequal fingerprints merely mean "re-export and diff"
+    (attaching a duplicate attribute value bumps a counter but yields a
+    zero diff — conservative, never wrong).
+    """
+    n_left = pair.left.node_count(USER)
+    n_right = pair.right.node_count(USER)
+    posts_left = pair.left.node_count(POST)
+    posts_right = pair.right.node_count(POST)
+    prints: Dict[str, Tuple[int, ...]] = {
+        FOLLOW_LEFT: (n_left, pair.left.edge_count(FOLLOW)),
+        FOLLOW_RIGHT: (n_right, pair.right.edge_count(FOLLOW)),
+        WRITE_LEFT: (n_left, posts_left, pair.left.edge_count(WRITE)),
+        WRITE_RIGHT: (n_right, posts_right, pair.right.edge_count(WRITE)),
+        ANCHOR_MATRIX: (n_left, n_right),
+    }
+    attributes = [TIMESTAMP, LOCATION] + ([WORD] if include_words else [])
+    for attribute in attributes:
+        left_name, right_name = _ATTRIBUTE_NAMES[attribute]
+        vocabulary_sizes = (
+            pair.left.attribute_vocabulary_size(attribute),
+            pair.right.attribute_vocabulary_size(attribute),
+        )
+        prints[left_name] = (
+            posts_left,
+            *vocabulary_sizes,
+            pair.left.attribute_link_count(attribute),
+        )
+        prints[right_name] = (
+            posts_right,
+            *vocabulary_sizes,
+            pair.right.attribute_link_count(attribute),
+        )
+    return prints

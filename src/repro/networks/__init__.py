@@ -5,7 +5,7 @@ schemas, aligned network pairs with anchor links, plus builders, JSON
 round-tripping and descriptive statistics.
 """
 
-from repro.networks.aligned import AlignedPair
+from repro.networks.aligned import AlignedPair, NetworkDelta
 from repro.networks.builders import SocialNetworkBuilder
 from repro.networks.heterogeneous import HeterogeneousNetwork
 from repro.networks.multi import MultiAlignedNetworks
@@ -61,6 +61,7 @@ __all__ = [
     "AttributeTypeSpec",
     "EdgeTypeSpec",
     "HeterogeneousNetwork",
+    "NetworkDelta",
     "NetworkSchema",
     "MultiAlignedNetworks",
     "NetworkStats",

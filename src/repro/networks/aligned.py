@@ -5,11 +5,22 @@ with the set of ground-truth anchor links between their user node sets.
 It also owns the *shared attribute vocabularies*: the union, per attribute
 type, of the values seen in either network, so matrix exports from the two
 sides agree column-for-column.
+
+Evolving networks are modeled as :class:`NetworkDelta` events — plain
+picklable records of one side's growth (new nodes, new edges, new
+attribute attachments) that :meth:`AlignedPair.apply_delta` validates
+and applies in place.  Node additions append to the end of each type's
+order, so matrix exports taken before a delta stay index-compatible
+with exports taken after it: old entries never move, growth is pure
+padding.  That append-only contract is what lets the engine layer fold
+exact sparse count deltas instead of recounting
+(:mod:`repro.engine.incremental`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -17,7 +28,105 @@ from scipy import sparse
 from repro.exceptions import AlignmentError
 from repro.networks.heterogeneous import HeterogeneousNetwork
 from repro.networks.schema import USER, AlignedSchema
-from repro.types import LinkPair, NodeId
+from repro.types import AttributeValue, LinkPair, NodeId
+
+
+@dataclass(frozen=True)
+class NetworkDelta:
+    """One evolution event of an aligned pair — plain picklable data.
+
+    Attributes
+    ----------
+    side:
+        Which component network grows: ``"left"`` or ``"right"``.
+    added_nodes:
+        ``node_type -> tuple of new node ids`` (e.g. new users, new
+        posts).  Ids must not already exist in the network.
+    added_edges:
+        ``(relation, source, target)`` triples.  Endpoints may be
+        existing nodes or nodes added by this same delta.  Duplicate
+        edges are ignored (networks are simple graphs).
+    updated_attributes:
+        ``(attribute, node, value, count)`` attachment records (new
+        posts' timestamps/locations/words, or extra attachments to
+        existing nodes).
+    added_anchors:
+        New ground-truth anchor links, e.g. when a freshly added user is
+        known to exist on both platforms.  Ground truth only — the
+        *known* anchor set of a model/session is unaffected.
+
+    Notes
+    -----
+    Deltas are replayed from checkpoints, so they must stay plain data:
+    every field is a tuple of hashables, and
+    :meth:`AlignedPair.apply_delta` re-validates on every application.
+    """
+
+    side: str
+    added_nodes: Tuple[Tuple[str, Tuple[NodeId, ...]], ...] = ()
+    added_edges: Tuple[Tuple[str, NodeId, NodeId], ...] = ()
+    updated_attributes: Tuple[
+        Tuple[str, NodeId, AttributeValue, int], ...
+    ] = ()
+    added_anchors: Tuple[LinkPair, ...] = ()
+
+    @classmethod
+    def build(
+        cls,
+        side: str,
+        added_nodes: Optional[Mapping[str, Iterable[NodeId]]] = None,
+        added_edges: Iterable[Tuple[str, NodeId, NodeId]] = (),
+        updated_attributes: Iterable[Tuple] = (),
+        added_anchors: Iterable[LinkPair] = (),
+    ) -> "NetworkDelta":
+        """Normalize loose inputs (dicts, lists, 3-tuples) into a delta.
+
+        ``added_edges`` entries are ``(relation, source, target)``;
+        ``updated_attributes`` entries are ``(attribute, node, value)``
+        or ``(attribute, node, value, count)``.
+        """
+        nodes = tuple(
+            (node_type, tuple(ids))
+            for node_type, ids in (added_nodes or {}).items()
+        )
+        attributes = []
+        for record in updated_attributes:
+            if len(record) == 3:
+                attribute, node, value = record
+                count = 1
+            else:
+                attribute, node, value, count = record
+            attributes.append((attribute, node, value, int(count)))
+        return cls(
+            side=side,
+            added_nodes=nodes,
+            added_edges=tuple(tuple(edge) for edge in added_edges),
+            updated_attributes=tuple(attributes),
+            added_anchors=tuple(tuple(pair) for pair in added_anchors),
+        )
+
+    @property
+    def n_nodes(self) -> int:
+        """Total nodes added across all node types."""
+        return sum(len(ids) for _, ids in self.added_nodes)
+
+    @property
+    def n_edges(self) -> int:
+        """Edges added."""
+        return len(self.added_edges)
+
+    @property
+    def n_attributes(self) -> int:
+        """Attribute attachments added (counting repeats once)."""
+        return len(self.updated_attributes)
+
+    def summary(self) -> str:
+        """One-line human-readable rendering."""
+        return (
+            f"{self.side}: +{self.n_nodes} nodes, +{self.n_edges} edges, "
+            f"+{self.n_attributes} attribute links, "
+            f"+{len(self.added_anchors)} anchors"
+        )
 
 
 class AlignedPair:
@@ -111,6 +220,107 @@ class AlignedPair:
     def anchored_left(self, right_user: NodeId) -> Optional[NodeId]:
         """The left-side partner of ``right_user`` or ``None``."""
         return self._right_to_left.get(right_user)
+
+    # ------------------------------------------------------------------
+    # Network evolution
+    # ------------------------------------------------------------------
+    def _delta_network(self, delta: NetworkDelta) -> HeterogeneousNetwork:
+        if delta.side == "left":
+            return self.left
+        if delta.side == "right":
+            return self.right
+        raise AlignmentError(
+            f"delta side must be 'left' or 'right', got {delta.side!r}"
+        )
+
+    def _validate_delta(self, delta: NetworkDelta) -> None:
+        """Reject a bad delta before any state changes (best-effort atomicity)."""
+        network = self._delta_network(delta)
+        added: Dict[str, Set[NodeId]] = {}
+        for node_type, ids in delta.added_nodes:
+            bucket = added.setdefault(node_type, set())
+            for node_id in ids:
+                if network.has_node(node_type, node_id) or node_id in bucket:
+                    raise AlignmentError(
+                        f"delta re-adds existing {node_type!r} node "
+                        f"{node_id!r} on the {delta.side} side"
+                    )
+                bucket.add(node_id)
+
+        def will_exist(node_type: str, node_id: NodeId) -> bool:
+            return network.has_node(node_type, node_id) or (
+                node_id in added.get(node_type, ())
+            )
+
+        for relation, source, target in delta.added_edges:
+            spec = network.schema.edge_type(relation)  # raises if unknown
+            if not will_exist(spec.source, source):
+                raise AlignmentError(
+                    f"delta edge {relation!r} references missing "
+                    f"{spec.source!r} node {source!r}"
+                )
+            if not will_exist(spec.target, target):
+                raise AlignmentError(
+                    f"delta edge {relation!r} references missing "
+                    f"{spec.target!r} node {target!r}"
+                )
+            if spec.source == spec.target and source == target:
+                raise AlignmentError(
+                    f"delta adds self-loop {source!r} on relation {relation!r}"
+                )
+        for attribute, node_id, _value, count in delta.updated_attributes:
+            spec = network.schema.attribute_type(attribute)
+            if count < 1:
+                raise AlignmentError(
+                    f"attribute count must be >= 1, got {count}"
+                )
+            if not will_exist(spec.node_type, node_id):
+                raise AlignmentError(
+                    f"delta attribute {attribute!r} references missing "
+                    f"{spec.node_type!r} node {node_id!r}"
+                )
+        anchored_left = set(self._left_to_right)
+        anchored_right = set(self._right_to_left)
+        left_added = added if delta.side == "left" else {}
+        right_added = added if delta.side == "right" else {}
+        for left_user, right_user in delta.added_anchors:
+            left_ok = self.left.has_node(self.anchor_node_type, left_user) or (
+                left_user in left_added.get(self.anchor_node_type, ())
+            )
+            right_ok = self.right.has_node(
+                self.anchor_node_type, right_user
+            ) or (right_user in right_added.get(self.anchor_node_type, ()))
+            if not left_ok or not right_ok:
+                raise AlignmentError(
+                    f"delta anchor ({left_user!r}, {right_user!r}) "
+                    "references a missing user"
+                )
+            if left_user in anchored_left or right_user in anchored_right:
+                raise AlignmentError(
+                    f"delta anchor ({left_user!r}, {right_user!r}) violates "
+                    "the one-to-one constraint"
+                )
+            anchored_left.add(left_user)
+            anchored_right.add(right_user)
+
+    def apply_delta(self, delta: NetworkDelta) -> None:
+        """Apply one evolution event in place (validated first).
+
+        New nodes append to the end of their type's order, so matrices
+        exported before this call stay index-compatible: the engine
+        layer relies on growth being pure padding.  A delta that fails
+        validation leaves the pair untouched.
+        """
+        self._validate_delta(delta)
+        network = self._delta_network(delta)
+        for node_type, ids in delta.added_nodes:
+            network.add_nodes(node_type, ids)
+        for relation, source, target in delta.added_edges:
+            network.add_edge(relation, source, target)
+        for attribute, node_id, value, count in delta.updated_attributes:
+            network.attach_attribute(attribute, node_id, value, count=count)
+        for pair in delta.added_anchors:
+            self.add_anchor(tuple(pair))
 
     # ------------------------------------------------------------------
     # Candidate space

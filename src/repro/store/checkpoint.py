@@ -14,10 +14,13 @@ work.  :class:`SessionCheckpoint` makes the loop durable:
   checkpoint intact, never a torn file;
 * on restart, the same model construction finds the checkpoint and
   resumes from the last completed round.  Because the session state
-  dict restores counts and anchors bit-exactly and the payload restores
-  every loop variable including RNG state, the resumed run is
-  **byte-identical** to an uninterrupted one — asserted by the store
-  test suite and ``bench_engine_store``.
+  dict restores counts, anchors and the network-evolution log
+  bit-exactly and the payload restores every loop variable including
+  RNG state, the resumed run is **byte-identical** to an uninterrupted
+  one — asserted by the store test suite and ``bench_engine_store``;
+* with ``keep_last=N`` the previous snapshot rotates to
+  ``checkpoint.pkl.1`` (and so on) before every save, so the last N
+  rounds stay individually recoverable instead of last-round-wins.
 
 ``interrupt_after`` exists for tests and the ``engine checkpoint`` CLI
 demo: it raises :class:`~repro.exceptions.CheckpointInterrupt` *after*
@@ -58,12 +61,22 @@ class SessionCheckpoint:
         :class:`~repro.exceptions.CheckpointInterrupt` after the write
         lands — the crash-simulation hook used by tests and the
         ``engine checkpoint`` command.
+    keep_last:
+        Retention depth.  ``1`` (the default) keeps only the latest
+        snapshot — the historical last-round-wins behavior.  ``N > 1``
+        rotates the previous snapshot to ``checkpoint.pkl.1`` (and so
+        on, logrotate style) before every save, so the last ``N``
+        rounds stay recoverable via ``load(generation=k)`` — e.g. to
+        rewind a run whose final rounds bought bad labels.  Rotation is
+        hardlink-based: the latest checkpoint file exists at every
+        instant, so crash-atomicity is unchanged.
     """
 
     def __init__(
         self,
         path: Union[str, Path],
         interrupt_after: Optional[int] = None,
+        keep_last: int = 1,
     ) -> None:
         path = Path(path)
         if path.suffix == ".pkl":
@@ -72,7 +85,10 @@ class SessionCheckpoint:
             self.path = path / CHECKPOINT_FILENAME
         if interrupt_after is not None and interrupt_after < 1:
             raise StoreError("interrupt_after must be >= 1")
+        if keep_last < 1:
+            raise StoreError("keep_last must be >= 1")
         self.interrupt_after = interrupt_after
+        self.keep_last = int(keep_last)
         self.saves = 0
         # Last serialized session state, reused by clean saves so a
         # round that did not touch the session never re-pickles its
@@ -83,6 +99,45 @@ class SessionCheckpoint:
     def exists(self) -> bool:
         """Whether a checkpoint file is present."""
         return self.path.exists()
+
+    def _generation_path(self, generation: int) -> Path:
+        """File path of the ``generation``-rounds-ago snapshot."""
+        if generation == 0:
+            return self.path
+        return self.path.with_name(f"{self.path.name}.{generation}")
+
+    def history(self) -> Tuple[Path, ...]:
+        """Existing rotated snapshots, newest first (latest excluded)."""
+        found = []
+        for candidate in self.path.parent.glob(self.path.name + ".*"):
+            suffix = candidate.name[len(self.path.name) + 1:]
+            if suffix.isdigit():
+                found.append((int(suffix), candidate))
+        return tuple(path for _, path in sorted(found))
+
+    def _rotate(self) -> None:
+        """Shift snapshots one generation older, pruning past the bound.
+
+        The latest checkpoint is *hardlinked* to generation 1 rather
+        than moved, so ``checkpoint.pkl`` exists at every instant and a
+        crash mid-rotation can never lose the newest durable round.
+        """
+        if self.keep_last <= 1 or not self.path.exists():
+            return
+        for generation in range(self.keep_last - 1, 1, -1):
+            younger = self._generation_path(generation - 1)
+            if younger.exists():
+                os.replace(younger, self._generation_path(generation))
+        oldest_kept = self.keep_last - 1
+        for stale in self.history():
+            if int(stale.name[len(self.path.name) + 1:]) > oldest_kept:
+                stale.unlink()
+        first = self._generation_path(1)
+        try:
+            first.unlink()
+        except FileNotFoundError:
+            pass
+        os.link(self.path, first)
 
     def save(
         self,
@@ -112,6 +167,7 @@ class SessionCheckpoint:
         tmp.write_bytes(
             pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
         )
+        self._rotate()
         os.replace(tmp, self.path)
         self.saves += 1
         if self.interrupt_after is not None and self.saves >= self.interrupt_after:
@@ -120,15 +176,22 @@ class SessionCheckpoint:
                 f"({self.path})"
             )
 
-    def load(self) -> Tuple[Optional[dict], Any]:
-        """Read the checkpoint; returns ``(session_state, payload)``."""
-        if not self.path.exists():
-            raise StoreError(f"no checkpoint at {self.path}")
+    def load(self, generation: int = 0) -> Tuple[Optional[dict], Any]:
+        """Read a checkpoint; returns ``(session_state, payload)``.
+
+        ``generation`` selects a rotated snapshot: ``0`` (default) is
+        the latest, ``1`` the round before it, up to ``keep_last - 1``.
+        """
+        if generation < 0:
+            raise StoreError("generation must be >= 0")
+        path = self._generation_path(generation)
+        if not path.exists():
+            raise StoreError(f"no checkpoint at {path}")
         try:
-            record = pickle.loads(self.path.read_bytes())
+            record = pickle.loads(path.read_bytes())
         except Exception as error:  # torn files cannot occur; bad input can
             raise StoreError(
-                f"unreadable checkpoint at {self.path}: {error}"
+                f"unreadable checkpoint at {path}: {error}"
             ) from None
         version = record.get("format_version")
         if version != _FORMAT_VERSION:
@@ -157,7 +220,12 @@ class SessionCheckpoint:
         return payload
 
     def clear(self) -> bool:
-        """Delete the checkpoint file; returns whether one existed."""
+        """Delete the checkpoint and its rotated history.
+
+        Returns whether the latest checkpoint file existed.
+        """
+        for stale in self.history():
+            stale.unlink()
         try:
             self.path.unlink()
             return True
@@ -167,5 +235,6 @@ class SessionCheckpoint:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SessionCheckpoint({str(self.path)!r}, saves={self.saves}, "
-            f"interrupt_after={self.interrupt_after})"
+            f"interrupt_after={self.interrupt_after}, "
+            f"keep_last={self.keep_last})"
         )

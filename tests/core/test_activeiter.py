@@ -130,3 +130,100 @@ class TestActiveIter:
         ).fit(task)
         assert model.result_ is not None
         assert satisfies_one_to_one(task.pairs, model.labels_)
+
+
+class TestDriftingActiveLoop:
+    """Evolution schedules: deltas arrive between query rounds."""
+
+    def _drifting_setup(self, budget=8):
+        from repro.datasets import foursquare_twitter_like
+        from repro.engine import (
+            AlignmentSession,
+            evolution_rounds,
+            scripted_delta_schedule,
+        )
+        from repro.eval.protocol import ProtocolConfig, build_splits
+
+        pair = foursquare_twitter_like("tiny", seed=11)
+        config = ProtocolConfig(
+            np_ratio=5, sample_ratio=1.0, n_repeats=1, seed=13
+        )
+        split = next(iter(build_splits(pair, config)))
+        schedule = scripted_delta_schedule(pair, events=2, seed=3)
+        positives = {
+            split.candidates[i]
+            for i in range(len(split.candidates))
+            if split.truth[i] == 1
+        }
+        session = AlignmentSession(
+            pair, known_anchors=split.train_positive_pairs
+        )
+        from repro.core.base import AlignmentTask
+
+        candidates = list(split.candidates)
+        task = AlignmentTask(
+            pairs=candidates,
+            X=session.extract(candidates),
+            labeled_indices=split.train_indices,
+            labeled_values=split.truth[split.train_indices],
+        )
+        model = ActiveIter(
+            LabelOracle(positives, budget=budget),
+            batch_size=2,
+            session=session,
+            refresh_features=True,
+            evolution=evolution_rounds(schedule),
+        )
+        return model, task, session, pair
+
+    def test_evolution_requires_session_and_refresh(self, tiny_synthetic_pair):
+        from repro.engine import scripted_delta_schedule
+
+        task, truth = _synthetic_task(tiny_synthetic_pair)
+        oracle = _oracle_for(task, truth, 5)
+        schedule = scripted_delta_schedule(tiny_synthetic_pair, events=1)
+        with pytest.raises(ModelError, match="evolution"):
+            ActiveIter(oracle, evolution=[(1, schedule[0])])
+
+    def test_drift_applies_and_preserves_bought_labels(self):
+        model, task, session, pair = self._drifting_setup()
+        model.fit(task)
+        # The scheduled deltas were applied through the session...
+        assert session.stats.network_updates >= 1
+        assert pair.left.has_node("user", "evo:left:u0")
+        # ...and every bought label survived the drift, truthfully.
+        assert len(model.queried_) > 0
+        for queried_pair, label in model.queried_:
+            index = task.index_of(queried_pair)
+            assert model.labels_[index] == label
+
+    def test_pre_drifted_session_skips_nothing(self):
+        """Deltas applied outside the schedule do not consume it."""
+        from repro.networks.aligned import NetworkDelta
+
+        model, task, session, pair = self._drifting_setup()
+        # Drift the session manually before the fit with a delta that
+        # is NOT part of the schedule.
+        session.apply_network_delta(
+            NetworkDelta.build(
+                "left", added_nodes={"user": ["manual:u"]}
+            )
+        )
+        session.refresh_features(task.X, task.pairs)
+        assert model._evolution_start() == 0  # nothing matched
+        model.fit(task)
+        # Every scheduled event still applied on top of the manual one.
+        assert session.stats.network_updates >= len(model.evolution)
+
+    def test_drifted_features_match_scratch_extraction(self):
+        from repro.engine import AlignmentSession
+
+        model, task, session, pair = self._drifting_setup()
+        model.fit(task)
+        known_positives = [
+            task.pairs[i]
+            for i, value in zip(task.labeled_indices, task.labeled_values)
+            if value == 1
+        ] + [queried for queried, label in model.queried_ if label == 1]
+        scratch = AlignmentSession(pair, known_anchors=known_positives)
+        assert np.array_equal(task.X, scratch.extract(task.pairs))

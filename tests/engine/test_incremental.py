@@ -8,10 +8,11 @@ from repro.engine.incremental import (
     DeltaEvaluator,
     apply_delta,
     leaf_occurrences,
+    pad_csr,
     supports_delta,
 )
 from repro.exceptions import MetaStructureError
-from repro.meta.algebra import Chain, CountingEngine, Leaf, Parallel
+from repro.meta.algebra import Chain, CountingEngine, Expr, Leaf, Parallel
 
 
 def _csr(array) -> sparse.csr_matrix:
@@ -40,6 +41,18 @@ def delta():
     return _csr(change)
 
 
+def _check_exact(expr, bag, deltas):
+    """delta(expr) must equal expr(M + delta) - expr(M) exactly."""
+    engine = CountingEngine(bag)
+    before = engine.evaluate(expr).toarray()
+    change = DeltaEvaluator(engine, deltas).evaluate(expr).toarray()
+    grown = dict(bag)
+    for name, d in deltas.items():
+        grown[name] = (bag[name] + d).tocsr()
+    after = CountingEngine(grown).evaluate(expr).toarray()
+    assert np.array_equal(before + change, after)
+
+
 class TestLinearityChecks:
     def test_leaf_occurrences(self):
         expr = Chain([Leaf("M1"), Leaf("A"), Leaf("M2")])
@@ -47,11 +60,12 @@ class TestLinearityChecks:
         assert leaf_occurrences(expr, "M1") == 1
         assert leaf_occurrences(expr, "Z") == 0
 
-    def test_supports_delta_single_occurrence(self):
+    def test_supports_delta_standard_trees(self):
         assert supports_delta(Chain([Leaf("M1"), Leaf("A"), Leaf("M2")]))
-        assert supports_delta(Leaf("M1"))  # zero occurrences is fine
+        assert supports_delta(Leaf("M1"))
 
-    def test_rejects_repeated_anchor(self):
+    def test_supports_repeated_leaf(self):
+        """The generalized algebra covers repeated occurrences exactly."""
         expr = Parallel(
             [
                 Chain([Leaf("M1"), Leaf("A"), Leaf("M2")]),
@@ -59,34 +73,53 @@ class TestLinearityChecks:
             ]
         )
         assert leaf_occurrences(expr, "A") == 2
-        assert not supports_delta(expr)
+        assert supports_delta(expr)
+
+    def test_rejects_unknown_node_types(self):
+        class Opaque(Expr):
+            def key(self):
+                return "opaque"
+
+            def leaves(self):
+                return ("A",)
+
+        assert not supports_delta(Opaque())
+        assert not supports_delta(Chain([Leaf("M1"), Opaque()]))
 
 
-class TestDeltaEvaluator:
-    def _check_exact(self, expr, bag, delta):
-        """delta(expr) must equal expr(A + delta) - expr(A) exactly."""
-        engine = CountingEngine(bag)
-        before = engine.evaluate(expr).toarray()
-        change = DeltaEvaluator(engine, "A", delta).evaluate(expr).toarray()
-        grown = dict(bag)
-        grown["A"] = (bag["A"] + delta).tocsr()
-        after = CountingEngine(grown).evaluate(expr).toarray()
-        assert np.array_equal(before + change, after)
+class TestPadCsr:
+    def test_pads_rows_and_cols(self):
+        matrix = _csr([[1, 0], [0, 2]])
+        padded = pad_csr(matrix, (4, 3))
+        assert padded.shape == (4, 3)
+        expected = np.zeros((4, 3))
+        expected[0, 0], expected[1, 1] = 1, 2
+        assert np.array_equal(padded.toarray(), expected)
 
+    def test_same_shape_passthrough(self):
+        matrix = _csr([[1, 0], [0, 2]])
+        assert pad_csr(matrix, (2, 2)) is matrix
+
+    def test_shrink_rejected(self):
+        with pytest.raises(MetaStructureError, match="pad"):
+            pad_csr(_csr([[1, 0], [0, 2]]), (1, 2))
+
+
+class TestSingleLeafDelta:
     def test_chain_delta(self, bag, delta):
-        self._check_exact(
-            Chain([Leaf("M1"), Leaf("A"), Leaf("M2")]), bag, delta
+        _check_exact(
+            Chain([Leaf("M1"), Leaf("A"), Leaf("M2")]), bag, {"A": delta}
         )
 
     def test_transposed_leaf_delta(self, bag, delta):
         expr = Chain([Leaf("M2"), Leaf("A", transpose=True), Leaf("M1")])
-        self._check_exact(expr, bag, delta)
+        _check_exact(expr, bag, {"A": delta})
 
     def test_parallel_delta_targets_dynamic_branch(self, bag, delta):
         expr = Parallel(
             [Chain([Leaf("M1"), Leaf("A"), Leaf("M2")]), Leaf("S")]
         )
-        self._check_exact(expr, bag, delta)
+        _check_exact(expr, bag, {"A": delta})
 
     def test_nested_stacking_delta(self, bag, delta):
         anchored = Chain(
@@ -96,31 +129,146 @@ class TestDeltaEvaluator:
                 Parallel([Leaf("M2"), Leaf("M2", transpose=True)]),
             ]
         )
-        self._check_exact(Parallel([anchored, Leaf("S")]), bag, delta)
+        _check_exact(Parallel([anchored, Leaf("S")]), bag, {"A": delta})
 
     def test_negative_delta(self, bag):
         removal = -bag["A"]
         expr = Chain([Leaf("M1"), Leaf("A"), Leaf("M2")])
         engine = CountingEngine(bag)
         before = engine.evaluate(expr).toarray()
-        change = DeltaEvaluator(engine, "A", removal).evaluate(expr).toarray()
+        change = DeltaEvaluator(engine, {"A": removal}).evaluate(expr).toarray()
         assert np.array_equal(before + change, np.zeros_like(before))
 
-    def test_rejects_anchor_free_expr(self, bag, delta):
+    def test_legacy_name_delta_signature(self, bag, delta):
+        """The anchor-era (engine, name, delta) call form still works."""
+        expr = Chain([Leaf("M1"), Leaf("A"), Leaf("M2")])
         engine = CountingEngine(bag)
-        with pytest.raises(MetaStructureError, match="exactly one"):
-            DeltaEvaluator(engine, "A", delta).evaluate(Leaf("S"))
+        legacy = DeltaEvaluator(engine, "A", delta).evaluate(expr)
+        mapped = DeltaEvaluator(engine, {"A": delta}).evaluate(expr)
+        assert np.array_equal(legacy.toarray(), mapped.toarray())
 
-    def test_rejects_repeated_anchor_expr(self, bag, delta):
+    def test_untouched_expr_changes_by_zero(self, bag, delta):
         engine = CountingEngine(bag)
+        change = DeltaEvaluator(engine, {"A": delta}).evaluate(Leaf("S"))
+        assert change.shape == bag["S"].shape
+        assert change.nnz == 0
+
+
+class TestMultiLeafDelta:
+    """Cross-term exactness of the generalized delta algebra."""
+
+    def _m1_delta(self):
+        change = np.zeros((6, 6))
+        change[1, 4] = 1.0
+        change[3, 0] = 1.0
+        return _csr(change)
+
+    def _m2_delta(self):
+        change = np.zeros((5, 5))
+        change[0, 4] = 1.0
+        return _csr(change)
+
+    def test_two_sided_chain_delta(self, bag, delta):
+        """Deltas on both chain sides expand the cross term exactly."""
+        expr = Chain([Leaf("M1"), Leaf("A"), Leaf("M2")])
+        _check_exact(
+            expr, bag, {"M1": self._m1_delta(), "M2": self._m2_delta()}
+        )
+
+    def test_all_leaves_at_once(self, bag, delta):
+        expr = Chain([Leaf("M1"), Leaf("A"), Leaf("M2")])
+        _check_exact(
+            expr,
+            bag,
+            {"M1": self._m1_delta(), "A": delta, "M2": self._m2_delta()},
+        )
+
+    def test_leaf_on_both_sides_of_chain(self, bag):
+        """The same changed leaf appearing twice (transposed) is exact."""
+        expr = Chain([Leaf("M1"), Leaf("A"), Leaf("A", transpose=True)])
+        change = np.zeros((6, 5))
+        change[4, 1] = 1.0
+        _check_exact(expr, bag, {"A": _csr(change)})
+
+    def test_nested_parallel_multi_delta(self, bag, delta):
+        anchored = Chain(
+            [
+                Parallel([Leaf("M1"), Leaf("M1", transpose=True)]),
+                Leaf("A"),
+                Parallel([Leaf("M2"), Leaf("M2", transpose=True)]),
+            ]
+        )
+        expr = Parallel([anchored, Leaf("S")])
+        _check_exact(
+            expr, bag, {"A": delta, "M1": self._m1_delta()}
+        )
+
+    def test_delta_in_every_parallel_branch(self, bag, delta):
         expr = Parallel(
             [
                 Chain([Leaf("M1"), Leaf("A"), Leaf("M2")]),
-                Chain([Leaf("M1"), Leaf("A"), Leaf("M2"), Leaf("M2")]),
+                Chain([Leaf("M1"), Leaf("S")]),
             ]
         )
-        with pytest.raises(MetaStructureError, match="exactly one"):
-            DeltaEvaluator(engine, "A", delta).evaluate(expr)
+        m1_change = self._m1_delta()
+        _check_exact(expr, bag, {"A": delta, "M1": m1_change})
+
+    def test_zero_row_delta_is_exact_noop(self, bag):
+        """An all-zero delta produces an empty change, not an error."""
+        expr = Chain([Leaf("M1"), Leaf("A"), Leaf("M2")])
+        empty = sparse.csr_matrix((6, 5))
+        engine = CountingEngine(bag)
+        change = DeltaEvaluator(engine, {"A": empty}).evaluate(expr)
+        assert change.nnz == 0
+        assert change.shape == engine.evaluate(expr).shape
+
+    def test_removal_and_growth_mixed(self, bag, delta):
+        """Entries removed from one leaf while another grows."""
+        removal = np.zeros((6, 5))
+        removal[0, 0] = -1.0  # drop an existing anchor
+        mixed = (_csr(removal) + delta).tocsr()
+        _check_exact(
+            Chain([Leaf("M1"), Leaf("A"), Leaf("M2")]),
+            bag,
+            {"A": mixed, "M2": self._m2_delta()},
+        )
+
+    def test_grown_shapes_pad_old_values(self, bag, delta):
+        """Deltas at grown shapes (new nodes) pad cached old values."""
+        expr = Chain([Leaf("M1"), Leaf("A"), Leaf("M2")])
+        # Two new left nodes, one new right node.
+        m1_change = np.zeros((8, 8))
+        m1_change[6, 0] = m1_change[1, 7] = 1.0
+        a_change = np.zeros((8, 6))
+        a_change[7, 5] = 1.0
+        m2_change = np.zeros((6, 6))
+        m2_change[5, 2] = 1.0
+        deltas = {
+            "M1": _csr(m1_change),
+            "A": _csr(a_change),
+            "M2": _csr(m2_change),
+        }
+        engine = CountingEngine(bag)
+        before = pad_csr(engine.evaluate(expr), (8, 6)).toarray()
+        change = DeltaEvaluator(engine, deltas).evaluate(expr).toarray()
+        grown = {
+            "S": bag["S"],
+            "M1": (pad_csr(bag["M1"], (8, 8)) + deltas["M1"]).tocsr(),
+            "A": (pad_csr(bag["A"], (8, 6)) + deltas["A"]).tocsr(),
+            "M2": (pad_csr(bag["M2"], (6, 6)) + deltas["M2"]).tocsr(),
+        }
+        after = CountingEngine(grown).evaluate(expr).toarray()
+        assert np.array_equal(before + change, after)
+
+    def test_requires_some_delta(self, bag):
+        engine = CountingEngine(bag)
+        with pytest.raises(MetaStructureError, match="at least one"):
+            DeltaEvaluator(engine, {})
+
+    def test_rejects_name_and_mapping_together(self, bag, delta):
+        engine = CountingEngine(bag)
+        with pytest.raises(MetaStructureError, match="not both"):
+            DeltaEvaluator(engine, {"A": delta}, delta)
 
 
 class TestApplyDelta:

@@ -114,6 +114,46 @@ class TestCheckpointFile:
         assert SessionCheckpoint(tmp_path / "custom.pkl").load() == (None, 7)
 
 
+class TestCheckpointRotation:
+    def test_default_is_last_round_wins(self, tmp_path):
+        checkpoint = SessionCheckpoint(tmp_path)
+        for round_ in range(3):
+            checkpoint.save(payload={"round": round_})
+        assert checkpoint.history() == ()
+        assert checkpoint.load() == (None, {"round": 2})
+
+    def test_keep_last_retains_history(self, tmp_path):
+        checkpoint = SessionCheckpoint(tmp_path, keep_last=3)
+        for round_ in range(5):
+            checkpoint.save(payload={"round": round_})
+        assert len(checkpoint.history()) == 2
+        assert checkpoint.load() == (None, {"round": 4})
+        assert checkpoint.load(generation=1) == (None, {"round": 3})
+        assert checkpoint.load(generation=2) == (None, {"round": 2})
+        with pytest.raises(StoreError):
+            checkpoint.load(generation=3)  # pruned past keep_last
+
+    def test_latest_always_present_during_rotation(self, tmp_path):
+        checkpoint = SessionCheckpoint(tmp_path, keep_last=2)
+        checkpoint.save(payload=1)
+        checkpoint.save(payload=2)
+        # Rotation hardlinks rather than moves: both generations exist.
+        assert checkpoint.path.exists()
+        assert checkpoint.load(generation=1) == (None, 1)
+
+    def test_clear_removes_history(self, tmp_path):
+        checkpoint = SessionCheckpoint(tmp_path, keep_last=4)
+        for round_ in range(4):
+            checkpoint.save(payload=round_)
+        assert checkpoint.clear()
+        assert not checkpoint.exists()
+        assert checkpoint.history() == ()
+
+    def test_keep_last_validated(self, tmp_path):
+        with pytest.raises(StoreError):
+            SessionCheckpoint(tmp_path, keep_last=0)
+
+
 class _FitBuilder:
     """Deterministic model/task construction shared by resume tests."""
 
@@ -208,6 +248,91 @@ class TestCrashResumeDeterminism:
         resumed.fit(resumed_task)
         # Bought labels across crash + resume never exceed the budget.
         assert len(resumed.queried_) <= builder.budget
+
+
+class TestEvolutionResume:
+    """Crash/resume determinism across network-evolution events."""
+
+    def _build(self, checkpoint=None, budget=10):
+        from repro.datasets import foursquare_twitter_like
+        from repro.engine import evolution_rounds, scripted_delta_schedule
+        from repro.eval.protocol import ProtocolConfig, build_splits
+
+        # A fresh (pre-evolution) pair every call: resume must replay
+        # the drift from the checkpoint's evolution log.
+        pair = foursquare_twitter_like("tiny", seed=7)
+        config = ProtocolConfig(
+            np_ratio=5, sample_ratio=1.0, n_repeats=1, seed=13
+        )
+        split = next(iter(build_splits(pair, config)))
+        schedule = scripted_delta_schedule(pair, events=3, seed=4)
+        positives = {
+            split.candidates[i]
+            for i in range(len(split.candidates))
+            if split.truth[i] == 1
+        }
+        session = AlignmentSession(
+            pair, known_anchors=split.train_positive_pairs
+        )
+        candidates = list(split.candidates)
+        task = AlignmentTask(
+            pairs=candidates,
+            X=session.extract(candidates),
+            labeled_indices=split.train_indices,
+            labeled_values=split.truth[split.train_indices],
+        )
+        model = ActiveIter(
+            LabelOracle(positives, budget=budget),
+            batch_size=2,
+            session=session,
+            refresh_features=True,
+            checkpoint=checkpoint,
+            evolution=evolution_rounds(schedule),
+        )
+        return model, task
+
+    def test_resume_across_evolution_is_byte_identical(self, tmp_path):
+        reference, reference_task = self._build()
+        reference.fit(reference_task)
+        assert reference.result_.n_rounds > 2, "need a multi-round fit"
+
+        interrupted = SessionCheckpoint(tmp_path, interrupt_after=2)
+        model, task = self._build(checkpoint=interrupted)
+        with pytest.raises(CheckpointInterrupt):
+            model.fit(task)
+        assert interrupted.exists()
+
+        resumed, resumed_task = self._build(
+            checkpoint=SessionCheckpoint(tmp_path)
+        )
+        resumed.fit(resumed_task)
+
+        assert resumed.queried_ == reference.queried_
+        assert np.array_equal(resumed.labels_, reference.labels_)
+        assert np.array_equal(resumed.weights_, reference.weights_)
+        assert np.array_equal(resumed.scores_, reference.scores_)
+        assert (
+            resumed.result_.convergence_trace
+            == reference.result_.convergence_trace
+        )
+
+    def test_resumed_session_replays_the_drift(self, tmp_path):
+        interrupted = SessionCheckpoint(tmp_path, interrupt_after=2)
+        model, task = self._build(checkpoint=interrupted)
+        with pytest.raises(CheckpointInterrupt):
+            model.fit(task)
+        events_at_crash = len(model.session.evolution_log)
+        assert events_at_crash >= 1
+
+        resumed, resumed_task = self._build(
+            checkpoint=SessionCheckpoint(tmp_path)
+        )
+        # Before the fit, the fresh pair is ungrown...
+        assert not resumed.session.pair.left.has_node("user", "evo:left:u0")
+        resumed.fit(resumed_task)
+        # ...after it, the checkpoint's log (plus the remaining
+        # schedule) has been replayed onto it.
+        assert len(resumed.session.evolution_log) >= events_at_crash
 
 
 class TestRandomStrategyResume:
