@@ -13,9 +13,14 @@ Usage::
     python -m repro.cli validate  [--scale small]    # data integrity report
     python -m repro.cli stats     [--scale small]    # per-structure stats
     python -m repro.cli evolve    [--scale small] [--events 4]
-                                  [--np-ratio 10]    # evolving networks
+                                  [--np-ratio 10] [--sweep]
+                                  [--model {ridge,svm}] [--feature-map MAP]
+    python -m repro.cli experiment [--scale small] [--budget 50]
+                                  [--model {ridge,svm}] [--feature-map MAP]
+                                  [--streamed]       # one custom lineup
     python -m repro.cli engine    [--scale small] [--budget 30] [--batch 2]
                                   [--workers 4] [--streamed]
+                                  [--model {ridge,svm}] [--feature-map MAP]
                                   [--store-dir DIR]
                                   [--executor {serial,thread,process}]
     python -m repro.cli engine checkpoint --store-dir DIR
@@ -25,6 +30,13 @@ Usage::
 Every command prints a plain-text analog of the corresponding paper
 artifact.  Defaults are sized for minutes-scale runs; raise ``--scale``
 and the sweep lists to approach the paper's full grid.
+
+``--model`` selects the model backend of the internal fit step (the
+paper's ridge, or a streamed SVM) and ``--feature-map`` composes a
+kernel feature map (``nystroem``, ``fourier``, ``poly``) — both ride
+the streamed/parallel/process stack; see :mod:`repro.ml.backends`.
+``evolve --sweep`` re-evaluates the full method lineup (streamed SVM
+included) at every scheduled network delta.
 
 ``engine checkpoint`` runs a deterministic active fit that snapshots
 its state to ``--store-dir`` after every query round
@@ -235,11 +247,27 @@ def cmd_stats(args: argparse.Namespace) -> str:
     return format_family_statistics(family_statistics(pair))
 
 
+def _method_knob_lineup(args: argparse.Namespace):
+    """Lineup for the --model/--feature-map knobs, or None for defaults."""
+    if args.model == "ridge" and args.feature_map is None:
+        return None
+    suffix = args.model + (f"+{args.feature_map}" if args.feature_map else "")
+    return [
+        MethodSpec(
+            name=f"Iter-MPMD[{suffix}]",
+            kind="iterative",
+            model=args.model,
+            feature_map=args.feature_map,
+        )
+    ]
+
+
 def cmd_evolve(args: argparse.Namespace) -> str:
     """Evolving-network scenario: scripted drift, delta vs full recount."""
     from repro.engine.evolution import scripted_delta_schedule
     from repro.eval.experiment import format_evolve_outcome, run_evolve_scenario
     from repro.eval.protocol import ProtocolConfig
+    from repro.eval.sweeps import evolve_sweep_methods, run_evolve_sweep
 
     # The schedule is built from (and does not mutate) a base pair;
     # hand that same pair to the scenario's first build instead of
@@ -262,8 +290,69 @@ def cmd_evolve(args: argparse.Namespace) -> str:
     config = ProtocolConfig(
         np_ratio=args.np_ratio, sample_ratio=1.0, n_repeats=1, seed=args.seed
     )
-    outcome = run_evolve_scenario(make_pair, config, schedule, seed=args.seed)
+    if args.sweep:
+        # Drifting method sweep: the full lineup (streamed SVM included,
+        # plus any --model/--feature-map variant) is re-evaluated after
+        # every scheduled delta.
+        methods = evolve_sweep_methods() + (_method_knob_lineup(args) or [])
+        outcome = run_evolve_sweep(
+            make_pair, config, schedule, methods=methods, seed=args.seed
+        )
+    else:
+        outcome = run_evolve_scenario(
+            make_pair,
+            config,
+            schedule,
+            methods=_method_knob_lineup(args),
+            seed=args.seed,
+        )
     return format_evolve_outcome(outcome)
+
+
+def cmd_experiment(args: argparse.Namespace) -> str:
+    """One custom experiment lineup with the model/feature-map knobs."""
+    from repro.eval.protocol import ProtocolConfig
+
+    pair = foursquare_twitter_like(scale=args.scale, seed=args.seed)
+    suffix = args.model + (f"+{args.feature_map}" if args.feature_map else "")
+    if args.streamed:
+        suffix += "+streamed"
+    methods = [
+        MethodSpec(
+            name=f"ActiveIter-{args.budget}[{suffix}]",
+            kind="active",
+            budget=args.budget,
+            model=args.model,
+            feature_map=args.feature_map,
+            streamed=args.streamed,
+        ),
+        MethodSpec(
+            name=f"Iter-MPMD[{suffix}]",
+            kind="iterative",
+            model=args.model,
+            feature_map=args.feature_map,
+            streamed=args.streamed,
+        ),
+        MethodSpec(
+            name="SVM-MPMD" + ("[streamed]" if args.streamed else ""),
+            kind="svm",
+            feature_map=args.feature_map,
+            streamed=args.streamed,
+        ),
+    ]
+    config = ProtocolConfig(
+        np_ratio=args.np_ratio,
+        sample_ratio=args.sample_ratio,
+        n_repeats=args.repeats,
+        seed=args.seed,
+    )
+    outcome = run_experiment(pair, config, methods, workers=args.workers)
+    title = (
+        f"Custom lineup (model={args.model}, "
+        f"feature-map={args.feature_map or 'none'}, "
+        f"streamed={args.streamed})"
+    )
+    return format_single_outcome(title, outcome)
 
 
 def _engine_active_setup(args: argparse.Namespace):
@@ -463,13 +552,15 @@ def cmd_engine(args: argparse.Namespace) -> str:
             seed=args.seed,
         )
         lines.extend(["", format_store_comparison(store)])
-    if args.streamed:
+    if args.streamed or args.model != "ridge" or args.feature_map is not None:
         streamed = compare_streamed_fit(
             pair,
             np_ratio=args.np_ratio,
             budget=args.budget,
             batch_size=args.batch,
             seed=args.seed,
+            model=args.model,
+            feature_map=args.feature_map,
         )
         lines.extend(["", format_streamed_fit(streamed)])
     return "\n".join(lines)
@@ -535,6 +626,31 @@ def build_parser() -> argparse.ArgumentParser:
     evolve.add_argument("--users-per-event", type=int, default=1)
     evolve.add_argument("--posts-per-event", type=int, default=4)
     evolve.add_argument("--edges-per-event", type=int, default=6)
+    evolve.add_argument(
+        "--sweep",
+        action="store_true",
+        help=(
+            "re-evaluate the full method lineup (streamed SVM included) "
+            "after every scheduled network delta"
+        ),
+    )
+    _add_model_knobs(evolve)
+
+    experiment = sub.add_parser(
+        "experiment",
+        help="one custom experiment lineup with model/feature-map knobs",
+    )
+    experiment.add_argument("--np-ratio", type=int, default=10)
+    experiment.add_argument("--sample-ratio", type=float, default=0.6)
+    experiment.add_argument("--repeats", type=int, default=1)
+    experiment.add_argument("--budget", type=int, default=50)
+    experiment.add_argument("--workers", type=int, default=None)
+    experiment.add_argument(
+        "--streamed",
+        action="store_true",
+        help="run every method over streamed candidate blocks",
+    )
+    _add_model_knobs(experiment)
 
     engine = sub.add_parser(
         "engine",
@@ -589,8 +705,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also race the streamed active fit against the materialized task",
     )
+    _add_model_knobs(engine)
 
     return parser
+
+
+def _add_model_knobs(parser: argparse.ArgumentParser) -> None:
+    """Attach the model-backend knobs shared by engine/evolve/experiment."""
+    parser.add_argument(
+        "--model",
+        default="ridge",
+        choices=["ridge", "svm"],
+        help="model backend of the internal fit step (default: ridge)",
+    )
+    parser.add_argument(
+        "--feature-map",
+        default=None,
+        choices=["nystroem", "fourier", "poly", "linear"],
+        help="kernel feature map composed into the fit (default: none)",
+    )
 
 
 _COMMANDS = {
@@ -605,6 +738,7 @@ _COMMANDS = {
     "validate": cmd_validate,
     "stats": cmd_stats,
     "evolve": cmd_evolve,
+    "experiment": cmd_experiment,
     "engine": cmd_engine,
 }
 

@@ -48,6 +48,7 @@ from repro.core.itermpmd import AlternatingState, IterMPMD
 from repro.engine.streaming import StreamedAlignmentTask
 from repro.exceptions import ModelError
 from repro.meta.features import FeatureExtractor
+from repro.ml.backends import DenseBlockSource
 from repro.networks.aligned import NetworkDelta
 from repro.store.checkpoint import SessionCheckpoint
 from repro.types import LinkPair
@@ -104,6 +105,13 @@ class ActiveIter(IterMPMD):
         silently score against stale counts.  Bought labels are
         preserved; the session's sparse delta fold keeps each event far
         cheaper than a recount.
+    backend:
+        Model backend of the per-round fit (see
+        :class:`~repro.core.itermpmd.IterMPMD` and
+        :mod:`repro.ml.backends`); ``None`` keeps the paper's ridge.
+        Backend state — dual coefficients, a fitted map's landmark
+        sample and statistics — rides every checkpoint save, so a
+        resumed run is byte-identical for non-ridge models too.
     """
 
     def __init__(
@@ -120,12 +128,14 @@ class ActiveIter(IterMPMD):
         session=None,
         checkpoint: Optional[SessionCheckpoint] = None,
         evolution: Optional[Sequence[EvolutionEvent]] = None,
+        backend=None,
     ) -> None:
         super().__init__(
             c=c,
             max_iterations=max_iterations,
             tol=tol,
             positive_threshold=positive_threshold,
+            backend=backend,
         )
         if batch_size < 1:
             raise ModelError("batch_size must be >= 1")
@@ -179,6 +189,9 @@ class ActiveIter(IterMPMD):
             return None
         payload = self.checkpoint.restore(session)
         self.oracle.restore(payload["oracle"])
+        # Backend state (absent on pre-backend checkpoints) is injected
+        # when the backend instance is first resolved, before round one.
+        self._pending_backend_state = payload.get("backend")
         strategy_state = payload.get("strategy_state")
         if strategy_state is not None:
             if not hasattr(self.strategy, "restore_state"):
@@ -238,6 +251,11 @@ class ActiveIter(IterMPMD):
                 "strategy_state": (
                     self.strategy.snapshot_state()
                     if hasattr(self.strategy, "snapshot_state")
+                    else None
+                ),
+                "backend": (
+                    self._backend_instance.state_dict()
+                    if self._backend_instance is not None
                     else None
                 ),
             },
@@ -323,12 +341,23 @@ class ActiveIter(IterMPMD):
             n_rounds = 0
         evolution_position = self._evolution_start()
         state = AlternatingState.from_task(task, clamped_indices, clamped_values)
+        # A non-default backend fits through the block seam even on the
+        # materialized task (one-block stream over the live task.X).
+        dense_source = (
+            DenseBlockSource(task) if self.backend is not None else None
+        )
         while True:
             n_rounds += 1
-            solver = self._make_solver(task, clamped_indices, clamped_values)
-            y, w, scores, round_trace = self._alternate(
-                task, solver, y, clamped_indices, clamped_values, state=state
-            )
+            if dense_source is not None:
+                y, w, scores, round_trace = self._alternate_backend(
+                    dense_source, clamped_indices, clamped_values, y,
+                    state=state,
+                )
+            else:
+                solver = self._make_solver(task, clamped_indices, clamped_values)
+                y, w, scores, round_trace = self._alternate(
+                    task, solver, y, clamped_indices, clamped_values, state=state
+                )
             trace.extend(round_trace)
             if self.oracle.remaining <= 0:
                 break

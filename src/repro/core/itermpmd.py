@@ -26,7 +26,13 @@ from repro.core.base import AlignmentModel, AlignmentResult, AlignmentTask
 from repro.engine.streaming import StreamedAlignmentTask
 from repro.exceptions import ModelError
 from repro.matching.greedy import greedy_link_selection
-from repro.ml.ridge import GramRidgeSolver, RidgeSolver
+from repro.ml.backends import (
+    DenseBlockSource,
+    ModelBackend,
+    RidgeBackend,
+    make_backend,
+)
+from repro.ml.ridge import RidgeSolver
 from repro.types import LinkPair, NodeId
 
 
@@ -111,6 +117,16 @@ class IterMPMD(AlignmentModel):
         by the sea of zero targets — the standard PU class-weighting
         remedy; a float fixes it explicitly, and ``1.0`` recovers the
         paper's unweighted objective.
+    backend:
+        Model backend of the internal fit step (see
+        :mod:`repro.ml.backends`): ``None`` (the default) keeps the
+        paper's closed-form ridge and is byte-identical to the
+        pre-backend code; a name (``"ridge"``, ``"svm"``) or a
+        :class:`~repro.ml.backends.ModelBackend` instance swaps the
+        model — the alternating loop, the streamed block plumbing and
+        the greedy relabeling are unchanged.  Backends score on their
+        own scale (an SVM's decision boundary is 0, not 0.5), so pair a
+        non-ridge backend with a matching ``positive_threshold``.
     """
 
     def __init__(
@@ -120,6 +136,7 @@ class IterMPMD(AlignmentModel):
         tol: float = 0.5,
         positive_threshold: float = 0.5,
         positive_weight="balanced",
+        backend=None,
     ) -> None:
         super().__init__()
         if max_iterations < 1:
@@ -133,19 +150,66 @@ class IterMPMD(AlignmentModel):
         self.tol = float(tol)
         self.positive_threshold = float(positive_threshold)
         self.positive_weight = positive_weight
+        self.backend = backend
+        self._backend_instance: Optional[ModelBackend] = None
+        self._pending_backend_state: Optional[dict] = None
         self.weights_: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Backend plumbing
+    # ------------------------------------------------------------------
+    def _resolved_backend(self) -> ModelBackend:
+        """The model's backend instance (built once, reused per round).
+
+        A single instance lives for the whole fit so sticky state — a
+        fitted feature map's landmark sample, the last dual solution —
+        carries across query rounds; checkpoint resume injects restored
+        state here before the first round runs.
+        """
+        if self._backend_instance is None:
+            spec = self.backend
+            if spec is None:
+                instance: ModelBackend = RidgeBackend(c=self.c)
+            elif isinstance(spec, str):
+                instance = make_backend(spec, c=self.c)
+            elif isinstance(spec, ModelBackend):
+                instance = spec
+            else:
+                raise ModelError(
+                    f"backend must be None, a name or a ModelBackend, "
+                    f"got {spec!r}"
+                )
+            if self._pending_backend_state is not None:
+                instance.load_state_dict(self._pending_backend_state)
+                self._pending_backend_state = None
+            self._backend_instance = instance
+        return self._backend_instance
 
     def _sample_weight(
         self,
         n_candidates: int,
         clamped_indices: np.ndarray,
         clamped_values: np.ndarray,
+        population: Optional[int] = None,
     ) -> Optional[np.ndarray]:
-        """Per-sample ridge weights, or ``None`` for the unweighted case."""
+        """Per-sample ridge weights, or ``None`` for the unweighted case.
+
+        ``population`` overrides the candidate pool the ``"balanced"``
+        ratio is computed against: ``None`` (the ridge/PU case) balances
+        positives against all |H| pseudo-labeled candidates, while a
+        ``"labeled"`` backend — which trains on the clamped rows only —
+        passes the clamped-set size, so the ratio reflects the actual
+        training class balance rather than the sea of unlabeled rows.
+        The returned vector is always over all candidates (labeled
+        backends slice it at their training indices).
+        """
         positives = clamped_indices[clamped_values == 1]
         if self.positive_weight == "balanced":
-            n_other = n_candidates - positives.size
+            total = n_candidates if population is None else int(population)
+            n_other = total - positives.size
             weight = n_other / positives.size if positives.size else 1.0
+            if weight <= 0:
+                weight = 1.0
         else:
             weight = float(self.positive_weight)
         if weight == 1.0:
@@ -247,27 +311,60 @@ class IterMPMD(AlignmentModel):
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[float]]:
         """Run the alternating loop over streamed feature blocks.
 
-        The ridge step works from the block-accumulated Gram matrix
-        ``XᵀΩX`` (factorized once per call) and a block-accumulated
-        right-hand side ``XᵀΩy`` per solve; scoring streams ``Xw``
-        block by block.  No |H| x d matrix is ever allocated.
+        The fit step goes through the model backend
+        (:mod:`repro.ml.backends`): the default ridge backend works
+        from the block-accumulated Gram matrix ``XᵀΩX`` (factorized
+        once per call) and a block-accumulated right-hand side ``XᵀΩy``
+        per solve, scoring ``Xw`` block by block — byte-identical to
+        the pre-backend hardwired path.  Other backends (streamed SVM,
+        kernel-mapped solvers) plug into the very same loop.  No
+        |H| x d matrix is ever allocated.
+        """
+        return self._alternate_backend(
+            task, clamped_indices, clamped_values, y, state=state
+        )
+
+    def _alternate_backend(
+        self,
+        source,
+        clamped_indices: np.ndarray,
+        clamped_values: np.ndarray,
+        y: np.ndarray,
+        state: Optional[AlternatingState] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[float]]:
+        """Alternating loop over any block source, through the backend.
+
+        ``source`` is a :class:`~repro.engine.streaming.StreamedAlignmentTask`
+        or a :class:`~repro.ml.backends.DenseBlockSource`-wrapped task.
+        ``"labeled"`` backends (SVM) receive the clamped set as their
+        training rows — the supervised semantics of the paper's SVM
+        baselines inside the query loop; ``"all"`` backends (ridge)
+        regress on every candidate's pseudo-label, the PU semantics.
         """
         if state is None:
             state = AlternatingState.from_task(
-                task, clamped_indices, clamped_values
+                source, clamped_indices, clamped_values
             )
-        sample_weight = self._sample_weight(
-            task.n_candidates, clamped_indices, clamped_values
+        backend = self._resolved_backend()
+        train_indices = (
+            clamped_indices if backend.trains_on == "labeled" else None
         )
-        solver = GramRidgeSolver(task.gram(sample_weight), c=self.c)
-
-        def solve(labels: np.ndarray) -> np.ndarray:
-            target = (
-                labels if sample_weight is None else labels * sample_weight
-            )
-            return solver.solve_rhs(task.xt_dot(target))
-
-        return self._alternation_loop(state, y, solve=solve, score=task.scores)
+        sample_weight = self._sample_weight(
+            source.n_candidates,
+            clamped_indices,
+            clamped_values,
+            # A labeled backend trains on the clamped rows only; balance
+            # its positives against that training set, not against |H|.
+            population=(
+                clamped_indices.size if train_indices is not None else None
+            ),
+        )
+        backend.begin(
+            source, sample_weight=sample_weight, train_indices=train_indices
+        )
+        return self._alternation_loop(
+            state, y, solve=backend.fit, score=backend.scores
+        )
 
     def _initial_labels(
         self,
@@ -285,13 +382,35 @@ class IterMPMD(AlignmentModel):
         """Fit on a task using only its known labels (PU setting).
 
         A :class:`~repro.engine.streaming.StreamedAlignmentTask` is
-        dispatched to :meth:`fit_streamed`.
+        dispatched to :meth:`fit_streamed`.  With a non-default
+        ``backend`` the materialized matrix is served as a one-block
+        stream, so dense and streamed fits share the backend code path.
         """
         if isinstance(task, StreamedAlignmentTask):
             return self.fit_streamed(task)
         self.task_ = task
-        solver = self._make_solver(task, task.labeled_indices, task.labeled_values)
         y = self._initial_labels(task, task.labeled_indices, task.labeled_values)
+        if self.backend is not None:
+            state = AlternatingState.from_task(
+                task, task.labeled_indices, task.labeled_values
+            )
+            y, w, scores, trace = self._alternate_backend(
+                DenseBlockSource(task),
+                task.labeled_indices,
+                task.labeled_values,
+                y,
+                state=state,
+            )
+            self.weights_ = w
+            self.result_ = AlignmentResult(
+                labels=y.astype(np.int64),
+                scores=scores,
+                queried=(),
+                convergence_trace=tuple(trace),
+                n_rounds=1,
+            )
+            return self
+        solver = self._make_solver(task, task.labeled_indices, task.labeled_values)
         y, w, scores, trace = self._alternate(
             task, solver, y, task.labeled_indices, task.labeled_values
         )

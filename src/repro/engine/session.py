@@ -32,6 +32,7 @@ products/Hadamards/sums of integers below 2**53 are exact in float64.
 
 from __future__ import annotations
 
+import logging
 import threading
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -68,12 +69,18 @@ from repro.store.procwork import (
 )
 from repro.types import LinkPair
 
+logger = logging.getLogger(__name__)
+
 #: Session state-dict format, for checkpoint compatibility checks.
-#: Version 2 added the evolution log (version-1 snapshots still load).
-_STATE_FORMAT_VERSION = 2
+#: Version 2 added the evolution log; version 3 marks the model-backend
+#: era — snapshots are structurally unchanged, but the fallback counter
+#: joined the stats block and active-loop checkpoints may now carry
+#: model-backend state alongside the session.  Version 1/2 snapshots
+#: still load.
+_STATE_FORMAT_VERSION = 3
 
 #: State-dict versions :meth:`AlignmentSession.load_state_dict` accepts.
-_LOADABLE_STATE_VERSIONS = (1, 2)
+_LOADABLE_STATE_VERSIONS = (1, 2, 3)
 
 #: How many delta events the dirty-region log retains; consumers whose
 #: marker fell off the log get a conservative "everything dirty" answer.
@@ -95,6 +102,13 @@ class SessionStats:
     full_recounts:
         Structure count matrices evaluated from scratch (initial
         evaluation included).
+    fallback_invalidations:
+        Materialized structures an update *dropped* because the sparse
+        delta path could not serve it (a fold switch, a delta on a
+        non-delta-capable expression, a removal-style change) — every
+        one forces a later full recount, so this is the counter that
+        makes the silent slow path visible (it is also logged and
+        recorded in experiment runtime metadata).
     columns_refreshed:
         Feature-matrix columns rewritten in place by
         :meth:`AlignmentSession.refresh_features`.
@@ -106,6 +120,7 @@ class SessionStats:
     network_updates: int = 0
     delta_updates: int = 0
     full_recounts: int = 0
+    fallback_invalidations: int = 0
     columns_refreshed: int = 0
     extract_calls: int = 0
 
@@ -116,6 +131,7 @@ class SessionStats:
             f"network_updates={self.network_updates} "
             f"delta_updates={self.delta_updates} "
             f"full_recounts={self.full_recounts} "
+            f"fallback_invalidations={self.fallback_invalidations} "
             f"columns_refreshed={self.columns_refreshed} "
             f"extract_calls={self.extract_calls}"
         )
@@ -534,6 +550,7 @@ class AlignmentSession:
 
         delta_structures: List[_Structure] = []
         invalidated_visible = False
+        fallbacks: List[str] = []
         for structure in self._structures:
             if not structure.anchor_dependent:
                 continue
@@ -546,8 +563,11 @@ class AlignmentSession:
             else:
                 # A never-materialized structure has nothing cached
                 # downstream; dropping it is invisible to consumers.
-                invalidated_visible |= structure.counts is not None
+                if structure.counts is not None:
+                    invalidated_visible = True
+                    fallbacks.append(structure.name)
                 self._invalidate_structure(structure)
+        self._log_fallbacks("anchor update", fallbacks)
         # The per-structure delta expressions are independent (the
         # shared A-free sub-products are served by the memoizing
         # engine), so their evaluation — the expensive spgemm work —
@@ -570,6 +590,27 @@ class AlignmentSession:
             delta_structures, changes, invalidated_visible
         )
         return True
+
+    def _log_fallbacks(self, cause: str, names: List[str]) -> None:
+        """Count and log one update's full-recount fallbacks.
+
+        An update that drops a *materialized* structure instead of
+        delta-patching it silently converts an O(delta) refresh into a
+        later O(nnz) recount; the counter (surfaced in
+        :meth:`SessionStats.summary`, the ``engine`` CLI diagnostics
+        and experiment runtime metadata) and the log line make that
+        slow path observable.
+        """
+        if not names:
+            return
+        with self._state_lock:
+            self.stats.fallback_invalidations += len(names)
+        logger.info(
+            "%s fell back to full recount for %d structure(s): %s",
+            cause,
+            len(names),
+            ", ".join(names),
+        )
 
     def _invalidate_structure(self, structure: _Structure) -> None:
         """Drop one structure's cached counts, views and store slots.
@@ -794,10 +835,15 @@ class AlignmentSession:
             self._rebind_view_keys()
         for structure in self._structures:
             self._pad_structure(structure, counts_shape)
-        invalidated_visible = False
+        fallbacks = [
+            structure.name
+            for structure in invalidated
+            if structure.counts is not None
+        ]
+        invalidated_visible = bool(fallbacks)
         for structure in invalidated:
-            invalidated_visible |= structure.counts is not None
             self._invalidate_structure(structure)
+        self._log_fallbacks("network delta", fallbacks)
         self._apply_structure_changes(
             delta_structures, changes, invalidated_visible
         )

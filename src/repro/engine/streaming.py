@@ -10,7 +10,10 @@ the candidate list and the labeled indices, but features are
 only dense objects ever produced are
 
 * the d x d (weighted) Gram matrix ``XᵀΩX`` and d-vectors ``Xᵀt``
-  accumulated for the closed-form ridge step, and
+  accumulated for the closed-form ridge step,
+* training-row gathers sized by the *label* budget (the streamed SVM
+  backend's working set — see :meth:`StreamedAlignmentTask.labeled_rows`
+  and :mod:`repro.ml.backends`), and
 * per-candidate *vectors* over H (scores, labels) that the alternating
   loop needs anyway.
 
@@ -47,7 +50,12 @@ from repro.engine.candidates import CandidateBlock, CandidateGenerator
 from repro.engine.parallel import ProcessExecutor
 from repro.engine.session import AlignmentSession
 from repro.exceptions import ModelError
-from repro.store.procwork import BlockDescriptor, extract_block_job
+from repro.ml.backends import LinearModelState, apply_model_state, gather_rows
+from repro.store.procwork import (
+    BlockDescriptor,
+    extract_block_job,
+    model_score_block_job,
+)
 from repro.types import LinkPair
 
 #: Sentinel accepted by the ``block_size`` knobs: measure throughput and
@@ -415,6 +423,56 @@ class StreamedAlignmentTask:
         self.partial_score_passes += 1
         self.blocks_rescored += rescored
         self._score_cache = (weights.copy(), scores.copy(), epoch)
+        return scores
+
+    def labeled_rows(self) -> np.ndarray:
+        """``X[labeled_indices]`` gathered in one block pass.
+
+        A convenience over :func:`~repro.ml.backends.gather_rows` for
+        parity checks and custom consumers.  Row values are copied
+        verbatim from their home blocks, so the gather is bit-identical
+        to fancy-indexing the materialized matrix.  (The built-in
+        ``"labeled"`` model backends call ``gather_rows`` directly with
+        their own — possibly grown — clamped index set rather than this
+        task-initial one.)
+        """
+        return gather_rows(self, self.labeled_indices)
+
+    def linear_model_scores(self, state: LinearModelState) -> np.ndarray:
+        """Whole-of-H scores of a picklable model state, block by block.
+
+        The model-backend scoring sweep: each raw feature block runs
+        through :func:`~repro.ml.backends.apply_model_state` (feature
+        map, scaler, linear form).  With a
+        :class:`~repro.engine.parallel.ProcessExecutor` and a
+        store-backed session the state ships to the workers alongside
+        the block descriptors
+        (:func:`~repro.store.procwork.model_score_block_job`), so SVM
+        decision passes and landmark transforms fan across processes;
+        the worker kernel is the same function, so results are
+        byte-identical to the inline sweep.
+        """
+        executor = self.session.executor
+        scores = np.empty(self.n_candidates, dtype=np.float64)
+        if (
+            isinstance(executor, ProcessExecutor)
+            and self.session.arena is not None
+        ):
+            spec = self.session.flush_store()
+            stream = executor.imap(
+                model_score_block_job,
+                (
+                    (spec, descriptor, state)
+                    for descriptor in self._block_descriptors()
+                ),
+            )
+        else:
+            stream = (
+                (offset, apply_model_state(state, X))
+                for offset, X in self.feature_blocks()
+            )
+        for offset, block_scores in stream:
+            scores[offset: offset + block_scores.shape[0]] = block_scores
         return scores
 
     def scored_blocks(

@@ -33,7 +33,12 @@ from repro.eval.significance import (
     compare_methods,
     comparison_table,
 )
-from repro.eval.sweeps import SweepRunner
+from repro.eval.sweeps import (
+    SweepRunner,
+    evolve_series,
+    evolve_sweep_methods,
+    run_evolve_sweep,
+)
 from repro.eval.report import (
     format_cell,
     format_single_outcome,
@@ -55,6 +60,9 @@ __all__ = [
     "PairedComparison",
     "ProtocolConfig",
     "SweepRunner",
+    "evolve_series",
+    "evolve_sweep_methods",
+    "run_evolve_sweep",
     "TimingPoint",
     "ascii_line_chart",
     "assign_folds",

@@ -37,6 +37,8 @@ from repro.engine.streaming import AUTO_BLOCK_SIZE, StreamedAlignmentTask
 from repro.exceptions import ExperimentError
 from repro.eval.protocol import ExperimentSplit, ProtocolConfig, build_splits
 from repro.meta.diagrams import standard_diagram_family
+from repro.ml.backends import BACKEND_NAMES, make_backend
+from repro.ml.kernels import FEATURE_MAP_NAMES
 from repro.ml.metrics import ClassificationReport, classification_report
 from repro.networks.aligned import AlignedPair, NetworkDelta
 
@@ -69,14 +71,28 @@ class MethodSpec:
     batch_size:
         Labels per query round k (active only).
     svm_C:
-        SVM regularization (svm only).
+        SVM regularization (svm methods and the ``"svm"`` model
+        backend).
     streamed:
         Run the fit over streamed candidate blocks instead of a
-        materialized feature matrix (active methods with full features
-        only).  Selected query sets match the materialized path.
+        materialized feature matrix.  Valid for every kind — active and
+        iterative fits stream through the model-backend seam, and the
+        SVM baselines gather only their labeled training rows.  Results
+        match the materialized path (byte-identically for SVMs and the
+        single-block ridge; selected query sets always agree).
     stream_block_size:
         Candidate block size of the streamed fit path; ``"auto"`` tunes
         it from a measured probe extraction.
+    model:
+        Model backend of the internal fit step for ``active`` and
+        ``iterative`` methods: ``"ridge"`` (the paper, default) or
+        ``"svm"`` (supervised SVM refits inside the query loop).
+        Meaningless for ``kind="svm"`` — that *is* the SVM baseline.
+    feature_map:
+        Optional kernel feature map name (``"nystroem"``, ``"fourier"``,
+        ``"poly"``, ``"linear"``) composed into the fit; streamed
+        methods fit the map from the block stream (Nyström landmarks
+        from a streamed reservoir sample).
     """
 
     name: str
@@ -88,6 +104,8 @@ class MethodSpec:
     svm_C: float = 1.0
     streamed: bool = False
     stream_block_size: object = 2048
+    model: str = "ridge"
+    feature_map: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("active", "iterative", "svm"):
@@ -98,9 +116,27 @@ class MethodSpec:
             raise ExperimentError("active methods need budget >= 1")
         if self.strategy not in _STRATEGIES:
             raise ExperimentError(f"unknown strategy {self.strategy!r}")
-        if self.streamed and (self.kind != "active" or self.features != "full"):
+        if self.model not in BACKEND_NAMES:
             raise ExperimentError(
-                "streamed fits support active methods with full features only"
+                f"unknown model backend {self.model!r}; "
+                f"choose from {BACKEND_NAMES}"
+            )
+        if self.kind == "svm" and self.model != "ridge":
+            raise ExperimentError(
+                "model= selects the alternating-loop backend of active/"
+                "iterative methods; kind='svm' already is the SVM baseline"
+            )
+        if self.feature_map is not None and (
+            self.feature_map not in FEATURE_MAP_NAMES
+        ):
+            raise ExperimentError(
+                f"unknown feature map {self.feature_map!r}; "
+                f"choose from {FEATURE_MAP_NAMES}"
+            )
+        if self.streamed and self.features != "full":
+            raise ExperimentError(
+                "streamed fits extract the full feature family; "
+                "features='paths' needs the materialized column subset"
             )
         if self.stream_block_size != AUTO_BLOCK_SIZE and (
             not isinstance(self.stream_block_size, int)
@@ -186,12 +222,22 @@ class RuntimeMetadata:
     peak_rss_bytes:
         Peak resident set size of the process at the end of the run
         (``0`` where the platform cannot report it).
+    full_recounts:
+        Structure count matrices the shared session evaluated from
+        scratch over the whole run (initial evaluations included).
+    fallback_invalidations:
+        Updates that dropped a materialized structure because the
+        sparse delta path could not serve them — the session's silent
+        slow path, surfaced into outcome JSON (see
+        :class:`~repro.engine.session.SessionStats`).
     """
 
     workers: int = 1
     executor: str = "serial"
     store_dir: Optional[str] = None
     peak_rss_bytes: int = 0
+    full_recounts: int = 0
+    fallback_invalidations: int = 0
 
 
 @dataclass
@@ -223,9 +269,22 @@ def _paths_feature_columns(family, include_bias: bool = True) -> List[int]:
 def _build_model(spec: MethodSpec, split: ExperimentSplit, seed: int) -> AlignmentModel:
     """Instantiate the model described by ``spec`` for one split."""
     if spec.kind == "svm":
-        return SVMAligner(C=spec.svm_C, seed=seed)
+        return SVMAligner(
+            C=spec.svm_C, seed=seed, feature_map=spec.feature_map
+        )
+    backend = None
+    if spec.model != "ridge" or spec.feature_map is not None:
+        backend = make_backend(
+            spec.model,
+            svm_C=spec.svm_C,
+            seed=seed,
+            feature_map=spec.feature_map,
+        )
+    # SVM decision scores live on the signed-margin scale; the greedy
+    # selector's positive threshold moves to the decision boundary.
+    positive_threshold = 0.0 if spec.model == "svm" else 0.5
     if spec.kind == "iterative":
-        return IterMPMD()
+        return IterMPMD(backend=backend, positive_threshold=positive_threshold)
     positives = {
         split.candidates[i]
         for i in range(len(split.candidates))
@@ -237,7 +296,11 @@ def _build_model(spec: MethodSpec, split: ExperimentSplit, seed: int) -> Alignme
     else:
         strategy = _STRATEGIES[spec.strategy]()
     return ActiveIter(
-        oracle=oracle, strategy=strategy, batch_size=spec.batch_size
+        oracle=oracle,
+        strategy=strategy,
+        batch_size=spec.batch_size,
+        backend=backend,
+        positive_threshold=positive_threshold,
     )
 
 
@@ -275,6 +338,9 @@ def run_split(
     results: Dict[str, Tuple[ClassificationReport, float]] = {}
     for spec in methods:
         if spec.streamed:
+            # Every kind rides the block stream: active/iterative fits
+            # go through the model-backend seam, SVM baselines gather
+            # only their labeled rows — no |H| x d matrix either way.
             task = StreamedAlignmentTask.from_pairs(
                 session,
                 list(split.candidates),
@@ -355,6 +421,7 @@ def run_evolve_scenario(
     schedule: Sequence[NetworkDelta],
     methods: Optional[Sequence[MethodSpec]] = None,
     seed: int = 0,
+    evaluate_every_event: bool = False,
 ) -> EvolveOutcome:
     """Serve an evolving network: drift, refresh, re-fit, compare.
 
@@ -365,6 +432,12 @@ def run_evolve_scenario(
     split before and after the drift, re-using the evolving session's
     counts both times; the timing race measures only the
     feature-maintenance work the two paths do per event.
+
+    With ``evaluate_every_event=True`` the lineup is additionally
+    re-evaluated after *each* scheduled delta — the drifting method
+    sweep (see :func:`repro.eval.sweeps.run_evolve_sweep`), one phase
+    per event.  Method evaluation time is excluded from the timing race
+    either way.
     """
     if methods is None:
         methods = [MethodSpec(name="Iter-MPMD", kind="iterative")]
@@ -387,7 +460,7 @@ def run_evolve_scenario(
                 _evolve_phase("initial", own_pair, split, methods, session, seed)
             )
         elapsed = 0.0
-        for delta in schedule:
+        for event_index, delta in enumerate(schedule, start=1):
             started = time.perf_counter()
             session.apply_network_delta(delta)
             if incremental:
@@ -395,6 +468,17 @@ def run_evolve_scenario(
             else:
                 X = session.extract(candidates)
             elapsed += time.perf_counter() - started
+            if incremental and evaluate_every_event:
+                phases.append(
+                    _evolve_phase(
+                        f"event {event_index}",
+                        own_pair,
+                        split,
+                        methods,
+                        session,
+                        seed,
+                    )
+                )
         if incremental:
             phases.append(
                 _evolve_phase("evolved", own_pair, split, methods, session, seed)
@@ -518,5 +602,7 @@ def run_experiment(
                 else None
             ),
             peak_rss_bytes=peak_rss_bytes(),
+            full_recounts=session.stats.full_recounts,
+            fallback_invalidations=session.stats.fallback_invalidations,
         )
     return outcome

@@ -12,6 +12,10 @@ Format history:
   (:class:`~repro.eval.experiment.RuntimeMetadata`: executor kind,
   workers, store directory, peak RSS).  Version-1 files load fine —
   their outcomes simply carry no runtime metadata.
+* **3** — the runtime block gains the session's full-recount counters
+  (``full_recounts``, ``fallback_invalidations``), so archived results
+  show when a run silently fell off the sparse delta path.  Version-1
+  and -2 files load fine — the new counters default to zero.
 """
 
 from __future__ import annotations
@@ -30,10 +34,10 @@ from repro.eval.protocol import ProtocolConfig
 from repro.exceptions import ExperimentError
 from repro.ml.metrics import ClassificationReport
 
-_FORMAT_VERSION = 2
+_FORMAT_VERSION = 3
 
 #: Versions :func:`outcome_from_dict` can read.
-_READABLE_VERSIONS = (1, 2)
+_READABLE_VERSIONS = (1, 2, 3)
 
 
 def outcome_to_dict(outcome: ExperimentOutcome) -> Dict:

@@ -5,23 +5,32 @@ Tables III/IV and Figure 5 are sweeps of one protocol parameter.
 every point (skipping points whose results already exist on disk), and
 collect the outcomes for table rendering.  Interrupted sweeps resume
 for free.
+
+:func:`run_evolve_sweep` is the *drifting* variant: instead of sweeping
+a protocol parameter over a frozen network, it sweeps the **network
+itself** through a scripted schedule of
+:class:`~repro.networks.aligned.NetworkDelta` events and re-evaluates
+the full method lineup — streamed SVM included — after every event,
+riding the evolve scenario's sparse-delta feature maintenance.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.eval.experiment import (
+    EvolveOutcome,
     ExperimentOutcome,
     MethodSpec,
+    run_evolve_scenario,
     run_experiment,
 )
 from repro.eval.persistence import load_outcome, save_outcome
 from repro.eval.protocol import ProtocolConfig
 from repro.exceptions import ExperimentError
-from repro.networks.aligned import AlignedPair
+from repro.networks.aligned import AlignedPair, NetworkDelta
 
 #: Sweepable ProtocolConfig fields.
 _AXES = ("np_ratio", "sample_ratio")
@@ -97,3 +106,61 @@ class SweepRunner:
         for value, outcome in self.outcomes.items():
             points.append((value, outcome.method(method).mean(metric)))
         return sorted(points, key=lambda item: item[0])
+
+
+def evolve_sweep_methods(budget: int = 20) -> List[MethodSpec]:
+    """The drifting sweep's default lineup.
+
+    One representative per family, including the streamed SVM path the
+    model-backend seam opened: the PU iterative model, the dense SVM
+    baseline, its streamed twin (labeled-row gathers + block scoring),
+    and a budgeted active method.
+    """
+    return [
+        MethodSpec(name="Iter-MPMD", kind="iterative"),
+        MethodSpec(name="SVM-MPMD", kind="svm"),
+        MethodSpec(name="SVM-MPMD-streamed", kind="svm", streamed=True),
+        MethodSpec(name=f"ActiveIter-{budget}", kind="active", budget=budget),
+    ]
+
+
+def run_evolve_sweep(
+    make_pair: Callable[[], AlignedPair],
+    config: ProtocolConfig,
+    schedule: Sequence[NetworkDelta],
+    methods: Optional[Sequence[MethodSpec]] = None,
+    seed: int = 0,
+) -> EvolveOutcome:
+    """Re-evaluate a method lineup at every scheduled network delta.
+
+    A thin sweep front-end over :func:`~repro.eval.experiment.run_evolve_scenario`
+    with per-event evaluation switched on: the outcome carries one
+    :class:`~repro.eval.experiment.EvolvePhase` per event (plus the
+    initial and final phases), so the per-method metric trajectory
+    across the drift can be tabulated like any other sweep axis.  The
+    delta-vs-recount exactness race of the underlying scenario is
+    preserved — the sweep adds evaluation points, never changing the
+    drift it measures.
+    """
+    if methods is None:
+        methods = evolve_sweep_methods()
+    return run_evolve_scenario(
+        make_pair,
+        config,
+        schedule,
+        methods=methods,
+        seed=seed,
+        evaluate_every_event=True,
+    )
+
+
+def evolve_series(
+    outcome: EvolveOutcome, method: str, metric: str = "f1"
+) -> List[tuple]:
+    """(phase name, metric) trajectory of one method across the drift."""
+    points = []
+    for phase in outcome.phases:
+        report = phase.reports.get(method)
+        if report is not None:
+            points.append((phase.name, report.as_dict()[metric]))
+    return points

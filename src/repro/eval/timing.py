@@ -540,12 +540,19 @@ def compare_streamed_fit(
     batch_size: int = 2,
     block_size: int = 256,
     seed: int = 13,
+    model: str = "ridge",
+    feature_map=None,
 ) -> StreamedFitComparison:
     """Race ActiveIter on a streamed task against the materialized task.
 
     Both fits share one split and identical strategies; the streamed
-    run never allocates the |H| x d matrix.
+    run never allocates the |H| x d matrix.  ``model``/``feature_map``
+    select the model backend (see :mod:`repro.ml.backends`) — both runs
+    ride the same backend configuration, so the race also demonstrates
+    streamed-vs-materialized agreement for SVM and kernelized fits.
     """
+    from repro.ml.backends import make_backend
+
     config = ProtocolConfig(
         np_ratio=np_ratio, sample_ratio=1.0, n_repeats=1, seed=seed
     )
@@ -559,8 +566,14 @@ def compare_streamed_fit(
     def run(streamed: bool):
         session = AlignmentSession(pair, known_anchors=split.train_positive_pairs)
         candidates = list(split.candidates)
-        model = ActiveIter(
-            LabelOracle(positives, budget=budget), batch_size=batch_size
+        backend = None
+        if model != "ridge" or feature_map is not None:
+            backend = make_backend(model, seed=seed, feature_map=feature_map)
+        model_ = ActiveIter(
+            LabelOracle(positives, budget=budget),
+            batch_size=batch_size,
+            backend=backend,
+            positive_threshold=0.0 if model == "svm" else 0.5,
         )
         if streamed:
             task = StreamedAlignmentTask(
@@ -577,9 +590,9 @@ def compare_streamed_fit(
                 labeled_values=split.truth[split.train_indices],
             )
         started = time.perf_counter()
-        model.fit(task)
+        model_.fit(task)
         elapsed = time.perf_counter() - started
-        return model, task, elapsed
+        return model_, task, elapsed
 
     materialized, _, materialized_seconds = run(streamed=False)
     streamed, streamed_task, streamed_seconds = run(streamed=True)

@@ -1,11 +1,35 @@
 """From-scratch machine learning primitives.
 
 Closed-form ridge regression (the paper's internal step 1-1), linear
-SVMs for the SVM-MP / SVM-MPMD baselines, feature scaling and the four
-evaluation metrics.
+SVMs for the SVM-MP / SVM-MPMD baselines, explicit kernel feature maps
+(including the streamed-fittable Nyström landmark map), feature scaling,
+the four evaluation metrics — and :mod:`repro.ml.backends`, the
+model-backend seam through which every model trains and scores from
+block streams.
 """
 
-from repro.ml.kernels import LinearMap, PolynomialMap, RandomFourierMap
+from repro.ml.backends import (
+    BACKEND_NAMES,
+    DenseBlockSource,
+    LinearModelState,
+    ModelBackend,
+    RidgeBackend,
+    StreamedLinearSVC,
+    SVMBackend,
+    apply_model_state,
+    as_block_source,
+    gather_rows,
+    make_backend,
+)
+from repro.ml.kernels import (
+    FEATURE_MAP_NAMES,
+    LinearMap,
+    NystroemMap,
+    PolynomialMap,
+    RandomFourierMap,
+    feature_map_from_state,
+    make_feature_map,
+)
 from repro.ml.metrics import (
     ClassificationReport,
     ConfusionCounts,
@@ -29,16 +53,31 @@ from repro.ml.scaling import StandardScaler
 from repro.ml.svm import LinearSVC, PegasosSVC
 
 __all__ = [
+    "BACKEND_NAMES",
     "ClassificationReport",
     "ConfusionCounts",
+    "DenseBlockSource",
+    "FEATURE_MAP_NAMES",
     "GramRidgeSolver",
     "LinearMap",
+    "LinearModelState",
     "LinearSVC",
+    "ModelBackend",
+    "NystroemMap",
     "PegasosSVC",
     "PolynomialMap",
     "RandomFourierMap",
+    "RidgeBackend",
     "RidgeSolver",
+    "SVMBackend",
     "StandardScaler",
+    "StreamedLinearSVC",
+    "apply_model_state",
+    "as_block_source",
+    "feature_map_from_state",
+    "gather_rows",
+    "make_backend",
+    "make_feature_map",
     "accuracy_score",
     "average_precision",
     "classification_report",

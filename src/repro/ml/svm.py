@@ -14,15 +14,107 @@ optimizers for the soft-margin linear SVM
 
 Both accept ``{0, 1}`` labels (the paper's label set) and remap them to
 ``{-1, +1}`` internally; ``predict`` returns ``{0, 1}``.
+
+The dual coordinate descent itself lives in
+:func:`dual_coordinate_descent`, which walks the design matrix as a
+*list of row blocks* rather than one contiguous array.  ``LinearSVC``
+calls it with a single block; the streamed model backend
+(:class:`repro.ml.backends.StreamedLinearSVC`) calls it with cached
+feature blocks — same rows, same update arithmetic, so the two are
+bit-identical given the seed and the concatenated row order.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import ModelError, NotFittedError
+
+
+def dual_coordinate_descent(
+    blocks: Sequence[np.ndarray],
+    signed: np.ndarray,
+    C: float,
+    max_iter: int,
+    tol: float,
+    seed: int,
+    sample_C: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, int]:
+    """LIBLINEAR dual coordinate descent over row blocks.
+
+    ``blocks`` hold the (already augmented) design rows; their
+    concatenation is the design matrix, which is never materialized —
+    each update reads exactly one row from its home block.  Every
+    floating-point operation is per-row, so the result depends only on
+    the concatenated row order, never on the block partition: any
+    chopping of the same rows yields bit-identical weights.
+
+    ``sample_C`` optionally gives each sample its own box constraint
+    ``0 <= alpha_i <= C_i`` (the standard per-sample cost weighting);
+    ``None`` uses the shared ``C`` and reproduces the unweighted
+    optimizer exactly.
+
+    Returns ``(w, n_iter)`` in the augmented design space.
+    """
+    offsets = np.concatenate(
+        [[0], np.cumsum([block.shape[0] for block in blocks])]
+    ).astype(np.int64)
+    n_samples = int(offsets[-1])
+    if signed.shape[0] != n_samples:
+        raise ModelError(
+            f"{signed.shape[0]} labels for {n_samples} design rows"
+        )
+    dim = blocks[0].shape[1]
+    single = blocks[0] if len(blocks) == 1 else None
+
+    alpha = np.zeros(n_samples)
+    w = np.zeros(dim)
+    # Squared norms; guard zero rows so the division below is safe.
+    q_diag = np.concatenate(
+        [np.einsum("ij,ij->i", block, block) for block in blocks]
+    )
+    box = np.full(n_samples, C) if sample_C is None else sample_C
+    rng = np.random.default_rng(seed)
+    order = np.arange(n_samples)
+
+    converged_at = max_iter
+    for iteration in range(max_iter):
+        rng.shuffle(order)
+        max_violation = 0.0
+        for i in order:
+            if q_diag[i] == 0.0 or box[i] == 0.0:
+                continue
+            if single is not None:
+                row = single[i]
+            else:
+                block_index = int(
+                    np.searchsorted(offsets, i, side="right") - 1
+                )
+                row = blocks[block_index][i - offsets[block_index]]
+            margin = signed[i] * (row @ w)
+            gradient = margin - 1.0
+            # Projected gradient for the box constraint 0<=alpha<=C_i.
+            if alpha[i] == 0.0:
+                projected = min(gradient, 0.0)
+            elif alpha[i] == box[i]:
+                projected = max(gradient, 0.0)
+            else:
+                projected = gradient
+            max_violation = max(max_violation, abs(projected))
+            if projected != 0.0:
+                old_alpha = alpha[i]
+                alpha[i] = min(
+                    max(old_alpha - gradient / q_diag[i], 0.0), box[i]
+                )
+                delta = (alpha[i] - old_alpha) * signed[i]
+                if delta != 0.0:
+                    w += delta * row
+        if max_violation < tol:
+            converged_at = iteration + 1
+            break
+    return w, converged_at
 
 
 def _validate_training_input(X: np.ndarray, y: np.ndarray) -> tuple:
@@ -98,44 +190,14 @@ class LinearSVC:
         design = X
         if self.fit_intercept:
             design = np.hstack([X, np.ones((n_samples, 1))])
-        dim = design.shape[1]
-
-        alpha = np.zeros(n_samples)
-        w = np.zeros(dim)
-        # Squared norms; guard zero rows so the division below is safe.
-        q_diag = np.einsum("ij,ij->i", design, design)
-        rng = np.random.default_rng(self.seed)
-        order = np.arange(n_samples)
-
-        converged_at = self.max_iter
-        for iteration in range(self.max_iter):
-            rng.shuffle(order)
-            max_violation = 0.0
-            for i in order:
-                if q_diag[i] == 0.0:
-                    continue
-                margin = signed[i] * (design[i] @ w)
-                gradient = margin - 1.0
-                # Projected gradient for the box constraint 0<=alpha<=C.
-                if alpha[i] == 0.0:
-                    projected = min(gradient, 0.0)
-                elif alpha[i] == self.C:
-                    projected = max(gradient, 0.0)
-                else:
-                    projected = gradient
-                max_violation = max(max_violation, abs(projected))
-                if projected != 0.0:
-                    old_alpha = alpha[i]
-                    alpha[i] = min(
-                        max(old_alpha - gradient / q_diag[i], 0.0), self.C
-                    )
-                    delta = (alpha[i] - old_alpha) * signed[i]
-                    if delta != 0.0:
-                        w += delta * design[i]
-            if max_violation < self.tol:
-                converged_at = iteration + 1
-                break
-        self.n_iter_ = converged_at
+        w, self.n_iter_ = dual_coordinate_descent(
+            [design],
+            signed,
+            C=self.C,
+            max_iter=self.max_iter,
+            tol=self.tol,
+            seed=self.seed,
+        )
 
         if self.fit_intercept:
             self.coef_ = w[:-1].copy()

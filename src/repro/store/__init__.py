@@ -28,6 +28,7 @@ from repro.store.procwork import (
     col_sums_slot,
     counts_slot,
     extract_block_job,
+    model_score_block_job,
     row_sums_slot,
     score_block_job,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "col_sums_slot",
     "counts_slot",
     "extract_block_job",
+    "model_score_block_job",
     "peak_rss_bytes",
     "row_sums_slot",
     "score_block_job",

@@ -8,7 +8,10 @@ work.  :class:`SessionCheckpoint` makes the loop durable:
   (known anchors, folded counts, pending deltas — see
   :meth:`~repro.engine.session.AlignmentSession.state_dict`) together
   with an opaque *payload* of loop state (clamped labels, bought
-  queries, the label vector, oracle answers, strategy RNG state);
+  queries, the label vector, oracle answers, strategy RNG state, and —
+  since session/active state v3 — the model-backend state: dual
+  coefficients, the landmark sample and map statistics of a fitted
+  kernel map, so resume is byte-identical for non-ridge models too);
 * the write is **atomic** — a temporary file ``os.replace``-d over the
   previous checkpoint — so a crash mid-save leaves the prior round's
   checkpoint intact, never a torn file;

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.exceptions import StoreError
 from repro.meta.proximity import csr_values_at, dice_scores
+from repro.ml.backends import LinearModelState, apply_model_state
 from repro.store.arena import MatrixArena
 from repro.types import LinkPair
 
@@ -235,6 +236,27 @@ def score_block_job(
     state = _state_for(spec)
     X = state.features(descriptor.left_indices, descriptor.right_indices)
     return descriptor.offset, X @ weights
+
+
+def model_score_block_job(
+    item: Tuple[ArenaSpec, BlockDescriptor, LinearModelState],
+) -> Tuple[int, np.ndarray]:
+    """Score one block through a full model state in a worker process.
+
+    The model-backend seam's process work unit: features come off the
+    shared arena, and the (picklable, plain-array)
+    :class:`~repro.ml.backends.LinearModelState` carries everything a
+    non-trivial model needs — a fitted feature map (e.g. Nyström
+    landmarks, so the landmark transform itself runs worker-side),
+    scaler statistics, linear coefficients.  The scoring kernel is
+    :func:`~repro.ml.backends.apply_model_state`, the very function the
+    in-process path calls, so a process-pool sweep is byte-identical to
+    the inline one.
+    """
+    spec, descriptor, model_state = item
+    state = _state_for(spec)
+    X = state.features(descriptor.left_indices, descriptor.right_indices)
+    return descriptor.offset, apply_model_state(model_state, X)
 
 
 @dataclass(frozen=True)

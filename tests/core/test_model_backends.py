@@ -1,0 +1,262 @@
+"""Integration tests for the model-backend seam across the core loops.
+
+Streamed-vs-dense parity for every backend (SVM byte-identical given
+the seed, kernel maps within tolerance), model-agnostic alternating and
+active loops, and checkpoint/resume byte-identity for non-ridge models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.active.oracle import LabelOracle
+from repro.core.activeiter import ActiveIter
+from repro.core.base import AlignmentTask
+from repro.core.itermpmd import IterMPMD
+from repro.core.svm_baselines import SVMAligner
+from repro.engine import AlignmentSession, StreamedAlignmentTask
+from repro.eval.protocol import ProtocolConfig, build_splits
+from repro.exceptions import CheckpointInterrupt, ModelError
+from repro.meta.diagrams import standard_diagram_family
+from repro.ml.backends import make_backend
+from repro.store import SessionCheckpoint
+
+
+@pytest.fixture()
+def split_session(tiny_synthetic_pair):
+    """One protocol split plus a session anchored to its training set."""
+    config = ProtocolConfig(np_ratio=5, sample_ratio=1.0, n_repeats=1, seed=3)
+    split = next(iter(build_splits(tiny_synthetic_pair, config)))
+    session = AlignmentSession(
+        tiny_synthetic_pair,
+        family=standard_diagram_family(),
+        known_anchors=split.train_positive_pairs,
+    )
+    return split, session
+
+
+def _dense_task(split, session):
+    candidates = list(split.candidates)
+    return AlignmentTask(
+        pairs=candidates,
+        X=session.extract(candidates),
+        labeled_indices=split.train_indices,
+        labeled_values=split.truth[split.train_indices],
+    )
+
+
+def _streamed_task(split, session, block_size=17):
+    return StreamedAlignmentTask.from_pairs(
+        session,
+        list(split.candidates),
+        split.train_indices,
+        split.truth[split.train_indices],
+        block_size=block_size,
+    )
+
+
+class TestStreamedSVMAligner:
+    def test_byte_identical_to_dense(self, split_session):
+        """The streamed SVM baseline is bit-identical to the dense one:
+        gathered training rows, scaler statistics and every DCD update
+        agree byte for byte; labels follow."""
+        split, session = split_session
+        dense = SVMAligner(seed=0).fit(_dense_task(split, session))
+        streamed = SVMAligner(seed=0).fit(_streamed_task(split, session))
+        assert np.array_equal(dense.svc_.coef_, streamed.svc_.coef_)
+        assert dense.svc_.intercept_ == streamed.svc_.intercept_
+        assert np.array_equal(dense.labels_, streamed.labels_)
+        # Scores agree to BLAS shape-rounding (one ulp), never more.
+        assert np.abs(dense.scores_ - streamed.scores_).max() < 1e-12
+
+    def test_block_partition_invariance(self, split_session):
+        split, session = split_session
+        a = SVMAligner(seed=1).fit(_streamed_task(split, session, 7))
+        b = SVMAligner(seed=1).fit(_streamed_task(split, session, 64))
+        assert np.array_equal(a.svc_.coef_, b.svc_.coef_)
+        assert np.array_equal(a.labels_, b.labels_)
+
+    @pytest.mark.parametrize("map_name", ["nystroem", "fourier", "poly"])
+    def test_kernel_map_parity_within_tolerance(
+        self, split_session, map_name
+    ):
+        """Kernelized fits stream within 1e-8 of the dense path (the
+        map itself is fitted identically; only multi-block product
+        rounding differs)."""
+        split, session = split_session
+        dense = SVMAligner(seed=0, feature_map=map_name).fit(
+            _dense_task(split, session)
+        )
+        streamed = SVMAligner(seed=0, feature_map=map_name).fit(
+            _streamed_task(split, session)
+        )
+        assert np.abs(dense.scores_ - streamed.scores_).max() <= 1e-8
+        assert np.array_equal(dense.labels_, streamed.labels_)
+
+    def test_refit_on_new_task_refits_the_map(self, tiny_synthetic_pair):
+        """A model instance refit on a different task must not leak the
+        previous task's landmark sample: the second fit has to match a
+        fresh aligner's fit on the same task."""
+        config_a = ProtocolConfig(np_ratio=5, n_repeats=1, seed=3)
+        config_b = ProtocolConfig(np_ratio=5, n_repeats=1, seed=9)
+        split_a = next(iter(build_splits(tiny_synthetic_pair, config_a)))
+        split_b = next(iter(build_splits(tiny_synthetic_pair, config_b)))
+        session = AlignmentSession(
+            tiny_synthetic_pair,
+            family=standard_diagram_family(),
+            known_anchors=split_a.train_positive_pairs,
+        )
+        reused = SVMAligner(seed=0, feature_map="nystroem")
+        reused.fit(_dense_task(split_a, session))
+        first_landmarks = reused.backend.feature_map.landmarks_.copy()
+        session.set_anchors(split_b.train_positive_pairs)
+        reused.fit(_dense_task(split_b, session))
+        fresh = SVMAligner(seed=0, feature_map="nystroem").fit(
+            _dense_task(split_b, session)
+        )
+        assert not np.array_equal(
+            first_landmarks, reused.backend.feature_map.landmarks_
+        )
+        assert np.array_equal(reused.scores_, fresh.scores_)
+        assert np.array_equal(reused.labels_, fresh.labels_)
+
+    def test_scale_free_variant(self, split_session):
+        split, session = split_session
+        dense = SVMAligner(seed=0, scale_features=False).fit(
+            _dense_task(split, session)
+        )
+        streamed = SVMAligner(seed=0, scale_features=False).fit(
+            _streamed_task(split, session)
+        )
+        assert np.array_equal(dense.svc_.coef_, streamed.svc_.coef_)
+        assert streamed.scaler_ is None
+
+
+class TestBackendAlternatingLoop:
+    def test_svm_backend_streamed_matches_dense(self, split_session):
+        split, session = split_session
+        dense = IterMPMD(backend="svm", positive_threshold=0.0).fit(
+            _dense_task(split, session)
+        )
+        streamed = IterMPMD(backend="svm", positive_threshold=0.0).fit(
+            _streamed_task(split, session)
+        )
+        assert np.array_equal(dense.weights_, streamed.weights_)
+        assert np.array_equal(dense.labels_, streamed.labels_)
+
+    def test_default_ridge_unchanged_by_seam(self, split_session):
+        """backend=None must stay byte-identical to an explicit ridge
+        backend — the rehomed solver is the same code path."""
+        split, session = split_session
+        default = IterMPMD().fit(_streamed_task(split, session))
+        explicit = IterMPMD(backend="ridge").fit(
+            _streamed_task(split, session)
+        )
+        assert np.array_equal(default.weights_, explicit.weights_)
+        assert np.array_equal(default.labels_, explicit.labels_)
+
+    def test_ridge_with_nystroem_map_parity(self, split_session):
+        split, session = split_session
+        dense = IterMPMD(
+            backend=make_backend("ridge", feature_map="nystroem", seed=0)
+        ).fit(_dense_task(split, session))
+        streamed = IterMPMD(
+            backend=make_backend("ridge", feature_map="nystroem", seed=0)
+        ).fit(_streamed_task(split, session))
+        assert np.abs(dense.scores_ - streamed.scores_).max() <= 1e-8
+        assert np.array_equal(dense.labels_, streamed.labels_)
+
+    def test_bad_backend_spec_rejected(self, split_session):
+        split, session = split_session
+        with pytest.raises(ModelError):
+            IterMPMD(backend=42).fit(_streamed_task(split, session))
+
+
+class TestActiveBackendCheckpoint:
+    def _build(self, pair, split, backend, checkpoint=None, budget=8):
+        positives = {
+            split.candidates[i]
+            for i in range(len(split.candidates))
+            if split.truth[i] == 1
+        }
+        session = AlignmentSession(
+            pair,
+            family=standard_diagram_family(),
+            known_anchors=split.train_positive_pairs,
+        )
+        task = _streamed_task(split, session, block_size=32)
+        model = ActiveIter(
+            LabelOracle(positives, budget=budget),
+            batch_size=2,
+            session=session,
+            refresh_features=True,
+            checkpoint=checkpoint,
+            backend=backend,
+            positive_threshold=0.0,
+        )
+        return model, task
+
+    @pytest.mark.parametrize(
+        "backend_spec",
+        ["svm", ("svm", "nystroem")],
+        ids=["svm", "svm+nystroem"],
+    )
+    def test_resume_byte_identical(
+        self, tiny_synthetic_pair, tmp_path, backend_spec
+    ):
+        """An interrupted SVM-backend active loop resumes byte-identically
+        — including the kernelized variant, whose landmark sample is
+        checkpointed backend state (refitting it from post-refresh
+        features would diverge)."""
+        config = ProtocolConfig(
+            np_ratio=5, sample_ratio=1.0, n_repeats=1, seed=3
+        )
+        split = next(iter(build_splits(tiny_synthetic_pair, config)))
+
+        def make_backend_instance():
+            if isinstance(backend_spec, tuple):
+                model, map_name = backend_spec
+                return make_backend(model, feature_map=map_name, seed=0)
+            return backend_spec
+
+        reference, reference_task = self._build(
+            tiny_synthetic_pair, split, make_backend_instance()
+        )
+        reference.fit(reference_task)
+        assert len(reference.queried_) > 0
+
+        interrupted, task = self._build(
+            tiny_synthetic_pair,
+            split,
+            make_backend_instance(),
+            checkpoint=SessionCheckpoint(tmp_path, interrupt_after=2),
+        )
+        with pytest.raises(CheckpointInterrupt):
+            interrupted.fit(task)
+
+        resumed, resumed_task = self._build(
+            tiny_synthetic_pair,
+            split,
+            make_backend_instance(),
+            checkpoint=SessionCheckpoint(tmp_path),
+        )
+        resumed.fit(resumed_task)
+        assert resumed.queried_ == reference.queried_
+        assert np.array_equal(resumed.labels_, reference.labels_)
+        assert np.array_equal(resumed.weights_, reference.weights_)
+
+    def test_checkpoint_payload_carries_backend_state(
+        self, tiny_synthetic_pair, tmp_path
+    ):
+        config = ProtocolConfig(
+            np_ratio=5, sample_ratio=1.0, n_repeats=1, seed=3
+        )
+        split = next(iter(build_splits(tiny_synthetic_pair, config)))
+        checkpoint = SessionCheckpoint(tmp_path, interrupt_after=1)
+        model, task = self._build(
+            tiny_synthetic_pair, split, "svm", checkpoint=checkpoint
+        )
+        with pytest.raises(CheckpointInterrupt):
+            model.fit(task)
+        _, payload = SessionCheckpoint(tmp_path).load()
+        assert payload["backend"]["kind"] == "svm"
+        assert payload["backend"]["svc"] is not None

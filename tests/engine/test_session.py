@@ -171,3 +171,35 @@ class TestCandidateViews:
         session.extract(pairs)
         session.extract(pairs)
         assert len(session._views) == 1
+
+
+class TestFallbackObservability:
+    def test_fold_switch_counts_fallback_invalidations(
+        self, tiny_synthetic_pair
+    ):
+        """Replacing the anchor set wholesale (a fold rotation) drops
+        every materialized anchor-dependent structure — each drop is a
+        future full recount and must be counted, not silent."""
+        anchors = sorted(tiny_synthetic_pair.anchors, key=repr)
+        session = AlignmentSession(
+            tiny_synthetic_pair, known_anchors=anchors[: len(anchors) // 2]
+        )
+        candidates = [(left, right) for left, right in anchors]
+        session.extract(candidates)  # materialize every structure
+        assert session.stats.fallback_invalidations == 0
+        # A disjoint anchor set forces the non-delta branch.
+        session.set_anchors(anchors[len(anchors) // 2:])
+        assert session.stats.fallback_invalidations > 0
+        assert "fallback_invalidations=" in session.stats.summary()
+
+    def test_incremental_anchor_growth_has_no_fallbacks(
+        self, tiny_synthetic_pair
+    ):
+        anchors = sorted(tiny_synthetic_pair.anchors, key=repr)
+        session = AlignmentSession(
+            tiny_synthetic_pair, known_anchors=anchors[:-1]
+        )
+        session.extract([(left, right) for left, right in anchors])
+        session.add_anchors([anchors[-1]])
+        assert session.stats.fallback_invalidations == 0
+        assert session.stats.delta_updates > 0

@@ -416,3 +416,52 @@ class TestStreamedFitEquivalence:
         assert threaded.queried_ == serial.queried_
         assert np.array_equal(threaded.scores_, serial.scores_)
         assert np.array_equal(threaded.labels_, serial.labels_)
+
+
+class TestLabeledRowsAndModelScores:
+    def test_labeled_rows_match_materialized_gather(
+        self, tiny_synthetic_pair
+    ):
+        split = _split_for(tiny_synthetic_pair)
+        session = AlignmentSession(
+            tiny_synthetic_pair, known_anchors=split.train_positive_pairs
+        )
+        candidates = list(split.candidates)
+        X = session.extract(candidates)
+        task = StreamedAlignmentTask.from_pairs(
+            session,
+            candidates,
+            split.train_indices,
+            split.truth[split.train_indices],
+            block_size=13,
+        )
+        assert np.array_equal(task.labeled_rows(), X[task.labeled_indices])
+
+    def test_linear_model_scores_inline_matches_manual(
+        self, tiny_synthetic_pair
+    ):
+        from repro.ml.backends import LinearModelState
+
+        split = _split_for(tiny_synthetic_pair)
+        session = AlignmentSession(
+            tiny_synthetic_pair, known_anchors=split.train_positive_pairs
+        )
+        candidates = list(split.candidates)
+        task = StreamedAlignmentTask.from_pairs(
+            session,
+            candidates,
+            split.train_indices,
+            split.truth[split.train_indices],
+            block_size=19,
+        )
+        rng = np.random.default_rng(1)
+        state = LinearModelState(
+            coef=rng.normal(size=task.n_features), intercept=-0.5
+        )
+        scores = task.linear_model_scores(state)
+        manual = np.empty(task.n_candidates)
+        for offset, block in task.feature_blocks():
+            manual[offset: offset + block.shape[0]] = (
+                block @ state.coef + state.intercept
+            )
+        assert np.array_equal(scores, manual)

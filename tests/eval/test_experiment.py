@@ -36,8 +36,6 @@ class TestMethodSpec:
         with pytest.raises(ExperimentError):
             MethodSpec(name="x", kind="active", budget=5, strategy="psychic")
         with pytest.raises(ExperimentError):
-            MethodSpec(name="x", kind="iterative", streamed=True)
-        with pytest.raises(ExperimentError):
             MethodSpec(
                 name="x", kind="active", budget=5, features="paths",
                 streamed=True,
@@ -47,6 +45,24 @@ class TestMethodSpec:
                 name="x", kind="active", budget=5, streamed=True,
                 stream_block_size=0,
             )
+        with pytest.raises(ExperimentError):
+            MethodSpec(name="x", kind="iterative", model="boosted")
+        with pytest.raises(ExperimentError):
+            MethodSpec(name="x", kind="svm", model="svm")
+        with pytest.raises(ExperimentError):
+            MethodSpec(name="x", kind="iterative", feature_map="sigmoid")
+
+    def test_streamed_valid_for_every_kind(self):
+        """Streamed fits are no longer active-only: the model-backend
+        seam streams iterative fits and the SVM baselines too."""
+        MethodSpec(name="x", kind="iterative", streamed=True)
+        MethodSpec(name="x", kind="svm", streamed=True)
+        MethodSpec(
+            name="x", kind="svm", streamed=True, feature_map="nystroem"
+        )
+        MethodSpec(
+            name="x", kind="active", budget=5, streamed=True, model="svm"
+        )
 
 
 class TestMethodResult:
@@ -101,6 +117,44 @@ class TestRunSplit:
         )
         results = run_split(tiny_synthetic_pair, split, [spec])
         assert 0.0 <= results["streamed"][0].f1 <= 1.0
+
+    def test_streamed_svm_matches_materialized(
+        self, tiny_synthetic_pair, split
+    ):
+        """The streamed SVM baseline produces the identical report — the
+        model-backend seam makes it bit-identical given the seed."""
+        dense = MethodSpec(name="dense", kind="svm")
+        streamed = MethodSpec(name="streamed", kind="svm", streamed=True,
+                              stream_block_size=64)
+        results = run_split(
+            tiny_synthetic_pair, split, [dense, streamed], seed=0
+        )
+        assert results["dense"][0].as_dict() == results["streamed"][0].as_dict()
+
+    def test_streamed_iterative_runs(self, tiny_synthetic_pair, split):
+        spec = MethodSpec(
+            name="iter-streamed", kind="iterative", streamed=True,
+            stream_block_size=64,
+        )
+        results = run_split(tiny_synthetic_pair, split, [spec])
+        assert 0.0 <= results["iter-streamed"][0].f1 <= 1.0
+
+    def test_svm_model_and_feature_map_specs_run(
+        self, tiny_synthetic_pair, split
+    ):
+        lineup = [
+            MethodSpec(name="svm-loop", kind="iterative", model="svm",
+                       streamed=True, stream_block_size=64),
+            MethodSpec(name="nystroem-svm", kind="svm",
+                       feature_map="nystroem", streamed=True,
+                       stream_block_size=64),
+            MethodSpec(name="active-svm", kind="active", budget=5,
+                       model="svm"),
+        ]
+        results = run_split(tiny_synthetic_pair, split, lineup, seed=0)
+        assert set(results) == {"svm-loop", "nystroem-svm", "active-svm"}
+        for report, _ in results.values():
+            assert 0.0 <= report.f1 <= 1.0
 
     def test_paths_features_are_column_subset(self, tiny_synthetic_pair, split):
         """SVM-MP must see exactly the path features plus bias."""
@@ -177,3 +231,33 @@ class TestRunExperiment:
         # Indirect check: the evaluation ran (report produced) and the
         # queried count is subtracted from the scored test set.
         assert results["a"][0].accuracy <= 1.0
+
+
+class TestEvolvePerEventEvaluation:
+    def test_per_event_phases(self):
+        from repro.datasets import foursquare_twitter_like
+        from repro.engine.evolution import scripted_delta_schedule
+        from repro.eval.experiment import run_evolve_scenario
+
+        # The scenario grows its pair in place, so build private copies
+        # rather than mutating the session-scoped fixture.
+        def make_pair():
+            return foursquare_twitter_like("tiny", seed=3)
+
+        schedule = scripted_delta_schedule(make_pair(), events=2, seed=5)
+        config = ProtocolConfig(
+            np_ratio=5, sample_ratio=1.0, n_repeats=1, seed=3
+        )
+        outcome = run_evolve_scenario(
+            make_pair,
+            config,
+            schedule,
+            methods=[MethodSpec(name="Iter-MPMD", kind="iterative")],
+            seed=0,
+            evaluate_every_event=True,
+        )
+        assert outcome.identical_features
+        names = [phase.name for phase in outcome.phases]
+        assert names == ["initial", "event 1", "event 2", "evolved"]
+        for phase in outcome.phases:
+            assert "Iter-MPMD" in phase.reports

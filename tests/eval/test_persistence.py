@@ -74,8 +74,9 @@ class TestRuntimeMetadata:
 
     def test_runtime_round_trips(self, outcome):
         payload = outcome_to_dict(outcome)
-        assert payload["format_version"] == 2
+        assert payload["format_version"] == 3
         assert payload["runtime"]["executor"] == "serial"
+        assert payload["runtime"]["fallback_invalidations"] >= 0
         restored = outcome_from_dict(payload)
         assert restored.runtime == outcome.runtime
 

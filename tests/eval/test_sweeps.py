@@ -74,3 +74,50 @@ class TestSweepRunner:
         )
         outcomes = runner.run([0.4, 1.0])
         assert outcomes[0.4].config.sample_ratio == 0.4
+
+
+class TestEvolveSweep:
+    def test_run_evolve_sweep_per_event_lineup(self):
+        from repro.datasets import foursquare_twitter_like
+        from repro.engine.evolution import scripted_delta_schedule
+        from repro.eval.experiment import MethodSpec
+        from repro.eval.protocol import ProtocolConfig
+        from repro.eval.sweeps import (
+            evolve_series,
+            evolve_sweep_methods,
+            run_evolve_sweep,
+        )
+
+        # The sweep grows its pair in place, so build private copies
+        # rather than mutating the session-scoped fixture.
+        def make_pair():
+            return foursquare_twitter_like("tiny", seed=3)
+
+        schedule = scripted_delta_schedule(make_pair(), events=2, seed=5)
+        config = ProtocolConfig(
+            np_ratio=5, sample_ratio=1.0, n_repeats=1, seed=3
+        )
+        methods = [
+            MethodSpec(name="Iter-MPMD", kind="iterative"),
+            MethodSpec(name="SVM-streamed", kind="svm", streamed=True,
+                       stream_block_size=64),
+        ]
+        outcome = run_evolve_sweep(
+            make_pair, config, schedule, methods=methods, seed=0
+        )
+        assert outcome.identical_features
+        # initial + one phase per event + evolved
+        assert len(outcome.phases) == len(schedule) + 2
+        for phase in outcome.phases:
+            assert set(phase.reports) == {"Iter-MPMD", "SVM-streamed"}
+        series = evolve_series(outcome, "SVM-streamed")
+        assert len(series) == len(outcome.phases)
+        assert all(0.0 <= value <= 1.0 for _, value in series)
+
+    def test_default_lineup_includes_streamed_svm(self):
+        from repro.eval.sweeps import evolve_sweep_methods
+
+        lineup = evolve_sweep_methods()
+        assert any(
+            spec.kind == "svm" and spec.streamed for spec in lineup
+        )

@@ -6,7 +6,15 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.exceptions import ModelError, NotFittedError
-from repro.ml.kernels import LinearMap, PolynomialMap, RandomFourierMap
+from repro.ml.kernels import (
+    FEATURE_MAP_NAMES,
+    LinearMap,
+    NystroemMap,
+    PolynomialMap,
+    RandomFourierMap,
+    feature_map_from_state,
+    make_feature_map,
+)
 
 
 def _data(seed=0, n=20, d=4):
@@ -112,3 +120,111 @@ class TestPipelineIntegration:
         task = pipeline.build_task(candidates, labeled)
         # 7 raw columns (6 paths + bias) -> 7 + 28 expanded.
         assert task.X.shape[1] == 7 + 7 * 8 // 2
+
+
+class TestNystroemMap:
+    def _data(self, seed=0, n=40, d=6):
+        return np.random.default_rng(seed).random((n, d))
+
+    def test_full_landmarks_reproduce_exact_kernel(self):
+        """With every row a landmark the implied kernel matrix is the
+        true one (up to eigensolver rounding) — the exactness
+        cross-check anchoring the Nystroem approximation."""
+        X = self._data()
+        for kernel in ("rbf", "poly", "linear"):
+            mapper = NystroemMap(
+                n_landmarks=X.shape[0], kernel=kernel, sigma=0.8,
+                seed=1, rcond=1e-12,
+            ).fit(X)
+            exact = mapper._kernel_matrix(X, X)
+            assert np.abs(exact - mapper.approximate_kernel(X, X)).max() < 1e-8
+
+    def test_streamed_fit_identical_to_dense_fit(self):
+        X = self._data(seed=2)
+        dense = NystroemMap(n_landmarks=16, seed=3).fit(X)
+        streamed = NystroemMap(n_landmarks=16, seed=3).fit_streamed(
+            [X[:7], X[7:26], X[26:]]
+        )
+        assert np.array_equal(dense.landmarks_, streamed.landmarks_)
+        assert np.array_equal(dense.normalization_, streamed.normalization_)
+
+    def test_reservoir_deterministic_and_seed_sensitive(self):
+        X = self._data(seed=4, n=60)
+        a = NystroemMap(n_landmarks=8, seed=5).fit(X)
+        b = NystroemMap(n_landmarks=8, seed=5).fit(X)
+        c = NystroemMap(n_landmarks=8, seed=6).fit(X)
+        assert np.array_equal(a.landmarks_, b.landmarks_)
+        assert not np.array_equal(a.landmarks_, c.landmarks_)
+
+    def test_fewer_rows_than_landmarks_uses_them_all(self):
+        X = self._data(n=5)
+        mapper = NystroemMap(n_landmarks=64).fit(X)
+        assert mapper.landmarks_.shape[0] == 5
+
+    def test_agrees_with_random_fourier_on_rbf(self):
+        """Two independent RBF approximations must roughly agree."""
+        X = self._data(seed=7, n=30)
+        nystroem = NystroemMap(
+            n_landmarks=30, sigma=1.0, seed=0, rcond=1e-12
+        ).fit(X)
+        fourier = RandomFourierMap(
+            n_components=4096, sigma=1.0, seed=0
+        ).fit(X)
+        exact = nystroem.approximate_kernel(X, X)
+        approx = fourier.approximate_kernel(X, X)
+        assert np.abs(exact - approx).mean() < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            NystroemMap(n_landmarks=0)
+        with pytest.raises(ModelError):
+            NystroemMap(kernel="sigmoid")
+        with pytest.raises(ModelError):
+            NystroemMap(sigma=0.0)
+        with pytest.raises(ModelError):
+            NystroemMap(rcond=0.0)
+        with pytest.raises(ModelError):
+            NystroemMap().fit(np.ones(3))
+        with pytest.raises(ModelError):
+            NystroemMap().fit_streamed([])
+        with pytest.raises(NotFittedError):
+            NystroemMap().transform(self._data())
+        mapper = NystroemMap().fit(self._data())
+        with pytest.raises(ModelError):
+            mapper.transform(self._data(d=3))
+
+    def test_state_roundtrip(self):
+        X = self._data(seed=8)
+        mapper = NystroemMap(n_landmarks=10, kernel="poly", seed=2).fit(X)
+        rebuilt = feature_map_from_state(mapper.state_dict())
+        assert isinstance(rebuilt, NystroemMap)
+        assert np.array_equal(rebuilt.transform(X), mapper.transform(X))
+
+
+class TestFeatureMapRegistry:
+    def test_names(self):
+        assert set(FEATURE_MAP_NAMES) == {
+            "linear", "poly", "fourier", "nystroem"
+        }
+
+    def test_factory_builds_each_kind(self):
+        assert isinstance(make_feature_map("linear"), LinearMap)
+        assert isinstance(make_feature_map("poly"), PolynomialMap)
+        assert isinstance(make_feature_map("fourier", seed=4), RandomFourierMap)
+        nystroem = make_feature_map("nystroem", seed=4)
+        assert isinstance(nystroem, NystroemMap)
+        assert nystroem.seed == 4
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(ModelError):
+            make_feature_map("sigmoid")
+        with pytest.raises(ModelError):
+            feature_map_from_state({"kind": "sigmoid"})
+
+    def test_every_map_state_roundtrips(self):
+        X = np.random.default_rng(0).random((12, 4))
+        for name in FEATURE_MAP_NAMES:
+            mapper = make_feature_map(name, seed=1)
+            mapper.fit(X)
+            rebuilt = feature_map_from_state(mapper.state_dict())
+            assert np.array_equal(rebuilt.transform(X), mapper.transform(X))

@@ -25,6 +25,7 @@ from repro.store import (
     ArenaSpec,
     BlockDescriptor,
     extract_block_job,
+    model_score_block_job,
     score_block_job,
 )
 from repro.types import Labeled
@@ -212,3 +213,76 @@ class TestProcessExactness:
             assert np.array_equal(
                 serial_task.scores(weights), process_task.scores(weights)
             )
+
+
+class TestModelScoreJob:
+    def test_model_state_scoring_process_vs_inline(
+        self, split_setup, tmp_path, process_executor
+    ):
+        """The model-backend work unit: a full LinearModelState (feature
+        map + scaler + coefficients) scores byte-identically whether the
+        blocks run through worker processes or inline — the SVM decision
+        pass and the landmark transform both cross the exec boundary."""
+        from repro.ml.backends import LinearModelState, apply_model_state
+        from repro.ml.kernels import NystroemMap
+        from repro.ml.scaling import StandardScaler
+
+        pair, split, _ = split_setup
+        with AlignmentSession(
+            pair,
+            known_anchors=split.train_positive_pairs,
+            store=tmp_path,
+            workers=process_executor,
+        ) as session:
+            task = StreamedAlignmentTask.from_pairs(
+                session,
+                list(split.candidates),
+                split.train_indices,
+                split.truth[split.train_indices],
+                block_size=32,
+            )
+            X = session.extract(list(split.candidates))
+            mapper = NystroemMap(n_landmarks=12, seed=1).fit(X)
+            scaler = StandardScaler().fit(mapper.transform(X))
+            rng = np.random.default_rng(0)
+            state = LinearModelState(
+                coef=rng.normal(size=scaler.mean_.shape[0]),
+                intercept=0.125,
+                map_state=mapper.state_dict(),
+                scaler_mean=scaler.mean_,
+                scaler_scale=scaler.scale_,
+            )
+            # Process path (ProcessExecutor + arena) ...
+            process_scores = task.linear_model_scores(state)
+            # ... vs the inline kernel over the same blocks.
+            inline = np.empty(task.n_candidates)
+            for offset, block in task.feature_blocks():
+                inline[offset: offset + block.shape[0]] = apply_model_state(
+                    state, block
+                )
+            assert np.array_equal(process_scores, inline)
+
+    def test_model_score_job_direct(self, split_setup, tmp_path):
+        from repro.ml.backends import LinearModelState
+
+        pair, split, _ = split_setup
+        with AlignmentSession(
+            pair, known_anchors=split.train_positive_pairs, store=tmp_path
+        ) as session:
+            spec = session.flush_store()
+            left, right = session.pair.pairs_to_indices(
+                list(split.candidates)[:9]
+            )
+            descriptor = BlockDescriptor(
+                offset=0, left_indices=left, right_indices=right
+            )
+            state = LinearModelState(
+                coef=np.ones(session.n_features), intercept=1.0
+            )
+            offset, scores = model_score_block_job((spec, descriptor, state))
+            expected = (
+                session.extract(list(split.candidates)[:9])
+                @ state.coef + 1.0
+            )
+            assert offset == 0
+            assert np.array_equal(scores, expected)

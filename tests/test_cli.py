@@ -212,3 +212,66 @@ class TestCommands:
                     str(tmp_path),
                 ]
             )
+
+
+class TestModelBackendCommands:
+    def test_experiment_command(self, capsys):
+        code = main(
+            [
+                "--scale", "tiny", "experiment",
+                "--np-ratio", "5", "--budget", "5",
+                "--model", "svm", "--streamed",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Custom lineup (model=svm" in out
+        assert "SVM-MPMD[streamed]" in out
+
+    def test_experiment_with_feature_map(self, capsys):
+        code = main(
+            [
+                "--scale", "tiny", "experiment",
+                "--np-ratio", "5", "--budget", "5",
+                "--feature-map", "nystroem",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "feature-map=nystroem" in out
+        assert "Iter-MPMD[ridge+nystroem]" in out
+
+    def test_engine_model_knob_races_streamed_fit(self, capsys):
+        code = main(
+            [
+                "--scale", "tiny", "engine",
+                "--budget", "4", "--np-ratio", "5",
+                "--model", "svm",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Streamed active fit vs materialized task" in out
+        assert "queried links identical: True" in out
+        assert "labels identical: True" in out
+
+    def test_evolve_sweep(self, capsys):
+        code = main(
+            ["--scale", "tiny", "evolve", "--events", "2", "--sweep"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SVM-MPMD-streamed" in out
+        assert "phase 'event 1'" in out
+        assert "features identical: True" in out
+
+    def test_evolve_model_knob(self, capsys):
+        code = main(
+            [
+                "--scale", "tiny", "evolve", "--events", "1",
+                "--model", "svm",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Iter-MPMD[svm]" in out
