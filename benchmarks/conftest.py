@@ -15,6 +15,7 @@ output capture.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -44,9 +45,21 @@ def pair():
     return foursquare_twitter_like(SCALE, seed=7)
 
 
-def publish(name: str, text: str) -> None:
-    """Print a result table and persist it under benchmarks/results/."""
+def publish(name: str, text: str, record: dict = None) -> None:
+    """Print a result table and persist it under benchmarks/results/.
+
+    ``record`` additionally lands as ``<name>.json`` — the
+    machine-readable side channel ``benchmarks/report_trend.py``
+    consolidates.  Convention: ``record["flags"]`` holds boolean
+    exactness gates (all must be true; the trend report fails
+    otherwise) and ``record["metrics"]`` holds numeric measurements.
+    """
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if record is not None:
+        payload = {"benchmark": name, **record}
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )

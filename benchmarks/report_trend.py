@@ -1,0 +1,122 @@
+"""Consolidate benchmark JSON records into one trend table.
+
+Benchmarks publish machine-readable records next to their text tables
+(``benchmarks/results/<name>.json``, written by ``conftest.publish``
+when a ``record`` is supplied).  This script folds every record it
+finds into a single table:
+
+* one **flags** section — the boolean exactness gates (byte-identical
+  features, per-event digest matches, zero fallback invalidations,
+  footprint bounds).  Any ``false`` flag is a correctness regression
+  and the script exits non-zero, which is how CI turns a silently
+  drifting benchmark artifact into a red build;
+* one **metrics** section — the numeric measurements (seconds,
+  speedups, byte counts), for eyeballing trends across runs.
+
+Usage::
+
+    python benchmarks/report_trend.py [--results-dir benchmarks/results]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+
+def load_records(results_dir: Path) -> List[Dict]:
+    """Parse every ``*.json`` record under ``results_dir``, sorted."""
+    records = []
+    for path in sorted(results_dir.glob("*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise SystemExit(f"unreadable benchmark record {path}: {error}")
+        if not isinstance(payload, dict) or "benchmark" not in payload:
+            raise SystemExit(
+                f"malformed benchmark record {path}: expected an object "
+                "with a 'benchmark' key"
+            )
+        records.append(payload)
+    return records
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "ok" if value else "FAIL"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def consolidate(records: List[Dict]) -> Tuple[str, List[str]]:
+    """Render the trend table; returns ``(table, failed_flags)``."""
+    flag_rows: List[Tuple[str, str, bool]] = []
+    metric_rows: List[Tuple[str, str, object]] = []
+    for record in records:
+        name = record["benchmark"]
+        for key, value in sorted(record.get("flags", {}).items()):
+            flag_rows.append((name, key, bool(value)))
+        for key, value in sorted(record.get("metrics", {}).items()):
+            metric_rows.append((name, key, value))
+    width = max(
+        [len(name) for name, _, _ in flag_rows + metric_rows] + [9]
+    )
+    key_width = max(
+        [len(key) for _, key, _ in flag_rows + metric_rows] + [4]
+    )
+    lines = [f"Benchmark trend report ({len(records)} records)"]
+    lines.append("")
+    lines.append("exactness flags:")
+    if not flag_rows:
+        lines.append("  (none recorded)")
+    for name, key, value in flag_rows:
+        lines.append(
+            f"  {name:<{width}}  {key:<{key_width}}  {_format_value(value)}"
+        )
+    lines.append("")
+    lines.append("metrics:")
+    if not metric_rows:
+        lines.append("  (none recorded)")
+    for name, key, value in metric_rows:
+        lines.append(
+            f"  {name:<{width}}  {key:<{key_width}}  {_format_value(value)}"
+        )
+    failed = [
+        f"{name}: {key}" for name, key, value in flag_rows if not value
+    ]
+    return "\n".join(lines), failed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=Path(__file__).parent / "results",
+        help="directory holding benchmark *.json records",
+    )
+    args = parser.parse_args(argv)
+    if not args.results_dir.is_dir():
+        print(f"no results directory at {args.results_dir}; nothing to report")
+        return 0
+    records = load_records(args.results_dir)
+    if not records:
+        print(f"no *.json records under {args.results_dir}; nothing to report")
+        return 0
+    table, failed = consolidate(records)
+    print(table)
+    if failed:
+        print()
+        print("EXACTNESS REGRESSIONS:")
+        for item in failed:
+            print(f"  {item}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,8 @@ Usage::
     python -m repro.cli validate  [--scale small]    # data integrity report
     python -m repro.cli stats     [--scale small]    # per-structure stats
     python -m repro.cli evolve    [--scale small] [--events 4]
-                                  [--np-ratio 10] [--sweep]
+                                  [--np-ratio 10] [--sweep] [--churn]
+                                  [--compact-every N] [--strict-deltas]
                                   [--model {ridge,svm}] [--feature-map MAP]
     python -m repro.cli experiment [--scale small] [--budget 50]
                                   [--model {ridge,svm}] [--feature-map MAP]
@@ -36,7 +37,11 @@ paper's ridge, or a streamed SVM) and ``--feature-map`` composes a
 kernel feature map (``nystroem``, ``fourier``, ``poly``) — both ride
 the streamed/parallel/process stack; see :mod:`repro.ml.backends`.
 ``evolve --sweep`` re-evaluates the full method lineup (streamed SVM
-included) at every scheduled network delta.
+included) at every scheduled network delta.  ``evolve --churn``
+switches to the adversarial grow/shrink schedule (node and edge
+removals plus attribute churn), ``--compact-every N`` auto-compacts
+the session every N events, and ``--strict-deltas`` cross-checks every
+event-sourced fold against a fresh export.
 
 ``engine checkpoint`` runs a deterministic active fit that snapshots
 its state to ``--store-dir`` after every query round
@@ -264,7 +269,10 @@ def _method_knob_lineup(args: argparse.Namespace):
 
 def cmd_evolve(args: argparse.Namespace) -> str:
     """Evolving-network scenario: scripted drift, delta vs full recount."""
-    from repro.engine.evolution import scripted_delta_schedule
+    from repro.engine.evolution import (
+        scripted_churn_schedule,
+        scripted_delta_schedule,
+    )
     from repro.eval.experiment import format_evolve_outcome, run_evolve_scenario
     from repro.eval.protocol import ProtocolConfig
     from repro.eval.sweeps import evolve_sweep_methods, run_evolve_sweep
@@ -279,14 +287,29 @@ def cmd_evolve(args: argparse.Namespace) -> str:
             return prebuilt.pop()
         return foursquare_twitter_like(scale=args.scale, seed=args.seed)
 
-    schedule = scripted_delta_schedule(
-        prebuilt[0],
-        events=args.events,
-        seed=args.seed,
-        users_per_event=args.users_per_event,
-        posts_per_event=args.posts_per_event,
-        edges_per_event=args.edges_per_event,
-    )
+    if args.churn:
+        schedule = scripted_churn_schedule(
+            prebuilt[0],
+            events=args.events,
+            seed=args.seed,
+            users_per_event=args.users_per_event,
+            posts_per_event=args.posts_per_event,
+            edges_per_event=args.edges_per_event,
+        )
+    else:
+        schedule = scripted_delta_schedule(
+            prebuilt[0],
+            events=args.events,
+            seed=args.seed,
+            users_per_event=args.users_per_event,
+            posts_per_event=args.posts_per_event,
+            edges_per_event=args.edges_per_event,
+        )
+    session_options = {}
+    if args.compact_every is not None:
+        session_options["compact_every"] = args.compact_every
+    if args.strict_deltas:
+        session_options["strict_deltas"] = True
     config = ProtocolConfig(
         np_ratio=args.np_ratio, sample_ratio=1.0, n_repeats=1, seed=args.seed
     )
@@ -296,7 +319,12 @@ def cmd_evolve(args: argparse.Namespace) -> str:
         # every scheduled delta.
         methods = evolve_sweep_methods() + (_method_knob_lineup(args) or [])
         outcome = run_evolve_sweep(
-            make_pair, config, schedule, methods=methods, seed=args.seed
+            make_pair,
+            config,
+            schedule,
+            methods=methods,
+            seed=args.seed,
+            session_options=session_options,
         )
     else:
         outcome = run_evolve_scenario(
@@ -305,6 +333,7 @@ def cmd_evolve(args: argparse.Namespace) -> str:
             schedule,
             methods=_method_knob_lineup(args),
             seed=args.seed,
+            session_options=session_options,
         )
     return format_evolve_outcome(outcome)
 
@@ -632,6 +661,32 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "re-evaluate the full method lineup (streamed SVM included) "
             "after every scheduled network delta"
+        ),
+    )
+    evolve.add_argument(
+        "--churn",
+        action="store_true",
+        help=(
+            "use the adversarial churn schedule (interleaved node/edge "
+            "removals and attribute churn) instead of pure growth"
+        ),
+    )
+    evolve.add_argument(
+        "--compact-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "auto-compact the session (drop tombstoned slots, truncate "
+            "the evolution log) every N applied events"
+        ),
+    )
+    evolve.add_argument(
+        "--strict-deltas",
+        action="store_true",
+        help=(
+            "verify every event-sourced delta fold against a fresh "
+            "matrix export (slow; for debugging custom schedules)"
         ),
     )
     _add_model_knobs(evolve)

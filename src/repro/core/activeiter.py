@@ -206,11 +206,12 @@ class ActiveIter(IterMPMD):
         return payload
 
     @staticmethod
-    def _session_marker(session) -> Tuple[int, int]:
+    def _session_marker(session) -> Tuple[int, int, int]:
         """Counters that change iff the session's count state changed."""
         return (
             session.stats.anchor_updates,
             session.stats.network_updates,
+            getattr(session.stats, "compactions", 0),
         )
 
     def _save_checkpoint(
@@ -222,6 +223,7 @@ class ActiveIter(IterMPMD):
         trace: List[float],
         y: np.ndarray,
         n_rounds: int,
+        evolution_position: int = 0,
     ) -> None:
         """Persist the loop state after one completed query round.
 
@@ -247,6 +249,7 @@ class ActiveIter(IterMPMD):
                 "trace": list(trace),
                 "y": y.copy(),
                 "n_rounds": n_rounds,
+                "evolution_position": int(evolution_position),
                 "oracle": self.oracle.snapshot(),
                 "strategy_state": (
                     self.strategy.snapshot_state()
@@ -264,18 +267,23 @@ class ActiveIter(IterMPMD):
     # ------------------------------------------------------------------
     # Network drift
     # ------------------------------------------------------------------
-    def _evolution_start(self) -> int:
+    def _evolution_start(self, resume: Optional[Dict] = None) -> int:
         """Schedule position to start from (skips resumed-over events).
 
-        A checkpoint restore replays the interrupted run's applied
-        schedule prefix into the session's evolution log, so the longest
-        schedule prefix matching a *suffix* of the log is exactly what
-        was already applied — the fit continues from there.  Deltas the
-        caller applied outside the schedule (a pre-drifted session)
-        match nothing and skip nothing.
+        A checkpoint payload carries the position explicitly (required
+        once session compaction may truncate the evolution log).  For
+        older checkpoints without it, a checkpoint restore replays the
+        interrupted run's applied schedule prefix into the session's
+        evolution log, so the longest schedule prefix matching a
+        *suffix* of the log is exactly what was already applied — the
+        fit continues from there.  Deltas the caller applied outside
+        the schedule (a pre-drifted session) match nothing and skip
+        nothing.
         """
         if not self.evolution:
             return 0
+        if resume is not None and "evolution_position" in resume:
+            return int(resume["evolution_position"])
         log = self.session.evolution_log
         deltas = [delta for _, delta in self.evolution]
         for applied in range(min(len(deltas), len(log)), 0, -1):
@@ -294,6 +302,7 @@ class ActiveIter(IterMPMD):
         against the evolved session.
         """
         applied = False
+        epoch_before = getattr(self.session, "compaction_epoch", 0)
         while (
             position < len(self.evolution)
             and self.evolution[position][0] <= n_rounds
@@ -301,6 +310,15 @@ class ActiveIter(IterMPMD):
             self.session.apply_network_delta(self.evolution[position][1])
             position += 1
             applied = True
+        if (
+            applied
+            and self.checkpoint is not None
+            and getattr(self.session, "compaction_epoch", 0) != epoch_before
+        ):
+            # Rotated pre-compaction generations can no longer restore
+            # into this session (older compaction epoch); drop them so
+            # the checkpoint chain shrinks with the compacted state.
+            self.checkpoint.prune_history()
         if applied and not isinstance(task, StreamedAlignmentTask):
             if self.session.incremental:
                 self.session.refresh_features(task.X, task.pairs)
@@ -339,7 +357,7 @@ class ActiveIter(IterMPMD):
             trace = []
             y = self._initial_labels(task, clamped_indices, clamped_values)
             n_rounds = 0
-        evolution_position = self._evolution_start()
+        evolution_position = self._evolution_start(resume)
         state = AlternatingState.from_task(task, clamped_indices, clamped_values)
         # A non-default backend fits through the block seam even on the
         # materialized task (one-block stream over the live task.X).
@@ -416,6 +434,7 @@ class ActiveIter(IterMPMD):
                 trace,
                 y,
                 n_rounds,
+                evolution_position,
             )
 
         self.weights_ = w
@@ -470,7 +489,7 @@ class ActiveIter(IterMPMD):
             trace = []
             y = self._initial_labels(task, clamped_indices, clamped_values)
             n_rounds = 0
-        evolution_position = self._evolution_start()
+        evolution_position = self._evolution_start(resume)
         state = AlternatingState.from_task(task, clamped_indices, clamped_values)
         while True:
             n_rounds += 1
@@ -531,6 +550,7 @@ class ActiveIter(IterMPMD):
                 trace,
                 y,
                 n_rounds,
+                evolution_position,
             )
 
         self.weights_ = w

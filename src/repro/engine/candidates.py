@@ -76,12 +76,16 @@ def _support_mask(
     if support is None:
         # A family with no structures supports no pair at all: stream a
         # clean empty candidate space instead of silently un-pruning to
-        # the full cross product.
+        # the full cross product.  Shapes are slot counts — matrix
+        # coordinates include tombstoned slots.
+        user_type = session.pair.anchor_node_type
         n_rows = (
-            len(rows) if rows is not None else len(session.pair.left_users())
+            len(rows)
+            if rows is not None
+            else session.pair.left.slot_count(user_type)
         )
         support = sparse.csr_matrix(
-            (n_rows, len(session.pair.right_users()))
+            (n_rows, session.pair.right.slot_count(user_type))
         )
     if min_structures > 1:
         support.data = np.where(support.data >= min_structures, 1.0, 0.0)
@@ -159,8 +163,11 @@ class CandidateGenerator:
         self.block_size = int(block_size)
         self.max_degree_ratio = max_degree_ratio
         self._exclude: Set[LinkPair] = set(exclude)
-        self._left_users = pair.left_users()
-        self._right_users = pair.right_users()
+        # Slot lists, not live-node lists: index ``i``/``j`` must agree
+        # with matrix row/column coordinates, so tombstoned slots ride
+        # along as ``None`` and are skipped during streaming.
+        self._left_users = pair.left_user_slots()
+        self._right_users = pair.right_user_slots()
         self._allowed = allowed.tocsr() if allowed is not None else None
         if self._allowed is not None:
             expected = (len(self._left_users), len(self._right_users))
@@ -224,8 +231,8 @@ class CandidateGenerator:
         ``self`` for chaining.
         """
         old_n_left = len(self._left_users)
-        self._left_users = self.pair.left_users()
-        self._right_users = self.pair.right_users()
+        self._left_users = self.pair.left_user_slots()
+        self._right_users = self.pair.right_user_slots()
         if self.max_degree_ratio is not None:
             self._left_degrees = _follow_degrees(self.pair.left)
             self._right_degrees = _follow_degrees(self.pair.right)
@@ -284,17 +291,21 @@ class CandidateGenerator:
     def count(self) -> int:
         """Number of candidate pairs the stream will produce."""
         total = 0
-        for i in range(len(self._left_users)):
+        for i, left_user in enumerate(self._left_users):
+            if left_user is None:
+                continue  # tombstoned slot
             columns = self._row_columns(i)
             if self._exclude:
-                left_user = self._left_users[i]
                 total += sum(
                     1
                     for j in columns
-                    if (left_user, self._right_users[j]) not in self._exclude
+                    if self._right_users[j] is not None
+                    and (left_user, self._right_users[j]) not in self._exclude
                 )
             else:
-                total += int(columns.size)
+                total += sum(
+                    1 for j in columns if self._right_users[j] is not None
+                )
         return total
 
     def pairs(self) -> Iterator[LinkPair]:
@@ -306,8 +317,13 @@ class CandidateGenerator:
         """Yield candidate pairs in blocks of at most ``block_size``."""
         block: CandidateBlock = []
         for i, left_user in enumerate(self._left_users):
+            if left_user is None:
+                continue  # tombstoned slot
             for j in self._row_columns(i):
-                candidate = (left_user, self._right_users[j])
+                right_user = self._right_users[j]
+                if right_user is None:
+                    continue  # tombstoned slot (its mask bits are stale)
+                candidate = (left_user, right_user)
                 if candidate in self._exclude:
                     continue
                 block.append(candidate)

@@ -140,6 +140,156 @@ def scripted_delta_schedule(
     return schedule
 
 
+def scripted_churn_schedule(
+    pair: AlignedPair,
+    events: int = 8,
+    seed: int = 0,
+    users_per_event: int = 1,
+    posts_per_event: int = 3,
+    edges_per_event: int = 4,
+    words_per_post: int = 1,
+    user_removals_per_event: int = 1,
+    post_removals_per_event: int = 1,
+    edge_removals_per_event: int = 2,
+    attribute_churn_per_event: int = 2,
+    sides: Sequence[str] = ("left", "right"),
+) -> List[NetworkDelta]:
+    """Deterministic *churn* schedule: interleaved grow/shrink/attach.
+
+    The adversarial counterpart of :func:`scripted_delta_schedule`:
+    every event grows the targeted side (new users, posts, edges and
+    attribute cells, exactly like the growth schedule) **and** shrinks
+    it — removing users and posts that *this schedule* added in earlier
+    events, plus explicit edge removals — while also attaching extra
+    attribute values to surviving scripted posts (attribute churn).
+    Only scripted (``evo:``-prefixed) nodes are ever removed, so the
+    base pair's users, anchors and candidate lists stay valid
+    throughout; every delta rides the session's removal fast path.
+
+    Like the growth schedule, the events are built entirely from the
+    base pair plus simulated bookkeeping, so the same schedule replays
+    onto any identically constructed copy of the pair.
+    """
+    if events < 1:
+        raise AlignmentError("events must be >= 1")
+    for side in sides:
+        if side not in ("left", "right"):
+            raise AlignmentError(f"unknown side {side!r}")
+    rng = np.random.default_rng(seed)
+    base_users = {
+        "left": list(pair.left_users()),
+        "right": list(pair.right_users()),
+    }
+    evo_users = {"left": [], "right": []}
+    evo_posts = {"left": [], "right": []}
+    # Edges this schedule knows exist (added by earlier events and not
+    # yet removed or cascaded away) — the explicit-removal pool.
+    live_edges = {"left": [], "right": []}
+    vocabularies = {
+        side: {
+            attribute: network.attribute_values(attribute)
+            for attribute in (TIMESTAMP, LOCATION, WORD)
+        }
+        for side, network in (("left", pair.left), ("right", pair.right))
+    }
+    schedule: List[NetworkDelta] = []
+    user_counter = 0
+    post_counter = 0
+
+    def draw(pool: List, count: int) -> List:
+        """Up to ``count`` distinct deterministic picks from ``pool``."""
+        picked = []
+        remaining = list(pool)
+        for _ in range(min(count, len(remaining))):
+            picked.append(remaining.pop(int(rng.integers(len(remaining)))))
+        return picked
+
+    for event in range(events):
+        side = sides[event % len(sides)]
+        # --- shrink: only nodes/edges earlier events added ------------
+        removed_users = draw(evo_users[side], user_removals_per_event)
+        removed_posts = draw(evo_posts[side], post_removals_per_event)
+        dead = set(removed_users) | set(removed_posts)
+        removable_edges = [
+            edge
+            for edge in live_edges[side]
+            if edge[1] not in dead and edge[2] not in dead
+        ]
+        removed_edges = draw(removable_edges, edge_removals_per_event)
+        # --- grow: same shape as the growth schedule ------------------
+        survivors = [
+            user for user in evo_users[side] if user not in dead
+        ]
+        known = base_users[side] + survivors
+        new_users = []
+        for _ in range(users_per_event):
+            new_users.append(f"evo:{side}:u{user_counter}")
+            user_counter += 1
+        edges: List[Tuple[str, object, object]] = []
+        for new_user in new_users:
+            edges.append(
+                (FOLLOW, new_user, known[int(rng.integers(len(known)))])
+            )
+            edges.append(
+                (FOLLOW, known[int(rng.integers(len(known)))], new_user)
+            )
+        for _ in range(edges_per_event):
+            source = known[int(rng.integers(len(known)))]
+            target = known[int(rng.integers(len(known)))]
+            if source != target:
+                edges.append((FOLLOW, source, target))
+        authors = known + new_users
+        new_posts = []
+        attributes: List[Tuple[str, object, object]] = []
+        for _ in range(posts_per_event):
+            post_id = f"evo:{side}:p{post_counter}"
+            post_counter += 1
+            new_posts.append(post_id)
+            edges.append(
+                (WRITE, authors[int(rng.integers(len(authors)))], post_id)
+            )
+            attributes.extend(
+                _post_attributes(
+                    rng, vocabularies[side], post_id, words_per_post
+                )
+            )
+        # --- attribute churn on surviving scripted posts --------------
+        surviving_posts = [
+            post for post in evo_posts[side] if post not in dead
+        ]
+        for post_id in draw(surviving_posts, attribute_churn_per_event):
+            attributes.extend(
+                _post_attributes(rng, vocabularies[side], post_id, 0)
+            )
+        schedule.append(
+            NetworkDelta.build(
+                side,
+                added_nodes={USER: new_users, POST: new_posts},
+                added_edges=edges,
+                updated_attributes=attributes,
+                removed_nodes={USER: removed_users, POST: removed_posts},
+                removed_edges=removed_edges,
+            )
+        )
+        # --- bookkeeping ----------------------------------------------
+        evo_users[side] = survivors + new_users
+        evo_posts[side] = surviving_posts + new_posts
+        kept = [
+            edge
+            for edge in live_edges[side]
+            if edge not in removed_edges
+            and edge[1] not in dead
+            and edge[2] not in dead
+        ]
+        seen = set(kept)
+        for edge in edges:
+            if edge not in seen:
+                kept.append(edge)
+                seen.add(edge)
+        live_edges[side] = kept
+    return schedule
+
+
 def _post_attributes(
     rng: np.random.Generator,
     vocabulary,

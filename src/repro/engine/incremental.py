@@ -55,10 +55,39 @@ from repro.meta.algebra import (
 __all__ = [
     "DeltaEvaluator",
     "apply_delta",
+    "entries_to_csr",
     "leaf_occurrences",
     "pad_csr",
     "supports_delta",
 ]
+
+
+def entries_to_csr(
+    rows, cols, values, shape: Tuple[int, int]
+) -> sparse.csr_matrix:
+    """Canonical CSR delta from event-sourced entry lists.
+
+    The event fast path accumulates one ``(row, col, ±1)`` entry per
+    applied mutation; duplicate coordinates **sum** (an edge removed and
+    re-added in one event telescopes to zero) and exact cancellations
+    are pruned, so the result is the minimal sparse change of the leaf
+    matrix — ready for :class:`DeltaEvaluator` without any re-export or
+    matrix diff.
+    """
+    delta = sparse.csr_matrix(
+        (
+            np.asarray(values, dtype=np.float64),
+            (
+                np.asarray(rows, dtype=np.int64),
+                np.asarray(cols, dtype=np.int64),
+            ),
+        ),
+        shape=shape,
+    )
+    delta.sum_duplicates()
+    delta.eliminate_zeros()
+    delta.sort_indices()
+    return delta
 
 
 def leaf_occurrences(expr: Expr, name: str) -> int:

@@ -32,6 +32,7 @@ products/Hadamards/sums of integers below 2**53 are exact in float64.
 
 from __future__ import annotations
 
+import copy
 import logging
 import threading
 from dataclasses import asdict, dataclass, field
@@ -44,6 +45,7 @@ from scipy import sparse
 from repro.engine.incremental import (
     DeltaEvaluator,
     apply_delta,
+    entries_to_csr,
     pad_csr,
     supports_delta,
 )
@@ -52,12 +54,23 @@ from repro.exceptions import FeatureError, StoreError
 from repro.meta.algebra import CountingEngine, Expr
 from repro.meta.context import (
     ANCHOR_MATRIX,
+    FOLLOW_LEFT,
+    FOLLOW_RIGHT,
+    LOCATION_LEFT,
+    LOCATION_RIGHT,
+    TIMESTAMP_LEFT,
+    TIMESTAMP_RIGHT,
+    WORD_LEFT,
+    WORD_RIGHT,
+    WRITE_LEFT,
+    WRITE_RIGHT,
     bag_fingerprints,
     build_matrix_bag,
 )
 from repro.meta.diagrams import DiagramFamily, standard_diagram_family
 from repro.meta.proximity import ProximityMatrix, csr_values_at, dice_scores
-from repro.networks.aligned import AlignedPair, NetworkDelta
+from repro.networks.aligned import AlignedPair, DeltaApplication, NetworkDelta
+from repro.networks.schema import FOLLOW, LOCATION, POST, TIMESTAMP, WORD, WRITE
 from repro.store.arena import MatrixArena, as_arena
 from repro.store.procwork import (
     SESSION_META,
@@ -75,16 +88,43 @@ logger = logging.getLogger(__name__)
 #: Version 2 added the evolution log; version 3 marks the model-backend
 #: era — snapshots are structurally unchanged, but the fallback counter
 #: joined the stats block and active-loop checkpoints may now carry
-#: model-backend state alongside the session.  Version 1/2 snapshots
-#: still load.
-_STATE_FORMAT_VERSION = 3
+#: model-backend state alongside the session.  Version 4 adds the
+#: compaction epoch and (after a compaction) the pair snapshot the
+#: truncated evolution log replays from.  Version 1-3 snapshots still
+#: load.
+_STATE_FORMAT_VERSION = 4
 
 #: State-dict versions :meth:`AlignmentSession.load_state_dict` accepts.
-_LOADABLE_STATE_VERSIONS = (1, 2, 3)
+_LOADABLE_STATE_VERSIONS = (1, 2, 3, 4)
 
 #: How many delta events the dirty-region log retains; consumers whose
 #: marker fell off the log get a conservative "everything dirty" answer.
 _DELTA_LOG_LIMIT = 64
+
+#: Relation / attribute -> bag-matrix name, per side.  The event fast
+#: path covers exactly the paper schema's exports; anything else falls
+#: back to the fingerprint-diff path.
+_RELATION_NAMES = {
+    "left": {FOLLOW: FOLLOW_LEFT, WRITE: WRITE_LEFT},
+    "right": {FOLLOW: FOLLOW_RIGHT, WRITE: WRITE_RIGHT},
+}
+_ATTRIBUTE_NAMES = {
+    "left": {
+        TIMESTAMP: TIMESTAMP_LEFT,
+        LOCATION: LOCATION_LEFT,
+        WORD: WORD_LEFT,
+    },
+    "right": {
+        TIMESTAMP: TIMESTAMP_RIGHT,
+        LOCATION: LOCATION_RIGHT,
+        WORD: WORD_RIGHT,
+    },
+}
+_ATTRIBUTE_PAIRS = {
+    TIMESTAMP: (TIMESTAMP_LEFT, TIMESTAMP_RIGHT),
+    LOCATION: (LOCATION_LEFT, LOCATION_RIGHT),
+    WORD: (WORD_LEFT, WORD_RIGHT),
+}
 
 
 @dataclass
@@ -105,10 +145,20 @@ class SessionStats:
     fallback_invalidations:
         Materialized structures an update *dropped* because the sparse
         delta path could not serve it (a fold switch, a delta on a
-        non-delta-capable expression, a removal-style change) — every
+        non-delta-capable expression, an uncovered delta shape) — every
         one forces a later full recount, so this is the counter that
         makes the silent slow path visible (it is also logged and
         recorded in experiment runtime metadata).
+    removal_updates:
+        ``apply_network_delta`` calls whose event shrank something —
+        removed edges, removed (tombstoned) nodes, detached attribute
+        cells or dropped known anchors.  Removals ride the same sparse
+        delta path as growth, so this counter rising while
+        ``fallback_invalidations`` stays flat is the removal-delta
+        feature working as intended.
+    compactions:
+        :meth:`AlignmentSession.compact` calls that actually rewrote
+        slots or truncated the evolution log.
     columns_refreshed:
         Feature-matrix columns rewritten in place by
         :meth:`AlignmentSession.refresh_features`.
@@ -121,6 +171,8 @@ class SessionStats:
     delta_updates: int = 0
     full_recounts: int = 0
     fallback_invalidations: int = 0
+    removal_updates: int = 0
+    compactions: int = 0
     columns_refreshed: int = 0
     extract_calls: int = 0
 
@@ -132,9 +184,14 @@ class SessionStats:
             f"delta_updates={self.delta_updates} "
             f"full_recounts={self.full_recounts} "
             f"fallback_invalidations={self.fallback_invalidations} "
+            f"removal_updates={self.removal_updates} "
+            f"compactions={self.compactions} "
             f"columns_refreshed={self.columns_refreshed} "
             f"extract_calls={self.extract_calls}"
         )
+
+    def __str__(self) -> str:
+        return self.summary()
 
 
 @dataclass
@@ -235,6 +292,18 @@ class AlignmentSession:
         When ``False`` every anchor update re-counts anchor-dependent
         structures from scratch (the baseline path the benchmark
         compares against).  Results are bit-identical either way.
+    strict_deltas:
+        Verification knob for the event-sourced network-delta fast
+        path: after every event fold the engine's leaf matrices are
+        re-exported and compared entry-for-entry, raising
+        :class:`~repro.exceptions.FeatureError` on any mismatch.
+        O(nnz) per event — use in tests and when debugging custom
+        schedules, not in production loops.
+    compact_every:
+        When set, :meth:`compact` runs automatically once the evolution
+        log reaches this many events since the last compaction —
+        bounding a long-drift session's tombstones, log length, and
+        store footprint.
     workers:
         Execution-layer knob: ``None``/``1`` for serial (the default),
         an integer >= 2 for a thread pool, or a shared
@@ -273,8 +342,14 @@ class AlignmentSession:
         workers: WorkersSpec = None,
         view_cache_size: int = 16,
         store: Optional[Union[str, Path, MatrixArena]] = None,
+        strict_deltas: bool = False,
+        compact_every: Optional[int] = None,
     ) -> None:
         self.pair = pair
+        self.strict_deltas = bool(strict_deltas)
+        if compact_every is not None and compact_every < 1:
+            raise FeatureError("compact_every must be >= 1")
+        self.compact_every = compact_every
         self.family = family if family is not None else standard_diagram_family(
             include_words=include_words
         )
@@ -296,8 +371,14 @@ class AlignmentSession:
         self._state_lock = threading.Lock()
         # Evolution events applied to the pair through this session, in
         # order — snapshotted so checkpoint resume can replay them.
+        # compact() truncates the log into a *snapshot epoch*: the pair
+        # is deep-copied, the log restarts empty, and state dicts carry
+        # (epoch, snapshot) so resume replays from the snapshot instead
+        # of from the session's construction-time pair.
         self._evolution_log: List[NetworkDelta] = []
         self._applied_evolution = 0
+        self._compaction_epoch = 0
+        self._pair_snapshot: Optional[AlignedPair] = None
         # Monotonic delta epoch + bounded log of per-event dirty user
         # rows/cols; lets streamed consumers rescore only dirty blocks.
         self._delta_epoch = 0
@@ -315,6 +396,13 @@ class AlignmentSession:
         self._bag_fingerprints = bag_fingerprints(
             pair, include_words=self._include_word_matrices
         )
+        # Shared-vocabulary caches, synchronized with the *engine's*
+        # attribute-matrix columns: value -> column maps let the event
+        # fast path patch incidence cells without re-exporting, and the
+        # cached lists detect column reordering (a fallback condition).
+        self._shared_vocab: Dict[str, List] = {}
+        self._shared_vocab_index: Dict[str, Dict] = {}
+        self._refresh_vocab_cache()
         self._engine = CountingEngine(bag, arena=self.arena)
         self._structures: List[_Structure] = [
             _Structure(
@@ -694,31 +782,55 @@ class AlignmentSession:
         added_edges=(),
         updated_attributes=(),
         added_anchors=(),
+        removed_nodes=None,
+        removed_edges=(),
+        **unknown,
     ) -> bool:
-        """Grow/patch the pair in place and fold exact count deltas.
+        """Mutate the pair in place and fold exact count deltas.
 
         Accepts either a prebuilt
         :class:`~repro.networks.aligned.NetworkDelta` or the loose
         keyword form (``side=``, ``added_nodes=``, ``added_edges=``,
-        ``updated_attributes=``, ``added_anchors=``) which is normalized
-        through :meth:`NetworkDelta.build`.
+        ``updated_attributes=``, ``added_anchors=``, ``removed_nodes=``,
+        ``removed_edges=``) which is normalized through
+        :meth:`NetworkDelta.build`.
 
-        The update is driven by honest diffing: the changed side's
-        matrices are re-exported (O(nnz), cheap), diffed against the
-        engine's padded old matrices, and the per-leaf deltas are folded
-        through the generalized delta algebra into exactly the dirty
-        structures — one-sided delta products instead of recounting.
-        New nodes append to the end of the index order, so existing
-        count entries, candidate views and extracted feature rows stay
-        valid; only dirty feature columns/rows need a refresh
+        The update is **event-sourced**: the applied mutation record
+        (inserted/removed edge positions, patched attribute cells, new
+        slots) is turned directly into per-leaf sparse deltas — no
+        matrix re-export, no diffing — and folded through the
+        generalized delta algebra into exactly the dirty structures.
+        Events whose shape the fast path does not cover (a custom
+        schema, a shared-vocabulary reordering) fall back to the
+        re-export-and-diff path, which remains exact.  New nodes append
+        to the end of the index order and removed nodes leave
+        *tombstoned* slots behind, so existing count entries, candidate
+        views and extracted feature rows stay position-stable; only
+        dirty feature columns/rows need a refresh
         (:meth:`refresh_features` / :meth:`dirty_since`).  Results are
-        byte-identical to a full recount on the grown network.
+        byte-identical to a full recount on the mutated network.
 
         Returns whether any matrix actually changed.  With
         ``incremental=False`` (the benchmark baseline) dirty structures
         are dropped for lazy full recounting instead — bit-identical,
         slower.
         """
+        if unknown:
+            raise FeatureError(
+                "apply_network_delta got unknown keyword argument(s) "
+                f"{sorted(unknown)}; supported: side=, added_nodes=, "
+                "added_edges=, updated_attributes=, added_anchors=, "
+                "removed_nodes=, removed_edges="
+            )
+        loose = (
+            side is not None
+            or added_nodes
+            or added_edges
+            or updated_attributes
+            or added_anchors
+            or removed_nodes
+            or removed_edges
+        )
         if delta is None:
             if side is None:
                 raise FeatureError(
@@ -730,16 +842,292 @@ class AlignmentSession:
                 added_edges=added_edges,
                 updated_attributes=updated_attributes,
                 added_anchors=added_anchors,
+                removed_nodes=removed_nodes,
+                removed_edges=removed_edges,
             )
-        elif side is not None:
-            raise FeatureError("pass either a delta or side=, not both")
-        self.pair.apply_delta(delta)  # validates; pair untouched on error
+        elif loose:
+            raise FeatureError(
+                "pass either a delta or the loose keyword form, not both"
+            )
+        # A removed user may carry a *known* anchor; its matrix cell must
+        # be captured before the tombstone erases the position lookup.
+        dead_anchors, anchor_cells = self._known_anchor_removals(delta)
+        application = self.pair.apply_delta(delta)  # validates first
         self._evolution_log.append(delta)
         self._applied_evolution += 1
-        return self._fold_network_change()
+        if dead_anchors:
+            self._anchors.difference_update(dead_anchors)
+        if (
+            application.removed_edges
+            or application.removed_nodes
+            or application.removed_attribute_cells
+            or dead_anchors
+        ):
+            with self._state_lock:
+                self.stats.removal_updates += 1
+        changed = self._fold_application(application, anchor_cells)
+        if (
+            self.compact_every is not None
+            and len(self._evolution_log) >= self.compact_every
+        ):
+            changed = self.compact() or changed
+        return changed
 
-    def _fold_network_change(self) -> bool:
-        """Diff the pair's matrices against the engine and fold deltas."""
+    def _known_anchor_removals(
+        self, delta: NetworkDelta
+    ) -> Tuple[List[LinkPair], List[Tuple[int, int]]]:
+        """Known anchors that a delta's user removals take down.
+
+        Returns the dead anchor pairs plus their ``(row, col)`` cells in
+        the known-anchor matrix, resolved *before* the pair mutates —
+        tombstoning removes the user from the position index.
+        """
+        if not delta.removed_nodes or not self._anchors:
+            return [], []
+        user_type = self.pair.anchor_node_type
+        removed_users = {
+            node_id
+            for node_type, ids in delta.removed_nodes
+            if node_type == user_type
+            for node_id in ids
+        }
+        if not removed_users:
+            return [], []
+        endpoint = 0 if delta.side == "left" else 1
+        dead: List[LinkPair] = []
+        cells: List[Tuple[int, int]] = []
+        for known in self._anchors:
+            if known[endpoint] not in removed_users:
+                continue
+            dead.append(known)
+            cells.append(
+                (
+                    self.pair.left.node_position(user_type, known[0]),
+                    self.pair.right.node_position(user_type, known[1]),
+                )
+            )
+        return dead, cells
+
+    def _fold_application(
+        self,
+        application: DeltaApplication,
+        anchor_cells: Sequence[Tuple[int, int]],
+    ) -> bool:
+        """Fold one applied event: fast path first, diff fallback second."""
+        event = self._event_leaf_deltas(application, anchor_cells)
+        if event is None:
+            # The anchor-matrix fingerprint is slot counts only; a
+            # content-only anchor removal needs an explicit stale mark.
+            force = (
+                frozenset((ANCHOR_MATRIX,)) if anchor_cells else frozenset()
+            )
+            return self._fold_network_change(force_stale=force)
+        deltas, shapes, vocab_commit = event
+        changed = self._fold_event(deltas, shapes, vocab_commit)
+        if self.strict_deltas:
+            self._verify_event_fold()
+        return changed
+
+    def _event_leaf_deltas(
+        self,
+        application: DeltaApplication,
+        anchor_cells: Sequence[Tuple[int, int]],
+    ) -> Optional[Tuple[Dict, Dict, Dict]]:
+        """Per-leaf sparse deltas built straight from the event record.
+
+        Returns ``(deltas, shapes, vocab_commit)`` — nonzero leaf
+        deltas, the post-event shape of every bag matrix, and the
+        shared-vocabulary cache updates to commit after the fold — or
+        ``None`` when the event has a shape the fast path does not
+        cover (an unknown relation/attribute/node type, or a
+        shared-vocabulary reordering), telling the caller to fall back
+        to the fingerprint-diff path.
+        """
+        pair = self.pair
+        user_type = pair.anchor_node_type
+        relation_names = _RELATION_NAMES[application.side]
+        attribute_names = _ATTRIBUTE_NAMES[application.side]
+        known_types = (user_type, POST)
+        for node_type, _count in application.added_slots:
+            if node_type not in known_types:
+                return None
+        for node_type, _node, _slot in application.removed_nodes:
+            if node_type not in known_types:
+                return None
+        # Shared-vocabulary growth: a pure append extends the cached
+        # value -> column map; anything that moves an existing column
+        # reorders attribute matrices and must take the diff path.
+        vocab_commit: Dict[str, List] = {}
+        indexes: Dict[str, Dict] = {}
+        for attribute, _value in application.new_vocabulary:
+            if attribute in vocab_commit:
+                continue
+            if attribute == WORD and not self._include_word_matrices:
+                continue  # word matrices are not exported; invisible
+            if attribute not in attribute_names:
+                return None
+            cached = self._shared_vocab.get(attribute)
+            if cached is None:
+                return None
+            shared = pair.shared_vocabulary(attribute)
+            if shared[: len(cached)] != cached:
+                return None  # column reordering
+            vocab_commit[attribute] = shared
+            indexes[attribute] = {
+                value: column for column, value in enumerate(shared)
+            }
+
+        entries: Dict[str, Tuple[List[int], List[int], List[float]]] = {}
+
+        def add(name: str, row: int, col: int, value: float) -> None:
+            rows, cols, values = entries.setdefault(name, ([], [], []))
+            rows.append(row)
+            cols.append(col)
+            values.append(value)
+
+        for relation, source, target in application.inserted_edges:
+            name = relation_names.get(relation)
+            if name is None:
+                return None
+            add(name, source, target, 1.0)
+        for relation, source, target in application.removed_edges:
+            name = relation_names.get(relation)
+            if name is None:
+                return None
+            add(name, source, target, -1.0)
+        for sign, cells in (
+            (1.0, application.new_attribute_cells),
+            (-1.0, application.removed_attribute_cells),
+        ):
+            for attribute, slot, value in cells:
+                if attribute == WORD and not self._include_word_matrices:
+                    continue
+                name = attribute_names.get(attribute)
+                if name is None:
+                    return None
+                index = indexes.get(attribute)
+                if index is None:
+                    index = self._shared_vocab_index.get(attribute)
+                if index is None:
+                    return None
+                column = index.get(value)
+                if column is None:
+                    return None  # cache out of sync: stay exact
+                add(name, slot, column, sign)
+        for row, col in anchor_cells:
+            add(ANCHOR_MATRIX, row, col, -1.0)
+
+        shapes = self._bag_shapes(vocab_commit)
+        deltas: Dict[str, sparse.csr_matrix] = {}
+        for name, (rows, cols, values) in entries.items():
+            leaf_delta = entries_to_csr(rows, cols, values, shapes[name])
+            if leaf_delta.nnz:
+                deltas[name] = leaf_delta
+        return deltas, shapes, vocab_commit
+
+    def _bag_shapes(
+        self, vocab_commit: Optional[Dict[str, List]] = None
+    ) -> Dict[str, Tuple[int, int]]:
+        """Current (post-event) shape of every exported bag matrix."""
+        pair = self.pair
+        user_type = pair.anchor_node_type
+        n_left = pair.left.slot_count(user_type)
+        n_right = pair.right.slot_count(user_type)
+        posts_left = pair.left.slot_count(POST)
+        posts_right = pair.right.slot_count(POST)
+        shapes: Dict[str, Tuple[int, int]] = {
+            FOLLOW_LEFT: (n_left, n_left),
+            FOLLOW_RIGHT: (n_right, n_right),
+            WRITE_LEFT: (n_left, posts_left),
+            WRITE_RIGHT: (n_right, posts_right),
+            ANCHOR_MATRIX: (n_left, n_right),
+        }
+        for attribute, (left_name, right_name) in _ATTRIBUTE_PAIRS.items():
+            if attribute == WORD and not self._include_word_matrices:
+                continue
+            if vocab_commit and attribute in vocab_commit:
+                n_vocab = len(vocab_commit[attribute])
+            else:
+                n_vocab = len(self._shared_vocab[attribute])
+            shapes[left_name] = (posts_left, n_vocab)
+            shapes[right_name] = (posts_right, n_vocab)
+        return shapes
+
+    def _fold_event(
+        self,
+        deltas: Dict[str, sparse.csr_matrix],
+        shapes: Dict[str, Tuple[int, int]],
+        vocab_commit: Dict[str, List],
+    ) -> bool:
+        """Fold event-sourced leaf deltas into the engine — no diffing."""
+        changed: Dict[str, sparse.csr_matrix] = {}
+        for name, shape in shapes.items():
+            old = self._engine.matrix(name)
+            leaf_delta = deltas.get(name)
+            if leaf_delta is None and old.shape == shape:
+                continue  # untouched leaf: keep the engine's matrix as is
+            base = old if old.shape == shape else pad_csr(old, shape)
+            changed[name] = (
+                apply_delta(base, leaf_delta)
+                if leaf_delta is not None
+                else base
+            )
+        prints = bag_fingerprints(
+            self.pair, include_words=self._include_word_matrices
+        )
+        folded = self._fold_deltas(changed, deltas, shapes, prints)
+        for attribute, values in vocab_commit.items():
+            self._shared_vocab[attribute] = values
+            self._shared_vocab_index[attribute] = {
+                value: column for column, value in enumerate(values)
+            }
+        return folded
+
+    def _verify_event_fold(self) -> None:
+        """``strict_deltas``: prove the folded leaves match a fresh export."""
+        bag = build_matrix_bag(
+            self.pair,
+            known_anchors=self._anchors,
+            include_words=self._include_word_matrices,
+        )
+        for name, expected in bag.items():
+            expected = expected.tocsr()
+            actual = self._engine.matrix(name)
+            if expected.shape != actual.shape:
+                raise FeatureError(
+                    f"strict delta verification failed: {name!r} has shape "
+                    f"{actual.shape}, a fresh export has {expected.shape}"
+                )
+            difference = (expected - actual).tocsr()
+            difference.eliminate_zeros()
+            if difference.nnz:
+                raise FeatureError(
+                    f"strict delta verification failed: {name!r} differs "
+                    f"from a fresh export at {difference.nnz} entries"
+                )
+
+    def _refresh_vocab_cache(self) -> None:
+        """Rebuild the vocab caches from the pair (engine-export time)."""
+        attributes = [TIMESTAMP, LOCATION]
+        if self._include_word_matrices:
+            attributes.append(WORD)
+        for attribute in attributes:
+            values = self.pair.shared_vocabulary(attribute)
+            self._shared_vocab[attribute] = values
+            self._shared_vocab_index[attribute] = {
+                value: column for column, value in enumerate(values)
+            }
+
+    def _fold_network_change(
+        self, force_stale: frozenset = frozenset()
+    ) -> bool:
+        """Diff the pair's matrices against the engine and fold deltas.
+
+        The exact fallback for events the fast path does not cover: the
+        fingerprint-stale matrices are re-exported (O(nnz)), diffed
+        against the engine's (padded) old matrices, and the diffs fold
+        through the same delta algebra.
+        """
         prints = bag_fingerprints(
             self.pair, include_words=self._include_word_matrices
         )
@@ -747,7 +1135,7 @@ class AlignmentSession:
             name
             for name, fingerprint in prints.items()
             if self._bag_fingerprints.get(name) != fingerprint
-        }
+        } | set(force_stale)
         if not stale:
             return False
         # Re-export only the fingerprint-stale matrices; the rest are
@@ -763,24 +1151,47 @@ class AlignmentSession:
         )
         changed: Dict[str, sparse.csr_matrix] = {}
         deltas: Dict[str, sparse.csr_matrix] = {}
+        shapes = {name: matrix.shape for name, matrix in new_bag.items()}
         for name, new in new_bag.items():
+            if name not in stale:
+                # The partner side of an attribute pair rode along in the
+                # export; its fingerprint proves it unchanged — skip the
+                # O(nnz) diff.
+                continue
             new = new.tocsr()
             old = self._engine.matrix(name)
             grew = old.shape != new.shape
-            diff = (new - pad_csr(old, new.shape)).tocsr()
+            base = pad_csr(old, new.shape) if grew else old
+            diff = (new - base).tocsr()
             diff.eliminate_zeros()
             if not grew and diff.nnz == 0:
                 continue
             changed[name] = new
             if diff.nnz:
                 deltas[name] = diff
+        folded = self._fold_deltas(changed, deltas, shapes, prints)
+        self._refresh_vocab_cache()
+        return folded
+
+    def _fold_deltas(
+        self,
+        changed: Dict[str, sparse.csr_matrix],
+        deltas: Dict[str, sparse.csr_matrix],
+        new_shapes: Dict[str, Tuple[int, int]],
+        prints: Dict[str, Tuple[int, ...]],
+    ) -> bool:
+        """Shared fold tail: delta-evaluate, update engine, patch state."""
         if not changed:
+            # Mutation epochs can move with no matrix change (a duplicate
+            # edge add, a repeated attachment): commit the fingerprints
+            # anyway so the next event does not re-diff this one.
+            self._bag_fingerprints = prints
             return False
         self.stats.network_updates += 1
         self._store_dirty = self.arena is not None
         counts_shape = (
-            self.pair.left.node_count(self.pair.anchor_node_type),
-            self.pair.right.node_count(self.pair.anchor_node_type),
+            self.pair.left.slot_count(self.pair.anchor_node_type),
+            self.pair.right.slot_count(self.pair.anchor_node_type),
         )
         n_right_grew = (
             counts_shape[1] != self._engine.matrix(ANCHOR_MATRIX).shape[1]
@@ -789,11 +1200,7 @@ class AlignmentSession:
         delta_names = frozenset(deltas)
         evaluator: Optional[DeltaEvaluator] = None
         if deltas and self.incremental:
-            evaluator = DeltaEvaluator(
-                self._engine,
-                deltas,
-                shapes={name: m.shape for name, m in new_bag.items()},
-            )
+            evaluator = DeltaEvaluator(self._engine, deltas, shapes=new_shapes)
 
         delta_structures: List[_Structure] = []
         invalidated: List[_Structure] = []
@@ -849,6 +1256,101 @@ class AlignmentSession:
         )
         self._bag_fingerprints = prints
         return True
+
+    def compact(self) -> bool:
+        """Rewrite live slots without tombstones and truncate the log.
+
+        Long-drift maintenance: a session that keeps removing nodes
+        accumulates tombstoned (all-zero) slots in every matrix and an
+        ever-growing evolution log.  Compaction
+
+        * drops tombstoned slots from both networks (live nodes keep
+          their relative order),
+        * slices every materialized count matrix and its sums down to
+          the live rows/columns (exact — dead slots hold only zeros),
+        * re-exports the engine's leaf matrices at the compact shapes,
+        * truncates the evolution log into a new **snapshot epoch**:
+          the compacted pair is deep-copied and later state dicts carry
+          ``(epoch, snapshot)`` so checkpoint resume replays post-
+          compaction events from the snapshot, and
+        * vacuums the matrix arena (when one is attached), dropping
+          orphaned spill files so the on-disk footprint shrinks too.
+
+        Candidate views and dirty-region logs are cleared — positions
+        shift, so everything derived from the old coordinates is
+        conservatively marked dirty.  Returns whether anything was
+        rewritten (``False`` for a tombstone-free session with an empty
+        evolution log).
+        """
+        user_type = self.pair.anchor_node_type
+        has_tombstones = any(
+            network.tombstone_count(node_type)
+            for network in (self.pair.left, self.pair.right)
+            for node_type in network.schema.node_types
+        )
+        if not has_tombstones and not self._evolution_log:
+            return False
+        # Fold pending deltas first: the slice below must see final
+        # counts, and only materialized structures have state to keep.
+        for structure in self._structures:
+            if structure.counts is not None:
+                self._ensure_counts(structure)
+        kept = self.pair.compact()
+        left_kept = kept["left"].get(user_type)
+        right_kept = kept["right"].get(user_type)
+        if left_kept is not None or right_kept is not None:
+            for structure in self._structures:
+                with structure.lock:
+                    if structure.counts is None:
+                        continue
+                    counts = structure.counts
+                    if left_kept is not None:
+                        counts = counts[left_kept]
+                        structure.row_sums = np.array(
+                            structure.row_sums[left_kept]
+                        )
+                    if right_kept is not None:
+                        counts = counts[:, right_kept]
+                        structure.col_sums = np.array(
+                            structure.col_sums[right_kept]
+                        )
+                    counts = counts.tocsr()
+                    counts.sort_indices()
+                    structure.counts = self._publish_counts(structure, counts)
+                    structure.proximity = None
+        # Every leaf shifted positions: rebuild the whole bag and drop
+        # the engine's memoized products (their indices are stale).
+        self._engine.update_matrices(
+            build_matrix_bag(
+                self.pair,
+                known_anchors=self._anchors,
+                include_words=self._include_word_matrices,
+            )
+        )
+        self._bag_fingerprints = bag_fingerprints(
+            self.pair, include_words=self._include_word_matrices
+        )
+        self._refresh_vocab_cache()
+        with self._state_lock:
+            self._views.clear()
+            self._delta_log.clear()
+            self.stats.compactions += 1
+        self._record_dirty(everything=True)
+        self._compaction_epoch += 1
+        self._pair_snapshot = copy.deepcopy(self.pair)
+        self._evolution_log = []
+        self._applied_evolution = 0
+        if self.arena is not None:
+            self._store_dirty = True
+            self._store_meta_written = False  # position maps shifted
+            self.arena.vacuum()
+        self._release_store_pages()
+        return True
+
+    @property
+    def compaction_epoch(self) -> int:
+        """How many times :meth:`compact` has rewritten this session."""
+        return self._compaction_epoch
 
     def _apply_structure_changes(
         self,
@@ -921,7 +1423,7 @@ class AlignmentSession:
         user count changes every key — but not the per-position cached
         *values*, which stay valid and keep their delta patches.
         """
-        n_right = self.pair.right.node_count(self.pair.anchor_node_type)
+        n_right = self.pair.right.slot_count(self.pair.anchor_node_type)
         with self._state_lock:
             for view in self._views.values():
                 view.query_keys = (
@@ -951,7 +1453,7 @@ class AlignmentSession:
                 self._views[id(pairs)] = view
                 return view
         left_indices, right_indices = self.pair.pairs_to_indices(pairs)
-        n_right = self.pair.right.node_count(self.pair.anchor_node_type)
+        n_right = self.pair.right.slot_count(self.pair.anchor_node_type)
         query_keys = left_indices.astype(np.int64) * n_right + right_indices
         key_order = np.argsort(query_keys, kind="stable")
         left_order = np.argsort(left_indices, kind="stable")
@@ -1162,14 +1664,18 @@ class AlignmentSession:
                             structure.name for structure in self._structures
                         ],
                         "include_bias": bool(self.include_bias),
-                        "n_right": self.pair.right.node_count(anchor_type),
+                        "n_right": self.pair.right.slot_count(anchor_type),
                         "left_positions": {
-                            user: index
-                            for index, user in enumerate(self.pair.left_users())
+                            user: self.pair.left.node_position(
+                                anchor_type, user
+                            )
+                            for user in self.pair.left_users()
                         },
                         "right_positions": {
-                            user: index
-                            for index, user in enumerate(self.pair.right_users())
+                            user: self.pair.right.node_position(
+                                anchor_type, user
+                            )
+                            for user in self.pair.right_users()
                         },
                     },
                 )
@@ -1227,6 +1733,12 @@ class AlignmentSession:
             "structures": structures,
             "stats": asdict(self.stats),
             "evolution": list(self._evolution_log),
+            # The snapshot epoch: the evolution list above replays on
+            # top of pair_snapshot (when epoch > 0), not on the
+            # construction-time pair.  The snapshot object is shared,
+            # never mutated — compact() always installs a fresh copy.
+            "compaction_epoch": self._compaction_epoch,
+            "pair_snapshot": self._pair_snapshot,
         }
 
     def load_state_dict(self, state: Dict) -> None:
@@ -1256,14 +1768,43 @@ class AlignmentSession:
                 f"unexpected {sorted(found - expected)})"
             )
         evolution = list(state.get("evolution", ()))
-        if len(evolution) < self._applied_evolution:
+        state_epoch = state.get("compaction_epoch", 0)
+        if state_epoch < self._compaction_epoch:
             raise StoreError(
-                f"snapshot carries {len(evolution)} evolution events but "
-                f"this session already applied {self._applied_evolution}"
+                f"snapshot is from compaction epoch {state_epoch} but this "
+                f"session already compacted {self._compaction_epoch} "
+                "time(s); pre-compaction state cannot be restored in place"
             )
-        for delta in evolution[self._applied_evolution:]:
-            self.pair.apply_delta(delta)
-        replayed = len(evolution) > self._applied_evolution
+        if state_epoch > self._compaction_epoch:
+            # The snapshot is from a later compaction epoch: the live
+            # pair's slot coordinates no longer match.  Adopt a pristine
+            # copy of the compacted pair and replay the truncated log
+            # from there — byte-identical to the session that compacted.
+            snapshot = state.get("pair_snapshot")
+            if snapshot is None:
+                raise StoreError(
+                    "snapshot from a later compaction epoch carries no "
+                    "pair snapshot to restore from"
+                )
+            pristine = copy.deepcopy(snapshot)
+            self.pair = pristine
+            self._pair_snapshot = snapshot
+            self._compaction_epoch = state_epoch
+            for delta in evolution:
+                self.pair.apply_delta(delta)
+            replayed = True
+        else:
+            if len(evolution) < self._applied_evolution:
+                raise StoreError(
+                    f"snapshot carries {len(evolution)} evolution events "
+                    f"but this session already applied "
+                    f"{self._applied_evolution}"
+                )
+            for delta in evolution[self._applied_evolution:]:
+                self.pair.apply_delta(delta)
+            replayed = len(evolution) > self._applied_evolution
+            if state_epoch and self._pair_snapshot is None:
+                self._pair_snapshot = state.get("pair_snapshot")
         self._evolution_log = evolution
         self._applied_evolution = len(evolution)
         anchors = set(state["anchors"])
@@ -1283,6 +1824,7 @@ class AlignmentSession:
             self._bag_fingerprints = bag_fingerprints(
                 self.pair, include_words=self._include_word_matrices
             )
+            self._refresh_vocab_cache()
         else:
             self._engine.update_matrix(ANCHOR_MATRIX, anchor_matrix)
         with self._state_lock:

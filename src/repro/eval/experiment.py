@@ -230,6 +230,13 @@ class RuntimeMetadata:
         sparse delta path could not serve them — the session's silent
         slow path, surfaced into outcome JSON (see
         :class:`~repro.engine.session.SessionStats`).
+    removal_updates:
+        Network events that shrank something (removed nodes/edges,
+        detached cells, dropped known anchors) served through the
+        removal delta path.
+    compactions:
+        Tombstone compactions the shared session performed during the
+        run.
     """
 
     workers: int = 1
@@ -238,6 +245,8 @@ class RuntimeMetadata:
     peak_rss_bytes: int = 0
     full_recounts: int = 0
     fallback_invalidations: int = 0
+    removal_updates: int = 0
+    compactions: int = 0
 
 
 @dataclass
@@ -422,6 +431,7 @@ def run_evolve_scenario(
     methods: Optional[Sequence[MethodSpec]] = None,
     seed: int = 0,
     evaluate_every_event: bool = False,
+    session_options: Optional[Dict] = None,
 ) -> EvolveOutcome:
     """Serve an evolving network: drift, refresh, re-fit, compare.
 
@@ -438,6 +448,11 @@ def run_evolve_scenario(
     sweep (see :func:`repro.eval.sweeps.run_evolve_sweep`), one phase
     per event.  Method evaluation time is excluded from the timing race
     either way.
+
+    ``session_options`` (e.g. ``{"compact_every": 8}`` or
+    ``{"strict_deltas": True}``) are forwarded to **both** sessions, so
+    the delta path and the recount baseline race under identical
+    session policy.
     """
     if methods is None:
         methods = [MethodSpec(name="Iter-MPMD", kind="iterative")]
@@ -452,6 +467,7 @@ def run_evolve_scenario(
             family=standard_diagram_family(),
             known_anchors=split.train_positive_pairs,
             incremental=incremental,
+            **(session_options or {}),
         )
         X = session.extract(candidates)
         phases: List[EvolvePhase] = []
@@ -604,5 +620,7 @@ def run_experiment(
             peak_rss_bytes=peak_rss_bytes(),
             full_recounts=session.stats.full_recounts,
             fallback_invalidations=session.stats.fallback_invalidations,
+            removal_updates=session.stats.removal_updates,
+            compactions=session.stats.compactions,
         )
     return outcome

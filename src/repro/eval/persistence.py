@@ -16,6 +16,10 @@ Format history:
   (``full_recounts``, ``fallback_invalidations``), so archived results
   show when a run silently fell off the sparse delta path.  Version-1
   and -2 files load fine — the new counters default to zero.
+* **4** — the runtime block gains the churn counters
+  (``removal_updates``, ``compactions``) of the event-sourced removal/
+  compaction path.  Older files load fine — the counters default to
+  zero.
 """
 
 from __future__ import annotations
@@ -34,10 +38,10 @@ from repro.eval.protocol import ProtocolConfig
 from repro.exceptions import ExperimentError
 from repro.ml.metrics import ClassificationReport
 
-_FORMAT_VERSION = 3
+_FORMAT_VERSION = 4
 
 #: Versions :func:`outcome_from_dict` can read.
-_READABLE_VERSIONS = (1, 2, 3)
+_READABLE_VERSIONS = (1, 2, 3, 4)
 
 
 def outcome_to_dict(outcome: ExperimentOutcome) -> Dict:

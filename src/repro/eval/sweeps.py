@@ -130,6 +130,7 @@ def run_evolve_sweep(
     schedule: Sequence[NetworkDelta],
     methods: Optional[Sequence[MethodSpec]] = None,
     seed: int = 0,
+    session_options=None,
 ) -> EvolveOutcome:
     """Re-evaluate a method lineup at every scheduled network delta.
 
@@ -151,6 +152,7 @@ def run_evolve_sweep(
         methods=methods,
         seed=seed,
         evaluate_every_event=True,
+        session_options=session_options,
     )
 
 

@@ -121,41 +121,64 @@ def bag_fingerprints(
 ) -> Dict[str, Tuple[int, ...]]:
     """Cheap change-detection fingerprints, one per bag matrix.
 
-    Each fingerprint is a tuple of monotone counters (node counts, edge
-    counts, attribute-attachment counts, per-side vocabulary sizes) that
-    provably moves whenever the exported matrix can differ — including
-    shared-vocabulary *reordering*, which shows up as a left-side
-    vocabulary growth.  Equal fingerprints mean the export can be
-    skipped; unequal fingerprints merely mean "re-export and diff"
-    (attaching a duplicate attribute value bumps a counter but yields a
-    zero diff — conservative, never wrong).
+    Each fingerprint is a tuple of strictly monotone **mutation
+    epochs** (per node type, relation and attribute — see
+    :meth:`~repro.networks.heterogeneous.HeterogeneousNetwork.node_epoch`
+    and friends) plus slot counts and per-side vocabulary sizes.
+    Unlike raw counts, epochs move under removal too (a remove+add pair
+    keeps every count equal while changing the matrix), so equal
+    fingerprints still prove the exported matrix cannot have changed.
+    Unequal fingerprints merely mean "re-export and diff" (attaching a
+    duplicate attribute value bumps an epoch but yields a zero diff —
+    conservative, never wrong).  Vocabulary sizes stay in the attribute
+    fingerprints because shared-vocabulary *reordering* shows up as a
+    left-side vocabulary growth.
     """
-    n_left = pair.left.node_count(USER)
-    n_right = pair.right.node_count(USER)
-    posts_left = pair.left.node_count(POST)
-    posts_right = pair.right.node_count(POST)
+    left, right = pair.left, pair.right
+    n_left = left.slot_count(USER)
+    n_right = right.slot_count(USER)
+    posts_left = left.slot_count(POST)
+    posts_right = right.slot_count(POST)
+    users_left = left.node_epoch(USER)
+    users_right = right.node_epoch(USER)
+    posts_epoch_left = left.node_epoch(POST)
+    posts_epoch_right = right.node_epoch(POST)
     prints: Dict[str, Tuple[int, ...]] = {
-        FOLLOW_LEFT: (n_left, pair.left.edge_count(FOLLOW)),
-        FOLLOW_RIGHT: (n_right, pair.right.edge_count(FOLLOW)),
-        WRITE_LEFT: (n_left, posts_left, pair.left.edge_count(WRITE)),
-        WRITE_RIGHT: (n_right, posts_right, pair.right.edge_count(WRITE)),
+        FOLLOW_LEFT: (n_left, users_left, left.edge_epoch(FOLLOW)),
+        FOLLOW_RIGHT: (n_right, users_right, right.edge_epoch(FOLLOW)),
+        WRITE_LEFT: (
+            n_left,
+            posts_left,
+            users_left,
+            posts_epoch_left,
+            left.edge_epoch(WRITE),
+        ),
+        WRITE_RIGHT: (
+            n_right,
+            posts_right,
+            users_right,
+            posts_epoch_right,
+            right.edge_epoch(WRITE),
+        ),
         ANCHOR_MATRIX: (n_left, n_right),
     }
     attributes = [TIMESTAMP, LOCATION] + ([WORD] if include_words else [])
     for attribute in attributes:
         left_name, right_name = _ATTRIBUTE_NAMES[attribute]
         vocabulary_sizes = (
-            pair.left.attribute_vocabulary_size(attribute),
-            pair.right.attribute_vocabulary_size(attribute),
+            left.attribute_vocabulary_size(attribute),
+            right.attribute_vocabulary_size(attribute),
         )
         prints[left_name] = (
             posts_left,
+            posts_epoch_left,
             *vocabulary_sizes,
-            pair.left.attribute_link_count(attribute),
+            left.attribute_epoch(attribute),
         )
         prints[right_name] = (
             posts_right,
+            posts_epoch_right,
             *vocabulary_sizes,
-            pair.right.attribute_link_count(attribute),
+            right.attribute_epoch(attribute),
         )
     return prints

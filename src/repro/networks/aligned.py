@@ -7,14 +7,22 @@ type, of the values seen in either network, so matrix exports from the two
 sides agree column-for-column.
 
 Evolving networks are modeled as :class:`NetworkDelta` events — plain
-picklable records of one side's growth (new nodes, new edges, new
-attribute attachments) that :meth:`AlignedPair.apply_delta` validates
-and applies in place.  Node additions append to the end of each type's
-order, so matrix exports taken before a delta stay index-compatible
-with exports taken after it: old entries never move, growth is pure
-padding.  That append-only contract is what lets the engine layer fold
+picklable records of one side's churn (new nodes/edges/attribute
+attachments, and since the removal-delta work also ``removed_nodes`` /
+``removed_edges``) that :meth:`AlignedPair.apply_delta` validates and
+applies in place.  Node additions append to the end of each type's
+order and removals tombstone their slot, so matrix exports taken
+before a delta stay index-compatible with exports taken after it: old
+entries never move, growth is pure padding and shrinkage is pure
+zeroing.  That append-only contract is what lets the engine layer fold
 exact sparse count deltas instead of recounting
 (:mod:`repro.engine.incremental`).
+
+:meth:`AlignedPair.apply_delta` returns a :class:`DeltaApplication`
+describing what *actually* changed in slot coordinates (duplicate edge
+adds are silently ignored, attribute matrices are binary, node removal
+cascades) — the record the session's event-sourced fast path folds
+without re-exporting either side.
 """
 
 from __future__ import annotations
@@ -54,6 +62,16 @@ class NetworkDelta:
         New ground-truth anchor links, e.g. when a freshly added user is
         known to exist on both platforms.  Ground truth only — the
         *known* anchor set of a model/session is unaffected.
+    removed_nodes:
+        ``node_type -> tuple of node ids`` to remove.  Removal cascades
+        (incident edges and attribute attachments go too) and
+        tombstones the slot; a user removal also drops any ground-truth
+        anchor through it.  Removals are applied *before* additions, so
+        one delta can remove a node and re-add the same id (it gets a
+        fresh slot at the end of the order).
+    removed_edges:
+        ``(relation, source, target)`` triples of edges to remove.
+        Each must currently exist.
 
     Notes
     -----
@@ -69,6 +87,8 @@ class NetworkDelta:
         Tuple[str, NodeId, AttributeValue, int], ...
     ] = ()
     added_anchors: Tuple[LinkPair, ...] = ()
+    removed_nodes: Tuple[Tuple[str, Tuple[NodeId, ...]], ...] = ()
+    removed_edges: Tuple[Tuple[str, NodeId, NodeId], ...] = ()
 
     @classmethod
     def build(
@@ -78,12 +98,15 @@ class NetworkDelta:
         added_edges: Iterable[Tuple[str, NodeId, NodeId]] = (),
         updated_attributes: Iterable[Tuple] = (),
         added_anchors: Iterable[LinkPair] = (),
+        removed_nodes: Optional[Mapping[str, Iterable[NodeId]]] = None,
+        removed_edges: Iterable[Tuple[str, NodeId, NodeId]] = (),
     ) -> "NetworkDelta":
         """Normalize loose inputs (dicts, lists, 3-tuples) into a delta.
 
-        ``added_edges`` entries are ``(relation, source, target)``;
-        ``updated_attributes`` entries are ``(attribute, node, value)``
-        or ``(attribute, node, value, count)``.
+        ``added_edges`` / ``removed_edges`` entries are ``(relation,
+        source, target)``; ``updated_attributes`` entries are
+        ``(attribute, node, value)`` or ``(attribute, node, value,
+        count)``.
         """
         nodes = tuple(
             (node_type, tuple(ids))
@@ -103,6 +126,11 @@ class NetworkDelta:
             added_edges=tuple(tuple(edge) for edge in added_edges),
             updated_attributes=tuple(attributes),
             added_anchors=tuple(tuple(pair) for pair in added_anchors),
+            removed_nodes=tuple(
+                (node_type, tuple(ids))
+                for node_type, ids in (removed_nodes or {}).items()
+            ),
+            removed_edges=tuple(tuple(edge) for edge in removed_edges),
         )
 
     @property
@@ -120,13 +148,87 @@ class NetworkDelta:
         """Attribute attachments added (counting repeats once)."""
         return len(self.updated_attributes)
 
+    @property
+    def n_removed_nodes(self) -> int:
+        """Total nodes removed across all node types."""
+        return sum(len(ids) for _, ids in self.removed_nodes)
+
+    @property
+    def n_removed_edges(self) -> int:
+        """Edges removed explicitly (node cascades not included)."""
+        return len(self.removed_edges)
+
+    @property
+    def has_removals(self) -> bool:
+        """Whether the delta shrinks the network at all."""
+        return bool(self.removed_nodes or self.removed_edges)
+
     def summary(self) -> str:
         """One-line human-readable rendering."""
-        return (
+        text = (
             f"{self.side}: +{self.n_nodes} nodes, +{self.n_edges} edges, "
             f"+{self.n_attributes} attribute links, "
             f"+{len(self.added_anchors)} anchors"
         )
+        if self.has_removals:
+            text += (
+                f", -{self.n_removed_nodes} nodes, "
+                f"-{self.n_removed_edges} edges"
+            )
+        return text
+
+
+@dataclass(frozen=True)
+class DeltaApplication:
+    """What one :meth:`AlignedPair.apply_delta` call *actually* changed.
+
+    The :class:`NetworkDelta` record alone is not enough to build exact
+    matrix deltas: duplicate edge adds are silently ignored, attribute
+    incidence matrices are binary (a repeat attachment changes no
+    cell), and node removal cascades through edges and attachments.
+    This report states the net effect in **slot coordinates** — row and
+    column indices of the matrix exports — which is exactly what the
+    engine's event-sourced fold consumes.
+
+    Attributes
+    ----------
+    side:
+        Which component network changed.
+    added_slots:
+        ``(node_type, n_added)`` pairs — pure padding at the end of the
+        type's slot order.
+    inserted_edges:
+        ``(relation, source_slot, target_slot)`` triples of edges that
+        went from absent to present.
+    removed_edges:
+        Same shape, edges that went from present to absent (explicit
+        removals plus node-removal cascades).
+    new_attribute_cells:
+        ``(attribute, node_slot, value)`` cells that went 0 → 1 in the
+        binary incidence matrix.  Values are raw vocabulary items; the
+        caller maps them onto shared-vocabulary columns.
+    removed_attribute_cells:
+        Same shape, cells that went 1 → 0 (node-removal cascades).
+    new_vocabulary:
+        ``(attribute, value)`` pairs new to this side's vocabulary —
+        the signal that the shared vocabulary may have grown or (for a
+        left-side value landing mid-order) reordered.
+    removed_nodes:
+        ``(node_type, node_id, slot)`` of every tombstoned node.
+    removed_anchors:
+        Ground-truth anchor links dropped because a user endpoint was
+        removed.
+    """
+
+    side: str
+    added_slots: Tuple[Tuple[str, int], ...] = ()
+    inserted_edges: Tuple[Tuple[str, int, int], ...] = ()
+    removed_edges: Tuple[Tuple[str, int, int], ...] = ()
+    new_attribute_cells: Tuple[Tuple[str, int, AttributeValue], ...] = ()
+    removed_attribute_cells: Tuple[Tuple[str, int, AttributeValue], ...] = ()
+    new_vocabulary: Tuple[Tuple[str, AttributeValue], ...] = ()
+    removed_nodes: Tuple[Tuple[str, NodeId, int], ...] = ()
+    removed_anchors: Tuple[LinkPair, ...] = ()
 
 
 class AlignedPair:
@@ -236,11 +338,43 @@ class AlignedPair:
     def _validate_delta(self, delta: NetworkDelta) -> None:
         """Reject a bad delta before any state changes (best-effort atomicity)."""
         network = self._delta_network(delta)
+        removed: Dict[str, Set[NodeId]] = {}
+        for node_type, ids in delta.removed_nodes:
+            network.schema.has_node_type(node_type)
+            bucket = removed.setdefault(node_type, set())
+            for node_id in ids:
+                if not network.has_node(node_type, node_id):
+                    raise AlignmentError(
+                        f"delta removes unknown {node_type!r} node "
+                        f"{node_id!r} on the {delta.side} side"
+                    )
+                if node_id in bucket:
+                    raise AlignmentError(
+                        f"delta removes {node_type!r} node {node_id!r} twice"
+                    )
+                bucket.add(node_id)
+        seen_removed_edges: Set[Tuple[str, NodeId, NodeId]] = set()
+        for relation, source, target in delta.removed_edges:
+            network.schema.edge_type(relation)  # raises if unknown
+            if not network.has_edge(relation, source, target):
+                raise AlignmentError(
+                    f"delta removes missing {relation!r} edge "
+                    f"{source!r} -> {target!r} on the {delta.side} side"
+                )
+            if (relation, source, target) in seen_removed_edges:
+                raise AlignmentError(
+                    f"delta removes {relation!r} edge "
+                    f"{source!r} -> {target!r} twice"
+                )
+            seen_removed_edges.add((relation, source, target))
         added: Dict[str, Set[NodeId]] = {}
         for node_type, ids in delta.added_nodes:
             bucket = added.setdefault(node_type, set())
             for node_id in ids:
-                if network.has_node(node_type, node_id) or node_id in bucket:
+                survives = network.has_node(node_type, node_id) and (
+                    node_id not in removed.get(node_type, ())
+                )
+                if survives or node_id in bucket:
                     raise AlignmentError(
                         f"delta re-adds existing {node_type!r} node "
                         f"{node_id!r} on the {delta.side} side"
@@ -248,9 +382,11 @@ class AlignedPair:
                 bucket.add(node_id)
 
         def will_exist(node_type: str, node_id: NodeId) -> bool:
-            return network.has_node(node_type, node_id) or (
-                node_id in added.get(node_type, ())
-            )
+            if node_id in added.get(node_type, ()):
+                return True
+            if node_id in removed.get(node_type, ()):
+                return False
+            return network.has_node(node_type, node_id)
 
         for relation, source, target in delta.added_edges:
             spec = network.schema.edge_type(relation)  # raises if unknown
@@ -281,15 +417,35 @@ class AlignedPair:
                 )
         anchored_left = set(self._left_to_right)
         anchored_right = set(self._right_to_left)
+        # A removed user takes its ground-truth anchor with it, freeing
+        # both endpoints within the same delta.
+        for removed_user in removed.get(self.anchor_node_type, ()):
+            if delta.side == "left":
+                partner = self._left_to_right.get(removed_user)
+                anchored_left.discard(removed_user)
+                if partner is not None:
+                    anchored_right.discard(partner)
+            else:
+                partner = self._right_to_left.get(removed_user)
+                anchored_right.discard(removed_user)
+                if partner is not None:
+                    anchored_left.discard(partner)
         left_added = added if delta.side == "left" else {}
         right_added = added if delta.side == "right" else {}
+        left_removed = removed if delta.side == "left" else {}
+        right_removed = removed if delta.side == "right" else {}
         for left_user, right_user in delta.added_anchors:
-            left_ok = self.left.has_node(self.anchor_node_type, left_user) or (
-                left_user in left_added.get(self.anchor_node_type, ())
+            left_ok = left_user in left_added.get(self.anchor_node_type, ()) or (
+                self.left.has_node(self.anchor_node_type, left_user)
+                and left_user not in left_removed.get(self.anchor_node_type, ())
             )
-            right_ok = self.right.has_node(
-                self.anchor_node_type, right_user
-            ) or (right_user in right_added.get(self.anchor_node_type, ()))
+            right_ok = right_user in right_added.get(
+                self.anchor_node_type, ()
+            ) or (
+                self.right.has_node(self.anchor_node_type, right_user)
+                and right_user
+                not in right_removed.get(self.anchor_node_type, ())
+            )
             if not left_ok or not right_ok:
                 raise AlignmentError(
                     f"delta anchor ({left_user!r}, {right_user!r}) "
@@ -303,24 +459,117 @@ class AlignedPair:
             anchored_left.add(left_user)
             anchored_right.add(right_user)
 
-    def apply_delta(self, delta: NetworkDelta) -> None:
+    def _drop_anchors_of(self, side: str, user: NodeId) -> List[LinkPair]:
+        """Drop the ground-truth anchor through ``user`` (if any)."""
+        if side == "left":
+            partner = self._left_to_right.pop(user, None)
+            if partner is None:
+                return []
+            pair = (user, partner)
+            self._right_to_left.pop(partner, None)
+        else:
+            partner = self._right_to_left.pop(user, None)
+            if partner is None:
+                return []
+            pair = (partner, user)
+            self._left_to_right.pop(partner, None)
+        self._anchors.discard(pair)
+        return [pair]
+
+    def apply_delta(self, delta: NetworkDelta) -> DeltaApplication:
         """Apply one evolution event in place (validated first).
 
-        New nodes append to the end of their type's order, so matrices
-        exported before this call stay index-compatible: the engine
-        layer relies on growth being pure padding.  A delta that fails
-        validation leaves the pair untouched.
+        Removals happen before additions; new nodes append to the end
+        of each type's order and removed nodes tombstone their slot, so
+        matrices exported before this call stay index-compatible: the
+        engine layer relies on growth being pure padding and shrinkage
+        pure zeroing.  A delta that fails validation leaves the pair
+        untouched.  Returns the :class:`DeltaApplication` report of the
+        net changes in slot coordinates.
         """
         self._validate_delta(delta)
         network = self._delta_network(delta)
+        removed_edges: List[Tuple[str, int, int]] = []
+        removed_cells: List[Tuple[str, int, AttributeValue]] = []
+        removed_nodes: List[Tuple[str, NodeId, int]] = []
+        removed_anchors: List[LinkPair] = []
+        for relation, source, target in delta.removed_edges:
+            spec = network.schema.edge_type(relation)
+            removed_edges.append(
+                (
+                    relation,
+                    network.node_position(spec.source, source),
+                    network.node_position(spec.target, target),
+                )
+            )
+            network.remove_edge(relation, source, target)
+        for node_type, ids in delta.removed_nodes:
+            for node_id in ids:
+                removal = network.remove_node(node_type, node_id)
+                removed_nodes.append((node_type, node_id, removal.slot))
+                removed_edges.extend(removal.edges)
+                removed_cells.extend(removal.attributes)
+                if node_type == self.anchor_node_type:
+                    removed_anchors.extend(
+                        self._drop_anchors_of(delta.side, node_id)
+                    )
+        added_slots = tuple(
+            (node_type, len(ids)) for node_type, ids in delta.added_nodes if ids
+        )
         for node_type, ids in delta.added_nodes:
             network.add_nodes(node_type, ids)
+        inserted_edges: List[Tuple[str, int, int]] = []
         for relation, source, target in delta.added_edges:
-            network.add_edge(relation, source, target)
+            if network.add_edge(relation, source, target):
+                spec = network.schema.edge_type(relation)
+                inserted_edges.append(
+                    (
+                        relation,
+                        network.node_position(spec.source, source),
+                        network.node_position(spec.target, target),
+                    )
+                )
+        new_cells: List[Tuple[str, int, AttributeValue]] = []
+        new_vocabulary: List[Tuple[str, AttributeValue]] = []
         for attribute, node_id, value, count in delta.updated_attributes:
-            network.attach_attribute(attribute, node_id, value, count=count)
+            new_value, new_incidence = network.attach_attribute(
+                attribute, node_id, value, count=count
+            )
+            if new_value:
+                new_vocabulary.append((attribute, value))
+            if new_incidence:
+                spec = network.schema.attribute_type(attribute)
+                new_cells.append(
+                    (
+                        attribute,
+                        network.node_position(spec.node_type, node_id),
+                        value,
+                    )
+                )
         for pair in delta.added_anchors:
             self.add_anchor(tuple(pair))
+        return DeltaApplication(
+            side=delta.side,
+            added_slots=added_slots,
+            inserted_edges=tuple(inserted_edges),
+            removed_edges=tuple(removed_edges),
+            new_attribute_cells=tuple(new_cells),
+            removed_attribute_cells=tuple(removed_cells),
+            new_vocabulary=tuple(new_vocabulary),
+            removed_nodes=tuple(removed_nodes),
+            removed_anchors=tuple(removed_anchors),
+        )
+
+    def compact(self) -> Dict[str, Dict[str, np.ndarray]]:
+        """Compact both component networks, dropping tombstoned slots.
+
+        Returns ``{"left": ..., "right": ...}`` with each side's
+        surviving-old-slot arrays (see
+        :meth:`~repro.networks.heterogeneous.HeterogeneousNetwork.compact`).
+        Anything position-derived — exported matrices, cached index
+        maps, candidate views — must be rebuilt by the caller.
+        """
+        return {"left": self.left.compact(), "right": self.right.compact()}
 
     # ------------------------------------------------------------------
     # Candidate space
@@ -332,12 +581,20 @@ class AlignedPair:
         )
 
     def left_users(self) -> List[NodeId]:
-        """Ordered left-side user ids."""
+        """Ordered *live* left-side user ids (tombstones skipped)."""
         return self.left.nodes(self.anchor_node_type)
 
     def right_users(self) -> List[NodeId]:
-        """Ordered right-side user ids."""
+        """Ordered *live* right-side user ids (tombstones skipped)."""
         return self.right.nodes(self.anchor_node_type)
+
+    def left_user_slots(self) -> List[Optional[NodeId]]:
+        """Full left-side user slot list: index ``i`` is matrix row ``i``."""
+        return self.left.slots(self.anchor_node_type)
+
+    def right_user_slots(self) -> List[Optional[NodeId]]:
+        """Full right-side user slot list: index ``j`` is matrix column ``j``."""
+        return self.right.slots(self.anchor_node_type)
 
     # ------------------------------------------------------------------
     # Shared vocabularies and matrix exports
@@ -382,8 +639,8 @@ class AlignedPair:
         """
         if anchors is None:
             anchors = self._anchors
-        n_left = self.left.node_count(self.anchor_node_type)
-        n_right = self.right.node_count(self.anchor_node_type)
+        n_left = self.left.slot_count(self.anchor_node_type)
+        n_right = self.right.slot_count(self.anchor_node_type)
         rows: List[int] = []
         cols: List[int] = []
         for left_user, right_user in anchors:

@@ -9,6 +9,23 @@ inter-network meta paths P5/P6 traverse.
 Internally the class keeps hash-map adjacency (cheap mutation, O(1)
 membership) and exposes :meth:`typed_adjacency` / :meth:`attribute_matrix`
 to export scipy CSR matrices for the meta-structure counting engine.
+
+Removal support models real churn: :meth:`remove_edge` deletes one
+typed edge, and :meth:`remove_node` deletes a node with all its
+incident edges and attribute attachments.  Removed nodes leave a
+**tombstone**: their slot in the type's index order is kept (as
+``None``), so every position handed out earlier stays valid and matrix
+exports keep their shape with zeroed rows/columns at the dead slots —
+the append-only contract the engine's delta algebra relies on survives
+removal unchanged.  :meth:`compact` drops the tombstones (positions
+shift) for long-drift housekeeping; callers must rebuild anything
+position-derived afterwards.
+
+Every successful mutation bumps a per-type / per-relation / per-
+attribute **mutation epoch** (:meth:`node_epoch` and friends).  Unlike
+raw counts, epochs are strictly monotone under removal too, so equal
+epochs prove an exported matrix cannot have changed — the property
+:func:`repro.meta.context.bag_fingerprints` builds on.
 """
 
 from __future__ import annotations
@@ -19,9 +36,30 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 import numpy as np
 from scipy import sparse
 
+from dataclasses import dataclass
+
 from repro.exceptions import NetworkError, SchemaError
 from repro.networks.schema import NetworkSchema
 from repro.types import AttributeValue, NodeId
+
+
+@dataclass(frozen=True)
+class NodeRemoval:
+    """What :meth:`HeterogeneousNetwork.remove_node` actually deleted.
+
+    Positions are captured *before* the slot is tombstoned, so the
+    record is self-contained: ``edges`` holds ``(relation, source_slot,
+    target_slot)`` triples of every cascaded edge, ``attributes`` holds
+    ``(attribute, slot, value)`` triples of the node's attachments.
+    The event-sourced delta path turns these directly into ``-1``
+    entries of the affected incidence matrices.
+    """
+
+    node_type: str
+    node_id: NodeId
+    slot: int
+    edges: Tuple[Tuple[str, int, int], ...]
+    attributes: Tuple[Tuple[str, int, AttributeValue], ...]
 
 
 class HeterogeneousNetwork:
@@ -73,6 +111,14 @@ class HeterogeneousNetwork:
             a: defaultdict(dict) for a in schema.attribute_types
         }
         self._attr_link_counts: Dict[str, int] = {a: 0 for a in schema.attribute_types}
+        # Tombstone bookkeeping: removed nodes keep their slot (as None
+        # in the order list) so earlier positions never shift.
+        self._tombstones: Dict[str, int] = {t: 0 for t in schema.node_types}
+        # Strictly monotone mutation epochs, one per type/relation/
+        # attribute — the removal-safe change-detection counters.
+        self._node_epochs: Dict[str, int] = {t: 0 for t in schema.node_types}
+        self._edge_epochs: Dict[str, int] = {r: 0 for r in schema.edge_types}
+        self._attr_epochs: Dict[str, int] = {a: 0 for a in schema.attribute_types}
 
     # ------------------------------------------------------------------
     # Nodes
@@ -88,6 +134,7 @@ class HeterogeneousNetwork:
             )
         index[node_id] = len(self._nodes[node_type])
         self._nodes[node_type].append(node_id)
+        self._node_epochs[node_type] += 1
 
     def add_nodes(self, node_type: str, node_ids: Iterable[NodeId]) -> None:
         """Add many nodes of one type."""
@@ -100,14 +147,48 @@ class HeterogeneousNetwork:
         return node_id in self._node_index[node_type]
 
     def nodes(self, node_type: str) -> List[NodeId]:
-        """Return the ordered list of node ids of ``node_type`` (a copy)."""
+        """Ordered ids of the *live* nodes of ``node_type`` (a copy).
+
+        Tombstoned slots are skipped; the relative order of live nodes
+        is their slot order.
+        """
+        self._require_node_type(node_type)
+        if self._tombstones[node_type]:
+            return [
+                node_id
+                for node_id in self._nodes[node_type]
+                if node_id is not None
+            ]
+        return list(self._nodes[node_type])
+
+    def slots(self, node_type: str) -> List[Optional[NodeId]]:
+        """The full slot list of ``node_type``: ids, ``None`` at tombstones.
+
+        Index ``i`` of this list is exactly matrix row/column ``i`` of
+        every export over the type, which is what streaming consumers
+        iterate when they need slot-aligned user lists.
+        """
         self._require_node_type(node_type)
         return list(self._nodes[node_type])
 
     def node_count(self, node_type: str) -> int:
-        """Number of nodes of ``node_type``."""
+        """Number of *live* nodes of ``node_type``."""
+        self._require_node_type(node_type)
+        return len(self._nodes[node_type]) - self._tombstones[node_type]
+
+    def slot_count(self, node_type: str) -> int:
+        """Number of index slots (live nodes plus tombstones).
+
+        This — not :meth:`node_count` — is the matrix dimension every
+        export of the type uses; the two agree until a node is removed.
+        """
         self._require_node_type(node_type)
         return len(self._nodes[node_type])
+
+    def tombstone_count(self, node_type: str) -> int:
+        """Number of tombstoned (removed, slot-preserving) nodes."""
+        self._require_node_type(node_type)
+        return self._tombstones[node_type]
 
     def node_position(self, node_type: str, node_id: NodeId) -> int:
         """Dense index of a node within its type (for matrix exports)."""
@@ -119,14 +200,32 @@ class HeterogeneousNetwork:
                 f"unknown {node_type!r} node {node_id!r} in network {self.name!r}"
             ) from None
 
+    def node_epoch(self, node_type: str) -> int:
+        """Mutation epoch of one node type (bumps on add/remove/compact)."""
+        self._require_node_type(node_type)
+        return self._node_epochs[node_type]
+
+    def edge_epoch(self, relation: str) -> int:
+        """Mutation epoch of one relation (bumps on add/remove)."""
+        self._require_relation(relation)
+        return self._edge_epochs[relation]
+
+    def attribute_epoch(self, attribute: str) -> int:
+        """Mutation epoch of one attribute type (bumps on attach/remove)."""
+        self._require_attribute(attribute)
+        return self._attr_epochs[attribute]
+
     # ------------------------------------------------------------------
     # Edges
     # ------------------------------------------------------------------
-    def add_edge(self, relation: str, source: NodeId, target: NodeId) -> None:
+    def add_edge(self, relation: str, source: NodeId, target: NodeId) -> bool:
         """Add a typed edge ``source --relation--> target``.
 
         Duplicate edges are ignored (social graphs are simple graphs);
-        self-loops on ``follow``-like relations are rejected.
+        self-loops on ``follow``-like relations are rejected.  Returns
+        whether the edge was actually inserted — the signal the
+        event-sourced delta path uses to emit exactly the adjacency
+        entries that changed.
         """
         spec = self.schema.edge_type(relation)
         if not self.has_node(spec.source, source):
@@ -143,10 +242,26 @@ class HeterogeneousNetwork:
             raise NetworkError(f"self-loop {source!r} on relation {relation!r}")
         targets = self._out[relation][source]
         if target in targets:
-            return
+            return False
         targets.add(target)
         self._in[relation][target].add(source)
         self._edge_counts[relation] += 1
+        self._edge_epochs[relation] += 1
+        return True
+
+    def remove_edge(self, relation: str, source: NodeId, target: NodeId) -> None:
+        """Remove one typed edge; raises if it does not exist."""
+        self._require_relation(relation)
+        targets = self._out[relation].get(source)
+        if targets is None or target not in targets:
+            raise NetworkError(
+                f"cannot remove missing {relation!r} edge "
+                f"{source!r} -> {target!r} from network {self.name!r}"
+            )
+        targets.discard(target)
+        self._in[relation][target].discard(source)
+        self._edge_counts[relation] -= 1
+        self._edge_epochs[relation] += 1
 
     def has_edge(self, relation: str, source: NodeId, target: NodeId) -> bool:
         """Return whether the typed edge exists."""
@@ -180,11 +295,15 @@ class HeterogeneousNetwork:
     # ------------------------------------------------------------------
     def attach_attribute(
         self, attribute: str, node_id: NodeId, value: AttributeValue, count: int = 1
-    ) -> None:
+    ) -> Tuple[bool, bool]:
         """Attach ``value`` of ``attribute`` to ``node_id`` (multiset add).
 
         ``count`` lets callers record repeated occurrences (a word used
-        three times in a post) in one call.
+        three times in a post) in one call.  Returns ``(new_value,
+        new_incidence)``: whether the value is new to this network's
+        vocabulary, and whether the ``(node, value)`` cell went from
+        absent to present — the two facts the event-sourced delta path
+        needs to patch binary incidence matrices without re-exporting.
         """
         spec = self.schema.attribute_type(attribute)
         if count < 1:
@@ -195,12 +314,122 @@ class HeterogeneousNetwork:
                 f"{spec.node_type!r} node {node_id!r}"
             )
         vocab_index = self._attr_index[attribute]
-        if value not in vocab_index:
+        new_value = value not in vocab_index
+        if new_value:
             vocab_index[value] = len(self._attr_values[attribute])
             self._attr_values[attribute].append(value)
         bag = self._attr_links[attribute][node_id]
+        new_incidence = value not in bag
         bag[value] = bag.get(value, 0) + count
         self._attr_link_counts[attribute] += count
+        self._attr_epochs[attribute] += 1
+        return new_value, new_incidence
+
+    def detach_attributes(
+        self, attribute: str, node_id: NodeId
+    ) -> Dict[AttributeValue, int]:
+        """Remove every ``attribute`` attachment of one node.
+
+        Returns the removed multiset (empty when nothing was attached).
+        The vocabulary never shrinks — values stay addressable so
+        matrix columns keep their meaning.
+        """
+        self._require_attribute(attribute)
+        bag = self._attr_links[attribute].pop(node_id, None)
+        if not bag:
+            return {}
+        self._attr_link_counts[attribute] -= sum(bag.values())
+        self._attr_epochs[attribute] += 1
+        return dict(bag)
+
+    # ------------------------------------------------------------------
+    # Removal & compaction
+    # ------------------------------------------------------------------
+    def remove_node(self, node_type: str, node_id: NodeId) -> NodeRemoval:
+        """Remove a node, cascading its edges and attribute attachments.
+
+        The node's slot is tombstoned — kept in the index order as
+        ``None`` — so positions of every other node are unchanged and
+        matrix exports keep their shape (the dead slot becomes an
+        all-zero row/column).  Returns a :class:`NodeRemoval` record of
+        everything deleted, with slot positions captured before the
+        tombstone lands.
+        """
+        self._require_node_type(node_type)
+        index = self._node_index[node_type]
+        if node_id not in index:
+            raise NetworkError(
+                f"cannot remove unknown {node_type!r} node {node_id!r} "
+                f"from network {self.name!r}"
+            )
+        slot = index[node_id]
+        removed_edges: List[Tuple[str, int, int]] = []
+        for relation, spec in self.schema.edge_types.items():
+            if spec.source == node_type:
+                targets = self._out[relation].pop(node_id, None)
+                if targets:
+                    dst_index = self._node_index[spec.target]
+                    for target in targets:
+                        self._in[relation][target].discard(node_id)
+                        removed_edges.append((relation, slot, dst_index[target]))
+                    self._edge_counts[relation] -= len(targets)
+                    self._edge_epochs[relation] += 1
+            if spec.target == node_type:
+                sources = self._in[relation].pop(node_id, None)
+                if sources:
+                    src_index = self._node_index[spec.source]
+                    for source in sources:
+                        self._out[relation][source].discard(node_id)
+                        removed_edges.append((relation, src_index[source], slot))
+                    self._edge_counts[relation] -= len(sources)
+                    self._edge_epochs[relation] += 1
+        removed_attributes: List[Tuple[str, int, AttributeValue]] = []
+        for attribute, spec in self.schema.attribute_types.items():
+            if spec.node_type != node_type:
+                continue
+            for value in self.detach_attributes(attribute, node_id):
+                removed_attributes.append((attribute, slot, value))
+        self._nodes[node_type][slot] = None
+        del index[node_id]
+        self._tombstones[node_type] += 1
+        self._node_epochs[node_type] += 1
+        return NodeRemoval(
+            node_type=node_type,
+            node_id=node_id,
+            slot=slot,
+            edges=tuple(removed_edges),
+            attributes=tuple(removed_attributes),
+        )
+
+    def compact(self) -> Dict[str, np.ndarray]:
+        """Drop tombstoned slots, renumbering the survivors.
+
+        Positions *shift*: anything position-derived (exported matrices,
+        cached index maps) must be rebuilt by the caller.  Returns, for
+        each node type that had tombstones, the array of **old** slot
+        indices of the surviving nodes in their new order — exactly the
+        fancy-index needed to slice old matrices down to the compacted
+        shape (``new = old[kept][:, kept]``).
+        """
+        kept: Dict[str, np.ndarray] = {}
+        for node_type, order in self._nodes.items():
+            if not self._tombstones[node_type]:
+                continue
+            live = [
+                (old_slot, node_id)
+                for old_slot, node_id in enumerate(order)
+                if node_id is not None
+            ]
+            kept[node_type] = np.array(
+                [old_slot for old_slot, _ in live], dtype=np.int64
+            )
+            self._nodes[node_type] = [node_id for _, node_id in live]
+            self._node_index[node_type] = {
+                node_id: new_slot for new_slot, (_, node_id) in enumerate(live)
+            }
+            self._tombstones[node_type] = 0
+            self._node_epochs[node_type] += 1
+        return kept
 
     def attribute_values(self, attribute: str) -> List[AttributeValue]:
         """Ordered vocabulary of an attribute type (a copy)."""
@@ -232,8 +461,8 @@ class HeterogeneousNetwork:
         by its target node type order (see :meth:`nodes`).
         """
         spec = self.schema.edge_type(relation)
-        n_rows = self.node_count(spec.source)
-        n_cols = self.node_count(spec.target)
+        n_rows = self.slot_count(spec.source)
+        n_cols = self.slot_count(spec.target)
         rows: List[int] = []
         cols: List[int] = []
         src_index = self._node_index[spec.source]
@@ -281,7 +510,7 @@ class HeterogeneousNetwork:
             value_index: Dict[AttributeValue, int] = self._attr_index[attribute]
         else:
             value_index = {value: j for j, value in enumerate(vocabulary)}
-        n_rows = self.node_count(spec.node_type)
+        n_rows = self.slot_count(spec.node_type)
         rows: List[int] = []
         cols: List[int] = []
         data: List[float] = []

@@ -293,6 +293,40 @@ class MatrixArena:
             self._write_manifest()
             return True
 
+    def vacuum(self) -> Tuple[int, int]:
+        """Delete data files no manifest entry references.
+
+        Orphans accumulate from crashed writers (a ``.tmp`` file whose
+        ``os.replace`` never ran) and from sessions of a previous
+        manifest generation whose entries were since dropped or renamed.
+        Called by session compaction so the on-disk footprint shrinks
+        with the logical state.  In-flight temporary files (``.tmp.*``)
+        are left alone — a live writer thread may still hold one.
+
+        Returns ``(files_removed, bytes_freed)``.
+        """
+        removed = 0
+        freed = 0
+        with self._lock:
+            referenced = {
+                filename
+                for entry in self._entries.values()
+                for filename in entry["files"].values()
+            }
+            for path in self.data_dir.iterdir():
+                if not path.is_file() or path.name in referenced:
+                    continue
+                if ".tmp." in path.name:
+                    continue
+                try:
+                    size = path.stat().st_size
+                    path.unlink()
+                except OSError:  # pragma: no cover - concurrent delete
+                    continue
+                removed += 1
+                freed += size
+        return removed, freed
+
     def nbytes(self) -> int:
         """Total on-disk size of all stored data files."""
         return sum(

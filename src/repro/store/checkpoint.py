@@ -222,6 +222,28 @@ class SessionCheckpoint:
             self._session_cache = session_state
         return payload
 
+    def prune_history(self) -> int:
+        """Delete rotated snapshots, keeping only the latest checkpoint.
+
+        The long-drift compaction hook: after a session compacts, its
+        slot coordinates shift, so rotated pre-compaction generations
+        can no longer be restored into the live session (their
+        compaction epoch is older — ``load_state_dict`` refuses them).
+        Pruning them bounds the checkpoint chain's disk footprint to
+        one snapshot.  Also drops the clean-save session cache — the
+        next save must re-serialize the (compacted) session state.
+        Returns the number of files removed.
+        """
+        removed = 0
+        for stale in self.history():
+            try:
+                stale.unlink()
+            except FileNotFoundError:  # pragma: no cover - racing clear
+                continue
+            removed += 1
+        self._session_cache = None
+        return removed
+
     def clear(self) -> bool:
         """Delete the checkpoint and its rotated history.
 

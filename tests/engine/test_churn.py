@@ -1,0 +1,374 @@
+"""Churn-lifecycle tests: removals, compaction, and the event fast path.
+
+The growth-only evolution seam is covered by ``test_evolution.py``;
+this module exercises the *shrink* half — removal deltas riding the
+event-sourced fold, tombstoned slots, long-drift compaction — plus the
+session-state v4 migration and the mid-loop compaction resume.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import AlignmentSession
+from repro.exceptions import FeatureError, StoreError
+from repro.networks.aligned import NetworkDelta
+
+
+@pytest.fixture()
+def fresh_pair():
+    from repro.datasets import foursquare_twitter_like
+
+    return foursquare_twitter_like("tiny", seed=11)
+
+
+def _candidates(pair, limit=400):
+    return [
+        (u, v) for u in pair.left_users() for v in pair.right_users()
+    ][:limit]
+
+
+def _grow_delta(pair, side="left", tag="churn"):
+    network = pair.left if side == "left" else pair.right
+    users = pair.left_users() if side == "left" else pair.right_users()
+    timestamps = network.attribute_values("timestamp")
+    locations = network.attribute_values("location")
+    return NetworkDelta.build(
+        side,
+        added_nodes={
+            "user": [f"{tag}:{side}:u0"],
+            "post": [f"{tag}:{side}:p0"],
+        },
+        added_edges=[
+            ("follow", f"{tag}:{side}:u0", users[0]),
+            ("follow", users[1], f"{tag}:{side}:u0"),
+            ("write", f"{tag}:{side}:u0", f"{tag}:{side}:p0"),
+        ],
+        updated_attributes=[
+            ("timestamp", f"{tag}:{side}:p0", timestamps[0]),
+            ("location", f"{tag}:{side}:p0", locations[0]),
+        ],
+    )
+
+
+def _scratch(pair, anchors, pairs):
+    """Features from a session built fresh over the (mutated) pair."""
+    return AlignmentSession(pair, known_anchors=anchors).extract(pairs)
+
+
+class TestRemovalDeltas:
+    def test_remove_then_readd_same_node(self, fresh_pair):
+        """A re-added id gets a new slot; the old one stays tombstoned."""
+        pair = fresh_pair
+        anchors = sorted(pair.anchors, key=repr)[:5]
+        pairs = _candidates(pair)
+        session = AlignmentSession(pair, known_anchors=anchors)
+        X = session.extract(pairs)
+
+        session.apply_network_delta(_grow_delta(pair, "left"))
+        session.refresh_features(X, pairs)
+        slot_before = pair.left.node_position("user", "churn:left:u0")
+
+        assert session.apply_network_delta(
+            side="left", removed_nodes={"user": ["churn:left:u0"]}
+        )
+        session.refresh_features(X, pairs)
+        assert not pair.left.has_node("user", "churn:left:u0")
+        assert pair.left.tombstone_count("user") == 1
+
+        # Same id returns; append-only order gives it a fresh slot.
+        readd = NetworkDelta.build(
+            "left",
+            added_nodes={"user": ["churn:left:u0"]},
+            added_edges=[
+                ("follow", "churn:left:u0", pair.left_users()[0]),
+            ],
+        )
+        assert session.apply_network_delta(readd)
+        session.refresh_features(X, pairs)
+        assert pair.left.node_position("user", "churn:left:u0") > slot_before
+        assert pair.left.tombstone_count("user") == 1
+        assert session.stats.fallback_invalidations == 0
+        assert session.stats.removal_updates == 1
+        assert np.array_equal(X, _scratch(pair, anchors, pairs))
+
+    def test_remove_anchor_node(self, fresh_pair):
+        """Removing an anchored user drops the anchor from the session."""
+        pair = fresh_pair
+        anchors = sorted(pair.anchors, key=repr)[:5]
+        victim_left = anchors[0][0]
+        pairs = [
+            pair for pair in _candidates(fresh_pair)
+            if pair[0] != victim_left
+        ]
+        session = AlignmentSession(pair, known_anchors=anchors)
+        X = session.extract(pairs)
+
+        assert session.apply_network_delta(
+            side="left", removed_nodes={"user": [victim_left]}
+        )
+        session.refresh_features(X, pairs)
+        assert anchors[0] not in session.known_anchors
+        assert len(session.known_anchors) == len(anchors) - 1
+        assert np.array_equal(
+            X, _scratch(pair, session.known_anchors, pairs)
+        )
+
+    def test_delta_that_empties_a_matrix(self, fresh_pair):
+        """Removing every left post zeroes WRITE/attribute matrices."""
+        pair = fresh_pair
+        anchors = sorted(pair.anchors, key=repr)[:5]
+        pairs = _candidates(pair)
+        session = AlignmentSession(pair, known_anchors=anchors)
+        X = session.extract(pairs)
+
+        posts = pair.left.nodes("post")
+        assert posts, "tiny pair must ship with left posts"
+        assert session.apply_network_delta(
+            side="left", removed_nodes={"post": posts}
+        )
+        session.refresh_features(X, pairs)
+        assert pair.left.node_count("post") == 0
+        assert pair.left.edge_count("write") == 0
+        assert pair.left.attribute_link_count("timestamp") == 0
+        assert session.stats.fallback_invalidations == 0
+        assert np.array_equal(X, _scratch(pair, anchors, pairs))
+
+    def test_remove_edges_loose_keyword_form(self, fresh_pair):
+        pair = fresh_pair
+        session = AlignmentSession(pair)
+        session.extract(_candidates(pair))
+        existing = next(iter(pair.left.edges("follow")))
+        assert session.apply_network_delta(
+            side="left", removed_edges=[("follow", *existing)]
+        )
+        assert not pair.left.has_edge("follow", *existing)
+        assert session.stats.removal_updates == 1
+        assert session.stats.fallback_invalidations == 0
+
+    def test_unknown_keyword_rejected(self, fresh_pair):
+        session = AlignmentSession(fresh_pair)
+        with pytest.raises(FeatureError, match="dropped_nodes"):
+            session.apply_network_delta(
+                side="left", dropped_nodes={"user": ["x"]}
+            )
+
+    def test_delta_and_loose_mix_rejected(self, fresh_pair):
+        session = AlignmentSession(fresh_pair)
+        delta = NetworkDelta.build("left")
+        with pytest.raises(FeatureError, match="either"):
+            session.apply_network_delta(delta, side="left")
+
+    def test_stats_str_reports_churn_counters(self, fresh_pair):
+        session = AlignmentSession(fresh_pair)
+        text = str(session.stats)
+        assert "removal_updates=" in text
+        assert "compactions=" in text
+
+    def test_strict_deltas_verifies_event_folds(self, fresh_pair):
+        """strict_deltas cross-checks every fold against a re-export."""
+        pair = fresh_pair
+        anchors = sorted(pair.anchors, key=repr)[:5]
+        pairs = _candidates(pair)
+        session = AlignmentSession(
+            pair, known_anchors=anchors, strict_deltas=True
+        )
+        X = session.extract(pairs)
+        session.apply_network_delta(_grow_delta(pair, "left"))
+        session.apply_network_delta(
+            side="left", removed_nodes={"user": ["churn:left:u0"]}
+        )
+        session.refresh_features(X, pairs)
+        assert np.array_equal(X, _scratch(pair, anchors, pairs))
+
+
+class TestCompaction:
+    def _churned_session(self, pair, **options):
+        anchors = sorted(pair.anchors, key=repr)[:5]
+        pairs = _candidates(pair)
+        session = AlignmentSession(pair, known_anchors=anchors, **options)
+        X = session.extract(pairs)
+        session.apply_network_delta(_grow_delta(pair, "left", tag="c0"))
+        session.apply_network_delta(_grow_delta(pair, "right", tag="c1"))
+        session.apply_network_delta(
+            side="left", removed_nodes={"user": ["c0:left:u0"]}
+        )
+        session.refresh_features(X, pairs)
+        return session, X, anchors, pairs
+
+    def test_compact_drops_tombstones_and_preserves_features(
+        self, fresh_pair
+    ):
+        session, X, anchors, pairs = self._churned_session(fresh_pair)
+        pair = session.pair
+        assert pair.left.tombstone_count("user") > 0
+        assert session.compact()
+        assert pair.left.tombstone_count("user") == 0
+        assert pair.left.slot_count("user") == pair.left.node_count("user")
+        assert session.compaction_epoch == 1
+        assert session.stats.compactions == 1
+        assert np.array_equal(session.extract(list(pairs)), X)
+        assert np.array_equal(X, _scratch(pair, anchors, pairs))
+
+    def test_compact_truncates_evolution_log(self, fresh_pair):
+        session, _, _, _ = self._churned_session(fresh_pair)
+        assert len(session.state_dict()["evolution"]) == 3
+        session.compact()
+        state = session.state_dict()
+        assert state["evolution"] == []
+        assert state["compaction_epoch"] == 1
+        assert state["pair_snapshot"] is not None
+
+    def test_compact_nothing_to_do_returns_false(self, fresh_pair):
+        session = AlignmentSession(fresh_pair)
+        session.extract(_candidates(fresh_pair))
+        assert not session.compact()
+        assert session.stats.compactions == 0
+
+    def test_auto_compaction_via_compact_every(self, fresh_pair):
+        session, X, anchors, pairs = self._churned_session(
+            fresh_pair, compact_every=2
+        )
+        # Three events with compact_every=2: one auto-compaction fired.
+        assert session.stats.compactions >= 1
+        assert session.compaction_epoch >= 1
+        assert np.array_equal(X, _scratch(session.pair, anchors, pairs))
+
+    def test_state_round_trips_across_compaction(self, fresh_pair):
+        """Post-compaction state restores via the snapshot epoch."""
+        from repro.datasets import foursquare_twitter_like
+
+        session, X, anchors, pairs = self._churned_session(fresh_pair)
+        session.compact()
+        session.apply_network_delta(
+            _grow_delta(session.pair, "left", tag="post")
+        )
+        session.refresh_features(X, pairs)
+        state = session.state_dict()
+
+        other_pair = foursquare_twitter_like("tiny", seed=11)
+        restored = AlignmentSession(other_pair, known_anchors=anchors)
+        restored.load_state_dict(state)
+        assert restored.compaction_epoch == 1
+        assert restored.pair.left.has_node("user", "post:left:u0")
+        assert np.array_equal(restored.extract(list(pairs)), X)
+
+    def test_pre_compaction_state_rejected(self, fresh_pair):
+        session, _, _, _ = self._churned_session(fresh_pair)
+        stale = session.state_dict()
+        session.compact()
+        with pytest.raises(StoreError, match="compaction"):
+            session.load_state_dict(stale)
+
+    def test_compact_every_validated(self, fresh_pair):
+        with pytest.raises(FeatureError, match="compact_every"):
+            AlignmentSession(fresh_pair, compact_every=0)
+
+
+class TestStateMigration:
+    def test_v3_state_loads_into_v4_session(self, fresh_pair):
+        """v3 snapshots (no epoch, no snapshot pair) still restore."""
+        pair = fresh_pair
+        anchors = sorted(pair.anchors, key=repr)[:5]
+        pairs = _candidates(pair)
+        session = AlignmentSession(pair, known_anchors=anchors)
+        X = session.extract(pairs)
+        session.apply_network_delta(_grow_delta(pair, "left"))
+        session.refresh_features(X, pairs)
+
+        state = session.state_dict()
+        state.pop("compaction_epoch")
+        state.pop("pair_snapshot")
+        state["format_version"] = 3
+
+        from repro.datasets import foursquare_twitter_like
+
+        other_pair = foursquare_twitter_like("tiny", seed=11)
+        restored = AlignmentSession(other_pair, known_anchors=anchors)
+        restored.load_state_dict(state)
+        assert restored.compaction_epoch == 0
+        assert np.array_equal(restored.extract(list(pairs)), X)
+
+    def test_unknown_version_rejected(self, fresh_pair):
+        session = AlignmentSession(fresh_pair)
+        state = session.state_dict()
+        state["format_version"] = 99
+        with pytest.raises(StoreError, match="version"):
+            session.load_state_dict(state)
+
+
+class TestMidLoopCompactionResume:
+    """Compaction inside the drifting active loop survives a crash."""
+
+    def _drifting_fit(self, checkpoint=None, budget=8, batch=2):
+        from repro.active.oracle import LabelOracle
+        from repro.core.activeiter import ActiveIter
+        from repro.core.base import AlignmentTask
+        from repro.datasets import foursquare_twitter_like
+        from repro.engine import evolution_rounds, scripted_delta_schedule
+        from repro.eval.protocol import ProtocolConfig, build_splits
+
+        pair = foursquare_twitter_like("tiny", seed=11)
+        config = ProtocolConfig(
+            np_ratio=5, sample_ratio=1.0, n_repeats=1, seed=13
+        )
+        split = next(iter(build_splits(pair, config)))
+        schedule = scripted_delta_schedule(pair, events=3, seed=5)
+        candidates = list(split.candidates)
+        positives = {
+            split.candidates[i]
+            for i in range(len(split.candidates))
+            if split.truth[i] == 1
+        }
+        # compact_every=2 fires a compaction mid-loop, between rounds.
+        session = AlignmentSession(
+            pair,
+            known_anchors=split.train_positive_pairs,
+            compact_every=2,
+        )
+        task = AlignmentTask(
+            pairs=candidates,
+            X=session.extract(candidates),
+            labeled_indices=split.train_indices,
+            labeled_values=split.truth[split.train_indices],
+        )
+        model = ActiveIter(
+            LabelOracle(positives, budget=budget),
+            batch_size=batch,
+            session=session,
+            refresh_features=True,
+            checkpoint=checkpoint,
+            evolution=evolution_rounds(schedule),
+        )
+        return model, task, session
+
+    def test_resume_replays_byte_identically(self, tmp_path):
+        from repro.exceptions import CheckpointInterrupt
+        from repro.store import SessionCheckpoint
+
+        reference, reference_task, reference_session = self._drifting_fit()
+        reference.fit(reference_task)
+        assert reference_session.stats.compactions >= 1, (
+            "the schedule must trigger a mid-loop compaction"
+        )
+        assert reference.result_.n_rounds > 2
+
+        interrupted = SessionCheckpoint(
+            tmp_path, interrupt_after=2, keep_last=3
+        )
+        model, task, _ = self._drifting_fit(checkpoint=interrupted)
+        with pytest.raises(CheckpointInterrupt):
+            model.fit(task)
+
+        resumed, resumed_task, resumed_session = self._drifting_fit(
+            checkpoint=SessionCheckpoint(tmp_path, keep_last=3)
+        )
+        resumed.fit(resumed_task)
+
+        assert resumed_session.stats.compactions >= 1
+        assert resumed.queried_ == reference.queried_
+        assert np.array_equal(resumed.labels_, reference.labels_)
+        assert np.array_equal(resumed.weights_, reference.weights_)
+        assert (
+            resumed.result_.convergence_trace
+            == reference.result_.convergence_trace
+        )
