@@ -13,9 +13,28 @@ finds into a single table:
 * one **metrics** section — the numeric measurements (seconds,
   speedups, byte counts), for eyeballing trends across runs.
 
+Numeric regressions are gated too: with ``--history FILE`` the script
+keeps a per-(benchmark, metric) record-to-beat and fails when a new
+run falls past the tolerances below.  Two metric families are watched:
+
+* ``*speedup*`` metrics are better-is-higher; a run is a regression
+  when it drops more than ``SPEEDUP_DROP_TOLERANCE`` (default 20%)
+  below the best previously recorded value;
+* ``*rss_ratio*`` / ``*rss-ratio*`` metrics are better-is-lower; a run
+  regresses when it grows more than ``RSS_GROWTH_TOLERANCE`` (default
+  10%) above the best (smallest) previously recorded value.
+
+The record-to-beat only moves in the improving direction (a ratchet),
+and it is **not** updated on a failing run — a regression stays red
+until the number recovers or the history file is deliberately reset.
+Other metrics are reported but never gated: wall-clock seconds and
+byte counts vary with hardware, scale knobs and dataset presets, so a
+tolerance on them would only produce flaky builds.
+
 Usage::
 
     python benchmarks/report_trend.py [--results-dir benchmarks/results]
+                                      [--history benchmarks/results/trend_history.json]
 """
 
 from __future__ import annotations
@@ -24,13 +43,23 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+#: Tolerated relative drop of a ``*speedup*`` metric below its
+#: recorded best before the report fails (0.20 = 20%).
+SPEEDUP_DROP_TOLERANCE = 0.20
+
+#: Tolerated relative growth of a ``*rss_ratio*`` metric above its
+#: recorded best before the report fails (0.10 = 10%).
+RSS_GROWTH_TOLERANCE = 0.10
 
 
 def load_records(results_dir: Path) -> List[Dict]:
     """Parse every ``*.json`` record under ``results_dir``, sorted."""
     records = []
     for path in sorted(results_dir.glob("*.json")):
+        if path.name == "trend_history.json":
+            continue  # the ratchet file lives next to the records
         try:
             payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as error:
@@ -50,6 +79,60 @@ def _format_value(value) -> str:
     if isinstance(value, float):
         return f"{value:.4f}"
     return str(value)
+
+
+def _gate_direction(key: str) -> Optional[str]:
+    """Which numeric gate (if any) watches this metric key."""
+    lowered = key.lower()
+    if "speedup" in lowered:
+        return "higher"
+    if "rss_ratio" in lowered or "rss-ratio" in lowered:
+        return "lower"
+    return None
+
+
+def check_numeric_trends(
+    records: List[Dict], history: Dict[str, float]
+) -> Tuple[List[str], Dict[str, float]]:
+    """Ratchet gated metrics against ``history``.
+
+    Returns ``(regressions, updated_history)``; the updated history is
+    only meant to be persisted when there are no regressions.
+    """
+    regressions: List[str] = []
+    updated = dict(history)
+    for record in records:
+        name = record["benchmark"]
+        for key, value in sorted(record.get("metrics", {}).items()):
+            direction = _gate_direction(key)
+            if direction is None or not isinstance(value, (int, float)):
+                continue
+            if isinstance(value, bool):
+                continue
+            slot = f"{name}:{key}"
+            best = updated.get(slot)
+            if best is None:
+                updated[slot] = float(value)
+                continue
+            if direction == "higher":
+                floor = best * (1.0 - SPEEDUP_DROP_TOLERANCE)
+                if value < floor:
+                    regressions.append(
+                        f"{slot} dropped to {value:.4f}, more than "
+                        f"{SPEEDUP_DROP_TOLERANCE:.0%} below the recorded "
+                        f"best {best:.4f}"
+                    )
+                updated[slot] = max(best, float(value))
+            else:
+                ceiling = best * (1.0 + RSS_GROWTH_TOLERANCE)
+                if value > ceiling:
+                    regressions.append(
+                        f"{slot} grew to {value:.4f}, more than "
+                        f"{RSS_GROWTH_TOLERANCE:.0%} above the recorded "
+                        f"best {best:.4f}"
+                    )
+                updated[slot] = min(best, float(value))
+    return regressions, updated
 
 
 def consolidate(records: List[Dict]) -> Tuple[str, List[str]]:
@@ -82,13 +165,29 @@ def consolidate(records: List[Dict]) -> Tuple[str, List[str]]:
     if not metric_rows:
         lines.append("  (none recorded)")
     for name, key, value in metric_rows:
+        gated = {"higher": " [gated ↑]", "lower": " [gated ↓]"}.get(
+            _gate_direction(key) or "", ""
+        )
         lines.append(
-            f"  {name:<{width}}  {key:<{key_width}}  {_format_value(value)}"
+            f"  {name:<{width}}  {key:<{key_width}}  "
+            f"{_format_value(value)}{gated}"
         )
     failed = [
         f"{name}: {key}" for name, key, value in flag_rows if not value
     ]
     return "\n".join(lines), failed
+
+
+def _load_history(path: Path) -> Dict[str, float]:
+    if not path.exists():
+        return {}
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"unreadable trend history {path}: {error}")
+    if not isinstance(payload, dict):
+        raise SystemExit(f"malformed trend history {path}: expected an object")
+    return {str(key): float(value) for key, value in payload.items()}
 
 
 def main(argv=None) -> int:
@@ -98,6 +197,16 @@ def main(argv=None) -> int:
         type=Path,
         default=Path(__file__).parent / "results",
         help="directory holding benchmark *.json records",
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=None,
+        help=(
+            "record-to-beat JSON file for the numeric regression gates "
+            "(default: <results-dir>/trend_history.json); created on "
+            "first use, only updated when the report passes"
+        ),
     )
     args = parser.parse_args(argv)
     if not args.results_dir.is_dir():
@@ -109,12 +218,26 @@ def main(argv=None) -> int:
         return 0
     table, failed = consolidate(records)
     print(table)
+    history_path = args.history or (args.results_dir / "trend_history.json")
+    history = _load_history(history_path)
+    regressions, updated = check_numeric_trends(records, history)
     if failed:
         print()
         print("EXACTNESS REGRESSIONS:")
         for item in failed:
             print(f"  {item}")
+    if regressions:
+        print()
+        print("NUMERIC REGRESSIONS (vs record-to-beat):")
+        for item in regressions:
+            print(f"  {item}")
+    if failed or regressions:
         return 1
+    if updated != history:
+        history_path.parent.mkdir(parents=True, exist_ok=True)
+        history_path.write_text(json.dumps(updated, indent=1, sort_keys=True))
+        print()
+        print(f"trend history updated: {history_path}")
     return 0
 
 

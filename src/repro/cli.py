@@ -23,10 +23,12 @@ Usage::
                                   [--workers 4] [--streamed]
                                   [--model {ridge,svm}] [--feature-map MAP]
                                   [--store-dir DIR]
-                                  [--executor {serial,thread,process}]
+                                  [--executor {serial,thread,process,rpc}]
+                                  [--rpc-hosts HOST:PORT,HOST:PORT]
     python -m repro.cli engine checkpoint --store-dir DIR
                                   [--interrupt-after 3]
     python -m repro.cli engine resume --store-dir DIR
+    python -m repro.cli worker --listen HOST:PORT --store-dir DIR
 
 Every command prints a plain-text analog of the corresponding paper
 artifact.  Defaults are sized for minutes-scale runs; raise ``--scale``
@@ -49,6 +51,11 @@ its state to ``--store-dir`` after every query round
 resume`` picks the fit back up from the snapshot, runs it to
 completion, and verifies the result is byte-identical to an
 uninterrupted run.
+
+``worker`` starts a long-lived RPC worker that serves block-descriptor
+jobs to a remote driver over the content-addressed arena transport
+(see :mod:`repro.store.rpc`); a driver reaches its fleet with
+``engine --store-dir DIR --executor rpc --rpc-hosts h1:p,h2:p``.
 """
 
 from __future__ import annotations
@@ -509,6 +516,25 @@ def _cmd_engine_resume(args: argparse.Namespace) -> str:
     )
 
 
+def cmd_worker(args: argparse.Namespace) -> str:
+    """Serve RPC jobs until shut down (blocks; Ctrl-C to stop)."""
+    from repro.store.rpc import WorkerServer, parse_address
+
+    host, port = parse_address(args.listen)
+    server = WorkerServer(host, port, args.store_dir)
+    bound_host, bound_port = server.address
+    # The first stdout line is the contract test/bench spawners read to
+    # learn the bound port (--listen HOST:0 picks a free one).
+    print(f"listening on {bound_host}:{bound_port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return "worker stopped"
+
+
 def cmd_engine(args: argparse.Namespace) -> str:
     """Engine diagnostics, plus the checkpoint/resume workflow."""
     from repro.engine import AlignmentSession, CandidateGenerator, make_executor
@@ -528,6 +554,9 @@ def cmd_engine(args: argparse.Namespace) -> str:
     if args.action == "resume":
         return _cmd_engine_resume(args)
 
+    rpc_hosts = [h for h in (args.rpc_hosts or "").split(",") if h]
+    if args.executor == "rpc" and not rpc_hosts:
+        raise SystemExit("--executor rpc requires --rpc-hosts HOST:PORT,...")
     pair = foursquare_twitter_like(scale=args.scale, seed=args.seed)
     comparison = compare_incremental_paths(
         pair,
@@ -538,7 +567,7 @@ def cmd_engine(args: argparse.Namespace) -> str:
     )
     # The context managers guarantee the pool (and arena handles) are
     # released even when a diagnostic below raises.
-    with make_executor(args.executor, args.workers) as executor:
+    with make_executor(args.executor, args.workers, rpc_hosts) as executor:
         with AlignmentSession(
             pair,
             known_anchors=pair.anchors,
@@ -579,6 +608,7 @@ def cmd_engine(args: argparse.Namespace) -> str:
             workers=args.workers,
             np_ratio=args.np_ratio,
             seed=args.seed,
+            addresses=rpc_hosts,
         )
         lines.extend(["", format_store_comparison(store)])
     if args.streamed or args.model != "ridge" or args.feature_map is not None:
@@ -735,8 +765,20 @@ def build_parser() -> argparse.ArgumentParser:
     engine.add_argument(
         "--executor",
         default="thread",
-        choices=["serial", "thread", "process"],
-        help="execution backend used when --workers > 1",
+        choices=["serial", "thread", "process", "rpc"],
+        help=(
+            "execution backend used when --workers > 1 "
+            "(rpc also needs --rpc-hosts)"
+        ),
+    )
+    engine.add_argument(
+        "--rpc-hosts",
+        default=None,
+        metavar="HOST:PORT,...",
+        help=(
+            "comma-separated endpoints of running "
+            "`python -m repro.cli worker` processes (--executor rpc)"
+        ),
     )
     engine.add_argument(
         "--store-dir",
@@ -761,6 +803,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="also race the streamed active fit against the materialized task",
     )
     _add_model_knobs(engine)
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve RPC block-descriptor jobs to a remote engine driver",
+    )
+    worker.add_argument(
+        "--listen",
+        required=True,
+        metavar="HOST:PORT",
+        help="endpoint to listen on (port 0 picks a free port)",
+    )
+    worker.add_argument(
+        "--store-dir",
+        required=True,
+        help=(
+            "local directory for the worker's content-addressed blob "
+            "cache and per-driver arena replicas"
+        ),
+    )
 
     return parser
 
@@ -795,6 +856,7 @@ _COMMANDS = {
     "evolve": cmd_evolve,
     "experiment": cmd_experiment,
     "engine": cmd_engine,
+    "worker": cmd_worker,
 }
 
 

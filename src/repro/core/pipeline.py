@@ -37,7 +37,7 @@ from repro.engine.candidates import (
     linear_scorer,
     streamed_selection,
 )
-from repro.engine.parallel import ProcessExecutor, WorkersSpec
+from repro.engine.parallel import WorkersSpec
 from repro.engine.session import AlignmentSession
 from repro.engine.streaming import (
     BlockSizeSpec,
@@ -374,13 +374,14 @@ class AlignmentPipeline:
         known = self.session_.known_anchors
         weights = np.asarray(weights, dtype=np.float64).ravel()
         if (
-            isinstance(self.session_.executor, ProcessExecutor)
+            self.session_.executor.crosses_processes
             and self.session_.arena is not None
         ):
-            # Process fan-out: ship a picklable arena-backed scorer;
-            # workers resolve blocks against the shared memory-mapped
-            # store.  Scores (and the selection) are byte-identical to
-            # the in-process sweep.
+            # Cross-process fan-out: ship a picklable arena-backed
+            # scorer; workers resolve blocks against the shared
+            # memory-mapped store (or their synced replica).  Scores
+            # (and the selection) are byte-identical to the in-process
+            # sweep.
             score_fn = ArenaLinearScorer(
                 spec=self.session_.flush_store(), weights=weights
             )

@@ -32,7 +32,6 @@ import numpy as np
 from scipy import sparse
 
 from repro.engine.parallel import (
-    ProcessExecutor,
     SerialExecutor,
     WorkersSpec,
     _picklable,
@@ -376,9 +375,9 @@ def streamed_selection(
     With ``workers`` (an integer or a shared
     :class:`~repro.engine.parallel.Executor`) blocks are scored across
     a thread pool; survivors are still merged in stream order, so the
-    selection is byte-identical to a serial sweep.  A
-    :class:`~repro.engine.parallel.ProcessExecutor` fans blocks across
-    processes when ``score_fn`` is picklable — e.g. an
+    selection is byte-identical to a serial sweep.  A cross-process
+    executor (process pool or RPC fleet) fans blocks across workers
+    when ``score_fn`` is picklable — e.g. an
     :class:`~repro.store.procwork.ArenaLinearScorer` resolving features
     against a shared arena — and degrades to a serial sweep otherwise
     (a closure over live session state cannot cross the process
@@ -386,7 +385,7 @@ def streamed_selection(
     never an error.
     """
     executor = get_executor(workers)
-    if isinstance(executor, ProcessExecutor) and not _picklable(score_fn):
+    if executor.crosses_processes and not _picklable(score_fn):
         executor = SerialExecutor()
 
     survivor_pairs: List[LinkPair] = []

@@ -25,6 +25,14 @@ stream program against.  Three implementations exist:
   process executor still works everywhere — only the curated
   descriptor paths actually fan across processes.
 
+A fourth implementation lives in :mod:`repro.store.rpc`:
+:class:`~repro.store.rpc.RPCExecutor` honors the same contract but
+ships the picklable work units to long-lived *remote* workers over a
+content-addressed arena transport — the scale jump from one box to a
+fleet.  It is resolved here via ``make_executor("rpc", ...)`` and
+advertises itself through the :attr:`Executor.crosses_processes` flag,
+the seam dispatchers use to choose descriptor-based work units.
+
 Determinism contract: both :meth:`Executor.map` and
 :meth:`Executor.imap` return results in the order of their inputs, never
 in completion order, and callers fold results sequentially in that
@@ -78,12 +86,19 @@ class Executor:
     workers:
         Parallelism degree; ``1`` means strictly inline execution.
     kind:
-        Short name of the execution backend (``"serial"``, ``"thread"``
-        or ``"process"``) — recorded in experiment runtime metadata.
+        Short name of the execution backend (``"serial"``, ``"thread"``,
+        ``"process"`` or ``"rpc"``) — recorded in experiment runtime
+        metadata.
+    crosses_processes:
+        Whether work units leave this interpreter (pickled to a process
+        pool or shipped to remote workers).  Dispatchers use this to
+        decide between closure-based work and the arena-backed block
+        descriptors of :mod:`repro.store.procwork`.
     """
 
     workers: int = 1
     kind: str = "serial"
+    crosses_processes: bool = False
 
     def map(
         self, fn: Callable[[T], R], items: Iterable[T]
@@ -246,6 +261,7 @@ class ProcessExecutor(Executor):
     """
 
     kind = "process"
+    crosses_processes = True
 
     def __init__(self, workers: int) -> None:
         if workers < 2:
@@ -302,18 +318,37 @@ class ProcessExecutor(Executor):
         return f"ProcessExecutor(workers={self.workers})"
 
 
-def make_executor(kind: str, workers: int = 1) -> Executor:
+def make_executor(
+    kind: str,
+    workers: int = 1,
+    addresses: Optional[Iterable[str]] = None,
+) -> Executor:
     """Build an executor from a named backend and a worker count.
 
-    The CLI's ``--executor {serial,thread,process}`` knob resolves
+    The CLI's ``--executor {serial,thread,process,rpc}`` knob resolves
     through here; ``workers <= 1`` always yields the serial executor
-    regardless of ``kind`` (a pool of one is just overhead).
+    for the pooled kinds (a pool of one is just overhead).  ``"rpc"``
+    ignores ``workers`` and instead needs ``addresses`` — the
+    ``host:port`` endpoints of long-lived
+    ``python -m repro.cli worker`` processes (see
+    :class:`repro.store.rpc.RPCExecutor`).
     """
-    if kind not in ("serial", "thread", "process"):
+    if kind not in ("serial", "thread", "process", "rpc"):
         raise AlignmentError(
             f"unknown executor kind {kind!r}; "
-            "choose from serial, thread, process"
+            "choose from serial, thread, process, rpc"
         )
+    if kind == "rpc":
+        # Imported lazily: repro.store.rpc depends on this module.
+        from repro.store.rpc import RPCExecutor
+
+        addresses = list(addresses or ())
+        if not addresses:
+            raise AlignmentError(
+                "executor kind 'rpc' needs worker addresses "
+                "(host:port, e.g. --rpc-hosts 10.0.0.2:7421,10.0.0.3:7421)"
+            )
+        return RPCExecutor(addresses)
     if kind == "serial" or workers <= 1:
         return SerialExecutor()
     if kind == "thread":

@@ -1189,6 +1189,12 @@ class AlignmentSession:
             return False
         self.stats.network_updates += 1
         self._store_dirty = self.arena is not None
+        # Network shape/position facts (n_right, user-position maps)
+        # live in the once-written session meta; a network mutation can
+        # invalidate them (appended users, grown count columns), so the
+        # next flush must republish meta or arena-side workers would
+        # compute entry keys against a stale n_right.
+        self._store_meta_written = False
         counts_shape = (
             self.pair.left.slot_count(self.pair.anchor_node_type),
             self.pair.right.slot_count(self.pair.anchor_node_type),
@@ -1843,6 +1849,7 @@ class AlignmentSession:
         self._record_dirty(everything=True)
         if self.arena is not None:
             self._store_dirty = True
+            self._store_meta_written = False  # restored pair may differ
 
     # ------------------------------------------------------------------
     # Lifecycle

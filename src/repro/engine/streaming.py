@@ -47,7 +47,6 @@ import numpy as np
 
 from repro.active.strategies import ScoredBlock
 from repro.engine.candidates import CandidateBlock, CandidateGenerator
-from repro.engine.parallel import ProcessExecutor
 from repro.engine.session import AlignmentSession
 from repro.exceptions import ModelError
 from repro.ml.backends import LinearModelState, apply_model_state, gather_rows
@@ -312,19 +311,18 @@ class StreamedAlignmentTask:
         bounded in-flight window; results arrive in stream order, so
         sequential folds over this iterator are deterministic.
 
-        With a :class:`~repro.engine.parallel.ProcessExecutor` and a
-        store-backed session, each pass first flushes a consistent
-        snapshot to the arena and then ships only block *descriptors*
-        to the workers — matrices reach them as shared memory maps, and
-        the extraction kernel is the session's own, so the stream is
-        byte-identical to the in-process one.
+        With an executor whose work leaves this interpreter
+        (:attr:`~repro.engine.parallel.Executor.crosses_processes` —
+        the process pool or the RPC fleet) and a store-backed session,
+        each pass first flushes a consistent snapshot to the arena and
+        then ships only block *descriptors* to the workers — matrices
+        reach them as shared memory maps (or the content-addressed
+        sync), and the extraction kernel is the session's own, so the
+        stream is byte-identical to the in-process one.
         """
         self._maybe_retune()
         executor = self.session.executor
-        if (
-            isinstance(executor, ProcessExecutor)
-            and self.session.arena is not None
-        ):
+        if executor.crosses_processes and self.session.arena is not None:
             spec = self.session.flush_store()
             return executor.imap(
                 extract_block_job,
@@ -443,10 +441,9 @@ class StreamedAlignmentTask:
 
         The model-backend scoring sweep: each raw feature block runs
         through :func:`~repro.ml.backends.apply_model_state` (feature
-        map, scaler, linear form).  With a
-        :class:`~repro.engine.parallel.ProcessExecutor` and a
-        store-backed session the state ships to the workers alongside
-        the block descriptors
+        map, scaler, linear form).  With a cross-process executor
+        (process pool or RPC fleet) and a store-backed session the
+        state ships to the workers alongside the block descriptors
         (:func:`~repro.store.procwork.model_score_block_job`), so SVM
         decision passes and landmark transforms fan across processes;
         the worker kernel is the same function, so results are
@@ -454,10 +451,7 @@ class StreamedAlignmentTask:
         """
         executor = self.session.executor
         scores = np.empty(self.n_candidates, dtype=np.float64)
-        if (
-            isinstance(executor, ProcessExecutor)
-            and self.session.arena is not None
-        ):
+        if executor.crosses_processes and self.session.arena is not None:
             spec = self.session.flush_store()
             stream = executor.imap(
                 model_score_block_job,

@@ -215,7 +215,8 @@ class RuntimeMetadata:
     workers:
         Parallelism degree of the shared session's executor.
     executor:
-        Executor backend (``"serial"``, ``"thread"`` or ``"process"``).
+        Executor backend (``"serial"``, ``"thread"``, ``"process"`` or
+        ``"rpc"``).
     store_dir:
         Directory of the disk-backed matrix store, or ``None`` for an
         in-memory run.
@@ -237,6 +238,20 @@ class RuntimeMetadata:
     compactions:
         Tombstone compactions the shared session performed during the
         run.
+    rpc_jobs_shipped:
+        Work units dispatched to remote workers when the run executed
+        on an :class:`~repro.store.rpc.RPCExecutor` (0 otherwise, as
+        for all ``rpc_*`` counters).
+    rpc_bytes_synced:
+        Arena bytes shipped over the content-addressed transport; a
+        steady-state loop over an unchanged arena re-ships nothing.
+    rpc_cache_hits:
+        Arena blobs a worker already held (content digest matched) and
+        therefore never crossed the wire.
+    rpc_retries:
+        Jobs re-queued after a worker died or timed out mid-flight.
+    rpc_stragglers:
+        Duplicate dispatches of the slowest in-flight tail.
     """
 
     workers: int = 1
@@ -247,6 +262,11 @@ class RuntimeMetadata:
     fallback_invalidations: int = 0
     removal_updates: int = 0
     compactions: int = 0
+    rpc_jobs_shipped: int = 0
+    rpc_bytes_synced: int = 0
+    rpc_cache_hits: int = 0
+    rpc_retries: int = 0
+    rpc_stragglers: int = 0
 
 
 @dataclass
@@ -609,6 +629,7 @@ def run_experiment(
             for name, (report, runtime) in per_method.items():
                 outcome.methods[name].reports.append(report)
                 outcome.methods[name].runtimes.append(runtime)
+        rpc = getattr(session.executor, "metrics", None)
         outcome.runtime = RuntimeMetadata(
             workers=session.workers,
             executor=session.executor.kind,
@@ -622,5 +643,10 @@ def run_experiment(
             fallback_invalidations=session.stats.fallback_invalidations,
             removal_updates=session.stats.removal_updates,
             compactions=session.stats.compactions,
+            rpc_jobs_shipped=getattr(rpc, "jobs_shipped", 0),
+            rpc_bytes_synced=getattr(rpc, "bytes_synced", 0),
+            rpc_cache_hits=getattr(rpc, "sync_cache_hits", 0),
+            rpc_retries=getattr(rpc, "retries", 0),
+            rpc_stragglers=getattr(rpc, "stragglers_redispatched", 0),
         )
     return outcome

@@ -20,6 +20,12 @@ Format history:
   (``removal_updates``, ``compactions``) of the event-sourced removal/
   compaction path.  Older files load fine — the counters default to
   zero.
+* **5** — the runtime block gains the RPC transport counters
+  (``rpc_jobs_shipped``, ``rpc_bytes_synced``, ``rpc_cache_hits``,
+  ``rpc_retries``, ``rpc_stragglers``), so archived multi-host runs
+  show how much the content-addressed arena transport shipped versus
+  served from worker caches.  Older files load fine — the counters
+  default to zero.
 """
 
 from __future__ import annotations
@@ -38,10 +44,10 @@ from repro.eval.protocol import ProtocolConfig
 from repro.exceptions import ExperimentError
 from repro.ml.metrics import ClassificationReport
 
-_FORMAT_VERSION = 4
+_FORMAT_VERSION = 5
 
 #: Versions :func:`outcome_from_dict` can read.
-_READABLE_VERSIONS = (1, 2, 3, 4)
+_READABLE_VERSIONS = (1, 2, 3, 4, 5)
 
 
 def outcome_to_dict(outcome: ExperimentOutcome) -> Dict:

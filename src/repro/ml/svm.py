@@ -173,12 +173,43 @@ class LinearSVC:
         self.intercept_: float = 0.0
         self.n_iter_: int = 0
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSVC":
-        """Fit on ``{0, 1}``-labeled data; returns self."""
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "LinearSVC":
+        """Fit on ``{0, 1}``-labeled data; returns self.
+
+        ``sample_weight`` optionally reweights each sample's hinge-loss
+        cost: sample ``i`` trains under the box constraint
+        ``0 <= alpha_i <= C * sample_weight[i]`` (the standard
+        cost-weighted SVM, via the per-sample ``sample_C`` path of
+        :func:`dual_coordinate_descent`).  Uniform weights of 1.0
+        reproduce the unweighted fit bit-for-bit; a zero weight removes
+        the sample from the margin entirely.
+        """
         X, signed = _validate_training_input(X, y)
         n_samples, n_features = X.shape
         if n_samples == 0:
             raise ModelError("cannot fit on zero samples")
+        sample_C = None
+        if sample_weight is not None:
+            sample_weight = np.asarray(
+                sample_weight, dtype=np.float64
+            ).ravel()
+            if sample_weight.shape[0] != n_samples:
+                raise ModelError(
+                    f"sample_weight has {sample_weight.shape[0]} entries "
+                    f"for {n_samples} samples"
+                )
+            if not np.all(np.isfinite(sample_weight)) or np.any(
+                sample_weight < 0
+            ):
+                raise ModelError(
+                    "sample_weight entries must be finite and >= 0"
+                )
+            sample_C = self.C * sample_weight
         if len(set(signed.tolist())) < 2:
             # Degenerate single-class training set: behave like the
             # majority-class predictor (hyperplane pushed to one side).
@@ -197,6 +228,7 @@ class LinearSVC:
             max_iter=self.max_iter,
             tol=self.tol,
             seed=self.seed,
+            sample_C=sample_C,
         )
 
         if self.fit_intercept:

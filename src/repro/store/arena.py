@@ -43,7 +43,15 @@ from scipy import sparse
 
 from repro.exceptions import StoreError
 
-_FORMAT_VERSION = 1
+#: Manifest format history: **1** — entries with kind/shape/files;
+#: **2** — every entry additionally records a SHA-256 content digest per
+#: component file (``"digests"``), the key the RPC arena transport
+#: de-duplicates on.  Version-1 manifests still load — their entries
+#: simply carry no digests (and cannot be verified or synced remotely).
+_FORMAT_VERSION = 2
+
+#: Manifest format versions :meth:`MatrixArena._load_manifest` accepts.
+_READABLE_FORMATS = (1, 2)
 
 #: Characters allowed verbatim inside stored file stems.
 _SAFE = re.compile(r"[^A-Za-z0-9._-]+")
@@ -66,6 +74,15 @@ def _slot_stem(name: str) -> str:
     digest = hashlib.sha1(name.encode("utf-8")).hexdigest()[:10]
     readable = _SAFE.sub("_", name).strip("_")[:60] or "entry"
     return f"{readable}-{digest}"
+
+
+def file_sha256(path: Union[str, Path]) -> str:
+    """SHA-256 hex digest of one file, read in chunks."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 class MatrixArena:
@@ -111,7 +128,7 @@ class MatrixArena:
                 f"unreadable arena manifest at {self.manifest_path}: {error}"
             ) from None
         version = payload.get("format_version")
-        if version != _FORMAT_VERSION:
+        if version not in _READABLE_FORMATS:
             raise StoreError(
                 f"unsupported arena manifest format {version!r} "
                 f"(this build writes {_FORMAT_VERSION})"
@@ -155,11 +172,15 @@ class MatrixArena:
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
-    def _atomic_save(self, path: Path, array: np.ndarray) -> None:
+    def _atomic_save(self, path: Path, array: np.ndarray) -> str:
         tmp = _tmp_path(path)
         with open(tmp, "wb") as handle:
             np.save(handle, np.ascontiguousarray(array))
+        # Hash the finished file (cheap: the pages are still hot) so the
+        # digest covers exactly the bytes a remote sync would ship.
+        digest = file_sha256(tmp)
         os.replace(tmp, path)
+        return digest
 
     def put(self, name: str, matrix: sparse.spmatrix) -> None:
         """Store one CSR matrix (atomically, canonicalized)."""
@@ -172,8 +193,12 @@ class MatrixArena:
             "indices": f"{stem}.indices.npy",
             "indptr": f"{stem}.indptr.npy",
         }
-        for component, filename in files.items():
-            self._atomic_save(self.data_dir / filename, getattr(csr, component))
+        digests = {
+            component: self._atomic_save(
+                self.data_dir / filename, getattr(csr, component)
+            )
+            for component, filename in files.items()
+        }
         with self._lock:
             self._entries[name] = {
                 "kind": "csr",
@@ -182,6 +207,7 @@ class MatrixArena:
                 "dtype": str(csr.data.dtype),
                 "index_dtype": str(csr.indices.dtype),
                 "files": files,
+                "digests": digests,
             }
             self._open.pop(name, None)
             self._write_manifest()
@@ -191,13 +217,14 @@ class MatrixArena:
         array = np.asarray(array)
         stem = _slot_stem(name)
         filename = f"{stem}.npy"
-        self._atomic_save(self.data_dir / filename, array)
+        digest = self._atomic_save(self.data_dir / filename, array)
         with self._lock:
             self._entries[name] = {
                 "kind": "array",
                 "shape": list(array.shape),
                 "dtype": str(array.dtype),
                 "files": {"array": filename},
+                "digests": {"array": digest},
             }
             self._open.pop(name, None)
             self._write_manifest()
@@ -208,15 +235,54 @@ class MatrixArena:
         filename = f"{stem}.pkl"
         path = self.data_dir / filename
         tmp = _tmp_path(path)
-        tmp.write_bytes(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.write_bytes(blob)
         os.replace(tmp, path)
         with self._lock:
             self._entries[name] = {
                 "kind": "object",
                 "files": {"object": filename},
+                "digests": {"object": hashlib.sha256(blob).hexdigest()},
             }
             self._open.pop(name, None)
             self._write_manifest()
+
+    def verify(self, name: str) -> bool:
+        """Integrity-check one entry against its recorded digests.
+
+        Re-hashes every component file and compares against the SHA-256
+        digests the manifest recorded at ``put`` time.  Returns ``True``
+        when everything matches; raises :class:`StoreError` on a missing
+        entry, a missing/unreadable file, a digest mismatch, or an entry
+        written by a digest-less (format-1) manifest.
+        """
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise StoreError(f"arena has no entry named {name!r}")
+            digests = entry.get("digests")
+            if not digests:
+                raise StoreError(
+                    f"arena entry {name!r} predates content digests "
+                    "(format-1 manifest); rewrite it to make it verifiable"
+                )
+            files = dict(entry["files"])
+        for component, filename in files.items():
+            path = self.data_dir / filename
+            try:
+                actual = file_sha256(path)
+            except OSError as error:
+                raise StoreError(
+                    f"arena entry {name!r} component {component!r} is "
+                    f"unreadable: {error}"
+                ) from None
+            if actual != digests[component]:
+                raise StoreError(
+                    f"arena entry {name!r} component {component!r} is "
+                    f"corrupt: stored digest {digests[component][:12]}..., "
+                    f"file hashes to {actual[:12]}..."
+                )
+        return True
 
     # ------------------------------------------------------------------
     # Reading

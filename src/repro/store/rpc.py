@@ -1,0 +1,977 @@
+"""Multi-host RPC executor over a content-addressed arena transport.
+
+The engine's picklable work units (:mod:`repro.store.procwork` block
+descriptors and model states) already cross process boundaries on one
+machine; this module ships the *same* units to long-lived workers on
+other machines over a minimal stdlib TCP protocol, turning "one big
+box" into a fleet without weakening the exactness contract — an RPC
+run is byte-identical to the serial reference, gated by
+``benchmarks/bench_engine_rpc.py``.
+
+Three pieces share the wire format:
+
+* **framing + envelopes** — length-prefixed frames carrying pickled
+  dict envelopes, with a protocol-version handshake on connect;
+* :class:`WorkerServer` — the worker side, launched via
+  ``python -m repro.cli worker --listen HOST:PORT --store-dir DIR``.
+  It keeps one *replica* per driver arena under its store dir and
+  executes jobs against it, remapping the
+  :class:`~repro.store.procwork.ArenaSpec` inside each work unit to
+  the local replica path;
+* :class:`RPCExecutor` — the driver side, an
+  :class:`~repro.engine.parallel.Executor` implementation.  Before
+  dispatching arena-backed jobs it runs the **arena transport**: the
+  driver sends the manifest (entries now carry per-file SHA-256
+  digests, see :class:`~repro.store.arena.MatrixArena`), the worker
+  answers with the digests it does *not* already hold in its
+  content-addressed blob cache, and only those blobs cross the wire.
+  Repeated rounds of the active loop therefore re-ship nothing that
+  did not change — the second sweep over an unchanged arena syncs
+  zero bytes.
+
+Robustness is part of the performance story.  Jobs carry a per-job
+timeout; a worker that dies (or stops answering) has its in-flight
+job re-queued onto the survivors after bounded reconnect attempts with
+exponential backoff; when the job queue drains, idle workers
+re-dispatch the slowest in-flight tail (jobs are pure functions, so a
+duplicate result is byte-identical and first-wins is safe); and when
+*no* worker is reachable the executor degrades to inline execution
+with a logged warning — correctness at serial speed.  Every event is
+counted in :class:`RPCMetrics` so experiment persistence and the trend
+report can see how a run was produced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import pickle
+import shutil
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine.parallel import Executor, _picklable
+from repro.exceptions import RPCError
+from repro.store.arena import _tmp_path
+from repro.store.procwork import ArenaLinearScorer, ArenaSpec
+
+logger = logging.getLogger(__name__)
+
+#: Bumped on any incompatible change to envelopes or sync semantics;
+#: driver and worker refuse to talk across versions at handshake time.
+PROTOCOL_VERSION = 1
+
+#: Frame header: one unsigned 64-bit big-endian payload length.
+_HEADER = struct.Struct("!Q")
+
+#: Upper bound on a single frame, as a guard against corrupt headers.
+MAX_FRAME_BYTES = 1 << 34
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def send_frame(sock: socket.socket, payload: dict) -> int:
+    """Pickle ``payload`` and send it as one length-prefixed frame.
+
+    Returns the number of payload bytes written (header excluded) so
+    callers can meter traffic.
+    """
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(blob)) + blob)
+    return len(blob)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = bytearray()
+    while len(chunks) < n:
+        chunk = sock.recv(min(n - len(chunks), 1 << 20))
+        if not chunk:
+            raise RPCError("connection closed mid-frame")
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict:
+    """Receive one length-prefixed frame and unpickle its payload."""
+    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if length > MAX_FRAME_BYTES:
+        raise RPCError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte "
+            "protocol limit (corrupt stream?)"
+        )
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def _handshake_client(sock: socket.socket) -> None:
+    send_frame(sock, {"kind": "hello", "protocol": PROTOCOL_VERSION})
+    reply = recv_frame(sock)
+    if reply.get("kind") != "hello" or (
+        reply.get("protocol") != PROTOCOL_VERSION
+    ):
+        raise RPCError(
+            f"protocol mismatch: worker speaks {reply.get('protocol')!r}, "
+            f"this driver speaks {PROTOCOL_VERSION}"
+        )
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split a ``host:port`` endpoint string."""
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise RPCError(f"malformed worker address {address!r} (want host:port)")
+    return host, int(port)
+
+
+# ----------------------------------------------------------------------
+# Spec discovery / remapping inside work units
+# ----------------------------------------------------------------------
+def _walk_specs(obj, found: Dict[str, int]) -> None:
+    """Collect ``store_dir -> max version`` from specs nested in ``obj``."""
+    if isinstance(obj, ArenaSpec):
+        found[obj.store_dir] = max(
+            found.get(obj.store_dir, 0), obj.version
+        )
+    elif isinstance(obj, ArenaLinearScorer):
+        _walk_specs(obj.spec, found)
+    elif isinstance(obj, (tuple, list)):
+        for element in obj:
+            _walk_specs(element, found)
+
+
+def _remap_specs(obj, mapping: Dict[str, str]):
+    """Rewrite every nested :class:`ArenaSpec` through ``mapping``.
+
+    ``mapping`` sends a driver-side ``store_dir`` to the worker's local
+    replica directory; the version stamp rides along unchanged (replica
+    manifests are written with the driver's version counter, so the
+    worker-side staleness check keeps working verbatim).
+    """
+    if isinstance(obj, ArenaSpec):
+        local = mapping.get(obj.store_dir)
+        if local is None:
+            raise RPCError(
+                f"job references arena {obj.store_dir!r} which was never "
+                "synced to this worker"
+            )
+        return ArenaSpec(store_dir=local, version=obj.version)
+    if isinstance(obj, ArenaLinearScorer):
+        return replace(obj, spec=_remap_specs(obj.spec, mapping))
+    if isinstance(obj, tuple):
+        return tuple(_remap_specs(element, mapping) for element in obj)
+    if isinstance(obj, list):
+        return [_remap_specs(element, mapping) for element in obj]
+    return obj
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class _ReplicaStore:
+    """One driver arena mirrored under the worker's store directory.
+
+    Blobs live content-addressed in a shared ``cache/`` directory (one
+    file per SHA-256 digest, deduplicated across replicas and rounds);
+    the replica's ``data/`` directory hardlinks into the cache under
+    digest names and its manifest rewrites every entry's files to those
+    names.  :mod:`repro.store.procwork` job functions then open the
+    replica like any other :class:`~repro.store.arena.MatrixArena`.
+    """
+
+    def __init__(self, root: Path, cache_dir: Path, store_id: str) -> None:
+        self.store_id = store_id
+        self.root = root
+        self.cache_dir = cache_dir
+        self.data_dir = root / "data"
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.version = self._manifest_version()
+        self._pending: Optional[dict] = None
+
+    def _manifest_version(self) -> int:
+        path = self.root / "manifest.json"
+        if not path.exists():
+            return 0
+        try:
+            return int(json.loads(path.read_text()).get("version", 0))
+        except (OSError, json.JSONDecodeError, ValueError):
+            return 0
+
+    def begin(self, payload: dict) -> List[str]:
+        """Stage a sync; return the digests missing from the blob cache."""
+        entries = payload["entries"]
+        needed: List[str] = []
+        seen = set()
+        for name, entry in entries.items():
+            digests = entry.get("digests")
+            if not digests or set(digests) != set(entry["files"]):
+                raise RPCError(
+                    f"arena entry {name!r} carries no content digests — "
+                    "the driver store predates manifest format 2 and "
+                    "cannot be synced remotely"
+                )
+            for digest in digests.values():
+                if digest in seen:
+                    continue
+                seen.add(digest)
+                if not (self.cache_dir / digest).exists():
+                    needed.append(digest)
+        self._pending = payload
+        return needed
+
+    def commit(self, blobs: Dict[str, bytes]) -> None:
+        """Store fetched blobs and publish the staged manifest."""
+        if self._pending is None:
+            raise RPCError("sync-data received without a sync-begin")
+        payload, self._pending = self._pending, None
+        for digest, blob in blobs.items():
+            if hashlib.sha256(blob).hexdigest() != digest:
+                raise RPCError(
+                    f"blob {digest[:12]}... arrived corrupt "
+                    "(digest mismatch on the wire)"
+                )
+            target = self.cache_dir / digest
+            if target.exists():
+                continue
+            tmp = _tmp_path(target)
+            tmp.write_bytes(blob)
+            os.replace(tmp, target)
+        entries = {}
+        for name, entry in payload["entries"].items():
+            rewritten = dict(entry)
+            rewritten["files"] = {
+                component: entry["digests"][component]
+                for component in entry["files"]
+            }
+            entries[name] = rewritten
+            for digest in entry["digests"].values():
+                link = self.data_dir / digest
+                if link.exists():
+                    continue
+                source = self.cache_dir / digest
+                if not source.exists():
+                    raise RPCError(
+                        f"manifest references blob {digest[:12]}... which "
+                        "was neither cached nor shipped"
+                    )
+                try:
+                    os.link(source, link)
+                except OSError:  # cross-device or FS without hardlinks
+                    shutil.copyfile(source, link)
+        manifest = {
+            "format_version": payload["format_version"],
+            "version": payload["version"],
+            "entries": entries,
+        }
+        path = self.root / "manifest.json"
+        tmp = _tmp_path(path)
+        tmp.write_text(json.dumps(manifest, indent=1, sort_keys=True))
+        os.replace(tmp, path)
+        self.version = int(payload["version"])
+
+
+class WorkerServer:
+    """Long-lived RPC worker: accept connections, sync arenas, run jobs.
+
+    Parameters
+    ----------
+    host, port:
+        Listen endpoint; port ``0`` picks a free port (read it back
+        from :attr:`address`).
+    store_dir:
+        Root for this worker's local state: ``cache/`` (content-addressed
+        blobs, shared across replicas) and ``replicas/<id>/`` (one
+        mirrored arena per driver store).
+
+    Each accepted connection is served by its own daemon thread, so one
+    worker can hold a driver link and a straggler-duplicate link at
+    once.  ``serve_forever`` blocks until :meth:`stop` (or a
+    ``shutdown`` envelope) fires.
+    """
+
+    def __init__(self, host: str, port: int, store_dir) -> None:
+        self.store_dir = Path(store_dir)
+        self.store_dir.mkdir(parents=True, exist_ok=True)
+        self._replicas: Dict[str, _ReplicaStore] = {}
+        self._replica_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._connections: List[socket.socket] = []
+        self._listener = socket.create_server(
+            (host, port), reuse_port=False
+        )
+        self._listener.settimeout(0.2)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` endpoint."""
+        host, port = self._listener.getsockname()[:2]
+        return host, port
+
+    # ------------------------------------------------------------------
+    def _replica(self, store_id: str) -> _ReplicaStore:
+        with self._replica_lock:
+            replica = self._replicas.get(store_id)
+            if replica is None:
+                key = hashlib.sha1(store_id.encode("utf-8")).hexdigest()[:16]
+                replica = _ReplicaStore(
+                    self.store_dir / "replicas" / key,
+                    self.store_dir / "cache",
+                    store_id,
+                )
+                self._replicas[store_id] = replica
+            return replica
+
+    def _spec_mapping(self) -> Dict[str, str]:
+        with self._replica_lock:
+            return {
+                store_id: str(replica.root)
+                for store_id, replica in self._replicas.items()
+            }
+
+    def _handle(self, request: dict) -> dict:
+        kind = request.get("kind")
+        if kind == "ping":
+            return {"kind": "pong"}
+        if kind == "sync-begin":
+            replica = self._replica(request["store"])
+            return {
+                "kind": "sync-need",
+                "digests": replica.begin(request),
+            }
+        if kind == "sync-data":
+            replica = self._replica(request["store"])
+            replica.commit(request["blobs"])
+            return {"kind": "sync-done", "version": replica.version}
+        if kind == "job":
+            mapping = self._spec_mapping()
+            fn = _remap_specs(request["fn"], mapping)
+            item = _remap_specs(request["item"], mapping)
+            try:
+                value = fn(item)
+            except Exception as error:  # job errors travel back, typed
+                return {
+                    "kind": "result",
+                    "job": request["job"],
+                    "ok": False,
+                    "error": f"{type(error).__name__}: {error}",
+                }
+            return {
+                "kind": "result",
+                "job": request["job"],
+                "ok": True,
+                "value": value,
+            }
+        if kind == "shutdown":
+            self._stop.set()
+            return {"kind": "bye"}
+        raise RPCError(f"unknown envelope kind {kind!r}")
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            hello = recv_frame(conn)
+            if hello.get("protocol") != PROTOCOL_VERSION:
+                send_frame(
+                    conn,
+                    {
+                        "kind": "error",
+                        "error": (
+                            f"protocol {hello.get('protocol')!r} unsupported; "
+                            f"worker speaks {PROTOCOL_VERSION}"
+                        ),
+                    },
+                )
+                return
+            send_frame(
+                conn,
+                {
+                    "kind": "hello",
+                    "protocol": PROTOCOL_VERSION,
+                    "pid": os.getpid(),
+                },
+            )
+            while not self._stop.is_set():
+                request = recv_frame(conn)
+                send_frame(conn, self._handle(request))
+                if request.get("kind") == "shutdown":
+                    return
+        except (RPCError, OSError):
+            return  # driver went away or stream corrupted: drop the link
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+
+    def serve_forever(self) -> None:
+        """Accept and serve connections until :meth:`stop`."""
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, _ = self._listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    return  # listener closed under us by stop()
+                self._connections.append(conn)
+                thread = threading.Thread(
+                    target=self._serve_connection, args=(conn,), daemon=True
+                )
+                thread.start()
+        finally:
+            self._close_sockets()
+
+    def start(self) -> "WorkerServer":
+        """Serve on a background daemon thread (tests, embedding)."""
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and abruptly close every open connection.
+
+        Idempotent.  In-flight jobs are abandoned mid-frame — exactly
+        what a killed worker process looks like to the driver, which is
+        what the fault-path tests simulate with it.
+        """
+        self._stop.set()
+        self._close_sockets()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _close_sockets(self) -> None:
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        for conn in self._connections:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        self._connections = []
+
+
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
+@dataclass
+class RPCMetrics:
+    """Counters of one :class:`RPCExecutor`'s lifetime of work.
+
+    Surfaced into :class:`~repro.eval.experiment.RuntimeMetadata` (and
+    from there into persisted outcome JSON and the trend report), so
+    archived results show how much the transport shipped, cached,
+    retried and re-dispatched.
+    """
+
+    jobs_shipped: int = 0
+    bytes_synced: int = 0
+    sync_cache_hits: int = 0
+    retries: int = 0
+    stragglers_redispatched: int = 0
+    inline_jobs: int = 0
+    workers_lost: int = 0
+    serial_fallbacks: int = 0
+
+
+class _WorkerLink:
+    """Driver-side handle of one worker connection (one job in flight)."""
+
+    def __init__(self, address: str, connect_timeout: float) -> None:
+        self.address = address
+        self.connect_timeout = connect_timeout
+        self.sock: Optional[socket.socket] = None
+        self.alive = True
+        #: store_dir -> manifest version last committed on the worker.
+        self.synced: Dict[str, int] = {}
+
+    def connect(self, timeout: float) -> None:
+        host, port = parse_address(self.address)
+        sock = socket.create_connection(
+            (host, port), timeout=self.connect_timeout
+        )
+        sock.settimeout(timeout)
+        try:
+            _handshake_client(sock)
+        except BaseException:
+            sock.close()
+            raise
+        self.sock = sock
+        self.synced = {}
+
+    def close(self) -> None:
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            self.sock = None
+
+    def call(self, request: dict) -> Tuple[dict, int]:
+        """One request/response exchange; returns (reply, bytes sent)."""
+        if self.sock is None:
+            raise RPCError(f"worker {self.address} is not connected")
+        sent = send_frame(self.sock, request)
+        return recv_frame(self.sock), sent
+
+
+class RPCExecutor(Executor):
+    """Fan picklable work units across remote workers over TCP.
+
+    Parameters
+    ----------
+    addresses:
+        ``host:port`` endpoints of running ``repro.cli worker``
+        processes.  Unreachable endpoints are skipped (and logged); if
+        *none* is reachable the executor degrades to inline execution
+        with a warning — the graceful-degradation contract.
+    timeout:
+        Per-job timeout in seconds.  A worker that blows it is treated
+        as dead: its link is torn down and its in-flight job re-queued.
+    retries:
+        Reconnect attempts per worker failure, with exponential backoff
+        (``backoff * 2**attempt`` seconds), before the worker is
+        declared lost and its jobs move to the survivors.
+    backoff:
+        Base of the reconnect backoff schedule.
+    straggler_redispatch:
+        How many duplicate dispatches of one in-flight job idle workers
+        may launch once the queue drains (jobs are pure, so first
+        result wins byte-identically).  ``0`` disables tail re-dispatch.
+
+    Notes
+    -----
+    The contract is exactly :class:`~repro.engine.parallel.Executor`'s:
+    results in input order, bit-identical to a serial run.  Work whose
+    callable does not pickle runs inline, so a live session handed an
+    RPC executor still works everywhere — only the arena-backed
+    descriptor paths actually leave the machine, and those first sync
+    the arena through the content-addressed transport.
+    """
+
+    kind = "rpc"
+    crosses_processes = True
+
+    def __init__(
+        self,
+        addresses: Sequence[str],
+        timeout: float = 60.0,
+        connect_timeout: float = 5.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+        straggler_redispatch: int = 1,
+    ) -> None:
+        if not addresses:
+            raise RPCError("RPCExecutor needs at least one worker address")
+        for address in addresses:
+            parse_address(address)  # fail fast on malformed endpoints
+        self.addresses = list(addresses)
+        self.workers = len(self.addresses)
+        self.timeout = float(timeout)
+        self.connect_timeout = float(connect_timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.straggler_redispatch = int(straggler_redispatch)
+        self.metrics = RPCMetrics()
+        self._links: Optional[List[_WorkerLink]] = None
+        self._lock = threading.Lock()
+        self._warned_no_workers = False
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def _live_links(self) -> List[_WorkerLink]:
+        with self._lock:
+            if self._links is None:
+                self._links = []
+                for address in self.addresses:
+                    link = _WorkerLink(address, self.connect_timeout)
+                    try:
+                        link.connect(self.timeout)
+                    except (OSError, RPCError) as error:
+                        logger.warning(
+                            "RPC worker %s unreachable: %s", address, error
+                        )
+                        link.alive = False
+                    self._links.append(link)
+            return [link for link in self._links if link.alive]
+
+    def _revive(self, link: _WorkerLink) -> bool:
+        """Reconnect a failed link with exponential backoff."""
+        link.close()
+        for attempt in range(self.retries):
+            time.sleep(self.backoff * (2 ** attempt))
+            try:
+                link.connect(self.timeout)
+                return True
+            except (OSError, RPCError):
+                continue
+        link.alive = False
+        self.metrics.workers_lost += 1
+        logger.warning(
+            "RPC worker %s lost after %d reconnect attempts; "
+            "re-queueing its work onto the survivors",
+            link.address,
+            self.retries,
+        )
+        return False
+
+    # ------------------------------------------------------------------
+    # Arena transport
+    # ------------------------------------------------------------------
+    def _sync_link(self, link: _WorkerLink, specs: Dict[str, int]) -> None:
+        """Bring one worker's replicas current for every needed arena."""
+        for store_dir, version in specs.items():
+            if link.synced.get(store_dir, -1) >= version:
+                continue
+            manifest_path = Path(store_dir) / "manifest.json"
+            try:
+                manifest = json.loads(manifest_path.read_text())
+            except (OSError, json.JSONDecodeError) as error:
+                raise RPCError(
+                    f"cannot read arena manifest {manifest_path}: {error}"
+                ) from None
+            entries = manifest.get("entries", {})
+            referenced = {
+                digest
+                for entry in entries.values()
+                for digest in entry.get("digests", {}).values()
+            }
+            reply, _ = link.call(
+                {
+                    "kind": "sync-begin",
+                    "store": store_dir,
+                    "version": int(manifest.get("version", version)),
+                    "format_version": manifest.get("format_version", 2),
+                    "entries": entries,
+                }
+            )
+            if reply.get("kind") != "sync-need":
+                raise RPCError(
+                    f"worker {link.address} answered sync-begin with "
+                    f"{reply.get('kind')!r}"
+                )
+            needed = reply["digests"]
+            self.metrics.sync_cache_hits += len(referenced) - len(needed)
+            by_digest: Dict[str, str] = {}
+            for entry in entries.values():
+                for component, digest in entry.get("digests", {}).items():
+                    by_digest[digest] = entry["files"][component]
+            blobs: Dict[str, bytes] = {}
+            for digest in needed:
+                filename = by_digest.get(digest)
+                if filename is None:
+                    raise RPCError(
+                        f"worker {link.address} requested unknown blob "
+                        f"{digest[:12]}..."
+                    )
+                blobs[digest] = (
+                    Path(store_dir) / "data" / filename
+                ).read_bytes()
+            reply, sent = link.call(
+                {"kind": "sync-data", "store": store_dir, "blobs": blobs}
+            )
+            if reply.get("kind") != "sync-done":
+                raise RPCError(
+                    f"worker {link.address} answered sync-data with "
+                    f"{reply.get('kind')!r}"
+                )
+            self.metrics.bytes_synced += sum(
+                len(blob) for blob in blobs.values()
+            )
+            link.synced[store_dir] = int(manifest.get("version", version))
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def map(self, fn, items):
+        items = list(items)
+        if not items:
+            return []
+        if not _picklable(fn):
+            return [fn(item) for item in items]
+        links = self._live_links()
+        if not links:
+            if not self._warned_no_workers:
+                logger.warning(
+                    "no RPC worker reachable at %s; falling back to "
+                    "inline (serial) execution",
+                    ", ".join(self.addresses),
+                )
+                self._warned_no_workers = True
+            self.metrics.serial_fallbacks += 1
+            return [fn(item) for item in items]
+
+        specs: Dict[str, int] = {}
+        _walk_specs(fn, specs)
+        for item in items:
+            _walk_specs(item, specs)
+
+        state = _MapState(len(items))
+        threads = []
+        for link in links:
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(link, fn, items, specs, state),
+                daemon=True,
+            )
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join()
+
+        leftovers = state.unfinished()
+        if leftovers:
+            # Every worker died (or retry budgets ran dry): finish the
+            # tail inline so the map still completes exactly.
+            self.metrics.inline_jobs += len(leftovers)
+            for index in leftovers:
+                state.results[index] = fn(items[index])
+        if state.job_error is not None:
+            raise RPCError(state.job_error)
+        return list(state.results)
+
+    def imap(self, fn, items, window=None):
+        if window is None:
+            window = 4 * max(1, len(self.addresses))
+        if window < 1:
+            raise RPCError(f"window must be >= 1, got {window}")
+
+        def results():
+            iterator = iter(items)
+            while True:
+                chunk = []
+                for item in iterator:
+                    chunk.append(item)
+                    if len(chunk) >= window:
+                        break
+                if not chunk:
+                    return
+                yield from self.map(fn, chunk)
+
+        return results()
+
+    def _worker_loop(self, link, fn, items, specs, state) -> None:
+        try:
+            self._sync_link(link, specs)
+        except (OSError, RPCError):
+            if not (self._revive(link) and self._try_sync(link, specs)):
+                return
+        while True:
+            index, duplicate = state.claim(link, self.straggler_redispatch)
+            if index is None:
+                return
+            try:
+                reply, _ = link.call(
+                    {"kind": "job", "job": index, "fn": fn, "item": items[index]}
+                )
+                if reply.get("kind") != "result" or reply.get("job") != index:
+                    raise RPCError(
+                        f"worker {link.address} answered a job with "
+                        f"{reply.get('kind')!r}"
+                    )
+            except (OSError, RPCError):
+                requeued = state.fail(link, self.retries)
+                self.metrics.retries += len(requeued)
+                if not (self._revive(link) and self._try_sync(link, specs)):
+                    return
+                continue
+            with self._lock:
+                self.metrics.jobs_shipped += 1
+                if duplicate:
+                    self.metrics.stragglers_redispatched += 1
+            if reply["ok"]:
+                state.complete(link, index, reply["value"])
+            else:
+                state.complete(
+                    link,
+                    index,
+                    None,
+                    error=(
+                        f"job {index} failed on worker {link.address}: "
+                        f"{reply['error']}"
+                    ),
+                )
+
+    def _try_sync(self, link, specs) -> bool:
+        try:
+            self._sync_link(link, specs)
+            return True
+        except (OSError, RPCError):
+            link.alive = False
+            self.metrics.workers_lost += 1
+            return False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close every worker connection (idempotent; workers keep running)."""
+        with self._lock:
+            if self._links is not None:
+                for link in self._links:
+                    link.close()
+                self._links = None
+
+    def shutdown_workers(self) -> int:
+        """Ask every reachable worker process to exit; returns how many."""
+        stopped = 0
+        for link in self._live_links():
+            try:
+                link.call({"kind": "shutdown"})
+                stopped += 1
+            except (OSError, RPCError):  # pragma: no cover - racing death
+                pass
+            link.close()
+            link.alive = False
+        return stopped
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RPCExecutor(addresses={self.addresses!r})"
+
+
+class _MapState:
+    """Shared bookkeeping of one :meth:`RPCExecutor.map` call.
+
+    All transitions run under one condition variable: claim (pending
+    queue first, then straggler duplication of the oldest in-flight
+    job), complete (first result wins), and fail (re-queue a dead
+    link's in-flight jobs unless their retry budget ran dry).
+    """
+
+    def __init__(self, n: int) -> None:
+        self.results: List[object] = [None] * n
+        self.done = [False] * n
+        self.attempts = [0] * n
+        self.dispatches = [0] * n
+        self.pending = deque(range(n))
+        #: link -> set of indices that link is currently running.
+        self.in_flight: Dict[object, set] = {}
+        self.started: Dict[int, float] = {}
+        self.n_done = 0
+        self.n = n
+        self.job_error: Optional[str] = None
+        self.cond = threading.Condition()
+
+    def claim(
+        self, link, straggler_redispatch: int = 1
+    ) -> Tuple[Optional[int], bool]:
+        """Next job for ``link``: ``(index, is_duplicate)`` or ``(None, _)``."""
+        with self.cond:
+            while True:
+                if self.n_done >= self.n:
+                    return None, False
+                while self.pending:
+                    index = self.pending.popleft()
+                    if not self.done[index]:
+                        self._start(link, index)
+                        return index, False
+                # Queue drained: duplicate the oldest in-flight job of
+                # another link (bounded per job), else wait for change.
+                candidates = [
+                    index
+                    for owner, indices in self.in_flight.items()
+                    if owner is not link
+                    for index in indices
+                    if not self.done[index]
+                    and self.dispatches[index] <= straggler_redispatch
+                ]
+                if candidates:
+                    index = min(
+                        candidates, key=lambda i: self.started.get(i, 0.0)
+                    )
+                    self._start(link, index)
+                    return index, True
+                if not any(self.in_flight.values()):
+                    return None, False
+                self.cond.wait(timeout=0.5)
+
+    def _start(self, link, index: int) -> None:
+        self.in_flight.setdefault(link, set()).add(index)
+        self.dispatches[index] += 1
+        self.started.setdefault(index, time.monotonic())
+
+    def complete(self, link, index: int, value, error=None) -> None:
+        with self.cond:
+            self.in_flight.get(link, set()).discard(index)
+            if not self.done[index]:
+                self.done[index] = True
+                self.n_done += 1
+                if error is not None:
+                    if self.job_error is None:
+                        self.job_error = error
+                else:
+                    self.results[index] = value
+            self.cond.notify_all()
+
+    def fail(self, link, retries: int) -> List[int]:
+        """Re-queue a failed link's in-flight jobs; returns those re-queued."""
+        with self.cond:
+            indices = sorted(self.in_flight.pop(link, set()))
+            requeued = []
+            for index in indices:
+                if self.done[index]:
+                    continue
+                self.attempts[index] += 1
+                if self.attempts[index] > retries + 1:
+                    # Retry budget dry: leave it for the inline tail.
+                    continue
+                self.pending.append(index)
+                requeued.append(index)
+            self.cond.notify_all()
+            return requeued
+
+    def unfinished(self) -> List[int]:
+        with self.cond:
+            return [index for index in range(self.n) if not self.done[index]]
+
+
+def spawn_worker_process(
+    store_dir,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    python=None,
+    env: Optional[dict] = None,
+):
+    """Launch ``python -m repro.cli worker`` and wait for its endpoint.
+
+    Returns ``(process, "host:port")``.  The worker announces its bound
+    endpoint as the first stdout line (``listening on HOST:PORT``),
+    which matters when ``port`` is 0.  Benchmark/test helper — the
+    production path is operators starting workers on each host.
+    """
+    import subprocess
+    import sys
+
+    process = subprocess.Popen(
+        [
+            python or sys.executable,
+            "-m",
+            "repro.cli",
+            "worker",
+            "--listen",
+            f"{host}:{port}",
+            "--store-dir",
+            str(store_dir),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    line = process.stdout.readline().strip()
+    prefix = "listening on "
+    if not line.startswith(prefix):
+        process.kill()
+        raise RPCError(f"worker failed to start: {line!r}")
+    return process, line[len(prefix):]

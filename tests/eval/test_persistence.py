@@ -74,7 +74,7 @@ class TestRuntimeMetadata:
 
     def test_runtime_round_trips(self, outcome):
         payload = outcome_to_dict(outcome)
-        assert payload["format_version"] == 4
+        assert payload["format_version"] == 5
         assert payload["runtime"]["executor"] == "serial"
         assert payload["runtime"]["fallback_invalidations"] >= 0
         restored = outcome_from_dict(payload)

@@ -82,6 +82,80 @@ class TestLinearSVC:
             LinearSVC().predict(X)
 
 
+class TestSampleWeights:
+    def test_uniform_weights_match_unweighted_exactly(self):
+        X, y = _separable_data(7, gap=0.4)
+        plain = LinearSVC(seed=3).fit(X, y)
+        weighted = LinearSVC(seed=3).fit(X, y, sample_weight=np.ones(len(y)))
+        assert np.array_equal(plain.coef_, weighted.coef_)
+        assert plain.intercept_ == weighted.intercept_
+
+    def test_scaled_uniform_weights_match_scaled_c(self):
+        """w_i = k everywhere is the same problem as C' = k * C."""
+        X, y = _separable_data(8, gap=0.4)
+        scaled_c = LinearSVC(C=2.0, seed=3).fit(X, y)
+        scaled_w = LinearSVC(C=1.0, seed=3).fit(
+            X, y, sample_weight=np.full(len(y), 2.0)
+        )
+        assert np.array_equal(scaled_c.coef_, scaled_w.coef_)
+        assert scaled_c.intercept_ == scaled_w.intercept_
+
+    def test_nonuniform_weights_change_the_fit(self):
+        X, y = _separable_data(9, gap=0.3)
+        plain = LinearSVC(seed=3).fit(X, y)
+        weights = np.ones(len(y))
+        weights[y == 1] = 25.0  # cost-weight the positive class
+        weighted = LinearSVC(seed=3).fit(X, y, sample_weight=weights)
+        assert not np.allclose(plain.coef_, weighted.coef_)
+
+    def test_upweighted_minority_recovers_recall(self):
+        """Cost weighting counteracts the SVM-MP imbalance collapse."""
+        rng = np.random.default_rng(10)
+        n_pos = 6
+        X = np.vstack(
+            [
+                rng.normal(loc=+1.0, size=(n_pos, 2)),
+                rng.normal(loc=-1.0, size=(200, 2)),
+            ]
+        )
+        y = np.array([1] * n_pos + [0] * 200)
+        plain_recall = LinearSVC(C=0.05).fit(X, y).predict(X)[:n_pos].mean()
+        weights = np.where(y == 1, 200.0 / n_pos, 1.0)
+        weighted = LinearSVC(C=0.05).fit(X, y, sample_weight=weights)
+        weighted_recall = weighted.predict(X)[:n_pos].mean()
+        assert weighted_recall >= plain_recall
+        assert weighted_recall >= 0.8
+
+    def test_zero_weight_samples_are_ignored(self):
+        X, y = _separable_data(11, gap=0.5)
+        # Poison a few points with flipped labels, then zero them out.
+        X_noisy = np.vstack([X, X[:5] * 3.0])
+        y_noisy = np.append(y, 1 - y[:5])
+        weights = np.append(np.ones(len(y)), np.zeros(5))
+        clean = LinearSVC(seed=3).fit(X, y)
+        masked = LinearSVC(seed=3).fit(
+            X_noisy, y_noisy, sample_weight=weights
+        )
+        # Zero-weight alphas are boxed to 0, so both runs optimize the
+        # same dual; only the coordinate shuffle (over 5 extra inert
+        # indices) differs, which moves the converged point within the
+        # solver tolerance but not beyond it.
+        assert np.allclose(clean.coef_, masked.coef_, atol=1e-3)
+        assert abs(clean.intercept_ - masked.intercept_) < 1e-3
+        assert np.array_equal(masked.predict(X), clean.predict(X))
+
+    def test_validation(self):
+        X, y = _separable_data()
+        with pytest.raises(ModelError):
+            LinearSVC().fit(X, y, sample_weight=np.ones(len(y) - 1))
+        with pytest.raises(ModelError):
+            LinearSVC().fit(X, y, sample_weight=-np.ones(len(y)))
+        bad = np.ones(len(y))
+        bad[0] = np.nan
+        with pytest.raises(ModelError):
+            LinearSVC().fit(X, y, sample_weight=bad)
+
+
 class TestPegasosSVC:
     def test_separable_high_accuracy(self):
         X, y = _separable_data(7)

@@ -117,6 +117,46 @@ class TestWorkerKernel:
             assert np.array_equal(session.extract(candidates), X_worker)
 
 
+    def test_network_delta_republishes_session_meta(self, tmp_path):
+        """Regression: a delta that grows the right side changes
+        ``n_right``, so the next flush must republish the once-written
+        session meta — workers otherwise compute ``query_keys`` with a
+        stale stride against fresh matrices and return wrong features.
+        """
+        from repro.datasets import foursquare_twitter_like
+        from repro.engine.evolution import scripted_delta_schedule
+        from repro.store.procwork import SESSION_META
+
+        pair = foursquare_twitter_like("tiny", seed=7)
+        config = ProtocolConfig(
+            np_ratio=5, sample_ratio=1.0, n_repeats=1, seed=13
+        )
+        split = next(iter(build_splits(pair, config)))
+        candidates = list(split.candidates)
+        with AlignmentSession(
+            pair, known_anchors=split.train_positive_pairs, store=tmp_path
+        ) as session:
+            session.extract(candidates)
+            spec_before = session.flush_store()
+            meta_before = session.arena.get_object(SESSION_META)
+
+            delta = scripted_delta_schedule(
+                pair, events=1, seed=5, sides=("right",)
+            )[0]
+            session.apply_network_delta(delta)
+            spec_after = session.flush_store()
+            assert spec_after.version > spec_before.version
+            meta_after = session.arena.get_object(SESSION_META)
+            assert meta_after["n_right"] > meta_before["n_right"]
+
+            left, right = pair.pairs_to_indices(candidates)
+            descriptor = BlockDescriptor(
+                offset=0, left_indices=left, right_indices=right
+            )
+            _, X_worker = extract_block_job((spec_after, descriptor))
+            assert np.array_equal(session.extract(candidates), X_worker)
+
+
 class TestProcessExactness:
     def _streamed_fit(self, pair, split, positives, store, workers):
         with AlignmentSession(

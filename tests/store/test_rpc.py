@@ -1,0 +1,371 @@
+"""Tests for the multi-host RPC executor and its arena transport.
+
+Workers run in-process (:class:`WorkerServer` on a daemon thread), so
+the fault-path tests can stop one deterministically mid-job — which
+looks to the driver exactly like a killed remote process — without
+subprocess machinery.  The full subprocess path (``python -m repro.cli
+worker`` + kill -9 mid-run) is exercised by
+``benchmarks/bench_engine_rpc.py``.
+"""
+
+import logging
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+    make_executor,
+)
+from repro.exceptions import AlignmentError, RPCError
+from repro.store import MatrixArena
+from repro.store.procwork import ArenaSpec
+from repro.store.rpc import (
+    _HEADER,
+    MAX_FRAME_BYTES,
+    RPCExecutor,
+    WorkerServer,
+    _ReplicaStore,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+
+# Gate shared by the slow job functions below: jobs block until the
+# test releases them, which pins "worker is mid-job" deterministically.
+_RELEASE = threading.Event()
+
+
+def _square(value):
+    return value * value
+
+
+def _gated_square(value):
+    _RELEASE.wait(timeout=10.0)
+    return value * value
+
+
+def _boom(value):
+    raise ValueError(f"boom on {value}")
+
+
+def _arena_read(job):
+    spec, index = job
+    return float(MatrixArena(spec.store_dir).get_array("w")[index])
+
+
+@pytest.fixture(autouse=True)
+def _reset_release():
+    _RELEASE.clear()
+    yield
+    _RELEASE.set()  # unblock any job thread a failing test left behind
+
+
+@pytest.fixture
+def worker_pair(tmp_path):
+    """Two in-thread workers plus an executor wired to both."""
+    servers = [
+        WorkerServer("127.0.0.1", 0, tmp_path / f"worker{i}").start()
+        for i in range(2)
+    ]
+    addresses = ["%s:%d" % server.address for server in servers]
+    executor = RPCExecutor(
+        addresses, timeout=10.0, retries=2, backoff=0.01
+    )
+    yield servers, executor
+    executor.close()
+    for server in servers:
+        server.stop()
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class TestFraming:
+    def test_frame_round_trip(self):
+        left, right = socket.socketpair()
+        try:
+            payload = {"kind": "ping", "blob": b"\x00" * 4096}
+            sent = send_frame(left, payload)
+            assert sent > 4096
+            assert recv_frame(right) == payload
+        finally:
+            left.close()
+            right.close()
+
+    def test_oversized_header_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(_HEADER.pack(MAX_FRAME_BYTES + 1))
+            with pytest.raises(RPCError, match="protocol limit"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_truncated_stream_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(_HEADER.pack(100) + b"short")
+            left.close()
+            with pytest.raises(RPCError, match="closed mid-frame"):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:7421") == ("127.0.0.1", 7421)
+        assert parse_address("node-3.rack:80") == ("node-3.rack", 80)
+        for bad in ("nohost", "host:", ":123", "host:abc"):
+            with pytest.raises(RPCError, match="malformed"):
+                parse_address(bad)
+
+    def test_protocol_mismatch_refused(self, tmp_path):
+        server = WorkerServer("127.0.0.1", 0, tmp_path).start()
+        try:
+            sock = socket.create_connection(server.address, timeout=5.0)
+            try:
+                send_frame(sock, {"kind": "hello", "protocol": 999})
+                reply = recv_frame(sock)
+                assert reply["kind"] == "error"
+                assert "999" in reply["error"]
+            finally:
+                sock.close()
+        finally:
+            server.stop()
+
+
+class TestMapContract:
+    def test_map_preserves_input_order(self, worker_pair):
+        _, executor = worker_pair
+        assert executor.map(_square, range(16)) == [
+            v * v for v in range(16)
+        ]
+        metrics = executor.metrics
+        # Tail re-dispatch may duplicate a straggler (first result
+        # wins); net of duplicates, every job shipped exactly once.
+        assert (
+            metrics.jobs_shipped - metrics.stragglers_redispatched == 16
+        )
+
+    def test_imap_chunked_and_ordered(self, worker_pair):
+        _, executor = worker_pair
+        results = executor.imap(_square, iter(range(21)), window=4)
+        assert list(results) == [v * v for v in range(21)]
+
+    def test_empty_items(self, worker_pair):
+        _, executor = worker_pair
+        assert executor.map(_square, []) == []
+
+    def test_unpicklable_callable_runs_inline(self, worker_pair):
+        _, executor = worker_pair
+        captured = []
+        results = executor.map(lambda v: captured.append(v) or -v, range(4))
+        assert results == [0, -1, -2, -3]
+        assert captured == [0, 1, 2, 3]
+        assert executor.metrics.jobs_shipped == 0
+
+    def test_job_exception_travels_back_typed(self, worker_pair):
+        _, executor = worker_pair
+        with pytest.raises(RPCError, match="ValueError: boom on"):
+            executor.map(_boom, range(3))
+
+    def test_close_is_idempotent_and_reuse_reconnects(self, worker_pair):
+        _, executor = worker_pair
+        assert executor.map(_square, [3]) == [9]
+        executor.close()
+        executor.close()
+        # A closed executor lazily reconnects on next use, mirroring
+        # the ProcessExecutor contract.
+        assert executor.map(_square, [4]) == [16]
+
+    def test_shutdown_workers(self, tmp_path):
+        server = WorkerServer("127.0.0.1", 0, tmp_path).start()
+        executor = RPCExecutor(["%s:%d" % server.address], timeout=5.0)
+        try:
+            assert executor.map(_square, [2]) == [4]
+            assert executor.shutdown_workers() == 1
+            deadline = time.monotonic() + 5.0
+            while not server._stop.is_set():
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+        finally:
+            executor.close()
+            server.stop()
+
+    def test_rejects_empty_and_malformed_addresses(self):
+        with pytest.raises(RPCError, match="at least one"):
+            RPCExecutor([])
+        with pytest.raises(RPCError, match="malformed"):
+            RPCExecutor(["nonsense"])
+
+
+class TestFaultPaths:
+    def test_worker_death_mid_map_requeues_onto_survivor(self, worker_pair):
+        servers, executor = worker_pair
+        items = list(range(12))
+        outcome = {}
+
+        def run():
+            outcome["results"] = executor.map(_gated_square, items)
+
+        mapper = threading.Thread(target=run)
+        mapper.start()
+        # Give both links time to ship their first (gated) job, then
+        # kill one worker while that job is provably in flight.
+        time.sleep(0.3)
+        servers[1].stop()
+        _RELEASE.set()
+        mapper.join(timeout=30.0)
+        assert not mapper.is_alive()
+
+        assert outcome["results"] == [v * v for v in items]
+        assert executor.metrics.workers_lost == 1
+        assert executor.metrics.retries >= 1
+
+    def test_all_workers_dead_finishes_inline(self, worker_pair):
+        servers, executor = worker_pair
+        items = list(range(8))
+        outcome = {}
+
+        def run():
+            outcome["results"] = executor.map(_gated_square, items)
+
+        mapper = threading.Thread(target=run)
+        mapper.start()
+        time.sleep(0.3)
+        for server in servers:
+            server.stop()
+        _RELEASE.set()
+        mapper.join(timeout=30.0)
+        assert not mapper.is_alive()
+
+        # The map still completed exactly, finishing the tail inline.
+        assert outcome["results"] == [v * v for v in items]
+        assert executor.metrics.workers_lost == 2
+        assert executor.metrics.inline_jobs > 0
+
+    def test_connection_refused_falls_back_to_inline(self, caplog):
+        address = f"127.0.0.1:{_free_port()}"  # bound probe closed: refused
+        executor = RPCExecutor(
+            [address], connect_timeout=0.5, retries=0, backoff=0.01
+        )
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro.store.rpc"):
+                assert executor.map(_square, range(5)) == [
+                    v * v for v in range(5)
+                ]
+                assert executor.map(_square, [7]) == [49]
+            assert executor.metrics.serial_fallbacks == 2
+            assert executor.metrics.jobs_shipped == 0
+            fallback_warnings = [
+                record
+                for record in caplog.records
+                if "falling back" in record.getMessage()
+            ]
+            # Warned once, not once per map call.
+            assert len(fallback_warnings) == 1
+        finally:
+            executor.close()
+
+
+class TestArenaTransport:
+    def _driver_arena(self, tmp_path, values):
+        arena = MatrixArena(tmp_path / "driver")
+        arena.put_array("w", np.asarray(values, dtype=np.float64))
+        return arena
+
+    def test_sync_ships_then_caches(self, tmp_path):
+        arena = self._driver_arena(tmp_path, [3.0, 5.0, 7.0])
+        spec = ArenaSpec(
+            store_dir=str(arena.store_dir), version=arena.version
+        )
+        server = WorkerServer("127.0.0.1", 0, tmp_path / "worker").start()
+        executor = RPCExecutor(["%s:%d" % server.address], timeout=10.0)
+        try:
+            jobs = [(spec, index) for index in range(3)]
+            assert executor.map(_arena_read, jobs) == [3.0, 5.0, 7.0]
+            first_round = executor.metrics.bytes_synced
+            assert first_round > 0
+
+            # Unchanged arena: the content-addressed cache means the
+            # second round ships nothing.
+            assert executor.map(_arena_read, jobs) == [3.0, 5.0, 7.0]
+            assert executor.metrics.bytes_synced == first_round
+
+            # A fresh connection still ships nothing — the blob cache
+            # outlives the link; only the manifest exchange reruns.
+            executor.close()
+            hits_before = executor.metrics.sync_cache_hits
+            assert executor.map(_arena_read, jobs) == [3.0, 5.0, 7.0]
+            assert executor.metrics.bytes_synced == first_round
+            assert executor.metrics.sync_cache_hits > hits_before
+
+            # An updated entry re-ships only the changed blobs.
+            arena.put_array("w", np.asarray([4.0, 6.0, 8.0]))
+            fresh = ArenaSpec(
+                store_dir=str(arena.store_dir), version=arena.version
+            )
+            jobs = [(fresh, index) for index in range(3)]
+            assert executor.map(_arena_read, jobs) == [4.0, 6.0, 8.0]
+            assert executor.metrics.bytes_synced > first_round
+        finally:
+            executor.close()
+            server.stop()
+
+    def test_replica_refuses_digestless_manifest(self, tmp_path):
+        replica = _ReplicaStore(
+            tmp_path / "replica", tmp_path / "cache", "driver-id"
+        )
+        with pytest.raises(RPCError, match="no content digests"):
+            replica.begin(
+                {
+                    "entries": {"w": {"files": {"npy": "w.npy"}}},
+                    "version": 1,
+                    "format_version": 1,
+                }
+            )
+
+    def test_replica_rejects_corrupt_blob(self, tmp_path):
+        replica = _ReplicaStore(
+            tmp_path / "replica", tmp_path / "cache", "driver-id"
+        )
+        digest = "0" * 64
+        needed = replica.begin(
+            {
+                "entries": {
+                    "w": {
+                        "files": {"npy": "w.npy"},
+                        "digests": {"npy": digest},
+                    }
+                },
+                "version": 1,
+                "format_version": 2,
+            }
+        )
+        assert needed == [digest]
+        with pytest.raises(RPCError, match="corrupt"):
+            replica.commit({digest: b"not the right bytes"})
+
+
+class TestExecutorSeam:
+    def test_crosses_processes_flags(self):
+        assert SerialExecutor.crosses_processes is False
+        assert ThreadedExecutor.crosses_processes is False
+        assert ProcessExecutor.crosses_processes is True
+        assert RPCExecutor.crosses_processes is True
+
+    def test_make_executor_rpc(self):
+        executor = make_executor("rpc", addresses=["127.0.0.1:7421"])
+        assert isinstance(executor, RPCExecutor)
+        assert executor.kind == "rpc"
+        with pytest.raises(AlignmentError, match="needs worker addresses"):
+            make_executor("rpc")
