@@ -245,7 +245,28 @@ def test_streamed_svm_rss_within_ridge_envelope():
             f"{result['n_queried']:>9}"
         )
     lines.append(f"svm/ridge RSS ratio: {ratio:.2f} (bound {RSS_RATIO_BOUND})")
-    publish("engine_model_rss", "\n".join(lines))
+    publish(
+        "engine_model_rss",
+        "\n".join(lines),
+        record={
+            "flags": {
+                "budget_spent": bool(
+                    ridge["n_queried"] > 0 and svm["n_queried"] > 0
+                ),
+            },
+            "metrics": {
+                "ridge_peak_rss_bytes": ridge["peak_rss_bytes"],
+                "svm_peak_rss_bytes": svm["peak_rss_bytes"],
+                # Omitted where RSS is unreadable: a 0.0 ratio would
+                # poison the lower-is-better ratchet forever.
+                **(
+                    {"svm_ridge_rss_ratio": ratio}
+                    if ridge["peak_rss_bytes"]
+                    else {}
+                ),
+            },
+        },
+    )
 
     assert ridge["n_queried"] > 0 and svm["n_queried"] > 0, (
         "both workloads must actually spend budget"

@@ -1,0 +1,154 @@
+"""Engine benchmark: tracing overhead and output-exactness gate.
+
+Runs the parallel-engine anchor-round workload twice under identical
+configuration — once with the default :data:`repro.obs.NULL_TRACER`
+and once with an enabled :class:`~repro.obs.Tracer` streaming every
+span to a JSONL sink — and gates the observability layer on two
+claims:
+
+* **bit-exactness** — always: tracing only observes; the feature
+  matrix and the streamed selection of the traced run must be
+  byte-identical to the untraced run;
+* **overhead** — outside smoke mode: instrumentation is per round /
+  per dispatch, never per matrix cell, so the enabled tracer (sink
+  included) must cost < 5% wall clock (best-of-``REPS`` on each side).
+
+Smoke mode (for CI gating on shared runners):
+``ENGINE_OBS_SCALE=small ENGINE_OBS_EXACT_ONLY=1`` runs a quick
+small-scale pass and skips the timing assertion.  The traced run's
+span file is left at ``benchmarks/results/engine_obs_trace.jsonl`` —
+CI uploads it, and ``python -m repro.cli trace summarize`` reads it.
+"""
+
+import os
+import time
+
+import numpy as np
+from conftest import RESULTS_DIR, publish
+
+from repro.datasets import foursquare_twitter_like
+from repro.engine.candidates import (
+    CandidateGenerator,
+    linear_scorer,
+    streamed_selection,
+)
+from repro.engine.session import AlignmentSession
+from repro.eval.timing import _anchor_round_workload
+from repro.obs import configure_tracing, set_tracer
+from repro.obs.report import load_spans
+
+SCALE = os.environ.get("ENGINE_OBS_SCALE", "medium")
+EXACT_ONLY = os.environ.get("ENGINE_OBS_EXACT_ONLY", "") == "1"
+WORKERS = 4
+NP_RATIO = 20
+ROUNDS = 8
+BATCH = 3
+REPS = 3
+SEED = 13
+TRACE_PATH = RESULTS_DIR / "engine_obs_trace.jsonl"
+
+
+def _run_workload(pair, split, known, arrivals, weights):
+    """One parallel engine pass; returns (X, selection, seconds)."""
+    with AlignmentSession(
+        pair, known_anchors=known, workers=WORKERS
+    ) as session:
+        candidates = list(split.candidates)
+        started = time.perf_counter()
+        X = session.extract(candidates)
+        current = list(known)
+        for arrival in arrivals:
+            current += arrival
+            session.set_anchors(current)
+            session.refresh_features(X, candidates)
+        generator = CandidateGenerator.from_support(session, block_size=1024)
+        selected = streamed_selection(
+            generator,
+            linear_scorer(session, weights),
+            threshold=0.5,
+            workers=session.executor,
+        )
+        elapsed = time.perf_counter() - started
+        return X, selected, elapsed
+
+
+def test_engine_obs_exactness_and_overhead():
+    pair = foursquare_twitter_like(SCALE, seed=7)
+    split, known, arrivals, weights = _anchor_round_workload(
+        pair, NP_RATIO, 1.0, ROUNDS, BATCH, SEED
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    TRACE_PATH.unlink(missing_ok=True)
+    plain_times, traced_times = [], []
+    X_plain = X_traced = sel_plain = sel_traced = None
+    # Interleave off/on reps so drift on a shared host hits both sides.
+    for _ in range(REPS):
+        set_tracer(None)
+        X_plain, sel_plain, seconds = _run_workload(
+            pair, split, known, arrivals, weights
+        )
+        plain_times.append(seconds)
+        tracer = configure_tracing(TRACE_PATH)
+        try:
+            with tracer.span("bench.engine_obs"):
+                X_traced, sel_traced, seconds = _run_workload(
+                    pair, split, known, arrivals, weights
+                )
+            traced_times.append(seconds)
+        finally:
+            set_tracer(None)
+
+    identical_features = bool(np.array_equal(X_plain, X_traced))
+    identical_selection = sel_plain == sel_traced
+    overhead = min(traced_times) / min(plain_times)
+    spans = load_spans(TRACE_PATH)
+
+    publish(
+        "engine_obs",
+        "\n".join(
+            [
+                (
+                    f"Tracing overhead ({SCALE}, workers={WORKERS}, "
+                    f"{len(arrivals)} anchor rounds, reps={REPS})"
+                ),
+                (
+                    f"untraced {min(plain_times):8.3f}s   "
+                    f"traced {min(traced_times):8.3f}s   "
+                    f"overhead {overhead:6.3f}x"
+                ),
+                (
+                    f"spans recorded: {len(spans)} "
+                    f"-> {TRACE_PATH.name}"
+                ),
+                f"features identical: {identical_features}; "
+                f"selection identical: {identical_selection}",
+            ]
+        ),
+        record={
+            "flags": {
+                "identical_features": identical_features,
+                "identical_selection": identical_selection,
+            },
+            "metrics": {
+                "untraced_seconds": min(plain_times),
+                "traced_seconds": min(traced_times),
+                "overhead_ratio": overhead,
+                "spans_recorded": len(spans),
+            },
+        },
+    )
+
+    assert identical_features, (
+        "the traced run's feature matrix must be byte-identical"
+    )
+    assert identical_selection, (
+        "the traced run's streamed selection must be identical"
+    )
+    assert spans, "the enabled tracer must have recorded spans"
+    if EXACT_ONLY:
+        return
+    assert overhead < 1.05, (
+        f"enabled tracing must cost < 5% wall clock, got {overhead:.3f}x "
+        f"(untraced {min(plain_times):.3f}s vs traced {min(traced_times):.3f}s)"
+    )

@@ -31,6 +31,15 @@ Other metrics are reported but never gated: wall-clock seconds and
 byte counts vary with hardware, scale knobs and dataset presets, so a
 tolerance on them would only produce flaky builds.
 
+Besides the stdout table, a passing or failing run always emits the
+**consolidated report** — ``<results-dir>/consolidated.md`` and
+``consolidated.json`` — folding every record into tidy rows (one per
+``(benchmark, kind, key)``) plus the *trajectories* of the gated
+metric families: each ``*speedup*`` / ``*rss_ratio*`` metric's current
+value next to its all-time record-to-beat from the ratchet history, so
+one artifact shows how the speedups and peak-RSS ratios have moved
+across the PR sequence.  CI uploads both files.
+
 Usage::
 
     python benchmarks/report_trend.py [--results-dir benchmarks/results]
@@ -58,8 +67,8 @@ def load_records(results_dir: Path) -> List[Dict]:
     """Parse every ``*.json`` record under ``results_dir``, sorted."""
     records = []
     for path in sorted(results_dir.glob("*.json")):
-        if path.name == "trend_history.json":
-            continue  # the ratchet file lives next to the records
+        if path.name in ("trend_history.json", "consolidated.json"):
+            continue  # our own outputs live next to the records
         try:
             payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as error:
@@ -178,6 +187,133 @@ def consolidate(records: List[Dict]) -> Tuple[str, List[str]]:
     return "\n".join(lines), failed
 
 
+def build_consolidated(
+    records: List[Dict], history: Dict[str, float]
+) -> Dict:
+    """Fold all records + the ratchet history into one tidy structure.
+
+    ``rows`` holds one entry per ``(benchmark, kind, key)``;
+    ``trajectories`` pairs each gated metric's current value with its
+    all-time record-to-beat, so speedup and peak-RSS movement across
+    the PR sequence reads off one artifact.
+    """
+    rows: List[Dict] = []
+    trajectories: List[Dict] = []
+    for record in records:
+        name = record["benchmark"]
+        for key, value in sorted(record.get("flags", {}).items()):
+            rows.append(
+                {
+                    "benchmark": name,
+                    "kind": "flag",
+                    "key": key,
+                    "value": bool(value),
+                }
+            )
+        for key, value in sorted(record.get("metrics", {}).items()):
+            rows.append(
+                {
+                    "benchmark": name,
+                    "kind": "metric",
+                    "key": key,
+                    "value": value,
+                }
+            )
+            direction = _gate_direction(key)
+            if direction is None or not isinstance(value, (int, float)):
+                continue
+            best = history.get(f"{name}:{key}")
+            trajectories.append(
+                {
+                    "benchmark": name,
+                    "metric": key,
+                    "direction": direction,
+                    "current": float(value),
+                    "best": best,
+                    "vs_best": (
+                        None
+                        if best in (None, 0)
+                        else float(value) / float(best)
+                    ),
+                }
+            )
+    return {
+        "n_benchmarks": len(records),
+        "rows": rows,
+        "trajectories": trajectories,
+    }
+
+
+def render_consolidated_md(consolidated: Dict) -> str:
+    """Markdown rendering of :func:`build_consolidated`'s output."""
+    lines = [
+        "# Consolidated benchmark report",
+        "",
+        f"{consolidated['n_benchmarks']} benchmark record(s).",
+        "",
+        "## Exactness flags",
+        "",
+        "| benchmark | flag | status |",
+        "| --- | --- | --- |",
+    ]
+    flags = [r for r in consolidated["rows"] if r["kind"] == "flag"]
+    metrics = [r for r in consolidated["rows"] if r["kind"] == "metric"]
+    if not flags:
+        lines.append("| (none) | | |")
+    for row in flags:
+        lines.append(
+            f"| {row['benchmark']} | {row['key']} | "
+            f"{'ok' if row['value'] else '**FAIL**'} |"
+        )
+    lines += [
+        "",
+        "## Metrics",
+        "",
+        "| benchmark | metric | value |",
+        "| --- | --- | --- |",
+    ]
+    if not metrics:
+        lines.append("| (none) | | |")
+    for row in metrics:
+        lines.append(
+            f"| {row['benchmark']} | {row['key']} | "
+            f"{_format_value(row['value'])} |"
+        )
+    lines += [
+        "",
+        "## Trajectories (gated metrics vs record-to-beat)",
+        "",
+        "| benchmark | metric | direction | current | best | current/best |",
+        "| --- | --- | --- | --- | --- | --- |",
+    ]
+    if not consolidated["trajectories"]:
+        lines.append("| (none) | | | | | |")
+    for row in consolidated["trajectories"]:
+        best = "-" if row["best"] is None else f"{row['best']:.4f}"
+        ratio = "-" if row["vs_best"] is None else f"{row['vs_best']:.3f}"
+        arrow = "higher is better" if row["direction"] == "higher" else (
+            "lower is better"
+        )
+        lines.append(
+            f"| {row['benchmark']} | {row['metric']} | {arrow} | "
+            f"{row['current']:.4f} | {best} | {ratio} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def write_consolidated(
+    results_dir: Path, records: List[Dict], history: Dict[str, float]
+) -> Path:
+    """Emit ``consolidated.{md,json}`` under ``results_dir``."""
+    consolidated = build_consolidated(records, history)
+    (results_dir / "consolidated.json").write_text(
+        json.dumps(consolidated, indent=1, sort_keys=True) + "\n"
+    )
+    md_path = results_dir / "consolidated.md"
+    md_path.write_text(render_consolidated_md(consolidated))
+    return md_path
+
+
 def _load_history(path: Path) -> Dict[str, float]:
     if not path.exists():
         return {}
@@ -221,6 +357,10 @@ def main(argv=None) -> int:
     history_path = args.history or (args.results_dir / "trend_history.json")
     history = _load_history(history_path)
     regressions, updated = check_numeric_trends(records, history)
+    # Always emitted — a failing run's artifact shows *what* regressed.
+    consolidated_md = write_consolidated(args.results_dir, records, updated)
+    print()
+    print(f"consolidated report: {consolidated_md} (+ consolidated.json)")
     if failed:
         print()
         print("EXACTNESS REGRESSIONS:")

@@ -29,6 +29,8 @@ Usage::
                                   [--interrupt-after 3]
     python -m repro.cli engine resume --store-dir DIR
     python -m repro.cli worker --listen HOST:PORT --store-dir DIR
+    python -m repro.cli trace summarize TRACE.jsonl
+    python -m repro.cli trace tree TRACE.jsonl [--trace-id ID]
 
 Every command prints a plain-text analog of the corresponding paper
 artifact.  Defaults are sized for minutes-scale runs; raise ``--scale``
@@ -56,6 +58,12 @@ uninterrupted run.
 jobs to a remote driver over the content-addressed arena transport
 (see :mod:`repro.store.rpc`); a driver reaches its fleet with
 ``engine --store-dir DIR --executor rpc --rpc-hosts h1:p,h2:p``.
+
+``engine``, ``evolve``, ``experiment`` and ``worker`` accept
+``--trace-out PATH`` (stream :mod:`repro.obs` spans to a JSONL file;
+read it back with ``trace summarize`` / ``trace tree``) and
+``--log-level``/``--log-format`` (wire the package loggers through
+:func:`repro.obs.logging_setup`).
 """
 
 from __future__ import annotations
@@ -535,6 +543,23 @@ def cmd_worker(args: argparse.Namespace) -> str:
     return "worker stopped"
 
 
+def cmd_trace(args: argparse.Namespace) -> str:
+    """Summarize or tree-render a trace JSONL file."""
+    from repro.obs.report import (
+        format_trace_trees,
+        load_spans,
+        summarize_spans,
+    )
+
+    try:
+        spans = load_spans(args.trace_file, include_workers=not args.no_workers)
+    except FileNotFoundError as missing:
+        raise SystemExit(str(missing))
+    if args.action == "tree":
+        return format_trace_trees(spans, trace_id=args.trace_id)
+    return summarize_spans(spans)
+
+
 def cmd_engine(args: argparse.Namespace) -> str:
     """Engine diagnostics, plus the checkpoint/resume workflow."""
     from repro.engine import AlignmentSession, CandidateGenerator, make_executor
@@ -548,6 +573,7 @@ def cmd_engine(args: argparse.Namespace) -> str:
         format_store_comparison,
         format_streamed_fit,
     )
+    from repro.obs.report import format_metrics_snapshot
 
     if args.action == "checkpoint":
         return _cmd_engine_checkpoint(args)
@@ -591,6 +617,9 @@ def cmd_engine(args: argparse.Namespace) -> str:
                     f"executor={session.executor.kind} "
                     f"{session.stats.summary()}"
                 ),
+                "",
+                "Metrics registry (session + executor):",
+                format_metrics_snapshot(session.metrics_snapshot()),
             ]
     if args.workers > 1 and args.executor == "thread":
         parallel = compare_parallel_paths(
@@ -823,6 +852,34 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    for command in (engine, evolve, experiment, worker):
+        _add_obs_knobs(command)
+
+    trace = sub.add_parser(
+        "trace",
+        help="read back a --trace-out JSONL file (summary or span tree)",
+    )
+    trace.add_argument(
+        "action",
+        choices=["summarize", "tree"],
+        help="summarize aggregates per span name; tree renders parentage",
+    )
+    trace.add_argument(
+        "trace_file",
+        metavar="TRACE.jsonl",
+        help="trace file written by --trace-out (rotations are included)",
+    )
+    trace.add_argument(
+        "--trace-id",
+        default=None,
+        help="tree only: restrict the rendering to one trace id",
+    )
+    trace.add_argument(
+        "--no-workers",
+        action="store_true",
+        help="skip trace-worker-*.jsonl siblings from same-host workers",
+    )
+
     return parser
 
 
@@ -842,6 +899,50 @@ def _add_model_knobs(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_knobs(parser: argparse.ArgumentParser) -> None:
+    """Attach the observability knobs (tracing + logging) to a command."""
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "stream repro.obs spans to this JSONL file (read it back "
+            "with `trace summarize` / `trace tree`)"
+        ),
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="enable package logging at this level (off by default)",
+    )
+    parser.add_argument(
+        "--log-format",
+        default="text",
+        choices=["text", "json"],
+        help="log line format used with --log-level (default: text)",
+    )
+
+
+def _setup_observability(args: argparse.Namespace):
+    """Honor --trace-out/--log-level; returns the root span or None."""
+    import logging
+
+    if getattr(args, "log_level", None) is not None:
+        from repro.obs import logging_setup
+
+        logging_setup(
+            level=getattr(logging, args.log_level.upper()),
+            fmt=args.log_format,
+        )
+    if getattr(args, "trace_out", None) is not None:
+        from repro.obs import configure_tracing
+
+        tracer = configure_tracing(args.trace_out)
+        return tracer.span(f"cli.{args.command}")
+    return None
+
+
 _COMMANDS = {
     "table2": cmd_table2,
     "table3": cmd_table3,
@@ -857,13 +958,22 @@ _COMMANDS = {
     "experiment": cmd_experiment,
     "engine": cmd_engine,
     "worker": cmd_worker,
+    "trace": cmd_trace,
 }
 
 
 def main(argv: Sequence[str] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    print(_COMMANDS[args.command](args))
+    root = _setup_observability(args)
+    if root is not None:
+        # One root span per invocation: every span the command emits
+        # (driver, process workers, RPC fleet) shares its trace id.
+        with root:
+            output = _COMMANDS[args.command](args)
+    else:
+        output = _COMMANDS[args.command](args)
+    print(output)
     return 0
 
 

@@ -50,6 +50,7 @@ from repro.exceptions import ModelError
 from repro.meta.features import FeatureExtractor
 from repro.ml.backends import DenseBlockSource
 from repro.networks.aligned import NetworkDelta
+from repro.obs.tracing import get_tracer
 from repro.store.checkpoint import SessionCheckpoint
 from repro.types import LinkPair
 
@@ -364,78 +365,101 @@ class ActiveIter(IterMPMD):
         dense_source = (
             DenseBlockSource(task) if self.backend is not None else None
         )
+        tracer = get_tracer()
         while True:
             n_rounds += 1
-            if dense_source is not None:
-                y, w, scores, round_trace = self._alternate_backend(
-                    dense_source, clamped_indices, clamped_values, y,
-                    state=state,
+            # One span per query round, with the heavy phases as
+            # children — the per-phase timing breakdown of the active
+            # loop.  All of it is a no-op when tracing is disabled.
+            with tracer.span("active.round", round=n_rounds):
+                with tracer.span("active.alternate"):
+                    if dense_source is not None:
+                        y, w, scores, round_trace = self._alternate_backend(
+                            dense_source, clamped_indices, clamped_values, y,
+                            state=state,
+                        )
+                    else:
+                        solver = self._make_solver(
+                            task, clamped_indices, clamped_values
+                        )
+                        y, w, scores, round_trace = self._alternate(
+                            task, solver, y, clamped_indices, clamped_values,
+                            state=state,
+                        )
+                trace.extend(round_trace)
+                if self.oracle.remaining <= 0:
+                    break
+
+                queryable = np.ones(task.n_candidates, dtype=bool)
+                queryable[clamped_indices] = False
+                with tracer.span("active.select"):
+                    picks = self.strategy.select(
+                        task.pairs,
+                        scores,
+                        y.astype(np.int64),
+                        queryable,
+                        min(self.batch_size, self.oracle.remaining),
+                    )
+                if not picks:
+                    break
+                with tracer.span("active.oracle", asked=len(picks)):
+                    answers = self.oracle.query_batch(
+                        [task.pairs[i] for i in picks]
+                    )
+                if not answers:
+                    break
+                queried.extend(answers)
+
+                answered_indices = np.array(
+                    [task.index_of(pair) for pair, _ in answers],
+                    dtype=np.int64,
                 )
-            else:
-                solver = self._make_solver(task, clamped_indices, clamped_values)
-                y, w, scores, round_trace = self._alternate(
-                    task, solver, y, clamped_indices, clamped_values, state=state
+                answered_values = np.array(
+                    [label for _, label in answers], dtype=np.int64
                 )
-            trace.extend(round_trace)
-            if self.oracle.remaining <= 0:
-                break
+                clamped_indices = np.concatenate(
+                    [clamped_indices, answered_indices]
+                )
+                clamped_values = np.concatenate(
+                    [clamped_values, answered_values]
+                )
+                y[answered_indices] = answered_values
+                state.clamp(task, answered_indices, answered_values)
 
-            queryable = np.ones(task.n_candidates, dtype=bool)
-            queryable[clamped_indices] = False
-            picks = self.strategy.select(
-                task.pairs,
-                scores,
-                y.astype(np.int64),
-                queryable,
-                min(self.batch_size, self.oracle.remaining),
-            )
-            if not picks:
-                break
-            answers = self.oracle.query_batch([task.pairs[i] for i in picks])
-            if not answers:
-                break
-            queried.extend(answers)
+                if self.refresh_features and any(
+                    label == 1 for _, label in answers
+                ):
+                    known_positive_pairs = [
+                        task.pairs[i]
+                        for i, value in zip(clamped_indices, clamped_values)
+                        if value == 1
+                    ]
+                    with tracer.span("active.refresh"):
+                        self.session.set_anchors(known_positive_pairs)
+                        if self.session.incremental:
+                            # Counts were delta-updated; rewrite only the
+                            # affected feature columns in place.
+                            self.session.refresh_features(task.X, task.pairs)
+                        else:
+                            # Full-recompute semantics (pre-engine behavior).
+                            task.X = self.session.extract(task.pairs)
 
-            answered_indices = np.array(
-                [task.index_of(pair) for pair, _ in answers], dtype=np.int64
-            )
-            answered_values = np.array(
-                [label for _, label in answers], dtype=np.int64
-            )
-            clamped_indices = np.concatenate([clamped_indices, answered_indices])
-            clamped_values = np.concatenate([clamped_values, answered_values])
-            y[answered_indices] = answered_values
-            state.clamp(task, answered_indices, answered_values)
+                with tracer.span("active.evolve"):
+                    evolution_position = self._apply_due_evolution(
+                        task, n_rounds, evolution_position
+                    )
 
-            if self.refresh_features and any(label == 1 for _, label in answers):
-                known_positive_pairs = [
-                    task.pairs[i]
-                    for i, value in zip(clamped_indices, clamped_values)
-                    if value == 1
-                ]
-                self.session.set_anchors(known_positive_pairs)
-                if self.session.incremental:
-                    # Counts were delta-updated; rewrite only the affected
-                    # feature columns in place.
-                    self.session.refresh_features(task.X, task.pairs)
-                else:
-                    # Full-recompute semantics (the pre-engine behavior).
-                    task.X = self.session.extract(task.pairs)
-
-            evolution_position = self._apply_due_evolution(
-                task, n_rounds, evolution_position
-            )
-
-            self._save_checkpoint(
-                self.session,
-                clamped_indices,
-                clamped_values,
-                queried,
-                trace,
-                y,
-                n_rounds,
-                evolution_position,
-            )
+                with tracer.span("active.checkpoint"):
+                    self._save_checkpoint(
+                        self.session,
+                        clamped_indices,
+                        clamped_values,
+                        queried,
+                        trace,
+                        y,
+                        n_rounds,
+                        evolution_position,
+                    )
 
         self.weights_ = w
         self.result_ = AlignmentResult(
@@ -491,67 +515,90 @@ class ActiveIter(IterMPMD):
             n_rounds = 0
         evolution_position = self._evolution_start(resume)
         state = AlternatingState.from_task(task, clamped_indices, clamped_values)
+        tracer = get_tracer()
         while True:
             n_rounds += 1
-            y, w, scores, round_trace = self._alternate_streamed(
-                task, clamped_indices, clamped_values, y, state=state
-            )
-            trace.extend(round_trace)
-            if self.oracle.remaining <= 0:
-                break
+            # Same per-round / per-phase span layout as :meth:`fit`,
+            # with ``streamed=True``; streamed block dispatches under
+            # ``active.alternate`` inherit it as their trace parent.
+            with tracer.span("active.round", round=n_rounds, streamed=True):
+                with tracer.span("active.alternate"):
+                    y, w, scores, round_trace = self._alternate_streamed(
+                        task, clamped_indices, clamped_values, y, state=state
+                    )
+                trace.extend(round_trace)
+                if self.oracle.remaining <= 0:
+                    break
 
-            queryable = np.ones(task.n_candidates, dtype=bool)
-            queryable[clamped_indices] = False
-            batch = min(self.batch_size, self.oracle.remaining)
-            if hasattr(self.strategy, "select_streamed"):
-                picks = self.strategy.select_streamed(
-                    task.scored_blocks(scores, y.astype(np.int64), queryable),
-                    batch,
+                queryable = np.ones(task.n_candidates, dtype=bool)
+                queryable[clamped_indices] = False
+                batch = min(self.batch_size, self.oracle.remaining)
+                with tracer.span("active.select"):
+                    if hasattr(self.strategy, "select_streamed"):
+                        picks = self.strategy.select_streamed(
+                            task.scored_blocks(
+                                scores, y.astype(np.int64), queryable
+                            ),
+                            batch,
+                        )
+                    else:
+                        picks = self.strategy.select(
+                            task.pairs, scores, y.astype(np.int64),
+                            queryable, batch,
+                        )
+                if not picks:
+                    break
+                with tracer.span("active.oracle", asked=len(picks)):
+                    answers = self.oracle.query_batch(
+                        [task.pairs[i] for i in picks]
+                    )
+                if not answers:
+                    break
+                queried.extend(answers)
+
+                answered_indices = np.array(
+                    [task.index_of(pair) for pair, _ in answers],
+                    dtype=np.int64,
                 )
-            else:
-                picks = self.strategy.select(
-                    task.pairs, scores, y.astype(np.int64), queryable, batch
+                answered_values = np.array(
+                    [label for _, label in answers], dtype=np.int64
                 )
-            if not picks:
-                break
-            answers = self.oracle.query_batch([task.pairs[i] for i in picks])
-            if not answers:
-                break
-            queried.extend(answers)
+                clamped_indices = np.concatenate(
+                    [clamped_indices, answered_indices]
+                )
+                clamped_values = np.concatenate(
+                    [clamped_values, answered_values]
+                )
+                y[answered_indices] = answered_values
+                state.clamp(task, answered_indices, answered_values)
 
-            answered_indices = np.array(
-                [task.index_of(pair) for pair, _ in answers], dtype=np.int64
-            )
-            answered_values = np.array(
-                [label for _, label in answers], dtype=np.int64
-            )
-            clamped_indices = np.concatenate([clamped_indices, answered_indices])
-            clamped_values = np.concatenate([clamped_values, answered_values])
-            y[answered_indices] = answered_values
-            state.clamp(task, answered_indices, answered_values)
+                if self.refresh_features and any(
+                    label == 1 for _, label in answers
+                ):
+                    known_positive_pairs = [
+                        task.pairs[i]
+                        for i, value in zip(clamped_indices, clamped_values)
+                        if value == 1
+                    ]
+                    with tracer.span("active.refresh"):
+                        task.session.set_anchors(known_positive_pairs)
 
-            if self.refresh_features and any(label == 1 for _, label in answers):
-                known_positive_pairs = [
-                    task.pairs[i]
-                    for i, value in zip(clamped_indices, clamped_values)
-                    if value == 1
-                ]
-                task.session.set_anchors(known_positive_pairs)
+                with tracer.span("active.evolve"):
+                    evolution_position = self._apply_due_evolution(
+                        task, n_rounds, evolution_position
+                    )
 
-            evolution_position = self._apply_due_evolution(
-                task, n_rounds, evolution_position
-            )
-
-            self._save_checkpoint(
-                task.session,
-                clamped_indices,
-                clamped_values,
-                queried,
-                trace,
-                y,
-                n_rounds,
-                evolution_position,
-            )
+                with tracer.span("active.checkpoint"):
+                    self._save_checkpoint(
+                        task.session,
+                        clamped_indices,
+                        clamped_values,
+                        queried,
+                        trace,
+                        y,
+                        n_rounds,
+                        evolution_position,
+                    )
 
         self.weights_ = w
         self.result_ = AlignmentResult(

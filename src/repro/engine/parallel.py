@@ -53,6 +53,7 @@ exception mid-run never leaks worker threads or processes.
 
 from __future__ import annotations
 
+import logging
 import pickle
 import threading
 from collections import deque
@@ -60,6 +61,8 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Iterator, List, Optional, TypeVar, Union
 
 from repro.exceptions import AlignmentError
+
+logger = logging.getLogger(__name__)
 
 
 def _picklable(obj) -> bool:
@@ -176,6 +179,7 @@ class ThreadedExecutor(Executor):
     def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._pool_lock:
             if self._pool is None:
+                logger.debug("starting thread pool (workers=%d)", self.workers)
                 self._pool = ThreadPoolExecutor(
                     max_workers=self.workers,
                     thread_name_prefix="repro-engine",
@@ -275,11 +279,17 @@ class ProcessExecutor(Executor):
     def _ensure_pool(self) -> ProcessPoolExecutor:
         with self._pool_lock:
             if self._pool is None:
+                logger.debug(
+                    "starting process pool (workers=%d)", self.workers
+                )
                 self._pool = ProcessPoolExecutor(max_workers=self.workers)
             return self._pool
 
     def map(self, fn, items):
         if not _picklable(fn):
+            logger.debug(
+                "ProcessExecutor.map: %r does not pickle; running inline", fn
+            )
             return [fn(item) for item in items]
         return list(self._ensure_pool().map(fn, items))
 

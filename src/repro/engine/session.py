@@ -35,7 +35,9 @@ from __future__ import annotations
 import copy
 import logging
 import threading
-from dataclasses import asdict, dataclass, field
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
@@ -71,6 +73,8 @@ from repro.meta.diagrams import DiagramFamily, standard_diagram_family
 from repro.meta.proximity import ProximityMatrix, csr_values_at, dice_scores
 from repro.networks.aligned import AlignedPair, DeltaApplication, NetworkDelta
 from repro.networks.schema import FOLLOW, LOCATION, POST, TIMESTAMP, WORD, WRITE
+from repro.obs.metrics import CounterGroup, MetricsRegistry
+from repro.obs.tracing import get_tracer
 from repro.store.arena import MatrixArena, as_arena
 from repro.store.procwork import (
     SESSION_META,
@@ -127,9 +131,18 @@ _ATTRIBUTE_PAIRS = {
 }
 
 
-@dataclass
-class SessionStats:
+class SessionStats(CounterGroup):
     """Counters describing how much work the session avoided.
+
+    Since the ``repro.obs`` unification this is a *view* over
+    ``session.`` counters in a :class:`~repro.obs.metrics.MetricsRegistry`
+    (the session's own, reachable as ``session.metrics``), not a
+    dataclass — but the surface is unchanged: attribute reads and
+    ``+=``, keyword construction, equality, and :meth:`summary` all
+    behave exactly as before, and :meth:`~repro.obs.metrics.CounterGroup.as_dict`
+    round-trips through checkpoints where ``dataclasses.asdict`` did.
+    A pickled/copied ``SessionStats`` detaches onto a private registry,
+    so stat snapshots taken mid-run stay frozen.
 
     Attributes
     ----------
@@ -166,28 +179,23 @@ class SessionStats:
         Full feature-extraction calls served.
     """
 
-    anchor_updates: int = 0
-    network_updates: int = 0
-    delta_updates: int = 0
-    full_recounts: int = 0
-    fallback_invalidations: int = 0
-    removal_updates: int = 0
-    compactions: int = 0
-    columns_refreshed: int = 0
-    extract_calls: int = 0
+    _prefix = "session."
+    _fields = (
+        "anchor_updates",
+        "network_updates",
+        "delta_updates",
+        "full_recounts",
+        "fallback_invalidations",
+        "removal_updates",
+        "compactions",
+        "columns_refreshed",
+        "extract_calls",
+    )
 
     def summary(self) -> str:
         """One-line human-readable rendering."""
-        return (
-            f"anchor_updates={self.anchor_updates} "
-            f"network_updates={self.network_updates} "
-            f"delta_updates={self.delta_updates} "
-            f"full_recounts={self.full_recounts} "
-            f"fallback_invalidations={self.fallback_invalidations} "
-            f"removal_updates={self.removal_updates} "
-            f"compactions={self.compactions} "
-            f"columns_refreshed={self.columns_refreshed} "
-            f"extract_calls={self.extract_calls}"
+        return " ".join(
+            f"{name}={getattr(self, name)}" for name in self._fields
         )
 
     def __str__(self) -> str:
@@ -363,7 +371,10 @@ class AlignmentSession:
         self.arena, self._owns_arena = as_arena(store)
         self._store_dirty = self.arena is not None
         self._store_meta_written = False
-        self.stats = SessionStats()
+        # Every session counter lives in this registry; ``stats`` is
+        # the legacy attribute-shaped view over its ``session.*`` slice.
+        self.metrics = MetricsRegistry()
+        self.stats = SessionStats(registry=self.metrics)
         self._anchors: Set[LinkPair] = set(known_anchors or ())
         self._views: Dict[int, _CandidateView] = {}
         # One lock for the cross-structure shared state: the stats
@@ -603,6 +614,35 @@ class AlignmentSession:
         """Grow the known anchor set; returns whether anything changed."""
         return self.set_anchors(self._anchors | set(new_anchors))
 
+    @contextmanager
+    def _phase(self, name: str, **attributes):
+        """Time one session phase: a tracer span (no-op when tracing
+        is disabled) plus a ``phase.<name>`` histogram in the session
+        registry.  Used only at per-round / per-event granularity."""
+        start = time.monotonic()
+        with get_tracer().span(name, **attributes) as span:
+            yield span
+        self.metrics.histogram("phase." + name).observe(
+            time.monotonic() - start
+        )
+
+    def metrics_snapshot(self) -> Dict:
+        """The unified registry snapshot: session *and* executor.
+
+        Merges this session's ``session.*`` counters and ``phase.*``
+        histograms with the executor's registry when it has one (the
+        RPC executor's ``rpc.*`` counters), so one dict shows
+        everything about how the work was produced — the surface
+        behind ``repro.cli engine diagnose`` and
+        :class:`~repro.eval.experiment.RuntimeMetadata.metrics`.
+        """
+        snapshot = self.metrics.snapshot()
+        registry = getattr(self.executor, "registry", None)
+        if registry is not None:
+            for kind, values in registry.snapshot().items():
+                snapshot.setdefault(kind, {}).update(values)
+        return snapshot
+
     def set_anchors(self, known_anchors: Iterable[LinkPair]) -> bool:
         """Replace the known anchor set; returns whether anything changed.
 
@@ -614,6 +654,12 @@ class AlignmentSession:
         lazy re-evaluation.  Attribute-only structures are untouched in
         both cases.
         """
+        with self._phase("session.set_anchors") as span:
+            changed = self._set_anchors(known_anchors)
+            span.annotate(changed=changed)
+            return changed
+
+    def _set_anchors(self, known_anchors: Iterable[LinkPair]) -> bool:
         new_set = set(known_anchors)
         added = new_set - self._anchors
         removed = self._anchors - new_set
@@ -849,29 +895,32 @@ class AlignmentSession:
             raise FeatureError(
                 "pass either a delta or the loose keyword form, not both"
             )
-        # A removed user may carry a *known* anchor; its matrix cell must
-        # be captured before the tombstone erases the position lookup.
-        dead_anchors, anchor_cells = self._known_anchor_removals(delta)
-        application = self.pair.apply_delta(delta)  # validates first
-        self._evolution_log.append(delta)
-        self._applied_evolution += 1
-        if dead_anchors:
-            self._anchors.difference_update(dead_anchors)
-        if (
-            application.removed_edges
-            or application.removed_nodes
-            or application.removed_attribute_cells
-            or dead_anchors
-        ):
-            with self._state_lock:
-                self.stats.removal_updates += 1
-        changed = self._fold_application(application, anchor_cells)
-        if (
-            self.compact_every is not None
-            and len(self._evolution_log) >= self.compact_every
-        ):
-            changed = self.compact() or changed
-        return changed
+        with self._phase("session.apply_network_delta", side=delta.side) as span:
+            # A removed user may carry a *known* anchor; its matrix cell
+            # must be captured before the tombstone erases the position
+            # lookup.
+            dead_anchors, anchor_cells = self._known_anchor_removals(delta)
+            application = self.pair.apply_delta(delta)  # validates first
+            self._evolution_log.append(delta)
+            self._applied_evolution += 1
+            if dead_anchors:
+                self._anchors.difference_update(dead_anchors)
+            if (
+                application.removed_edges
+                or application.removed_nodes
+                or application.removed_attribute_cells
+                or dead_anchors
+            ):
+                with self._state_lock:
+                    self.stats.removal_updates += 1
+            changed = self._fold_application(application, anchor_cells)
+            if (
+                self.compact_every is not None
+                and len(self._evolution_log) >= self.compact_every
+            ):
+                changed = self.compact() or changed
+            span.annotate(changed=changed)
+            return changed
 
     def _known_anchor_removals(
         self, delta: NetworkDelta
@@ -1688,8 +1737,13 @@ class AlignmentSession:
                 self._store_meta_written = True
             self._store_dirty = False
             self._release_store_pages()
+        # With tracing on, the spec carries the dispatching span's
+        # context into worker processes, so same-host workers parent
+        # their job spans on the driver's trace (no-op otherwise).
         return ArenaSpec(
-            store_dir=str(self.arena.store_dir), version=self.arena.version
+            store_dir=str(self.arena.store_dir),
+            version=self.arena.version,
+            trace=get_tracer().current_context(),
         )
 
     # ------------------------------------------------------------------
@@ -1737,7 +1791,7 @@ class AlignmentSession:
             "format_version": _STATE_FORMAT_VERSION,
             "anchors": set(self._anchors),
             "structures": structures,
-            "stats": asdict(self.stats),
+            "stats": self.stats.as_dict(),
             "evolution": list(self._evolution_log),
             # The snapshot epoch: the evolution list above replays on
             # top of pair_snapshot (when epoch > 0), not on the
@@ -1843,7 +1897,7 @@ class AlignmentSession:
                 structure.col_sums = snapshot["col_sums"]
                 structure.pending = list(snapshot["pending"])
                 structure.proximity = None
-        self.stats = SessionStats(**state["stats"])
+        self.stats = SessionStats(registry=self.metrics, **state["stats"])
         # Anything derived from this session before the restore is
         # unverifiable now; downstream caches must rebuild.
         self._record_dirty(everything=True)

@@ -40,6 +40,7 @@ records for the streamed query strategies — no extraction involved.
 
 from __future__ import annotations
 
+import logging
 import time
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -56,6 +57,8 @@ from repro.store.procwork import (
     model_score_block_job,
 )
 from repro.types import LinkPair
+
+logger = logging.getLogger(__name__)
 
 #: Sentinel accepted by the ``block_size`` knobs: measure throughput and
 #: pick a size instead of using a fixed number.
@@ -324,6 +327,11 @@ class StreamedAlignmentTask:
         executor = self.session.executor
         if executor.crosses_processes and self.session.arena is not None:
             spec = self.session.flush_store()
+            logger.debug(
+                "streaming %d block descriptor(s) across %s executor",
+                len(self.blocks),
+                executor.kind,
+            )
             return executor.imap(
                 extract_block_job,
                 ((spec, descriptor) for descriptor in self._block_descriptors()),
@@ -420,6 +428,9 @@ class StreamedAlignmentTask:
             rescored += 1
         self.partial_score_passes += 1
         self.blocks_rescored += rescored
+        logger.debug(
+            "partial rescore: %d of %d block(s) dirty", rescored, len(self.blocks)
+        )
         self._score_cache = (weights.copy(), scores.copy(), epoch)
         return scores
 

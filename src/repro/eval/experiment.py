@@ -16,6 +16,7 @@ subset* of it, so adding SVM-MP costs no extra counting.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -41,6 +42,8 @@ from repro.ml.backends import BACKEND_NAMES, make_backend
 from repro.ml.kernels import FEATURE_MAP_NAMES
 from repro.ml.metrics import ClassificationReport, classification_report
 from repro.networks.aligned import AlignedPair, NetworkDelta
+
+logger = logging.getLogger(__name__)
 
 #: Query strategies addressable from a MethodSpec.
 _STRATEGIES = {
@@ -252,6 +255,13 @@ class RuntimeMetadata:
         Jobs re-queued after a worker died or timed out mid-flight.
     rpc_stragglers:
         Duplicate dispatches of the slowest in-flight tail.
+    metrics:
+        The full ``repro.obs`` registry snapshot at the end of the run
+        (session counters, executor ``rpc.*`` counters, phase-timing
+        histograms), as returned by
+        :meth:`~repro.engine.session.AlignmentSession.metrics_snapshot`.
+        The flat counters above are a legacy subset kept for older
+        readers; this carries everything (persistence format 6).
     """
 
     workers: int = 1
@@ -267,6 +277,7 @@ class RuntimeMetadata:
     rpc_cache_hits: int = 0
     rpc_retries: int = 0
     rpc_stragglers: int = 0
+    metrics: Optional[Dict] = None
 
 
 @dataclass
@@ -389,6 +400,9 @@ def run_split(
         started = time.perf_counter()
         model.fit(task)
         runtime = time.perf_counter() - started
+        logger.debug(
+            "fold %d: %s fitted in %.3fs", split.fold, spec.name, runtime
+        )
 
         queried_pairs = {pair_ for pair_, _ in model.queried_}
         test_indices = np.array(
@@ -648,5 +662,14 @@ def run_experiment(
             rpc_cache_hits=getattr(rpc, "sync_cache_hits", 0),
             rpc_retries=getattr(rpc, "retries", 0),
             rpc_stragglers=getattr(rpc, "stragglers_redispatched", 0),
+            metrics=session.metrics_snapshot(),
         )
+    logger.info(
+        "experiment complete: %d method(s) x %d fold repeat(s), "
+        "executor=%s peak_rss=%d",
+        len(outcome.methods),
+        config.n_repeats,
+        outcome.runtime.executor,
+        outcome.runtime.peak_rss_bytes,
+    )
     return outcome

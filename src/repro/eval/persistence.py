@@ -26,6 +26,11 @@ Format history:
   show how much the content-addressed arena transport shipped versus
   served from worker caches.  Older files load fine — the counters
   default to zero.
+* **6** — the runtime block carries the full ``repro.obs`` metrics
+  registry snapshot (``metrics``: every named counter/gauge/histogram
+  of the session and its executor), superseding the hand-picked
+  counter subset above — which remains populated for compatibility.
+  Older files load fine — their ``metrics`` is ``None``.
 """
 
 from __future__ import annotations
@@ -44,10 +49,10 @@ from repro.eval.protocol import ProtocolConfig
 from repro.exceptions import ExperimentError
 from repro.ml.metrics import ClassificationReport
 
-_FORMAT_VERSION = 5
+_FORMAT_VERSION = 6
 
 #: Versions :func:`outcome_from_dict` can read.
-_READABLE_VERSIONS = (1, 2, 3, 4, 5)
+_READABLE_VERSIONS = (1, 2, 3, 4, 5, 6)
 
 
 def outcome_to_dict(outcome: ExperimentOutcome) -> Dict:
@@ -75,7 +80,8 @@ def outcome_to_dict(outcome: ExperimentOutcome) -> Dict:
 
 
 def outcome_from_dict(payload: Dict) -> ExperimentOutcome:
-    """Inverse of :func:`outcome_to_dict` (reads formats 1 and 2)."""
+    """Inverse of :func:`outcome_to_dict` (reads every format in
+    ``_READABLE_VERSIONS``)."""
     version = payload.get("format_version")
     if version not in _READABLE_VERSIONS:
         raise ExperimentError(

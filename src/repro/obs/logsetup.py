@@ -1,0 +1,100 @@
+"""Opt-in structured logging for every ``repro.*`` module logger.
+
+Library code never configures logging on import — each module only
+does ``logger = logging.getLogger(__name__)`` and emits.  Hosts that
+want to *see* those records call :func:`logging_setup` once (the CLI
+does, via ``--log-level``); everyone else keeps Python's default
+silence.  Two formats:
+
+* ``"text"`` — one aligned human line per record;
+* ``"json"`` — one JSON object per line (timestamp, level, logger,
+  message, plus any ``extra=`` fields), ready for the same tooling
+  that reads the trace JSONL sink.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO, Optional, Union
+
+__all__ = ["logging_setup"]
+
+#: Attributes of a ``LogRecord`` that are bookkeeping, not payload —
+#: anything else came in through ``extra=`` and belongs in the output.
+_RESERVED = frozenset(
+    logging.LogRecord(
+        "", 0, "", 0, "", (), None
+    ).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per record; ``extra=`` fields ride along."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                try:
+                    json.dumps(value)
+                except (TypeError, ValueError):
+                    value = repr(value)
+                payload[key] = value
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+class TextLogFormatter(logging.Formatter):
+    """Aligned human-readable lines with a stable UTC timestamp."""
+
+    default_msec_format = "%s.%03d"
+
+    def __init__(self):
+        super().__init__(
+            fmt="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+            datefmt="%H:%M:%S",
+        )
+        self.converter = time.gmtime
+
+
+def logging_setup(
+    level: Union[int, str] = logging.INFO,
+    fmt: str = "text",
+    stream: Optional[IO[str]] = None,
+    logger_name: str = "repro",
+) -> logging.Logger:
+    """Wire the ``repro`` logger hierarchy to a configured handler.
+
+    Idempotent: calling again replaces the handler installed by a
+    previous call (level/format changes take effect) rather than
+    stacking duplicates.  Returns the configured parent logger.
+    """
+    if fmt not in ("text", "json"):
+        raise ValueError(f"unknown log format {fmt!r}; use 'text' or 'json'")
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    logger = logging.getLogger(logger_name)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        JsonLogFormatter() if fmt == "json" else TextLogFormatter()
+    )
+    handler._repro_obs_handler = True
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger

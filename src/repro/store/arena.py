@@ -31,6 +31,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
+import logging
 import os
 import pickle
 import re
@@ -42,6 +43,8 @@ import numpy as np
 from scipy import sparse
 
 from repro.exceptions import StoreError
+
+logger = logging.getLogger(__name__)
 
 #: Manifest format history: **1** — entries with kind/shape/files;
 #: **2** — every entry additionally records a SHA-256 content digest per
@@ -135,6 +138,12 @@ class MatrixArena:
             )
         self._entries = dict(payload.get("entries", {}))
         self._version = int(payload.get("version", 0))
+        logger.debug(
+            "loaded arena manifest %s: version=%d entries=%d",
+            self.manifest_path,
+            self._version,
+            len(self._entries),
+        )
 
     def _write_manifest(self) -> None:
         self._version += 1
@@ -391,6 +400,13 @@ class MatrixArena:
                     continue
                 removed += 1
                 freed += size
+        if removed:
+            logger.info(
+                "arena vacuum at %s: removed %d orphan file(s), freed %d bytes",
+                self.store_dir,
+                removed,
+                freed,
+            )
         return removed, freed
 
     def nbytes(self) -> int:

@@ -36,12 +36,15 @@ free of engine imports (and import cycles).
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 from pathlib import Path
 from typing import Any, Optional, Tuple, Union
 
 from repro.exceptions import CheckpointInterrupt, StoreError
+
+logger = logging.getLogger(__name__)
 
 _FORMAT_VERSION = 1
 
@@ -173,6 +176,12 @@ class SessionCheckpoint:
         self._rotate()
         os.replace(tmp, self.path)
         self.saves += 1
+        logger.debug(
+            "checkpoint save #%d -> %s (session %s)",
+            self.saves,
+            self.path,
+            "reserialized" if session is not None and session_dirty else "cached",
+        )
         if self.interrupt_after is not None and self.saves >= self.interrupt_after:
             raise CheckpointInterrupt(
                 f"simulated crash after checkpoint save #{self.saves} "
@@ -220,6 +229,7 @@ class SessionCheckpoint:
             # Seed the clean-save cache so a resumed loop's first
             # unchanged round also skips re-serialization.
             self._session_cache = session_state
+        logger.info("restored checkpoint %s", self.path)
         return payload
 
     def prune_history(self) -> int:

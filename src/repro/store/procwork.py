@@ -32,7 +32,9 @@ suite and ``bench_engine_store`` assert.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -40,6 +42,7 @@ import numpy as np
 from repro.exceptions import StoreError
 from repro.meta.proximity import csr_values_at, dice_scores
 from repro.ml.backends import LinearModelState, apply_model_state
+from repro.obs.tracing import NULL_TRACER, JsonlSink, TraceContext, Tracer
 from repro.store.arena import MatrixArena
 from repro.types import LinkPair
 
@@ -74,10 +77,20 @@ class ArenaSpec:
 
     ``version`` is the arena manifest version current when the driver
     flushed; workers holding older state reload before serving a task.
+
+    ``trace`` optionally carries the driver's
+    :class:`~repro.obs.tracing.TraceContext` into the worker process:
+    when it names a ``sink_dir``, same-host workers append their job
+    spans to ``trace-worker-<pid>.jsonl`` next to the driver's trace
+    file, parented on the dispatching span.  ``None`` (tracing
+    disabled) costs nothing.  Remote RPC workers see a re-mapped spec
+    *without* the trace — their spans travel back inside the result
+    envelope instead.
     """
 
     store_dir: str
     version: int
+    trace: Optional[TraceContext] = None
 
 
 @dataclass(frozen=True)
@@ -204,6 +217,10 @@ class _ArenaWorkerState:
 
 _STATES: Dict[str, _ArenaWorkerState] = {}
 
+#: Per-process tracers keyed by sink directory; a worker process opens
+#: its span file once and appends for the rest of its life.
+_WORKER_TRACERS: Dict[str, Tracer] = {}
+
 
 def _state_for(spec: ArenaSpec) -> _ArenaWorkerState:
     state = _STATES.get(spec.store_dir)
@@ -214,6 +231,23 @@ def _state_for(spec: ArenaSpec) -> _ArenaWorkerState:
     return state
 
 
+def job_span(spec: ArenaSpec, name: str, **attributes):
+    """A worker-side span parented on the spec's driver context.
+
+    Returns the shared no-op span when the spec carries no trace (the
+    overwhelmingly common case) or no sink directory to write to.
+    """
+    trace = spec.trace
+    if trace is None or trace.sink_dir is None:
+        return NULL_TRACER.span(name)
+    tracer = _WORKER_TRACERS.get(trace.sink_dir)
+    if tracer is None:
+        path = Path(trace.sink_dir) / f"trace-worker-{os.getpid()}.jsonl"
+        tracer = Tracer(sink=JsonlSink(path))
+        _WORKER_TRACERS[trace.sink_dir] = tracer
+    return tracer.span(name, parent=trace, **attributes)
+
+
 # ----------------------------------------------------------------------
 # Job functions (module-level: pickled by reference)
 # ----------------------------------------------------------------------
@@ -222,10 +256,11 @@ def extract_block_job(
 ) -> Tuple[int, np.ndarray]:
     """``(spec, descriptor) -> (offset, X_block)`` in a worker process."""
     spec, descriptor = item
-    state = _state_for(spec)
-    return descriptor.offset, state.features(
-        descriptor.left_indices, descriptor.right_indices
-    )
+    with job_span(spec, "procwork.extract_block", offset=descriptor.offset):
+        state = _state_for(spec)
+        return descriptor.offset, state.features(
+            descriptor.left_indices, descriptor.right_indices
+        )
 
 
 def score_block_job(
@@ -233,9 +268,10 @@ def score_block_job(
 ) -> Tuple[int, np.ndarray]:
     """``(spec, descriptor, w) -> (offset, X_block @ w)`` in a worker."""
     spec, descriptor, weights = item
-    state = _state_for(spec)
-    X = state.features(descriptor.left_indices, descriptor.right_indices)
-    return descriptor.offset, X @ weights
+    with job_span(spec, "procwork.score_block", offset=descriptor.offset):
+        state = _state_for(spec)
+        X = state.features(descriptor.left_indices, descriptor.right_indices)
+        return descriptor.offset, X @ weights
 
 
 def model_score_block_job(
@@ -254,9 +290,12 @@ def model_score_block_job(
     the inline one.
     """
     spec, descriptor, model_state = item
-    state = _state_for(spec)
-    X = state.features(descriptor.left_indices, descriptor.right_indices)
-    return descriptor.offset, apply_model_state(model_state, X)
+    with job_span(
+        spec, "procwork.model_score_block", offset=descriptor.offset
+    ):
+        state = _state_for(spec)
+        X = state.features(descriptor.left_indices, descriptor.right_indices)
+        return descriptor.offset, apply_model_state(model_state, X)
 
 
 @dataclass(frozen=True)
@@ -274,6 +313,7 @@ class ArenaLinearScorer:
     weights: np.ndarray
 
     def __call__(self, block: Sequence[LinkPair]) -> np.ndarray:
-        state = _state_for(self.spec)
-        left, right = state.pairs_to_indices(block)
-        return state.features(left, right) @ self.weights
+        with job_span(self.spec, "procwork.linear_scorer", block=len(block)):
+            state = _state_for(self.spec)
+            left, right = state.pairs_to_indices(block)
+            return state.features(left, right) @ self.weights

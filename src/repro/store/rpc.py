@@ -54,12 +54,14 @@ import struct
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field, replace
+from dataclasses import replace
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine.parallel import Executor, _picklable
 from repro.exceptions import RPCError
+from repro.obs.metrics import CounterGroup, MetricsRegistry
+from repro.obs.tracing import Tracer, get_tracer
 from repro.store.arena import _tmp_path
 from repro.store.procwork import ArenaLinearScorer, ArenaSpec
 
@@ -67,7 +69,12 @@ logger = logging.getLogger(__name__)
 
 #: Bumped on any incompatible change to envelopes or sync semantics;
 #: driver and worker refuse to talk across versions at handshake time.
-PROTOCOL_VERSION = 1
+#: Version 2 (the ``repro.obs`` era): job envelopes may carry a
+#: ``trace`` :class:`~repro.obs.tracing.TraceContext` and result
+#: envelopes a ``spans`` list, so one trace id follows a job across
+#: hosts.  Version-1 workers are refused at handshake with the
+#: worker's own error message.
+PROTOCOL_VERSION = 2
 
 #: Frame header: one unsigned 64-bit big-endian payload length.
 _HEADER = struct.Struct("!Q")
@@ -114,12 +121,18 @@ def recv_frame(sock: socket.socket) -> dict:
 def _handshake_client(sock: socket.socket) -> None:
     send_frame(sock, {"kind": "hello", "protocol": PROTOCOL_VERSION})
     reply = recv_frame(sock)
+    if reply.get("kind") == "error":
+        # The worker explained its refusal (typically a protocol
+        # mismatch — e.g. a fleet still running version-1 workers);
+        # surface its own words instead of a generic failure.
+        raise RPCError(f"worker refused handshake: {reply.get('error')}")
     if reply.get("kind") != "hello" or (
         reply.get("protocol") != PROTOCOL_VERSION
     ):
         raise RPCError(
             f"protocol mismatch: worker speaks {reply.get('protocol')!r}, "
-            f"this driver speaks {PROTOCOL_VERSION}"
+            f"this driver speaks {PROTOCOL_VERSION}; upgrade the worker "
+            "processes to this code revision"
         )
 
 
@@ -355,20 +368,35 @@ class WorkerServer:
             mapping = self._spec_mapping()
             fn = _remap_specs(request["fn"], mapping)
             item = _remap_specs(request["item"], mapping)
+            # When the driver traces, the envelope carries a
+            # TraceContext: run the job under a buffer-only local
+            # tracer parented on it and ship the spans home in the
+            # result, so the driver's JSONL links remote execution to
+            # its own dispatch span by trace id.
+            trace = request.get("trace")
+            local = Tracer() if trace is not None else None
             try:
-                value = fn(item)
+                if local is not None:
+                    with local.span(
+                        "rpc.worker.job", parent=trace, job=request["job"]
+                    ):
+                        value = fn(item)
+                else:
+                    value = fn(item)
             except Exception as error:  # job errors travel back, typed
                 return {
                     "kind": "result",
                     "job": request["job"],
                     "ok": False,
                     "error": f"{type(error).__name__}: {error}",
+                    "spans": local.drain() if local is not None else [],
                 }
             return {
                 "kind": "result",
                 "job": request["job"],
                 "ok": True,
                 "value": value,
+                "spans": local.drain() if local is not None else [],
             }
         if kind == "shutdown":
             self._stop.set()
@@ -464,24 +492,29 @@ class WorkerServer:
 # ----------------------------------------------------------------------
 # Driver side
 # ----------------------------------------------------------------------
-@dataclass
-class RPCMetrics:
+class RPCMetrics(CounterGroup):
     """Counters of one :class:`RPCExecutor`'s lifetime of work.
 
     Surfaced into :class:`~repro.eval.experiment.RuntimeMetadata` (and
     from there into persisted outcome JSON and the trend report), so
     archived results show how much the transport shipped, cached,
-    retried and re-dispatched.
+    retried and re-dispatched.  Since the ``repro.obs`` unification
+    this is an attribute-shaped view over ``rpc.*`` counters in the
+    executor's :class:`~repro.obs.metrics.MetricsRegistry`
+    (``executor.registry``); the attribute surface is unchanged.
     """
 
-    jobs_shipped: int = 0
-    bytes_synced: int = 0
-    sync_cache_hits: int = 0
-    retries: int = 0
-    stragglers_redispatched: int = 0
-    inline_jobs: int = 0
-    workers_lost: int = 0
-    serial_fallbacks: int = 0
+    _prefix = "rpc."
+    _fields = (
+        "jobs_shipped",
+        "bytes_synced",
+        "sync_cache_hits",
+        "retries",
+        "stragglers_redispatched",
+        "inline_jobs",
+        "workers_lost",
+        "serial_fallbacks",
+    )
 
 
 class _WorkerLink:
@@ -582,7 +615,8 @@ class RPCExecutor(Executor):
         self.retries = int(retries)
         self.backoff = float(backoff)
         self.straggler_redispatch = int(straggler_redispatch)
-        self.metrics = RPCMetrics()
+        self.registry = MetricsRegistry()
+        self.metrics = RPCMetrics(registry=self.registry)
         self._links: Optional[List[_WorkerLink]] = None
         self._lock = threading.Lock()
         self._warned_no_workers = False
@@ -718,25 +752,33 @@ class RPCExecutor(Executor):
             _walk_specs(item, specs)
 
         state = _MapState(len(items))
-        threads = []
-        for link in links:
-            thread = threading.Thread(
-                target=self._worker_loop,
-                args=(link, fn, items, specs, state),
-                daemon=True,
-            )
-            thread.start()
-            threads.append(thread)
-        for thread in threads:
-            thread.join()
+        # One span brackets the whole fan-out; worker-loop threads
+        # parent their dispatch/sync/requeue spans on it explicitly
+        # (they run off the calling thread, so implicit nesting would
+        # not see it).
+        with get_tracer().span(
+            "rpc.map", jobs=len(items), workers=len(links)
+        ) as map_span:
+            threads = []
+            for link in links:
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    args=(link, fn, items, specs, state, map_span),
+                    daemon=True,
+                )
+                thread.start()
+                threads.append(thread)
+            for thread in threads:
+                thread.join()
 
-        leftovers = state.unfinished()
-        if leftovers:
-            # Every worker died (or retry budgets ran dry): finish the
-            # tail inline so the map still completes exactly.
-            self.metrics.inline_jobs += len(leftovers)
-            for index in leftovers:
-                state.results[index] = fn(items[index])
+            leftovers = state.unfinished()
+            if leftovers:
+                # Every worker died (or retry budgets ran dry): finish
+                # the tail inline so the map still completes exactly.
+                self.metrics.inline_jobs += len(leftovers)
+                map_span.annotate(inline_tail=len(leftovers))
+                for index in leftovers:
+                    state.results[index] = fn(items[index])
         if state.job_error is not None:
             raise RPCError(state.job_error)
         return list(state.results)
@@ -761,9 +803,13 @@ class RPCExecutor(Executor):
 
         return results()
 
-    def _worker_loop(self, link, fn, items, specs, state) -> None:
+    def _worker_loop(self, link, fn, items, specs, state, parent=None) -> None:
+        tracer = get_tracer()
         try:
-            self._sync_link(link, specs)
+            with tracer.span(
+                "rpc.sync", parent=parent, worker=link.address
+            ):
+                self._sync_link(link, specs)
         except (OSError, RPCError):
             if not (self._revive(link) and self._try_sync(link, specs)):
                 return
@@ -772,20 +818,45 @@ class RPCExecutor(Executor):
             if index is None:
                 return
             try:
-                reply, _ = link.call(
-                    {"kind": "job", "job": index, "fn": fn, "item": items[index]}
-                )
-                if reply.get("kind") != "result" or reply.get("job") != index:
-                    raise RPCError(
-                        f"worker {link.address} answered a job with "
-                        f"{reply.get('kind')!r}"
-                    )
+                with tracer.span(
+                    "rpc.dispatch",
+                    parent=parent,
+                    job=index,
+                    worker=link.address,
+                    duplicate=duplicate,
+                ) as dispatch:
+                    envelope = {
+                        "kind": "job",
+                        "job": index,
+                        "fn": fn,
+                        "item": items[index],
+                    }
+                    if tracer.enabled:
+                        envelope["trace"] = dispatch.context
+                    reply, _ = link.call(envelope)
+                    if (
+                        reply.get("kind") != "result"
+                        or reply.get("job") != index
+                    ):
+                        raise RPCError(
+                            f"worker {link.address} answered a job with "
+                            f"{reply.get('kind')!r}"
+                        )
             except (OSError, RPCError):
                 requeued = state.fail(link, self.retries)
                 self.metrics.retries += len(requeued)
+                if requeued and tracer.enabled:
+                    with tracer.span(
+                        "rpc.requeue",
+                        parent=parent,
+                        worker=link.address,
+                        jobs=list(requeued),
+                    ):
+                        pass
                 if not (self._revive(link) and self._try_sync(link, specs)):
                     return
                 continue
+            tracer.ingest(reply.get("spans") or ())
             with self._lock:
                 self.metrics.jobs_shipped += 1
                 if duplicate:

@@ -74,11 +74,31 @@ class TestRuntimeMetadata:
 
     def test_runtime_round_trips(self, outcome):
         payload = outcome_to_dict(outcome)
-        assert payload["format_version"] == 5
+        assert payload["format_version"] == 6
         assert payload["runtime"]["executor"] == "serial"
         assert payload["runtime"]["fallback_invalidations"] >= 0
         restored = outcome_from_dict(payload)
         assert restored.runtime == outcome.runtime
+
+    def test_runtime_carries_metrics_snapshot(self, outcome):
+        payload = outcome_to_dict(outcome)
+        metrics = payload["runtime"]["metrics"]
+        assert metrics is not None
+        # The legacy flat counters and the registry snapshot agree.
+        assert (
+            metrics["counters"]["session.full_recounts"]
+            == payload["runtime"]["full_recounts"]
+        )
+        restored = outcome_from_dict(payload)
+        assert restored.runtime.metrics == metrics
+
+    def test_version5_payload_without_metrics_loads(self, outcome):
+        payload = outcome_to_dict(outcome)
+        payload["format_version"] = 5
+        payload["runtime"].pop("metrics")
+        restored = outcome_from_dict(payload)
+        assert restored.runtime.metrics is None
+        assert restored.runtime.executor == "serial"
 
     def test_store_run_records_store_dir(self, request, tmp_path):
         pair = request.getfixturevalue("tiny_synthetic_pair")

@@ -1,0 +1,15 @@
+"""Shared fixtures for the observability tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import set_tracer
+
+
+@pytest.fixture(autouse=True)
+def _isolate_global_tracer():
+    """Every test starts and ends with the no-op global tracer."""
+    set_tracer(None)
+    yield
+    set_tracer(None)

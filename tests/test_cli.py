@@ -1,5 +1,7 @@
 """Tests for the repro.cli command-line interface."""
 
+import logging
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -212,6 +214,65 @@ class TestCommands:
                     str(tmp_path),
                 ]
             )
+
+
+class TestObservability:
+    @pytest.fixture(autouse=True)
+    def _reset_obs_state(self):
+        """Undo what --trace-out / --log-level install globally."""
+        yield
+        from repro.obs import set_tracer
+
+        set_tracer(None)
+        logger = logging.getLogger("repro")
+        for handler in list(logger.handlers):
+            if getattr(handler, "_repro_obs_handler", False):
+                logger.removeHandler(handler)
+        logger.setLevel(logging.NOTSET)
+        logger.propagate = True
+
+    def test_trace_out_then_summarize_and_tree(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "--scale", "tiny", "engine",
+                "--budget", "4", "--np-ratio", "5",
+                "--trace-out", str(trace),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Metrics registry" in out  # diagnose prints the snapshot
+        assert "session.full_recounts" in out
+        assert trace.exists()
+
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "trace(s)" in out
+        assert "cli.engine" in out
+
+        assert main(["trace", "tree", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "- cli.engine" in out
+        assert "- active." in out  # fit phases nested under the root
+
+    def test_trace_missing_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "summarize", str(tmp_path / "absent.jsonl")])
+
+    def test_log_level_emits_module_logs(self, capsys, tmp_path):
+        code = main(
+            [
+                "--scale", "tiny", "engine", "checkpoint",
+                "--store-dir", str(tmp_path),
+                "--budget", "4", "--batch", "2",
+                "--log-level", "debug", "--log-format", "json",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert '"logger": "repro.store.checkpoint"' in err
+        assert "checkpoint save" in err
 
 
 class TestModelBackendCommands:
