@@ -15,13 +15,13 @@ Usage::
     python -m repro.cli evolve    [--scale small] [--events 4]
                                   [--np-ratio 10] [--sweep] [--churn]
                                   [--compact-every N] [--strict-deltas]
-                                  [--model {ridge,svm}] [--feature-map MAP]
+                                  [--model {ridge,svm,svm-pu}] [--feature-map MAP]
     python -m repro.cli experiment [--scale small] [--budget 50]
-                                  [--model {ridge,svm}] [--feature-map MAP]
+                                  [--model {ridge,svm,svm-pu}] [--feature-map MAP]
                                   [--streamed]       # one custom lineup
     python -m repro.cli engine    [--scale small] [--budget 30] [--batch 2]
                                   [--workers 4] [--streamed]
-                                  [--model {ridge,svm}] [--feature-map MAP]
+                                  [--model {ridge,svm,svm-pu}] [--feature-map MAP]
                                   [--store-dir DIR]
                                   [--executor {serial,thread,process,rpc}]
                                   [--rpc-hosts HOST:PORT,HOST:PORT]
@@ -29,6 +29,7 @@ Usage::
                                   [--interrupt-after 3]
     python -m repro.cli engine resume --store-dir DIR
     python -m repro.cli worker --listen HOST:PORT --store-dir DIR
+                               [--cache-bytes N]
     python -m repro.cli trace summarize TRACE.jsonl
     python -m repro.cli trace tree TRACE.jsonl [--trace-id ID]
 
@@ -37,9 +38,12 @@ artifact.  Defaults are sized for minutes-scale runs; raise ``--scale``
 and the sweep lists to approach the paper's full grid.
 
 ``--model`` selects the model backend of the internal fit step (the
-paper's ridge, or a streamed SVM) and ``--feature-map`` composes a
-kernel feature map (``nystroem``, ``fourier``, ``poly``) — both ride
-the streamed/parallel/process stack; see :mod:`repro.ml.backends`.
+paper's ridge, a streamed supervised SVM, or ``svm-pu`` — the biased
+positive-unlabeled SVM training on all of H through the working-set
+streamed solver, ``--unlabeled-c`` setting the soft-negative cost) and
+``--feature-map`` composes a kernel feature map (``nystroem``,
+``fourier``, ``poly``) — both ride the streamed/parallel/process
+stack; see :mod:`repro.ml.backends`.
 ``evolve --sweep`` re-evaluates the full method lineup (streamed SVM
 included) at every scheduled network delta.  ``evolve --churn``
 switches to the adversarial grow/shrink schedule (node and edge
@@ -58,6 +62,8 @@ uninterrupted run.
 jobs to a remote driver over the content-addressed arena transport
 (see :mod:`repro.store.rpc`); a driver reaches its fleet with
 ``engine --store-dir DIR --executor rpc --rpc-hosts h1:p,h2:p``.
+``--cache-bytes N`` caps the worker's blob cache with LRU eviction for
+long-lived fleets (evictions are counted in the driver's RPC metrics).
 
 ``engine``, ``evolve``, ``experiment`` and ``worker`` accept
 ``--trace-out PATH`` (stream :mod:`repro.obs` spans to a JSONL file;
@@ -277,6 +283,7 @@ def _method_knob_lineup(args: argparse.Namespace):
             name=f"Iter-MPMD[{suffix}]",
             kind="iterative",
             model=args.model,
+            unlabeled_C=args.unlabeled_c,
             feature_map=args.feature_map,
         )
     ]
@@ -367,6 +374,7 @@ def cmd_experiment(args: argparse.Namespace) -> str:
             kind="active",
             budget=args.budget,
             model=args.model,
+            unlabeled_C=args.unlabeled_c,
             feature_map=args.feature_map,
             streamed=args.streamed,
         ),
@@ -374,6 +382,7 @@ def cmd_experiment(args: argparse.Namespace) -> str:
             name=f"Iter-MPMD[{suffix}]",
             kind="iterative",
             model=args.model,
+            unlabeled_C=args.unlabeled_c,
             feature_map=args.feature_map,
             streamed=args.streamed,
         ),
@@ -412,6 +421,7 @@ def _engine_active_setup(args: argparse.Namespace):
     from repro.core.base import AlignmentTask
     from repro.engine import AlignmentSession
     from repro.eval.protocol import ProtocolConfig, build_splits
+    from repro.ml.backends import make_backend
 
     pair = foursquare_twitter_like(scale=args.scale, seed=args.seed)
     config = ProtocolConfig(
@@ -423,6 +433,8 @@ def _engine_active_setup(args: argparse.Namespace):
         for i in range(len(split.candidates))
         if split.truth[i] == 1
     }
+    model_name = getattr(args, "model", "ridge")
+    feature_map = getattr(args, "feature_map", None)
 
     def build(checkpoint=None, store=None):
         session = AlignmentSession(
@@ -435,12 +447,24 @@ def _engine_active_setup(args: argparse.Namespace):
             labeled_indices=split.train_indices,
             labeled_values=split.truth[split.train_indices],
         )
+        backend = None
+        if model_name != "ridge" or feature_map is not None:
+            backend = make_backend(
+                model_name,
+                seed=args.seed,
+                feature_map=feature_map,
+                unlabeled_C=getattr(args, "unlabeled_c", 0.1),
+            )
         model = ActiveIter(
             LabelOracle(positives, budget=args.budget),
             batch_size=args.batch,
             session=session,
             refresh_features=True,
             checkpoint=checkpoint,
+            backend=backend,
+            positive_threshold=(
+                0.0 if model_name.startswith("svm") else 0.5
+            ),
         )
         return model, task, session
 
@@ -472,7 +496,8 @@ def _cmd_engine_checkpoint(args: argparse.Namespace) -> str:
         lines.append(f"interrupted: {interrupt}")
         lines.append(
             "resume with: engine resume --store-dir "
-            f"{args.store_dir} (same --scale/--seed/--np-ratio/--budget/--batch)"
+            f"{args.store_dir} (same --scale/--seed/--np-ratio/--budget/"
+            "--batch/--model flags)"
         )
     else:
         lines.append(
@@ -529,7 +554,9 @@ def cmd_worker(args: argparse.Namespace) -> str:
     from repro.store.rpc import WorkerServer, parse_address
 
     host, port = parse_address(args.listen)
-    server = WorkerServer(host, port, args.store_dir)
+    server = WorkerServer(
+        host, port, args.store_dir, cache_limit_bytes=args.cache_bytes
+    )
     bound_host, bound_port = server.address
     # The first stdout line is the contract test/bench spawners read to
     # learn the bound port (--listen HOST:0 picks a free one).
@@ -649,6 +676,7 @@ def cmd_engine(args: argparse.Namespace) -> str:
             seed=args.seed,
             model=args.model,
             feature_map=args.feature_map,
+            unlabeled_C=args.unlabeled_c,
         )
         lines.extend(["", format_streamed_fit(streamed)])
     return "\n".join(lines)
@@ -851,6 +879,17 @@ def build_parser() -> argparse.ArgumentParser:
             "cache and per-driver arena replicas"
         ),
     )
+    worker.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "LRU byte cap on the shared blob cache; least-recently-used "
+            "blobs are evicted after each sync (blobs referenced by a "
+            "live replica manifest are never dropped); default: unbounded"
+        ),
+    )
 
     for command in (engine, evolve, experiment, worker):
         _add_obs_knobs(command)
@@ -888,8 +927,18 @@ def _add_model_knobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--model",
         default="ridge",
-        choices=["ridge", "svm"],
+        choices=["ridge", "svm", "svm-pu"],
         help="model backend of the internal fit step (default: ridge)",
+    )
+    parser.add_argument(
+        "--unlabeled-c",
+        type=float,
+        default=0.1,
+        metavar="C",
+        help=(
+            "box constraint of unlabeled rows under --model svm-pu "
+            "(default: 0.1)"
+        ),
     )
     parser.add_argument(
         "--feature-map",

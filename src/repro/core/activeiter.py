@@ -193,6 +193,19 @@ class ActiveIter(IterMPMD):
         # Backend state (absent on pre-backend checkpoints) is injected
         # when the backend instance is first resolved, before round one.
         self._pending_backend_state = payload.get("backend")
+        if self._pending_backend_state is not None and self.backend is None:
+            # backend=None still resolves the default ridge backend on
+            # streamed fits, so ridge state is consumable (and the dense
+            # path's from-scratch ridge refit matches it bit-for-bit);
+            # any other kind would be silently dropped on the legacy
+            # path and the resumed trajectory would diverge.
+            kind = self._pending_backend_state.get("kind", "?")
+            if kind != "ridge":
+                raise ModelError(
+                    f"checkpoint carries {kind!r} backend state but this "
+                    "run has no backend configured; resume with the same "
+                    "model the run was started with"
+                )
         strategy_state = payload.get("strategy_state")
         if strategy_state is not None:
             if not hasattr(self.strategy, "restore_state"):

@@ -339,7 +339,11 @@ class IterMPMD(AlignmentModel):
         ``"labeled"`` backends (SVM) receive the clamped set as their
         training rows — the supervised semantics of the paper's SVM
         baselines inside the query loop; ``"all"`` backends (ridge)
-        regress on every candidate's pseudo-label, the PU semantics.
+        regress on every candidate's pseudo-label, the PU semantics;
+        ``"pu"`` backends (the biased all-of-H SVM) also receive the
+        clamped set — it marks the rows holding full cost ``C`` — but
+        train on every candidate row, so their positive balance is
+        computed against |H| like ridge's.
         """
         if state is None:
             state = AlternatingState.from_task(
@@ -347,7 +351,9 @@ class IterMPMD(AlignmentModel):
             )
         backend = self._resolved_backend()
         train_indices = (
-            clamped_indices if backend.trains_on == "labeled" else None
+            clamped_indices
+            if backend.trains_on in ("labeled", "pu")
+            else None
         )
         sample_weight = self._sample_weight(
             source.n_candidates,
@@ -355,8 +361,12 @@ class IterMPMD(AlignmentModel):
             clamped_values,
             # A labeled backend trains on the clamped rows only; balance
             # its positives against that training set, not against |H|.
+            # PU backends train on everything, so they balance like
+            # ridge does.
             population=(
-                clamped_indices.size if train_indices is not None else None
+                clamped_indices.size
+                if backend.trains_on == "labeled"
+                else None
             ),
         )
         backend.begin(

@@ -343,6 +343,55 @@ class StreamedAlignmentTask:
 
         return executor.imap(extract, zip(self.offsets, self.blocks))
 
+    def block_spans(self) -> List[Tuple[int, int]]:
+        """``(offset, length)`` of every block in stream order.
+
+        The cheap partition map consumers capture before a selective
+        pass: it reads no features, so a working-set fit can decide
+        which blocks it needs without touching the arena.  The spans
+        stay valid until the next full :meth:`feature_blocks` pass (the
+        only place auto-retune may re-chop the stream).
+        """
+        return [
+            (offset, len(block))
+            for offset, block in zip(self.offsets, self.blocks)
+        ]
+
+    def selected_feature_blocks(
+        self, block_indices: Sequence[int]
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        """Extract only the requested blocks, in the given order.
+
+        The working-set fit path: blocks whose every remaining dual is
+        screened out are simply not in ``block_indices`` and are never
+        read from the session (or the arena behind it).  Honors the same
+        executor seam as :meth:`feature_blocks` — cross-process
+        executors receive picklable descriptors against the flushed
+        store — but never re-tunes the partition, so offsets stay
+        aligned with the :meth:`block_spans` the caller captured.
+        """
+        wanted = [int(b) for b in block_indices]
+        for b in wanted:
+            if b < 0 or b >= len(self.blocks):
+                raise ModelError(f"block index {b} out of range")
+        executor = self.session.executor
+        if executor.crosses_processes and self.session.arena is not None:
+            spec = self.session.flush_store()
+            descriptors = self._block_descriptors()
+            return executor.imap(
+                extract_block_job,
+                ((spec, descriptors[b]) for b in wanted),
+            )
+
+        def extract(item: Tuple[int, CandidateBlock]):
+            offset, block = item
+            return offset, self.session.extract(block)
+
+        return executor.imap(
+            extract,
+            ((self.offsets[b], self.blocks[b]) for b in wanted),
+        )
+
     def gram(
         self, sample_weight: Optional[np.ndarray] = None
     ) -> np.ndarray:

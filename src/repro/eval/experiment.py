@@ -88,9 +88,15 @@ class MethodSpec:
         it from a measured probe extraction.
     model:
         Model backend of the internal fit step for ``active`` and
-        ``iterative`` methods: ``"ridge"`` (the paper, default) or
-        ``"svm"`` (supervised SVM refits inside the query loop).
+        ``iterative`` methods: ``"ridge"`` (the paper, default),
+        ``"svm"`` (supervised SVM refits inside the query loop) or
+        ``"svm-pu"`` (the biased positive-unlabeled SVM: every
+        candidate row trains as a weighted soft negative at
+        ``unlabeled_C``, through the working-set streamed solver).
         Meaningless for ``kind="svm"`` — that *is* the SVM baseline.
+    unlabeled_C:
+        Box constraint of unlabeled rows under ``model="svm-pu"``
+        (ignored otherwise).
     feature_map:
         Optional kernel feature map name (``"nystroem"``, ``"fourier"``,
         ``"poly"``, ``"linear"``) composed into the fit; streamed
@@ -108,6 +114,7 @@ class MethodSpec:
     streamed: bool = False
     stream_block_size: object = 2048
     model: str = "ridge"
+    unlabeled_C: float = 0.1
     feature_map: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -319,10 +326,11 @@ def _build_model(spec: MethodSpec, split: ExperimentSplit, seed: int) -> Alignme
             svm_C=spec.svm_C,
             seed=seed,
             feature_map=spec.feature_map,
+            unlabeled_C=spec.unlabeled_C,
         )
     # SVM decision scores live on the signed-margin scale; the greedy
     # selector's positive threshold moves to the decision boundary.
-    positive_threshold = 0.0 if spec.model == "svm" else 0.5
+    positive_threshold = 0.0 if spec.model.startswith("svm") else 0.5
     if spec.kind == "iterative":
         return IterMPMD(backend=backend, positive_threshold=positive_threshold)
     positives = {

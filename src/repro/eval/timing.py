@@ -546,6 +546,7 @@ def compare_streamed_fit(
     seed: int = 13,
     model: str = "ridge",
     feature_map=None,
+    unlabeled_C: float = 0.1,
 ) -> StreamedFitComparison:
     """Race ActiveIter on a streamed task against the materialized task.
 
@@ -572,12 +573,17 @@ def compare_streamed_fit(
         candidates = list(split.candidates)
         backend = None
         if model != "ridge" or feature_map is not None:
-            backend = make_backend(model, seed=seed, feature_map=feature_map)
+            backend = make_backend(
+                model,
+                seed=seed,
+                feature_map=feature_map,
+                unlabeled_C=unlabeled_C,
+            )
         model_ = ActiveIter(
             LabelOracle(positives, budget=budget),
             batch_size=batch_size,
             backend=backend,
-            positive_threshold=0.0 if model == "svm" else 0.5,
+            positive_threshold=0.0 if model.startswith("svm") else 0.5,
         )
         if streamed:
             task = StreamedAlignmentTask(

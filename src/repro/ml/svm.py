@@ -22,15 +22,47 @@ calls it with a single block; the streamed model backend
 (:class:`repro.ml.backends.StreamedLinearSVC`) calls it with cached
 feature blocks — same rows, same update arithmetic, so the two are
 bit-identical given the seed and the concatenated row order.
+
+Shrinking (``shrink=True``, the default) adds a LIBLINEAR-style working
+set on top without giving up that guarantee.  The classic heuristic
+shrinks bound-pinned duals and accepts a slightly different iterate; we
+instead *certify* every skipped visit as an exact no-op of the unshrunk
+sweep: when a visit finds a dual pinned at a bound with the gradient
+pointing outward by more than the adaptive tolerance window, the exact
+computed gradient is cached together with a snapshot of the cumulative
+weight drift ``Σ |Δalpha_i| · ||x_i||``.  Because a later visit's
+gradient can move by at most ``||x_i||`` times the drift accumulated
+since the snapshot (Cauchy–Schwarz), any visit whose cached slack still
+exceeds that bound (plus a floating-point guard) would compute a
+projected gradient of exactly ``0.0`` — no update, no contribution to
+the convergence measure — so it can be skipped without touching the
+row.  Epochs still shuffle the *full* index order (identical RNG
+stream), skips are resolved in bulk with a vectorized mask, and a final
+unshrink+verify pass re-reads every shrunk row to validate the
+certificates, making the shrunk solver bit-identical to ``shrink=False``
+for the same seed and row order while doing near-zero work per pinned
+dual at convergence.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import ModelError, NotFittedError
+
+
+def _row_lookup(blocks, offsets, single):
+    """Row accessor shared by the shrunk and unshrunk sweeps."""
+
+    def lookup(i: int) -> np.ndarray:
+        if single is not None:
+            return single[i]
+        block_index = int(np.searchsorted(offsets, i, side="right") - 1)
+        return blocks[block_index][i - offsets[block_index]]
+
+    return lookup
 
 
 def dual_coordinate_descent(
@@ -41,6 +73,8 @@ def dual_coordinate_descent(
     tol: float,
     seed: int,
     sample_C: Optional[np.ndarray] = None,
+    shrink: bool = True,
+    stats: Optional[Dict[str, float]] = None,
 ) -> Tuple[np.ndarray, int]:
     """LIBLINEAR dual coordinate descent over row blocks.
 
@@ -55,6 +89,14 @@ def dual_coordinate_descent(
     ``0 <= alpha_i <= C_i`` (the standard per-sample cost weighting);
     ``None`` uses the shared ``C`` and reproduces the unweighted
     optimizer exactly.
+
+    ``shrink=True`` runs the certified working-set sweep described in
+    the module docstring: bit-identical weights and iteration count to
+    ``shrink=False``, but visits to provably-pinned duals are skipped in
+    bulk.  ``stats``, when given a dict, is filled with shrink telemetry
+    (``epochs``, ``active_visits``, ``skipped_visits``, ``rescreens``,
+    ``screened_final``, ``verify_checked``, ``verify_max_residual``,
+    ``drift``).
 
     Returns ``(w, n_iter)`` in the augmented design space.
     """
@@ -78,43 +120,245 @@ def dual_coordinate_descent(
     box = np.full(n_samples, C) if sample_C is None else sample_C
     rng = np.random.default_rng(seed)
     order = np.arange(n_samples)
+    row_at = _row_lookup(blocks, offsets, single)
+
+    if not shrink:
+        converged_at = max_iter
+        for iteration in range(max_iter):
+            rng.shuffle(order)
+            max_violation = 0.0
+            for i in order:
+                if q_diag[i] == 0.0 or box[i] == 0.0:
+                    continue
+                row = row_at(i)
+                margin = signed[i] * (row @ w)
+                gradient = margin - 1.0
+                # Projected gradient for the box 0<=alpha<=C_i.
+                if alpha[i] == 0.0:
+                    projected = min(gradient, 0.0)
+                elif alpha[i] == box[i]:
+                    projected = max(gradient, 0.0)
+                else:
+                    projected = gradient
+                max_violation = max(max_violation, abs(projected))
+                if projected != 0.0:
+                    old_alpha = alpha[i]
+                    alpha[i] = min(
+                        max(old_alpha - gradient / q_diag[i], 0.0), box[i]
+                    )
+                    delta = (alpha[i] - old_alpha) * signed[i]
+                    if delta != 0.0:
+                        w += delta * row
+            if max_violation < tol:
+                converged_at = iteration + 1
+                break
+        return w, converged_at
+
+    # --- certified working-set sweep -----------------------------------
+    eps = float(np.finfo(np.float64).eps)
+    row_norm = np.sqrt(q_diag)
+    dead = (q_diag == 0.0) | (box == 0.0)
+    # Certificate state: a dual recorded pinned with an outward gradient
+    # of magnitude ``screen_slack`` at cumulative drift ``screen_snap``
+    # is an exact no-op of the unshrunk sweep for any visit while
+    # drift <= snap + slack/||x_i||.  Certificates are refreshed in bulk
+    # (one matvec over pinned duals) at the start of each screening
+    # round, so slack only has to outlive one round's drift budget —
+    # the adaptive tolerance window — not a whole epoch.
+    screenable = np.zeros(n_samples, dtype=bool)
+    screen_slack = np.zeros(n_samples)
+    screen_snap = np.zeros(n_samples)
+    drift_total = 0.0
+    budget = 0.0  # drift headroom granted to each screening round
+    epochs_run = 0
+    active_visits = 0
+    skipped_visits = 0
+    rescreens = 0
+
+    def refresh_certificates(cand: np.ndarray) -> None:
+        """Recompute certificates for the given duals (vectorized)."""
+        for b in range(len(blocks)):
+            lo = int(offsets[b])
+            hi = int(offsets[b + 1])
+            sel = cand[(cand >= lo) & (cand < hi)]
+            if sel.size == 0:
+                continue
+            rows = blocks[b][sel - lo]
+            grads = signed[sel] * (rows @ w) - 1.0
+            slack = np.where(alpha[sel] == 0.0, grads, -grads)
+            fresh = slack > 0.0
+            sub = sel[fresh]
+            screenable[sub] = True
+            screen_slack[sub] = slack[fresh]
+            screen_snap[sub] = drift_total
+            screenable[sel[~fresh]] = False
 
     converged_at = max_iter
     for iteration in range(max_iter):
         rng.shuffle(order)
         max_violation = 0.0
-        for i in order:
-            if q_diag[i] == 0.0 or box[i] == 0.0:
-                continue
-            if single is not None:
-                row = single[i]
-            else:
-                block_index = int(
-                    np.searchsorted(offsets, i, side="right") - 1
+        epoch_start_drift = drift_total
+        pos = 0
+        rounds = 0
+        while pos < n_samples:
+            rounds += 1
+            if rounds > 1:
+                rescreens += 1
+            if rounds % 32 == 0:
+                budget *= 2.0  # runaway-round safeguard
+            allowance = drift_total + budget
+            # Guard absorbs rounding of the row@w dot products; scaled
+            # by dim and the weight-norm bound (||w|| <= drift_total).
+            guard = 64.0 * eps * dim * row_norm * (allowance + 1.0)
+            covers_round = (
+                screen_slack - row_norm * (allowance - screen_snap) > guard
+            )
+            # Refresh only the pinned duals whose certificate no longer
+            # covers this round; still-covered ones keep their cert.
+            stale = (
+                ~dead
+                & ((alpha == 0.0) | (alpha == box))
+                & ~(screenable & covers_round)
+            )
+            if stale.any():
+                refresh_certificates(np.flatnonzero(stale))
+                covers_round = (
+                    screen_slack - row_norm * (allowance - screen_snap)
+                    > guard
                 )
-                row = blocks[block_index][i - offsets[block_index]]
-            margin = signed[i] * (row @ w)
-            gradient = margin - 1.0
-            # Projected gradient for the box constraint 0<=alpha<=C_i.
-            if alpha[i] == 0.0:
-                projected = min(gradient, 0.0)
-            elif alpha[i] == box[i]:
-                projected = max(gradient, 0.0)
-            else:
-                projected = gradient
-            max_violation = max(max_violation, abs(projected))
-            if projected != 0.0:
-                old_alpha = alpha[i]
-                alpha[i] = min(
-                    max(old_alpha - gradient / q_diag[i], 0.0), box[i]
-                )
-                delta = (alpha[i] - old_alpha) * signed[i]
-                if delta != 0.0:
-                    w += delta * row
+            certified = screenable & covers_round
+            visits = order[pos:]
+            if not certified[visits].any():
+                # Only dead duals are skipped; those never expire, so
+                # this round cannot be invalidated by drift.
+                allowance = np.inf
+            active_rel = np.flatnonzero(~(dead | certified)[visits])
+            breached = False
+            for k in range(active_rel.size):
+                rel = int(active_rel[k])
+                i = int(visits[rel])
+                active_visits += 1
+                row = row_at(i)
+                margin = signed[i] * (row @ w)
+                gradient = margin - 1.0
+                a = alpha[i]
+                if a == 0.0:
+                    projected = min(gradient, 0.0)
+                elif a == box[i]:
+                    projected = max(gradient, 0.0)
+                else:
+                    projected = gradient
+                max_violation = max(max_violation, abs(projected))
+                if projected != 0.0:
+                    screenable[i] = False
+                    alpha[i] = min(
+                        max(a - gradient / q_diag[i], 0.0), box[i]
+                    )
+                    delta = (alpha[i] - a) * signed[i]
+                    if delta != 0.0:
+                        w += delta * row
+                        drift_total += abs(delta) * row_norm[i]
+                        if drift_total > allowance:
+                            # Certificates past this visit may have
+                            # expired: re-screen the rest of the epoch.
+                            skipped_visits += rel - k
+                            pos += rel + 1
+                            breached = True
+                            break
+                elif a == 0.0 or a == box[i]:
+                    # Pinned with an outward (or zero) gradient: the
+                    # exact no-op branch of the unshrunk sweep; refresh
+                    # the certificate from the exact per-row value.
+                    slack = gradient if a == 0.0 else -gradient
+                    if slack > 0.0:
+                        screenable[i] = True
+                        screen_slack[i] = slack
+                        screen_snap[i] = drift_total
+                    else:
+                        screenable[i] = False
+            if not breached:
+                skipped_visits += visits.size - active_rel.size
+                pos = n_samples
+        epochs_run += 1
+        # Next epoch's round window: a fraction of this epoch's drift,
+        # so ~16 cheap vectorized re-screens replace per-row visits.
+        budget = (drift_total - epoch_start_drift) / 16.0
         if max_violation < tol:
             converged_at = iteration + 1
             break
+
+    verify_checked, verify_max_residual = _unshrink_verify(
+        (
+            (int(offsets[b]), blocks[b])
+            for b in range(len(blocks))
+        ),
+        signed, w, alpha, box, row_norm,
+        screenable, screen_slack, screen_snap, drift_total, dim, eps,
+    )
+    if stats is not None:
+        stats.update(
+            epochs=epochs_run,
+            active_visits=active_visits,
+            skipped_visits=skipped_visits,
+            rescreens=rescreens,
+            screened_final=int(np.count_nonzero(screenable)),
+            verify_checked=verify_checked,
+            verify_max_residual=verify_max_residual,
+            drift=drift_total,
+        )
     return w, converged_at
+
+
+def _unshrink_verify(
+    design_blocks, signed, w, alpha, box, row_norm,
+    screenable, screen_slack, screen_snap, drift_total, dim, eps,
+) -> Tuple[int, float]:
+    """Full unshrink pass over every shrunk dual at the final weights.
+
+    ``design_blocks`` is an iterator of ``(offset, block)`` design rows
+    covering the whole sample range (an in-memory block list or a fresh
+    stream off the arena).  Recomputes each certificate-holding dual's
+    gradient from its row and validates the certificate invariant: the
+    dual is still pinned at a bound and its outward slack has decayed by
+    no more than the drift bound allows.  A violation means the
+    screening bookkeeping is broken (it cannot arise from the
+    mathematics), so it raises ``ModelError`` rather than silently
+    diverging from the unshrunk solver.  Returns
+    ``(n_checked, max_kkt_residual)``; the residual is informational —
+    a shrunk dual's violation at the *final* weights is shared by the
+    unshrunk solver's output, whose stopping rule also measures
+    violations at visit time.
+    """
+    idx = np.flatnonzero(screenable)
+    if idx.size == 0:
+        return 0, 0.0
+    max_residual = 0.0
+    for offset, block in design_blocks:
+        lo = int(offset)
+        hi = lo + block.shape[0]
+        sel = idx[(idx >= lo) & (idx < hi)]
+        if sel.size == 0:
+            continue
+        rows = block[sel - lo]
+        grads = signed[sel] * (rows @ w) - 1.0
+        at_low = alpha[sel] == 0.0
+        at_high = alpha[sel] == box[sel]
+        if not bool(np.all(at_low | at_high)):
+            raise ModelError(
+                "shrinking invariant violated: shrunk dual left its bound"
+            )
+        slack_now = np.where(at_low, grads, -grads)
+        decay = row_norm[sel] * (drift_total - screen_snap[sel])
+        guard = 256.0 * eps * dim * row_norm[sel] * (drift_total + 1.0)
+        if bool(np.any(slack_now < screen_slack[sel] - decay - guard)):
+            raise ModelError(
+                "shrinking invariant violated: certificate decayed past "
+                "its drift bound"
+            )
+        residual = np.maximum(0.0, -slack_now)
+        if residual.size:
+            max_residual = max(max_residual, float(residual.max()))
+    return int(idx.size), max_residual
 
 
 def _validate_training_input(X: np.ndarray, y: np.ndarray) -> tuple:
@@ -150,6 +394,10 @@ class LinearSVC:
     seed:
         Seed for coordinate-order shuffling (training is deterministic
         given the seed).
+    shrink:
+        Run the certified working-set sweep (bit-identical to the full
+        sweep, near-zero work per pinned dual); ``False`` forces the
+        plain full-sweep reference.
     """
 
     def __init__(
@@ -159,6 +407,7 @@ class LinearSVC:
         tol: float = 1e-4,
         fit_intercept: bool = True,
         seed: int = 0,
+        shrink: bool = True,
     ) -> None:
         if C <= 0:
             raise ModelError(f"C must be > 0, got {C}")
@@ -169,9 +418,11 @@ class LinearSVC:
         self.tol = float(tol)
         self.fit_intercept = bool(fit_intercept)
         self.seed = int(seed)
+        self.shrink = bool(shrink)
         self.coef_: Optional[np.ndarray] = None
         self.intercept_: float = 0.0
         self.n_iter_: int = 0
+        self.shrink_stats_: dict = {}
 
     def fit(
         self,
@@ -216,11 +467,13 @@ class LinearSVC:
             self.coef_ = np.zeros(n_features)
             self.intercept_ = float(signed[0]) * 1.0
             self.n_iter_ = 0
+            self.shrink_stats_ = {}
             return self
 
         design = X
         if self.fit_intercept:
             design = np.hstack([X, np.ones((n_samples, 1))])
+        self.shrink_stats_ = {}
         w, self.n_iter_ = dual_coordinate_descent(
             [design],
             signed,
@@ -229,6 +482,8 @@ class LinearSVC:
             tol=self.tol,
             seed=self.seed,
             sample_C=sample_C,
+            shrink=self.shrink,
+            stats=self.shrink_stats_ if self.shrink else None,
         )
 
         if self.fit_intercept:
@@ -284,18 +539,41 @@ class PegasosSVC:
         self.coef_: Optional[np.ndarray] = None
         self.intercept_: float = 0.0
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "PegasosSVC":
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "PegasosSVC":
         """Fit on ``{0, 1}``-labeled data; returns self.
 
         The bias is folded into the (regularized) weight vector via a
         constant feature — a slight deviation from the textbook
         unregularized intercept that keeps the 1/(λt) step sizes stable —
         and the standard ``1/√λ``-ball projection step is applied.
+
+        ``sample_weight`` scales each sample's hinge subgradient (the
+        step becomes ``eta * weight_i * y_i * x_i``); the regularization
+        shrink and step-count schedule are unchanged, so uniform weights
+        of 1.0 reproduce the unweighted fit bit-for-bit and a zero
+        weight removes the sample's pull on the margin.
         """
         X, signed = _validate_training_input(X, y)
         n_samples = X.shape[0]
         if n_samples == 0:
             raise ModelError("cannot fit on zero samples")
+        weights = None
+        if sample_weight is not None:
+            weights = np.asarray(sample_weight, dtype=np.float64).ravel()
+            if weights.shape[0] != n_samples:
+                raise ModelError(
+                    f"sample_weight has {weights.shape[0]} entries "
+                    f"for {n_samples} samples"
+                )
+            if not np.all(np.isfinite(weights)) or np.any(weights < 0):
+                raise ModelError(
+                    "sample_weight entries must be finite and >= 0"
+                )
         design = X
         if self.fit_intercept:
             design = np.hstack([X, np.ones((n_samples, 1))])
@@ -310,7 +588,8 @@ class PegasosSVC:
                 margin = signed[i] * (design[i] @ w)
                 w *= 1.0 - eta * self.lam
                 if margin < 1.0:
-                    w += eta * signed[i] * design[i]
+                    step = eta if weights is None else eta * weights[i]
+                    w += step * signed[i] * design[i]
                 norm = np.linalg.norm(w)
                 if norm > radius:
                     w *= radius / norm

@@ -53,7 +53,7 @@ import socket
 import struct
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import replace
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -188,6 +188,92 @@ def _remap_specs(obj, mapping: Dict[str, str]):
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
+class _BlobCache:
+    """LRU byte-cap over the worker's shared content-addressed blobs.
+
+    Long-lived fleets accumulate one blob per distinct arena file ever
+    synced; without a cap a worker's ``cache/`` directory grows without
+    bound across drivers and rounds.  The cap evicts
+    least-recently-used blob *files* only — replicas hardlink blobs
+    into their own ``data/`` directories, so an evicted blob stays
+    readable by every manifest already published against it, and a
+    future sync that needs it again simply re-ships it (the driver
+    treats a missing digest as a cache miss, never an error).
+
+    ``limit_bytes=None`` disables eviction entirely, preserving the
+    pre-cap behaviour byte for byte.
+    """
+
+    def __init__(self, cache_dir: Path, limit_bytes: Optional[int]) -> None:
+        self.cache_dir = cache_dir
+        self.limit_bytes = limit_bytes
+        self.evictions = 0
+        self._lock = threading.Lock()
+        #: digest -> blob size in bytes, oldest-used first.
+        self._entries: "OrderedDict[str, int]" = OrderedDict()
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        # A restarted worker adopts blobs from a previous life; mtime
+        # order is the best recency signal that survives the restart.
+        try:
+            stats = sorted(
+                (
+                    (path, path.stat())
+                    for path in self.cache_dir.iterdir()
+                    if path.is_file()
+                ),
+                key=lambda pair: pair[1].st_mtime,
+            )
+        except OSError:  # pragma: no cover - cache dir racing away
+            stats = []
+        for path, stat in stats:
+            self._entries[path.name] = stat.st_size
+
+    def touch(self, digest: str) -> None:
+        """Mark ``digest`` as just used (moves it to the LRU tail)."""
+        with self._lock:
+            if digest in self._entries:
+                self._entries.move_to_end(digest)
+
+    def note(self, digest: str, size: int) -> None:
+        """Record a freshly written blob as the most recently used."""
+        with self._lock:
+            self._entries[digest] = size
+            self._entries.move_to_end(digest)
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(self._entries.values())
+
+    def evict(self, protected: set) -> int:
+        """Drop LRU blobs until under the cap; return how many went.
+
+        ``protected`` digests (referenced by a live replica manifest or
+        a staged sync) are never dropped, even when that leaves the
+        cache over its cap — correctness beats the budget.
+        """
+        if self.limit_bytes is None:
+            return 0
+        evicted = 0
+        with self._lock:
+            total = sum(self._entries.values())
+            for digest in list(self._entries):
+                if total <= self.limit_bytes:
+                    break
+                if digest in protected:
+                    continue
+                try:
+                    (self.cache_dir / digest).unlink()
+                except FileNotFoundError:
+                    pass  # already gone; still drop the ledger entry
+                except OSError:  # pragma: no cover - fs refuses
+                    continue
+                total -= self._entries.pop(digest)
+                evicted += 1
+            self.evictions += evicted
+        return evicted
+
+
 class _ReplicaStore:
     """One driver arena mirrored under the worker's store directory.
 
@@ -199,14 +285,24 @@ class _ReplicaStore:
     replica like any other :class:`~repro.store.arena.MatrixArena`.
     """
 
-    def __init__(self, root: Path, cache_dir: Path, store_id: str) -> None:
+    def __init__(
+        self,
+        root: Path,
+        cache_dir: Path,
+        store_id: str,
+        tracker: Optional[_BlobCache] = None,
+    ) -> None:
         self.store_id = store_id
         self.root = root
         self.cache_dir = cache_dir
         self.data_dir = root / "data"
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.tracker = tracker
         self.version = self._manifest_version()
+        #: Digests the current published manifest references; these
+        #: (plus any staged sync's) are pinned against cache eviction.
+        self.live_digests = self._manifest_digests()
         self._pending: Optional[dict] = None
 
     def _manifest_version(self) -> int:
@@ -217,6 +313,29 @@ class _ReplicaStore:
             return int(json.loads(path.read_text()).get("version", 0))
         except (OSError, json.JSONDecodeError, ValueError):
             return 0
+
+    def _manifest_digests(self) -> set:
+        path = self.root / "manifest.json"
+        if not path.exists():
+            return set()
+        try:
+            entries = json.loads(path.read_text()).get("entries", {})
+        except (OSError, json.JSONDecodeError, ValueError):
+            return set()
+        return {
+            digest
+            for entry in entries.values()
+            for digest in entry.get("digests", {}).values()
+        }
+
+    @property
+    def referenced_digests(self) -> set:
+        """Digests this replica pins: published manifest + staged sync."""
+        digests = set(self.live_digests)
+        if self._pending is not None:
+            for entry in self._pending["entries"].values():
+                digests.update(entry.get("digests", {}).values())
+        return digests
 
     def begin(self, payload: dict) -> List[str]:
         """Stage a sync; return the digests missing from the blob cache."""
@@ -235,7 +354,10 @@ class _ReplicaStore:
                 if digest in seen:
                     continue
                 seen.add(digest)
-                if not (self.cache_dir / digest).exists():
+                if (self.cache_dir / digest).exists():
+                    if self.tracker is not None:
+                        self.tracker.touch(digest)
+                else:
                     needed.append(digest)
         self._pending = payload
         return needed
@@ -253,10 +375,14 @@ class _ReplicaStore:
                 )
             target = self.cache_dir / digest
             if target.exists():
+                if self.tracker is not None:
+                    self.tracker.touch(digest)
                 continue
             tmp = _tmp_path(target)
             tmp.write_bytes(blob)
             os.replace(tmp, target)
+            if self.tracker is not None:
+                self.tracker.note(digest, len(blob))
         entries = {}
         for name, entry in payload["entries"].items():
             rewritten = dict(entry)
@@ -289,6 +415,11 @@ class _ReplicaStore:
         tmp.write_text(json.dumps(manifest, indent=1, sort_keys=True))
         os.replace(tmp, path)
         self.version = int(payload["version"])
+        self.live_digests = {
+            digest
+            for entry in payload["entries"].values()
+            for digest in entry["digests"].values()
+        }
 
 
 class WorkerServer:
@@ -303,6 +434,14 @@ class WorkerServer:
         Root for this worker's local state: ``cache/`` (content-addressed
         blobs, shared across replicas) and ``replicas/<id>/`` (one
         mirrored arena per driver store).
+    cache_limit_bytes:
+        Optional byte cap on the shared blob cache.  After each sync
+        commit, least-recently-used blobs are evicted until the cache
+        fits, never touching digests a live replica manifest or staged
+        sync still references.  ``None`` (the default) keeps every blob
+        forever, as before.  Eviction counts travel back to the driver
+        in the ``sync-done`` envelope and surface as
+        :attr:`RPCMetrics.cache_evictions`.
 
     Each accepted connection is served by its own daemon thread, so one
     worker can hold a driver link and a straggler-duplicate link at
@@ -310,9 +449,18 @@ class WorkerServer:
     ``shutdown`` envelope) fires.
     """
 
-    def __init__(self, host: str, port: int, store_dir) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        store_dir,
+        cache_limit_bytes: Optional[int] = None,
+    ) -> None:
         self.store_dir = Path(store_dir)
         self.store_dir.mkdir(parents=True, exist_ok=True)
+        self.blob_cache = _BlobCache(
+            self.store_dir / "cache", cache_limit_bytes
+        )
         self._replicas: Dict[str, _ReplicaStore] = {}
         self._replica_lock = threading.Lock()
         self._stop = threading.Event()
@@ -339,6 +487,7 @@ class WorkerServer:
                     self.store_dir / "replicas" / key,
                     self.store_dir / "cache",
                     store_id,
+                    tracker=self.blob_cache,
                 )
                 self._replicas[store_id] = replica
             return replica
@@ -349,6 +498,15 @@ class WorkerServer:
                 store_id: str(replica.root)
                 for store_id, replica in self._replicas.items()
             }
+
+    def _protected_digests(self) -> set:
+        """Digests no eviction may touch: every replica's pinned set."""
+        with self._replica_lock:
+            replicas = list(self._replicas.values())
+        protected: set = set()
+        for replica in replicas:
+            protected |= replica.referenced_digests
+        return protected
 
     def _handle(self, request: dict) -> dict:
         kind = request.get("kind")
@@ -363,7 +521,12 @@ class WorkerServer:
         if kind == "sync-data":
             replica = self._replica(request["store"])
             replica.commit(request["blobs"])
-            return {"kind": "sync-done", "version": replica.version}
+            evicted = self.blob_cache.evict(self._protected_digests())
+            return {
+                "kind": "sync-done",
+                "version": replica.version,
+                "evicted": evicted,
+            }
         if kind == "job":
             mapping = self._spec_mapping()
             fn = _remap_specs(request["fn"], mapping)
@@ -514,6 +677,7 @@ class RPCMetrics(CounterGroup):
         "inline_jobs",
         "workers_lost",
         "serial_fallbacks",
+        "cache_evictions",
     )
 
 
@@ -723,6 +887,9 @@ class RPCExecutor(Executor):
             self.metrics.bytes_synced += sum(
                 len(blob) for blob in blobs.values()
             )
+            # Capped workers report how many LRU blobs the commit
+            # pushed out; uncapped (and older) workers omit the key.
+            self.metrics.cache_evictions += int(reply.get("evicted", 0))
             link.synced[store_dir] = int(manifest.get("version", version))
 
     # ------------------------------------------------------------------

@@ -282,11 +282,100 @@ class TestSVMBackend:
             backend.load_state_dict({"kind": "ridge"})
 
 
+class TestPUSVMBackend:
+    def test_trains_on_every_candidate_row(self):
+        """PU mode fits positives at C against *all* streamed rows at
+        unlabeled_C — the dual box is the only thing indices change."""
+        X, y = _training_data()
+        train = np.flatnonzero(y == 1)[:8]
+        backend = SVMBackend(
+            mode="pu", unlabeled_C=0.05, scale_features=False, seed=2
+        )
+        backend.begin(DenseBlockSource(X), train_indices=train)
+        labels = np.zeros(X.shape[0], dtype=np.int64)
+        labels[train] = 1
+        w = backend.fit(labels)
+
+        box = np.full(X.shape[0], 0.05)
+        box[train] = 1.0
+        reference = StreamedLinearSVC(seed=2).fit_source(
+            DenseBlockSource(X), labels, sample_C=box
+        )
+        assert np.array_equal(w[:-1], reference.coef_)
+        assert w[-1] == reference.intercept_
+
+    def test_streamed_matches_single_block(self):
+        X, y = _training_data(n=120)
+        train = np.flatnonzero(y == 1)[:10]
+        labels = np.zeros(X.shape[0], dtype=np.int64)
+        labels[train] = 1
+
+        def fit(source):
+            backend = SVMBackend(
+                mode="pu", unlabeled_C=0.1, scale_features=False, seed=4
+            )
+            backend.begin(source, train_indices=train)
+            return backend.fit(labels)
+
+        class _Chopped:
+            def __init__(self, X, size):
+                self.X, self.size = X, size
+
+            @property
+            def n_candidates(self):
+                return self.X.shape[0]
+
+            def feature_blocks(self):
+                for start in range(0, self.X.shape[0], self.size):
+                    yield start, self.X[start : start + self.size]
+
+        assert np.array_equal(
+            fit(DenseBlockSource(X)), fit(_Chopped(X, 17))
+        )
+
+    def test_state_roundtrip_carries_mode_and_shrink_stats(self):
+        X, y = _training_data()
+        train = np.flatnonzero(y == 1)[:8]
+        labels = np.zeros(X.shape[0], dtype=np.int64)
+        labels[train] = 1
+        backend = SVMBackend(mode="pu", unlabeled_C=0.05, seed=2)
+        backend.begin(DenseBlockSource(X), train_indices=train)
+        w = backend.fit(labels)
+        state = backend.state_dict()
+        assert state["mode"] == "pu"
+        assert state["unlabeled_C"] == 0.05
+        assert state["svc"]["shrink_stats"] == backend.svc_.shrink_stats_
+
+        clone = SVMBackend(mode="pu", unlabeled_C=0.05, seed=2)
+        clone.load_state_dict(state)
+        clone.begin(DenseBlockSource(X), train_indices=train)
+        assert np.array_equal(clone.scores(w), backend.scores(w))
+        assert clone.svc_.shrink_stats_ == backend.svc_.shrink_stats_
+
+    def test_mode_mismatch_rejected(self):
+        supervised = SVMBackend(mode="supervised")
+        with pytest.raises(ModelError, match="'pu'-mode"):
+            supervised.load_state_dict(
+                {"kind": "svm", "mode": "pu", "map": None}
+            )
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            SVMBackend(mode="transductive")
+        with pytest.raises(ModelError):
+            SVMBackend(mode="pu", unlabeled_C=0.0)
+
+
 class TestMakeBackend:
     def test_registry(self):
-        assert set(BACKEND_NAMES) == {"ridge", "svm"}
+        assert set(BACKEND_NAMES) == {"ridge", "svm", "svm-pu"}
         assert isinstance(make_backend("ridge"), RidgeBackend)
         assert isinstance(make_backend("svm"), SVMBackend)
+        pu = make_backend("svm-pu", unlabeled_C=0.25)
+        assert isinstance(pu, SVMBackend)
+        assert pu.mode == "pu"
+        assert pu.trains_on == "pu"
+        assert pu.unlabeled_C == 0.25
 
     def test_feature_map_by_name(self):
         backend = make_backend("svm", feature_map="nystroem", seed=9)

@@ -30,6 +30,7 @@ from repro.store.rpc import (
     MAX_FRAME_BYTES,
     RPCExecutor,
     WorkerServer,
+    _BlobCache,
     _ReplicaStore,
     parse_address,
     recv_frame,
@@ -354,6 +355,150 @@ class TestArenaTransport:
         assert needed == [digest]
         with pytest.raises(RPCError, match="corrupt"):
             replica.commit({digest: b"not the right bytes"})
+
+
+class TestBlobCache:
+    """Unit tests of the worker-side LRU byte cap."""
+
+    def _seed(self, cache_dir, names, payload=b"1234"):
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        for name in names:
+            (cache_dir / name).write_bytes(payload)
+
+    def test_evicts_least_recently_used_first(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cache = _BlobCache(cache_dir, limit_bytes=8)
+        for name in ("aa", "bb", "cc"):
+            (cache_dir / name).write_bytes(b"1234")
+            cache.note(name, 4)
+        cache.touch("aa")  # order is now bb (oldest), cc, aa
+        assert cache.evict(protected=set()) == 1
+        assert not (cache_dir / "bb").exists()
+        assert (cache_dir / "aa").exists()
+        assert (cache_dir / "cc").exists()
+        assert cache.total_bytes == 8
+        assert cache.evictions == 1
+
+    def test_protected_digests_survive_even_over_cap(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cache = _BlobCache(cache_dir, limit_bytes=0)
+        for name in ("aa", "bb", "cc"):
+            (cache_dir / name).write_bytes(b"1234")
+            cache.note(name, 4)
+        assert cache.evict(protected={"bb"}) == 2
+        assert (cache_dir / "bb").exists()
+        assert cache.total_bytes == 4  # still over the cap, by design
+
+    def test_unlimited_cache_never_evicts(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cache = _BlobCache(cache_dir, limit_bytes=None)
+        (cache_dir / "aa").write_bytes(b"1234")
+        cache.note("aa", 4)
+        assert cache.evict(protected=set()) == 0
+        assert (cache_dir / "aa").exists()
+
+    def test_restart_adopts_blobs_in_mtime_order(self, tmp_path):
+        import os
+
+        cache_dir = tmp_path / "cache"
+        self._seed(cache_dir, ["old", "new"])
+        now = time.time()
+        os.utime(cache_dir / "old", (now - 100, now - 100))
+        os.utime(cache_dir / "new", (now, now))
+        cache = _BlobCache(cache_dir, limit_bytes=4)
+        assert cache.evict(protected=set()) == 1
+        assert not (cache_dir / "old").exists()
+        assert (cache_dir / "new").exists()
+
+
+class TestWorkerEviction:
+    """End-to-end eviction through the sync protocol and metrics."""
+
+    def _spec(self, arena):
+        return ArenaSpec(store_dir=str(arena.store_dir), version=arena.version)
+
+    def test_capped_worker_evicts_stale_blobs(self, tmp_path):
+        arena = MatrixArena(tmp_path / "driver")
+        arena.put_array("w", np.asarray([3.0, 5.0, 7.0]))
+        server = WorkerServer(
+            "127.0.0.1", 0, tmp_path / "worker", cache_limit_bytes=1
+        ).start()
+        executor = RPCExecutor(["%s:%d" % server.address], timeout=10.0)
+        try:
+            jobs = [(self._spec(arena), index) for index in range(3)]
+            assert executor.map(_arena_read, jobs) == [3.0, 5.0, 7.0]
+            # The only synced blobs belong to the live manifest, so
+            # even a 1-byte cap evicts nothing yet.
+            assert executor.metrics.cache_evictions == 0
+            stale = set(server.blob_cache._entries)
+            assert stale  # something was cached
+
+            # Updating the entry orphans the old blobs; the commit's
+            # eviction pass drops them and reports the count home.
+            arena.put_array("w", np.asarray([4.0, 6.0, 8.0]))
+            jobs = [(self._spec(arena), index) for index in range(3)]
+            assert executor.map(_arena_read, jobs) == [4.0, 6.0, 8.0]
+            assert executor.metrics.cache_evictions > 0
+            cache_dir = tmp_path / "worker" / "cache"
+            for digest in stale - set(server.blob_cache._entries):
+                assert not (cache_dir / digest).exists()
+
+            # An evicted blob is a cache miss, not an error: reverting
+            # the arena re-ships it and jobs still answer correctly.
+            shipped = executor.metrics.bytes_synced
+            arena.put_array("w", np.asarray([3.0, 5.0, 7.0]))
+            jobs = [(self._spec(arena), index) for index in range(3)]
+            assert executor.map(_arena_read, jobs) == [3.0, 5.0, 7.0]
+            assert executor.metrics.bytes_synced > shipped
+        finally:
+            executor.close()
+            server.stop()
+
+    def test_uncapped_worker_reports_zero_evictions(self, tmp_path):
+        arena = MatrixArena(tmp_path / "driver")
+        arena.put_array("w", np.asarray([1.0, 2.0]))
+        server = WorkerServer("127.0.0.1", 0, tmp_path / "worker").start()
+        executor = RPCExecutor(["%s:%d" % server.address], timeout=10.0)
+        try:
+            jobs = [(self._spec(arena), index) for index in range(2)]
+            assert executor.map(_arena_read, jobs) == [1.0, 2.0]
+            arena.put_array("w", np.asarray([9.0, 8.0]))
+            jobs = [(self._spec(arena), index) for index in range(2)]
+            assert executor.map(_arena_read, jobs) == [9.0, 8.0]
+            assert executor.metrics.cache_evictions == 0
+            assert server.blob_cache.evictions == 0
+        finally:
+            executor.close()
+            server.stop()
+
+    def test_restarted_capped_worker_prunes_leftovers(self, tmp_path):
+        arena = MatrixArena(tmp_path / "driver")
+        arena.put_array("w", np.asarray([3.0, 5.0]))
+        store_dir = tmp_path / "worker"
+        server = WorkerServer("127.0.0.1", 0, store_dir).start()
+        executor = RPCExecutor(["%s:%d" % server.address], timeout=10.0)
+        try:
+            jobs = [(self._spec(arena), index) for index in range(2)]
+            assert executor.map(_arena_read, jobs) == [3.0, 5.0]
+        finally:
+            executor.close()
+            server.stop()
+
+        # Fresh worker process over the same store dir: it adopts the
+        # leftover blobs and the next committed sync prunes the ones
+        # the new manifest no longer references.
+        arena.put_array("w", np.asarray([4.0, 6.0]))
+        server = WorkerServer(
+            "127.0.0.1", 0, store_dir, cache_limit_bytes=1
+        ).start()
+        executor = RPCExecutor(["%s:%d" % server.address], timeout=10.0)
+        try:
+            jobs = [(self._spec(arena), index) for index in range(2)]
+            assert executor.map(_arena_read, jobs) == [4.0, 6.0]
+            assert executor.metrics.cache_evictions > 0
+        finally:
+            executor.close()
+            server.stop()
 
 
 class TestExecutorSeam:

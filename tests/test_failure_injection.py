@@ -128,3 +128,143 @@ class TestProtocolEdges:
 
         with pytest.raises(ExperimentError, match="cannot sample"):
             sample_negatives(handmade_pair, 10_000, np.random.default_rng(0))
+
+
+class TestPUCheckpointResume:
+    """A PU-mode SVM active fit interrupted mid-loop resumes exactly.
+
+    PU training touches every streamed candidate row, so its dual box
+    and shrink state are part of what the checkpoint must carry; a
+    resume that refit from scratch (or with the wrong mode) would
+    diverge from the uninterrupted trajectory.
+    """
+
+    def _build(self, pair, split, checkpoint=None):
+        from repro.engine import AlignmentSession, StreamedAlignmentTask
+        from repro.meta.diagrams import standard_diagram_family
+        from repro.ml.backends import make_backend
+
+        positives = {
+            split.candidates[i]
+            for i in range(len(split.candidates))
+            if split.truth[i] == 1
+        }
+        session = AlignmentSession(
+            pair,
+            family=standard_diagram_family(),
+            known_anchors=split.train_positive_pairs,
+        )
+        task = StreamedAlignmentTask.from_pairs(
+            session,
+            list(split.candidates),
+            split.train_indices,
+            split.truth[split.train_indices],
+            block_size=32,
+        )
+        model = ActiveIter(
+            LabelOracle(positives, budget=8),
+            batch_size=2,
+            session=session,
+            refresh_features=True,
+            checkpoint=checkpoint,
+            backend=make_backend("svm-pu", unlabeled_C=0.05, seed=0),
+            positive_threshold=0.0,
+        )
+        return model, task
+
+    def test_resume_is_byte_identical(self, tiny_synthetic_pair, tmp_path):
+        from repro.eval.protocol import ProtocolConfig, build_splits
+        from repro.exceptions import CheckpointInterrupt
+        from repro.store import SessionCheckpoint
+
+        config = ProtocolConfig(
+            np_ratio=5, sample_ratio=1.0, n_repeats=1, seed=3
+        )
+        split = next(iter(build_splits(tiny_synthetic_pair, config)))
+
+        reference, reference_task = self._build(tiny_synthetic_pair, split)
+        reference.fit(reference_task)
+        assert len(reference.queried_) > 0
+
+        interrupted, task = self._build(
+            tiny_synthetic_pair,
+            split,
+            checkpoint=SessionCheckpoint(tmp_path, interrupt_after=2),
+        )
+        with pytest.raises(CheckpointInterrupt):
+            interrupted.fit(task)
+
+        # The snapshot carries the PU mode (a supervised resume must
+        # not silently adopt it) and the solver's shrink telemetry.
+        _, payload = SessionCheckpoint(tmp_path).load()
+        assert payload["backend"]["mode"] == "pu"
+        assert payload["backend"]["svc"]["shrink_stats"]
+
+        resumed, resumed_task = self._build(
+            tiny_synthetic_pair,
+            split,
+            checkpoint=SessionCheckpoint(tmp_path),
+        )
+        resumed.fit(resumed_task)
+        assert resumed.queried_ == reference.queried_
+        assert np.array_equal(resumed.labels_, reference.labels_)
+        assert np.array_equal(resumed.weights_, reference.weights_)
+
+    def test_supervised_resume_of_pu_checkpoint_rejected(
+        self, tiny_synthetic_pair, tmp_path
+    ):
+        from repro.eval.protocol import ProtocolConfig, build_splits
+        from repro.exceptions import CheckpointInterrupt
+        from repro.ml.backends import SVMBackend
+        from repro.store import SessionCheckpoint
+
+        config = ProtocolConfig(
+            np_ratio=5, sample_ratio=1.0, n_repeats=1, seed=3
+        )
+        split = next(iter(build_splits(tiny_synthetic_pair, config)))
+        interrupted, task = self._build(
+            tiny_synthetic_pair,
+            split,
+            checkpoint=SessionCheckpoint(tmp_path, interrupt_after=2),
+        )
+        with pytest.raises(CheckpointInterrupt):
+            interrupted.fit(task)
+        _, payload = SessionCheckpoint(tmp_path).load()
+        with pytest.raises(ModelError, match="'pu'-mode"):
+            SVMBackend(mode="supervised").load_state_dict(
+                payload["backend"]
+            )
+
+    def test_backendless_resume_of_backend_checkpoint_rejected(
+        self, tiny_synthetic_pair, tmp_path
+    ):
+        """Resuming without a backend must not silently refit with ridge."""
+        from repro.eval.protocol import ProtocolConfig, build_splits
+        from repro.exceptions import CheckpointInterrupt
+        from repro.store import SessionCheckpoint
+
+        config = ProtocolConfig(
+            np_ratio=5, sample_ratio=1.0, n_repeats=1, seed=3
+        )
+        split = next(iter(build_splits(tiny_synthetic_pair, config)))
+        interrupted, task = self._build(
+            tiny_synthetic_pair,
+            split,
+            checkpoint=SessionCheckpoint(tmp_path, interrupt_after=2),
+        )
+        with pytest.raises(CheckpointInterrupt):
+            interrupted.fit(task)
+
+        positives = {
+            split.candidates[i]
+            for i in range(len(split.candidates))
+            if split.truth[i] == 1
+        }
+        bare = ActiveIter(
+            LabelOracle(positives, budget=8),
+            batch_size=2,
+            refresh_features=False,
+            checkpoint=SessionCheckpoint(tmp_path),
+        )
+        with pytest.raises(ModelError, match="backend state"):
+            bare.fit(task)
