@@ -23,14 +23,32 @@ Assertions:
   worker and still matches the serial digest (the retry/re-queue path
   at work);
 * **re-sync** — always: a second selection sweep over the unchanged
-  arena ships **zero** additional bytes (content-addressed cache hit);
+  arena ships **zero** additional bytes (content-addressed cache hit)
+  and **zero** function bytes (the protocol v3 fn registration from
+  the first sweep still serves);
 * **speedup** — at ``large`` scale outside smoke mode on a multicore
   host: the clean RPC run must beat serial by >= 1.5x.
 
+A separate **latency probe** demonstrates the protocol v3 pipelining
+win where wall-clock scaling cannot be measured honestly (a shared CI
+runner): two workers are spawned with ``--delay-ms 5`` (5 ms injected
+before *every frame handled*, simulating network RTT), and the same
+job list is mapped under the blocking PR 7 dispatch shape
+(``pipeline_depth=1``, batching off) and the pipelined v3 default
+(``pipeline_depth=8``, batching on).  The frame count — not the
+runner's load — dominates both timings, so the ratio is stable enough
+to gate: pipelined must beat blocking by >= 2x at ``large`` scale,
+results must stay byte-identical, jobs must actually batch, and a
+second map must re-ship **zero** function bytes (one-shot fn
+shipping).  The measured ratio is published as
+``rpc_pipeline_speedup`` (with the injected delay alongside) for the
+trend ratchet.
+
 Smoke mode (CI exactness gating):
 ``ENGINE_RPC_SCALE=small ENGINE_RPC_EXACT_ONLY=1`` runs quickly and
-skips the speedup assertion (localhost workers on a shared 2-core
-runner measure transport overhead, not fleet scaling).
+skips the wall-clock speedup assertions (localhost workers on a shared
+2-core runner measure transport overhead, not fleet scaling); the
+latency probe still runs and records its ratio.
 """
 
 import hashlib
@@ -52,6 +70,14 @@ BATCH = 5
 BLOCK = 2048 if SCALE == "large" else 128
 EVENTS = 2
 SEED = 13
+#: Injected per-frame worker latency (ms) for the pipelining probe.
+DELAY_MS = 5.0
+LATENCY_JOBS = 240 if SCALE == "large" else 64
+
+
+def _probe_fn(x):
+    """Tiny picklable job for the latency probe (transport-bound)."""
+    return x * x
 
 
 def _build_split(pair):
@@ -115,6 +141,71 @@ def _arm_kill(executor, victim):
     thread = threading.Thread(target=watch, daemon=True)
     thread.start()
     return thread
+
+
+def _latency_probe() -> dict:
+    """Blocking vs pipelined dispatch under injected per-frame latency.
+
+    Both timings map the identical job list over the same two
+    ``--delay-ms`` workers; only the dispatch shape differs.  Each
+    executor is warmed with a tiny map first so connection setup and
+    the one-shot fn registration are paid outside the timed window for
+    both shapes alike.
+    """
+    from repro.store.rpc import RPCExecutor, spawn_worker_process
+
+    expected = [_probe_fn(x) for x in range(LATENCY_JOBS)]
+    probe = {"delay_ms": DELAY_MS, "jobs": LATENCY_JOBS}
+    with tempfile.TemporaryDirectory() as root:
+        workers = [
+            spawn_worker_process(
+                os.path.join(root, f"latency-worker{i}"), delay_ms=DELAY_MS
+            )
+            for i in range(2)
+        ]
+        addresses = [address for _, address in workers]
+        try:
+            shapes = {
+                "blocking": dict(pipeline_depth=1, batch_bytes=0),
+                "pipelined": dict(pipeline_depth=8),
+            }
+            for label, shape in shapes.items():
+                executor = RPCExecutor(addresses, **shape)
+                try:
+                    executor.map(_probe_fn, range(4))  # warm-up
+                    started = time.perf_counter()
+                    results = executor.map(_probe_fn, range(LATENCY_JOBS))
+                    elapsed = time.perf_counter() - started
+                    fn_bytes_first = executor.metrics.fn_bytes_shipped
+                    executor.map(_probe_fn, range(LATENCY_JOBS))
+                    occupancy = executor.registry.get("rpc.window_occupancy")
+                    probe[label] = {
+                        "seconds": elapsed,
+                        "exact": results == expected,
+                        "jobs_shipped": executor.metrics.jobs_shipped,
+                        "jobs_batched": executor.metrics.jobs_batched,
+                        "fn_registrations": (
+                            executor.metrics.fn_registrations
+                        ),
+                        "fn_cache_hits": executor.metrics.fn_cache_hits,
+                        "fn_bytes_reshipped": (
+                            executor.metrics.fn_bytes_shipped
+                            - fn_bytes_first
+                        ),
+                        "window_occupancy_max": (
+                            occupancy.max if occupancy is not None else 0
+                        ),
+                    }
+                finally:
+                    executor.close()
+        finally:
+            for process, _ in workers:
+                process.kill()
+                process.wait()
+    probe["speedup"] = probe["blocking"]["seconds"] / max(
+        probe["pipelined"]["seconds"], 1e-9
+    )
+    return probe
 
 
 def _run_scenario(mode: str) -> dict:
@@ -193,10 +284,16 @@ def _run_scenario(mode: str) -> dict:
             bytes_before = (
                 executor.metrics.bytes_synced if executor else 0
             )
+            fn_bytes_before = (
+                executor.metrics.fn_bytes_shipped if executor else 0
+            )
             resync_selected = _select(session, weights)
             assert repr(resync_selected) == repr(selected)
             bytes_after = (
                 executor.metrics.bytes_synced if executor else 0
+            )
+            fn_bytes_after = (
+                executor.metrics.fn_bytes_shipped if executor else 0
             )
 
             result = {
@@ -209,17 +306,25 @@ def _run_scenario(mode: str) -> dict:
                     session.stats.fallback_invalidations
                 ),
                 "resync_bytes": bytes_after - bytes_before,
+                "resync_fn_bytes": fn_bytes_after - fn_bytes_before,
             }
             if executor is not None:
                 metrics = executor.metrics
+                occupancy = executor.registry.get("rpc.window_occupancy")
                 result.update(
                     jobs_shipped=metrics.jobs_shipped,
+                    bytes_shipped=metrics.bytes_shipped,
                     bytes_synced=metrics.bytes_synced,
                     cache_hits=metrics.sync_cache_hits,
+                    jobs_batched=metrics.jobs_batched,
+                    fn_cache_hits=metrics.fn_cache_hits,
                     retries=metrics.retries,
                     stragglers=metrics.stragglers_redispatched,
                     workers_lost=metrics.workers_lost,
                     serial_fallbacks=metrics.serial_fallbacks,
+                    window_occupancy_max=(
+                        occupancy.max if occupancy is not None else 0
+                    ),
                 )
             return result
     finally:
@@ -237,6 +342,7 @@ def test_engine_rpc_exactness_faults_and_speedup():
     serial = _run_scenario("serial")
     rpc = _run_scenario("rpc")
     kill = _run_scenario("rpc-kill")
+    probe = _latency_probe()
 
     cpus = os.cpu_count() or 1
     speedup = serial["seconds"] / max(rpc["seconds"], 1e-9)
@@ -247,7 +353,7 @@ def test_engine_rpc_exactness_faults_and_speedup():
             f"cpus={cpus})"
         ),
         f"{'mode':<10}{'seconds':>9}{'shipped':>9}{'synced KiB':>12}"
-        f"{'cache hits':>12}{'retries':>9}{'lost':>6}",
+        f"{'cache hits':>12}{'batched':>9}{'retries':>9}{'lost':>6}",
     ]
     for result in (serial, rpc, kill):
         lines.append(
@@ -255,6 +361,7 @@ def test_engine_rpc_exactness_faults_and_speedup():
             f"{result.get('jobs_shipped', 0):>9}"
             f"{result.get('bytes_synced', 0) / 1024:>12.1f}"
             f"{result.get('cache_hits', 0):>12}"
+            f"{result.get('jobs_batched', 0):>9}"
             f"{result.get('retries', 0):>9}"
             f"{result.get('workers_lost', 0):>6}"
         )
@@ -265,7 +372,17 @@ def test_engine_rpc_exactness_faults_and_speedup():
     lines.append(f"serial/rpc speedup: {speedup:.2f}x")
     lines.append(
         f"second-round re-sync bytes: {rpc['resync_bytes']} "
-        "(content-addressed cache)"
+        f"(content-addressed cache), fn bytes: {rpc['resync_fn_bytes']} "
+        "(one-shot fn registration)"
+    )
+    lines.append(
+        f"latency probe ({probe['jobs']} jobs, {probe['delay_ms']:.0f} ms "
+        "injected per frame): "
+        f"blocking {probe['blocking']['seconds']:.3f}s vs pipelined "
+        f"{probe['pipelined']['seconds']:.3f}s = "
+        f"{probe['speedup']:.2f}x "
+        f"(batched {probe['pipelined']['jobs_batched']}, "
+        f"window max {probe['pipelined']['window_occupancy_max']})"
     )
 
     flags = {
@@ -279,27 +396,50 @@ def test_engine_rpc_exactness_faults_and_speedup():
         "one_worker_lost_in_kill_run": kill["workers_lost"] == 1,
         "no_serial_fallback_in_clean_run": rpc["serial_fallbacks"] == 0,
         "zero_resync_bytes_second_round": rpc["resync_bytes"] == 0,
+        "zero_fn_bytes_reshipped_on_resync": rpc["resync_fn_bytes"] == 0,
         "jobs_actually_shipped": rpc["jobs_shipped"] > 0
         and kill["jobs_shipped"] > 0,
+        "probe_results_exact_both_shapes": (
+            probe["blocking"]["exact"] and probe["pipelined"]["exact"]
+        ),
+        "probe_jobs_batched_in_pipelined": (
+            probe["pipelined"]["jobs_batched"] > 0
+            and probe["blocking"]["jobs_batched"] == 0
+        ),
+        "probe_zero_fn_bytes_reshipped_after_registration": (
+            probe["pipelined"]["fn_bytes_reshipped"] == 0
+        ),
+        "probe_pipeline_window_filled": (
+            probe["pipelined"]["window_occupancy_max"] >= 2
+        ),
     }
     metrics = {
         "serial_seconds": serial["seconds"],
         "rpc_seconds": rpc["seconds"],
         "rpc_jobs_shipped": rpc["jobs_shipped"],
+        "rpc_bytes_shipped": rpc["bytes_shipped"],
         "rpc_bytes_synced": rpc["bytes_synced"],
         "rpc_cache_hits": rpc["cache_hits"],
+        "rpc_jobs_batched": rpc["jobs_batched"],
+        "rpc_fn_cache_hits": rpc["fn_cache_hits"],
         "kill_run_retries": kill["retries"],
         "kill_run_workers_lost": kill["workers_lost"],
+        # Frame counts, not the runner's load, dominate these two, so
+        # the ratio is stable enough to ratchet even in smoke mode.
+        "latency_probe_delay_ms": probe["delay_ms"],
+        "latency_blocking_seconds": probe["blocking"]["seconds"],
+        "latency_pipelined_seconds": probe["pipelined"]["seconds"],
+        "rpc_pipeline_speedup": probe["speedup"],
     }
     if SCALE == "large" and not EXACT_ONLY and cpus >= 2:
-        # Only record the speedup where it measures fleet scaling; a
-        # single-core or smoke run would ratchet the trend gate on
-        # transport overhead noise.
+        # Only record the wall-clock speedup where it measures fleet
+        # scaling; a single-core or smoke run would ratchet the trend
+        # gate on transport overhead noise.
         metrics["rpc_speedup"] = speedup
     else:
         lines.append(
-            "speedup not recorded (smoke mode or too few cores for a "
-            "meaningful fleet measurement)"
+            "serial/rpc speedup not recorded (smoke mode or too few "
+            "cores for a meaningful fleet measurement)"
         )
     publish(
         "engine_rpc",
@@ -314,6 +454,11 @@ def test_engine_rpc_exactness_faults_and_speedup():
         assert kill["retries"] >= 1, (
             "killing a busy worker at large scale must exercise the "
             "re-queue path"
+        )
+        assert probe["speedup"] >= 2.0, (
+            f"pipelined dispatch must beat blocking one-job-per-round-"
+            f"trip by >= 2x with {DELAY_MS:.0f} ms injected per-frame "
+            f"latency, measured {probe['speedup']:.2f}x"
         )
         if cpus >= 2:
             assert speedup >= 1.5, (

@@ -25,11 +25,12 @@ Usage::
                                   [--store-dir DIR]
                                   [--executor {serial,thread,process,rpc}]
                                   [--rpc-hosts HOST:PORT,HOST:PORT]
+                                  [--rpc-pipeline N]
     python -m repro.cli engine checkpoint --store-dir DIR
                                   [--interrupt-after 3]
     python -m repro.cli engine resume --store-dir DIR
     python -m repro.cli worker --listen HOST:PORT --store-dir DIR
-                               [--cache-bytes N]
+                               [--cache-bytes N] [--delay-ms MS]
     python -m repro.cli trace summarize TRACE.jsonl
     python -m repro.cli trace tree TRACE.jsonl [--trace-id ID]
 
@@ -64,6 +65,11 @@ jobs to a remote driver over the content-addressed arena transport
 ``engine --store-dir DIR --executor rpc --rpc-hosts h1:p,h2:p``.
 ``--cache-bytes N`` caps the worker's blob cache with LRU eviction for
 long-lived fleets (evictions are counted in the driver's RPC metrics).
+``--rpc-pipeline N`` sets the driver's per-worker in-flight window
+(protocol v3 pipelined dispatch; ``1`` restores the blocking
+one-job-per-round-trip loop), and ``worker --delay-ms MS`` injects a
+per-frame latency on the worker — the fault-injection knob the RPC
+bench uses to demonstrate the pipelining win on a single host.
 
 ``engine``, ``evolve``, ``experiment`` and ``worker`` accept
 ``--trace-out PATH`` (stream :mod:`repro.obs` spans to a JSONL file;
@@ -555,7 +561,11 @@ def cmd_worker(args: argparse.Namespace) -> str:
 
     host, port = parse_address(args.listen)
     server = WorkerServer(
-        host, port, args.store_dir, cache_limit_bytes=args.cache_bytes
+        host,
+        port,
+        args.store_dir,
+        cache_limit_bytes=args.cache_bytes,
+        delay_ms=args.delay_ms,
     )
     bound_host, bound_port = server.address
     # The first stdout line is the contract test/bench spawners read to
@@ -620,7 +630,9 @@ def cmd_engine(args: argparse.Namespace) -> str:
     )
     # The context managers guarantee the pool (and arena handles) are
     # released even when a diagnostic below raises.
-    with make_executor(args.executor, args.workers, rpc_hosts) as executor:
+    with make_executor(
+        args.executor, args.workers, rpc_hosts, rpc_pipeline=args.rpc_pipeline
+    ) as executor:
         with AlignmentSession(
             pair,
             known_anchors=pair.anchors,
@@ -838,6 +850,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     engine.add_argument(
+        "--rpc-pipeline",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "per-worker in-flight job window for --executor rpc "
+            "(1 = blocking one-job-per-round-trip dispatch; "
+            "default: the executor's own depth)"
+        ),
+    )
+    engine.add_argument(
         "--store-dir",
         default=None,
         help=(
@@ -888,6 +911,17 @@ def build_parser() -> argparse.ArgumentParser:
             "LRU byte cap on the shared blob cache; least-recently-used "
             "blobs are evicted after each sync (blobs referenced by a "
             "live replica manifest are never dropped); default: unbounded"
+        ),
+    )
+    worker.add_argument(
+        "--delay-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help=(
+            "fault injection: sleep MS milliseconds before handling each "
+            "frame, simulating network RTT (the RPC bench uses 5 ms to "
+            "make the pipelining win measurable on one host)"
         ),
     )
 

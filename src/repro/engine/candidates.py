@@ -390,6 +390,10 @@ def streamed_selection(
 
     survivor_pairs: List[LinkPair] = []
     survivor_scores: List[np.ndarray] = []
+    # Streaming imap, not map: blocks flow into the executor's bounded
+    # in-flight window as the generator produces them (on an RPC fleet
+    # that window is the protocol v3 pipelined dispatch — barrier-free,
+    # so the greedy merge below never waits on a chunk boundary).
     scored = executor.imap(
         _score_block_unit, ((score_fn, block) for block in generator.blocks())
     )

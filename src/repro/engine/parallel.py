@@ -65,13 +65,22 @@ from repro.exceptions import AlignmentError
 logger = logging.getLogger(__name__)
 
 
+def _try_dumps(obj) -> Optional[bytes]:
+    """``obj``'s pickle, or ``None`` when it doesn't survive pickling.
+
+    The probe *is* the serialization: callers that go on to ship the
+    bytes (the RPC executor registers them as the fn blob) reuse this
+    result instead of pickling a second time.
+    """
+    try:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return None
+
+
 def _picklable(obj) -> bool:
     """Whether ``obj`` survives pickling (the process-pool entry fee)."""
-    try:
-        pickle.dumps(obj)
-        return True
-    except Exception:
-        return False
+    return _try_dumps(obj) is not None
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -332,6 +341,7 @@ def make_executor(
     kind: str,
     workers: int = 1,
     addresses: Optional[Iterable[str]] = None,
+    rpc_pipeline: Optional[int] = None,
 ) -> Executor:
     """Build an executor from a named backend and a worker count.
 
@@ -341,7 +351,9 @@ def make_executor(
     ignores ``workers`` and instead needs ``addresses`` — the
     ``host:port`` endpoints of long-lived
     ``python -m repro.cli worker`` processes (see
-    :class:`repro.store.rpc.RPCExecutor`).
+    :class:`repro.store.rpc.RPCExecutor`); ``rpc_pipeline`` forwards
+    the ``--rpc-pipeline`` dispatch-window depth (``1`` restores the
+    blocking one-frame-per-round-trip dispatch).
     """
     if kind not in ("serial", "thread", "process", "rpc"):
         raise AlignmentError(
@@ -358,6 +370,8 @@ def make_executor(
                 "executor kind 'rpc' needs worker addresses "
                 "(host:port, e.g. --rpc-hosts 10.0.0.2:7421,10.0.0.3:7421)"
             )
+        if rpc_pipeline is not None:
+            return RPCExecutor(addresses, pipeline_depth=rpc_pipeline)
         return RPCExecutor(addresses)
     if kind == "serial" or workers <= 1:
         return SerialExecutor()

@@ -312,7 +312,12 @@ class StreamedAlignmentTask:
 
         Extraction fans out across the session's executor with a
         bounded in-flight window; results arrive in stream order, so
-        sequential folds over this iterator are deterministic.
+        sequential folds over this iterator are deterministic.  On an
+        RPC fleet that window is barrier-free (protocol v3): block
+        jobs flow into per-worker pipeline windows straight from this
+        generator, with no chunk boundary stalling the stream while a
+        slow consumer (an incremental fit folding block by block)
+        drains it.
 
         With an executor whose work leaves this interpreter
         (:attr:`~repro.engine.parallel.Executor.crosses_processes` —

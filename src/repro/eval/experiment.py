@@ -262,6 +262,17 @@ class RuntimeMetadata:
         Jobs re-queued after a worker died or timed out mid-flight.
     rpc_stragglers:
         Duplicate dispatches of the slowest in-flight tail.
+    rpc_bytes_shipped:
+        Total job/function envelope bytes written to workers (the
+        protocol v3 dispatch side of the wire, distinct from the arena
+        sync bytes above).
+    rpc_jobs_batched:
+        Jobs that rode a multi-job frame (protocol v3 batching); 0
+        means every job paid its own round trip.
+    rpc_fn_cache_hits:
+        Job frames that referenced a function already registered on
+        the worker by content digest instead of re-shipping its
+        pickle (protocol v3 one-shot function shipping).
     metrics:
         The full ``repro.obs`` registry snapshot at the end of the run
         (session counters, executor ``rpc.*`` counters, phase-timing
@@ -284,6 +295,9 @@ class RuntimeMetadata:
     rpc_cache_hits: int = 0
     rpc_retries: int = 0
     rpc_stragglers: int = 0
+    rpc_bytes_shipped: int = 0
+    rpc_jobs_batched: int = 0
+    rpc_fn_cache_hits: int = 0
     metrics: Optional[Dict] = None
 
 
@@ -670,6 +684,9 @@ def run_experiment(
             rpc_cache_hits=getattr(rpc, "sync_cache_hits", 0),
             rpc_retries=getattr(rpc, "retries", 0),
             rpc_stragglers=getattr(rpc, "stragglers_redispatched", 0),
+            rpc_bytes_shipped=getattr(rpc, "bytes_shipped", 0),
+            rpc_jobs_batched=getattr(rpc, "jobs_batched", 0),
+            rpc_fn_cache_hits=getattr(rpc, "fn_cache_hits", 0),
             metrics=session.metrics_snapshot(),
         )
     logger.info(

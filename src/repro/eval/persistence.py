@@ -31,6 +31,11 @@ Format history:
   of the session and its executor), superseding the hand-picked
   counter subset above — which remains populated for compatibility.
   Older files load fine — their ``metrics`` is ``None``.
+* **7** — the runtime block gains the protocol v3 dispatch counters
+  (``rpc_bytes_shipped``, ``rpc_jobs_batched``, ``rpc_fn_cache_hits``),
+  so archived runs show how much the pipelined/batched/one-shot-fn
+  dispatch path saved over re-shipping everything per job.  Older
+  files load fine — the counters default to zero.
 """
 
 from __future__ import annotations
@@ -49,10 +54,10 @@ from repro.eval.protocol import ProtocolConfig
 from repro.exceptions import ExperimentError
 from repro.ml.metrics import ClassificationReport
 
-_FORMAT_VERSION = 6
+_FORMAT_VERSION = 7
 
 #: Versions :func:`outcome_from_dict` can read.
-_READABLE_VERSIONS = (1, 2, 3, 4, 5, 6)
+_READABLE_VERSIONS = (1, 2, 3, 4, 5, 6, 7)
 
 
 def outcome_to_dict(outcome: ExperimentOutcome) -> Dict:

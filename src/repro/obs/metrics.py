@@ -108,6 +108,29 @@ class Histogram:
             "mean": mean,
         }
 
+    def merge(self, payload: Dict[str, Optional[float]]) -> None:
+        """Fold a :meth:`snapshot` payload into this histogram.
+
+        Count and total add; min/max widen.  Mean is derived, so the
+        merged aggregate is exact — only per-observation detail (which
+        a streaming summary never kept) is lost.
+        """
+        count = int(payload.get("count") or 0)
+        if not count:
+            return
+        self.count += count
+        self.total += float(payload.get("total") or 0.0)
+        for bound, pick in (("min", min), ("max", max)):
+            theirs = payload.get(bound)
+            if theirs is None:
+                continue
+            ours = getattr(self, bound)
+            setattr(
+                self,
+                bound,
+                float(theirs) if ours is None else pick(ours, float(theirs)),
+            )
+
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, n={self.count})"
 
@@ -175,11 +198,15 @@ class MetricsRegistry:
         return out
 
     def merge_snapshot(self, snapshot: Dict[str, Dict[str, object]]) -> None:
-        """Restore counters/gauges from a :meth:`snapshot` payload."""
+        """Restore counters/gauges and fold histograms from a
+        :meth:`snapshot` payload (histograms merge additively so a
+        restore can layer over observations already made)."""
         for name, value in snapshot.get("counters", {}).items():
             self.counter(name).set(value)
         for name, value in snapshot.get("gauges", {}).items():
             self.gauge(name).set(value)
+        for name, payload in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge(payload)
 
     # Locks don't pickle; a registry re-locks on the other side.
     def __getstate__(self):

@@ -123,10 +123,32 @@ class Span:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        elapsed = time.monotonic() - self._start_monotonic
         self._tracer._pop(self)
         if exc_type is not None:
             self.attributes.setdefault("error", exc_type.__name__)
+        self._emit()
+
+    # -- detached lifetime (see Tracer.span_open) ----------------------
+    def start(self) -> "Span":
+        """Start timing *without* joining the thread-local stack.
+
+        Detached spans exist for operations whose lifetimes overlap on
+        one thread — e.g. the RPC executor's pipelined dispatch window,
+        where several dispatch spans are open at once and close in
+        reply order, which the LIFO nesting stack cannot represent.
+        Finish with :meth:`finish`.
+        """
+        self._start_wall = time.time()
+        self._start_monotonic = time.monotonic()
+        return self
+
+    def finish(self, error: Optional[str] = None) -> None:
+        """Record a detached span started with :meth:`start`."""
+        if error is not None:
+            self.attributes.setdefault("error", error)
+        self._emit()
+
+    def _emit(self) -> None:
         self._tracer._record(
             {
                 "trace": self.trace_id,
@@ -134,7 +156,7 @@ class Span:
                 "parent": self.parent_id,
                 "name": self.name,
                 "ts": self._start_wall,
-                "elapsed": elapsed,
+                "elapsed": time.monotonic() - self._start_monotonic,
                 "pid": os.getpid(),
                 "attributes": self.attributes,
             }
@@ -152,6 +174,12 @@ class _NullSpan:
     context = None
 
     def annotate(self, **attributes) -> None:
+        pass
+
+    def start(self) -> "_NullSpan":
+        return self
+
+    def finish(self, error=None) -> None:
         pass
 
     def __enter__(self) -> "_NullSpan":
@@ -240,6 +268,22 @@ class Tracer:
             trace_id, parent_id = parent.trace_id, parent.span_id
         return Span(self, name, trace_id, parent_id, dict(attributes))
 
+    def span_open(
+        self,
+        name: str,
+        parent: Union[Span, TraceContext, None] = None,
+        **attributes,
+    ) -> Span:
+        """A *detached* span, started now, for overlapping lifetimes.
+
+        Unlike ``with tracer.span(...)``, the returned span never joins
+        the thread-local nesting stack, so several may be open at once
+        on one thread and close out of order (the pipelined RPC
+        dispatch window).  Callers must pair it with
+        :meth:`Span.finish`.
+        """
+        return self.span(name, parent=parent, **attributes).start()
+
     def current_span(self) -> Optional[Span]:
         stack = getattr(self._local, "stack", None)
         return stack[-1] if stack else None
@@ -289,6 +333,9 @@ class NullTracer:
     records: List[Dict] = []
 
     def span(self, name, parent=None, **attributes) -> _NullSpan:
+        return _NULL_SPAN
+
+    def span_open(self, name, parent=None, **attributes) -> _NullSpan:
         return _NULL_SPAN
 
     def current_span(self) -> None:

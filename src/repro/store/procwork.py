@@ -8,7 +8,9 @@ defines the process-side of the store subsystem:
 * :class:`ArenaSpec` — where the shared state lives (``store_dir``) and
   which manifest ``version`` the driver published before dispatching;
 * :class:`BlockDescriptor` — one candidate block as index arrays, the
-  only per-task payload (a few KiB, never a matrix);
+  only per-task payload (a few KiB, never a matrix — small enough that
+  the RPC executor's protocol v3 batching coalesces several of these
+  jobs into one frame, amortizing per-frame latency on the wire);
 * module-level job functions (:func:`extract_block_job`,
   :func:`score_block_job`) that a ``ProcessPoolExecutor`` can pickle by
   reference;

@@ -29,16 +29,37 @@ Three pieces share the wire format:
   did not change — the second sweep over an unchanged arena syncs
   zero bytes.
 
-Robustness is part of the performance story.  Jobs carry a per-job
-timeout; a worker that dies (or stops answering) has its in-flight
-job re-queued onto the survivors after bounded reconnect attempts with
-exponential backoff; when the job queue drains, idle workers
-re-dispatch the slowest in-flight tail (jobs are pure functions, so a
-duplicate result is byte-identical and first-wins is safe); and when
-*no* worker is reachable the executor degrades to inline execution
-with a logged warning — correctness at serial speed.  Every event is
-counted in :class:`RPCMetrics` so experiment persistence and the trend
-report can see how a run was produced.
+Protocol version 3 makes the driver *latency-hiding*:
+
+* **pipelined dispatch** — each worker loop keeps a bounded window of
+  unacknowledged job frames on the socket (``pipeline_depth``), so
+  serialization and remote compute overlap the network round-trip
+  instead of alternating with it;
+* **one-shot function shipping** — the pickled ``fn`` is registered
+  once per worker under its SHA-256 digest (``register-fn``), and job
+  frames reference it by id; a worker that refuses or evicts the
+  digest answers ``fn-miss`` and the driver degrades to inline-fn
+  frames for that link, so correctness never depends on the cache;
+* **job batching** — small items coalesce into one frame up to a byte
+  budget (``batch_bytes``), amortizing frame and pickle overhead for
+  the tiny per-block jobs :mod:`repro.store.procwork` produces, with a
+  fair-share cap so one fast link cannot swallow a small queue;
+* **barrier-free** :meth:`RPCExecutor.imap` — a true streaming window
+  fed directly from the input iterator (no chunk-sized ``map`` calls,
+  no stall at chunk boundaries), yielding in input order.
+
+Robustness is part of the performance story.  Jobs carry a per-frame
+timeout; a worker that dies (or stops answering) has **every
+unacknowledged job in its pipeline window** re-queued onto the
+survivors after bounded reconnect attempts with exponential backoff;
+when the job queue drains, idle workers re-dispatch the slowest
+in-flight tail (jobs are pure functions, so a duplicate result is
+byte-identical and first-wins is safe); and when *no* worker is
+reachable the executor degrades to inline execution with a logged
+warning — correctness at serial speed.  Every event is counted in
+:class:`RPCMetrics` (and the ``rpc.window_occupancy`` histogram) so
+experiment persistence and the trend report can see how a run was
+produced.
 """
 
 from __future__ import annotations
@@ -58,7 +79,7 @@ from dataclasses import replace
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.engine.parallel import Executor, _picklable
+from repro.engine.parallel import Executor, _try_dumps
 from repro.exceptions import RPCError
 from repro.obs.metrics import CounterGroup, MetricsRegistry
 from repro.obs.tracing import Tracer, get_tracer
@@ -72,9 +93,16 @@ logger = logging.getLogger(__name__)
 #: Version 2 (the ``repro.obs`` era): job envelopes may carry a
 #: ``trace`` :class:`~repro.obs.tracing.TraceContext` and result
 #: envelopes a ``spans`` list, so one trace id follows a job across
-#: hosts.  Version-1 workers are refused at handshake with the
-#: worker's own error message.
-PROTOCOL_VERSION = 2
+#: hosts.  Version 3 (latency hiding): job frames carry a *batch* of
+#: pre-pickled items (``jobs``) plus either an inline ``fn_blob`` or a
+#: ``fn_id`` digest registered beforehand via ``register-fn``; result
+#: frames answer with per-job ``results`` in frame order, and a worker
+#: may answer ``fn-miss`` when a referenced digest fell out of its fn
+#: cache.  Frames on one connection are answered strictly in request
+#: order, which is what lets the driver pipeline several job frames
+#: before reading the first reply.  Older workers are refused at
+#: handshake with the worker's own error message.
+PROTOCOL_VERSION = 3
 
 #: Frame header: one unsigned 64-bit big-endian payload length.
 _HEADER = struct.Struct("!Q")
@@ -442,11 +470,23 @@ class WorkerServer:
         forever, as before.  Eviction counts travel back to the driver
         in the ``sync-done`` envelope and surface as
         :attr:`RPCMetrics.cache_evictions`.
+    delay_ms:
+        Fault-injection knob: sleep this many milliseconds before
+        handling each post-handshake frame, simulating network latency
+        on a loopback link so the pipelining win is demonstrable (and
+        gateable) on a single host.  ``0`` (the default) adds nothing.
+    fn_cache_size:
+        How many registered functions (``register-fn`` digests) this
+        worker keeps unpickled, LRU-evicted.  ``0`` refuses
+        registration outright — drivers then fall back to inline-fn
+        job frames, the clean-degradation path.
 
     Each accepted connection is served by its own daemon thread, so one
     worker can hold a driver link and a straggler-duplicate link at
-    once.  ``serve_forever`` blocks until :meth:`stop` (or a
-    ``shutdown`` envelope) fires.
+    once.  Frames on one connection are handled (and answered)
+    strictly in arrival order — the ordering guarantee the v3 driver's
+    pipelined window relies on.  ``serve_forever`` blocks until
+    :meth:`stop` (or a ``shutdown`` envelope) fires.
     """
 
     def __init__(
@@ -455,9 +495,16 @@ class WorkerServer:
         port: int,
         store_dir,
         cache_limit_bytes: Optional[int] = None,
+        delay_ms: float = 0.0,
+        fn_cache_size: int = 16,
     ) -> None:
         self.store_dir = Path(store_dir)
         self.store_dir.mkdir(parents=True, exist_ok=True)
+        self.delay_ms = float(delay_ms)
+        self.fn_cache_size = int(fn_cache_size)
+        #: digest -> unpickled fn, oldest-used first (LRU).
+        self._fn_cache: "OrderedDict[str, object]" = OrderedDict()
+        self._fn_lock = threading.Lock()
         self.blob_cache = _BlobCache(
             self.store_dir / "cache", cache_limit_bytes
         )
@@ -527,44 +574,127 @@ class WorkerServer:
                 "version": replica.version,
                 "evicted": evicted,
             }
+        if kind == "register-fn":
+            return self._handle_register_fn(request)
         if kind == "job":
             mapping = self._spec_mapping()
-            fn = _remap_specs(request["fn"], mapping)
-            item = _remap_specs(request["item"], mapping)
-            # When the driver traces, the envelope carries a
-            # TraceContext: run the job under a buffer-only local
-            # tracer parented on it and ship the spans home in the
-            # result, so the driver's JSONL links remote execution to
-            # its own dispatch span by trace id.
+            fn_id = request.get("fn_id")
+            if fn_id is not None:
+                with self._fn_lock:
+                    fn = self._fn_cache.get(fn_id)
+                    if fn is not None:
+                        self._fn_cache.move_to_end(fn_id)
+                if fn is None:
+                    # Evicted (or never seen) between frames: tell the
+                    # driver so it downgrades to inline-fn frames.
+                    return {"kind": "fn-miss", "digest": fn_id}
+            else:
+                try:
+                    fn = pickle.loads(request["fn_blob"])
+                except Exception as error:
+                    # The fn resolved on the driver but not here.  Keep
+                    # the link healthy and answer every job with a typed
+                    # error naming the real cause.
+                    message = (
+                        "fn failed to unpickle on worker "
+                        f"({type(error).__name__}: {error}); define it in "
+                        "a module importable by the worker"
+                    )
+                    return {
+                        "kind": "result",
+                        "jobs": [index for index, _ in request["jobs"]],
+                        "results": [
+                            {"ok": False, "error": message}
+                            for _ in request["jobs"]
+                        ],
+                        "spans": [],
+                    }
+            fn = _remap_specs(fn, mapping)
+            # When the driver traces, the frame carries a TraceContext:
+            # run each job under a buffer-only local tracer parented on
+            # it and ship the spans home in the result, so the driver's
+            # JSONL links remote execution to the exact dispatch frame.
             trace = request.get("trace")
             local = Tracer() if trace is not None else None
-            try:
-                if local is not None:
-                    with local.span(
-                        "rpc.worker.job", parent=trace, job=request["job"]
-                    ):
+            indices: List[int] = []
+            results: List[dict] = []
+            for index, blob in request["jobs"]:
+                try:
+                    # Item decode rides the same guard as execution: a
+                    # payload that does not resolve here is a typed job
+                    # error, never a dead link.
+                    item = _remap_specs(pickle.loads(blob), mapping)
+                    if local is not None:
+                        with local.span(
+                            "rpc.worker.job", parent=trace, job=index
+                        ):
+                            value = fn(item)
+                    else:
                         value = fn(item)
+                except Exception as error:  # errors travel back, typed
+                    results.append(
+                        {
+                            "ok": False,
+                            "error": f"{type(error).__name__}: {error}",
+                        }
+                    )
                 else:
-                    value = fn(item)
-            except Exception as error:  # job errors travel back, typed
-                return {
-                    "kind": "result",
-                    "job": request["job"],
-                    "ok": False,
-                    "error": f"{type(error).__name__}: {error}",
-                    "spans": local.drain() if local is not None else [],
-                }
+                    results.append({"ok": True, "value": value})
+                indices.append(index)
             return {
                 "kind": "result",
-                "job": request["job"],
-                "ok": True,
-                "value": value,
+                "jobs": indices,
+                "results": results,
                 "spans": local.drain() if local is not None else [],
             }
         if kind == "shutdown":
             self._stop.set()
             return {"kind": "bye"}
         raise RPCError(f"unknown envelope kind {kind!r}")
+
+    def _handle_register_fn(self, request: dict) -> dict:
+        """Two-phase fn registration: digest probe, then the blob.
+
+        A probe (no ``blob``) answers whether the digest is already
+        cached and whether this worker accepts registrations at all;
+        the follow-up carries the pickled fn, which is digest-verified
+        before it enters the LRU cache.  A refusal is never an error —
+        the driver falls back to inline-fn job frames.
+        """
+        digest = request["digest"]
+        blob = request.get("blob")
+        if self.fn_cache_size <= 0:
+            return {"kind": "fn-registered", "cached": False, "accepted": False}
+        with self._fn_lock:
+            if digest in self._fn_cache:
+                self._fn_cache.move_to_end(digest)
+                return {
+                    "kind": "fn-registered",
+                    "cached": True,
+                    "accepted": True,
+                }
+        if blob is None:
+            return {"kind": "fn-registered", "cached": False, "accepted": True}
+        if hashlib.sha256(blob).hexdigest() != digest:
+            raise RPCError(
+                f"registered fn {digest[:12]}... arrived corrupt "
+                "(digest mismatch on the wire)"
+            )
+        try:
+            fn = pickle.loads(blob)
+        except Exception:
+            # Pickles on the driver but not here (__main__-defined fn,
+            # missing module, version skew).  A refusal, not an error:
+            # the link stays up and the driver downgrades to inline-fn
+            # frames, whose decode failure travels back as a typed job
+            # error instead of a dead connection.
+            return {"kind": "fn-registered", "cached": False, "accepted": False}
+        with self._fn_lock:
+            self._fn_cache[digest] = fn
+            self._fn_cache.move_to_end(digest)
+            while len(self._fn_cache) > self.fn_cache_size:
+                self._fn_cache.popitem(last=False)
+        return {"kind": "fn-registered", "cached": True, "accepted": True}
 
     def _serve_connection(self, conn: socket.socket) -> None:
         try:
@@ -591,6 +721,11 @@ class WorkerServer:
             )
             while not self._stop.is_set():
                 request = recv_frame(conn)
+                if self.delay_ms > 0:
+                    # Fault injection: pretend the wire is slow.  Per
+                    # *frame*, not per job — exactly the cost model
+                    # batching and pipelining are designed to beat.
+                    time.sleep(self.delay_ms / 1000.0)
                 send_frame(conn, self._handle(request))
                 if request.get("kind") == "shutdown":
                     return
@@ -670,8 +805,13 @@ class RPCMetrics(CounterGroup):
     _prefix = "rpc."
     _fields = (
         "jobs_shipped",
+        "bytes_shipped",
         "bytes_synced",
         "sync_cache_hits",
+        "jobs_batched",
+        "fn_registrations",
+        "fn_cache_hits",
+        "fn_bytes_shipped",
         "retries",
         "stragglers_redispatched",
         "inline_jobs",
@@ -682,7 +822,15 @@ class RPCMetrics(CounterGroup):
 
 
 class _WorkerLink:
-    """Driver-side handle of one worker connection (one job in flight)."""
+    """Driver-side handle of one worker connection.
+
+    The v3 protocol decouples writes from reads: :meth:`send` puts a
+    frame on the wire without waiting, :meth:`recv` reads the next
+    reply, and because the worker answers frames in arrival order, a
+    window of sends followed by matching recvs stays in lockstep.
+    :meth:`call` remains the request/response shorthand for exchanges
+    that must run on a quiet socket (handshake, sync, registration).
+    """
 
     def __init__(self, address: str, connect_timeout: float) -> None:
         self.address = address
@@ -691,6 +839,10 @@ class _WorkerLink:
         self.alive = True
         #: store_dir -> manifest version last committed on the worker.
         self.synced: Dict[str, int] = {}
+        #: fn digests this connection registered (jobs reference by id).
+        self.registered_fns: set = set()
+        #: fn digests the worker refused or evicted (ship fn inline).
+        self.inline_fns: set = set()
 
     def connect(self, timeout: float) -> None:
         host, port = parse_address(self.address)
@@ -705,6 +857,8 @@ class _WorkerLink:
             raise
         self.sock = sock
         self.synced = {}
+        self.registered_fns = set()
+        self.inline_fns = set()
 
     def close(self) -> None:
         if self.sock is not None:
@@ -714,12 +868,22 @@ class _WorkerLink:
                 pass
             self.sock = None
 
-    def call(self, request: dict) -> Tuple[dict, int]:
-        """One request/response exchange; returns (reply, bytes sent)."""
+    def send(self, request: dict) -> int:
+        """Ship one frame without reading a reply; returns bytes sent."""
         if self.sock is None:
             raise RPCError(f"worker {self.address} is not connected")
-        sent = send_frame(self.sock, request)
-        return recv_frame(self.sock), sent
+        return send_frame(self.sock, request)
+
+    def recv(self) -> dict:
+        """Read the next reply frame (ordered, one per sent frame)."""
+        if self.sock is None:
+            raise RPCError(f"worker {self.address} is not connected")
+        return recv_frame(self.sock)
+
+    def call(self, request: dict) -> Tuple[dict, int]:
+        """One request/response exchange; returns (reply, bytes sent)."""
+        sent = self.send(request)
+        return self.recv(), sent
 
 
 class RPCExecutor(Executor):
@@ -745,15 +909,30 @@ class RPCExecutor(Executor):
         How many duplicate dispatches of one in-flight job idle workers
         may launch once the queue drains (jobs are pure, so first
         result wins byte-identically).  ``0`` disables tail re-dispatch.
+    pipeline_depth:
+        How many job frames one worker link keeps unacknowledged on
+        the socket.  ``1`` is the blocking one-frame-per-round-trip
+        dispatch of protocol v2; depths >= 2 overlap serialization and
+        remote compute with the network wait, which is where the
+        latency-hiding speedup comes from.  Observed occupancy lands
+        in the ``rpc.window_occupancy`` histogram.
+    batch_bytes:
+        Byte budget per job frame: pending items coalesce into one
+        frame while their pickled payloads stay under this budget
+        (subject to a fair share of the queue, so a small map still
+        spreads across the fleet).  ``0`` disables batching.
+    max_batch_jobs:
+        Hard cap on jobs per frame regardless of byte budget.
 
     Notes
     -----
     The contract is exactly :class:`~repro.engine.parallel.Executor`'s:
-    results in input order, bit-identical to a serial run.  Work whose
-    callable does not pickle runs inline, so a live session handed an
-    RPC executor still works everywhere — only the arena-backed
-    descriptor paths actually leave the machine, and those first sync
-    the arena through the content-addressed transport.
+    results in input order, bit-identical to a serial run — for every
+    schedule, including worker kills mid-window.  Work whose callable
+    does not pickle runs inline, so a live session handed an RPC
+    executor still works everywhere — only the arena-backed descriptor
+    paths actually leave the machine, and those first sync the arena
+    through the content-addressed transport.
     """
 
     kind = "rpc"
@@ -767,6 +946,9 @@ class RPCExecutor(Executor):
         retries: int = 2,
         backoff: float = 0.05,
         straggler_redispatch: int = 1,
+        pipeline_depth: int = 4,
+        batch_bytes: int = 256 * 1024,
+        max_batch_jobs: int = 64,
     ) -> None:
         if not addresses:
             raise RPCError("RPCExecutor needs at least one worker address")
@@ -779,6 +961,13 @@ class RPCExecutor(Executor):
         self.retries = int(retries)
         self.backoff = float(backoff)
         self.straggler_redispatch = int(straggler_redispatch)
+        self.pipeline_depth = int(pipeline_depth)
+        if self.pipeline_depth < 1:
+            raise RPCError(
+                f"pipeline_depth must be >= 1, got {pipeline_depth}"
+            )
+        self.batch_bytes = max(0, int(batch_bytes))
+        self.max_batch_jobs = max(1, int(max_batch_jobs))
         self.registry = MetricsRegistry()
         self.metrics = RPCMetrics(registry=self.registry)
         self._links: Optional[List[_WorkerLink]] = None
@@ -895,30 +1084,86 @@ class RPCExecutor(Executor):
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
+    # ------------------------------------------------------------------
+    # Function shipping
+    # ------------------------------------------------------------------
+    def _register_fn(self, link, digest, blob) -> None:
+        """Ship ``fn`` once per link, keyed by content digest.
+
+        Two phases: a digest-only probe (the worker may already hold
+        it from an earlier map or another driver), then the blob.  A
+        refusal downgrades this link to inline-fn job frames — never
+        an error.
+        """
+        if (
+            digest is None
+            or digest in link.registered_fns
+            or digest in link.inline_fns
+        ):
+            return
+        reply, sent = link.call({"kind": "register-fn", "digest": digest})
+        with self._lock:
+            self.metrics.bytes_shipped += sent
+        if reply.get("kind") != "fn-registered":
+            raise RPCError(
+                f"worker {link.address} answered register-fn with "
+                f"{reply.get('kind')!r}"
+            )
+        if reply.get("cached"):
+            link.registered_fns.add(digest)
+            with self._lock:
+                self.metrics.fn_cache_hits += 1
+            return
+        if not reply.get("accepted"):
+            link.inline_fns.add(digest)
+            return
+        reply, sent = link.call(
+            {"kind": "register-fn", "digest": digest, "blob": blob}
+        )
+        with self._lock:
+            self.metrics.bytes_shipped += sent
+            self.metrics.fn_bytes_shipped += len(blob)
+        if reply.get("kind") != "fn-registered" or not reply.get("cached"):
+            link.inline_fns.add(digest)
+            return
+        link.registered_fns.add(digest)
+        with self._lock:
+            self.metrics.fn_registrations += 1
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _fallback_inline(self):
+        if not self._warned_no_workers:
+            logger.warning(
+                "no RPC worker reachable at %s; falling back to "
+                "inline (serial) execution",
+                ", ".join(self.addresses),
+            )
+            self._warned_no_workers = True
+        self.metrics.serial_fallbacks += 1
+
     def map(self, fn, items):
         items = list(items)
         if not items:
             return []
-        if not _picklable(fn):
+        blob = _try_dumps(fn)
+        if blob is None:
             return [fn(item) for item in items]
         links = self._live_links()
         if not links:
-            if not self._warned_no_workers:
-                logger.warning(
-                    "no RPC worker reachable at %s; falling back to "
-                    "inline (serial) execution",
-                    ", ".join(self.addresses),
-                )
-                self._warned_no_workers = True
-            self.metrics.serial_fallbacks += 1
+            self._fallback_inline()
             return [fn(item) for item in items]
 
+        # Every arena any job touches, synced upfront per link so the
+        # pipelined window never needs a mid-stream sync.
         specs: Dict[str, int] = {}
         _walk_specs(fn, specs)
         for item in items:
             _walk_specs(item, specs)
+        digest = hashlib.sha256(blob).hexdigest()
 
-        state = _MapState(len(items))
+        state = _MapState(items)
         # One span brackets the whole fan-out; worker-loop threads
         # parent their dispatch/sync/requeue spans on it explicitly
         # (they run off the calling thread, so implicit nesting would
@@ -928,9 +1173,10 @@ class RPCExecutor(Executor):
         ) as map_span:
             threads = []
             for link in links:
+                state.worker_started()
                 thread = threading.Thread(
                     target=self._worker_loop,
-                    args=(link, fn, items, specs, state, map_span),
+                    args=(link, digest, blob, specs, state, map_span),
                     daemon=True,
                 )
                 thread.start()
@@ -951,104 +1197,103 @@ class RPCExecutor(Executor):
         return list(state.results)
 
     def imap(self, fn, items, window=None):
+        """Barrier-free streaming map: bounded window, input-order yield.
+
+        Unlike the chunked implementation this replaces (``map`` per
+        ``window`` items, a full fan-out barrier at every chunk
+        boundary), the stream admits items straight from the iterator
+        into the shared queue as results drain, so worker pipelines
+        stay full across what used to be chunk edges — the hot path of
+        ``engine/streaming.py`` and ``engine/candidates.py``.
+        ``window`` bounds how many admitted-but-unyielded items exist
+        at once (memory, not batching).
+        """
         if window is None:
-            window = 4 * max(1, len(self.addresses))
+            window = max(
+                8, 4 * self.pipeline_depth * max(1, len(self.addresses))
+            )
         if window < 1:
             raise RPCError(f"window must be >= 1, got {window}")
+        return self._imap_stream(fn, iter(items), int(window))
 
-        def results():
-            iterator = iter(items)
-            while True:
-                chunk = []
-                for item in iterator:
-                    chunk.append(item)
-                    if len(chunk) >= window:
-                        break
-                if not chunk:
-                    return
-                yield from self.map(fn, chunk)
+    def _imap_stream(self, fn, iterator, window):
+        try:
+            first = next(iterator)
+        except StopIteration:
+            return
+        blob = _try_dumps(fn)
+        links = self._live_links() if blob is not None else []
+        if blob is None or not links:
+            if blob is not None:
+                self._fallback_inline()
+            yield fn(first)
+            for item in iterator:
+                yield fn(item)
+            return
 
-        return results()
-
-    def _worker_loop(self, link, fn, items, specs, state, parent=None) -> None:
+        digest = hashlib.sha256(blob).hexdigest()
+        fn_specs: Dict[str, int] = {}
+        _walk_specs(fn, fn_specs)
+        state = _MapState(open_ended=True)
+        state.admit(first)
         tracer = get_tracer()
+        # Detached span: a generator suspends between yields, so a
+        # context-managed span would sit mis-nested on the consumer
+        # thread's stack for the stream's whole lifetime.
+        stream_span = tracer.span_open(
+            "rpc.imap", workers=len(links), window=window
+        )
+        threads = []
+        for link in links:
+            state.worker_started()
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(link, digest, blob, fn_specs, state, stream_span),
+                daemon=True,
+            )
+            thread.start()
+            threads.append(thread)
+        next_yield = 0
+        drained = False
         try:
-            with tracer.span(
-                "rpc.sync", parent=parent, worker=link.address
-            ):
-                self._sync_link(link, specs)
-        except (OSError, RPCError):
-            if not (self._revive(link) and self._try_sync(link, specs)):
-                return
-        while True:
-            index, duplicate = state.claim(link, self.straggler_redispatch)
-            if index is None:
-                return
-            try:
-                with tracer.span(
-                    "rpc.dispatch",
-                    parent=parent,
-                    job=index,
-                    worker=link.address,
-                    duplicate=duplicate,
-                ) as dispatch:
-                    envelope = {
-                        "kind": "job",
-                        "job": index,
-                        "fn": fn,
-                        "item": items[index],
-                    }
-                    if tracer.enabled:
-                        envelope["trace"] = dispatch.context
-                    reply, _ = link.call(envelope)
-                    if (
-                        reply.get("kind") != "result"
-                        or reply.get("job") != index
-                    ):
-                        raise RPCError(
-                            f"worker {link.address} answered a job with "
-                            f"{reply.get('kind')!r}"
-                        )
-            except (OSError, RPCError):
-                requeued = state.fail(link, self.retries)
-                self.metrics.retries += len(requeued)
-                if requeued and tracer.enabled:
-                    with tracer.span(
-                        "rpc.requeue",
-                        parent=parent,
-                        worker=link.address,
-                        jobs=list(requeued),
-                    ):
-                        pass
-                if not (self._revive(link) and self._try_sync(link, specs)):
+            while True:
+                # Keep the shared queue primed up to the window bound.
+                while not drained and len(state.items) - next_yield < window:
+                    try:
+                        item = next(iterator)
+                    except StopIteration:
+                        drained = True
+                        state.seal()
+                        break
+                    state.admit(item)
+                if drained and next_yield >= len(state.items):
                     return
-                continue
-            tracer.ingest(reply.get("spans") or ())
-            with self._lock:
-                self.metrics.jobs_shipped += 1
-                if duplicate:
-                    self.metrics.stragglers_redispatched += 1
-            if reply["ok"]:
-                state.complete(link, index, reply["value"])
-            else:
-                state.complete(
-                    link,
-                    index,
-                    None,
-                    error=(
-                        f"job {index} failed on worker {link.address}: "
-                        f"{reply['error']}"
-                    ),
-                )
+                if state.wait_result(next_yield) == "orphaned":
+                    # Every worker died, or this job's retry budget ran
+                    # dry: run it inline, preserving exact results.
+                    with self._lock:
+                        self.metrics.inline_jobs += 1
+                    value = fn(state.items[next_yield])
+                    state.complete(None, next_yield, value)
+                error = state.errors.get(next_yield)
+                if error is not None:
+                    raise RPCError(error)
+                value = state.results[next_yield]
+                state.release(next_yield)
+                next_yield += 1
+                yield value
+        finally:
+            state.close()
+            stream_span.finish()
+            for thread in threads:
+                thread.join(timeout=10.0)
 
-    def _try_sync(self, link, specs) -> bool:
-        try:
-            self._sync_link(link, specs)
-            return True
-        except (OSError, RPCError):
-            link.alive = False
-            self.metrics.workers_lost += 1
-            return False
+    def _worker_loop(
+        self, link, fn_digest, fn_blob, fn_specs, state, parent=None
+    ) -> None:
+        _WindowLoop(
+            self, link, state, fn_digest, fn_blob, fn_specs, parent
+        ).run()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -1078,60 +1323,422 @@ class RPCExecutor(Executor):
         return f"RPCExecutor(addresses={self.addresses!r})"
 
 
-class _MapState:
-    """Shared bookkeeping of one :meth:`RPCExecutor.map` call.
+class _WindowLoop:
+    """One worker-loop thread's pipelined dispatch window.
 
-    All transitions run under one condition variable: claim (pending
-    queue first, then straggler duplication of the oldest in-flight
-    job), complete (first result wins), and fail (re-queue a dead
-    link's in-flight jobs unless their retry budget ran dry).
+    The loop alternates two moves: *fill* — claim batches and write
+    job frames until ``pipeline_depth`` frames are unacknowledged —
+    and *receive* — read the oldest reply.  Because the worker answers
+    frames in arrival order, the deque of outstanding frames is always
+    in lockstep with the reply stream.  A link failure finishes every
+    outstanding dispatch span with an error and re-queues **all**
+    unacknowledged jobs in the window via :meth:`_MapState.fail`.
     """
 
-    def __init__(self, n: int) -> None:
-        self.results: List[object] = [None] * n
-        self.done = [False] * n
-        self.attempts = [0] * n
-        self.dispatches = [0] * n
-        self.pending = deque(range(n))
+    def __init__(
+        self, executor, link, state, fn_digest, fn_blob, fn_specs, parent
+    ) -> None:
+        self.executor = executor
+        self.link = link
+        self.state = state
+        self.fn_digest = fn_digest
+        self.fn_blob = fn_blob
+        self.fn_specs = fn_specs
+        self.parent = parent
+        self.tracer = get_tracer()
+        self.occupancy = executor.registry.histogram("rpc.window_occupancy")
+        #: (batch indices, is_duplicate, detached dispatch span), in
+        #: frame order — replies arrive in exactly this order.
+        self.outstanding: deque = deque()
+
+    def run(self) -> None:
+        executor = self.executor
+        try:
+            try:
+                self._prepare()
+            except (OSError, RPCError):
+                if not (executor._revive(self.link) and self._try_prepare()):
+                    return
+            while True:
+                try:
+                    while len(self.outstanding) < executor.pipeline_depth:
+                        claimed = self._claim_batch(
+                            block=not self.outstanding
+                        )
+                        if claimed is None:
+                            break
+                        batch, duplicate = claimed
+                        self._dispatch(batch, duplicate)
+                    if not self.outstanding:
+                        return
+                    self._receive_one()
+                except (OSError, RPCError):
+                    self._on_link_failure()
+                    if not (
+                        executor._revive(self.link) and self._try_prepare()
+                    ):
+                        return
+        finally:
+            if self.outstanding:
+                # Replies to these frames were never read (early-closed
+                # imap stream): the socket would answer the *next* map
+                # with stale frames, so drop it and reconnect lazily.
+                self.link.close()
+            self.state.worker_exited()
+
+    # -- setup ----------------------------------------------------------
+    def _prepare(self) -> None:
+        """Sync known arenas and register the fn on a fresh link."""
+        link = self.link
+        if self.fn_specs and any(
+            link.synced.get(store, -1) < version
+            for store, version in self.fn_specs.items()
+        ):
+            with self.tracer.span(
+                "rpc.sync", parent=self.parent, worker=link.address
+            ):
+                self.executor._sync_link(link, self.fn_specs)
+        self.executor._register_fn(link, self.fn_digest, self.fn_blob)
+
+    def _try_prepare(self) -> bool:
+        try:
+            self._prepare()
+            return True
+        except (OSError, RPCError):
+            self.link.alive = False
+            self.executor.metrics.workers_lost += 1
+            return False
+
+    # -- fill -----------------------------------------------------------
+    def _claim_batch(self, block: bool):
+        """Claim up to a frame's worth of jobs; ``None`` when done.
+
+        The first claim honors straggler duplication and (optionally)
+        blocks; batch fills are non-blocking, never duplicates, and
+        bounded by both the byte budget and a fair share of the queue
+        so one fast link cannot swallow a small map whole.
+        """
+        executor = self.executor
+        state = self.state
+        index, duplicate = state.claim(
+            self.link, executor.straggler_redispatch, block=block
+        )
+        while index is not None and not self._blob_ok(index):
+            index, duplicate = state.claim(
+                self.link, executor.straggler_redispatch, block=block
+            )
+        if index is None:
+            return None
+        if duplicate:
+            return [index], True
+        batch = [index]
+        size = len(state.item_blob(index))
+        share = state.fair_share(executor.max_batch_jobs)
+        while len(batch) < share and size < executor.batch_bytes:
+            extra, _ = state.claim(self.link, 0, block=False)
+            if extra is None:
+                break
+            if not self._blob_ok(extra):
+                continue
+            batch.append(extra)
+            size += len(state.item_blob(extra))
+        return batch, False
+
+    def _blob_ok(self, index: int) -> bool:
+        try:
+            self.state.item_blob(index)
+            return True
+        except Exception:
+            logger.warning(
+                "job %d does not pickle; leaving it for inline execution",
+                index,
+            )
+            self.state.abandon(self.link, index)
+            return False
+
+    # -- dispatch / receive ---------------------------------------------
+    def _dispatch(self, batch, duplicate: bool, sync: bool = True) -> None:
+        executor = self.executor
+        link = self.link
+        state = self.state
+        if sync:
+            # Streaming items may reference arenas the prepare-time
+            # sync never saw (imap walks specs per batch, not upfront).
+            specs: Dict[str, int] = {}
+            for index in batch:
+                _walk_specs(state.items[index], specs)
+            if any(
+                link.synced.get(store, -1) < version
+                for store, version in specs.items()
+            ):
+                # Sync is a call/response exchange: the socket must be
+                # quiet, so settle the window first.
+                self._drain()
+                with self.tracer.span(
+                    "rpc.sync", parent=self.parent, worker=link.address
+                ):
+                    executor._sync_link(link, specs)
+        envelope = {
+            "kind": "job",
+            "jobs": [(index, state.item_blob(index)) for index in batch],
+        }
+        use_digest = (
+            self.fn_digest is not None
+            and self.fn_digest in link.registered_fns
+        )
+        if use_digest:
+            envelope["fn_id"] = self.fn_digest
+        else:
+            envelope["fn_blob"] = self.fn_blob
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.span_open(
+                "rpc.dispatch",
+                parent=self.parent,
+                worker=link.address,
+                jobs=list(batch),
+                window=len(self.outstanding) + 1,
+                duplicate=duplicate,
+            )
+            envelope["trace"] = span.context
+        try:
+            sent = link.send(envelope)
+        except BaseException:
+            if span is not None:
+                span.finish(error="send failed")
+            raise
+        with executor._lock:
+            metrics = executor.metrics
+            metrics.jobs_shipped += len(batch)
+            metrics.bytes_shipped += sent
+            if len(batch) > 1:
+                metrics.jobs_batched += len(batch)
+            if duplicate:
+                metrics.stragglers_redispatched += len(batch)
+            if use_digest:
+                metrics.fn_cache_hits += 1
+            else:
+                metrics.fn_bytes_shipped += len(self.fn_blob)
+        self.outstanding.append((list(batch), duplicate, span))
+        self.occupancy.observe(len(self.outstanding))
+
+    def _receive_one(self) -> None:
+        link = self.link
+        state = self.state
+        reply = link.recv()
+        batch, duplicate, span = self.outstanding.popleft()
+        kind = reply.get("kind")
+        if kind == "fn-miss":
+            # The worker evicted our registered fn between frames:
+            # downgrade this link to inline-fn frames and resend.
+            digest = reply.get("digest")
+            link.registered_fns.discard(digest)
+            link.inline_fns.add(digest)
+            if span is not None:
+                span.finish(error="fn-miss")
+            self._dispatch(batch, duplicate, sync=False)
+            return
+        if kind != "result" or list(reply.get("jobs", ())) != batch:
+            raise RPCError(
+                f"worker {link.address} answered jobs {batch} with "
+                f"{kind!r} (pipeline out of step)"
+            )
+        self.tracer.ingest(reply.get("spans") or ())
+        if span is not None:
+            span.finish()
+        for index, result in zip(batch, reply["results"]):
+            if result["ok"]:
+                state.complete(link, index, result["value"])
+            else:
+                state.complete(
+                    link,
+                    index,
+                    None,
+                    error=(
+                        f"job {index} failed on worker {link.address}: "
+                        f"{result['error']}"
+                    ),
+                )
+
+    def _drain(self) -> None:
+        """Read every outstanding reply (fn-miss resends included)."""
+        while self.outstanding:
+            self._receive_one()
+
+    def _on_link_failure(self) -> None:
+        executor = self.executor
+        requeued = self.state.fail(self.link, executor.retries)
+        with executor._lock:
+            executor.metrics.retries += len(requeued)
+        for _batch, _duplicate, span in self.outstanding:
+            if span is not None:
+                span.finish(error="worker lost")
+        self.outstanding.clear()
+        if requeued and self.tracer.enabled:
+            with self.tracer.span(
+                "rpc.requeue",
+                parent=self.parent,
+                worker=self.link.address,
+                jobs=list(requeued),
+            ):
+                pass
+
+
+class _MapState:
+    """Shared bookkeeping of one fan-out (``map`` or streaming ``imap``).
+
+    All transitions run under one condition variable: admit (the
+    streaming producer growing the queue), claim (pending queue first,
+    then straggler duplication of the oldest in-flight job), complete
+    (first result wins), fail (re-queue a dead link's unacknowledged
+    window unless a job's retry budget ran dry — those are *abandoned*
+    to inline execution), and abandon (unpicklable items).
+
+    ``open_ended=True`` is the streaming mode: the item list grows via
+    :meth:`admit` until :meth:`seal`, blocking claims wait for more
+    input instead of returning, and straggler duplication stays off (an
+    idle worker would otherwise duplicate every trickling item).
+    """
+
+    def __init__(self, items=(), open_ended: bool = False) -> None:
+        items = list(items)
+        self.items: List[object] = items
+        self.results: List[object] = [None] * len(items)
+        self.done = [False] * len(items)
+        self.attempts = [0] * len(items)
+        self.dispatches = [0] * len(items)
+        self.pending = deque(range(len(items)))
         #: link -> set of indices that link is currently running.
         self.in_flight: Dict[object, set] = {}
         self.started: Dict[int, float] = {}
+        #: indices given up on remotely (budget dry / unpicklable).
+        self.abandoned: set = set()
+        #: index -> error message for jobs that raised remotely.
+        self.errors: Dict[int, str] = {}
         self.n_done = 0
-        self.n = n
+        self.open_ended = bool(open_ended)
+        self.closed = False
+        self.active_workers = 0
         self.job_error: Optional[str] = None
         self.cond = threading.Condition()
+        self._blobs: Dict[int, bytes] = {}
 
-    def claim(
-        self, link, straggler_redispatch: int = 1
-    ) -> Tuple[Optional[int], bool]:
-        """Next job for ``link``: ``(index, is_duplicate)`` or ``(None, _)``."""
+    # -- streaming producer side ----------------------------------------
+    def admit(self, item) -> int:
+        """Append one item to the queue; returns its index."""
+        with self.cond:
+            index = len(self.items)
+            self.items.append(item)
+            self.results.append(None)
+            self.done.append(False)
+            self.attempts.append(0)
+            self.dispatches.append(0)
+            self.pending.append(index)
+            self.cond.notify_all()
+            return index
+
+    def seal(self) -> None:
+        """The input iterator is exhausted: no more admits will come."""
+        with self.cond:
+            self.open_ended = False
+            self.cond.notify_all()
+
+    def close(self) -> None:
+        """Abort: wake every claimer with a terminal ``None``."""
+        with self.cond:
+            self.closed = True
+            self.cond.notify_all()
+
+    def wait_result(self, index: int) -> str:
+        """Block until ``index`` is done (``"done"``) or unreachable
+        remotely (``"orphaned"``: abandoned, or no worker left)."""
         with self.cond:
             while True:
-                if self.n_done >= self.n:
+                if self.done[index]:
+                    return "done"
+                if index in self.abandoned or self.active_workers == 0:
+                    return "orphaned"
+                self.cond.wait(timeout=0.5)
+
+    def release(self, index: int) -> None:
+        """Drop a yielded item/result so long streams stay bounded."""
+        with self.cond:
+            self.items[index] = None
+            self.results[index] = None
+            self._blobs.pop(index, None)
+
+    # -- worker side ----------------------------------------------------
+    def worker_started(self) -> None:
+        with self.cond:
+            self.active_workers += 1
+
+    def worker_exited(self) -> None:
+        with self.cond:
+            self.active_workers -= 1
+            self.cond.notify_all()
+
+    def item_blob(self, index: int) -> bytes:
+        """The item's pickle, cached so retries don't re-serialize."""
+        blob = self._blobs.get(index)
+        if blob is None:
+            blob = pickle.dumps(
+                self.items[index], protocol=pickle.HIGHEST_PROTOCOL
+            )
+            self._blobs[index] = blob
+        return blob
+
+    def fair_share(self, cap: int) -> int:
+        """Jobs one frame may take without starving the other links."""
+        with self.cond:
+            active = max(1, self.active_workers)
+            return max(1, min(cap, len(self.pending) // (2 * active) + 1))
+
+    def claim(
+        self, link, straggler_redispatch: int = 1, block: bool = True
+    ) -> Tuple[Optional[int], bool]:
+        """Next job for ``link``: ``(index, is_duplicate)`` or ``(None, _)``.
+
+        Non-blocking claims (``block=False``) return immediately when
+        the pending queue is empty — the window-fill path.  Blocking
+        claims wait for re-queues (and, while ``open_ended``, for
+        admits), duplicate stragglers once a sealed queue drains, and
+        return ``None`` when the fan-out is complete or closed.
+        """
+        with self.cond:
+            while True:
+                if self.closed:
                     return None, False
                 while self.pending:
                     index = self.pending.popleft()
-                    if not self.done[index]:
+                    if not self.done[index] and index not in self.abandoned:
                         self._start(link, index)
                         return index, False
-                # Queue drained: duplicate the oldest in-flight job of
-                # another link (bounded per job), else wait for change.
-                candidates = [
-                    index
-                    for owner, indices in self.in_flight.items()
-                    if owner is not link
-                    for index in indices
-                    if not self.done[index]
-                    and self.dispatches[index] <= straggler_redispatch
-                ]
-                if candidates:
-                    index = min(
-                        candidates, key=lambda i: self.started.get(i, 0.0)
-                    )
-                    self._start(link, index)
-                    return index, True
-                if not any(self.in_flight.values()):
+                if not block:
                     return None, False
+                if not self.open_ended:
+                    if self.n_done >= len(self.items):
+                        return None, False
+                    # Queue drained for good: duplicate the oldest
+                    # in-flight job of another link (bounded per job),
+                    # else wait for a re-queue or completion.
+                    candidates = [
+                        index
+                        for owner, indices in self.in_flight.items()
+                        if owner is not link
+                        for index in indices
+                        if not self.done[index]
+                        and index not in self.abandoned
+                        and self.dispatches[index] <= straggler_redispatch
+                    ]
+                    if candidates:
+                        index = min(
+                            candidates,
+                            key=lambda i: self.started.get(i, 0.0),
+                        )
+                        self._start(link, index)
+                        return index, True
+                    if not any(self.in_flight.values()):
+                        return None, False
                 self.cond.wait(timeout=0.5)
 
     def _start(self, link, index: int) -> None:
@@ -1145,15 +1752,18 @@ class _MapState:
             if not self.done[index]:
                 self.done[index] = True
                 self.n_done += 1
+                self.abandoned.discard(index)
                 if error is not None:
+                    self.errors[index] = error
                     if self.job_error is None:
                         self.job_error = error
                 else:
                     self.results[index] = value
+                self._blobs.pop(index, None)
             self.cond.notify_all()
 
     def fail(self, link, retries: int) -> List[int]:
-        """Re-queue a failed link's in-flight jobs; returns those re-queued."""
+        """Re-queue every unacknowledged job in a dead link's window."""
         with self.cond:
             indices = sorted(self.in_flight.pop(link, set()))
             requeued = []
@@ -1162,16 +1772,29 @@ class _MapState:
                     continue
                 self.attempts[index] += 1
                 if self.attempts[index] > retries + 1:
-                    # Retry budget dry: leave it for the inline tail.
+                    # Retry budget dry: leave it for inline execution.
+                    self.abandoned.add(index)
                     continue
                 self.pending.append(index)
                 requeued.append(index)
             self.cond.notify_all()
             return requeued
 
+    def abandon(self, link, index: int) -> None:
+        """Give up on dispatching ``index`` remotely (runs inline)."""
+        with self.cond:
+            self.in_flight.get(link, set()).discard(index)
+            if not self.done[index]:
+                self.abandoned.add(index)
+            self.cond.notify_all()
+
     def unfinished(self) -> List[int]:
         with self.cond:
-            return [index for index in range(self.n) if not self.done[index]]
+            return [
+                index
+                for index in range(len(self.items))
+                if not self.done[index]
+            ]
 
 
 def spawn_worker_process(
@@ -1180,28 +1803,38 @@ def spawn_worker_process(
     port: int = 0,
     python=None,
     env: Optional[dict] = None,
+    delay_ms: float = 0.0,
+    cache_bytes: Optional[int] = None,
 ):
     """Launch ``python -m repro.cli worker`` and wait for its endpoint.
 
     Returns ``(process, "host:port")``.  The worker announces its bound
     endpoint as the first stdout line (``listening on HOST:PORT``),
-    which matters when ``port`` is 0.  Benchmark/test helper — the
-    production path is operators starting workers on each host.
+    which matters when ``port`` is 0.  ``delay_ms`` forwards the
+    per-frame fault-injection latency knob (``--delay-ms``), which the
+    pipelining benchmark uses to make RTT the bottleneck on loopback.
+    Benchmark/test helper — the production path is operators starting
+    workers on each host.
     """
     import subprocess
     import sys
 
+    argv = [
+        python or sys.executable,
+        "-m",
+        "repro.cli",
+        "worker",
+        "--listen",
+        f"{host}:{port}",
+        "--store-dir",
+        str(store_dir),
+    ]
+    if delay_ms:
+        argv += ["--delay-ms", str(delay_ms)]
+    if cache_bytes is not None:
+        argv += ["--cache-bytes", str(cache_bytes)]
     process = subprocess.Popen(
-        [
-            python or sys.executable,
-            "-m",
-            "repro.cli",
-            "worker",
-            "--listen",
-            f"{host}:{port}",
-            "--store-dir",
-            str(store_dir),
-        ],
+        argv,
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,

@@ -74,9 +74,10 @@ class TestRuntimeMetadata:
 
     def test_runtime_round_trips(self, outcome):
         payload = outcome_to_dict(outcome)
-        assert payload["format_version"] == 6
+        assert payload["format_version"] == 7
         assert payload["runtime"]["executor"] == "serial"
         assert payload["runtime"]["fallback_invalidations"] >= 0
+        assert payload["runtime"]["rpc_bytes_shipped"] == 0
         restored = outcome_from_dict(payload)
         assert restored.runtime == outcome.runtime
 
@@ -91,6 +92,20 @@ class TestRuntimeMetadata:
         )
         restored = outcome_from_dict(payload)
         assert restored.runtime.metrics == metrics
+
+    def test_version6_payload_without_dispatch_counters_loads(self, outcome):
+        payload = outcome_to_dict(outcome)
+        payload["format_version"] = 6
+        for key in (
+            "rpc_bytes_shipped",
+            "rpc_jobs_batched",
+            "rpc_fn_cache_hits",
+        ):
+            payload["runtime"].pop(key)
+        restored = outcome_from_dict(payload)
+        assert restored.runtime.rpc_bytes_shipped == 0
+        assert restored.runtime.rpc_jobs_batched == 0
+        assert restored.runtime.rpc_fn_cache_hits == 0
 
     def test_version5_payload_without_metrics_loads(self, outcome):
         payload = outcome_to_dict(outcome)

@@ -79,6 +79,43 @@ class TestRegistry:
         assert registry.counter("jobs").value == 9
         assert registry.gauge("rss").value == 1.5
 
+    def test_merge_snapshot_folds_histograms_additively(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat").observe(2.0)
+        registry.merge_snapshot(
+            {
+                "histograms": {
+                    "lat": {
+                        "count": 2,
+                        "total": 4.0,
+                        "min": 1.0,
+                        "max": 3.0,
+                        "mean": 2.0,
+                    }
+                }
+            }
+        )
+        merged = registry.histogram("lat").snapshot()
+        assert merged["count"] == 3
+        assert merged["total"] == 6.0
+        assert merged["min"] == 1.0 and merged["max"] == 3.0
+        assert merged["mean"] == 2.0
+        # An empty payload is a no-op, not a min/max reset.
+        registry.merge_snapshot(
+            {
+                "histograms": {
+                    "lat": {
+                        "count": 0,
+                        "total": 0.0,
+                        "min": None,
+                        "max": None,
+                        "mean": None,
+                    }
+                }
+            }
+        )
+        assert registry.histogram("lat").snapshot() == merged
+
     def test_registry_pickles_without_lock_trouble(self):
         registry = MetricsRegistry()
         registry.counter("n").inc(3)

@@ -164,12 +164,14 @@ class TestRPCFaultPathTrace:
             assert span["trace"] == trace_id
             assert span["parent"] == map_span["span"]
 
-        # The killed worker's in-flight dispatch errored and its job
-        # was re-queued under the same trace...
+        # The killed worker's in-flight dispatch errored and its jobs
+        # (the frame's whole batch) were re-queued under the same
+        # trace...
         errored = {
-            s["attributes"]["job"]
+            job
             for s in dispatches
             if "error" in s["attributes"]
+            for job in s["attributes"]["jobs"]
         }
         assert errored
         requeues = [s for s in spans if s["name"] == "rpc.requeue"]
@@ -184,7 +186,7 @@ class TestRPCFaultPathTrace:
         # ...and every re-queued job was later dispatched successfully.
         for job in requeued:
             assert any(
-                s["attributes"]["job"] == job
+                job in s["attributes"]["jobs"]
                 and "error" not in s["attributes"]
                 for s in dispatches
             ), f"re-queued job {job} never re-dispatched"
@@ -244,14 +246,17 @@ class TestRPCFaultPathTrace:
         spans = load_spans(trace_path, include_workers=False)
         dispatches = [s for s in spans if s["name"] == "rpc.dispatch"]
         # Duplicate dispatches are allowed (that is the straggler
-        # defence) but must be explicit in the trace.
+        # defence) but must be explicit in the trace, and every span
+        # records its position in the pipeline window.
         assert all("duplicate" in s["attributes"] for s in dispatches)
-        completed = [
-            s for s in dispatches if not s["attributes"]["duplicate"]
-        ]
-        assert {s["attributes"]["job"] for s in completed} == set(
-            range(N_JOBS)
-        )
+        assert all(s["attributes"]["window"] >= 1 for s in dispatches)
+        completed = {
+            job
+            for s in dispatches
+            if not s["attributes"]["duplicate"]
+            for job in s["attributes"]["jobs"]
+        }
+        assert completed == set(range(N_JOBS))
 
 
 class _V1Listener:

@@ -31,6 +31,7 @@ from repro.store.rpc import (
     RPCExecutor,
     WorkerServer,
     _BlobCache,
+    _MapState,
     _ReplicaStore,
     parse_address,
     recv_frame,
@@ -55,9 +56,28 @@ def _boom(value):
     raise ValueError(f"boom on {value}")
 
 
+def _cube(value):
+    return value * value * value
+
+
 def _arena_read(job):
     spec, index = job
     return float(MatrixArena(spec.store_dir).get_array("w")[index])
+
+
+def _raise_on_load():
+    raise AttributeError("symbol missing on this worker")
+
+
+class _DriverOnlyFn:
+    """Pickles on the driver but explodes when unpickled — the shape of
+    a ``__main__``-defined fn or a module the worker does not have."""
+
+    def __call__(self, value):
+        return value
+
+    def __reduce__(self):
+        return (_raise_on_load, ())
 
 
 @pytest.fixture(autouse=True)
@@ -157,7 +177,7 @@ class TestMapContract:
             metrics.jobs_shipped - metrics.stragglers_redispatched == 16
         )
 
-    def test_imap_chunked_and_ordered(self, worker_pair):
+    def test_imap_streamed_and_ordered(self, worker_pair):
         _, executor = worker_pair
         results = executor.imap(_square, iter(range(21)), window=4)
         assert list(results) == [v * v for v in range(21)]
@@ -499,6 +519,255 @@ class TestWorkerEviction:
         finally:
             executor.close()
             server.stop()
+
+
+class TestPipelinedDispatch:
+    """Protocol v3: one-shot fn shipping, batching, window metrics."""
+
+    def test_fn_registered_once_then_referenced_by_digest(self, worker_pair):
+        _, executor = worker_pair
+        assert executor.map(_square, range(8)) == [v * v for v in range(8)]
+        metrics = executor.metrics
+        # One registration per link that participated, never per job.
+        assert 1 <= metrics.fn_registrations <= 2
+        shipped = metrics.fn_bytes_shipped
+        assert shipped > 0
+
+        # A second map with the same fn re-ships zero fn bytes: every
+        # job frame references the registered digest.
+        assert executor.map(_square, range(8, 16)) == [
+            v * v for v in range(8, 16)
+        ]
+        assert metrics.fn_bytes_shipped == shipped
+        assert metrics.fn_cache_hits > 0
+
+    def test_undecodable_fn_is_typed_error_not_dead_link(self, worker_pair):
+        # A fn that pickles here but not on the worker used to raise
+        # out of the register-fn handler and tear the connection down.
+        # Now registration is refused, the inline-fn frames answer with
+        # typed job errors, and the links stay healthy.
+        _, executor = worker_pair
+        with pytest.raises(RPCError, match="unpickle on worker"):
+            executor.map(_DriverOnlyFn(), [1, 2, 3])
+        assert executor.metrics.workers_lost == 0
+        # The same links still run well-behaved fns remotely.
+        assert executor.map(_square, [2, 3]) == [4, 9]
+        assert executor.metrics.jobs_shipped >= 2
+        assert executor.metrics.inline_jobs == 0
+
+    def test_refused_registration_degrades_to_inline_fn(self, tmp_path):
+        # fn_cache_size=0 refuses every registration; jobs still run
+        # remotely with the fn pickled into each frame.
+        server = WorkerServer(
+            "127.0.0.1", 0, tmp_path / "worker", fn_cache_size=0
+        ).start()
+        executor = RPCExecutor(["%s:%d" % server.address], timeout=10.0)
+        try:
+            assert executor.map(_square, range(6)) == [
+                v * v for v in range(6)
+            ]
+            assert executor.metrics.fn_registrations == 0
+            assert executor.metrics.fn_bytes_shipped > 0
+            assert executor.metrics.jobs_shipped == 6
+            assert executor.metrics.inline_jobs == 0
+        finally:
+            executor.close()
+            server.stop()
+
+    def test_fn_cache_eviction_recovers_via_fn_miss(self, tmp_path):
+        # A 1-slot worker cache: the second fn evicts the first, so a
+        # later map with the first fn hits the fn-miss reply path and
+        # recovers by re-dispatching with the inline fn.
+        server = WorkerServer(
+            "127.0.0.1", 0, tmp_path / "worker", fn_cache_size=1
+        ).start()
+        executor = RPCExecutor(["%s:%d" % server.address], timeout=10.0)
+        try:
+            assert executor.map(_square, range(4)) == [0, 1, 4, 9]
+            assert executor.map(_cube, range(4)) == [0, 1, 8, 27]
+            assert executor.map(_square, range(4)) == [0, 1, 4, 9]
+            assert executor.metrics.inline_jobs == 0
+        finally:
+            executor.close()
+            server.stop()
+
+    def test_batching_coalesces_small_jobs(self, tmp_path):
+        server = WorkerServer("127.0.0.1", 0, tmp_path / "worker").start()
+        executor = RPCExecutor(["%s:%d" % server.address], timeout=10.0)
+        try:
+            assert executor.map(_square, range(32)) == [
+                v * v for v in range(32)
+            ]
+            assert executor.metrics.jobs_batched > 0
+            # Frames (one occupancy observation each) < jobs: small
+            # items coalesced instead of paying a frame per job.
+            occupancy = executor.registry.get("rpc.window_occupancy")
+            assert occupancy is not None
+            assert occupancy.count < 32
+        finally:
+            executor.close()
+            server.stop()
+
+    def test_depth_one_without_batching_is_blocking_dispatch(self, tmp_path):
+        server = WorkerServer("127.0.0.1", 0, tmp_path / "worker").start()
+        executor = RPCExecutor(
+            ["%s:%d" % server.address],
+            timeout=10.0,
+            pipeline_depth=1,
+            batch_bytes=0,
+        )
+        try:
+            assert executor.map(_square, range(12)) == [
+                v * v for v in range(12)
+            ]
+            assert executor.metrics.jobs_batched == 0
+            occupancy = executor.registry.get("rpc.window_occupancy")
+            assert occupancy is not None
+            assert occupancy.max == 1
+            assert occupancy.count == executor.metrics.jobs_shipped
+        finally:
+            executor.close()
+            server.stop()
+
+    def test_invalid_pipeline_depth_rejected(self):
+        with pytest.raises(RPCError, match="pipeline_depth"):
+            RPCExecutor(["127.0.0.1:7421"], pipeline_depth=0)
+
+
+class TestImapStreaming:
+    """The barrier-free streaming window behind ``imap``."""
+
+    def test_slow_consumer_keeps_window_full_and_ordered(self, tmp_path):
+        # Delayed workers so replies lag behind dispatch (the window
+        # actually fills), batching off so every frame is one job, and
+        # a consumer that dawdles between yields.  Barrier-free means
+        # the in-flight window stays full while the consumer sleeps —
+        # the chunked implementation this replaced drained to zero at
+        # every chunk boundary.
+        servers = [
+            WorkerServer(
+                "127.0.0.1", 0, tmp_path / f"worker{i}", delay_ms=5.0
+            ).start()
+            for i in range(2)
+        ]
+        executor = RPCExecutor(
+            ["%s:%d" % server.address for server in servers],
+            timeout=10.0,
+            pipeline_depth=4,
+            batch_bytes=0,
+        )
+        try:
+            results = []
+            for value in executor.imap(_square, iter(range(64)), window=40):
+                results.append(value)
+                time.sleep(0.001)
+            assert results == [v * v for v in range(64)]
+            occupancy = executor.registry.get("rpc.window_occupancy")
+            assert occupancy is not None
+            assert occupancy.max >= 4, (
+                "pipeline window never filled: max occupancy "
+                f"{occupancy.max}"
+            )
+        finally:
+            executor.close()
+            for server in servers:
+                server.stop()
+
+    def test_early_closed_stream_leaves_executor_usable(self, worker_pair):
+        _, executor = worker_pair
+        stream = executor.imap(_square, iter(range(50)), window=8)
+        assert next(stream) == 0
+        stream.close()
+        # In-flight replies of the abandoned stream were never read;
+        # the executor must not serve them to the next map.
+        assert executor.map(_square, [5]) == [25]
+        assert executor.map(_cube, [3]) == [27]
+
+    def test_job_error_raises_at_yield(self, worker_pair):
+        _, executor = worker_pair
+        with pytest.raises(RPCError, match="ValueError: boom on"):
+            list(executor.imap(_boom, iter(range(4)), window=2))
+
+    def test_unpicklable_fn_streams_inline(self, worker_pair):
+        _, executor = worker_pair
+        results = list(executor.imap(lambda v: -v, iter(range(5))))
+        assert results == [0, -1, -2, -3, -4]
+        assert executor.metrics.jobs_shipped == 0
+
+
+class TestMapStateUnit:
+    """Direct unit tests of the shared fan-out bookkeeping."""
+
+    def test_claim_then_complete_in_order(self):
+        state = _MapState(list(range(4)))
+        link = "link-a"
+        claimed = [state.claim(link, 0, block=False) for _ in range(4)]
+        assert claimed == [(0, False), (1, False), (2, False), (3, False)]
+        # Queue drained: a non-blocking claim finds nothing.
+        assert state.claim(link, 0, block=False) == (None, False)
+        for index, _ in claimed:
+            state.complete(link, index, index * 10)
+        assert state.results == [0, 10, 20, 30]
+        assert state.unfinished() == []
+        # Everything done: even a blocking claim returns immediately.
+        assert state.claim(link, 0, block=True) == (None, False)
+
+    def test_straggler_duplicate_first_result_wins(self):
+        state = _MapState(["x", "y"])
+        a, b = "link-a", "link-b"
+        assert state.claim(a, 1, block=False) == (0, False)
+        assert state.claim(b, 1, block=False) == (1, False)
+        state.complete(b, 1, "b:1")
+
+        # b is idle, a still holds job 0: b may duplicate it — once —
+        # and the duplicate is marked as such.  (Only blocking claims
+        # duplicate; non-blocking window fills return empty instead.)
+        index, duplicate = state.claim(b, 1, block=True)
+        assert (index, duplicate) == (0, True)
+        assert state.dispatches[0] == 2
+        assert state.claim(b, 1, block=False) == (None, False)
+
+        # First result wins; the late duplicate cannot overwrite it.
+        state.complete(a, 0, "a:0")
+        state.complete(b, 0, "b:dup")
+        assert state.results == ["a:0", "b:1"]
+
+    def test_fail_requeues_whole_window_in_input_order(self):
+        state = _MapState(list(range(4)))
+        lost, survivor = "lost-link", "survivor"
+        for _ in range(3):
+            state.claim(lost, 0, block=False)
+        state.claim(survivor, 0, block=False)
+        # Jobs 0-2 were unacknowledged on the lost link: all of them
+        # come back, sorted, and are claimable again.
+        assert state.fail(lost, retries=2) == [0, 1, 2]
+        assert state.claim(survivor, 0, block=False) == (0, False)
+        assert state.attempts[0] == 1
+
+    def test_retry_budget_exhaustion_abandons_jobs(self):
+        state = _MapState([7, 8])
+        link = "flaky"
+        for expected in ([0, 1], [0, 1]):
+            state.claim(link, 0, block=False)
+            state.claim(link, 0, block=False)
+            assert state.fail(link, retries=1) == expected
+        # Third failure exceeds the budget (retries + original try):
+        # the jobs are abandoned to the driver's inline path, never
+        # silently dropped.
+        state.claim(link, 0, block=False)
+        state.claim(link, 0, block=False)
+        assert state.fail(link, retries=1) == []
+        assert state.abandoned == {0, 1}
+        assert state.wait_result(0) == "orphaned"
+        assert sorted(state.unfinished()) == [0, 1]
+
+    def test_completed_job_not_requeued_by_late_failure(self):
+        state = _MapState([1, 2])
+        link = "link-a"
+        state.claim(link, 0, block=False)
+        state.claim(link, 0, block=False)
+        state.complete(link, 0, 100)
+        assert state.fail(link, retries=2) == [1]
 
 
 class TestExecutorSeam:
